@@ -1,0 +1,124 @@
+//! Shared storage context: one buffer pool + one catalog.
+//!
+//! Everything an engine stores — input arrays, materialized views,
+//! strawman tables, spill runs — lives in a single [`StorageCtx`], so one
+//! `IoStats` observes the engine's entire footprint, mirroring how the
+//! paper monitors all of MySQL's data and index files together.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use riot_storage::{
+    BufferPool, Catalog, Extent, IoSnapshot, IoStats, MemBlockDevice, ObjectId, PoolConfig,
+    ReplacerKind, Result,
+};
+
+/// A buffer pool plus an object catalog, shared by every array.
+pub struct StorageCtx {
+    pool: BufferPool,
+    catalog: RefCell<Catalog>,
+}
+
+impl StorageCtx {
+    /// Context over a fresh in-memory simulated device.
+    ///
+    /// `frames` is the memory cap in blocks; `block_size` is in bytes.
+    pub fn new_mem(block_size: usize, frames: usize) -> Rc<Self> {
+        Self::new_mem_with(block_size, frames, ReplacerKind::Lru)
+    }
+
+    /// Like [`StorageCtx::new_mem`] with an explicit replacement policy.
+    pub fn new_mem_with(block_size: usize, frames: usize, replacer: ReplacerKind) -> Rc<Self> {
+        let device = MemBlockDevice::new(block_size);
+        Rc::new(StorageCtx {
+            pool: BufferPool::new(Box::new(device), PoolConfig { frames, replacer }),
+            catalog: RefCell::new(Catalog::new()),
+        })
+    }
+
+    /// Context over an arbitrary pool (e.g. one backed by a real file).
+    pub fn from_pool(pool: BufferPool) -> Rc<Self> {
+        Rc::new(StorageCtx {
+            pool,
+            catalog: RefCell::new(Catalog::new()),
+        })
+    }
+
+    /// The underlying buffer pool.
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.pool.block_size()
+    }
+
+    /// `f64` elements per block.
+    pub fn elems_per_block(&self) -> usize {
+        riot_storage::elems_per_block(self.pool.block_size())
+    }
+
+    /// Allocate a new object of `blocks` blocks.
+    pub fn create_object(&self, blocks: u64, name: Option<&str>) -> Result<(ObjectId, Extent)> {
+        self.catalog.borrow_mut().create(&self.pool, blocks, name)
+    }
+
+    /// Drop an object, releasing its blocks.
+    pub fn drop_object(&self, id: ObjectId) -> Result<()> {
+        self.catalog.borrow_mut().drop_object(&self.pool, id)
+    }
+
+    /// Blocks held by live objects.
+    pub fn total_blocks(&self) -> u64 {
+        self.catalog.borrow().total_blocks()
+    }
+
+    /// Number of live objects.
+    pub fn live_objects(&self) -> usize {
+        self.catalog.borrow().len()
+    }
+
+    /// Shared I/O counters of the device.
+    pub fn io(&self) -> Rc<IoStats> {
+        self.pool.io_stats()
+    }
+
+    /// Convenience: current I/O snapshot.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.pool.io_stats().snapshot()
+    }
+
+    /// Flush and empty the cache (used between measured strategies).
+    pub fn clear_cache(&self) -> Result<()> {
+        self.pool.clear_cache()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_drop_objects() {
+        let ctx = StorageCtx::new_mem(64, 8);
+        let (id, ext) = ctx.create_object(3, Some("x")).unwrap();
+        assert_eq!(ext.blocks, 3);
+        assert_eq!(ctx.total_blocks(), 3);
+        assert_eq!(ctx.live_objects(), 1);
+        ctx.drop_object(id).unwrap();
+        assert_eq!(ctx.total_blocks(), 0);
+    }
+
+    #[test]
+    fn elems_per_block_tracks_block_size() {
+        let ctx = StorageCtx::new_mem(512, 4);
+        assert_eq!(ctx.elems_per_block(), 64);
+    }
+
+    #[test]
+    fn io_snapshot_starts_clean() {
+        let ctx = StorageCtx::new_mem(64, 8);
+        assert_eq!(ctx.io_snapshot().total_blocks(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! # riot-array
+//!
+//! Out-of-core dense vectors and matrices: the reproduction of the array
+//! storage layer RIOT's §5 designs after ASAP's ChunkyStore.
+//!
+//! Key properties the paper calls for:
+//!
+//! * **No explicit storage of array indices.** Elements are placed by
+//!   arithmetic on the array's shape; a stored vector costs exactly
+//!   `len · 8` bytes (contrast the strawman's relational `(I, V)` tables,
+//!   modelled here by a configurable slot width — see
+//!   [`DenseVector::create_wide`]).
+//! * **Flexible tiling.** A matrix is partitioned into rectangular tiles,
+//!   one tile per disk block; the aspect ratio is controllable.
+//!   [`MatrixLayout::RowMajor`] / [`MatrixLayout::ColMajor`] are the "long
+//!   and skinny" tilings R's built-in layouts correspond to, while
+//!   [`MatrixLayout::Square`] gives the √B × √B tiles the optimal
+//!   multiplication algorithm of Appendix A requires.
+//! * **Linearization options.** The order tiles are laid out on disk is
+//!   separately controllable ([`TileOrder`]), including the Z-order and
+//!   Hilbert space-filling curves the paper proposes for arrays whose
+//!   access patterns are not known in advance.
+//!
+//! All storage flows through a [`riot_storage::BufferPool`], so every array
+//! operation is automatically I/O-accounted.
+
+pub mod context;
+pub mod linear;
+pub mod matrix;
+pub mod vector;
+
+pub use context::StorageCtx;
+pub use linear::{Linearizer, TileOrder};
+pub use matrix::{DenseMatrix, MatrixLayout};
+pub use vector::{DenseVector, VectorWriter};
+
+/// Read an `f64` stored little-endian at byte offset `byte_off` of a page.
+#[inline]
+pub(crate) fn get_f64(page: &[u8], byte_off: usize) -> f64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&page[byte_off..byte_off + 8]);
+    f64::from_le_bytes(b)
+}
+
+/// Write an `f64` little-endian at byte offset `byte_off` of a page.
+#[inline]
+pub(crate) fn put_f64(page: &mut [u8], byte_off: usize, v: f64) {
+    page[byte_off..byte_off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip() {
+        let mut page = vec![0u8; 64];
+        for (i, v) in [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 1e300]
+            .iter()
+            .enumerate()
+        {
+            put_f64(&mut page, i * 8, *v);
+        }
+        assert_eq!(get_f64(&page, 0), 0.0);
+        assert_eq!(get_f64(&page, 8), -1.5);
+        assert_eq!(get_f64(&page, 16), f64::MAX);
+        assert_eq!(get_f64(&page, 24), f64::MIN_POSITIVE);
+        assert_eq!(get_f64(&page, 32), 1e300);
+    }
+
+    #[test]
+    fn nan_survives_codec() {
+        let mut page = vec![0u8; 8];
+        put_f64(&mut page, 0, f64::NAN);
+        assert!(get_f64(&page, 0).is_nan());
+    }
+}

@@ -1,0 +1,251 @@
+//! Tile linearization: the order in which a matrix's tiles are laid out on
+//! disk.
+//!
+//! The paper (§5, "Data Storage and Layout Options") notes that beyond
+//! tiling itself, RIOT controls *the order in which tiles are stored*,
+//! because sequential block I/O is far cheaper than random. Row- and
+//! column-major tile orders favour the corresponding scan direction;
+//! space-filling curves (Z-order, Hilbert) give good locality in *both*
+//! directions when the access pattern is unknown in advance.
+
+/// Available tile orderings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TileOrder {
+    /// Tile (i, j) stored at `i * tiles_per_row + j`.
+    RowMajor,
+    /// Tile (i, j) stored at `j * tiles_per_col + i`.
+    ColMajor,
+    /// Morton / Z-order curve (bit interleaving), rank-compacted to the
+    /// actual grid so no block is wasted on padding.
+    ZOrder,
+    /// Hilbert curve, rank-compacted likewise. Better worst-case locality
+    /// than Z-order (no long diagonal jumps).
+    Hilbert,
+}
+
+/// Interleave the low 32 bits of `x` and `y` (x in even positions).
+fn morton(x: u64, y: u64) -> u64 {
+    fn spread(mut v: u64) -> u64 {
+        v &= 0xFFFF_FFFF;
+        v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+        v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+        v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+        v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+        v
+    }
+    spread(x) | (spread(y) << 1)
+}
+
+/// Distance along a Hilbert curve of side `n` (power of two) at cell
+/// `(x, y)`, using the classic bit-twiddling transform.
+fn hilbert_d(n: u64, mut x: u64, mut y: u64) -> u64 {
+    let mut d = 0u64;
+    let mut s = n / 2;
+    while s > 0 {
+        let rx = u64::from((x & s) > 0);
+        let ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate/flip the quadrant (classic Wikipedia transform).
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Maps tile grid coordinates to dense storage positions `0 .. tr*tc`.
+///
+/// Row/column orders are pure arithmetic; curve orders precompute a
+/// rank-compaction table (curve keys of all grid cells, sorted) so that
+/// non-power-of-two grids remain dense on disk.
+#[derive(Debug, Clone)]
+pub struct Linearizer {
+    order: TileOrder,
+    tr: u64,
+    tc: u64,
+    /// `table[i * tc + j]` = storage position, for curve orders.
+    table: Option<Vec<u32>>,
+}
+
+impl Linearizer {
+    /// Build a linearizer for a `tr x tc` tile grid.
+    pub fn new(order: TileOrder, tr: u64, tc: u64) -> Self {
+        assert!(tr > 0 && tc > 0, "empty tile grid");
+        let table = match order {
+            TileOrder::RowMajor | TileOrder::ColMajor => None,
+            TileOrder::ZOrder | TileOrder::Hilbert => {
+                let n_cells = (tr * tc) as usize;
+                assert!(
+                    n_cells <= u32::MAX as usize,
+                    "tile grid too large for curve table"
+                );
+                let side = (tr.max(tc)).next_power_of_two();
+                let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(n_cells);
+                for i in 0..tr {
+                    for j in 0..tc {
+                        let key = match order {
+                            TileOrder::ZOrder => morton(j, i),
+                            TileOrder::Hilbert => hilbert_d(side, j, i),
+                            _ => unreachable!(),
+                        };
+                        keyed.push((key, (i * tc + j) as u32));
+                    }
+                }
+                keyed.sort_unstable();
+                let mut table = vec![0u32; n_cells];
+                for (pos, (_, cell)) in keyed.into_iter().enumerate() {
+                    table[cell as usize] = pos as u32;
+                }
+                Some(table)
+            }
+        };
+        Linearizer { order, tr, tc, table }
+    }
+
+    /// Which ordering this linearizer implements.
+    pub fn order(&self) -> TileOrder {
+        self.order
+    }
+
+    /// Grid dimensions `(tile_rows, tile_cols)`.
+    pub fn grid(&self) -> (u64, u64) {
+        (self.tr, self.tc)
+    }
+
+    /// Storage position of tile `(ti, tj)`, in `0 .. tr*tc`.
+    pub fn pos(&self, ti: u64, tj: u64) -> u64 {
+        debug_assert!(ti < self.tr && tj < self.tc, "tile out of grid");
+        match self.order {
+            TileOrder::RowMajor => ti * self.tc + tj,
+            TileOrder::ColMajor => tj * self.tr + ti,
+            TileOrder::ZOrder | TileOrder::Hilbert => {
+                u64::from(self.table.as_ref().unwrap()[(ti * self.tc + tj) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn morton_interleaves() {
+        assert_eq!(morton(0, 0), 0);
+        assert_eq!(morton(1, 0), 1);
+        assert_eq!(morton(0, 1), 2);
+        assert_eq!(morton(1, 1), 3);
+        assert_eq!(morton(2, 0), 4);
+        assert_eq!(morton(0b11, 0b11), 0b1111);
+    }
+
+    #[test]
+    fn hilbert_is_continuous() {
+        // Defining property of the Hilbert curve: consecutive distances
+        // land on grid cells exactly one Manhattan step apart.
+        for n in [2u64, 4, 8, 16] {
+            let mut by_d: Vec<(u64, u64)> = vec![(0, 0); (n * n) as usize];
+            for x in 0..n {
+                for y in 0..n {
+                    let d = hilbert_d(n, x, y);
+                    assert!(d < n * n, "d out of range");
+                    by_d[d as usize] = (x, y);
+                }
+            }
+            for w in by_d.windows(2) {
+                let (x0, y0) = w[0];
+                let (x1, y1) = w[1];
+                let dist = x0.abs_diff(x1) + y0.abs_diff(y1);
+                assert_eq!(dist, 1, "n={n}: jump from ({x0},{y0}) to ({x1},{y1})");
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_2x2_base_case() {
+        // At n=2 the curve is (0,0) -> (0,1) -> (1,1) -> (1,0).
+        assert_eq!(hilbert_d(2, 0, 0), 0);
+        assert_eq!(hilbert_d(2, 0, 1), 1);
+        assert_eq!(hilbert_d(2, 1, 1), 2);
+        assert_eq!(hilbert_d(2, 1, 0), 3);
+    }
+
+    #[test]
+    fn row_and_col_major_formulas() {
+        let lr = Linearizer::new(TileOrder::RowMajor, 3, 4);
+        assert_eq!(lr.pos(0, 0), 0);
+        assert_eq!(lr.pos(0, 3), 3);
+        assert_eq!(lr.pos(1, 0), 4);
+        assert_eq!(lr.pos(2, 3), 11);
+        let lc = Linearizer::new(TileOrder::ColMajor, 3, 4);
+        assert_eq!(lc.pos(0, 0), 0);
+        assert_eq!(lc.pos(2, 0), 2);
+        assert_eq!(lc.pos(0, 1), 3);
+        assert_eq!(lc.pos(2, 3), 11);
+    }
+
+    #[test]
+    fn all_orders_are_bijections_on_ragged_grids() {
+        for order in [
+            TileOrder::RowMajor,
+            TileOrder::ColMajor,
+            TileOrder::ZOrder,
+            TileOrder::Hilbert,
+        ] {
+            for (tr, tc) in [(1, 1), (1, 7), (5, 1), (3, 5), (8, 8), (6, 10)] {
+                let lin = Linearizer::new(order, tr, tc);
+                let mut seen = HashSet::new();
+                for i in 0..tr {
+                    for j in 0..tc {
+                        let p = lin.pos(i, j);
+                        assert!(p < tr * tc, "{order:?} {tr}x{tc} pos {p} out of range");
+                        assert!(seen.insert(p), "{order:?} {tr}x{tc} duplicate pos {p}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zorder_keeps_quadrants_together() {
+        // In an 8x8 grid, the 4x4 top-left quadrant occupies positions 0..16.
+        let lin = Linearizer::new(TileOrder::ZOrder, 8, 8);
+        let mut quad: Vec<u64> = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                quad.push(lin.pos(i, j));
+            }
+        }
+        quad.sort_unstable();
+        assert_eq!(quad, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hilbert_neighbors_are_close() {
+        // Average |pos delta| between horizontally adjacent tiles must be
+        // smaller for Hilbert than for column-major on a square grid.
+        let n = 16;
+        let avg_jump = |order: TileOrder| -> f64 {
+            let lin = Linearizer::new(order, n, n);
+            let mut total = 0i64;
+            let mut count = 0i64;
+            for i in 0..n {
+                for j in 0..n - 1 {
+                    let a = lin.pos(i, j) as i64;
+                    let b = lin.pos(i, j + 1) as i64;
+                    total += (a - b).abs();
+                    count += 1;
+                }
+            }
+            total as f64 / count as f64
+        };
+        assert!(avg_jump(TileOrder::Hilbert) < avg_jump(TileOrder::ColMajor));
+    }
+}

@@ -1,0 +1,508 @@
+//! Out-of-core dense matrices with controllable tiling and linearization.
+//!
+//! A matrix is partitioned into rectangular tiles of exactly one disk block
+//! each ([`MatrixLayout`] fixes the aspect ratio); tiles are placed on disk
+//! in the order chosen by a [`TileOrder`]. Elements inside a tile are
+//! row-major. Boundary tiles are padded to the full block, which keeps tile
+//! addressing purely arithmetic — the ChunkyStore property of not storing
+//! array indices.
+
+use std::rc::Rc;
+
+use riot_storage::{BlockId, ObjectId, Result};
+
+use crate::context::StorageCtx;
+use crate::linear::{Linearizer, TileOrder};
+use crate::{get_f64, put_f64};
+
+/// Tile aspect ratio for a matrix whose block holds `epb` elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatrixLayout {
+    /// 1 × epb tiles: each block holds a run of one row (R stores matrices
+    /// column-major; this is the transposed-favourable layout).
+    RowMajor,
+    /// epb × 1 tiles: each block holds a run of one column (R's default).
+    ColMajor,
+    /// √epb × √epb tiles: the square tiling of area B from Appendix A.
+    Square,
+}
+
+impl MatrixLayout {
+    /// Tile dimensions `(rows, cols)` in elements for `epb` elements/block.
+    pub fn tile_dims(self, epb: usize) -> (usize, usize) {
+        match self {
+            MatrixLayout::RowMajor => (1, epb),
+            MatrixLayout::ColMajor => (epb, 1),
+            MatrixLayout::Square => {
+                let s = (epb as f64).sqrt() as usize;
+                assert_eq!(s * s, epb, "block element count must be a perfect square");
+                (s, s)
+            }
+        }
+    }
+}
+
+/// A dense `rows x cols` matrix of `f64` stored as one tile per block.
+#[derive(Clone)]
+pub struct DenseMatrix {
+    ctx: Rc<StorageCtx>,
+    object: ObjectId,
+    start_block: u64,
+    rows: usize,
+    cols: usize,
+    tile_r: usize,
+    tile_c: usize,
+    layout: MatrixLayout,
+    lin: Rc<Linearizer>,
+}
+
+impl DenseMatrix {
+    /// Create a zeroed matrix with the given layout and tile order.
+    pub fn create(
+        ctx: &Rc<StorageCtx>,
+        rows: usize,
+        cols: usize,
+        layout: MatrixLayout,
+        order: TileOrder,
+        name: Option<&str>,
+    ) -> Result<Self> {
+        assert!(rows > 0 && cols > 0, "matrices must be non-empty");
+        let epb = ctx.elems_per_block();
+        let (tile_r, tile_c) = layout.tile_dims(epb);
+        let tr = rows.div_ceil(tile_r) as u64;
+        let tc = cols.div_ceil(tile_c) as u64;
+        let (object, extent) = ctx.create_object(tr * tc, name)?;
+        Ok(DenseMatrix {
+            ctx: Rc::clone(ctx),
+            object,
+            start_block: extent.start.0,
+            rows,
+            cols,
+            tile_r,
+            tile_c,
+            layout,
+            lin: Rc::new(Linearizer::new(order, tr, tc)),
+        })
+    }
+
+    /// Create and fill from a row-major slice of `rows * cols` values.
+    pub fn from_rows(
+        ctx: &Rc<StorageCtx>,
+        rows: usize,
+        cols: usize,
+        data: &[f64],
+        layout: MatrixLayout,
+        order: TileOrder,
+        name: Option<&str>,
+    ) -> Result<Self> {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        let m = Self::create(ctx, rows, cols, layout, order, name)?;
+        let mut tile = vec![0.0; m.tile_r * m.tile_c];
+        for ti in 0..m.tile_grid().0 {
+            for tj in 0..m.tile_grid().1 {
+                tile.fill(0.0);
+                let (r0, c0) = (ti as usize * m.tile_r, tj as usize * m.tile_c);
+                for r in 0..m.tile_r.min(rows - r0) {
+                    for c in 0..m.tile_c.min(cols - c0) {
+                        tile[r * m.tile_c + c] = data[(r0 + r) * cols + (c0 + c)];
+                    }
+                }
+                m.write_tile(ti, tj, &tile)?;
+            }
+        }
+        Ok(m)
+    }
+
+    /// Create filling each element from `f(row, col)` tile by tile.
+    pub fn from_fn(
+        ctx: &Rc<StorageCtx>,
+        rows: usize,
+        cols: usize,
+        layout: MatrixLayout,
+        order: TileOrder,
+        name: Option<&str>,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Result<Self> {
+        let m = Self::create(ctx, rows, cols, layout, order, name)?;
+        let mut tile = vec![0.0; m.tile_r * m.tile_c];
+        let (tg_r, tg_c) = m.tile_grid();
+        for ti in 0..tg_r {
+            for tj in 0..tg_c {
+                tile.fill(0.0);
+                let (r0, c0) = (ti as usize * m.tile_r, tj as usize * m.tile_c);
+                for r in 0..m.tile_r.min(rows - r0) {
+                    for c in 0..m.tile_c.min(cols - c0) {
+                        tile[r * m.tile_c + c] = f(r0 + r, c0 + c);
+                    }
+                }
+                m.write_tile(ti, tj, &tile)?;
+            }
+        }
+        Ok(m)
+    }
+
+    /// Matrix dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Tile dimensions `(tile_rows, tile_cols)` in elements.
+    pub fn tile_dims(&self) -> (usize, usize) {
+        (self.tile_r, self.tile_c)
+    }
+
+    /// Tile grid dimensions `(tiles_down, tiles_across)`.
+    pub fn tile_grid(&self) -> (u64, u64) {
+        self.lin.grid()
+    }
+
+    /// The layout this matrix was created with.
+    pub fn layout(&self) -> MatrixLayout {
+        self.layout
+    }
+
+    /// The tile ordering on disk.
+    pub fn order(&self) -> TileOrder {
+        self.lin.order()
+    }
+
+    /// Storage context.
+    pub fn ctx(&self) -> &Rc<StorageCtx> {
+        &self.ctx
+    }
+
+    /// Catalog object id.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// Total blocks occupied.
+    pub fn blocks(&self) -> u64 {
+        let (tr, tc) = self.lin.grid();
+        tr * tc
+    }
+
+    /// Device block holding tile `(ti, tj)`.
+    pub fn tile_block(&self, ti: u64, tj: u64) -> BlockId {
+        BlockId(self.start_block + self.lin.pos(ti, tj))
+    }
+
+    /// Read one element (random access).
+    pub fn get(&self, row: usize, col: usize) -> Result<f64> {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        let (ti, tj) = (row / self.tile_r, col / self.tile_c);
+        let off = (row % self.tile_r) * self.tile_c + (col % self.tile_c);
+        self.ctx
+            .pool()
+            .read(self.tile_block(ti as u64, tj as u64), |d| get_f64(d, off * 8))
+    }
+
+    /// Write one element.
+    pub fn set(&self, row: usize, col: usize, value: f64) -> Result<()> {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        let (ti, tj) = (row / self.tile_r, col / self.tile_c);
+        let off = (row % self.tile_r) * self.tile_c + (col % self.tile_c);
+        self.ctx
+            .pool()
+            .write(self.tile_block(ti as u64, tj as u64), |d| {
+                put_f64(d, off * 8, value)
+            })
+    }
+
+    /// Read tile `(ti, tj)` into `buf` (`tile_r * tile_c` elements,
+    /// row-major; boundary padding reads as 0).
+    pub fn read_tile(&self, ti: u64, tj: u64, buf: &mut [f64]) -> Result<()> {
+        assert_eq!(buf.len(), self.tile_r * self.tile_c, "tile buffer size");
+        self.ctx.pool().read(self.tile_block(ti, tj), |d| {
+            for (k, slot) in buf.iter_mut().enumerate() {
+                *slot = get_f64(d, k * 8);
+            }
+        })
+    }
+
+    /// Overwrite tile `(ti, tj)` from `buf` without reading it first.
+    pub fn write_tile(&self, ti: u64, tj: u64, buf: &[f64]) -> Result<()> {
+        assert_eq!(buf.len(), self.tile_r * self.tile_c, "tile buffer size");
+        self.ctx.pool().write_new(self.tile_block(ti, tj), |d| {
+            for (k, v) in buf.iter().enumerate() {
+                put_f64(d, k * 8, *v);
+            }
+        })
+    }
+
+    /// Read-modify-write a tile in place through a closure over the
+    /// row-major tile buffer.
+    pub fn update_tile(
+        &self,
+        ti: u64,
+        tj: u64,
+        f: impl FnOnce(&mut [f64]),
+    ) -> Result<()> {
+        let n = self.tile_r * self.tile_c;
+        self.ctx.pool().write(self.tile_block(ti, tj), |d| {
+            let mut buf = vec![0.0; n];
+            for (k, slot) in buf.iter_mut().enumerate() {
+                *slot = get_f64(d, k * 8);
+            }
+            f(&mut buf);
+            for (k, v) in buf.iter().enumerate() {
+                put_f64(d, k * 8, *v);
+            }
+        })
+    }
+
+    /// Materialize the matrix as a row-major `Vec` (tests / small results).
+    pub fn to_rows(&self) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.rows * self.cols];
+        let mut tile = vec![0.0; self.tile_r * self.tile_c];
+        let (tg_r, tg_c) = self.tile_grid();
+        for ti in 0..tg_r {
+            for tj in 0..tg_c {
+                self.read_tile(ti, tj, &mut tile)?;
+                let (r0, c0) = (ti as usize * self.tile_r, tj as usize * self.tile_c);
+                for r in 0..self.tile_r.min(self.rows - r0) {
+                    for c in 0..self.tile_c.min(self.cols - c0) {
+                        out[(r0 + r) * self.cols + (c0 + c)] = tile[r * self.tile_c + c];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Copy this matrix into a new one with a different layout/order:
+    /// the "dynamically changing data layout" operation of §5.
+    pub fn relayout(
+        &self,
+        layout: MatrixLayout,
+        order: TileOrder,
+        name: Option<&str>,
+    ) -> Result<DenseMatrix> {
+        let dst = DenseMatrix::create(&self.ctx, self.rows, self.cols, layout, order, name)?;
+        // Walk destination tiles; gather each from the source. Out-of-core
+        // safe: touches one destination tile plus the source tiles covering
+        // it at a time.
+        let mut buf = vec![0.0; dst.tile_r * dst.tile_c];
+        let (tg_r, tg_c) = dst.tile_grid();
+        for ti in 0..tg_r {
+            for tj in 0..tg_c {
+                buf.fill(0.0);
+                let (r0, c0) = (ti as usize * dst.tile_r, tj as usize * dst.tile_c);
+                for r in 0..dst.tile_r.min(self.rows - r0) {
+                    for c in 0..dst.tile_c.min(self.cols - c0) {
+                        buf[r * dst.tile_c + c] = self.get(r0 + r, c0 + c)?;
+                    }
+                }
+                dst.write_tile(ti, tj, &buf)?;
+            }
+        }
+        Ok(dst)
+    }
+
+    /// Out-of-core transpose into a new matrix with the given layout.
+    pub fn transpose(
+        &self,
+        layout: MatrixLayout,
+        order: TileOrder,
+        name: Option<&str>,
+    ) -> Result<DenseMatrix> {
+        let dst = DenseMatrix::create(&self.ctx, self.cols, self.rows, layout, order, name)?;
+        let mut buf = vec![0.0; dst.tile_r * dst.tile_c];
+        let (tg_r, tg_c) = dst.tile_grid();
+        for ti in 0..tg_r {
+            for tj in 0..tg_c {
+                buf.fill(0.0);
+                let (r0, c0) = (ti as usize * dst.tile_r, tj as usize * dst.tile_c);
+                for r in 0..dst.tile_r.min(dst.rows - r0) {
+                    for c in 0..dst.tile_c.min(dst.cols - c0) {
+                        buf[r * dst.tile_c + c] = self.get(c0 + c, r0 + r)?;
+                    }
+                }
+                dst.write_tile(ti, tj, &buf)?;
+            }
+        }
+        Ok(dst)
+    }
+
+    /// Release the matrix's storage. The handle must not be used again.
+    pub fn free(self) -> Result<()> {
+        self.ctx.drop_object(self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 512-byte blocks = 64 elements = 8x8 square tiles.
+    fn ctx(frames: usize) -> Rc<StorageCtx> {
+        StorageCtx::new_mem(512, frames)
+    }
+
+    fn fill_seq(rows: usize, cols: usize) -> Vec<f64> {
+        (0..rows * cols).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn layout_tile_dims() {
+        assert_eq!(MatrixLayout::RowMajor.tile_dims(64), (1, 64));
+        assert_eq!(MatrixLayout::ColMajor.tile_dims(64), (64, 1));
+        assert_eq!(MatrixLayout::Square.tile_dims(64), (8, 8));
+    }
+
+    #[test]
+    fn round_trip_all_layouts_and_orders() {
+        let c = ctx(64);
+        let data = fill_seq(20, 13); // ragged vs 8x8 tiles
+        for layout in [
+            MatrixLayout::RowMajor,
+            MatrixLayout::ColMajor,
+            MatrixLayout::Square,
+        ] {
+            for order in [
+                TileOrder::RowMajor,
+                TileOrder::ColMajor,
+                TileOrder::ZOrder,
+                TileOrder::Hilbert,
+            ] {
+                let m =
+                    DenseMatrix::from_rows(&c, 20, 13, &data, layout, order, None).unwrap();
+                assert_eq!(m.to_rows().unwrap(), data, "{layout:?}/{order:?}");
+                m.free().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn element_access() {
+        let c = ctx(16);
+        let m = DenseMatrix::create(&c, 10, 10, MatrixLayout::Square, TileOrder::RowMajor, None)
+            .unwrap();
+        m.set(9, 9, 3.25).unwrap();
+        m.set(0, 9, -1.0).unwrap();
+        assert_eq!(m.get(9, 9).unwrap(), 3.25);
+        assert_eq!(m.get(0, 9).unwrap(), -1.0);
+        assert_eq!(m.get(5, 5).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn block_count_matches_tiling() {
+        let c = ctx(16);
+        // 20x13 with 8x8 tiles: 3x2 grid = 6 blocks.
+        let m = DenseMatrix::create(&c, 20, 13, MatrixLayout::Square, TileOrder::RowMajor, None)
+            .unwrap();
+        assert_eq!(m.blocks(), 6);
+        // Column layout: 64x1 tiles -> 1x13 grid = 13 blocks.
+        let m2 =
+            DenseMatrix::create(&c, 20, 13, MatrixLayout::ColMajor, TileOrder::ColMajor, None)
+                .unwrap();
+        assert_eq!(m2.blocks(), 13);
+    }
+
+    #[test]
+    fn from_fn_matches_from_rows() {
+        let c = ctx(32);
+        let data = fill_seq(9, 17);
+        let a = DenseMatrix::from_rows(
+            &c, 9, 17, &data, MatrixLayout::Square, TileOrder::ZOrder, None,
+        )
+        .unwrap();
+        let b = DenseMatrix::from_fn(
+            &c, 9, 17, MatrixLayout::Square, TileOrder::ZOrder, None,
+            |r, cidx| (r * 17 + cidx) as f64,
+        )
+        .unwrap();
+        assert_eq!(a.to_rows().unwrap(), b.to_rows().unwrap());
+    }
+
+    #[test]
+    fn update_tile_accumulates() {
+        let c = ctx(16);
+        let m = DenseMatrix::create(&c, 8, 8, MatrixLayout::Square, TileOrder::RowMajor, None)
+            .unwrap();
+        m.update_tile(0, 0, |t| t.iter_mut().for_each(|x| *x += 1.0))
+            .unwrap();
+        m.update_tile(0, 0, |t| t.iter_mut().for_each(|x| *x += 2.0))
+            .unwrap();
+        assert_eq!(m.get(3, 3).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let c = ctx(64);
+        let data = fill_seq(11, 7);
+        let m = DenseMatrix::from_rows(
+            &c, 11, 7, &data, MatrixLayout::Square, TileOrder::RowMajor, None,
+        )
+        .unwrap();
+        let t = m
+            .transpose(MatrixLayout::Square, TileOrder::RowMajor, None)
+            .unwrap();
+        assert_eq!(t.shape(), (7, 11));
+        assert_eq!(t.get(3, 10).unwrap(), m.get(10, 3).unwrap());
+        let tt = t
+            .transpose(MatrixLayout::Square, TileOrder::RowMajor, None)
+            .unwrap();
+        assert_eq!(tt.to_rows().unwrap(), data);
+    }
+
+    #[test]
+    fn relayout_preserves_contents() {
+        let c = ctx(64);
+        let data = fill_seq(10, 10);
+        let m = DenseMatrix::from_rows(
+            &c, 10, 10, &data, MatrixLayout::ColMajor, TileOrder::ColMajor, None,
+        )
+        .unwrap();
+        let m2 = m
+            .relayout(MatrixLayout::Square, TileOrder::Hilbert, None)
+            .unwrap();
+        assert_eq!(m2.to_rows().unwrap(), data);
+    }
+
+    #[test]
+    fn row_scan_in_row_layout_is_sequential() {
+        // Row-major tiles + row-major order: scanning rows touches blocks
+        // in strictly increasing order.
+        let c = ctx(2);
+        let rows = 16;
+        let cols = 128; // 2 tiles per row at 64 elems/tile
+        let m = DenseMatrix::from_fn(
+            &c, rows, cols, MatrixLayout::RowMajor, TileOrder::RowMajor, None,
+            |r, cidx| (r + cidx) as f64,
+        )
+        .unwrap();
+        c.pool().flush_all().unwrap();
+        c.clear_cache().unwrap();
+        let before = c.io_snapshot();
+        let mut tile = vec![0.0; 64];
+        let (tg_r, tg_c) = m.tile_grid();
+        for ti in 0..tg_r {
+            for tj in 0..tg_c {
+                m.read_tile(ti, tj, &mut tile).unwrap();
+            }
+        }
+        let delta = c.io_snapshot() - before;
+        assert_eq!(delta.reads, m.blocks());
+        assert!(delta.seq_reads >= delta.reads - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let c = ctx(8);
+        let m = DenseMatrix::create(&c, 4, 4, MatrixLayout::Square, TileOrder::RowMajor, None)
+            .unwrap();
+        let _ = m.get(4, 0);
+    }
+}

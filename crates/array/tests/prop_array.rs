@@ -1,0 +1,130 @@
+//! Property tests for the array storage engine: every (layout, order)
+//! combination must store and retrieve arbitrary matrices faithfully, and
+//! vectors must behave like `Vec<f64>` under random access patterns.
+
+use proptest::prelude::*;
+use riot_array::{DenseMatrix, DenseVector, MatrixLayout, StorageCtx, TileOrder};
+
+fn layouts() -> impl Strategy<Value = MatrixLayout> {
+    prop_oneof![
+        Just(MatrixLayout::RowMajor),
+        Just(MatrixLayout::ColMajor),
+        Just(MatrixLayout::Square),
+    ]
+}
+
+fn orders() -> impl Strategy<Value = TileOrder> {
+    prop_oneof![
+        Just(TileOrder::RowMajor),
+        Just(TileOrder::ColMajor),
+        Just(TileOrder::ZOrder),
+        Just(TileOrder::Hilbert),
+    ]
+}
+
+proptest! {
+    /// Matrix round trip through any layout/order at any shape.
+    #[test]
+    fn matrix_round_trip(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        layout in layouts(),
+        order in orders(),
+        seed in any::<u64>(),
+    ) {
+        // 512-byte blocks: 64 elems, 8x8 square tiles.
+        let ctx = StorageCtx::new_mem(512, 8);
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+        let m = DenseMatrix::from_rows(&ctx, rows, cols, &data, layout, order, None).unwrap();
+        prop_assert_eq!(m.to_rows().unwrap(), data);
+    }
+
+    /// Random single-element writes against a model.
+    #[test]
+    fn matrix_random_writes(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        layout in layouts(),
+        writes in prop::collection::vec((any::<u16>(), any::<u16>(), -1e9f64..1e9), 0..60),
+    ) {
+        let ctx = StorageCtx::new_mem(512, 4);
+        let m = DenseMatrix::create(&ctx, rows, cols, layout, TileOrder::Hilbert, None).unwrap();
+        let mut model = vec![0.0; rows * cols];
+        for (r, c, v) in writes {
+            let (r, c) = (r as usize % rows, c as usize % cols);
+            m.set(r, c, v).unwrap();
+            model[r * cols + c] = v;
+        }
+        prop_assert_eq!(m.to_rows().unwrap(), model);
+    }
+
+    /// Transpose is an involution for every layout.
+    #[test]
+    fn transpose_involution(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        layout in layouts(),
+    ) {
+        let ctx = StorageCtx::new_mem(512, 16);
+        let data: Vec<f64> = (0..rows * cols).map(|i| i as f64).collect();
+        let m = DenseMatrix::from_rows(&ctx, rows, cols, &data, layout, TileOrder::RowMajor, None).unwrap();
+        let t = m.transpose(layout, TileOrder::RowMajor, None).unwrap();
+        let tt = t.transpose(layout, TileOrder::RowMajor, None).unwrap();
+        prop_assert_eq!(tt.to_rows().unwrap(), data);
+    }
+
+    /// Vectors under interleaved ranged reads/writes match a Vec model,
+    /// with both packed and wide (strawman) slots.
+    #[test]
+    fn vector_ranged_ops(
+        len in 1usize..300,
+        wide in any::<bool>(),
+        ops in prop::collection::vec(
+            (any::<bool>(), any::<u16>(), prop::collection::vec(-1e6f64..1e6, 1..40)),
+            0..30
+        ),
+    ) {
+        let ctx = StorageCtx::new_mem(64, 3);
+        let v = if wide {
+            DenseVector::create_wide(&ctx, len, None).unwrap()
+        } else {
+            DenseVector::create(&ctx, len, None).unwrap()
+        };
+        let mut model = vec![0.0; len];
+        for (is_write, start, data) in ops {
+            let start = start as usize % len;
+            let n = data.len().min(len - start);
+            if is_write {
+                v.write_range(start, &data[..n]).unwrap();
+                model[start..start + n].copy_from_slice(&data[..n]);
+            } else {
+                let mut out = vec![0.0; n];
+                v.read_range(start, &mut out).unwrap();
+                prop_assert_eq!(&out[..], &model[start..start + n]);
+            }
+        }
+        prop_assert_eq!(v.to_vec().unwrap(), model);
+    }
+
+    /// Relayout between arbitrary (layout, order) pairs preserves contents.
+    #[test]
+    fn relayout_preserves(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        l1 in layouts(),
+        l2 in layouts(),
+        o1 in orders(),
+        o2 in orders(),
+    ) {
+        let ctx = StorageCtx::new_mem(512, 8);
+        let data: Vec<f64> = (0..rows * cols).map(|i| (i as f64).sin()).collect();
+        let m = DenseMatrix::from_rows(&ctx, rows, cols, &data, l1, o1, None).unwrap();
+        let m2 = m.relayout(l2, o2, None).unwrap();
+        prop_assert_eq!(m2.to_rows().unwrap(), data);
+    }
+}

@@ -1,0 +1,123 @@
+//! Tile-linearization ablation (DESIGN.md §5): how the on-disk order of
+//! tiles affects row-direction and column-direction scans.
+//!
+//! Row-major order is perfect for row scans and pessimal for column
+//! scans; the space-filling curves trade a little on each axis for
+//! robustness when the access direction is unknown in advance — exactly
+//! the §5 motivation for supporting them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riot_array::{DenseMatrix, MatrixLayout, StorageCtx, TileOrder};
+
+const N: usize = 256; // 8x8 grid of 32x32 tiles at 8 KiB blocks
+
+fn build(order: TileOrder) -> DenseMatrix {
+    let ctx = StorageCtx::new_mem(8192, 16); // small pool: order matters
+    DenseMatrix::from_fn(&ctx, N, N, MatrixLayout::Square, order, None, |i, j| {
+        (i * N + j) as f64
+    })
+    .unwrap()
+}
+
+fn orders() -> [TileOrder; 4] {
+    [
+        TileOrder::RowMajor,
+        TileOrder::ColMajor,
+        TileOrder::ZOrder,
+        TileOrder::Hilbert,
+    ]
+}
+
+fn bench_row_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linearization/row_scan");
+    for order in orders() {
+        let m = build(order);
+        let (tg_r, tg_c) = m.tile_grid();
+        let mut tile = vec![0.0; 1024];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{order:?}")),
+            &order,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut acc = 0.0;
+                    for ti in 0..tg_r {
+                        for tj in 0..tg_c {
+                            m.read_tile(ti, tj, &mut tile).unwrap();
+                            acc += tile[0];
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_col_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linearization/col_scan");
+    for order in orders() {
+        let m = build(order);
+        let (tg_r, tg_c) = m.tile_grid();
+        let mut tile = vec![0.0; 1024];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{order:?}")),
+            &order,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut acc = 0.0;
+                    for tj in 0..tg_c {
+                        for ti in 0..tg_r {
+                            m.read_tile(ti, tj, &mut tile).unwrap();
+                            acc += tile[0];
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Sequential-I/O fractions, printed once for EXPERIMENTS.md: curves give
+/// balanced locality in both directions.
+fn report_seq_fractions(_c: &mut Criterion) {
+    println!("\nlinearization sequential-read share (row scan / col scan):");
+    for order in orders() {
+        let mut row_share = 0.0;
+        let mut col_share = 0.0;
+        for (dir, share) in [(0, &mut row_share), (1, &mut col_share)] {
+            let m = build(order);
+            let ctx = m.ctx().clone();
+            ctx.pool().flush_all().unwrap();
+            ctx.clear_cache().unwrap();
+            let before = ctx.io_snapshot();
+            let (tg_r, tg_c) = m.tile_grid();
+            let mut tile = vec![0.0; 1024];
+            if dir == 0 {
+                for ti in 0..tg_r {
+                    for tj in 0..tg_c {
+                        m.read_tile(ti, tj, &mut tile).unwrap();
+                    }
+                }
+            } else {
+                for tj in 0..tg_c {
+                    for ti in 0..tg_r {
+                        m.read_tile(ti, tj, &mut tile).unwrap();
+                    }
+                }
+            }
+            let delta = ctx.io_snapshot() - before;
+            *share = delta.seq_reads as f64 / delta.reads.max(1) as f64;
+        }
+        println!("  {order:?}: row {row_share:.2}, col {col_share:.2}");
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_row_scans, bench_col_scans, report_seq_fractions
+);
+criterion_main!(benches);

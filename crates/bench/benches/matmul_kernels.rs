@@ -1,0 +1,73 @@
+//! The three out-of-core multiplication kernels, wall-clock and I/O.
+//!
+//! Wall time here reflects CPU-side work plus simulated-pool overhead;
+//! the figure that matters for the paper is the *I/O count* printed at
+//! the end, which should rank naive >> BNLJ > square-tiled (Figure 3's
+//! measured counterpart at laptop scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riot_core::exec::{multiply, MatMulKernel};
+use riot_array::{DenseMatrix, MatrixLayout, StorageCtx, TileOrder};
+
+const N: usize = 64;
+const MEM_ELEMS: usize = 3 * 1024; // p = 32 with 8 KiB blocks
+
+fn operands(kernel: MatMulKernel) -> (DenseMatrix, DenseMatrix) {
+    // Each kernel gets its favourable layout, as in the paper's setups.
+    let ctx = StorageCtx::new_mem(8192, 8);
+    let (la, lb) = match kernel {
+        MatMulKernel::Naive => (MatrixLayout::ColMajor, MatrixLayout::ColMajor),
+        MatMulKernel::Bnlj => (MatrixLayout::RowMajor, MatrixLayout::ColMajor),
+        MatMulKernel::SquareTiled => (MatrixLayout::Square, MatrixLayout::Square),
+    };
+    let order = |l: MatrixLayout| match l {
+        MatrixLayout::RowMajor => TileOrder::RowMajor,
+        MatrixLayout::ColMajor => TileOrder::ColMajor,
+        MatrixLayout::Square => TileOrder::RowMajor,
+    };
+    let a = DenseMatrix::from_fn(&ctx, N, N, la, order(la), None, |i, j| (i + j) as f64).unwrap();
+    let b = DenseMatrix::from_fn(&ctx, N, N, lb, order(lb), None, |i, j| (i * j % 7) as f64)
+        .unwrap();
+    (a, b)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul/64x64");
+    for kernel in [MatMulKernel::Naive, MatMulKernel::Bnlj, MatMulKernel::SquareTiled] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kernel:?}")),
+            &kernel,
+            |bench, &kernel| {
+                let (a, b) = operands(kernel);
+                bench.iter(|| {
+                    let (t, flops) = multiply(kernel, &a, &b, MEM_ELEMS, None).unwrap();
+                    t.free().unwrap();
+                    flops
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // One-shot I/O comparison for EXPERIMENTS.md.
+    println!("\nmatmul 64x64 measured I/O (blocks, cold cache):");
+    for kernel in [MatMulKernel::Naive, MatMulKernel::Bnlj, MatMulKernel::SquareTiled] {
+        let (a, b) = operands(kernel);
+        let ctx = a.ctx().clone();
+        ctx.pool().flush_all().unwrap();
+        ctx.clear_cache().unwrap();
+        let before = ctx.io_snapshot();
+        let (t, _) = multiply(kernel, &a, &b, MEM_ELEMS, None).unwrap();
+        ctx.pool().flush_all().unwrap();
+        let delta = ctx.io_snapshot() - before;
+        t.free().unwrap();
+        println!("  {kernel:?}: {} blocks", delta.total_blocks());
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+);
+criterion_main!(benches);

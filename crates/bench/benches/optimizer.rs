@@ -1,0 +1,86 @@
+//! Optimizer benchmarks and the rule ablation (DESIGN.md §5):
+//!
+//! * chain-order DP vs exhaustive enumeration (why DP is the right tool);
+//! * rewrite throughput on the Figure 2 DAG;
+//! * end-to-end effect of pushdown on/off, measured in blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riot_core::opt::{all_orders, optimal_order};
+use riot_core::{
+    optimize, BinOp, EngineConfig, EngineKind, ExprGraph, OptConfig, Session, SourceRef,
+};
+
+fn bench_chain_dp(c: &mut Criterion) {
+    let dims: Vec<usize> = vec![64, 8, 128, 4, 256, 16, 512, 2, 64];
+    let mut group = c.benchmark_group("optimizer/chain_order");
+    for k in [4usize, 6, 8] {
+        let d = &dims[..=k];
+        group.bench_with_input(BenchmarkId::new("dp", k), &d, |bench, d| {
+            bench.iter(|| optimal_order(d).flops)
+        });
+        group.bench_with_input(BenchmarkId::new("brute_force", k), &d, |bench, d| {
+            bench.iter(|| {
+                all_orders(d.len() - 1)
+                    .into_iter()
+                    .map(|t| t.flops(d))
+                    .fold(f64::INFINITY, f64::min)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn figure2_graph(n: usize) -> (ExprGraph, riot_core::NodeId) {
+    let mut g = ExprGraph::new();
+    let a = g.vec_source(SourceRef(0), n);
+    let two = g.scalar(2.0);
+    let b = g.zip(BinOp::Pow, a, two).unwrap();
+    let hundred = g.scalar(100.0);
+    let mask = g.zip(BinOp::Gt, b, hundred).unwrap();
+    let b2 = g.mask_assign(b, mask, hundred).unwrap();
+    let idx = g.range(1, 10);
+    let root = g.gather(b2, idx).unwrap();
+    (g, root)
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    c.bench_function("optimizer/figure2_rewrite", |bench| {
+        bench.iter_with_setup(
+            || figure2_graph(1 << 20),
+            |(mut g, root)| optimize(&mut g, root, &OptConfig::default()),
+        )
+    });
+}
+
+fn bench_pushdown_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer/pushdown_effect");
+    for pushdown in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if pushdown { "on" } else { "off" }),
+            &pushdown,
+            |bench, &pushdown| {
+                bench.iter(|| {
+                    let mut cfg = EngineConfig::new(EngineKind::Riot);
+                    cfg.mem_blocks = 32;
+                    cfg.opt.pushdown = pushdown;
+                    let s = Session::new(cfg);
+                    let n = 1 << 14;
+                    let a = s.vector_from_fn(n, |i| i as f64).unwrap();
+                    let b = a.square();
+                    let mask = b.gt(100.0);
+                    let b = b.mask_assign(&mask, 100.0);
+                    let idx = s.range(1, 10).unwrap();
+                    b.index(&idx).collect().unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_chain_dp, bench_rewrite, bench_pushdown_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Chunk-size ablation for the Volcano pipeline (DESIGN.md §5): too-small
+//! chunks pay per-chunk overhead, too-large chunks stop fitting in cache.
+//! Also measures pipeline throughput vs a hand-written loop (the cost of
+//! the operator abstraction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use riot_core::{EngineConfig, EngineKind, Session};
+
+const N: usize = 1 << 16;
+
+fn example1_once(chunk: usize) -> f64 {
+    let mut cfg = EngineConfig::new(EngineKind::Riot);
+    cfg.mem_blocks = 64;
+    cfg.chunk_elems = chunk;
+    let s = Session::new(cfg);
+    let x = s.vector_from_fn(N, |i| i as f64).unwrap();
+    let y = s.vector_from_fn(N, |i| (N - i) as f64).unwrap();
+    let d = ((&x - 1.0).square() + (&y - 2.0).square()).sqrt()
+        + ((&x - 3.0).square() + (&y - 4.0).square()).sqrt();
+    d.sum().unwrap()
+}
+
+fn bench_chunk_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/chunk_size");
+    group.throughput(Throughput::Elements(N as u64));
+    for chunk in [64usize, 256, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |bench, &ch| {
+            bench.iter(|| example1_once(ch))
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_handwritten(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/abstraction_cost");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("pipeline", |bench| bench.iter(|| example1_once(1024)));
+    group.bench_function("handwritten", |bench| {
+        let x: Vec<f64> = (0..N).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..N).map(|i| (N - i) as f64).collect();
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..N {
+                let d = ((x[i] - 1.0).powi(2) + (y[i] - 2.0).powi(2)).sqrt()
+                    + ((x[i] - 3.0).powi(2) + (y[i] - 4.0).powi(2)).sqrt();
+                acc += d;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_chunk_sizes, bench_vs_handwritten
+);
+criterion_main!(benches);

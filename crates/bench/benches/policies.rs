@@ -1,0 +1,41 @@
+//! Figure 1 as a criterion benchmark: Example 1 end-to-end under each
+//! strategy at reduced scale (the full-scale sweep is the `fig1` binary).
+//! Wall time here is simulator CPU; the printed I/O table is the paper's
+//! metric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riot_bench::run_example1;
+use riot_core::EngineKind;
+
+const N: usize = 1 << 16;
+const MEM_BLOCKS: usize = 32;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("example1/engines");
+    for kind in EngineKind::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |bench, &kind| bench.iter(|| run_example1(kind, N, MEM_BLOCKS)),
+        );
+    }
+    group.finish();
+
+    println!("\nexample1 I/O at n = 2^16, cap = 32 blocks:");
+    for kind in EngineKind::all() {
+        let r = run_example1(kind, N, MEM_BLOCKS);
+        println!(
+            "  {:<18} {:>8} blocks ({:.2} MB)",
+            kind.label(),
+            r.io.total_blocks(),
+            r.io.mb()
+        );
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies
+);
+criterion_main!(benches);

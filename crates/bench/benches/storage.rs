@@ -1,0 +1,74 @@
+//! Buffer-pool micro-benchmarks and the replacement-policy ablation
+//! (DESIGN.md §5): LRU vs Clock vs MRU under a cyclic scan that exceeds
+//! the pool — the access pattern where LRU is pessimal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riot_storage::{BufferPool, MemBlockDevice, PoolConfig, ReplacerKind};
+
+fn pool(frames: usize, kind: ReplacerKind) -> BufferPool {
+    BufferPool::new(
+        Box::new(MemBlockDevice::new(8192)),
+        PoolConfig {
+            frames,
+            replacer: kind,
+        },
+    )
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    let p = pool(16, ReplacerKind::Lru);
+    let b = p.allocate_blocks(1).unwrap();
+    p.write_new(b, |d| d[0] = 1).unwrap();
+    c.bench_function("pool/pin_hit", |bench| {
+        bench.iter(|| p.read(b, |d| d[0]).unwrap())
+    });
+}
+
+fn bench_miss_path(c: &mut Criterion) {
+    let p = pool(8, ReplacerKind::Lru);
+    let b = p.allocate_blocks(64).unwrap();
+    for i in 0..64 {
+        p.write_new(b.offset(i), |_| ()).unwrap();
+    }
+    p.flush_all().unwrap();
+    let mut i = 0u64;
+    c.bench_function("pool/pin_miss_evict", |bench| {
+        bench.iter(|| {
+            i = (i + 1) % 64;
+            p.read(b.offset(i), |d| d[0]).unwrap()
+        })
+    });
+}
+
+fn bench_replacer_cyclic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replacer/cyclic_scan_40_over_32");
+    for kind in [ReplacerKind::Lru, ReplacerKind::Clock, ReplacerKind::Mru] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &kind,
+            |bench, &kind| {
+                let p = pool(32, kind);
+                let b = p.allocate_blocks(40).unwrap();
+                for i in 0..40 {
+                    p.write_new(b.offset(i), |_| ()).unwrap();
+                }
+                p.flush_all().unwrap();
+                bench.iter(|| {
+                    let mut acc = 0u8;
+                    for i in 0..40 {
+                        acc ^= p.read(b.offset(i), |d| d[0]).unwrap();
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hit_path, bench_miss_path, bench_replacer_cyclic
+);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Regenerates **Figure 1** of the paper: Example 1 measured under the
+//! four strategies.
+//!
+//! Setup mirrors §4.2: vectors of n = 2^21, 2^22, 2^23 elements, physical
+//! memory capped at "just enough to hold the runtime plus two vectors with
+//! 2^22 elements each" (here: 2 x 4096 blocks + 256 blocks of slack), and
+//! two metrics per run — (a) disk I/O in MB, (b) execution time. Time is
+//! reported two ways: the [`riot_storage::DiskModel`]-modeled seconds on
+//! 2008-era disk constants (what the counted I/O would have cost the
+//! paper's hardware, separating sequential from random I/O exactly as the
+//! paper's discussion does) and the in-simulator wall clock.
+//!
+//! Run with: `cargo run --release -p riot-bench --bin fig1`
+
+use riot_bench::run_example1;
+use riot_core::EngineKind;
+use riot_storage::DiskModel;
+
+fn main() {
+    let sizes = [1usize << 21, 1 << 22, 1 << 23];
+    // Cap: two 2^22-element vectors (4096 blocks each) + runtime slack.
+    let mem_blocks = 2 * 4096 + 256;
+    let model = DiskModel::default();
+
+    println!("Figure 1 — Example 1 under the four strategies");
+    println!(
+        "memory cap = {:.0} MB, block = 8 KiB, k = 100 samples\n",
+        mem_blocks as f64 * 8192.0 / 1048576.0
+    );
+
+    let mut results = Vec::new();
+    for &n in &sizes {
+        for kind in EngineKind::all() {
+            let r = run_example1(kind, n, mem_blocks);
+            results.push(r);
+        }
+    }
+
+    println!("(a) Disk I/O (MB)");
+    print!("{:<20}", "");
+    for &n in &sizes {
+        print!("{:>14}", format!("n=2^{}", n.trailing_zeros()));
+    }
+    println!();
+    for kind in EngineKind::all() {
+        print!("{:<20}", kind.label());
+        for &n in &sizes {
+            let r = results
+                .iter()
+                .find(|r| r.kind == kind && r.n == n)
+                .expect("run present");
+            print!("{:>14.1}", r.io.mb());
+        }
+        println!();
+    }
+
+    println!("\n(b) Modeled execution time (seconds, 2008 disk: 0.08 ms/seq, 8 ms/random block)");
+    print!("{:<20}", "");
+    for &n in &sizes {
+        print!("{:>14}", format!("n=2^{}", n.trailing_zeros()));
+    }
+    println!();
+    for kind in EngineKind::all() {
+        print!("{:<20}", kind.label());
+        for &n in &sizes {
+            let r = results
+                .iter()
+                .find(|r| r.kind == kind && r.n == n)
+                .expect("run present");
+            print!("{:>14.1}", model.modeled_seconds(&r.io, r.cpu_ops));
+        }
+        println!();
+    }
+
+    println!("\n(b') In-simulator wall clock (seconds; CPU cost only, I/O is simulated)");
+    print!("{:<20}", "");
+    for &n in &sizes {
+        print!("{:>14}", format!("n=2^{}", n.trailing_zeros()));
+    }
+    println!();
+    for kind in EngineKind::all() {
+        print!("{:<20}", kind.label());
+        for &n in &sizes {
+            let r = results
+                .iter()
+                .find(|r| r.kind == kind && r.n == n)
+                .expect("run present");
+            print!("{:>14.2}", r.wall);
+        }
+        println!();
+    }
+
+    println!("\nDetail (blocks, sequential share):");
+    for r in &results {
+        println!(
+            "  {:<18} n=2^{:<3} {:>9} reads ({:>5.1}% seq) {:>9} writes ({:>5.1}% seq) {:>12} cpu ops",
+            r.kind.label(),
+            r.n.trailing_zeros(),
+            r.io.reads,
+            100.0 * r.io.seq_reads as f64 / r.io.reads.max(1) as f64,
+            r.io.writes,
+            100.0 * r.io.seq_writes as f64 / r.io.writes.max(1) as f64,
+            r.cpu_ops
+        );
+    }
+}

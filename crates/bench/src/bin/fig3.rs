@@ -1,0 +1,97 @@
+//! Regenerates **Figure 3** of the paper: calculated I/O costs of a chain
+//! of three matrix multiplications `A %*% B %*% C` under four strategies.
+//!
+//! Exactly as in §5: A is n x n/s, B is n/s x n, C is n x n; block size
+//! B = 1024 numbers; skewness s makes Square/Opt-Order choose A(BC).
+//! Panel (a): n in {100000, 120000} at M in {2 GB, 4 GB}, s = 2.
+//! Panel (b): s in {2, 4, 6, 8} at n = 100000, M = 2 GB (RIOT-DB omitted,
+//! as in the paper, because it is off the chart).
+//!
+//! Run with: `cargo run --release -p riot-bench --bin fig3`
+
+use riot_core::cost::{ChainTree, CostParams, MatMulStrategy};
+use riot_core::opt::optimal_order;
+
+struct Strategy {
+    label: &'static str,
+    cost: MatMulStrategy,
+    optimal_order: bool,
+}
+
+const STRATEGIES: [Strategy; 4] = [
+    Strategy { label: "RIOT-DB", cost: MatMulStrategy::RiotDb, optimal_order: false },
+    Strategy { label: "BNLJ-Inspired", cost: MatMulStrategy::BnljInspired, optimal_order: false },
+    Strategy { label: "Square/In-Order", cost: MatMulStrategy::SquareTiled, optimal_order: false },
+    Strategy { label: "Square/Opt-Order", cost: MatMulStrategy::SquareTiled, optimal_order: true },
+];
+
+fn chain_io(n: usize, s: usize, mem_gb: f64, strat: &Strategy) -> f64 {
+    let dims = [n, n / s, n, n];
+    let p = CostParams::with_mem_gb(mem_gb);
+    let tree = if strat.optimal_order {
+        optimal_order(&dims).tree
+    } else {
+        ChainTree::in_order(3)
+    };
+    tree.io(&dims, strat.cost, p)
+}
+
+fn main() {
+    println!("Figure 3 — calculated I/O costs (blocks) of A %*% B %*% C");
+    println!("B = 1024 numbers/block\n");
+
+    // Panel (a): n x {2GB, 4GB}, s = 2.
+    println!("(a) s = 2");
+    print!("{:<20}", "");
+    for n in [100_000, 120_000] {
+        for mem in [2.0, 4.0] {
+            print!("{:>16}", format!("n={}k M={}GB", n / 1000, mem));
+        }
+    }
+    println!();
+    for strat in &STRATEGIES {
+        print!("{:<20}", strat.label);
+        for n in [100_000usize, 120_000] {
+            for mem in [2.0, 4.0] {
+                print!("{:>16.3e}", chain_io(n, 2, mem, strat));
+            }
+        }
+        println!();
+    }
+
+    // Panel (b): skew sweep at n = 100000, M = 2 GB.
+    println!("\n(b) n = 100000, M = 2 GB (RIOT-DB omitted as in the paper)");
+    print!("{:<20}", "");
+    for s in [2, 4, 6, 8] {
+        print!("{:>16}", format!("s={s}"));
+    }
+    println!();
+    for strat in STRATEGIES.iter().skip(1) {
+        print!("{:<20}", strat.label);
+        for s in [2usize, 4, 6, 8] {
+            print!("{:>16.3e}", chain_io(100_000, s, 2.0, strat));
+        }
+        println!();
+    }
+
+    // The orderings the paper calls out.
+    println!("\nChecks:");
+    let s2 = |st: &Strategy| chain_io(100_000, 2, 2.0, st);
+    println!(
+        "  progression of improvements: RIOT-DB {:.2e} > BNLJ {:.2e} > Square/In {:.2e} > Square/Opt {:.2e}",
+        s2(&STRATEGIES[0]),
+        s2(&STRATEGIES[1]),
+        s2(&STRATEGIES[2]),
+        s2(&STRATEGIES[3])
+    );
+    let gap = |s: usize| {
+        chain_io(100_000, s, 2.0, &STRATEGIES[2]) / chain_io(100_000, s, 2.0, &STRATEGIES[3])
+    };
+    println!(
+        "  In-Order/Opt-Order gap widens with skew: s=2 -> {:.2}x, s=4 -> {:.2}x, s=6 -> {:.2}x, s=8 -> {:.2}x",
+        gap(2),
+        gap(4),
+        gap(6),
+        gap(8)
+    );
+}

@@ -1,0 +1,486 @@
+//! Out-of-core matrix multiplication kernels.
+//!
+//! Three kernels mirror the three execution strategies whose I/O costs
+//! Figure 3 compares (the fourth, RIOT-DB's relational plan, is modelled
+//! analytically in [`crate::cost`] as in the paper):
+//!
+//! * [`matmul_naive`] — Example 2's element-at-a-time triple loop. Every
+//!   element access goes through the buffer pool, so with column layouts
+//!   on both operands its measured I/O explodes exactly as §3 predicts.
+//! * [`matmul_bnlj`] — §4's block-nested-loop-join-inspired algorithm:
+//!   read as many rows of `A` as memory allows, stream `B` once per chunk.
+//! * [`matmul_tiled`] — Appendix A's optimal schedule: three `p × p`
+//!   square submatrices with `p = √(M/3)`, achieving
+//!   Θ(n1·n2·n3/(B·√M)) I/O.
+//!
+//! All kernels take an explicit memory budget `mem_elems` (the paper's
+//! `M`) and return the number of scalar multiplications performed, so
+//! measured I/O and flops can be checked against the cost model.
+
+use riot_array::{DenseMatrix, MatrixLayout, TileOrder};
+
+use super::ExecResult;
+use crate::cost::ChainTree;
+
+/// Which kernel to use for a multiplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatMulKernel {
+    /// Element-at-a-time triple loop (Example 2).
+    Naive,
+    /// Row-chunked BNLJ-style algorithm (§4).
+    Bnlj,
+    /// Square-submatrix optimal schedule (Appendix A).
+    SquareTiled,
+}
+
+/// Multiply with the chosen kernel; returns `(product, flops)`.
+pub fn multiply(
+    kernel: MatMulKernel,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mem_elems: usize,
+    name: Option<&str>,
+) -> ExecResult<(DenseMatrix, u64)> {
+    match kernel {
+        MatMulKernel::Naive => matmul_naive(a, b, name),
+        MatMulKernel::Bnlj => matmul_bnlj(a, b, mem_elems, name),
+        MatMulKernel::SquareTiled => matmul_tiled(a, b, mem_elems, name),
+    }
+}
+
+fn check_dims(a: &DenseMatrix, b: &DenseMatrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "non-conformable matrices: {}x{} %*% {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+}
+
+/// Example 2's algorithm: for each output column, walk the rows of `A`.
+/// The result uses the same layout family R would produce (column-major).
+pub fn matmul_naive(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    name: Option<&str>,
+) -> ExecResult<(DenseMatrix, u64)> {
+    check_dims(a, b);
+    let (n1, n2, n3) = (a.rows(), a.cols(), b.cols());
+    let ctx = a.ctx();
+    let t = DenseMatrix::create(ctx, n1, n3, MatrixLayout::ColMajor, TileOrder::ColMajor, name)?;
+    for j in 0..n3 {
+        for i in 0..n1 {
+            let mut acc = 0.0;
+            for k in 0..n2 {
+                acc += a.get(i, k)? * b.get(k, j)?;
+            }
+            t.set(i, j, acc)?;
+        }
+    }
+    Ok((t, (n1 * n2 * n3) as u64))
+}
+
+/// §4's BNLJ-inspired algorithm: rows of `A` are read in chunks sized so
+/// the chunk plus the corresponding rows of `T` fit in `mem_elems`; `B` is
+/// scanned once per chunk, column by column.
+pub fn matmul_bnlj(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mem_elems: usize,
+    name: Option<&str>,
+) -> ExecResult<(DenseMatrix, u64)> {
+    check_dims(a, b);
+    let (n1, n2, n3) = (a.rows(), a.cols(), b.cols());
+    let ctx = a.ctx();
+    // T inherits a row layout so chunk writes are sequential.
+    let t = DenseMatrix::create(ctx, n1, n3, MatrixLayout::RowMajor, TileOrder::RowMajor, name)?;
+    let chunk_rows = (mem_elems / (n2 + n3)).clamp(1, n1);
+    let mut a_chunk = vec![0.0; chunk_rows * n2];
+    let mut t_chunk = vec![0.0; chunk_rows * n3];
+    let mut col = vec![0.0; n2];
+    let mut flops = 0u64;
+    let mut r0 = 0;
+    while r0 < n1 {
+        let m = chunk_rows.min(n1 - r0);
+        // Load m rows of A into memory.
+        for r in 0..m {
+            for k in 0..n2 {
+                a_chunk[r * n2 + k] = a.get(r0 + r, k)?;
+            }
+        }
+        t_chunk[..m * n3].fill(0.0);
+        // Stream B one column at a time.
+        for j in 0..n3 {
+            for (k, slot) in col.iter_mut().enumerate() {
+                *slot = b.get(k, j)?;
+            }
+            for r in 0..m {
+                let row = &a_chunk[r * n2..(r + 1) * n2];
+                let mut acc = 0.0;
+                for k in 0..n2 {
+                    acc += row[k] * col[k];
+                }
+                t_chunk[r * n3 + j] = acc;
+            }
+            flops += (m * n2) as u64;
+        }
+        // Write the finished T rows.
+        for r in 0..m {
+            for j in 0..n3 {
+                t.set(r0 + r, j, t_chunk[r * n3 + j])?;
+            }
+        }
+        r0 += m;
+    }
+    Ok((t, flops))
+}
+
+/// Appendix A's optimal schedule: square `p x p` submatrices with
+/// `p = √(M/3)`, multiplied submatrix-by-submatrix. Operands and result
+/// should use [`MatrixLayout::Square`] tiles so each submatrix costs
+/// `p²/B` blocks, which is what makes the schedule meet the lower bound.
+pub fn matmul_tiled(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mem_elems: usize,
+    name: Option<&str>,
+) -> ExecResult<(DenseMatrix, u64)> {
+    check_dims(a, b);
+    let (n1, n2, n3) = (a.rows(), a.cols(), b.cols());
+    let ctx = a.ctx();
+    let t = DenseMatrix::create(ctx, n1, n3, MatrixLayout::Square, TileOrder::RowMajor, name)?;
+    // Submatrix side: p = sqrt(M/3), at least one tile.
+    let (tile_r, tile_c) = t.tile_dims();
+    let tile_side = tile_r.max(tile_c);
+    let p = (((mem_elems as f64 / 3.0).sqrt() as usize) / tile_side * tile_side)
+        .max(tile_side);
+    let mut asub = vec![0.0; p * p];
+    let mut bsub = vec![0.0; p * p];
+    let mut tsub = vec![0.0; p * p];
+    let mut flops = 0u64;
+
+    let blocks = |n: usize| n.div_ceil(p);
+    for bi in 0..blocks(n1) {
+        for bj in 0..blocks(n3) {
+            let (i0, j0) = (bi * p, bj * p);
+            let (pi, pj) = (p.min(n1 - i0), p.min(n3 - j0));
+            tsub[..pi * pj].fill(0.0);
+            for bk in 0..blocks(n2) {
+                let k0 = bk * p;
+                let pk = p.min(n2 - k0);
+                read_rect(a, i0, k0, pi, pk, &mut asub)?;
+                read_rect(b, k0, j0, pk, pj, &mut bsub)?;
+                // Dense in-memory submatrix multiply-accumulate.
+                for i in 0..pi {
+                    for k in 0..pk {
+                        let aik = asub[i * pk + k];
+                        if aik == 0.0 {
+                            flops += pj as u64;
+                            continue;
+                        }
+                        let brow = &bsub[k * pj..k * pj + pj];
+                        let trow = &mut tsub[i * pj..i * pj + pj];
+                        for (tv, bv) in trow.iter_mut().zip(brow) {
+                            *tv += aik * bv;
+                        }
+                        flops += pj as u64;
+                    }
+                }
+            }
+            write_rect(&t, i0, j0, pi, pj, &tsub)?;
+        }
+    }
+    Ok((t, flops))
+}
+
+/// Read the `rows x cols` rectangle at `(r0, c0)` of `m` into `buf`
+/// (row-major, `buf[i*cols + j]`), tile by tile.
+fn read_rect(
+    m: &DenseMatrix,
+    r0: usize,
+    c0: usize,
+    rows: usize,
+    cols: usize,
+    buf: &mut [f64],
+) -> ExecResult<()> {
+    let (tr, tc) = m.tile_dims();
+    let mut tile = vec![0.0; tr * tc];
+    let (t_row0, t_row1) = (r0 / tr, (r0 + rows - 1) / tr);
+    let (t_col0, t_col1) = (c0 / tc, (c0 + cols - 1) / tc);
+    for ti in t_row0..=t_row1 {
+        for tj in t_col0..=t_col1 {
+            m.read_tile(ti as u64, tj as u64, &mut tile)?;
+            let (base_r, base_c) = (ti * tr, tj * tc);
+            let rs = r0.max(base_r);
+            let re = (r0 + rows).min(base_r + tr).min(m.rows());
+            let cs = c0.max(base_c);
+            let ce = (c0 + cols).min(base_c + tc).min(m.cols());
+            for r in rs..re {
+                for c in cs..ce {
+                    buf[(r - r0) * cols + (c - c0)] = tile[(r - base_r) * tc + (c - base_c)];
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write the `rows x cols` rectangle at `(r0, c0)` of `m` from `buf`,
+/// tile by tile. Tiles fully covered by the rectangle are written without
+/// a prior read.
+fn write_rect(
+    m: &DenseMatrix,
+    r0: usize,
+    c0: usize,
+    rows: usize,
+    cols: usize,
+    buf: &[f64],
+) -> ExecResult<()> {
+    let (tr, tc) = m.tile_dims();
+    let mut tile = vec![0.0; tr * tc];
+    let (t_row0, t_row1) = (r0 / tr, (r0 + rows - 1) / tr);
+    let (t_col0, t_col1) = (c0 / tc, (c0 + cols - 1) / tc);
+    for ti in t_row0..=t_row1 {
+        for tj in t_col0..=t_col1 {
+            let (base_r, base_c) = (ti * tr, tj * tc);
+            let rs = r0.max(base_r);
+            let re = (r0 + rows).min(base_r + tr).min(m.rows());
+            let cs = c0.max(base_c);
+            let ce = (c0 + cols).min(base_c + tc).min(m.cols());
+            let covers = rs == base_r
+                && cs == base_c
+                && re == (base_r + tr).min(m.rows())
+                && ce == (base_c + tc).min(m.cols());
+            if !covers {
+                m.read_tile(ti as u64, tj as u64, &mut tile)?;
+            } else {
+                tile.fill(0.0);
+            }
+            for r in rs..re {
+                for c in cs..ce {
+                    tile[(r - base_r) * tc + (c - base_c)] = buf[(r - r0) * cols + (c - c0)];
+                }
+            }
+            m.write_tile(ti as u64, tj as u64, &tile)?;
+        }
+    }
+    Ok(())
+}
+
+/// Evaluate a parenthesization over stored matrices with the given kernel,
+/// materializing intermediates (square layout) and freeing them as soon as
+/// they are consumed — Appendix B's schedule for chains.
+pub fn multiply_chain(
+    tree: &ChainTree,
+    mats: &[DenseMatrix],
+    kernel: MatMulKernel,
+    mem_elems: usize,
+) -> ExecResult<(DenseMatrix, u64)> {
+    match tree {
+        ChainTree::Leaf(i) => Ok((mats[*i].clone(), 0)),
+        ChainTree::Mul(l, r) => {
+            let (lm, lf) = multiply_chain(l, mats, kernel, mem_elems)?;
+            let (rm, rf) = multiply_chain(r, mats, kernel, mem_elems)?;
+            let (out, f) = multiply(kernel, &lm, &rm, mem_elems, None)?;
+            // Free intermediates (leaves are borrowed inputs and stay).
+            if !matches!(**l, ChainTree::Leaf(_)) {
+                lm.free()?;
+            }
+            if !matches!(**r, ChainTree::Leaf(_)) {
+                rm.free()?;
+            }
+            Ok((out, lf + rf + f))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_array::StorageCtx;
+    use std::rc::Rc;
+
+    /// 512-byte blocks: 64 elements, 8x8 square tiles.
+    fn ctx(frames: usize) -> Rc<StorageCtx> {
+        StorageCtx::new_mem(512, frames)
+    }
+
+    fn mk(
+        ctx: &Rc<StorageCtx>,
+        rows: usize,
+        cols: usize,
+        layout: MatrixLayout,
+        f: impl FnMut(usize, usize) -> f64,
+    ) -> DenseMatrix {
+        let order = match layout {
+            MatrixLayout::RowMajor => TileOrder::RowMajor,
+            MatrixLayout::ColMajor => TileOrder::ColMajor,
+            MatrixLayout::Square => TileOrder::RowMajor,
+        };
+        DenseMatrix::from_fn(ctx, rows, cols, layout, order, None, f).unwrap()
+    }
+
+    fn reference(a: &[f64], b: &[f64], n1: usize, n2: usize, n3: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n1 * n3];
+        for i in 0..n1 {
+            for k in 0..n2 {
+                for j in 0..n3 {
+                    out[i * n3 + j] += a[i * n2 + k] * b[k * n3 + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_close(got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < 1e-9, "got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_agree_with_reference() {
+        let (n1, n2, n3) = (20, 13, 17); // ragged vs 8x8 tiles
+        let av: Vec<f64> = (0..n1 * n2).map(|i| (i as f64).sin()).collect();
+        let bv: Vec<f64> = (0..n2 * n3).map(|i| (i as f64).cos()).collect();
+        let want = reference(&av, &bv, n1, n2, n3);
+        for kernel in [MatMulKernel::Naive, MatMulKernel::Bnlj, MatMulKernel::SquareTiled] {
+            let c = ctx(64);
+            let a = mk(&c, n1, n2, MatrixLayout::Square, |i, j| av[i * n2 + j]);
+            let b = mk(&c, n2, n3, MatrixLayout::Square, |i, j| bv[i * n3 + j]);
+            let (t, flops) = multiply(kernel, &a, &b, 3 * 64, None).unwrap();
+            assert_eq!(flops, (n1 * n2 * n3) as u64, "{kernel:?}");
+            assert_close(&t.to_rows().unwrap(), &want);
+        }
+    }
+
+    #[test]
+    fn kernels_work_across_layouts() {
+        let (n1, n2, n3) = (16, 16, 16);
+        let av: Vec<f64> = (0..n1 * n2).map(|i| (i % 11) as f64).collect();
+        let bv: Vec<f64> = (0..n2 * n3).map(|i| (i % 7) as f64).collect();
+        let want = reference(&av, &bv, n1, n2, n3);
+        let c = ctx(64);
+        let a = mk(&c, n1, n2, MatrixLayout::RowMajor, |i, j| av[i * n2 + j]);
+        let b = mk(&c, n2, n3, MatrixLayout::ColMajor, |i, j| bv[i * n3 + j]);
+        for kernel in [MatMulKernel::Naive, MatMulKernel::Bnlj, MatMulKernel::SquareTiled] {
+            let (t, _) = multiply(kernel, &a, &b, 3 * 64, None).unwrap();
+            assert_close(&t.to_rows().unwrap(), &want);
+        }
+    }
+
+    #[test]
+    fn tiled_kernel_io_beats_naive_colmajor() {
+        // The §3 story, measured: same multiplication, tiny memory; naive
+        // over column layouts must move far more blocks than square-tiled
+        // over square layouts.
+        let n = 32;
+        let run = |layout: MatrixLayout, kernel: MatMulKernel| -> u64 {
+            let c = ctx(6); // 6 frames: severe pressure
+            let a = mk(&c, n, n, layout, |i, j| (i + j) as f64);
+            let b = mk(&c, n, n, layout, |i, j| (i * j % 5) as f64);
+            c.pool().flush_all().unwrap();
+            c.clear_cache().unwrap();
+            let before = c.io_snapshot();
+            let (t, _) = multiply(kernel, &a, &b, 6 * 64, None).unwrap();
+            c.pool().flush_all().unwrap();
+            let delta = c.io_snapshot() - before;
+            drop(t);
+            delta.total_blocks()
+        };
+        let naive = run(MatrixLayout::ColMajor, MatMulKernel::Naive);
+        let tiled = run(MatrixLayout::Square, MatMulKernel::SquareTiled);
+        assert!(
+            naive > 4 * tiled,
+            "naive {naive} should dwarf tiled {tiled}"
+        );
+    }
+
+    #[test]
+    fn bnlj_io_between_naive_and_tiled() {
+        let n = 32;
+        let run = |layouts: (MatrixLayout, MatrixLayout), kernel: MatMulKernel| -> u64 {
+            let c = ctx(6);
+            let a = mk(&c, n, n, layouts.0, |i, j| (i + j) as f64);
+            let b = mk(&c, n, n, layouts.1, |i, j| (i * 2 + j) as f64);
+            c.pool().flush_all().unwrap();
+            c.clear_cache().unwrap();
+            let before = c.io_snapshot();
+            let (t, _) = multiply(kernel, &a, &b, 6 * 64, None).unwrap();
+            c.pool().flush_all().unwrap();
+            let delta = c.io_snapshot() - before;
+            drop(t);
+            delta.total_blocks()
+        };
+        // BNLJ with its favourable layouts (row for A, col for B).
+        let bnlj = run(
+            (MatrixLayout::RowMajor, MatrixLayout::ColMajor),
+            MatMulKernel::Bnlj,
+        );
+        let naive = run(
+            (MatrixLayout::ColMajor, MatrixLayout::ColMajor),
+            MatMulKernel::Naive,
+        );
+        assert!(bnlj < naive, "bnlj {bnlj} < naive {naive}");
+    }
+
+    #[test]
+    fn chain_execution_matches_reference_and_frees_temps() {
+        let c = ctx(64);
+        let dims = [12usize, 4, 10, 6];
+        let mats: Vec<DenseMatrix> = (0..3)
+            .map(|m| {
+                mk(&c, dims[m], dims[m + 1], MatrixLayout::Square, |i, j| {
+                    ((i * 31 + j * 17 + m * 7) % 13) as f64
+                })
+            })
+            .collect();
+        // Reference result.
+        let datas: Vec<Vec<f64>> = mats.iter().map(|m| m.to_rows().unwrap()).collect();
+        let ab = reference(&datas[0], &datas[1], dims[0], dims[1], dims[2]);
+        let abc = reference(&ab, &datas[2], dims[0], dims[2], dims[3]);
+        let live_before = c.live_objects();
+        for tree in crate::opt::all_orders(3) {
+            let (out, flops) =
+                multiply_chain(&tree, &mats, MatMulKernel::SquareTiled, 3 * 64).unwrap();
+            assert_eq!(flops as f64, tree.flops(&dims), "{}", tree.render());
+            assert_close(&out.to_rows().unwrap(), &abc);
+            out.free().unwrap();
+            assert_eq!(c.live_objects(), live_before, "temps freed: {}", tree.render());
+        }
+    }
+
+    #[test]
+    fn tiled_measured_io_matches_cost_model_shape() {
+        // Appendix A validation at small scale: measured blocks within 2x
+        // of the analytic schedule cost.
+        let n = 48; // 6x6 tiles of 8x8
+        let mem_elems = 3 * 4 * 64; // p = 16 -> 2x2-tile submatrices
+        // Tiny pass-through pool: the kernel's explicit submatrix buffers
+        // are the memory budget, so device I/O equals the schedule.
+        let c = ctx(4);
+        let a = mk(&c, n, n, MatrixLayout::Square, |i, j| (i + j) as f64);
+        let b = mk(&c, n, n, MatrixLayout::Square, |i, j| (i * j % 3) as f64);
+        c.pool().flush_all().unwrap();
+        c.clear_cache().unwrap();
+        let before = c.io_snapshot();
+        let (t, _) = multiply(MatMulKernel::SquareTiled, &a, &b, mem_elems, None).unwrap();
+        c.pool().flush_all().unwrap();
+        let delta = c.io_snapshot() - before;
+        drop(t);
+        let params = crate::cost::CostParams {
+            mem_elems: mem_elems as f64,
+            block_elems: 64.0,
+        };
+        let predicted = crate::cost::square_tiled_io(n as f64, n as f64, n as f64, params);
+        let measured = delta.total_blocks() as f64;
+        assert!(
+            measured <= 2.0 * predicted && measured >= predicted / 2.0,
+            "measured {measured} vs predicted {predicted:.1}"
+        );
+    }
+}

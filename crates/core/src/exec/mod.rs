@@ -1,0 +1,68 @@
+//! Out-of-core execution: chunk pipelines and matrix-multiplication
+//! kernels.
+//!
+//! RIOT-DB leans on the database's iterator-based execution model to
+//! pipeline plan operators and avoid materializing intermediate results
+//! (§4.1). This module is the native equivalent: a pull-based [`Pipe`]
+//! tree produces results one chunk (block's worth) at a time, so a whole
+//! elementwise expression — Line (1) of Example 1 with its twelve
+//! intermediates — runs in a single pass over its inputs with O(chunk)
+//! memory.
+
+pub mod matmul;
+pub mod pipeline;
+
+pub use matmul::{matmul_bnlj, matmul_naive, matmul_tiled, multiply, multiply_chain, MatMulKernel};
+pub use pipeline::{
+    drain_agg, drain_to_vec, materialize, ConstScan, CycleScan, GatherPipe, IfElsePipe,
+    LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan, ZipPipe,
+};
+
+use crate::expr::ExprError;
+use riot_storage::StorageError;
+
+/// Unified execution error.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Storage-layer failure.
+    Storage(StorageError),
+    /// Expression-level failure (shape or subscript).
+    Expr(ExprError),
+    /// Feature intentionally outside the reproduction's scope.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Storage(e) => write!(f, "storage: {e}"),
+            ExecError::Expr(e) => write!(f, "expression: {e}"),
+            ExecError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Storage(e) => Some(e),
+            ExecError::Expr(e) => Some(e),
+            ExecError::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+impl From<ExprError> for ExecError {
+    fn from(e: ExprError) -> Self {
+        ExecError::Expr(e)
+    }
+}
+
+/// Result alias for execution.
+pub type ExecResult<T> = std::result::Result<T, ExecError>;

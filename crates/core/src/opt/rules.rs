@@ -1,0 +1,584 @@
+//! DAG rewrite rules: RIOT's database-style optimizations (§5).
+//!
+//! The flagship rule is **subscript pushdown** — Figure 2's transformation.
+//! For `b <- a^2; b[b>100] <- 100; print(b[1:10])` the selection of the
+//! first 10 elements is pushed below the functional update `[]<-` and the
+//! squaring, all the way onto `a`, so only 10 elements are ever computed.
+//!
+//! Rules implemented:
+//!
+//! * `MaskAssign(d, m, v)  ->  IfElse(m, v, d)` — a masked functional
+//!   update *is* an elementwise conditional, which unlocks pushdown
+//!   through it.
+//! * `Gather(Map(f, x), i)      -> Map(f, Gather(x, i))`
+//! * `Gather(Zip(op, a, b), i)  -> Zip(op, push(a), push(b))` where
+//!   recycled operands get their indices re-mapped through `((i-1) %% len)+1`
+//! * `Gather(IfElse(c,y,n), i)  -> IfElse(push(c), push(y), push(n))`
+//! * `Gather(Range(s), i)       -> i + (s - 1)` — indexing a sequence is
+//!   arithmetic
+//! * `Gather(Gather(x, j), i)   -> Gather(x, Gather(j, i))`
+//! * `Gather(x, 1:len(x))       -> x`
+//! * constant folding of scalar subtrees, `x^2 -> square(x)`,
+//!   `x*1 -> x`, `x+0 -> x`, `0-x -> -x`, double negation, double
+//!   transpose, and scalar-condition `IfElse` selection.
+//!
+//! Every rule is semantics-preserving; `tests/prop_optimizer.rs` checks
+//! rewritten DAGs against the reference evaluator on random programs.
+
+use std::collections::HashMap;
+
+use crate::expr::{BinOp, Node, NodeId, UnOp};
+use crate::graph::ExprGraph;
+use crate::shape::Shape;
+
+/// Which rule families to apply (ablation switches for the benches).
+#[derive(Debug, Clone, Copy)]
+pub struct OptConfig {
+    /// Enable subscript pushdown (Figure 2).
+    pub pushdown: bool,
+    /// Enable constant folding and algebraic simplification.
+    pub fold: bool,
+    /// Enable matrix-chain reordering (applied by [`super::optimize`]).
+    pub reorder_chains: bool,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig {
+            pushdown: true,
+            fold: true,
+            reorder_chains: true,
+        }
+    }
+}
+
+/// Counters describing what the optimizer did (reported by the Figure 2
+/// harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// `MaskAssign -> IfElse` conversions.
+    pub mask_to_ifelse: u64,
+    /// Subscripts pushed through an operator.
+    pub gathers_pushed: u64,
+    /// Constants folded / identities simplified.
+    pub folds: u64,
+    /// Matrix chains reordered.
+    pub chains_reordered: u64,
+}
+
+/// Rewrite the DAG rooted at `root`, returning the new root.
+pub fn rewrite(
+    g: &mut ExprGraph,
+    root: NodeId,
+    cfg: &OptConfig,
+    stats: &mut RewriteStats,
+) -> NodeId {
+    let mut memo: HashMap<NodeId, NodeId> = HashMap::new();
+    rw(g, root, cfg, stats, &mut memo)
+}
+
+fn rw(
+    g: &mut ExprGraph,
+    id: NodeId,
+    cfg: &OptConfig,
+    stats: &mut RewriteStats,
+    memo: &mut HashMap<NodeId, NodeId>,
+) -> NodeId {
+    if let Some(&r) = memo.get(&id) {
+        return r;
+    }
+    let node = g.node(id).clone();
+    let out = match node {
+        // Leaves rewrite to themselves.
+        Node::VecSource { .. }
+        | Node::MatSource { .. }
+        | Node::Literal(_)
+        | Node::Scalar(_)
+        | Node::Range { .. } => id,
+
+        Node::Map { op, input } => {
+            let input = rw(g, input, cfg, stats, memo);
+            build_map(g, op, input, cfg, stats)
+        }
+        Node::Zip { op, lhs, rhs } => {
+            let lhs = rw(g, lhs, cfg, stats, memo);
+            let rhs = rw(g, rhs, cfg, stats, memo);
+            build_zip(g, op, lhs, rhs, cfg, stats)
+        }
+        Node::IfElse { cond, yes, no } => {
+            let cond = rw(g, cond, cfg, stats, memo);
+            let yes = rw(g, yes, cfg, stats, memo);
+            let no = rw(g, no, cfg, stats, memo);
+            build_if_else(g, cond, yes, no, cfg, stats)
+        }
+        Node::Gather { data, index } => {
+            let data = rw(g, data, cfg, stats, memo);
+            let index = rw(g, index, cfg, stats, memo);
+            if cfg.pushdown {
+                build_gather(g, data, index, cfg, stats)
+            } else {
+                g.gather(data, index).expect("shapes preserved")
+            }
+        }
+        Node::SubAssign { data, index, value } => {
+            let data = rw(g, data, cfg, stats, memo);
+            let index = rw(g, index, cfg, stats, memo);
+            let value = rw(g, value, cfg, stats, memo);
+            g.sub_assign(data, index, value).expect("shapes preserved")
+        }
+        Node::MaskAssign { data, mask, value } => {
+            let data = rw(g, data, cfg, stats, memo);
+            let mask = rw(g, mask, cfg, stats, memo);
+            let value = rw(g, value, cfg, stats, memo);
+            // A masked functional update IS an elementwise conditional;
+            // rewriting it as one turns a blocking modification into a
+            // deferrable, pushdown-transparent operator (Figure 2).
+            stats.mask_to_ifelse += 1;
+            build_if_else(g, mask, value, data, cfg, stats)
+        }
+        Node::MatMul { lhs, rhs } => {
+            let lhs = rw(g, lhs, cfg, stats, memo);
+            let rhs = rw(g, rhs, cfg, stats, memo);
+            g.matmul(lhs, rhs).expect("shapes preserved")
+        }
+        Node::Transpose { input } => {
+            let input = rw(g, input, cfg, stats, memo);
+            if cfg.fold {
+                if let Node::Transpose { input: inner } = *g.node(input) {
+                    stats.folds += 1;
+                    memo.insert(id, inner);
+                    return inner;
+                }
+            }
+            g.transpose(input).expect("shapes preserved")
+        }
+        Node::Agg { op, input } => {
+            let input = rw(g, input, cfg, stats, memo);
+            g.agg(op, input)
+        }
+    };
+    memo.insert(id, out);
+    out
+}
+
+/// Build `Map(op, input)` applying local simplifications.
+fn build_map(
+    g: &mut ExprGraph,
+    op: UnOp,
+    input: NodeId,
+    cfg: &OptConfig,
+    stats: &mut RewriteStats,
+) -> NodeId {
+    if cfg.fold {
+        // Constant folding.
+        if let Node::Scalar(c) = *g.node(input) {
+            stats.folds += 1;
+            return g.scalar(op.apply(c));
+        }
+        // Double negation.
+        if op == UnOp::Neg {
+            if let Node::Map { op: UnOp::Neg, input: inner } = *g.node(input) {
+                stats.folds += 1;
+                return inner;
+            }
+        }
+    }
+    g.map(op, input)
+}
+
+/// Build `Zip(op, lhs, rhs)` applying local simplifications.
+fn build_zip(
+    g: &mut ExprGraph,
+    op: BinOp,
+    lhs: NodeId,
+    rhs: NodeId,
+    cfg: &OptConfig,
+    stats: &mut RewriteStats,
+) -> NodeId {
+    if cfg.fold {
+        if let (Node::Scalar(a), Node::Scalar(b)) = (g.node(lhs), g.node(rhs)) {
+            let v = op.apply(*a, *b);
+            stats.folds += 1;
+            return g.scalar(v);
+        }
+        if let Node::Scalar(c) = *g.node(rhs) {
+            match (op, c) {
+                // x ^ 2 -> square(x): the strength reduction that lets the
+                // pipeline avoid powf.
+                (BinOp::Pow, c) if c == 2.0 => {
+                    stats.folds += 1;
+                    return build_map(g, UnOp::Square, lhs, cfg, stats);
+                }
+                (BinOp::Pow, c) if c == 1.0 => {
+                    stats.folds += 1;
+                    return lhs;
+                }
+                (BinOp::Mul, c) if c == 1.0 => {
+                    stats.folds += 1;
+                    return lhs;
+                }
+                (BinOp::Div, c) if c == 1.0 => {
+                    stats.folds += 1;
+                    return lhs;
+                }
+                (BinOp::Add, c) if c == 0.0 => {
+                    stats.folds += 1;
+                    return lhs;
+                }
+                (BinOp::Sub, c) if c == 0.0 => {
+                    stats.folds += 1;
+                    return lhs;
+                }
+                _ => {}
+            }
+        }
+        if let Node::Scalar(c) = *g.node(lhs) {
+            match (op, c) {
+                (BinOp::Mul, c) if c == 1.0 => {
+                    stats.folds += 1;
+                    return rhs;
+                }
+                (BinOp::Add, c) if c == 0.0 => {
+                    stats.folds += 1;
+                    return rhs;
+                }
+                (BinOp::Sub, c) if c == 0.0 => {
+                    stats.folds += 1;
+                    return build_map(g, UnOp::Neg, rhs, cfg, stats);
+                }
+                _ => {}
+            }
+        }
+    }
+    g.zip(op, lhs, rhs).expect("shapes preserved")
+}
+
+/// Build `IfElse(cond, yes, no)` applying scalar-condition selection.
+fn build_if_else(
+    g: &mut ExprGraph,
+    cond: NodeId,
+    yes: NodeId,
+    no: NodeId,
+    cfg: &OptConfig,
+    stats: &mut RewriteStats,
+) -> NodeId {
+    if cfg.fold {
+        if let Node::Scalar(c) = *g.node(cond) {
+            let chosen = if c != 0.0 { yes } else { no };
+            // Only select the branch if it has the full result shape
+            // (otherwise the conditional's broadcast would be lost).
+            let full = g
+                .shape(cond)
+                .broadcast(&g.shape(yes))
+                .broadcast(&g.shape(no));
+            if g.shape(chosen) == full {
+                stats.folds += 1;
+                return chosen;
+            }
+        }
+    }
+    g.if_else(cond, yes, no).expect("shapes preserved")
+}
+
+/// Build `Gather(data, index)` with pushdown: the heart of Figure 2.
+fn build_gather(
+    g: &mut ExprGraph,
+    data: NodeId,
+    index: NodeId,
+    cfg: &OptConfig,
+    stats: &mut RewriteStats,
+) -> NodeId {
+    let data_len = match g.shape(data) {
+        Shape::Vector(n) => n,
+        _ => {
+            return g.gather(data, index).expect("shapes preserved");
+        }
+    };
+    // Identity: x[1:len(x)] is x.
+    if cfg.fold {
+        if let Node::Range { start: 1, len } = *g.node(index) {
+            if len == data_len {
+                stats.folds += 1;
+                return data;
+            }
+        }
+    }
+    match g.node(data).clone() {
+        Node::Map { op, input } => {
+            stats.gathers_pushed += 1;
+            let pushed = push_operand(g, input, index, data_len, cfg, stats);
+            build_map(g, op, pushed, cfg, stats)
+        }
+        Node::Zip { op, lhs, rhs } => {
+            stats.gathers_pushed += 1;
+            let pl = push_operand(g, lhs, index, data_len, cfg, stats);
+            let pr = push_operand(g, rhs, index, data_len, cfg, stats);
+            build_zip(g, op, pl, pr, cfg, stats)
+        }
+        Node::IfElse { cond, yes, no } => {
+            stats.gathers_pushed += 1;
+            let pc = push_operand(g, cond, index, data_len, cfg, stats);
+            let py = push_operand(g, yes, index, data_len, cfg, stats);
+            let pn = push_operand(g, no, index, data_len, cfg, stats);
+            build_if_else(g, pc, py, pn, cfg, stats)
+        }
+        Node::Range { start, .. } => {
+            // range[i] = start + i - 1: indexing a sequence is arithmetic.
+            stats.gathers_pushed += 1;
+            let offset = g.scalar(start as f64 - 1.0);
+            build_zip(g, BinOp::Add, index, offset, cfg, stats)
+        }
+        Node::Gather { data: inner, index: j } => {
+            // x[j][i] = x[j[i]].
+            stats.gathers_pushed += 1;
+            let ji = build_gather(g, j, index, cfg, stats);
+            build_gather(g, inner, ji, cfg, stats)
+        }
+        // Sources, literals, SubAssign and matrix ops: stop here; the
+        // executor probes them directly (or materializes SubAssign).
+        _ => g.gather(data, index).expect("shapes preserved"),
+    }
+}
+
+/// Push `index` into operand `n` of an elementwise node whose output length
+/// is `out_len`, re-mapping indices for recycled (shorter) operands.
+fn push_operand(
+    g: &mut ExprGraph,
+    n: NodeId,
+    index: NodeId,
+    out_len: usize,
+    cfg: &OptConfig,
+    stats: &mut RewriteStats,
+) -> NodeId {
+    match g.shape(n) {
+        Shape::Scalar => n,
+        Shape::Vector(l) if l == out_len => build_gather(g, n, index, cfg, stats),
+        Shape::Vector(l) => {
+            // Recycled operand: position p of the output reads element
+            // ((p-1) mod l) + 1 of n.
+            debug_assert!(l > 0 && out_len % l == 0, "recycling invariant");
+            let one = g.scalar(1.0);
+            let len = g.scalar(l as f64);
+            let zero_based = build_zip(g, BinOp::Sub, index, one, cfg, stats);
+            let wrapped = build_zip(g, BinOp::Mod, zero_based, len, cfg, stats);
+            let remapped = build_zip(g, BinOp::Add, wrapped, one, cfg, stats);
+            build_gather(g, n, remapped, cfg, stats)
+        }
+        _ => build_gather(g, n, index, cfg, stats),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate, MemSources, Value};
+    use crate::expr::SourceRef;
+
+    fn no_stats() -> RewriteStats {
+        RewriteStats::default()
+    }
+
+    #[test]
+    fn figure_2_pushdown_shrinks_the_dag() {
+        // b <- a^2; b[b>100] <- 100; b[1:10] with a of length 1000.
+        let mut g = ExprGraph::new();
+        let a = g.vec_source(SourceRef(0), 1000);
+        let two = g.scalar(2.0);
+        let b = g.zip(BinOp::Pow, a, two).unwrap();
+        let hundred = g.scalar(100.0);
+        let mask = g.zip(BinOp::Gt, b, hundred).unwrap();
+        let b2 = g.mask_assign(b, mask, hundred).unwrap();
+        let idx = g.range(1, 10);
+        let z = g.gather(b2, idx).unwrap();
+
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, z, &OptConfig::default(), &mut stats);
+
+        assert!(stats.mask_to_ifelse >= 1);
+        assert!(stats.gathers_pushed >= 2);
+        // After pushdown every non-source node in the optimized DAG is
+        // 10 elements or scalar — nothing n-sized is computed.
+        for id in g.reachable(&[opt]) {
+            match g.node(id) {
+                Node::VecSource { .. } => {}
+                _ => {
+                    let len = g.shape(id).len();
+                    assert!(
+                        len <= 10,
+                        "node {} still {}-sized",
+                        g.render(id),
+                        len
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure_2_pushdown_preserves_semantics() {
+        let mut g = ExprGraph::new();
+        let mut src = MemSources::new();
+        let a_data: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let a_ref = src.add_vector(a_data);
+        let a = g.vec_source(a_ref, 50);
+        let two = g.scalar(2.0);
+        let b = g.zip(BinOp::Pow, a, two).unwrap();
+        let hundred = g.scalar(100.0);
+        let mask = g.zip(BinOp::Gt, b, hundred).unwrap();
+        let b2 = g.mask_assign(b, mask, hundred).unwrap();
+        let idx = g.range(1, 10);
+        let z = g.gather(b2, idx).unwrap();
+
+        let want = evaluate(&g, z, &src).unwrap();
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, z, &OptConfig::default(), &mut stats);
+        let got = evaluate(&g, opt, &src).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pushdown_through_recycled_operand() {
+        // (x + c(10, 20))[c(3, 2)] where x has length 6: operand recycling
+        // must be re-mapped, not broken.
+        let mut g = ExprGraph::new();
+        let mut src = MemSources::new();
+        let x_ref = src.add_vector(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = g.vec_source(x_ref, 6);
+        let lit = g.literal(vec![10.0, 20.0]);
+        let sum = g.zip(BinOp::Add, x, lit).unwrap();
+        let idx = g.literal(vec![3.0, 2.0]);
+        let z = g.gather(sum, idx).unwrap();
+
+        let want = evaluate(&g, z, &src).unwrap();
+        assert_eq!(want, Value::vector(vec![13.0, 22.0]));
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, z, &OptConfig::default(), &mut stats);
+        assert_eq!(evaluate(&g, opt, &src).unwrap(), want);
+        assert!(stats.gathers_pushed >= 1);
+    }
+
+    #[test]
+    fn gather_of_range_becomes_arithmetic() {
+        let mut g = ExprGraph::new();
+        let src = MemSources::new();
+        let r = g.range(5, 100); // 5..104
+        let idx = g.literal(vec![1.0, 50.0, 100.0]);
+        let z = g.gather(r, idx).unwrap();
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, z, &OptConfig::default(), &mut stats);
+        // No Gather survives.
+        for id in g.reachable(&[opt]) {
+            assert!(!matches!(g.node(id), Node::Gather { .. }));
+        }
+        assert_eq!(
+            evaluate(&g, opt, &src).unwrap(),
+            Value::vector(vec![5.0, 54.0, 104.0])
+        );
+    }
+
+    #[test]
+    fn nested_gathers_compose() {
+        let mut g = ExprGraph::new();
+        let mut src = MemSources::new();
+        let x_ref = src.add_vector(vec![10.0, 20.0, 30.0, 40.0]);
+        let x = g.vec_source(x_ref, 4);
+        let j = g.literal(vec![4.0, 3.0, 2.0, 1.0]);
+        let xi = g.gather(x, j).unwrap();
+        let i = g.literal(vec![2.0]);
+        let z = g.gather(xi, i).unwrap();
+        let want = evaluate(&g, z, &src).unwrap();
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, z, &OptConfig::default(), &mut stats);
+        assert_eq!(evaluate(&g, opt, &src).unwrap(), want);
+    }
+
+    #[test]
+    fn full_slice_gather_is_identity() {
+        let mut g = ExprGraph::new();
+        let x = g.vec_source(SourceRef(0), 8);
+        let idx = g.range(1, 8);
+        let z = g.gather(x, idx).unwrap();
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, z, &OptConfig::default(), &mut stats);
+        assert_eq!(opt, x);
+    }
+
+    #[test]
+    fn constant_folding_and_identities() {
+        let mut g = ExprGraph::new();
+        let x = g.vec_source(SourceRef(0), 4);
+        let mut stats = no_stats();
+
+        // sqrt(16) folds.
+        let sixteen = g.scalar(16.0);
+        let s = g.map(UnOp::Sqrt, sixteen);
+        let opt = rewrite(&mut g, s, &OptConfig::default(), &mut stats);
+        assert_eq!(*g.node(opt), Node::Scalar(4.0));
+
+        // x * 1 -> x; x + 0 -> x; x ^ 1 -> x.
+        let one = g.scalar(1.0);
+        let zero = g.scalar(0.0);
+        let m = g.zip(BinOp::Mul, x, one).unwrap();
+        let a = g.zip(BinOp::Add, m, zero).unwrap();
+        let p = g.zip(BinOp::Pow, a, one).unwrap();
+        let opt = rewrite(&mut g, p, &OptConfig::default(), &mut stats);
+        assert_eq!(opt, x);
+
+        // 0 - x -> -x.
+        let sub = g.zip(BinOp::Sub, zero, x).unwrap();
+        let opt = rewrite(&mut g, sub, &OptConfig::default(), &mut stats);
+        assert!(matches!(*g.node(opt), Node::Map { op: UnOp::Neg, .. }));
+    }
+
+    #[test]
+    fn pow_two_strength_reduces() {
+        let mut g = ExprGraph::new();
+        let x = g.vec_source(SourceRef(0), 4);
+        let two = g.scalar(2.0);
+        let p = g.zip(BinOp::Pow, x, two).unwrap();
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, p, &OptConfig::default(), &mut stats);
+        assert!(matches!(*g.node(opt), Node::Map { op: UnOp::Square, .. }));
+    }
+
+    #[test]
+    fn double_transpose_cancels() {
+        let mut g = ExprGraph::new();
+        let m = g.mat_source(SourceRef(0), 3, 4);
+        let t = g.transpose(m).unwrap();
+        let tt = g.transpose(t).unwrap();
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, tt, &OptConfig::default(), &mut stats);
+        assert_eq!(opt, m);
+    }
+
+    #[test]
+    fn disabled_pushdown_leaves_gather_alone() {
+        let mut g = ExprGraph::new();
+        let x = g.vec_source(SourceRef(0), 100);
+        let two = g.scalar(2.0);
+        let sq = g.zip(BinOp::Pow, x, two).unwrap();
+        let idx = g.literal(vec![5.0]);
+        let z = g.gather(sq, idx).unwrap();
+        let cfg = OptConfig {
+            pushdown: false,
+            ..OptConfig::default()
+        };
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, z, &cfg, &mut stats);
+        assert!(matches!(g.node(opt), Node::Gather { .. }));
+        assert_eq!(stats.gathers_pushed, 0);
+    }
+
+    #[test]
+    fn scalar_ifelse_selects_branch() {
+        let mut g = ExprGraph::new();
+        let x = g.vec_source(SourceRef(0), 4);
+        let y = g.vec_source(SourceRef(1), 4);
+        let t = g.scalar(1.0);
+        let ie = g.if_else(t, x, y).unwrap();
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, ie, &OptConfig::default(), &mut stats);
+        assert_eq!(opt, x);
+    }
+}

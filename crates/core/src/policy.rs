@@ -1,0 +1,1435 @@
+//! The four evaluation strategies of the paper's experiments (§4.2), as
+//! interchangeable engines over one runtime.
+//!
+//! | Engine      | Evaluation                | Intermediates            | Named objects        |
+//! |-------------|---------------------------|--------------------------|----------------------|
+//! | `PlainR`    | eager, per operation      | full vectors on a paging heap | refcounted heap objects |
+//! | `Strawman`  | eager, per operation      | `(I,V)` tables on disk   | tables kept alive    |
+//! | `MatNamed`  | deferred within statement | pipelined (never stored) | materialized to disk |
+//! | `Riot`      | fully deferred            | pipelined                | views (just names)   |
+//!
+//! The same program runs unmodified under each engine — the paper's
+//! transparency claim — and every engine reports I/O through the same
+//! counters, which is what the Figure 1 harness tabulates.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use riot_array::{DenseMatrix, DenseVector, MatrixLayout, StorageCtx, TileOrder, VectorWriter};
+use riot_storage::{DiskModel, IoSnapshot, ReplacerKind};
+use riot_vm::{PagedHeap, VmConfig, VmId};
+
+use crate::exec::pipeline::{
+    drain_agg, drain_to_vec, materialize, ConstScan, CycleScan, GatherPipe, IfElsePipe,
+    LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan, ZipPipe,
+};
+use crate::exec::{matmul, ExecError, ExecResult, MatMulKernel};
+use crate::expr::{AggOp, BinOp, Node, NodeId, SourceRef, UnOp};
+use crate::graph::ExprGraph;
+use crate::opt::{optimize, OptConfig, RewriteStats};
+use crate::shape::Shape;
+
+/// Which of the paper's four strategies an engine implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Eager evaluation on a demand-paged heap: the thrashing baseline.
+    PlainR,
+    /// Every operation reads and writes relational-style `(I,V)` tables.
+    Strawman,
+    /// Deferred views, but every named object is materialized.
+    MatNamed,
+    /// Full RIOT: deferred across statements, optimized, pipelined.
+    Riot,
+}
+
+impl EngineKind {
+    /// All four engines, in the paper's presentation order.
+    pub fn all() -> [EngineKind; 4] {
+        [
+            EngineKind::PlainR,
+            EngineKind::Strawman,
+            EngineKind::MatNamed,
+            EngineKind::Riot,
+        ]
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineKind::PlainR => "Plain R",
+            EngineKind::Strawman => "RIOT-DB/Strawman",
+            EngineKind::MatNamed => "RIOT-DB/MatNamed",
+            EngineKind::Riot => "RIOT-DB",
+        }
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Which strategy to run.
+    pub kind: EngineKind,
+    /// Block (and VM page) size in bytes.
+    pub block_size: usize,
+    /// Memory cap in blocks — the paper's `shmat` lockdown.
+    pub mem_blocks: usize,
+    /// Pipeline chunk size in elements.
+    pub chunk_elems: usize,
+    /// Buffer-pool replacement policy.
+    pub replacer: ReplacerKind,
+    /// Optimizer switches (only the `Riot` engine optimizes).
+    pub opt: OptConfig,
+    /// Kernel for deferred matrix multiplication.
+    pub matmul_kernel: MatMulKernel,
+    /// RNG seed for `sample()`.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// Sensible defaults for `kind`: 8 KiB blocks, a 4 MiB memory cap,
+    /// LRU replacement, all optimizations on, square-tiled matmul.
+    pub fn new(kind: EngineKind) -> Self {
+        EngineConfig {
+            kind,
+            block_size: 8192,
+            mem_blocks: 512,
+            chunk_elems: 1024,
+            replacer: ReplacerKind::Lru,
+            opt: OptConfig::default(),
+            matmul_kernel: MatMulKernel::SquareTiled,
+            seed: R_SEED,
+        }
+    }
+}
+
+const R_SEED: u64 = 20090104; // CIDR 2009, January 4.
+
+/// Internal representation of a vector value under some engine.
+#[derive(Clone)]
+pub(crate) enum VecRepr {
+    /// Deferred engines: a DAG node.
+    Node(NodeId),
+    /// Plain R: a paging-heap object (refcount managed by the runtime).
+    Vm(VmId),
+    /// Strawman: a stored `(I,V)` table, freed when the last handle drops.
+    Table(Rc<StrawTable>),
+}
+
+/// Internal representation of a matrix value.
+#[derive(Clone)]
+pub(crate) enum MatRepr {
+    /// Deferred engines: a DAG node.
+    Node(NodeId),
+    /// Plain R: row-major data on the paging heap.
+    Vm {
+        /// Heap object.
+        id: VmId,
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+    },
+    /// Strawman: a stored matrix.
+    Stored(Rc<StrawMat>),
+}
+
+/// RAII wrapper freeing a strawman table when the last reference dies —
+/// the dependency-tracking hook of §4.1 ("to be able to safely drop
+/// views, RIOT-DB must track such dependencies").
+pub(crate) struct StrawTable {
+    pub(crate) vec: DenseVector,
+}
+
+impl Drop for StrawTable {
+    fn drop(&mut self) {
+        // Freeing is best-effort: a failure here only leaks simulated disk.
+        let _ = self.vec.clone().free();
+    }
+}
+
+/// RAII wrapper for strawman matrices.
+pub(crate) struct StrawMat {
+    pub(crate) mat: DenseMatrix,
+}
+
+impl Drop for StrawMat {
+    fn drop(&mut self) {
+        let _ = self.mat.clone().free();
+    }
+}
+
+/// The engine runtime: storage, paging heap, expression graph, caches, and
+/// counters. [`crate::session::Session`] wraps this in `Rc<RefCell<..>>`
+/// and layers the R-like handle API on top.
+pub struct Runtime {
+    pub(crate) cfg: EngineConfig,
+    pub(crate) graph: ExprGraph,
+    pub(crate) ctx: Rc<StorageCtx>,
+    pub(crate) heap: PagedHeap,
+    pub(crate) vec_sources: HashMap<u32, DenseVector>,
+    pub(crate) mat_sources: HashMap<u32, DenseMatrix>,
+    next_source: u32,
+    /// Materialized vector results, keyed by DAG node (MatNamed's named
+    /// objects; Riot's spills and shared-subexpression caches).
+    pub(crate) materialized: HashMap<NodeId, DenseVector>,
+    pub(crate) mat_materialized: HashMap<NodeId, DenseMatrix>,
+    pub(crate) cpu_ops: Rc<Cell<u64>>,
+    pub(crate) last_opt_stats: RewriteStats,
+    rng: StdRng,
+}
+
+impl Runtime {
+    /// Build a runtime for `cfg`.
+    pub fn new(cfg: EngineConfig) -> Self {
+        let ctx = StorageCtx::new_mem_with(cfg.block_size, cfg.mem_blocks, cfg.replacer);
+        let heap = PagedHeap::new(VmConfig {
+            page_elems: cfg.block_size / 8,
+            frames: cfg.mem_blocks,
+        });
+        Runtime {
+            cfg,
+            graph: ExprGraph::new(),
+            ctx,
+            heap,
+            vec_sources: HashMap::new(),
+            mat_sources: HashMap::new(),
+            next_source: 0,
+            materialized: HashMap::new(),
+            mat_materialized: HashMap::new(),
+            cpu_ops: Rc::new(Cell::new(0)),
+            last_opt_stats: RewriteStats::default(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+        }
+    }
+
+    fn fresh_source(&mut self) -> SourceRef {
+        let r = SourceRef(self.next_source);
+        self.next_source += 1;
+        r
+    }
+
+    /// Flush dirty pages and empty the buffer-pool cache, so the next
+    /// phase is measured cold — the harness calls this between loading and
+    /// querying, like the paper's separate measurement runs. (The Plain R
+    /// heap has no disk backing to flush to; its pages *are* the state.)
+    pub fn drop_caches(&self) -> ExecResult<()> {
+        self.ctx.clear_cache()?;
+        Ok(())
+    }
+
+    /// Combined I/O across the buffer pool and the paging heap.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        let pool = self.ctx.io_snapshot();
+        let vm = self.heap.io_stats().snapshot();
+        IoSnapshot {
+            reads: pool.reads + vm.reads,
+            writes: pool.writes + vm.writes,
+            seq_reads: pool.seq_reads + vm.seq_reads,
+            seq_writes: pool.seq_writes + vm.seq_writes,
+            bytes_read: pool.bytes_read + vm.bytes_read,
+            bytes_written: pool.bytes_written + vm.bytes_written,
+        }
+    }
+
+    /// Scalar operations performed so far.
+    pub fn cpu_ops(&self) -> u64 {
+        self.cpu_ops.get()
+    }
+
+    /// Modeled execution time per Figure 1(b)'s I/O-dominated accounting.
+    pub fn modeled_seconds(&self, model: &DiskModel) -> f64 {
+        model.modeled_seconds(&self.io_snapshot(), self.cpu_ops())
+    }
+
+    fn count_ops(&self, n: usize) {
+        self.cpu_ops.set(self.cpu_ops.get() + n as u64);
+    }
+
+    fn chunk(&self) -> usize {
+        self.cfg.chunk_elems
+    }
+
+    fn mem_elems(&self) -> usize {
+        self.cfg.mem_blocks * (self.cfg.block_size / 8)
+    }
+
+    // ================= loading =================
+
+    /// Load a vector produced by `f(i)` for `i in 0..len`.
+    pub(crate) fn load_vector(&mut self, len: usize, mut f: impl FnMut(usize) -> f64) -> ExecResult<VecRepr> {
+        match self.cfg.kind {
+            EngineKind::PlainR => {
+                let id = self.heap.alloc(len);
+                let chunk = self.chunk();
+                let mut buf = Vec::with_capacity(chunk);
+                let mut at = 0;
+                while at < len {
+                    buf.clear();
+                    let take = chunk.min(len - at);
+                    for i in 0..take {
+                        buf.push(f(at + i));
+                    }
+                    self.heap.write_chunk(id, at, &buf);
+                    at += take;
+                }
+                Ok(VecRepr::Vm(id))
+            }
+            EngineKind::Strawman => {
+                let vec = DenseVector::create_wide(&self.ctx, len, None)?;
+                let chunk = self.chunk();
+                let mut buf = Vec::with_capacity(chunk);
+                let mut at = 0;
+                while at < len {
+                    buf.clear();
+                    let take = chunk.min(len - at);
+                    for i in 0..take {
+                        buf.push(f(at + i));
+                    }
+                    vec.write_range(at, &buf)?;
+                    at += take;
+                }
+                vec.flush()?;
+                Ok(VecRepr::Table(Rc::new(StrawTable { vec })))
+            }
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let src = self.fresh_source();
+                let mut writer = VectorWriter::new(&self.ctx, len, None)?;
+                let chunk = self.chunk();
+                let mut buf = Vec::with_capacity(chunk);
+                let mut at = 0;
+                while at < len {
+                    buf.clear();
+                    let take = chunk.min(len - at);
+                    for i in 0..take {
+                        buf.push(f(at + i));
+                    }
+                    writer.push_chunk(&buf)?;
+                    at += take;
+                }
+                self.vec_sources.insert(src.0, writer.finish()?);
+                let node = self.graph.vec_source(src, len);
+                Ok(VecRepr::Node(node))
+            }
+        }
+    }
+
+    /// Load a matrix produced by `f(row, col)`.
+    pub(crate) fn load_matrix(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        layout: MatrixLayout,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> ExecResult<MatRepr> {
+        match self.cfg.kind {
+            EngineKind::PlainR => {
+                let id = self.heap.alloc(rows * cols);
+                let chunk = self.chunk();
+                let mut buf = Vec::with_capacity(chunk);
+                let mut at = 0;
+                while at < rows * cols {
+                    buf.clear();
+                    let take = chunk.min(rows * cols - at);
+                    for i in 0..take {
+                        let idx = at + i;
+                        buf.push(f(idx / cols, idx % cols));
+                    }
+                    self.heap.write_chunk(id, at, &buf);
+                    at += take;
+                }
+                Ok(MatRepr::Vm { id, rows, cols })
+            }
+            EngineKind::Strawman => {
+                let mat = DenseMatrix::from_fn(
+                    &self.ctx,
+                    rows,
+                    cols,
+                    MatrixLayout::ColMajor,
+                    TileOrder::ColMajor,
+                    None,
+                    f,
+                )?;
+                Ok(MatRepr::Stored(Rc::new(StrawMat { mat })))
+            }
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let src = self.fresh_source();
+                let order = match layout {
+                    MatrixLayout::RowMajor => TileOrder::RowMajor,
+                    MatrixLayout::ColMajor => TileOrder::ColMajor,
+                    MatrixLayout::Square => TileOrder::RowMajor,
+                };
+                let mat = DenseMatrix::from_fn(&self.ctx, rows, cols, layout, order, None, f)?;
+                self.mat_sources.insert(src.0, mat);
+                let node = self.graph.mat_source(src, rows, cols);
+                Ok(MatRepr::Node(node))
+            }
+        }
+    }
+
+    // ================= vector operations =================
+
+    /// Length of a vector value.
+    pub(crate) fn vec_len(&self, v: &VecRepr) -> usize {
+        match v {
+            VecRepr::Node(id) => self.graph.shape(*id).len(),
+            VecRepr::Vm(id) => self.heap.len(*id),
+            VecRepr::Table(t) => t.vec.len(),
+        }
+    }
+
+    /// Elementwise binary op between two vector values (R recycling).
+    pub(crate) fn binop(&mut self, op: BinOp, lhs: &VecRepr, rhs: &VecRepr) -> ExecResult<VecRepr> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let (VecRepr::Node(l), VecRepr::Node(r)) = (lhs, rhs) else {
+                    unreachable!("deferred engines hold nodes");
+                };
+                Ok(VecRepr::Node(self.graph.zip(op, *l, *r)?))
+            }
+            EngineKind::PlainR => self.plainr_binop(op, lhs, rhs),
+            EngineKind::Strawman => self.strawman_binop(op, lhs, rhs),
+        }
+    }
+
+    /// Elementwise binary op against a scalar.
+    pub(crate) fn binop_scalar(
+        &mut self,
+        op: BinOp,
+        lhs: &VecRepr,
+        scalar: f64,
+        scalar_on_left: bool,
+    ) -> ExecResult<VecRepr> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let VecRepr::Node(l) = lhs else { unreachable!() };
+                let s = self.graph.scalar(scalar);
+                let node = if scalar_on_left {
+                    self.graph.zip(op, s, *l)?
+                } else {
+                    self.graph.zip(op, *l, s)?
+                };
+                Ok(VecRepr::Node(node))
+            }
+            EngineKind::PlainR => {
+                let scalar_repr = self.scalar_vec(scalar);
+                let out = if scalar_on_left {
+                    self.plainr_binop(op, &scalar_repr, lhs)
+                } else {
+                    self.plainr_binop(op, lhs, &scalar_repr)
+                };
+                self.release(&scalar_repr);
+                out
+            }
+            EngineKind::Strawman => {
+                let scalar_repr = self.scalar_vec(scalar);
+                if scalar_on_left {
+                    self.strawman_binop(op, &scalar_repr, lhs)
+                } else {
+                    self.strawman_binop(op, lhs, &scalar_repr)
+                }
+            }
+        }
+    }
+
+    /// A length-1 vector holding `scalar` (eager engines' broadcast aid).
+    fn scalar_vec(&mut self, scalar: f64) -> VecRepr {
+        match self.cfg.kind {
+            EngineKind::PlainR => {
+                let id = self.heap.alloc(1);
+                self.heap.write_chunk(id, 0, &[scalar]);
+                VecRepr::Vm(id)
+            }
+            EngineKind::Strawman => {
+                let vec = DenseVector::create_wide(&self.ctx, 1, None)
+                    .expect("scalar table allocation");
+                vec.write_range(0, &[scalar]).expect("scalar table write");
+                VecRepr::Table(Rc::new(StrawTable { vec }))
+            }
+            _ => unreachable!("deferred engines use Scalar nodes"),
+        }
+    }
+
+    /// Elementwise unary map.
+    pub(crate) fn unop(&mut self, op: UnOp, input: &VecRepr) -> ExecResult<VecRepr> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let VecRepr::Node(i) = input else { unreachable!() };
+                Ok(VecRepr::Node(self.graph.map(op, *i)))
+            }
+            EngineKind::PlainR => {
+                let n = self.vec_len(input);
+                let VecRepr::Vm(src) = input else { unreachable!() };
+                let src = *src;
+                let dst = self.heap.alloc(n);
+                let chunk = self.chunk();
+                let mut buf = vec![0.0; chunk];
+                let mut at = 0;
+                while at < n {
+                    let take = chunk.min(n - at);
+                    self.heap.read_chunk(src, at, &mut buf[..take]);
+                    for v in &mut buf[..take] {
+                        *v = op.apply(*v);
+                    }
+                    self.heap.write_chunk(dst, at, &buf[..take]);
+                    at += take;
+                }
+                self.count_ops(n);
+                Ok(VecRepr::Vm(dst))
+            }
+            EngineKind::Strawman => {
+                let n = self.vec_len(input);
+                let VecRepr::Table(t) = input else { unreachable!() };
+                let out = DenseVector::create_wide(&self.ctx, n, None)?;
+                let chunk = self.chunk();
+                let mut buf = vec![0.0; chunk];
+                let mut at = 0;
+                while at < n {
+                    let take = chunk.min(n - at);
+                    t.vec.read_range(at, &mut buf[..take])?;
+                    for v in &mut buf[..take] {
+                        *v = op.apply(*v);
+                    }
+                    out.write_range(at, &buf[..take])?;
+                    at += take;
+                }
+                out.flush()?;
+                self.count_ops(n);
+                Ok(VecRepr::Table(Rc::new(StrawTable { vec: out })))
+            }
+        }
+    }
+
+    fn plainr_binop(&mut self, op: BinOp, lhs: &VecRepr, rhs: &VecRepr) -> ExecResult<VecRepr> {
+        let (VecRepr::Vm(l), VecRepr::Vm(r)) = (lhs, rhs) else {
+            unreachable!()
+        };
+        let (l, r) = (*l, *r);
+        let (ll, rl) = (self.heap.len(l), self.heap.len(r));
+        let n = ll.max(rl);
+        let dst = self.heap.alloc(n);
+        let chunk = self.chunk();
+        let mut lb = vec![0.0; chunk];
+        let mut rb = vec![0.0; chunk];
+        let mut ob = vec![0.0; chunk];
+        let mut at = 0;
+        while at < n {
+            let take = chunk.min(n - at);
+            // Aligned fast path; recycled operands fall back to element
+            // reads (R's recycling is rare for large operands).
+            if ll == n {
+                self.heap.read_chunk(l, at, &mut lb[..take]);
+            } else {
+                for i in 0..take {
+                    lb[i] = self.heap.get(l, (at + i) % ll);
+                }
+            }
+            if rl == n {
+                self.heap.read_chunk(r, at, &mut rb[..take]);
+            } else {
+                for i in 0..take {
+                    rb[i] = self.heap.get(r, (at + i) % rl);
+                }
+            }
+            for i in 0..take {
+                ob[i] = op.apply(lb[i], rb[i]);
+            }
+            self.heap.write_chunk(dst, at, &ob[..take]);
+            at += take;
+        }
+        self.count_ops(n);
+        Ok(VecRepr::Vm(dst))
+    }
+
+    fn strawman_binop(&mut self, op: BinOp, lhs: &VecRepr, rhs: &VecRepr) -> ExecResult<VecRepr> {
+        let (VecRepr::Table(lt), VecRepr::Table(rt)) = (lhs, rhs) else {
+            unreachable!()
+        };
+        let (ll, rl) = (lt.vec.len(), rt.vec.len());
+        let n = ll.max(rl);
+        let out = DenseVector::create_wide(&self.ctx, n, None)?;
+        let chunk = self.chunk();
+        let mut lb = vec![0.0; chunk];
+        let mut rb = vec![0.0; chunk];
+        let mut at = 0;
+        while at < n {
+            let take = chunk.min(n - at);
+            if ll == n {
+                lt.vec.read_range(at, &mut lb[..take])?;
+            } else {
+                for i in 0..take {
+                    lb[i] = lt.vec.get((at + i) % ll)?;
+                }
+            }
+            if rl == n {
+                rt.vec.read_range(at, &mut rb[..take])?;
+            } else {
+                for i in 0..take {
+                    rb[i] = rt.vec.get((at + i) % rl)?;
+                }
+            }
+            for i in 0..take {
+                lb[i] = op.apply(lb[i], rb[i]);
+            }
+            out.write_range(at, &lb[..take])?;
+            at += take;
+        }
+        out.flush()?;
+        self.count_ops(n);
+        Ok(VecRepr::Table(Rc::new(StrawTable { vec: out })))
+    }
+
+    /// Subscript read `data[index]`.
+    pub(crate) fn gather(&mut self, data: &VecRepr, index: &VecRepr) -> ExecResult<VecRepr> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let (VecRepr::Node(d), VecRepr::Node(i)) = (data, index) else {
+                    unreachable!()
+                };
+                Ok(VecRepr::Node(self.graph.gather(*d, *i)?))
+            }
+            EngineKind::PlainR => {
+                let (VecRepr::Vm(d), VecRepr::Vm(i)) = (data, index) else {
+                    unreachable!()
+                };
+                let (d, i) = (*d, *i);
+                let (dn, k) = (self.heap.len(d), self.heap.len(i));
+                let dst = self.heap.alloc(k);
+                for t in 0..k {
+                    let raw = self.heap.get(i, t) as i64;
+                    if raw < 1 || raw as usize > dn {
+                        return Err(ExecError::Expr(crate::expr::ExprError::IndexOutOfBounds {
+                            index: raw,
+                            len: dn,
+                        }));
+                    }
+                    let v = self.heap.get(d, raw as usize - 1);
+                    self.heap.set(dst, t, v);
+                }
+                self.count_ops(k);
+                Ok(VecRepr::Vm(dst))
+            }
+            EngineKind::Strawman => {
+                let (VecRepr::Table(dt), VecRepr::Table(it)) = (data, index) else {
+                    unreachable!()
+                };
+                let (dn, k) = (dt.vec.len(), it.vec.len());
+                let out = DenseVector::create_wide(&self.ctx, k, None)?;
+                for t in 0..k {
+                    let raw = it.vec.get(t)? as i64;
+                    if raw < 1 || raw as usize > dn {
+                        return Err(ExecError::Expr(crate::expr::ExprError::IndexOutOfBounds {
+                            index: raw,
+                            len: dn,
+                        }));
+                    }
+                    out.set(t, dt.vec.get(raw as usize - 1)?)?;
+                }
+                self.count_ops(k);
+                Ok(VecRepr::Table(Rc::new(StrawTable { vec: out })))
+            }
+        }
+    }
+
+    /// Masked functional update `data[mask] <- value`.
+    pub(crate) fn mask_assign(
+        &mut self,
+        data: &VecRepr,
+        mask: &VecRepr,
+        value: &VecRepr,
+    ) -> ExecResult<VecRepr> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let (VecRepr::Node(d), VecRepr::Node(m), VecRepr::Node(v)) = (data, mask, value)
+                else {
+                    unreachable!()
+                };
+                Ok(VecRepr::Node(self.graph.mask_assign(*d, *m, *v)?))
+            }
+            _ => {
+                // Eager: out[i] = mask[i] != 0 ? value.at(i) : data[i].
+                let cond = mask.clone();
+                let sel = self.ifelse_eager(&cond, value, data)?;
+                Ok(sel)
+            }
+        }
+    }
+
+    /// Masked update against a scalar replacement value.
+    pub(crate) fn mask_assign_scalar(
+        &mut self,
+        data: &VecRepr,
+        mask: &VecRepr,
+        value: f64,
+    ) -> ExecResult<VecRepr> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let (VecRepr::Node(d), VecRepr::Node(m)) = (data, mask) else {
+                    unreachable!()
+                };
+                let v = self.graph.scalar(value);
+                Ok(VecRepr::Node(self.graph.mask_assign(*d, *m, v)?))
+            }
+            _ => {
+                let v = self.scalar_vec(value);
+                let out = self.mask_assign(data, mask, &v);
+                if let VecRepr::Vm(_) = v {
+                    self.release(&v);
+                }
+                out
+            }
+        }
+    }
+
+    /// Eager elementwise conditional used by the eager engines' updates.
+    fn ifelse_eager(
+        &mut self,
+        cond: &VecRepr,
+        yes: &VecRepr,
+        no: &VecRepr,
+    ) -> ExecResult<VecRepr> {
+        let n = self.vec_len(no).max(self.vec_len(cond));
+        match self.cfg.kind {
+            EngineKind::PlainR => {
+                let (VecRepr::Vm(c), VecRepr::Vm(y), VecRepr::Vm(nn)) = (cond, yes, no) else {
+                    unreachable!()
+                };
+                let (c, y, nn) = (*c, *y, *nn);
+                let (cl, yl, nl) = (self.heap.len(c), self.heap.len(y), self.heap.len(nn));
+                let dst = self.heap.alloc(n);
+                for i in 0..n {
+                    let cv = self.heap.get(c, i % cl);
+                    let v = if cv != 0.0 {
+                        self.heap.get(y, i % yl)
+                    } else {
+                        self.heap.get(nn, i % nl)
+                    };
+                    self.heap.set(dst, i, v);
+                }
+                self.count_ops(n);
+                Ok(VecRepr::Vm(dst))
+            }
+            EngineKind::Strawman => {
+                let (VecRepr::Table(c), VecRepr::Table(y), VecRepr::Table(nn)) = (cond, yes, no)
+                else {
+                    unreachable!()
+                };
+                let (cl, yl, nl) = (c.vec.len(), y.vec.len(), nn.vec.len());
+                let out = DenseVector::create_wide(&self.ctx, n, None)?;
+                let chunk = self.chunk();
+                let mut buf = vec![0.0; chunk];
+                let mut at = 0;
+                while at < n {
+                    let take = chunk.min(n - at);
+                    for i in 0..take {
+                        let idx = at + i;
+                        let cv = c.vec.get(idx % cl)?;
+                        buf[i] = if cv != 0.0 {
+                            y.vec.get(idx % yl)?
+                        } else {
+                            nn.vec.get(idx % nl)?
+                        };
+                    }
+                    out.write_range(at, &buf[..take])?;
+                    at += take;
+                }
+                out.flush()?;
+                self.count_ops(n);
+                Ok(VecRepr::Table(Rc::new(StrawTable { vec: out })))
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// A small in-memory vector value (R's `c(...)`). Deferred engines get
+    /// a `Literal` node — the optimizer can then see the values, exactly
+    /// like RIOT-DB's optimizer sees the small `S` table of Example 1.
+    pub(crate) fn literal(&mut self, values: Vec<f64>) -> ExecResult<VecRepr> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                Ok(VecRepr::Node(self.graph.literal(values)))
+            }
+            EngineKind::PlainR => {
+                let id = self.heap.alloc(values.len().max(1));
+                if !values.is_empty() {
+                    self.heap.write_chunk(id, 0, &values);
+                }
+                Ok(VecRepr::Vm(id))
+            }
+            EngineKind::Strawman => {
+                let vec = DenseVector::create_wide(&self.ctx, values.len(), None)?;
+                if !values.is_empty() {
+                    vec.write_range(0, &values)?;
+                }
+                Ok(VecRepr::Table(Rc::new(StrawTable { vec })))
+            }
+        }
+    }
+
+    /// Functional indexed update `data[index] <- value` (value recycled to
+    /// the index length).
+    pub(crate) fn sub_assign(
+        &mut self,
+        data: &VecRepr,
+        index: &VecRepr,
+        value: &VecRepr,
+    ) -> ExecResult<VecRepr> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let (VecRepr::Node(d), VecRepr::Node(i), VecRepr::Node(v)) = (data, index, value)
+                else {
+                    unreachable!()
+                };
+                Ok(VecRepr::Node(self.graph.sub_assign(*d, *i, *v)?))
+            }
+            EngineKind::PlainR => {
+                let (VecRepr::Vm(d), VecRepr::Vm(i), VecRepr::Vm(v)) = (data, index, value)
+                else {
+                    unreachable!()
+                };
+                let (d, i, v) = (*d, *i, *v);
+                let n = self.heap.len(d);
+                let k = self.heap.len(i);
+                let vl = self.heap.len(v);
+                // Copy-on-write: R duplicates the vector before updating.
+                let dst = self.heap.alloc(n);
+                let chunk = self.chunk();
+                let mut buf = vec![0.0; chunk];
+                let mut at = 0;
+                while at < n {
+                    let take = chunk.min(n - at);
+                    self.heap.read_chunk(d, at, &mut buf[..take]);
+                    self.heap.write_chunk(dst, at, &buf[..take]);
+                    at += take;
+                }
+                for t in 0..k {
+                    let raw = self.heap.get(i, t) as i64;
+                    if raw < 1 || raw as usize > n {
+                        return Err(ExecError::Expr(crate::expr::ExprError::IndexOutOfBounds {
+                            index: raw,
+                            len: n,
+                        }));
+                    }
+                    let val = self.heap.get(v, t % vl);
+                    self.heap.set(dst, raw as usize - 1, val);
+                }
+                self.count_ops(n + k);
+                Ok(VecRepr::Vm(dst))
+            }
+            EngineKind::Strawman => {
+                let (VecRepr::Table(dt), VecRepr::Table(it), VecRepr::Table(vt)) =
+                    (data, index, value)
+                else {
+                    unreachable!()
+                };
+                let n = dt.vec.len();
+                let k = it.vec.len();
+                let vl = vt.vec.len();
+                let out = DenseVector::create_wide(&self.ctx, n, None)?;
+                let chunk = self.chunk();
+                let mut buf = vec![0.0; chunk];
+                let mut at = 0;
+                while at < n {
+                    let take = chunk.min(n - at);
+                    dt.vec.read_range(at, &mut buf[..take])?;
+                    out.write_range(at, &buf[..take])?;
+                    at += take;
+                }
+                for t in 0..k {
+                    let raw = it.vec.get(t)? as i64;
+                    if raw < 1 || raw as usize > n {
+                        return Err(ExecError::Expr(crate::expr::ExprError::IndexOutOfBounds {
+                            index: raw,
+                            len: n,
+                        }));
+                    }
+                    out.set(raw as usize - 1, vt.vec.get(t % vl)?)?;
+                }
+                out.flush()?;
+                self.count_ops(n + k);
+                Ok(VecRepr::Table(Rc::new(StrawTable { vec: out })))
+            }
+        }
+    }
+
+    /// `sample(n, k)`: k distinct 1-based indices, deterministic per seed.
+    pub(crate) fn sample(&mut self, n: usize, k: usize) -> ExecResult<VecRepr> {
+        assert!(k <= n, "cannot sample {k} from {n} without replacement");
+        // Partial Fisher-Yates with a sparse swap map.
+        let mut swaps: HashMap<usize, usize> = HashMap::new();
+        let mut out = Vec::with_capacity(k);
+        for i in 0..k {
+            let j = self.rng.gen_range(i..n);
+            let vi = *swaps.get(&i).unwrap_or(&i);
+            let vj = *swaps.get(&j).unwrap_or(&j);
+            swaps.insert(j, vi);
+            swaps.insert(i, vj);
+            out.push((vj + 1) as f64);
+        }
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                Ok(VecRepr::Node(self.graph.literal(out)))
+            }
+            EngineKind::PlainR => {
+                let id = self.heap.alloc(k);
+                self.heap.write_chunk(id, 0, &out);
+                Ok(VecRepr::Vm(id))
+            }
+            EngineKind::Strawman => {
+                let vec = DenseVector::create_wide(&self.ctx, k, None)?;
+                vec.write_range(0, &out)?;
+                Ok(VecRepr::Table(Rc::new(StrawTable { vec })))
+            }
+        }
+    }
+
+    /// The sequence `start..=end` (R's `start:end`).
+    pub(crate) fn range(&mut self, start: i64, end: i64) -> ExecResult<VecRepr> {
+        assert!(end >= start, "descending ranges not supported");
+        let len = (end - start + 1) as usize;
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => Ok(VecRepr::Node(self.graph.range(start, len))),
+            EngineKind::PlainR => {
+                let id = self.heap.alloc(len);
+                let data: Vec<f64> = (0..len).map(|i| (start + i as i64) as f64).collect();
+                self.heap.write_chunk(id, 0, &data);
+                Ok(VecRepr::Vm(id))
+            }
+            EngineKind::Strawman => {
+                let vec = DenseVector::create_wide(&self.ctx, len, None)?;
+                let data: Vec<f64> = (0..len).map(|i| (start + i as i64) as f64).collect();
+                vec.write_range(0, &data)?;
+                Ok(VecRepr::Table(Rc::new(StrawTable { vec })))
+            }
+        }
+    }
+
+    /// Reduce a vector to a scalar (forces evaluation on all engines, but
+    /// deferred engines stream without materializing).
+    pub(crate) fn aggregate(&mut self, op: AggOp, v: &VecRepr) -> ExecResult<f64> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let VecRepr::Node(id) = v else { unreachable!() };
+                let mut root = self.graph.agg(op, *id);
+                if self.cfg.kind == EngineKind::Riot {
+                    let (r, stats) = optimize(&mut self.graph, root, &self.cfg.opt.clone());
+                    self.last_opt_stats = stats;
+                    root = r;
+                    self.spill_shared(root)?;
+                }
+                let Node::Agg { op, input } = *self.graph.node(root) else {
+                    // Optimizer folded the aggregate to a scalar.
+                    if let Node::Scalar(c) = *self.graph.node(root) {
+                        return Ok(c);
+                    }
+                    unreachable!("agg root stays an agg");
+                };
+                let pipe = self.compile(input, self.graph.shape(input).len())?;
+                let n = pipe.total_len();
+                self.count_ops(n);
+                Ok(drain_agg(pipe, op)?)
+            }
+            EngineKind::PlainR => {
+                let VecRepr::Vm(id) = v else { unreachable!() };
+                let id = *id;
+                let n = self.heap.len(id);
+                let chunk = self.chunk();
+                let mut buf = vec![0.0; chunk];
+                let mut acc = op.init();
+                let mut at = 0;
+                while at < n {
+                    let take = chunk.min(n - at);
+                    self.heap.read_chunk(id, at, &mut buf[..take]);
+                    for &x in &buf[..take] {
+                        acc = op.fold(acc, x);
+                    }
+                    at += take;
+                }
+                if op == AggOp::Mean && n > 0 {
+                    acc /= n as f64;
+                }
+                self.count_ops(n);
+                Ok(acc)
+            }
+            EngineKind::Strawman => {
+                let VecRepr::Table(t) = v else { unreachable!() };
+                let n = t.vec.len();
+                let chunk = self.chunk();
+                let mut buf = vec![0.0; chunk];
+                let mut acc = op.init();
+                let mut at = 0;
+                while at < n {
+                    let take = chunk.min(n - at);
+                    t.vec.read_range(at, &mut buf[..take])?;
+                    for &x in &buf[..take] {
+                        acc = op.fold(acc, x);
+                    }
+                    at += take;
+                }
+                if op == AggOp::Mean && n > 0 {
+                    acc /= n as f64;
+                }
+                self.count_ops(n);
+                Ok(acc)
+            }
+        }
+    }
+
+    // ================= forcing =================
+
+    /// Bind `name` (engine-specific). For `MatNamed` this materializes the
+    /// node to disk — the defining behaviour of that strategy.
+    pub(crate) fn assign(&mut self, v: &VecRepr) -> ExecResult<()> {
+        if self.cfg.kind == EngineKind::MatNamed {
+            if let VecRepr::Node(id) = v {
+                self.force_vector_to_disk(*id)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize node `id` to a stored vector (idempotent).
+    pub(crate) fn force_vector_to_disk(&mut self, id: NodeId) -> ExecResult<DenseVector> {
+        if let Some(v) = self.materialized.get(&id) {
+            return Ok(v.clone());
+        }
+        // Sources are already on disk.
+        if let Node::VecSource { source, .. } = self.graph.node(id) {
+            return Ok(self.vec_sources[&source.0].clone());
+        }
+        let len = self.graph.shape(id).len();
+        let pipe = self.compile(id, len)?;
+        let ctx = Rc::clone(&self.ctx);
+        let vec = materialize(pipe, &ctx, None)?;
+        vec.flush()?;
+        self.materialized.insert(id, vec.clone());
+        Ok(vec)
+    }
+
+    /// Fully evaluate a vector value into memory (the `print` forcing
+    /// point). Riot optimizes the whole reachable DAG here.
+    pub(crate) fn collect(&mut self, v: &VecRepr) -> ExecResult<Vec<f64>> {
+        match (&self.cfg.kind, v) {
+            (EngineKind::PlainR, VecRepr::Vm(id)) => {
+                let id = *id;
+                self.count_ops(self.heap.len(id));
+                Ok(self.heap.to_vec(id))
+            }
+            (EngineKind::Strawman, VecRepr::Table(t)) => Ok(t.vec.to_vec()?),
+            (EngineKind::MatNamed, VecRepr::Node(id)) => {
+                let id = *id;
+                if let Some(vec) = self.materialized.get(&id) {
+                    return Ok(vec.to_vec()?);
+                }
+                let len = self.graph.shape(id).len();
+                let pipe = self.compile(id, len)?;
+                self.count_ops(len);
+                Ok(drain_to_vec(pipe)?)
+            }
+            (EngineKind::Riot, VecRepr::Node(id)) => {
+                let cfg = self.cfg.opt;
+                let (root, stats) = optimize(&mut self.graph, *id, &cfg);
+                self.last_opt_stats = stats;
+                self.spill_shared(root)?;
+                let len = self.graph.shape(root).len();
+                let pipe = self.compile(root, len)?;
+                self.count_ops(len);
+                Ok(drain_to_vec(pipe)?)
+            }
+            _ => unreachable!("representation matches engine"),
+        }
+    }
+
+    /// §5's materialization decision: a deferred-only engine would
+    /// re-compute a subexpression once per reference, because the pipeline
+    /// executes the DAG as a tree. Before compiling, materialize every
+    /// non-leaf vector node referenced more than once whose size makes
+    /// recomputation more expensive than one write+read pass. Spills land
+    /// in the `materialized` cache, so later forcing points reuse them —
+    /// "materialization complements deferred evaluation".
+    fn spill_shared(&mut self, root: NodeId) -> ExecResult<()> {
+        let counts = self.graph.ref_counts(&[root]);
+        let threshold = 4 * self.chunk();
+        // reachable() is children-first, so inner shared nodes spill
+        // before any parent that consumes them is materialized.
+        for id in self.graph.reachable(&[root]) {
+            if id == root
+                || self.graph.node(id).is_leaf()
+                || self.materialized.contains_key(&id)
+            {
+                continue;
+            }
+            let shared = counts.get(&id).copied().unwrap_or(0) >= 2;
+            let big = matches!(self.graph.shape(id), Shape::Vector(n) if n >= threshold);
+            if shared && big {
+                self.force_vector_to_disk(id)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ================= pipeline compilation =================
+
+    /// Compile node `id` into a pipe producing `out_len` elements
+    /// (broadcasting scalars and recycling short operands).
+    pub(crate) fn compile(&mut self, id: NodeId, out_len: usize) -> ExecResult<Box<dyn Pipe>> {
+        let shape = self.graph.shape(id);
+        let own_len = shape.len();
+        if matches!(shape, Shape::Scalar) {
+            let value = self.scalar_value(id)?;
+            return Ok(Box::new(ConstScan::new(value, out_len, self.chunk())));
+        }
+        if own_len != out_len {
+            // Recycled operand: materialize the short side in memory.
+            debug_assert!(own_len < out_len && out_len % own_len == 0);
+            let inner = self.compile(id, own_len)?;
+            let data = drain_to_vec(inner)?;
+            return Ok(Box::new(CycleScan::new(data, out_len, self.chunk())));
+        }
+        if let Some(vec) = self.materialized.get(&id) {
+            return Ok(Box::new(VecScan::new(vec.clone(), self.chunk())));
+        }
+        let node = self.graph.node(id).clone();
+        Ok(match node {
+            Node::VecSource { source, .. } => Box::new(VecScan::new(
+                self.vec_sources[&source.0].clone(),
+                self.chunk(),
+            )),
+            Node::Literal(data) => Box::new(LiteralScan::new(data, self.chunk())),
+            Node::Range { start, len } => Box::new(RangeScan::new(start, len, self.chunk())),
+            Node::Scalar(_) => unreachable!("handled above"),
+            Node::Map { op, input } => {
+                let input = self.compile(input, out_len)?;
+                Box::new(MapPipe::new(op, input, Rc::clone(&self.cpu_ops)))
+            }
+            Node::Zip { op, lhs, rhs } => {
+                let lhs = self.compile(lhs, out_len)?;
+                let rhs = self.compile(rhs, out_len)?;
+                Box::new(ZipPipe::new(op, lhs, rhs, Rc::clone(&self.cpu_ops)))
+            }
+            Node::IfElse { cond, yes, no } => {
+                let cond = self.compile(cond, out_len)?;
+                let yes = self.compile(yes, out_len)?;
+                let no = self.compile(no, out_len)?;
+                Box::new(IfElsePipe::new(cond, yes, no, Rc::clone(&self.cpu_ops)))
+            }
+            Node::Gather { data, index } => {
+                let idx_len = self.graph.shape(index).len();
+                let index = self.compile(index, idx_len)?;
+                let probe = self.compile_probe(data)?;
+                Box::new(GatherPipe::new(index, probe, Rc::clone(&self.cpu_ops)))
+            }
+            Node::SubAssign { data, index, value } => {
+                let vec = self.force_subassign(id, data, index, value)?;
+                Box::new(VecScan::new(vec, self.chunk()))
+            }
+            Node::MaskAssign { data, mask, value } => {
+                // Present when the optimizer is off (MatNamed or ablation):
+                // execute as the equivalent conditional.
+                let cond = self.compile(mask, out_len)?;
+                let yes = self.compile(value, out_len)?;
+                let no = self.compile(data, out_len)?;
+                Box::new(IfElsePipe::new(cond, yes, no, Rc::clone(&self.cpu_ops)))
+            }
+            Node::MatMul { .. } | Node::Transpose { .. } | Node::MatSource { .. } => {
+                return Err(ExecError::Unsupported(
+                    "matrix values cannot stream through vector pipelines; use collect_matrix"
+                        .to_string(),
+                ))
+            }
+            Node::Agg { op, input } => {
+                let in_len = self.graph.shape(input).len();
+                let pipe = self.compile(input, in_len)?;
+                self.count_ops(in_len);
+                let v = drain_agg(pipe, op)?;
+                Box::new(ConstScan::new(v, out_len, self.chunk()))
+            }
+        })
+    }
+
+    /// Evaluate a scalar-shaped node to its value.
+    fn scalar_value(&mut self, id: NodeId) -> ExecResult<f64> {
+        match self.graph.node(id).clone() {
+            Node::Scalar(c) => Ok(c),
+            Node::Agg { op, input } => {
+                let in_len = self.graph.shape(input).len();
+                let pipe = self.compile(input, in_len)?;
+                self.count_ops(in_len);
+                Ok(drain_agg(pipe, op)?)
+            }
+            Node::Map { op, input } => {
+                let x = self.scalar_value(input)?;
+                self.count_ops(1);
+                Ok(op.apply(x))
+            }
+            Node::Zip { op, lhs, rhs } => {
+                let a = self.scalar_value(lhs)?;
+                let b = self.scalar_value(rhs)?;
+                self.count_ops(1);
+                Ok(op.apply(a, b))
+            }
+            Node::IfElse { cond, yes, no } => {
+                let c = self.scalar_value(cond)?;
+                if c != 0.0 {
+                    self.scalar_value(yes)
+                } else {
+                    self.scalar_value(no)
+                }
+            }
+            other => Err(ExecError::Unsupported(format!(
+                "scalar evaluation of {other:?}"
+            ))),
+        }
+    }
+
+    /// Random-access side of a gather: leaves probe directly; anything
+    /// else is materialized first (RIOT's "materialization complements
+    /// deferred evaluation").
+    fn compile_probe(&mut self, id: NodeId) -> ExecResult<Probe> {
+        if let Some(vec) = self.materialized.get(&id) {
+            return Ok(Probe::Stored(vec.clone()));
+        }
+        match self.graph.node(id).clone() {
+            Node::VecSource { source, .. } => {
+                Ok(Probe::Stored(self.vec_sources[&source.0].clone()))
+            }
+            Node::Literal(data) => Ok(Probe::Mem(data)),
+            Node::Range { start, len } => Ok(Probe::Range { start, len }),
+            _ => {
+                let vec = self.force_vector_to_disk(id)?;
+                Ok(Probe::Stored(vec))
+            }
+        }
+    }
+
+    /// Materialize `data`, then overwrite positions `index` with `value`.
+    fn force_subassign(
+        &mut self,
+        node_id: NodeId,
+        data: NodeId,
+        index: NodeId,
+        value: NodeId,
+    ) -> ExecResult<DenseVector> {
+        if let Some(v) = self.materialized.get(&node_id) {
+            return Ok(v.clone());
+        }
+        let len = self.graph.shape(data).len();
+        let pipe = self.compile(data, len)?;
+        let ctx = Rc::clone(&self.ctx);
+        let vec = materialize(pipe, &ctx, None)?;
+        let idx_len = self.graph.shape(index).len();
+        let idx = drain_to_vec(self.compile(index, idx_len)?)?;
+        let vals = drain_to_vec(self.compile(value, idx_len)?)?;
+        for (k, &raw) in idx.iter().enumerate() {
+            let i = raw as i64;
+            if i < 1 || i as usize > vec.len() {
+                return Err(ExecError::Expr(crate::expr::ExprError::IndexOutOfBounds {
+                    index: i,
+                    len: vec.len(),
+                }));
+            }
+            vec.set(i as usize - 1, vals[k])?;
+        }
+        self.count_ops(len + idx.len());
+        self.materialized.insert(node_id, vec.clone());
+        Ok(vec)
+    }
+
+    // ================= matrices =================
+
+    /// Elementwise conditional `ifelse(cond, yes, no)`.
+    pub(crate) fn ifelse(
+        &mut self,
+        cond: &VecRepr,
+        yes: &VecRepr,
+        no: &VecRepr,
+    ) -> ExecResult<VecRepr> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let (VecRepr::Node(c), VecRepr::Node(y), VecRepr::Node(n)) = (cond, yes, no)
+                else {
+                    unreachable!()
+                };
+                Ok(VecRepr::Node(self.graph.if_else(*c, *y, *n)?))
+            }
+            _ => self.ifelse_eager(cond, yes, no),
+        }
+    }
+
+    /// Matrix shape `(rows, cols)`.
+    pub(crate) fn mat_shape(&self, m: &MatRepr) -> (usize, usize) {
+        match m {
+            MatRepr::Node(id) => match self.graph.shape(*id) {
+                Shape::Matrix(r, c) => (r, c),
+                _ => unreachable!("matrix nodes have matrix shapes"),
+            },
+            MatRepr::Vm { rows, cols, .. } => (*rows, *cols),
+            MatRepr::Stored(sm) => sm.mat.shape(),
+        }
+    }
+
+    /// Matrix transpose.
+    pub(crate) fn transpose(&mut self, m: &MatRepr) -> ExecResult<MatRepr> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let MatRepr::Node(id) = m else { unreachable!() };
+                Ok(MatRepr::Node(self.graph.transpose(*id)?))
+            }
+            EngineKind::PlainR => {
+                let MatRepr::Vm { id, rows, cols } = m else {
+                    unreachable!()
+                };
+                let (id, rows, cols) = (*id, *rows, *cols);
+                let t = self.heap.alloc(rows * cols);
+                for i in 0..rows {
+                    for j in 0..cols {
+                        let v = self.heap.get(id, i * cols + j);
+                        self.heap.set(t, j * rows + i, v);
+                    }
+                }
+                self.count_ops(rows * cols);
+                Ok(MatRepr::Vm { id: t, rows: cols, cols: rows })
+            }
+            EngineKind::Strawman => {
+                let MatRepr::Stored(sm) = m else { unreachable!() };
+                let t = sm.mat.transpose(MatrixLayout::ColMajor, TileOrder::ColMajor, None)?;
+                Ok(MatRepr::Stored(Rc::new(StrawMat { mat: t })))
+            }
+        }
+    }
+
+    /// Matrix product.
+    pub(crate) fn matmul(&mut self, lhs: &MatRepr, rhs: &MatRepr) -> ExecResult<MatRepr> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let (MatRepr::Node(l), MatRepr::Node(r)) = (lhs, rhs) else {
+                    unreachable!()
+                };
+                Ok(MatRepr::Node(self.graph.matmul(*l, *r)?))
+            }
+            EngineKind::PlainR => {
+                let (
+                    MatRepr::Vm { id: a, rows: n1, cols: n2 },
+                    MatRepr::Vm { id: b, rows: rb, cols: n3 },
+                ) = (lhs, rhs)
+                else {
+                    unreachable!()
+                };
+                assert_eq!(n2, rb, "non-conformable matrices");
+                let (a, b) = (*a, *b);
+                let (n1, n2, n3) = (*n1, *n2, *n3);
+                let t = self.heap.alloc(n1 * n3);
+                // R's internal loop (Example 2): j outer, i middle, k inner.
+                for j in 0..n3 {
+                    for i in 0..n1 {
+                        let mut acc = 0.0;
+                        for k in 0..n2 {
+                            acc += self.heap.get(a, i * n2 + k) * self.heap.get(b, k * n3 + j);
+                        }
+                        self.heap.set(t, i * n3 + j, acc);
+                    }
+                }
+                self.count_ops(n1 * n2 * n3);
+                Ok(MatRepr::Vm { id: t, rows: n1, cols: n3 })
+            }
+            EngineKind::Strawman => {
+                let (MatRepr::Stored(a), MatRepr::Stored(b)) = (lhs, rhs) else {
+                    unreachable!()
+                };
+                let (t, flops) = matmul::matmul_naive(&a.mat, &b.mat, None)?;
+                self.count_ops(flops as usize);
+                Ok(MatRepr::Stored(Rc::new(StrawMat { mat: t })))
+            }
+        }
+    }
+
+    /// Fully evaluate a matrix value to row-major data.
+    pub(crate) fn collect_matrix(&mut self, m: &MatRepr) -> ExecResult<(usize, usize, Vec<f64>)> {
+        match (&self.cfg.kind, m) {
+            (EngineKind::PlainR, MatRepr::Vm { id, rows, cols }) => {
+                let data = self.heap.to_vec(*id);
+                Ok((*rows, *cols, data))
+            }
+            (EngineKind::Strawman, MatRepr::Stored(sm)) => {
+                let (r, c) = sm.mat.shape();
+                Ok((r, c, sm.mat.to_rows()?))
+            }
+            (_, MatRepr::Node(id)) => {
+                let mut root = *id;
+                if self.cfg.kind == EngineKind::Riot {
+                    let cfg = self.cfg.opt;
+                    let (r, stats) = optimize(&mut self.graph, root, &cfg);
+                    self.last_opt_stats = stats;
+                    root = r;
+                }
+                let mat = self.force_matrix(root)?;
+                let (r, c) = mat.shape();
+                Ok((r, c, mat.to_rows()?))
+            }
+            _ => unreachable!("representation matches engine"),
+        }
+    }
+
+    /// Materialize a matrix node (recursively executing `MatMul` with the
+    /// configured kernel).
+    pub(crate) fn force_matrix(&mut self, id: NodeId) -> ExecResult<DenseMatrix> {
+        if let Some(m) = self.mat_materialized.get(&id) {
+            return Ok(m.clone());
+        }
+        let out = match self.graph.node(id).clone() {
+            Node::MatSource { source, .. } => self.mat_sources[&source.0].clone(),
+            Node::MatMul { lhs, rhs } => {
+                let a = self.force_matrix(lhs)?;
+                let b = self.force_matrix(rhs)?;
+                let (t, flops) =
+                    matmul::multiply(self.cfg.matmul_kernel, &a, &b, self.mem_elems(), None)?;
+                self.count_ops(flops as usize);
+                t
+            }
+            Node::Transpose { input } => {
+                let a = self.force_matrix(input)?;
+                a.transpose(MatrixLayout::Square, TileOrder::RowMajor, None)?
+            }
+            other => {
+                return Err(ExecError::Unsupported(format!(
+                    "matrix execution of {other:?}"
+                )))
+            }
+        };
+        self.mat_materialized.insert(id, out.clone());
+        Ok(out)
+    }
+
+    // ================= reference counting (Plain R) =================
+
+    /// Retain an eager value (R assignment aliases).
+    pub(crate) fn retain(&mut self, v: &VecRepr) {
+        if let VecRepr::Vm(id) = v {
+            self.heap.retain(*id);
+        }
+    }
+
+    /// Release an eager value (R GC of dead intermediates).
+    pub(crate) fn release(&mut self, v: &VecRepr) {
+        if let VecRepr::Vm(id) = v {
+            self.heap.release(*id);
+        }
+    }
+
+    /// Retain an eager matrix.
+    pub(crate) fn retain_mat(&mut self, m: &MatRepr) {
+        if let MatRepr::Vm { id, .. } = m {
+            self.heap.retain(*id);
+        }
+    }
+
+    /// Release an eager matrix.
+    pub(crate) fn release_mat(&mut self, m: &MatRepr) {
+        if let MatRepr::Vm { id, .. } = m {
+            self.heap.release(*id);
+        }
+    }
+}

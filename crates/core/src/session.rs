@@ -1,0 +1,766 @@
+//! The user-facing, R-like API: transparency in action.
+//!
+//! A [`Session`] plays the role of the R interpreter plus the RIOT
+//! package: programs are written once against [`RVec`]/[`RMat`] handles
+//! (operator overloading mirrors R's generics dispatch of §4, "Interfacing
+//! with R") and run unchanged under any [`EngineKind`]. Under eager
+//! engines every operator call computes immediately; under deferred
+//! engines it builds DAG nodes, and computation happens at forcing points
+//! (`collect`, `sum`, assignment for MatNamed).
+//!
+//! ```
+//! use riot_core::{EngineConfig, EngineKind, Session};
+//!
+//! let s = Session::new(EngineConfig::new(EngineKind::Riot));
+//! let x = s.vector_from_fn(1000, |i| i as f64).unwrap();
+//! let d = ((&x - 3.0).square() + 1.0).sqrt();
+//! let idx = s.sample(1000, 5).unwrap();
+//! let z = d.index(&idx);
+//! let values = z.collect().unwrap();
+//! assert_eq!(values.len(), 5);
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use riot_array::MatrixLayout;
+use riot_storage::{DiskModel, IoSnapshot};
+
+use crate::exec::{ExecError, ExecResult};
+use crate::expr::{AggOp, BinOp, UnOp};
+use crate::opt::RewriteStats;
+use crate::policy::{EngineConfig, EngineKind, MatRepr, Runtime, VecRepr};
+
+/// An interactive session bound to one engine.
+#[derive(Clone)]
+pub struct Session {
+    rt: Rc<RefCell<Runtime>>,
+}
+
+impl Session {
+    /// Start a session with `cfg`.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Session {
+            rt: Rc::new(RefCell::new(Runtime::new(cfg))),
+        }
+    }
+
+    /// Shorthand: default configuration for `kind`.
+    pub fn with_engine(kind: EngineKind) -> Self {
+        Session::new(EngineConfig::new(kind))
+    }
+
+    /// The engine this session runs.
+    pub fn kind(&self) -> EngineKind {
+        self.rt.borrow().cfg.kind
+    }
+
+    /// Create a vector from a generator function.
+    pub fn vector_from_fn(
+        &self,
+        len: usize,
+        f: impl FnMut(usize) -> f64,
+    ) -> ExecResult<RVec> {
+        let repr = self.rt.borrow_mut().load_vector(len, f)?;
+        Ok(self.vec(repr))
+    }
+
+    /// Create a vector from a slice.
+    pub fn vector_from_slice(&self, data: &[f64]) -> ExecResult<RVec> {
+        self.vector_from_fn(data.len(), |i| data[i])
+    }
+
+    /// Create a matrix from a generator function, stored with `layout`.
+    pub fn matrix_from_fn(
+        &self,
+        rows: usize,
+        cols: usize,
+        layout: MatrixLayout,
+        f: impl FnMut(usize, usize) -> f64,
+    ) -> ExecResult<RMat> {
+        let repr = self.rt.borrow_mut().load_matrix(rows, cols, layout, f)?;
+        Ok(self.mat(repr))
+    }
+
+    /// R's `sample(n, k)`: k distinct indices in `1..=n`.
+    pub fn sample(&self, n: usize, k: usize) -> ExecResult<RVec> {
+        let repr = self.rt.borrow_mut().sample(n, k)?;
+        Ok(self.vec(repr))
+    }
+
+    /// A small in-memory vector — R's `c(...)`. Unlike
+    /// [`Session::vector_from_slice`] this is *not* a stored source: under
+    /// deferred engines the optimizer sees the literal values.
+    pub fn literal(&self, values: &[f64]) -> ExecResult<RVec> {
+        let repr = self.rt.borrow_mut().literal(values.to_vec())?;
+        Ok(self.vec(repr))
+    }
+
+    /// R's `start:end` sequence.
+    pub fn range(&self, start: i64, end: i64) -> ExecResult<RVec> {
+        let repr = self.rt.borrow_mut().range(start, end)?;
+        Ok(self.vec(repr))
+    }
+
+    /// R's `ifelse(cond, yes, no)` elementwise conditional.
+    pub fn ifelse(&self, cond: &RVec, yes: &RVec, no: &RVec) -> ExecResult<RVec> {
+        let repr = self
+            .rt
+            .borrow_mut()
+            .ifelse(&cond.repr, &yes.repr, &no.repr)?;
+        Ok(self.vec(repr))
+    }
+
+    /// Bind a name to a vector — R's `name <- value`. Under MatNamed this
+    /// is the materialization point; under Riot it is free.
+    pub fn assign(&self, _name: &str, v: &RVec) -> ExecResult<RVec> {
+        self.rt.borrow_mut().assign(&v.repr)?;
+        self.rt.borrow_mut().retain(&v.repr);
+        Ok(RVec {
+            sess: self.clone(),
+            repr: v.repr.clone(),
+        })
+    }
+
+    /// Combined I/O so far (buffer pool + paging heap).
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.rt.borrow().io_snapshot()
+    }
+
+    /// Flush and empty the buffer-pool cache so the next phase starts
+    /// cold (measurement hygiene between load and query).
+    pub fn drop_caches(&self) -> ExecResult<()> {
+        self.rt.borrow().drop_caches()
+    }
+
+    /// Scalar operations so far.
+    pub fn cpu_ops(&self) -> u64 {
+        self.rt.borrow().cpu_ops()
+    }
+
+    /// Modeled elapsed time for the session's I/O + CPU (Figure 1(b)).
+    pub fn modeled_seconds(&self, model: &DiskModel) -> f64 {
+        self.rt.borrow().modeled_seconds(model)
+    }
+
+    /// Optimizer statistics from the most recent forcing point.
+    pub fn last_opt_stats(&self) -> RewriteStats {
+        self.rt.borrow().last_opt_stats
+    }
+
+    /// Render a deferred vector's expression as R-like text.
+    pub fn render(&self, v: &RVec) -> String {
+        match &v.repr {
+            VecRepr::Node(id) => self.rt.borrow().graph.render(*id),
+            _ => "<materialized>".to_string(),
+        }
+    }
+
+    /// Render a deferred vector's expression as the §4.1 SQL view text.
+    pub fn sql_view(&self, v: &RVec, view_name: &str) -> String {
+        match &v.repr {
+            VecRepr::Node(id) => {
+                crate::sqlview::render_view(&self.rt.borrow().graph, *id, view_name)
+            }
+            _ => format!("-- {view_name} is a base table (eager engine)"),
+        }
+    }
+
+    fn vec(&self, repr: VecRepr) -> RVec {
+        RVec {
+            sess: self.clone(),
+            repr,
+        }
+    }
+
+    fn mat(&self, repr: MatRepr) -> RMat {
+        RMat {
+            sess: self.clone(),
+            repr,
+        }
+    }
+
+    fn binop(&self, op: BinOp, l: &RVec, r: &RVec) -> RVec {
+        let repr = self
+            .rt
+            .borrow_mut()
+            .binop(op, &l.repr, &r.repr)
+            .unwrap_or_else(|e| panic!("vector operation failed: {e}"));
+        self.vec(repr)
+    }
+
+    fn binop_scalar(&self, op: BinOp, l: &RVec, s: f64, scalar_left: bool) -> RVec {
+        let repr = self
+            .rt
+            .borrow_mut()
+            .binop_scalar(op, &l.repr, s, scalar_left)
+            .unwrap_or_else(|e| panic!("vector operation failed: {e}"));
+        self.vec(repr)
+    }
+
+    fn unop(&self, op: UnOp, x: &RVec) -> RVec {
+        let repr = self
+            .rt
+            .borrow_mut()
+            .unop(op, &x.repr)
+            .unwrap_or_else(|e| panic!("vector operation failed: {e}"));
+        self.vec(repr)
+    }
+}
+
+/// A vector handle — the reproduction's `dbvector`.
+///
+/// Cloning is cheap (R-style aliasing): under Plain R it bumps the heap
+/// refcount; under Strawman it shares the table; under deferred engines it
+/// copies a node id.
+pub struct RVec {
+    sess: Session,
+    pub(crate) repr: VecRepr,
+}
+
+impl Clone for RVec {
+    fn clone(&self) -> Self {
+        self.sess.rt.borrow_mut().retain(&self.repr);
+        RVec {
+            sess: self.sess.clone(),
+            repr: self.repr.clone(),
+        }
+    }
+}
+
+impl Drop for RVec {
+    fn drop(&mut self) {
+        // Best-effort release; skipped if the runtime is mid-borrow
+        // (e.g. unwinding from a panic inside an operation).
+        if let Ok(mut rt) = self.sess.rt.try_borrow_mut() {
+            rt.release(&self.repr);
+        }
+    }
+}
+
+impl RVec {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.sess.rt.borrow().vec_len(&self.repr)
+    }
+
+    /// True for zero-length vectors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Generic elementwise binary op against another vector (the full
+    /// [`BinOp`] surface; the arithmetic operators below are sugar).
+    pub fn binary(&self, op: BinOp, other: &RVec) -> RVec {
+        self.sess.binop(op, self, other)
+    }
+
+    /// Generic elementwise binary op against a scalar. `scalar_left`
+    /// selects `c ∘ x` rather than `x ∘ c`.
+    pub fn binary_scalar(&self, op: BinOp, c: f64, scalar_left: bool) -> RVec {
+        self.sess.binop_scalar(op, self, c, scalar_left)
+    }
+
+    /// Generic elementwise unary op.
+    pub fn unary(&self, op: UnOp) -> RVec {
+        self.sess.unop(op, self)
+    }
+
+    /// `sqrt(x)`.
+    pub fn sqrt(&self) -> RVec {
+        self.sess.unop(UnOp::Sqrt, self)
+    }
+
+    /// `abs(x)`.
+    pub fn abs(&self) -> RVec {
+        self.sess.unop(UnOp::Abs, self)
+    }
+
+    /// `exp(x)`.
+    pub fn exp(&self) -> RVec {
+        self.sess.unop(UnOp::Exp, self)
+    }
+
+    /// `log(x)` (natural).
+    pub fn ln(&self) -> RVec {
+        self.sess.unop(UnOp::Ln, self)
+    }
+
+    /// `x^2`, as R programs spell it.
+    pub fn square(&self) -> RVec {
+        self.sess.binop_scalar(BinOp::Pow, self, 2.0, false)
+    }
+
+    /// `x^p`.
+    pub fn pow(&self, p: f64) -> RVec {
+        self.sess.binop_scalar(BinOp::Pow, self, p, false)
+    }
+
+    /// Elementwise comparison against a scalar: `x > c` etc.
+    pub fn gt(&self, c: f64) -> RVec {
+        self.sess.binop_scalar(BinOp::Gt, self, c, false)
+    }
+
+    /// `x < c`.
+    pub fn lt(&self, c: f64) -> RVec {
+        self.sess.binop_scalar(BinOp::Lt, self, c, false)
+    }
+
+    /// `x >= c`.
+    pub fn ge(&self, c: f64) -> RVec {
+        self.sess.binop_scalar(BinOp::Ge, self, c, false)
+    }
+
+    /// `x <= c`.
+    pub fn le(&self, c: f64) -> RVec {
+        self.sess.binop_scalar(BinOp::Le, self, c, false)
+    }
+
+    /// Logical negation: `!x` (0 becomes 1, nonzero becomes 0).
+    pub fn not(&self) -> RVec {
+        self.sess.unop(UnOp::Not, self)
+    }
+
+    /// Elementwise comparison against another vector.
+    pub fn gt_vec(&self, other: &RVec) -> RVec {
+        self.sess.binop(BinOp::Gt, self, other)
+    }
+
+    /// `x <= y` elementwise.
+    pub fn le_vec(&self, other: &RVec) -> RVec {
+        self.sess.binop(BinOp::Le, self, other)
+    }
+
+    /// R's `pmin(x, y)`: elementwise minimum.
+    pub fn pmin(&self, other: &RVec) -> RVec {
+        self.sess.binop(BinOp::Min, self, other)
+    }
+
+    /// R's `pmax(x, y)`: elementwise maximum.
+    pub fn pmax(&self, other: &RVec) -> RVec {
+        self.sess.binop(BinOp::Max, self, other)
+    }
+
+    /// Subscript read: `x[idx]` (1-based indices).
+    pub fn index(&self, idx: &RVec) -> RVec {
+        let repr = self
+            .sess
+            .rt
+            .borrow_mut()
+            .gather(&self.repr, &idx.repr)
+            .unwrap_or_else(|e| panic!("subscript failed: {e}"));
+        self.sess.vec(repr)
+    }
+
+    /// Masked update returning the new state: `x[mask] <- value`.
+    pub fn mask_assign(&self, mask: &RVec, value: f64) -> RVec {
+        let repr = self
+            .sess
+            .rt
+            .borrow_mut()
+            .mask_assign_scalar(&self.repr, &mask.repr, value)
+            .unwrap_or_else(|e| panic!("masked assignment failed: {e}"));
+        self.sess.vec(repr)
+    }
+
+    /// Masked update with a vector replacement: `x[mask] <- values`.
+    pub fn mask_assign_vec(&self, mask: &RVec, values: &RVec) -> RVec {
+        let repr = self
+            .sess
+            .rt
+            .borrow_mut()
+            .mask_assign(&self.repr, &mask.repr, &values.repr)
+            .unwrap_or_else(|e| panic!("masked assignment failed: {e}"));
+        self.sess.vec(repr)
+    }
+
+    /// Indexed functional update: `x[idx] <- values` (1-based indices;
+    /// `values` recycles to the index length).
+    pub fn sub_assign(&self, idx: &RVec, values: &RVec) -> RVec {
+        let repr = self
+            .sess
+            .rt
+            .borrow_mut()
+            .sub_assign(&self.repr, &idx.repr, &values.repr)
+            .unwrap_or_else(|e| panic!("indexed assignment failed: {e}"));
+        self.sess.vec(repr)
+    }
+
+    /// `sum(x)` — a forcing point.
+    pub fn sum(&self) -> ExecResult<f64> {
+        self.sess.rt.borrow_mut().aggregate(AggOp::Sum, &self.repr)
+    }
+
+    /// `mean(x)` — a forcing point.
+    pub fn mean(&self) -> ExecResult<f64> {
+        self.sess.rt.borrow_mut().aggregate(AggOp::Mean, &self.repr)
+    }
+
+    /// `min(x)` — a forcing point.
+    pub fn min(&self) -> ExecResult<f64> {
+        self.sess.rt.borrow_mut().aggregate(AggOp::Min, &self.repr)
+    }
+
+    /// `max(x)` — a forcing point.
+    pub fn max(&self) -> ExecResult<f64> {
+        self.sess.rt.borrow_mut().aggregate(AggOp::Max, &self.repr)
+    }
+
+    /// Force evaluation and return all elements — R's `print`.
+    pub fn collect(&self) -> ExecResult<Vec<f64>> {
+        self.sess.rt.borrow_mut().collect(&self.repr)
+    }
+
+    /// The session owning this handle.
+    pub fn session(&self) -> &Session {
+        &self.sess
+    }
+}
+
+/// A matrix handle — the reproduction's `dbmatrix`.
+pub struct RMat {
+    sess: Session,
+    pub(crate) repr: MatRepr,
+}
+
+impl Clone for RMat {
+    fn clone(&self) -> Self {
+        self.sess.rt.borrow_mut().retain_mat(&self.repr);
+        RMat {
+            sess: self.sess.clone(),
+            repr: self.repr.clone(),
+        }
+    }
+}
+
+impl Drop for RMat {
+    fn drop(&mut self) {
+        if let Ok(mut rt) = self.sess.rt.try_borrow_mut() {
+            rt.release_mat(&self.repr);
+        }
+    }
+}
+
+impl RMat {
+    /// Matrix shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.sess.rt.borrow().mat_shape(&self.repr)
+    }
+
+    /// `t(m)`: transpose.
+    pub fn t(&self) -> RMat {
+        let repr = self
+            .sess
+            .rt
+            .borrow_mut()
+            .transpose(&self.repr)
+            .unwrap_or_else(|e| panic!("transpose failed: {e}"));
+        self.sess.mat(repr)
+    }
+
+    /// `a %*% b`.
+    pub fn matmul(&self, rhs: &RMat) -> RMat {
+        let repr = self
+            .sess
+            .rt
+            .borrow_mut()
+            .matmul(&self.repr, &rhs.repr)
+            .unwrap_or_else(|e| panic!("matrix multiplication failed: {e}"));
+        self.sess.mat(repr)
+    }
+
+    /// Force evaluation: `(rows, cols, row-major data)`.
+    pub fn collect(&self) -> ExecResult<(usize, usize, Vec<f64>)> {
+        self.sess.rt.borrow_mut().collect_matrix(&self.repr)
+    }
+
+    /// The session owning this handle.
+    pub fn session(&self) -> &Session {
+        &self.sess
+    }
+}
+
+// ---- operator overloading (R generics dispatch) ----
+
+macro_rules! vec_binops {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl std::ops::$trait<&RVec> for &RVec {
+            type Output = RVec;
+            fn $method(self, rhs: &RVec) -> RVec {
+                self.session().binop($op, self, rhs)
+            }
+        }
+
+        impl std::ops::$trait<f64> for &RVec {
+            type Output = RVec;
+            fn $method(self, rhs: f64) -> RVec {
+                self.session().binop_scalar($op, self, rhs, false)
+            }
+        }
+
+        impl std::ops::$trait<&RVec> for f64 {
+            type Output = RVec;
+            fn $method(self, rhs: &RVec) -> RVec {
+                rhs.session().binop_scalar($op, rhs, self, true)
+            }
+        }
+
+        impl std::ops::$trait<RVec> for RVec {
+            type Output = RVec;
+            fn $method(self, rhs: RVec) -> RVec {
+                self.session().binop($op, &self, &rhs)
+            }
+        }
+
+        impl std::ops::$trait<f64> for RVec {
+            type Output = RVec;
+            fn $method(self, rhs: f64) -> RVec {
+                self.session().binop_scalar($op, &self, rhs, false)
+            }
+        }
+    };
+}
+
+vec_binops!(Add, add, BinOp::Add);
+vec_binops!(Sub, sub, BinOp::Sub);
+vec_binops!(Mul, mul, BinOp::Mul);
+vec_binops!(Div, div, BinOp::Div);
+
+impl std::ops::Neg for &RVec {
+    type Output = RVec;
+    fn neg(self) -> RVec {
+        self.session().unop(UnOp::Neg, self)
+    }
+}
+
+/// Shorthand for errors surfaced by sessions.
+pub type SessionError = ExecError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sessions() -> Vec<Session> {
+        EngineKind::all()
+            .into_iter()
+            .map(Session::with_engine)
+            .collect()
+    }
+
+    #[test]
+    fn arithmetic_matches_across_engines() {
+        for s in sessions() {
+            let x = s.vector_from_fn(100, |i| i as f64).unwrap();
+            let y = s.vector_from_fn(100, |i| (i * 2) as f64).unwrap();
+            let z = (&x + &y) * 0.5 + 1.0;
+            let got = z.collect().unwrap();
+            let want: Vec<f64> = (0..100).map(|i| (i as f64 * 3.0) * 0.5 + 1.0).collect();
+            assert_eq!(got, want, "engine {:?}", s.kind());
+        }
+    }
+
+    #[test]
+    fn example_1_identical_on_all_engines() {
+        let mut outputs = Vec::new();
+        for s in sessions() {
+            let n = 300;
+            let x = s.vector_from_fn(n, |i| (i as f64).sin() * 10.0).unwrap();
+            let y = s.vector_from_fn(n, |i| (i as f64).cos() * 10.0).unwrap();
+            let (xs, ys, xe, ye) = (0.0, 0.0, 3.0, 4.0);
+            let d = ((&x - xs).square() + (&y - ys).square()).sqrt()
+                + ((&x - xe).square() + (&y - ye).square()).sqrt();
+            let d = s.assign("d", &d).unwrap();
+            let sidx = s.sample(n, 17).unwrap();
+            let sidx = s.assign("s", &sidx).unwrap();
+            let z = d.index(&sidx);
+            let z = s.assign("z", &z).unwrap();
+            outputs.push(z.collect().unwrap());
+        }
+        // All four engines share the seed, so the sampled indices agree and
+        // the numeric outputs must be identical.
+        for w in outputs.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        assert_eq!(outputs[0].len(), 17);
+    }
+
+    #[test]
+    fn figure_2_program_identical_on_all_engines() {
+        let mut outputs = Vec::new();
+        for s in sessions() {
+            let a = s.vector_from_fn(200, |i| i as f64 * 0.7 - 30.0).unwrap();
+            let b = a.square();
+            let b = s.assign("b", &b).unwrap();
+            let mask = b.gt(100.0);
+            let b2 = b.mask_assign(&mask, 100.0);
+            let b2 = s.assign("b", &b2).unwrap();
+            let first = s.range(1, 10).unwrap();
+            let z = b2.index(&first);
+            outputs.push(z.collect().unwrap());
+        }
+        for w in outputs.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        for v in &outputs[0] {
+            assert!(*v <= 100.0);
+        }
+    }
+
+    #[test]
+    fn riot_beats_matnamed_beats_strawman_on_io() {
+        // The Figure 1 ordering at miniature scale.
+        let n = 4096;
+        let k = 16;
+        let run = |kind: EngineKind| -> u64 {
+            let mut cfg = EngineConfig::new(kind);
+            cfg.block_size = 512; // 64 elems per block
+            cfg.mem_blocks = 32; // tiny memory cap: ~2048 elements
+            cfg.chunk_elems = 64;
+            let s = Session::new(cfg);
+            let x = s.vector_from_fn(n, |i| i as f64).unwrap();
+            let y = s.vector_from_fn(n, |i| (n - i) as f64).unwrap();
+            let load_io = s.io_snapshot();
+            let d = ((&x - 1.0).square() + (&y - 2.0).square()).sqrt()
+                + ((&x - 3.0).square() + (&y - 4.0).square()).sqrt();
+            let d = s.assign("d", &d).unwrap();
+            let idx = s.sample(n, k).unwrap();
+            let z = d.index(&idx);
+            let out = z.collect().unwrap();
+            assert_eq!(out.len(), k);
+            (s.io_snapshot() - load_io).total_blocks()
+        };
+        let strawman = run(EngineKind::Strawman);
+        let matnamed = run(EngineKind::MatNamed);
+        let riot = run(EngineKind::Riot);
+        let plain = run(EngineKind::PlainR);
+        assert!(riot < matnamed, "riot {riot} < matnamed {matnamed}");
+        assert!(matnamed < strawman, "matnamed {matnamed} < strawman {strawman}");
+        assert!(riot * 10 < plain, "riot {riot} << plain {plain}");
+    }
+
+    #[test]
+    fn riot_collect_reports_pushdown_stats() {
+        let s = Session::with_engine(EngineKind::Riot);
+        let a = s.vector_from_fn(500, |i| i as f64).unwrap();
+        let b = a.square();
+        let mask = b.gt(100.0);
+        let b2 = b.mask_assign(&mask, 100.0);
+        let idx = s.range(1, 10).unwrap();
+        let z = b2.index(&idx);
+        z.collect().unwrap();
+        let stats = s.last_opt_stats();
+        assert!(stats.mask_to_ifelse >= 1);
+        assert!(stats.gathers_pushed >= 1);
+    }
+
+    #[test]
+    fn aggregates_force_without_materializing() {
+        for s in sessions() {
+            let x = s.vector_from_fn(1000, |i| i as f64).unwrap();
+            let y = (&x * 2.0) + 1.0;
+            assert_eq!(y.sum().unwrap(), (0..1000).map(|i| 2.0 * i as f64 + 1.0).sum());
+            assert_eq!(y.min().unwrap(), 1.0);
+            assert_eq!(y.max().unwrap(), 1999.0);
+            assert!((y.mean().unwrap() - 1000.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_chain_consistent_across_engines() {
+        let mut results = Vec::new();
+        for kind in EngineKind::all() {
+            let mut cfg = EngineConfig::new(kind);
+            cfg.block_size = 512;
+            cfg.mem_blocks = 64;
+            let s = Session::new(cfg);
+            let a = s
+                .matrix_from_fn(12, 4, MatrixLayout::Square, |i, j| (i + j) as f64)
+                .unwrap();
+            let b = s
+                .matrix_from_fn(4, 12, MatrixLayout::Square, |i, j| (i * j) as f64 * 0.25)
+                .unwrap();
+            let c = s
+                .matrix_from_fn(12, 12, MatrixLayout::Square, |i, j| {
+                    if i == j {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .unwrap();
+            let abc = a.matmul(&b).matmul(&c);
+            let (r, ccols, data) = abc.collect().unwrap();
+            assert_eq!((r, ccols), (12, 12));
+            results.push(data);
+        }
+        for w in results.windows(2) {
+            let close = w[0]
+                .iter()
+                .zip(&w[1])
+                .all(|(a, b)| (a - b).abs() < 1e-9);
+            assert!(close, "engines disagree on matmul chain");
+        }
+    }
+
+    #[test]
+    fn sql_view_rendering_via_session() {
+        let s = Session::with_engine(EngineKind::Riot);
+        let x = s.vector_from_fn(10, |i| i as f64).unwrap();
+        let y = s.vector_from_fn(10, |i| i as f64).unwrap();
+        let z = &x + &y;
+        let sql = s.sql_view(&z, "E3");
+        assert!(sql.contains("CREATE VIEW E3(I,V)"));
+        let r = s.render(&z);
+        assert!(r.contains('+'), "{r}");
+    }
+
+    #[test]
+    fn riot_spills_shared_subexpressions_once() {
+        // e = f(d) + g(d) with a large shared d: the engine must
+        // materialize d once instead of recomputing it per branch, and a
+        // second forcing point must reuse the spill.
+        let mut cfg = EngineConfig::new(EngineKind::Riot);
+        cfg.block_size = 512;
+        cfg.chunk_elems = 64;
+        cfg.mem_blocks = 16;
+        let s = Session::new(cfg);
+        let n = 4096; // 64 blocks; spill threshold is 4 chunks = 256 elems
+        let x = s.vector_from_fn(n, |i| i as f64).unwrap();
+        let y = s.vector_from_fn(n, |i| (2 * i) as f64).unwrap();
+        let d = (&x + &y).sqrt(); // shared, non-leaf, large
+        let e = &(&d * 2.0) + &(&d * 3.0);
+        s.drop_caches().unwrap();
+        let first = s.io_snapshot();
+        let got = e.sum().unwrap();
+        let want: f64 = (0..n).map(|i| 5.0 * ((3 * i) as f64).sqrt()).sum();
+        assert!((got - want).abs() < 1e-6 * want.abs());
+        let after_first = s.io_snapshot();
+        // d was spilled: exactly one write pass of 64 blocks.
+        assert_eq!((after_first - first).writes, 64, "one spill of d");
+        // A second forcing point reuses the spill: no new writes, and the
+        // reads come from d (64 blocks x 2 branches) not from x and y.
+        let total2 = e.sum().unwrap();
+        assert!((total2 - want).abs() < 1e-6 * want.abs());
+        let after_second = s.io_snapshot();
+        assert_eq!((after_second - after_first).writes, 0, "spill reused");
+    }
+
+    #[test]
+    fn plain_r_thrashes_when_memory_is_tight() {
+        let mut cfg = EngineConfig::new(EngineKind::PlainR);
+        cfg.block_size = 512;
+        cfg.mem_blocks = 8; // 512 elements of physical memory
+        let s = Session::new(cfg);
+        let n = 2048;
+        let x = s.vector_from_fn(n, |i| i as f64).unwrap();
+        let y = s.vector_from_fn(n, |i| i as f64).unwrap();
+        let before = s.io_snapshot();
+        let d = ((&x - 1.0).square() + (&y - 2.0).square()).sqrt();
+        let _ = d.collect().unwrap();
+        let delta = s.io_snapshot() - before;
+        assert!(
+            delta.total_blocks() > 0,
+            "eager evaluation beyond memory must page"
+        );
+    }
+}

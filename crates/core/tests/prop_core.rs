@@ -1,0 +1,254 @@
+//! Property tests for the core: the optimizer must preserve semantics on
+//! *random programs*, and all four engines must agree with the reference
+//! evaluator elementwise.
+
+use proptest::prelude::*;
+use riot_core::{
+    evaluate, optimize, BinOp, EngineConfig, EngineKind, ExprGraph, MemSources, NodeId,
+    OptConfig, Session, UnOp, Value,
+};
+
+/// A small random-program AST we can replay against every backend.
+#[derive(Debug, Clone)]
+enum Prog {
+    /// Input vector 0 or 1.
+    Input(bool),
+    /// Integer-ish scalar constant.
+    Const(i8),
+    /// The range 1..=len.
+    Seq,
+    Map(UnOp, Box<Prog>),
+    Zip(BinOp, Box<Prog>, Box<Prog>),
+    /// data[mask > c] <- c (masked update).
+    Clamp(Box<Prog>, i8),
+    /// Subscript with a fixed small index set.
+    Pick(Box<Prog>, Vec<u8>),
+}
+
+fn unops() -> impl Strategy<Value = UnOp> {
+    prop_oneof![
+        Just(UnOp::Neg),
+        Just(UnOp::Abs),
+        Just(UnOp::Square),
+        Just(UnOp::Not),
+    ]
+}
+
+fn binops() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Min),
+        Just(BinOp::Max),
+        Just(BinOp::Gt),
+        Just(BinOp::Le),
+    ]
+}
+
+fn prog_strategy() -> impl Strategy<Value = Prog> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Prog::Input),
+        (-9i8..10).prop_map(Prog::Const),
+        Just(Prog::Seq),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (unops(), inner.clone()).prop_map(|(op, p)| Prog::Map(op, Box::new(p))),
+            (binops(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Prog::Zip(op, Box::new(a), Box::new(b))),
+            (inner.clone(), 1i8..40).prop_map(|(p, c)| Prog::Clamp(Box::new(p), c)),
+            (inner, prop::collection::vec(any::<u8>(), 1..6))
+                .prop_map(|(p, idx)| Prog::Pick(Box::new(p), idx)),
+        ]
+    })
+}
+
+/// Build the program in an [`ExprGraph`]. Every subexpression is coerced
+/// to vector length `n` (scalars broadcast, Pick re-expanded via gather of
+/// a cycled index) so shapes always compose.
+fn build(
+    g: &mut ExprGraph,
+    p: &Prog,
+    x: NodeId,
+    y: NodeId,
+    n: usize,
+) -> NodeId {
+    match p {
+        Prog::Input(false) => x,
+        Prog::Input(true) => y,
+        Prog::Const(c) => {
+            let s = g.scalar(f64::from(*c));
+            let ones = g.range(1, n);
+            // c + 0 * (1:n): a vector of c's, exercising fold rules.
+            let zero = g.scalar(0.0);
+            let zs = g.zip(BinOp::Mul, ones, zero).unwrap();
+            g.zip(BinOp::Add, zs, s).unwrap()
+        }
+        Prog::Seq => g.range(1, n),
+        Prog::Map(op, inner) => {
+            let i = build(g, inner, x, y, n);
+            g.map(*op, i)
+        }
+        Prog::Zip(op, a, b) => {
+            let a = build(g, a, x, y, n);
+            let b = build(g, b, x, y, n);
+            g.zip(*op, a, b).unwrap()
+        }
+        Prog::Clamp(inner, c) => {
+            let d = build(g, inner, x, y, n);
+            let cv = g.scalar(f64::from(*c));
+            let mask = g.zip(BinOp::Gt, d, cv).unwrap();
+            g.mask_assign(d, mask, cv).unwrap()
+        }
+        Prog::Pick(inner, idx) => {
+            let d = build(g, inner, x, y, n);
+            let k = idx.len();
+            let picks: Vec<f64> = idx.iter().map(|&i| (i as usize % n + 1) as f64).collect();
+            let lit = g.literal(picks);
+            let picked = g.gather(d, lit).unwrap();
+            // Re-expand to length n by cycling indices so composition keeps
+            // working: picked[((0..n) % k) + 1].
+            let cyc: Vec<f64> = (0..n).map(|i| (i % k + 1) as f64).collect();
+            let cyc = g.literal(cyc);
+            g.gather(picked, cyc).unwrap()
+        }
+    }
+}
+
+fn values_close(a: &Value, b: &Value) -> bool {
+    let (a, b) = (a.to_flat(), b.to_flat());
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(&b).all(|(x, y)| {
+        (x.is_nan() && y.is_nan()) || (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Optimizer output is elementwise-equal to the unoptimized DAG.
+    #[test]
+    fn optimizer_preserves_semantics(p in prog_strategy(), n in 3usize..30, seed in any::<u64>()) {
+        let mut g = ExprGraph::new();
+        let mut src = MemSources::new();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 40.0 - 20.0
+        };
+        let xd: Vec<f64> = (0..n).map(|_| next()).collect();
+        let yd: Vec<f64> = (0..n).map(|_| next()).collect();
+        let xr = src.add_vector(xd);
+        let yr = src.add_vector(yd);
+        let x = g.vec_source(xr, n);
+        let y = g.vec_source(yr, n);
+        let root = build(&mut g, &p, x, y, n);
+
+        let want = evaluate(&g, root, &src).unwrap();
+        let (opt_root, _) = optimize(&mut g, root, &OptConfig::default());
+        let got = evaluate(&g, opt_root, &src).unwrap();
+        prop_assert!(
+            values_close(&got, &want),
+            "prog {:?}\nunopt: {}\nopt:   {}",
+            p, g.render(root), g.render(opt_root)
+        );
+    }
+
+    /// All four engines compute the same values as the reference evaluator
+    /// for random programs.
+    #[test]
+    fn engines_agree_with_reference(p in prog_strategy(), n in 3usize..24) {
+        // Reference.
+        let mut g = ExprGraph::new();
+        let mut src = MemSources::new();
+        let xd: Vec<f64> = (0..n).map(|i| (i as f64) * 1.5 - 7.0).collect();
+        let yd: Vec<f64> = (0..n).map(|i| 11.0 - i as f64).collect();
+        let xr = src.add_vector(xd.clone());
+        let yr = src.add_vector(yd.clone());
+        let x = g.vec_source(xr, n);
+        let y = g.vec_source(yr, n);
+        let root = build(&mut g, &p, x, y, n);
+        let want = evaluate(&g, root, &src).unwrap().to_flat();
+
+        for kind in EngineKind::all() {
+            let mut cfg = EngineConfig::new(kind);
+            cfg.block_size = 512;
+            cfg.mem_blocks = 8; // tiny: forces out-of-core paths
+            cfg.chunk_elems = 16;
+            let s = Session::new(cfg);
+            let xv = s.vector_from_slice(&xd).unwrap();
+            let yv = s.vector_from_slice(&yd).unwrap();
+            let out = run_session(&s, &p, &xv, &yv, n);
+            let got = out.collect().unwrap();
+            prop_assert!(
+                got.len() == want.len()
+                    && got.iter().zip(&want).all(|(a, b)| {
+                        (a.is_nan() && b.is_nan())
+                            || (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+                    }),
+                "engine {kind:?} diverged on {p:?}: got {got:?} want {want:?}"
+            );
+        }
+    }
+}
+
+/// Replay a [`Prog`] through the session API (what user R code would do).
+fn run_session(
+    s: &Session,
+    p: &Prog,
+    x: &riot_core::RVec,
+    y: &riot_core::RVec,
+    n: usize,
+) -> riot_core::RVec {
+    match p {
+        Prog::Input(false) => x.clone(),
+        Prog::Input(true) => y.clone(),
+        Prog::Const(c) => {
+            let seq = s.range(1, n as i64).unwrap();
+            (seq * 0.0) + f64::from(*c)
+        }
+        Prog::Seq => s.range(1, n as i64).unwrap(),
+        Prog::Map(op, inner) => {
+            let v = run_session(s, inner, x, y, n);
+            match op {
+                UnOp::Neg => -&v,
+                UnOp::Abs => v.abs(),
+                UnOp::Square => v.square(),
+                UnOp::Not => v.not(),
+                _ => unreachable!("strategy limits unops"),
+            }
+        }
+        Prog::Zip(op, a, b) => {
+            let a = run_session(s, a, x, y, n);
+            let b = run_session(s, b, x, y, n);
+            match op {
+                BinOp::Add => &a + &b,
+                BinOp::Sub => &a - &b,
+                BinOp::Mul => &a * &b,
+                BinOp::Min => a.pmin(&b),
+                BinOp::Max => a.pmax(&b),
+                BinOp::Gt => a.gt_vec(&b),
+                BinOp::Le => a.le_vec(&b),
+                _ => unreachable!("strategy limits binops"),
+            }
+        }
+        Prog::Clamp(inner, c) => {
+            let d = run_session(s, inner, x, y, n);
+            let mask = d.gt(f64::from(*c));
+            d.mask_assign(&mask, f64::from(*c))
+        }
+        Prog::Pick(inner, idx) => {
+            let d = run_session(s, inner, x, y, n);
+            let picks: Vec<f64> = idx.iter().map(|&i| (i as usize % n + 1) as f64).collect();
+            let k = picks.len();
+            let pv = s.vector_from_slice(&picks).unwrap();
+            let picked = d.index(&pv);
+            let cyc: Vec<f64> = (0..n).map(|i| (i % k + 1) as f64).collect();
+            let cv = s.vector_from_slice(&cyc).unwrap();
+            picked.index(&cv)
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Abstract syntax for the R subset.
+
+/// Binary operators at the source level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `^`
+    Pow,
+    /// `%%`
+    Mod,
+    /// `%*%`
+    MatMul,
+    /// `:`
+    Range,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Subscript `x[i]`.
+    Index {
+        /// Indexed expression.
+        target: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Function call; arguments may be named (`matrix(0, nrow=3)`).
+    Call {
+        /// Function name.
+        name: String,
+        /// `(name, value)` pairs; positional arguments have `None` names.
+        args: Vec<(Option<String>, Expr)>,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement (its value is printed at top level only by
+    /// explicit `print`, matching scripts rather than the REPL).
+    Expr(Expr),
+    /// `name <- value`.
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `target[index] <- value`.
+    IndexAssign {
+        /// Target variable name.
+        name: String,
+        /// Subscript expression.
+        index: Expr,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (cond) block [else block]` — condition must be scalar.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_block: Vec<Stmt>,
+        /// Optional else-branch.
+        else_block: Option<Vec<Stmt>>,
+    },
+    /// `for (var in seq) block`.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Sequence expression.
+        seq: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_nodes_compare() {
+        let a = Expr::Binary {
+            op: BinaryOp::Add,
+            lhs: Box::new(Expr::Num(1.0)),
+            rhs: Box::new(Expr::Var("x".into())),
+        };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,831 @@
+//! The interpreter: vectorized R semantics dispatched onto a
+//! [`riot_core::Session`].
+//!
+//! This is the analogue of §4's "Interfacing with R": where RIOT-DB
+//! overloads R's generic functions so `+` on `dbvector`s calls into the
+//! engine, this interpreter routes every vector operation of the script
+//! to the session — so the engine choice is invisible to the program text.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use riot_core::exec::ExecError;
+use riot_core::{BinOp, EngineConfig, RMat, RVec, Session, UnOp};
+
+use crate::ast::{BinaryOp, Expr, Stmt};
+use crate::parser::{parse_program, ParseError};
+
+/// A value in the R environment.
+#[derive(Clone)]
+pub enum RValue {
+    /// A length-1 numeric (kept unboxed for optimizer visibility).
+    Scalar(f64),
+    /// A numeric or logical vector.
+    Vector {
+        /// Engine-backed vector.
+        v: RVec,
+        /// True when produced by a comparison/logical op — determines
+        /// whether `x[i]` treats `i` as a mask or as positions.
+        logical: bool,
+    },
+    /// A matrix.
+    Matrix(RMat),
+    /// A character string.
+    Str(String),
+    /// `NULL` / invisible.
+    Null,
+}
+
+/// Interpreter errors.
+#[derive(Debug)]
+pub enum RError {
+    /// Lex/parse failure.
+    Parse(ParseError),
+    /// Engine execution failure.
+    Exec(ExecError),
+    /// Semantic error (unknown variable, bad argument, ...).
+    Runtime(String),
+}
+
+impl std::fmt::Display for RError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RError::Parse(e) => write!(f, "{e}"),
+            RError::Exec(e) => write!(f, "execution error: {e}"),
+            RError::Runtime(m) => write!(f, "error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RError {}
+
+impl From<ParseError> for RError {
+    fn from(e: ParseError) -> Self {
+        RError::Parse(e)
+    }
+}
+
+impl From<ExecError> for RError {
+    fn from(e: ExecError) -> Self {
+        RError::Exec(e)
+    }
+}
+
+type RResult<T> = Result<T, RError>;
+
+/// An R interpreter bound to one engine session.
+pub struct Interpreter {
+    session: Session,
+    env: HashMap<String, RValue>,
+    output: String,
+    rng: StdRng,
+}
+
+impl Interpreter {
+    /// Fresh interpreter over a new session with `cfg`.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Self::with_session(Session::new(cfg))
+    }
+
+    /// Interpreter over an existing session (shares storage and stats).
+    pub fn with_session(session: Session) -> Self {
+        Interpreter {
+            session,
+            env: HashMap::new(),
+            output: String::new(),
+            rng: StdRng::seed_from_u64(0x5eed),
+        }
+    }
+
+    /// The underlying session (for I/O statistics etc.).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Pre-bind a generated data vector (how harnesses inject large
+    /// inputs without writing them as source literals).
+    pub fn bind_vector(
+        &mut self,
+        name: &str,
+        len: usize,
+        f: impl FnMut(usize) -> f64,
+    ) -> RResult<()> {
+        let v = self.session.vector_from_fn(len, f)?;
+        self.env.insert(
+            name.to_string(),
+            RValue::Vector { v, logical: false },
+        );
+        Ok(())
+    }
+
+    /// Pre-bind a scalar.
+    pub fn bind_scalar(&mut self, name: &str, value: f64) {
+        self.env.insert(name.to_string(), RValue::Scalar(value));
+    }
+
+    /// Look up a variable (for assertions in tests).
+    pub fn get(&self, name: &str) -> Option<&RValue> {
+        self.env.get(name)
+    }
+
+    /// Parse and execute `src`; returns the output printed during the run.
+    pub fn run(&mut self, src: &str) -> RResult<String> {
+        let stmts = parse_program(src)?;
+        let start = self.output.len();
+        self.exec_block(&stmts)?;
+        Ok(self.output[start..].to_string())
+    }
+
+    /// Everything printed so far.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt]) -> RResult<()> {
+        for s in stmts {
+            self.exec(s)?;
+        }
+        Ok(())
+    }
+
+    fn exec(&mut self, stmt: &Stmt) -> RResult<()> {
+        match stmt {
+            Stmt::Expr(e) => {
+                self.eval(e)?;
+                Ok(())
+            }
+            Stmt::Assign { name, value } => {
+                let v = self.eval(value)?;
+                // The paper's assignment hook: named vector objects notify
+                // the engine (materialization point under MatNamed).
+                if let RValue::Vector { v, .. } = &v {
+                    self.session.assign(name, v)?;
+                }
+                self.env.insert(name.clone(), v);
+                Ok(())
+            }
+            Stmt::IndexAssign { name, index, value } => {
+                let current = self
+                    .env
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| RError::Runtime(format!("object '{name}' not found")))?;
+                let RValue::Vector { v: data, .. } = current else {
+                    return Err(RError::Runtime(format!(
+                        "indexed assignment target '{name}' is not a vector"
+                    )));
+                };
+                let idx = self.eval(index)?;
+                let val = self.eval(value)?;
+                let updated = match idx {
+                    // b[b > 100] <- 100: logical mask.
+                    RValue::Vector { v: mask, logical: true } => match val {
+                        RValue::Scalar(c) => data.mask_assign(&mask, c),
+                        RValue::Vector { v, .. } => data.mask_assign_vec(&mask, &v),
+                        _ => {
+                            return Err(RError::Runtime(
+                                "replacement must be numeric".to_string(),
+                            ))
+                        }
+                    },
+                    // x[c(1,2)] <- v: positional update.
+                    RValue::Vector { v: pos, logical: false } => {
+                        let values = self.to_vector(val)?;
+                        data.sub_assign(&pos, &values)
+                    }
+                    RValue::Scalar(p) => {
+                        let pos = self.session.literal(&[p])?;
+                        let values = self.to_vector(val)?;
+                        data.sub_assign(&pos, &values)
+                    }
+                    _ => return Err(RError::Runtime("invalid subscript".to_string())),
+                };
+                let updated = self.session.assign(name, &updated)?;
+                self.env.insert(
+                    name.clone(),
+                    RValue::Vector { v: updated, logical: false },
+                );
+                Ok(())
+            }
+            Stmt::If { cond, then_block, else_block } => {
+                let c = self.eval(cond)?;
+                if self.as_scalar(&c)? != 0.0 {
+                    self.exec_block(then_block)
+                } else if let Some(e) = else_block {
+                    self.exec_block(e)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::For { var, seq, body } => {
+                let seq = self.eval(seq)?;
+                let values = match seq {
+                    RValue::Scalar(v) => vec![v],
+                    RValue::Vector { v, .. } => v.collect()?,
+                    _ => return Err(RError::Runtime("for needs a sequence".to_string())),
+                };
+                for v in values {
+                    self.env.insert(var.clone(), RValue::Scalar(v));
+                    self.exec_block(body)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn eval(&mut self, expr: &Expr) -> RResult<RValue> {
+        match expr {
+            Expr::Num(v) => Ok(RValue::Scalar(*v)),
+            Expr::Bool(b) => Ok(RValue::Scalar(if *b { 1.0 } else { 0.0 })),
+            Expr::Str(s) => Ok(RValue::Str(s.clone())),
+            Expr::Var(name) => self
+                .env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| RError::Runtime(format!("object '{name}' not found"))),
+            Expr::Neg(inner) => match self.eval(inner)? {
+                RValue::Scalar(v) => Ok(RValue::Scalar(-v)),
+                RValue::Vector { v, .. } => Ok(RValue::Vector {
+                    v: -&v,
+                    logical: false,
+                }),
+                _ => Err(RError::Runtime("invalid argument to unary minus".to_string())),
+            },
+            Expr::Not(inner) => match self.eval(inner)? {
+                RValue::Scalar(v) => Ok(RValue::Scalar(if v == 0.0 { 1.0 } else { 0.0 })),
+                RValue::Vector { v, .. } => Ok(RValue::Vector {
+                    v: v.not(),
+                    logical: true,
+                }),
+                _ => Err(RError::Runtime("invalid argument to !".to_string())),
+            },
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                self.binary(*op, l, r)
+            }
+            Expr::Index { target, index } => {
+                let t = self.eval(target)?;
+                let i = self.eval(index)?;
+                self.subscript(t, i)
+            }
+            Expr::Call { name, args } => self.call(name, args),
+        }
+    }
+
+    fn binary(&mut self, op: BinaryOp, l: RValue, r: RValue) -> RResult<RValue> {
+        use BinaryOp as B;
+        if op == B::Range {
+            let (a, b) = (self.as_scalar(&l)?, self.as_scalar(&r)?);
+            let v = self.session.range(a as i64, b as i64)?;
+            return Ok(RValue::Vector { v, logical: false });
+        }
+        if op == B::MatMul {
+            let (RValue::Matrix(a), RValue::Matrix(b)) = (&l, &r) else {
+                return Err(RError::Runtime("%*% requires matrices".to_string()));
+            };
+            return Ok(RValue::Matrix(a.matmul(b)));
+        }
+        let bin = map_binop(op);
+        let logical = is_logical_op(op);
+        match (l, r) {
+            (RValue::Scalar(a), RValue::Scalar(b)) => Ok(RValue::Scalar(bin.apply(a, b))),
+            (RValue::Vector { v, .. }, RValue::Scalar(c)) => Ok(RValue::Vector {
+                v: v.binary_scalar(bin, c, false),
+                logical,
+            }),
+            (RValue::Scalar(c), RValue::Vector { v, .. }) => Ok(RValue::Vector {
+                v: v.binary_scalar(bin, c, true),
+                logical,
+            }),
+            (RValue::Vector { v: a, .. }, RValue::Vector { v: b, .. }) => Ok(RValue::Vector {
+                v: a.binary(bin, &b),
+                logical,
+            }),
+            _ => Err(RError::Runtime(format!(
+                "non-numeric argument to binary operator {op:?}"
+            ))),
+        }
+    }
+
+    fn subscript(&mut self, target: RValue, index: RValue) -> RResult<RValue> {
+        let RValue::Vector { v: data, .. } = target else {
+            return Err(RError::Runtime("subscript target is not a vector".to_string()));
+        };
+        match index {
+            RValue::Scalar(p) => {
+                let idx = self.session.literal(&[p])?;
+                Ok(RValue::Vector {
+                    v: data.index(&idx),
+                    logical: false,
+                })
+            }
+            RValue::Vector { v: idx, logical: false } => Ok(RValue::Vector {
+                v: data.index(&idx),
+                logical: false,
+            }),
+            RValue::Vector { v: mask, logical: true } => {
+                // Logical subscript read: R keeps elements where the mask
+                // is TRUE. The mask length is data length, so this is a
+                // forcing point (the result length is data-dependent).
+                let flags = mask.collect()?;
+                let picks: Vec<f64> = flags
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| **f != 0.0)
+                    .map(|(i, _)| (i + 1) as f64)
+                    .collect();
+                let idx = self.session.literal(&picks)?;
+                Ok(RValue::Vector {
+                    v: data.index(&idx),
+                    logical: false,
+                })
+            }
+            _ => Err(RError::Runtime("invalid subscript".to_string())),
+        }
+    }
+
+    fn call(&mut self, name: &str, args: &[(Option<String>, Expr)]) -> RResult<RValue> {
+        // Evaluate arguments once, in order.
+        let mut vals: Vec<(Option<String>, RValue)> = Vec::with_capacity(args.len());
+        for (n, e) in args {
+            vals.push((n.clone(), self.eval(e)?));
+        }
+        let positional: Vec<&RValue> = vals
+            .iter()
+            .filter(|(n, _)| n.is_none())
+            .map(|(_, v)| v)
+            .collect();
+        let named = |key: &str| -> Option<&RValue> {
+            vals.iter()
+                .find(|(n, _)| n.as_deref() == Some(key))
+                .map(|(_, v)| v)
+        };
+
+        match name {
+            "c" => {
+                let mut out = Vec::new();
+                for v in &positional {
+                    match v {
+                        RValue::Scalar(x) => out.push(*x),
+                        RValue::Vector { v, .. } => out.extend(v.collect()?),
+                        _ => return Err(RError::Runtime("c() of non-numeric".to_string())),
+                    }
+                }
+                let v = self.session.literal(&out)?;
+                Ok(RValue::Vector { v, logical: false })
+            }
+            "sqrt" | "abs" | "exp" | "log" => {
+                let op = match name {
+                    "sqrt" => UnOp::Sqrt,
+                    "abs" => UnOp::Abs,
+                    "exp" => UnOp::Exp,
+                    _ => UnOp::Ln,
+                };
+                match self.arg1(&positional, name)? {
+                    RValue::Scalar(x) => Ok(RValue::Scalar(op.apply(*x))),
+                    RValue::Vector { v, .. } => Ok(RValue::Vector {
+                        v: v.unary(op),
+                        logical: false,
+                    }),
+                    _ => Err(RError::Runtime(format!("{name}() of non-numeric"))),
+                }
+            }
+            "length" => match self.arg1(&positional, name)? {
+                RValue::Scalar(_) => Ok(RValue::Scalar(1.0)),
+                RValue::Vector { v, .. } => Ok(RValue::Scalar(v.len() as f64)),
+                RValue::Matrix(m) => {
+                    let (r, c) = m.shape();
+                    Ok(RValue::Scalar((r * c) as f64))
+                }
+                _ => Ok(RValue::Scalar(0.0)),
+            },
+            "sum" | "mean" | "min" | "max" => match self.arg1(&positional, name)? {
+                RValue::Scalar(x) => Ok(RValue::Scalar(*x)),
+                RValue::Vector { v, .. } => {
+                    let x = match name {
+                        "sum" => v.sum()?,
+                        "mean" => v.mean()?,
+                        "min" => v.min()?,
+                        _ => v.max()?,
+                    };
+                    Ok(RValue::Scalar(x))
+                }
+                _ => Err(RError::Runtime(format!("{name}() of non-numeric"))),
+            },
+            "pmin" | "pmax" => {
+                if positional.len() != 2 {
+                    return Err(RError::Runtime(format!("{name}() needs two arguments")));
+                }
+                let op = if name == "pmin" { BinOp::Min } else { BinOp::Max };
+                match (positional[0], positional[1]) {
+                    (RValue::Vector { v: a, .. }, RValue::Vector { v: b, .. }) => {
+                        Ok(RValue::Vector { v: a.binary(op, b), logical: false })
+                    }
+                    (RValue::Vector { v, .. }, RValue::Scalar(c))
+                    | (RValue::Scalar(c), RValue::Vector { v, .. }) => Ok(RValue::Vector {
+                        v: v.binary_scalar(op, *c, false),
+                        logical: false,
+                    }),
+                    (RValue::Scalar(a), RValue::Scalar(b)) => {
+                        Ok(RValue::Scalar(op.apply(*a, *b)))
+                    }
+                    _ => Err(RError::Runtime(format!("{name}() of non-numeric"))),
+                }
+            }
+            "sample" => {
+                if positional.len() != 2 {
+                    return Err(RError::Runtime("sample(n, k) needs two arguments".to_string()));
+                }
+                let n = self.as_scalar(positional[0])? as usize;
+                let k = self.as_scalar(positional[1])? as usize;
+                let v = self.session.sample(n, k)?;
+                Ok(RValue::Vector { v, logical: false })
+            }
+            "seq_len" => {
+                let n = self.as_scalar(self.arg1(&positional, name)?)? as i64;
+                let v = self.session.range(1, n)?;
+                Ok(RValue::Vector { v, logical: false })
+            }
+            "numeric" => {
+                let n = self.as_scalar(self.arg1(&positional, name)?)? as usize;
+                let v = self.session.vector_from_fn(n, |_| 0.0)?;
+                Ok(RValue::Vector { v, logical: false })
+            }
+            "runif" => {
+                let n = self.as_scalar(self.arg1(&positional, name)?)? as usize;
+                let lo = positional.get(1).map(|v| self.as_scalar(v)).transpose()?.unwrap_or(0.0);
+                let hi = positional.get(2).map(|v| self.as_scalar(v)).transpose()?.unwrap_or(1.0);
+                let values: Vec<f64> =
+                    (0..n).map(|_| self.rng.gen_range(lo..hi)).collect();
+                let v = self.session.vector_from_slice(&values)?;
+                Ok(RValue::Vector { v, logical: false })
+            }
+            "head" => {
+                let k = positional
+                    .get(1)
+                    .map(|v| self.as_scalar(v))
+                    .transpose()?
+                    .unwrap_or(6.0) as i64;
+                match self.arg1(&positional, name)? {
+                    RValue::Vector { v, logical } => {
+                        let idx = self.session.range(1, k.min(v.len() as i64))?;
+                        Ok(RValue::Vector {
+                            v: v.index(&idx),
+                            logical: *logical,
+                        })
+                    }
+                    other => Ok(other.clone()),
+                }
+            }
+            "ifelse" => {
+                if positional.len() != 3 {
+                    return Err(RError::Runtime("ifelse(cond, yes, no)".to_string()));
+                }
+                let cond = self.to_vector(positional[0].clone())?;
+                let yes = self.to_vector(positional[1].clone())?;
+                let no = self.to_vector(positional[2].clone())?;
+                let v = self.session.ifelse(&cond, &yes, &no)?;
+                Ok(RValue::Vector { v, logical: false })
+            }
+            "matrix" => {
+                let data = positional
+                    .first()
+                    .ok_or_else(|| RError::Runtime("matrix() needs data".to_string()))?;
+                let values = match data {
+                    RValue::Scalar(x) => vec![*x],
+                    RValue::Vector { v, .. } => v.collect()?,
+                    _ => return Err(RError::Runtime("matrix data must be numeric".to_string())),
+                };
+                let nrow = named("nrow").map(|v| self.as_scalar(v)).transpose()?;
+                let ncol = named("ncol").map(|v| self.as_scalar(v)).transpose()?;
+                let n = values.len();
+                let (rows, cols) = match (nrow, ncol) {
+                    (Some(r), Some(c)) => (r as usize, c as usize),
+                    (Some(r), None) => (r as usize, n.div_ceil(r as usize)),
+                    (None, Some(c)) => (n.div_ceil(c as usize), c as usize),
+                    (None, None) => (n, 1),
+                };
+                // R fills column-major and recycles the data.
+                let m = self.session.matrix_from_fn(
+                    rows,
+                    cols,
+                    riot_array::MatrixLayout::Square,
+                    |i, j| values[(j * rows + i) % n],
+                )?;
+                Ok(RValue::Matrix(m))
+            }
+            "t" => match self.arg1(&positional, name)? {
+                RValue::Matrix(m) => Ok(RValue::Matrix(m.t())),
+                _ => Err(RError::Runtime("t() needs a matrix".to_string())),
+            },
+            "nrow" | "ncol" => match self.arg1(&positional, name)? {
+                RValue::Matrix(m) => {
+                    let (r, c) = m.shape();
+                    Ok(RValue::Scalar(if name == "nrow" { r } else { c } as f64))
+                }
+                _ => Err(RError::Runtime(format!("{name}() needs a matrix"))),
+            },
+            "print" => {
+                let v = self.arg1(&positional, name)?.clone();
+                let text = self.format_value(&v)?;
+                self.output.push_str(&text);
+                self.output.push('\n');
+                Ok(RValue::Null)
+            }
+            other => Err(RError::Runtime(format!("could not find function \"{other}\""))),
+        }
+    }
+
+    fn arg1<'v>(&self, positional: &[&'v RValue], name: &str) -> RResult<&'v RValue> {
+        positional
+            .first()
+            .copied()
+            .ok_or_else(|| RError::Runtime(format!("{name}() needs an argument")))
+    }
+
+    fn as_scalar(&self, v: &RValue) -> RResult<f64> {
+        match v {
+            RValue::Scalar(x) => Ok(*x),
+            RValue::Vector { v, .. } if v.len() == 1 => Ok(v.collect()?[0]),
+            _ => Err(RError::Runtime("expected a single value".to_string())),
+        }
+    }
+
+    fn to_vector(&mut self, v: RValue) -> RResult<RVec> {
+        match v {
+            RValue::Vector { v, .. } => Ok(v),
+            RValue::Scalar(x) => Ok(self.session.literal(&[x])?),
+            _ => Err(RError::Runtime("expected a numeric value".to_string())),
+        }
+    }
+
+    /// R-style rendering: `[1] 1 4 9`, eight values per line.
+    fn format_value(&mut self, v: &RValue) -> RResult<String> {
+        Ok(match v {
+            RValue::Scalar(x) => format!("[1] {}", format_num(*x)),
+            RValue::Str(s) => format!("[1] \"{s}\""),
+            RValue::Null => "NULL".to_string(),
+            RValue::Vector { v, .. } => {
+                let values = v.collect()?;
+                format_vector(&values)
+            }
+            RValue::Matrix(m) => {
+                let (rows, cols, data) = m.collect()?;
+                let mut out = String::new();
+                out.push_str("     ");
+                for j in 0..cols {
+                    out.push_str(&format!("{:>8}", format!("[,{}]", j + 1)));
+                }
+                for i in 0..rows {
+                    out.push_str(&format!("\n[{},] ", i + 1));
+                    for j in 0..cols {
+                        out.push_str(&format!("{:>8}", format_num(data[i * cols + j])));
+                    }
+                }
+                out
+            }
+        })
+    }
+}
+
+/// Format one number the way R's default print does (up to 7 significant
+/// digits, no trailing zeros).
+fn format_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        let s = format!("{:.6}", x);
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+fn format_vector(values: &[f64]) -> String {
+    if values.is_empty() {
+        return "numeric(0)".to_string();
+    }
+    let mut out = String::new();
+    for (i, chunk) in values.chunks(8).enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("[{}]", i * 8 + 1));
+        for v in chunk {
+            out.push(' ');
+            out.push_str(&format_num(*v));
+        }
+    }
+    out
+}
+
+fn map_binop(op: BinaryOp) -> BinOp {
+    match op {
+        BinaryOp::Add => BinOp::Add,
+        BinaryOp::Sub => BinOp::Sub,
+        BinaryOp::Mul => BinOp::Mul,
+        BinaryOp::Div => BinOp::Div,
+        BinaryOp::Pow => BinOp::Pow,
+        BinaryOp::Mod => BinOp::Mod,
+        BinaryOp::Eq => BinOp::Eq,
+        BinaryOp::Ne => BinOp::Ne,
+        BinaryOp::Lt => BinOp::Lt,
+        BinaryOp::Le => BinOp::Le,
+        BinaryOp::Gt => BinOp::Gt,
+        BinaryOp::Ge => BinOp::Ge,
+        BinaryOp::And => BinOp::And,
+        BinaryOp::Or => BinOp::Or,
+        BinaryOp::Range | BinaryOp::MatMul => unreachable!("handled by caller"),
+    }
+}
+
+fn is_logical_op(op: BinaryOp) -> bool {
+    matches!(
+        op,
+        BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge
+            | BinaryOp::And
+            | BinaryOp::Or
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_core::EngineKind;
+
+    fn run_with(kind: EngineKind, src: &str) -> String {
+        let mut i = Interpreter::new(EngineConfig::new(kind));
+        i.run(src).unwrap_or_else(|e| panic!("{kind:?}: {e}"))
+    }
+
+    fn run(src: &str) -> String {
+        run_with(EngineKind::Riot, src)
+    }
+
+    #[test]
+    fn scalar_arithmetic() {
+        assert_eq!(run("print(1 + 2 * 3)").trim(), "[1] 7");
+        assert_eq!(run("print(2 ^ 10)").trim(), "[1] 1024");
+        assert_eq!(run("print(7 %% 3)").trim(), "[1] 1");
+        assert_eq!(run("print(-2^2)").trim(), "[1] -4");
+    }
+
+    #[test]
+    fn vector_pipeline() {
+        assert_eq!(run("x <- 1:10\nprint(sum(x^2))").trim(), "[1] 385");
+        assert_eq!(run("print(mean(1:9))").trim(), "[1] 5");
+    }
+
+    #[test]
+    fn vector_printing_format() {
+        let out = run("print(1:10)");
+        assert_eq!(out.trim(), "[1] 1 2 3 4 5 6 7 8\n[9] 9 10");
+    }
+
+    #[test]
+    fn example_1_runs_on_all_engines_identically() {
+        let src = "\
+d <- sqrt((x-xs)^2+(y-ys)^2) + sqrt((x-xe)^2+(y-ye)^2)
+s <- sample(length(x), 5)
+z <- d[s]
+print(sum(z > 0))";
+        let mut outs = Vec::new();
+        for kind in EngineKind::all() {
+            let mut i = Interpreter::new(EngineConfig::new(kind));
+            i.bind_vector("x", 200, |k| (k as f64).sin() * 5.0).unwrap();
+            i.bind_vector("y", 200, |k| (k as f64).cos() * 5.0).unwrap();
+            i.bind_scalar("xs", 0.0);
+            i.bind_scalar("ys", 0.0);
+            i.bind_scalar("xe", 3.0);
+            i.bind_scalar("ye", 4.0);
+            outs.push(i.run(src).unwrap());
+        }
+        for w in outs.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        assert_eq!(outs[0].trim(), "[1] 5");
+    }
+
+    #[test]
+    fn figure_2_script() {
+        let src = "\
+b <- a^2
+b[b > 100] <- 100
+print(b[1:10])";
+        for kind in EngineKind::all() {
+            let mut i = Interpreter::new(EngineConfig::new(kind));
+            i.bind_vector("a", 50, |k| k as f64).unwrap();
+            let out = i.run(src).unwrap();
+            // a = 0..49; squares clamped at 100: 0 1 4 9 16 25 36 49 64 81.
+            assert_eq!(
+                out.trim(),
+                "[1] 0 1 4 9 16 25 36 49\n[9] 64 81",
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_assignment() {
+        let out = run("x <- 1:5\nx[2] <- 99\nx[c(4,5)] <- 0\nprint(x)");
+        assert_eq!(out.trim(), "[1] 1 99 3 0 0");
+    }
+
+    #[test]
+    fn logical_subscript_read() {
+        let out = run("x <- 1:10\nprint(x[x > 7])");
+        assert_eq!(out.trim(), "[1] 8 9 10");
+    }
+
+    #[test]
+    fn control_flow_for_and_if() {
+        let out = run("\
+total <- 0
+for (i in 1:10) {
+  if (i %% 2 == 0) {
+    total <- total + i
+  }
+}
+print(total)");
+        assert_eq!(out.trim(), "[1] 30");
+    }
+
+    #[test]
+    fn matrix_multiplication_chain() {
+        let src = "\
+a <- matrix(1:6, nrow = 2, ncol = 3)
+b <- matrix(1:6, nrow = 3, ncol = 2)
+c0 <- a %*% b
+print(c0)";
+        let out = run(src);
+        // R: a = [1 3 5; 2 4 6], b = [1 4; 2 5; 3 6] -> [22 49; 28 64].
+        assert!(out.contains("22"), "{out}");
+        assert!(out.contains("49"), "{out}");
+        assert!(out.contains("28"), "{out}");
+        assert!(out.contains("64"), "{out}");
+    }
+
+    #[test]
+    fn transpose_and_dims() {
+        let out = run("\
+m <- matrix(1:6, nrow = 2, ncol = 3)
+print(nrow(t(m)))
+print(ncol(t(m)))");
+        assert_eq!(out.trim(), "[1] 3\n[1] 2");
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(run("print(length(3:7))").trim(), "[1] 5");
+        assert_eq!(run("print(head(1:100, 3))").trim(), "[1] 1 2 3");
+        assert_eq!(run("print(max(pmin(1:5, 3)))").trim(), "[1] 3");
+        assert_eq!(
+            run("print(ifelse(c(1,0,1), c(10,20,30), c(-1,-2,-3)))").trim(),
+            "[1] 10 -2 30"
+        );
+    }
+
+    #[test]
+    fn seq_and_numeric() {
+        assert_eq!(run("print(sum(seq_len(4)))").trim(), "[1] 10");
+        assert_eq!(run("print(sum(numeric(5)))").trim(), "[1] 0");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut i = Interpreter::new(EngineConfig::new(EngineKind::Riot));
+        assert!(matches!(i.run("print(zz)"), Err(RError::Runtime(_))));
+        assert!(matches!(i.run("x <- ("), Err(RError::Parse(_))));
+        assert!(matches!(
+            i.run("nosuchfn(1)"),
+            Err(RError::Runtime(m)) if m.contains("nosuchfn")
+        ));
+    }
+
+    #[test]
+    fn environment_persists_across_runs() {
+        let mut i = Interpreter::new(EngineConfig::new(EngineKind::Riot));
+        i.run("x <- 21").unwrap();
+        let out = i.run("print(x * 2)").unwrap();
+        assert_eq!(out.trim(), "[1] 42");
+    }
+
+    #[test]
+    fn right_arrow_assignment_works() {
+        assert_eq!(run("5 -> y\nprint(y)").trim(), "[1] 5");
+    }
+
+    #[test]
+    fn runif_is_deterministic_per_interpreter() {
+        let a = run("x <- runif(5)\nprint(sum(x) > 0)");
+        let b = run("x <- runif(5)\nprint(sum(x) > 0)");
+        assert_eq!(a, b);
+    }
+}

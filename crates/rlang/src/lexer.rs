@@ -1,0 +1,526 @@
+//! Tokenizer for the R subset.
+
+use std::fmt;
+
+/// Kinds of lexical tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (double or single quoted).
+    Str(String),
+    /// Identifier (R allows `.` inside names).
+    Ident(String),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// `<-`
+    ArrowLeft,
+    /// `->`
+    ArrowRight,
+    /// `=` (assignment in statement position, named argument in calls)
+    Equals,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `%%`
+    Percent2,
+    /// `%*%`
+    MatMul,
+    /// `:`
+    Colon,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// Statement separator: newline or `;`.
+    Newline,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line (1-based) for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Source line the token starts on.
+    pub line: u32,
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// Source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `src` into a token stream ending with [`TokenKind::Eof`].
+///
+/// Newlines become [`TokenKind::Newline`] separators except where a
+/// continuation is obvious (after an operator, comma, or opening bracket),
+/// mirroring R's line-based statement rules.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out: Vec<Token> = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let n = bytes.len();
+
+    let continues = |out: &[Token]| -> bool {
+        match out.last().map(|t| &t.kind) {
+            None | Some(TokenKind::Newline) => true,
+            Some(k) => matches!(
+                k,
+                TokenKind::Plus
+                    | TokenKind::Minus
+                    | TokenKind::Star
+                    | TokenKind::Slash
+                    | TokenKind::Caret
+                    | TokenKind::Percent2
+                    | TokenKind::MatMul
+                    | TokenKind::Colon
+                    | TokenKind::Eq
+                    | TokenKind::Ne
+                    | TokenKind::Lt
+                    | TokenKind::Le
+                    | TokenKind::Gt
+                    | TokenKind::Ge
+                    | TokenKind::Amp
+                    | TokenKind::Pipe
+                    | TokenKind::Bang
+                    | TokenKind::Comma
+                    | TokenKind::LParen
+                    | TokenKind::LBracket
+                    | TokenKind::LBrace
+                    | TokenKind::ArrowLeft
+                    | TokenKind::ArrowRight
+                    | TokenKind::Equals
+                    | TokenKind::If
+                    | TokenKind::Else
+                    | TokenKind::For
+                    | TokenKind::In
+            ),
+        }
+    };
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '\n' => {
+                if !continues(&out) {
+                    out.push(Token { kind: TokenKind::Newline, line });
+                }
+                line += 1;
+                i += 1;
+            }
+            '#' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ';' => {
+                if !continues(&out) {
+                    out.push(Token { kind: TokenKind::Newline, line });
+                }
+                i += 1;
+            }
+            '0'..='9' | '.' if c != '.' || (i + 1 < n && bytes[i + 1].is_ascii_digit()) => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_digit() || bytes[i] == '.') {
+                    i += 1;
+                }
+                // Exponent part.
+                if i < n && (bytes[i] == 'e' || bytes[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < n && (bytes[j] == '+' || bytes[j] == '-') {
+                        j += 1;
+                    }
+                    if j < n && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < n && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value = text.parse::<f64>().map_err(|_| LexError {
+                    message: format!("bad number '{text}'"),
+                    line,
+                })?;
+                out.push(Token { kind: TokenKind::Num(value), line });
+            }
+            '"' | '\'' => {
+                let quote = c;
+                i += 1;
+                let start = i;
+                while i < n && bytes[i] != quote {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i == n {
+                    return Err(LexError {
+                        message: "unterminated string".to_string(),
+                        line,
+                    });
+                }
+                let text: String = bytes[start..i].iter().collect();
+                i += 1;
+                out.push(Token { kind: TokenKind::Str(text), line });
+            }
+            'a'..='z' | 'A'..='Z' | '.' | '_' => {
+                let start = i;
+                while i < n
+                    && (bytes[i].is_ascii_alphanumeric()
+                        || bytes[i] == '.'
+                        || bytes[i] == '_')
+                {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                let kind = match word.as_str() {
+                    "TRUE" | "T" => TokenKind::Bool(true),
+                    "FALSE" | "F" => TokenKind::Bool(false),
+                    "if" => TokenKind::If,
+                    "else" => TokenKind::Else,
+                    "for" => TokenKind::For,
+                    "in" => TokenKind::In,
+                    _ => TokenKind::Ident(word),
+                };
+                out.push(Token { kind, line });
+            }
+            '%' => {
+                if i + 1 < n && bytes[i + 1] == '%' {
+                    out.push(Token { kind: TokenKind::Percent2, line });
+                    i += 2;
+                } else if i + 2 < n && bytes[i + 1] == '*' && bytes[i + 2] == '%' {
+                    out.push(Token { kind: TokenKind::MatMul, line });
+                    i += 3;
+                } else {
+                    return Err(LexError {
+                        message: "unknown % operator".to_string(),
+                        line,
+                    });
+                }
+            }
+            '<' => {
+                if i + 1 < n && bytes[i + 1] == '-' {
+                    out.push(Token { kind: TokenKind::ArrowLeft, line });
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Token { kind: TokenKind::Le, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Token { kind: TokenKind::Ge, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, line });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Token { kind: TokenKind::Eq, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Equals, line });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Token { kind: TokenKind::Ne, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Bang, line });
+                    i += 1;
+                }
+            }
+            '-' => {
+                if i + 1 < n && bytes[i + 1] == '>' {
+                    out.push(Token { kind: TokenKind::ArrowRight, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Minus, line });
+                    i += 1;
+                }
+            }
+            '+' => {
+                out.push(Token { kind: TokenKind::Plus, line });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, line });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token { kind: TokenKind::Slash, line });
+                i += 1;
+            }
+            '^' => {
+                out.push(Token { kind: TokenKind::Caret, line });
+                i += 1;
+            }
+            ':' => {
+                out.push(Token { kind: TokenKind::Colon, line });
+                i += 1;
+            }
+            '&' => {
+                out.push(Token { kind: TokenKind::Amp, line });
+                i += 1;
+            }
+            '|' => {
+                out.push(Token { kind: TokenKind::Pipe, line });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, line });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token { kind: TokenKind::LBracket, line });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token { kind: TokenKind::RBracket, line });
+                i += 1;
+            }
+            '{' => {
+                out.push(Token { kind: TokenKind::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                out.push(Token { kind: TokenKind::RBrace, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, line });
+                i += 1;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    line,
+                })
+            }
+        }
+    }
+    // Trim trailing separator and close with EOF.
+    while matches!(out.last().map(|t| &t.kind), Some(TokenKind::Newline)) {
+        out.pop();
+    }
+    out.push(Token { kind: TokenKind::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_and_idents() {
+        assert_eq!(
+            kinds("x.1 <- 4.5e3"),
+            vec![
+                TokenKind::Ident("x.1".into()),
+                TokenKind::ArrowLeft,
+                TokenKind::Num(4500.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a %*% b %% c ^ 2"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::MatMul,
+                TokenKind::Ident("b".into()),
+                TokenKind::Percent2,
+                TokenKind::Ident("c".into()),
+                TokenKind::Caret,
+                TokenKind::Num(2.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparisons_vs_assignment() {
+        assert_eq!(
+            kinds("a <= b <- c == d != e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::ArrowLeft,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("d".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_newlines() {
+        let ks = kinds("x <- 1 # set x\ny <- 2");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::ArrowLeft,
+                TokenKind::Num(1.0),
+                TokenKind::Newline,
+                TokenKind::Ident("y".into()),
+                TokenKind::ArrowLeft,
+                TokenKind::Num(2.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn continuation_lines_do_not_split_statements() {
+        // Trailing '+' means the statement continues on the next line.
+        let ks = kinds("z <- 1 +\n  2");
+        assert!(!ks.contains(&TokenKind::Newline));
+    }
+
+    #[test]
+    fn keywords_and_bools() {
+        assert_eq!(
+            kinds("for (i in 1:3) if (TRUE) x else FALSE"),
+            vec![
+                TokenKind::For,
+                TokenKind::LParen,
+                TokenKind::Ident("i".into()),
+                TokenKind::In,
+                TokenKind::Num(1.0),
+                TokenKind::Colon,
+                TokenKind::Num(3.0),
+                TokenKind::RParen,
+                TokenKind::If,
+                TokenKind::LParen,
+                TokenKind::Bool(true),
+                TokenKind::RParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::Else,
+                TokenKind::Bool(false),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(
+            kinds(r#"name <- "hello world""#),
+            vec![
+                TokenKind::Ident("name".into()),
+                TokenKind::ArrowLeft,
+                TokenKind::Str("hello world".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn right_arrow_assignment() {
+        assert_eq!(
+            kinds("1 -> x"),
+            vec![
+                TokenKind::Num(1.0),
+                TokenKind::ArrowRight,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = tokenize("x <- 1\n@").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains('@'));
+    }
+
+    #[test]
+    fn semicolons_separate() {
+        let ks = kinds("a <- 1; b <- 2");
+        assert_eq!(ks.iter().filter(|k| **k == TokenKind::Newline).count(), 1);
+    }
+}

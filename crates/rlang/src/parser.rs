@@ -1,0 +1,567 @@
+//! Recursive-descent parser with R's operator precedence.
+//!
+//! Precedence, tightest first (R language definition):
+//! `[`/calls, `^` (right-assoc), unary `-`, `:`, `%%`/`%*%`, `*`/`/`,
+//! `+`/`-`, comparisons, `!`, `&`, `|`, then assignment forms at
+//! statement level (`<-`, `=`, `->`).
+
+use std::fmt;
+
+use crate::ast::{BinaryOp, Expr, Stmt};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parser errors with line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// Source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a whole program (statements separated by newlines/semicolons).
+pub fn parse_program(src: &str) -> Result<Vec<Stmt>, ParseError> {
+    let tokens = tokenize(src).map_err(|e| ParseError {
+        message: e.message,
+        line: e.line,
+    })?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Paren/bracket nesting depth; newlines are insignificant inside.
+    depth: u32,
+}
+
+impl Parser {
+    fn peek(&mut self) -> &TokenKind {
+        if self.depth > 0 {
+            while matches!(self.tokens[self.pos].kind, TokenKind::Newline) {
+                self.pos += 1;
+            }
+        }
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let _ = self.peek();
+        let t = self.tokens[self.pos].kind.clone();
+        if !matches!(t, TokenKind::Eof) {
+            self.pos += 1;
+        }
+        match t {
+            TokenKind::LParen | TokenKind::LBracket => self.depth += 1,
+            TokenKind::RParen | TokenKind::RBracket => {
+                self.depth = self.depth.saturating_sub(1)
+            }
+            _ => {}
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            let found = self.peek().clone();
+            Err(self.err(format!("expected {what}, found {found:?}")))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            message,
+            line: self.line(),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), TokenKind::Newline) {
+            self.advance();
+        }
+    }
+
+    fn program(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        self.skip_newlines();
+        while !matches!(self.peek(), TokenKind::Eof) {
+            stmts.push(self.statement()?);
+            self.skip_newlines();
+        }
+        Ok(stmts)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if matches!(self.peek(), TokenKind::LBrace) {
+            self.advance();
+            let mut stmts = Vec::new();
+            self.skip_newlines();
+            while !matches!(self.peek(), TokenKind::RBrace) {
+                if matches!(self.peek(), TokenKind::Eof) {
+                    return Err(self.err("unterminated block".to_string()));
+                }
+                stmts.push(self.statement()?);
+                self.skip_newlines();
+            }
+            self.advance();
+            Ok(stmts)
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            TokenKind::If => {
+                self.advance();
+                self.expect(&TokenKind::LParen, "'(' after if")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "')' after condition")?;
+                self.skip_newlines();
+                let then_block = self.block()?;
+                // Allow `else` on the next line (block-style scripts).
+                let checkpoint = self.pos;
+                self.skip_newlines();
+                let else_block = if matches!(self.peek(), TokenKind::Else) {
+                    self.advance();
+                    self.skip_newlines();
+                    Some(self.block()?)
+                } else {
+                    self.pos = checkpoint;
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                })
+            }
+            TokenKind::For => {
+                self.advance();
+                self.expect(&TokenKind::LParen, "'(' after for")?;
+                let TokenKind::Ident(var) = self.advance() else {
+                    return Err(self.err("expected loop variable".to_string()));
+                };
+                self.expect(&TokenKind::In, "'in'")?;
+                let seq = self.expr()?;
+                self.expect(&TokenKind::RParen, "')' after sequence")?;
+                self.skip_newlines();
+                let body = self.block()?;
+                Ok(Stmt::For { var, seq, body })
+            }
+            _ => {
+                let lhs = self.expr()?;
+                match self.peek() {
+                    TokenKind::ArrowLeft | TokenKind::Equals => {
+                        self.advance();
+                        let value = self.expr()?;
+                        self.lvalue(lhs, value)
+                    }
+                    TokenKind::ArrowRight => {
+                        self.advance();
+                        let target = self.expr()?;
+                        self.lvalue(target, lhs)
+                    }
+                    _ => Ok(Stmt::Expr(lhs)),
+                }
+            }
+        }
+    }
+
+    /// Turn `target <- value` into the right assignment form.
+    fn lvalue(&self, target: Expr, value: Expr) -> Result<Stmt, ParseError> {
+        match target {
+            Expr::Var(name) => Ok(Stmt::Assign { name, value }),
+            Expr::Index { target, index } => match *target {
+                Expr::Var(name) => Ok(Stmt::IndexAssign {
+                    name,
+                    index: *index,
+                    value,
+                }),
+                _ => Err(self.err("only simple indexed targets are assignable".to_string())),
+            },
+            _ => Err(self.err("invalid assignment target".to_string())),
+        }
+    }
+
+    // Precedence ladder (loosest first).
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), TokenKind::Pipe) {
+            self.advance();
+            let rhs = self.and_expr()?;
+            lhs = bin(BinaryOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while matches!(self.peek(), TokenKind::Amp) {
+            self.advance();
+            let rhs = self.not_expr()?;
+            lhs = bin(BinaryOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), TokenKind::Bang) {
+            self.advance();
+            let inner = self.not_expr()?;
+            Ok(Expr::Not(Box::new(inner)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Eq => Some(BinaryOp::Eq),
+            TokenKind::Ne => Some(BinaryOp::Ne),
+            TokenKind::Lt => Some(BinaryOp::Lt),
+            TokenKind::Le => Some(BinaryOp::Le),
+            TokenKind::Gt => Some(BinaryOp::Gt),
+            TokenKind::Ge => Some(BinaryOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let rhs = self.add_expr()?;
+            Ok(bin(op, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinaryOp::Add,
+                TokenKind::Minus => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.mul_expr()?;
+            lhs = bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.special_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinaryOp::Mul,
+                TokenKind::Slash => BinaryOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.special_expr()?;
+            lhs = bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    /// `%%` and `%*%` bind tighter than `*`/`/` in R.
+    fn special_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.range_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Percent2 => BinaryOp::Mod,
+                TokenKind::MatMul => BinaryOp::MatMul,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.range_expr()?;
+            lhs = bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn range_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.unary_expr()?;
+        if matches!(self.peek(), TokenKind::Colon) {
+            self.advance();
+            let rhs = self.unary_expr()?;
+            Ok(bin(BinaryOp::Range, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.advance();
+                let inner = self.unary_expr()?;
+                Ok(Expr::Neg(Box::new(inner)))
+            }
+            TokenKind::Plus => {
+                self.advance();
+                self.unary_expr()
+            }
+            _ => self.pow_expr(),
+        }
+    }
+
+    fn pow_expr(&mut self) -> Result<Expr, ParseError> {
+        let base = self.postfix_expr()?;
+        if matches!(self.peek(), TokenKind::Caret) {
+            self.advance();
+            // Right associative, and `-` binds looser: 2^-1 is legal.
+            let exp = self.unary_expr_pow()?;
+            Ok(bin(BinaryOp::Pow, base, exp))
+        } else {
+            Ok(base)
+        }
+    }
+
+    /// Exponent position: allows unary minus then recurses into pow.
+    fn unary_expr_pow(&mut self) -> Result<Expr, ParseError> {
+        if matches!(self.peek(), TokenKind::Minus) {
+            self.advance();
+            let inner = self.unary_expr_pow()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.pow_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::LBracket => {
+                    self.advance();
+                    let index = self.expr()?;
+                    self.expect(&TokenKind::RBracket, "']'")?;
+                    e = Expr::Index {
+                        target: Box::new(e),
+                        index: Box::new(index),
+                    };
+                }
+                TokenKind::LParen => {
+                    let Expr::Var(name) = e else {
+                        return Err(self.err("only named functions can be called".to_string()));
+                    };
+                    self.advance();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.call_arg()?);
+                            if matches!(self.peek(), TokenKind::Comma) {
+                                self.advance();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "')' after arguments")?;
+                    e = Expr::Call { name, args };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn call_arg(&mut self) -> Result<(Option<String>, Expr), ParseError> {
+        // Lookahead for `name = value` (but not `name == value`).
+        if let TokenKind::Ident(name) = self.peek().clone() {
+            let save = self.pos;
+            self.advance();
+            if matches!(self.peek(), TokenKind::Equals) {
+                self.advance();
+                let value = self.expr()?;
+                return Ok((Some(name), value));
+            }
+            self.pos = save;
+        }
+        Ok((None, self.expr()?))
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.advance() {
+            TokenKind::Num(v) => Ok(Expr::Num(v)),
+            TokenKind::Str(s) => Ok(Expr::Str(s)),
+            TokenKind::Bool(b) => Ok(Expr::Bool(b)),
+            TokenKind::Ident(name) => Ok(Expr::Var(name)),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+fn bin(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Stmt {
+        let mut stmts = parse_program(src).unwrap();
+        assert_eq!(stmts.len(), 1, "expected one statement in {src:?}");
+        stmts.remove(0)
+    }
+
+    #[test]
+    fn assignment_forms() {
+        assert!(matches!(one("x <- 1"), Stmt::Assign { .. }));
+        assert!(matches!(one("x = 1"), Stmt::Assign { .. }));
+        assert!(matches!(one("1 -> x"), Stmt::Assign { .. }));
+        assert!(matches!(one("x[2] <- 1"), Stmt::IndexAssign { .. }));
+    }
+
+    #[test]
+    fn precedence_add_mul_pow() {
+        // 1 + 2 * 3 ^ 2  ==  1 + (2 * (3^2))
+        let Stmt::Expr(e) = one("1 + 2 * 3 ^ 2") else { panic!() };
+        let Expr::Binary { op: BinaryOp::Add, rhs, .. } = e else {
+            panic!("top is +")
+        };
+        let Expr::Binary { op: BinaryOp::Mul, rhs: pow, .. } = *rhs else {
+            panic!("then *")
+        };
+        assert!(matches!(*pow, Expr::Binary { op: BinaryOp::Pow, .. }));
+    }
+
+    #[test]
+    fn pow_is_right_associative() {
+        // 2 ^ 3 ^ 2 == 2 ^ (3 ^ 2) = 512, structurally.
+        let Stmt::Expr(e) = one("2 ^ 3 ^ 2") else { panic!() };
+        let Expr::Binary { op: BinaryOp::Pow, lhs, rhs } = e else { panic!() };
+        assert!(matches!(*lhs, Expr::Num(_)));
+        assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::Pow, .. }));
+    }
+
+    #[test]
+    fn matmul_binds_tighter_than_mul() {
+        // a %*% b * 2 == (a %*% b) * 2
+        let Stmt::Expr(e) = one("a %*% b * 2") else { panic!() };
+        let Expr::Binary { op: BinaryOp::Mul, lhs, .. } = e else { panic!() };
+        assert!(matches!(*lhs, Expr::Binary { op: BinaryOp::MatMul, .. }));
+    }
+
+    #[test]
+    fn range_binds_tighter_than_arith() {
+        // 1:n + 1 == (1:n) + 1 in R!
+        let Stmt::Expr(e) = one("1:n + 1") else { panic!() };
+        let Expr::Binary { op: BinaryOp::Add, lhs, .. } = e else { panic!() };
+        assert!(matches!(*lhs, Expr::Binary { op: BinaryOp::Range, .. }));
+    }
+
+    #[test]
+    fn comparison_and_mask_assign() {
+        let s = one("b[b > 100] <- 100");
+        let Stmt::IndexAssign { name, index, value } = s else { panic!() };
+        assert_eq!(name, "b");
+        assert!(matches!(index, Expr::Binary { op: BinaryOp::Gt, .. }));
+        assert!(matches!(value, Expr::Num(_)));
+    }
+
+    #[test]
+    fn nested_calls_with_named_args() {
+        let s = one("m <- matrix(runif(n), nrow = 2, ncol = n/2)");
+        let Stmt::Assign { value: Expr::Call { name, args }, .. } = s else {
+            panic!()
+        };
+        assert_eq!(name, "matrix");
+        assert_eq!(args.len(), 3);
+        assert_eq!(args[0].0, None);
+        assert_eq!(args[1].0.as_deref(), Some("nrow"));
+        assert_eq!(args[2].0.as_deref(), Some("ncol"));
+    }
+
+    #[test]
+    fn example_1_parses() {
+        let src = "\
+d <- sqrt((x-xs)^2+(y-ys)^2) + sqrt((x-xe)^2+(y-ye)^2)
+s <- sample(length(x),100)
+z <- d[s]
+print(z)";
+        let stmts = parse_program(src).unwrap();
+        assert_eq!(stmts.len(), 4);
+    }
+
+    #[test]
+    fn control_flow() {
+        let src = "\
+total <- 0
+for (i in 1:10) {
+  if (i > 5) {
+    total <- total + i
+  } else {
+    total <- total - i
+  }
+}";
+        let stmts = parse_program(src).unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(matches!(stmts[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn newlines_inside_parens_are_insignificant() {
+        let stmts = parse_program("z <- c(1,\n 2,\n 3)").unwrap();
+        assert_eq!(stmts.len(), 1);
+    }
+
+    #[test]
+    fn unary_minus_and_pow() {
+        // -2^2 is -(2^2) in R.
+        let Stmt::Expr(e) = one("-2^2") else { panic!() };
+        assert!(matches!(e, Expr::Neg(_)));
+        // 2^-1 parses.
+        let Stmt::Expr(e) = one("2^-1") else { panic!() };
+        let Expr::Binary { op: BinaryOp::Pow, rhs, .. } = e else { panic!() };
+        assert!(matches!(*rhs, Expr::Neg(_)));
+    }
+
+    #[test]
+    fn errors_report_lines() {
+        let err = parse_program("x <- 1\ny <- )").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn chained_indexing() {
+        let Stmt::Expr(e) = one("x[i][j]") else { panic!() };
+        let Expr::Index { target, .. } = e else { panic!() };
+        assert!(matches!(*target, Expr::Index { .. }));
+    }
+}

@@ -1,0 +1,173 @@
+//! A minimal catalog mapping stored objects to contiguous block extents.
+//!
+//! Arrays, spill files, and strawman "tables" each own one extent. The
+//! catalog exists so engines can account storage per object, free whole
+//! objects at once (the RIOT-DB dependency-tracking hook of §4.1 drops
+//! views/tables when no longer referenced), and report footprints.
+
+use std::collections::HashMap;
+
+use crate::device::BlockId;
+use crate::error::{Result, StorageError};
+use crate::pool::BufferPool;
+
+/// Identifier of a catalogued object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+/// A contiguous run of blocks owned by one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// First block of the extent.
+    pub start: BlockId,
+    /// Length in blocks.
+    pub blocks: u64,
+}
+
+impl Extent {
+    /// Block `i` of this extent (bounds-checked in debug builds).
+    pub fn block(&self, i: u64) -> BlockId {
+        debug_assert!(i < self.blocks, "extent block index out of range");
+        self.start.offset(i)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    extent: Extent,
+    name: Option<String>,
+}
+
+/// Tracks live objects and their extents on one pool/device.
+#[derive(Default)]
+pub struct Catalog {
+    next: u64,
+    objects: HashMap<u64, Entry>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a new object of `blocks` blocks on `pool`.
+    pub fn create(
+        &mut self,
+        pool: &BufferPool,
+        blocks: u64,
+        name: Option<&str>,
+    ) -> Result<(ObjectId, Extent)> {
+        let start = pool.allocate_blocks(blocks.max(1))?;
+        let extent = Extent {
+            start,
+            blocks: blocks.max(1),
+        };
+        let id = ObjectId(self.next);
+        self.next += 1;
+        self.objects.insert(
+            id.0,
+            Entry {
+                extent,
+                name: name.map(str::to_owned),
+            },
+        );
+        Ok((id, extent))
+    }
+
+    /// Extent of `id`.
+    pub fn extent(&self, id: ObjectId) -> Result<Extent> {
+        self.objects
+            .get(&id.0)
+            .map(|e| e.extent)
+            .ok_or(StorageError::UnknownObject(id.0))
+    }
+
+    /// Optional debug name of `id`.
+    pub fn name(&self, id: ObjectId) -> Option<&str> {
+        self.objects.get(&id.0).and_then(|e| e.name.as_deref())
+    }
+
+    /// Drop `id`, releasing its blocks on `pool`.
+    pub fn drop_object(&mut self, pool: &BufferPool, id: ObjectId) -> Result<()> {
+        let entry = self
+            .objects
+            .remove(&id.0)
+            .ok_or(StorageError::UnknownObject(id.0))?;
+        pool.free_blocks(entry.extent.start, entry.extent.blocks)
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects are live.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total blocks held by live objects.
+    pub fn total_blocks(&self) -> u64 {
+        self.objects.values().map(|e| e.extent.blocks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem_device::MemBlockDevice;
+    use crate::pool::PoolConfig;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(Box::new(MemBlockDevice::new(64)), PoolConfig::default())
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let p = pool();
+        let mut cat = Catalog::new();
+        let (id, ext) = cat.create(&p, 4, Some("x")).unwrap();
+        assert_eq!(ext.blocks, 4);
+        assert_eq!(cat.extent(id).unwrap(), ext);
+        assert_eq!(cat.name(id), Some("x"));
+        assert_eq!(cat.total_blocks(), 4);
+    }
+
+    #[test]
+    fn extents_do_not_overlap() {
+        let p = pool();
+        let mut cat = Catalog::new();
+        let (_, a) = cat.create(&p, 3, None).unwrap();
+        let (_, b) = cat.create(&p, 2, None).unwrap();
+        assert!(a.start.0 + a.blocks <= b.start.0);
+    }
+
+    #[test]
+    fn drop_frees_blocks() {
+        let p = pool();
+        let mut cat = Catalog::new();
+        let (id, ext) = cat.create(&p, 2, None).unwrap();
+        p.write_new(ext.block(0), |d| d[0] = 9).unwrap();
+        cat.drop_object(&p, id).unwrap();
+        assert!(cat.extent(id).is_err());
+        assert!(p.read(ext.block(0), |_| ()).is_err());
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn zero_block_request_rounds_up_to_one() {
+        let p = pool();
+        let mut cat = Catalog::new();
+        let (_, ext) = cat.create(&p, 0, None).unwrap();
+        assert_eq!(ext.blocks, 1);
+    }
+
+    #[test]
+    fn unknown_object_errors() {
+        let p = pool();
+        let mut cat = Catalog::new();
+        assert!(cat.extent(ObjectId(42)).is_err());
+        assert!(cat.drop_object(&p, ObjectId(42)).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! The block-device abstraction all I/O flows through.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::error::Result;
+use crate::stats::IoStats;
+
+/// Identifier of one fixed-size block on a device.
+///
+/// Block ids are dense: a device with `n` blocks exposes ids `0..n`.
+/// Sequentiality accounting (see [`IoStats`]) is defined on consecutive ids,
+/// mirroring contiguous placement on a physical disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+impl BlockId {
+    /// The block `offset` blocks after this one.
+    pub fn offset(self, offset: u64) -> BlockId {
+        BlockId(self.0 + offset)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A device that stores fixed-size blocks and counts every transfer.
+///
+/// Implementations must:
+/// * validate buffer lengths against [`BlockDevice::block_size`],
+/// * record each successful read/write on the shared [`IoStats`],
+/// * zero-fill blocks that were allocated but never written.
+pub trait BlockDevice {
+    /// Size of one block in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Current device size in blocks (the bump-allocation high-water mark).
+    fn num_blocks(&self) -> u64;
+
+    /// Read the block `id` into `buf` (`buf.len() == block_size`).
+    fn read_block(&mut self, id: BlockId, buf: &mut [u8]) -> Result<()>;
+
+    /// Write `buf` (`buf.len() == block_size`) to block `id`.
+    fn write_block(&mut self, id: BlockId, buf: &[u8]) -> Result<()>;
+
+    /// Allocate `n` contiguous zeroed blocks, returning the first id.
+    ///
+    /// Allocation itself performs no I/O: a fresh block only costs a write
+    /// when its contents are eventually flushed, exactly like extending a
+    /// file does not read the new pages.
+    fn allocate(&mut self, n: u64) -> Result<BlockId>;
+
+    /// Release `n` blocks starting at `start`.
+    ///
+    /// Devices may reclaim the backing memory but ids are never reused, so
+    /// dangling references fail loudly instead of aliasing new data.
+    fn free(&mut self, start: BlockId, n: u64) -> Result<()>;
+
+    /// The shared traffic counters for this device.
+    fn stats(&self) -> Rc<IoStats>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_id_offset_and_display() {
+        let b = BlockId(5);
+        assert_eq!(b.offset(3), BlockId(8));
+        assert_eq!(format!("{b}"), "#5");
+    }
+
+    #[test]
+    fn block_id_ordering() {
+        assert!(BlockId(1) < BlockId(2));
+        assert_eq!(BlockId(7), BlockId(7));
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type shared by every storage operation.
+
+use crate::device::BlockId;
+use std::fmt;
+
+/// Result alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors produced by devices, the buffer pool, and the catalog.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A block id past the end of the device was accessed.
+    OutOfBounds {
+        /// Offending block id.
+        block: BlockId,
+        /// Device size in blocks at the time of the access.
+        num_blocks: u64,
+    },
+    /// Every frame in the buffer pool is pinned; nothing can be evicted.
+    PoolExhausted {
+        /// Pool capacity in frames.
+        frames: usize,
+    },
+    /// A buffer supplied to a device call does not match the block size.
+    BadBufferLength {
+        /// Expected length (the device block size).
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+    /// An object id unknown to the catalog was referenced.
+    UnknownObject(u64),
+    /// The underlying operating-system file operation failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::OutOfBounds { block, num_blocks } => write!(
+                f,
+                "block {} out of bounds (device has {} blocks)",
+                block.0, num_blocks
+            ),
+            StorageError::PoolExhausted { frames } => write!(
+                f,
+                "buffer pool exhausted: all {frames} frames are pinned"
+            ),
+            StorageError::BadBufferLength { expected, got } => write!(
+                f,
+                "buffer length {got} does not match block size {expected}"
+            ),
+            StorageError::UnknownObject(id) => write!(f, "unknown object id {id}"),
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = StorageError::OutOfBounds {
+            block: BlockId(7),
+            num_blocks: 4,
+        };
+        assert_eq!(e.to_string(), "block 7 out of bounds (device has 4 blocks)");
+    }
+
+    #[test]
+    fn display_pool_exhausted() {
+        let e = StorageError::PoolExhausted { frames: 3 };
+        assert!(e.to_string().contains("all 3 frames"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let e = StorageError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

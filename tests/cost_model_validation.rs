@@ -1,0 +1,156 @@
+//! Appendix A validation: the analytic cost model must agree with the
+//! kernels' *measured* I/O at laptop scale (the paper's asymptotics made
+//! concrete). Tolerances are generous (2x) because the model ignores
+//! boundary tiles and pool caching, but the *ratios between strategies*
+//! must hold tightly.
+
+use riot::array::{DenseMatrix, MatrixLayout, StorageCtx, TileOrder};
+use riot::core::cost::{bnlj_io, naive_colmajor_io, square_tiled_io, CostParams};
+use riot::core::exec::{multiply, MatMulKernel};
+
+const BLOCK: usize = 8192; // 1024 elems, 32x32 tiles
+const EPB: f64 = 1024.0;
+
+fn mk(ctx: &std::rc::Rc<StorageCtx>, n: usize, layout: MatrixLayout) -> DenseMatrix {
+    let order = match layout {
+        MatrixLayout::RowMajor => TileOrder::RowMajor,
+        MatrixLayout::ColMajor => TileOrder::ColMajor,
+        MatrixLayout::Square => TileOrder::RowMajor,
+    };
+    DenseMatrix::from_fn(ctx, n, n, layout, order, None, |i, j| ((i * 7 + j) % 13) as f64)
+        .unwrap()
+}
+
+/// Measure the kernel's total block I/O with a pass-through pool.
+fn measured(kernel: MatMulKernel, n: usize, layout: MatrixLayout, mem_elems: usize) -> f64 {
+    let ctx = StorageCtx::new_mem(BLOCK, 4);
+    let a = mk(&ctx, n, layout);
+    let b = mk(&ctx, n, layout);
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    let (t, _) = multiply(kernel, &a, &b, mem_elems, None).unwrap();
+    ctx.pool().flush_all().unwrap();
+    let io = ctx.io_snapshot() - before;
+    t.free().unwrap();
+    io.total_blocks() as f64
+}
+
+#[test]
+fn square_tiled_matches_model_within_2x() {
+    let n = 128; // 4x4 tiles
+    let mem = 3 * 4 * 1024; // p = 64 -> 2x2-tile submatrices
+    let got = measured(MatMulKernel::SquareTiled, n, MatrixLayout::Square, mem);
+    let want = square_tiled_io(
+        n as f64,
+        n as f64,
+        n as f64,
+        CostParams { mem_elems: mem as f64, block_elems: EPB },
+    );
+    assert!(
+        got <= 2.0 * want && got >= want / 2.0,
+        "square-tiled measured {got} vs model {want:.0}"
+    );
+}
+
+/// BNLJ with its favourable layouts (row-major A, column-major B) over
+/// 512-byte blocks, where a 128-wide matrix packs rows and columns into
+/// whole blocks — the model assumes perfect packing.
+fn measured_bnlj_small_blocks(n: usize, mem_elems: usize) -> f64 {
+    let ctx = StorageCtx::new_mem(512, 4);
+    let a = DenseMatrix::from_fn(&ctx, n, n, MatrixLayout::RowMajor, TileOrder::RowMajor, None,
+        |i, j| ((i * 7 + j) % 13) as f64)
+    .unwrap();
+    let b = DenseMatrix::from_fn(&ctx, n, n, MatrixLayout::ColMajor, TileOrder::ColMajor, None,
+        |i, j| ((i * 3 + j) % 11) as f64)
+    .unwrap();
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    let (t, _) = multiply(MatMulKernel::Bnlj, &a, &b, mem_elems, None).unwrap();
+    ctx.pool().flush_all().unwrap();
+    let io = ctx.io_snapshot() - before;
+    t.free().unwrap();
+    io.total_blocks() as f64
+}
+
+#[test]
+fn bnlj_matches_model_within_2x() {
+    let n = 128;
+    let mem = 16 * 1024; // 64 rows of A + T per pass -> 2 passes
+    let got = measured_bnlj_small_blocks(n, mem);
+    let want = bnlj_io(
+        n as f64,
+        n as f64,
+        n as f64,
+        CostParams { mem_elems: mem as f64, block_elems: 64.0 },
+    );
+    assert!(
+        got <= 2.5 * want && got >= want / 2.5,
+        "bnlj measured {got} vs model {want:.0}"
+    );
+}
+
+#[test]
+fn naive_colmajor_is_catastrophic_as_predicted() {
+    // The model says naive/col-major costs ~n1*n2*n3 blocks where tiled
+    // costs ~2*n^3/(B*p). At n=64 that's a factor of hundreds; measure it.
+    let n = 64;
+    let mem = 3 * 1024;
+    let naive = measured(MatMulKernel::Naive, n, MatrixLayout::ColMajor, mem);
+    let tiled = measured(MatMulKernel::SquareTiled, n, MatrixLayout::Square, mem);
+    assert!(
+        naive > 20.0 * tiled,
+        "naive {naive} must dwarf tiled {tiled}"
+    );
+    // And the model's prediction of the naive disaster is the right order:
+    // every inner-loop element access to col-major A faults.
+    let predicted = naive_colmajor_io(
+        n as f64,
+        n as f64,
+        n as f64,
+        CostParams { mem_elems: mem as f64, block_elems: EPB },
+    );
+    // The tiny pool still catches within-column reuse of B and T, so the
+    // measured count sits below the worst-case model; same magnitude side.
+    assert!(
+        naive > predicted / 100.0,
+        "measured naive {naive} vs worst-case model {predicted:.0}"
+    );
+}
+
+/// Square-tiled over 512-byte blocks (8x8 tiles) for the ratio test.
+fn measured_tiled_small_blocks(n: usize, mem_elems: usize) -> f64 {
+    let ctx = StorageCtx::new_mem(512, 4);
+    let a = DenseMatrix::from_fn(&ctx, n, n, MatrixLayout::Square, TileOrder::RowMajor, None,
+        |i, j| ((i * 7 + j) % 13) as f64)
+    .unwrap();
+    let b = DenseMatrix::from_fn(&ctx, n, n, MatrixLayout::Square, TileOrder::RowMajor, None,
+        |i, j| ((i * 3 + j) % 11) as f64)
+    .unwrap();
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    let (t, _) = multiply(MatMulKernel::SquareTiled, &a, &b, mem_elems, None).unwrap();
+    ctx.pool().flush_all().unwrap();
+    let io = ctx.io_snapshot() - before;
+    t.free().unwrap();
+    io.total_blocks() as f64
+}
+
+#[test]
+fn model_ratio_matches_measured_ratio() {
+    // Figure 3's core claim at mini scale: model(bnlj)/model(tiled) should
+    // predict measured(bnlj)/measured(tiled) within 3x.
+    let n = 128;
+    let mem = 3 * 16 * 64; // p = 32 = 4 tiles of 8
+    let p = CostParams { mem_elems: mem as f64, block_elems: 64.0 };
+    let model_ratio = bnlj_io(n as f64, n as f64, n as f64, p)
+        / square_tiled_io(n as f64, n as f64, n as f64, p);
+    let meas_ratio =
+        measured_bnlj_small_blocks(n, mem) / measured_tiled_small_blocks(n, mem);
+    assert!(
+        meas_ratio / model_ratio < 3.0 && model_ratio / meas_ratio < 3.0,
+        "model ratio {model_ratio:.2} vs measured ratio {meas_ratio:.2}"
+    );
+}

@@ -1,0 +1,118 @@
+//! The transparency acceptance test: the paper's R code, *verbatim*, runs
+//! under all four engines through the riot-rlang interpreter and produces
+//! identical output — while full RIOT does orders of magnitude less I/O.
+
+use riot::{EngineConfig, EngineKind, Interpreter};
+
+/// Example 1 exactly as printed in §3 of the paper.
+const EXAMPLE_1: &str = "\
+d <- sqrt((x-xs)^2+(y-ys)^2) + sqrt((x-xe)^2+(y-ye)^2)
+s <- sample(length(x),100) # draw 100 samples from 1:n
+z <- d[s] # extract elements of d whose indices are in s
+print(z)";
+
+/// The §5 fragment behind Figure 2.
+const FIGURE_2: &str = "\
+b <- a^2; b[b>100] <- 100; print(b[1:10])";
+
+fn interpreter(kind: EngineKind, n: usize) -> Interpreter {
+    let mut cfg = EngineConfig::new(kind);
+    cfg.block_size = 512;
+    cfg.chunk_elems = 64;
+    cfg.mem_blocks = (n / 64) / 2; // cap at half an input vector
+    let mut interp = Interpreter::new(cfg);
+    interp
+        .bind_vector("x", n, |i| (i as f64 * 0.01).sin() * 40.0)
+        .unwrap();
+    interp
+        .bind_vector("y", n, |i| (i as f64 * 0.01).cos() * 40.0)
+        .unwrap();
+    interp
+        .bind_vector("a", n, |i| (i % 500) as f64 * 0.5)
+        .unwrap();
+    for (name, v) in [("xs", 0.0), ("ys", 0.0), ("xe", 30.0), ("ye", 40.0)] {
+        interp.bind_scalar(name, v);
+    }
+    interp
+}
+
+#[test]
+fn verbatim_paper_code_agrees_across_engines() {
+    let n = 1 << 13;
+    let mut outputs = Vec::new();
+    for kind in EngineKind::all() {
+        let mut interp = interpreter(kind, n);
+        let out1 = interp.run(EXAMPLE_1).unwrap();
+        let out2 = interp.run(FIGURE_2).unwrap();
+        outputs.push((kind, out1, out2));
+    }
+    for pair in outputs.windows(2) {
+        assert_eq!(pair[0].1, pair[1].1, "{:?} vs {:?}", pair[0].0, pair[1].0);
+        assert_eq!(pair[0].2, pair[1].2, "{:?} vs {:?}", pair[0].0, pair[1].0);
+    }
+    // Sanity: z printed 100 values (13 lines of <=8).
+    assert_eq!(outputs[0].1.lines().count(), 13);
+}
+
+#[test]
+fn same_script_io_differs_by_orders_of_magnitude() {
+    let n = 1 << 14;
+    let mut blocks = std::collections::HashMap::new();
+    for kind in EngineKind::all() {
+        let mut interp = interpreter(kind, n);
+        interp.session().drop_caches().unwrap();
+        let before = interp.session().io_snapshot();
+        interp.run(EXAMPLE_1).unwrap();
+        let io = interp.session().io_snapshot() - before;
+        blocks.insert(kind, io.total_blocks());
+    }
+    let riot = blocks[&EngineKind::Riot];
+    let plain = blocks[&EngineKind::PlainR];
+    let strawman = blocks[&EngineKind::Strawman];
+    assert!(
+        plain > 10 * riot.max(1),
+        "plain {plain} vs riot {riot}"
+    );
+    assert!(
+        strawman > plain,
+        "strawman {strawman} must exceed plain R {plain}"
+    );
+}
+
+#[test]
+fn interpreter_aggregate_pipelines_without_materializing() {
+    // sum(big expression) under Riot must not write anything.
+    let n = 1 << 14;
+    let mut interp = interpreter(EngineKind::Riot, n);
+    interp.session().drop_caches().unwrap();
+    let before = interp.session().io_snapshot();
+    let out = interp
+        .run("total <- sum(sqrt((x-xs)^2+(y-ys)^2))\nprint(total > 0)")
+        .unwrap();
+    assert_eq!(out.trim(), "[1] 1");
+    let io = interp.session().io_snapshot() - before;
+    assert_eq!(io.writes, 0, "aggregation must stream, not materialize");
+    // Reads: exactly one pass over x and y (plus nothing else).
+    let expected_scan = 2 * (n as u64 / 64);
+    assert!(
+        io.reads <= expected_scan + 4,
+        "one pass expected: {} vs {expected_scan}",
+        io.reads
+    );
+}
+
+#[test]
+fn sql_views_render_for_the_deferred_script() {
+    // RIOT-DB fidelity: after running the deferred statements, the session
+    // can print the view text of §4.1 for the named objects.
+    let n = 256;
+    let mut interp = interpreter(EngineKind::Riot, n);
+    interp.run("d <- sqrt((x-xs)^2+(y-ys)^2)").unwrap();
+    let Some(riot::rlang::RValue::Vector { v, .. }) = interp.get("d") else {
+        panic!("d must be a deferred vector");
+    };
+    let sql = interp.session().sql_view(v, "D");
+    assert!(sql.starts_with("CREATE VIEW D(I,V) AS"));
+    assert!(sql.contains("SQRT("));
+    assert!(sql.contains("POW("));
+}
