@@ -4,9 +4,12 @@
 //! strawman tables, spill runs — lives in a single [`StorageCtx`], so one
 //! `IoStats` observes the engine's entire footprint, mirroring how the
 //! paper monitors all of MySQL's data and index files together.
+//!
+//! The context is `Send + Sync`: the pool is internally sharded and the
+//! catalog sits behind a mutex, so parallel kernels share one
+//! `Arc<StorageCtx>` across worker threads.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use riot_storage::{
     BufferPool, Catalog, Extent, IoSnapshot, IoStats, MemBlockDevice, ObjectId, PoolConfig,
@@ -16,31 +19,50 @@ use riot_storage::{
 /// A buffer pool plus an object catalog, shared by every array.
 pub struct StorageCtx {
     pool: BufferPool,
-    catalog: RefCell<Catalog>,
+    catalog: Mutex<Catalog>,
 }
 
 impl StorageCtx {
     /// Context over a fresh in-memory simulated device.
     ///
-    /// `frames` is the memory cap in blocks; `block_size` is in bytes.
-    pub fn new_mem(block_size: usize, frames: usize) -> Rc<Self> {
+    /// `frames` is the memory cap in blocks; `block_size` is in bytes. The
+    /// pool has a single shard, reproducing sequential eviction order
+    /// exactly (use [`StorageCtx::new_mem_sharded`] for parallel kernels).
+    pub fn new_mem(block_size: usize, frames: usize) -> Arc<Self> {
         Self::new_mem_with(block_size, frames, ReplacerKind::Lru)
     }
 
     /// Like [`StorageCtx::new_mem`] with an explicit replacement policy.
-    pub fn new_mem_with(block_size: usize, frames: usize, replacer: ReplacerKind) -> Rc<Self> {
+    pub fn new_mem_with(block_size: usize, frames: usize, replacer: ReplacerKind) -> Arc<Self> {
         let device = MemBlockDevice::new(block_size);
-        Rc::new(StorageCtx {
+        Arc::new(StorageCtx {
             pool: BufferPool::new(Box::new(device), PoolConfig { frames, replacer }),
-            catalog: RefCell::new(Catalog::new()),
+            catalog: Mutex::new(Catalog::new()),
+        })
+    }
+
+    /// Context over an in-memory device with a lock-striped pool, for
+    /// multi-threaded kernels.
+    pub fn new_mem_sharded(block_size: usize, frames: usize, shards: usize) -> Arc<Self> {
+        let device = MemBlockDevice::new(block_size);
+        Arc::new(StorageCtx {
+            pool: BufferPool::new_sharded(
+                Box::new(device),
+                PoolConfig {
+                    frames,
+                    replacer: ReplacerKind::Lru,
+                },
+                shards,
+            ),
+            catalog: Mutex::new(Catalog::new()),
         })
     }
 
     /// Context over an arbitrary pool (e.g. one backed by a real file).
-    pub fn from_pool(pool: BufferPool) -> Rc<Self> {
-        Rc::new(StorageCtx {
+    pub fn from_pool(pool: BufferPool) -> Arc<Self> {
+        Arc::new(StorageCtx {
             pool,
-            catalog: RefCell::new(Catalog::new()),
+            catalog: Mutex::new(Catalog::new()),
         })
     }
 
@@ -61,26 +83,29 @@ impl StorageCtx {
 
     /// Allocate a new object of `blocks` blocks.
     pub fn create_object(&self, blocks: u64, name: Option<&str>) -> Result<(ObjectId, Extent)> {
-        self.catalog.borrow_mut().create(&self.pool, blocks, name)
+        self.catalog
+            .lock()
+            .unwrap()
+            .create(&self.pool, blocks, name)
     }
 
     /// Drop an object, releasing its blocks.
     pub fn drop_object(&self, id: ObjectId) -> Result<()> {
-        self.catalog.borrow_mut().drop_object(&self.pool, id)
+        self.catalog.lock().unwrap().drop_object(&self.pool, id)
     }
 
     /// Blocks held by live objects.
     pub fn total_blocks(&self) -> u64 {
-        self.catalog.borrow().total_blocks()
+        self.catalog.lock().unwrap().total_blocks()
     }
 
     /// Number of live objects.
     pub fn live_objects(&self) -> usize {
-        self.catalog.borrow().len()
+        self.catalog.lock().unwrap().len()
     }
 
     /// Shared I/O counters of the device.
-    pub fn io(&self) -> Rc<IoStats> {
+    pub fn io(&self) -> Arc<IoStats> {
         self.pool.io_stats()
     }
 
@@ -120,5 +145,24 @@ mod tests {
     fn io_snapshot_starts_clean() {
         let ctx = StorageCtx::new_mem(64, 8);
         assert_eq!(ctx.io_snapshot().total_blocks(), 0);
+    }
+
+    #[test]
+    fn context_is_shareable_across_threads() {
+        let ctx = StorageCtx::new_mem_sharded(64, 16, 4);
+        assert_eq!(ctx.pool().num_shards(), 4);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ctx = Arc::clone(&ctx);
+                s.spawn(move || {
+                    let (_, ext) = ctx.create_object(2, None).unwrap();
+                    ctx.pool()
+                        .write_new(ext.block(0), |d| d[0] = t as u8)
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(ctx.live_objects(), 4);
+        assert_eq!(ctx.total_blocks(), 8);
     }
 }

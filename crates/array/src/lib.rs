@@ -22,7 +22,11 @@
 //!   access patterns are not known in advance.
 //!
 //! All storage flows through a [`riot_storage::BufferPool`], so every array
-//! operation is automatically I/O-accounted.
+//! operation is automatically I/O-accounted. Element and tile access is
+//! **zero-copy**: pages pin as `&[f64]` slices straight out of the pool
+//! (elements are stored native-endian), and array handles are
+//! `Send + Sync` clones sharing one [`StorageCtx`], so parallel kernels
+//! work on disjoint tiles from many threads.
 
 pub mod context;
 pub mod linear;
@@ -34,44 +38,15 @@ pub use linear::{Linearizer, TileOrder};
 pub use matrix::{DenseMatrix, MatrixLayout};
 pub use vector::{DenseVector, VectorWriter};
 
-/// Read an `f64` stored little-endian at byte offset `byte_off` of a page.
-#[inline]
-pub(crate) fn get_f64(page: &[u8], byte_off: usize) -> f64 {
-    let mut b = [0u8; 8];
-    b.copy_from_slice(&page[byte_off..byte_off + 8]);
-    f64::from_le_bytes(b)
-}
-
-/// Write an `f64` little-endian at byte offset `byte_off` of a page.
-#[inline]
-pub(crate) fn put_f64(page: &mut [u8], byte_off: usize, v: f64) {
-    page[byte_off..byte_off + 8].copy_from_slice(&v.to_le_bytes());
-}
-
 #[cfg(test)]
-mod codec_tests {
+mod send_sync_tests {
     use super::*;
 
     #[test]
-    fn f64_round_trip() {
-        let mut page = vec![0u8; 64];
-        for (i, v) in [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, 1e300]
-            .iter()
-            .enumerate()
-        {
-            put_f64(&mut page, i * 8, *v);
-        }
-        assert_eq!(get_f64(&page, 0), 0.0);
-        assert_eq!(get_f64(&page, 8), -1.5);
-        assert_eq!(get_f64(&page, 16), f64::MAX);
-        assert_eq!(get_f64(&page, 24), f64::MIN_POSITIVE);
-        assert_eq!(get_f64(&page, 32), 1e300);
-    }
-
-    #[test]
-    fn nan_survives_codec() {
-        let mut page = vec![0u8; 8];
-        put_f64(&mut page, 0, f64::NAN);
-        assert!(get_f64(&page, 0).is_nan());
+    fn array_handles_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StorageCtx>();
+        assert_send_sync::<DenseMatrix>();
+        assert_send_sync::<DenseVector>();
     }
 }

@@ -105,7 +105,12 @@ impl Linearizer {
                 Some(table)
             }
         };
-        Linearizer { order, tr, tc, table }
+        Linearizer {
+            order,
+            tr,
+            tc,
+            table,
+        }
     }
 
     /// Which ordering this linearizer implements.

@@ -6,14 +6,19 @@
 //! row-major. Boundary tiles are padded to the full block, which keeps tile
 //! addressing purely arithmetic — the ChunkyStore property of not storing
 //! array indices.
+//!
+//! Tile access is zero-copy: [`DenseMatrix::pin_tile`] and friends hand
+//! out the buffer pool's pin guards, whose `&[f64]` view *is* the tile
+//! (elements are stored native-endian, one tile per block). Handles are
+//! `Send + Sync`, so parallel kernels clone a matrix handle per worker and
+//! pin disjoint tiles concurrently.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
-use riot_storage::{BlockId, ObjectId, Result};
+use riot_storage::{BlockId, ObjectId, PinnedFrame, PinnedFrameMut, Result};
 
 use crate::context::StorageCtx;
 use crate::linear::{Linearizer, TileOrder};
-use crate::{get_f64, put_f64};
 
 /// Tile aspect ratio for a matrix whose block holds `epb` elements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,7 +50,7 @@ impl MatrixLayout {
 /// A dense `rows x cols` matrix of `f64` stored as one tile per block.
 #[derive(Clone)]
 pub struct DenseMatrix {
-    ctx: Rc<StorageCtx>,
+    ctx: Arc<StorageCtx>,
     object: ObjectId,
     start_block: u64,
     rows: usize,
@@ -53,13 +58,13 @@ pub struct DenseMatrix {
     tile_r: usize,
     tile_c: usize,
     layout: MatrixLayout,
-    lin: Rc<Linearizer>,
+    lin: Arc<Linearizer>,
 }
 
 impl DenseMatrix {
     /// Create a zeroed matrix with the given layout and tile order.
     pub fn create(
-        ctx: &Rc<StorageCtx>,
+        ctx: &Arc<StorageCtx>,
         rows: usize,
         cols: usize,
         layout: MatrixLayout,
@@ -73,7 +78,7 @@ impl DenseMatrix {
         let tc = cols.div_ceil(tile_c) as u64;
         let (object, extent) = ctx.create_object(tr * tc, name)?;
         Ok(DenseMatrix {
-            ctx: Rc::clone(ctx),
+            ctx: Arc::clone(ctx),
             object,
             start_block: extent.start.0,
             rows,
@@ -81,13 +86,13 @@ impl DenseMatrix {
             tile_r,
             tile_c,
             layout,
-            lin: Rc::new(Linearizer::new(order, tr, tc)),
+            lin: Arc::new(Linearizer::new(order, tr, tc)),
         })
     }
 
     /// Create and fill from a row-major slice of `rows * cols` values.
     pub fn from_rows(
-        ctx: &Rc<StorageCtx>,
+        ctx: &Arc<StorageCtx>,
         rows: usize,
         cols: usize,
         data: &[f64],
@@ -97,9 +102,9 @@ impl DenseMatrix {
     ) -> Result<Self> {
         assert_eq!(data.len(), rows * cols, "data length mismatch");
         let m = Self::create(ctx, rows, cols, layout, order, name)?;
-        let mut tile = vec![0.0; m.tile_r * m.tile_c];
         for ti in 0..m.tile_grid().0 {
             for tj in 0..m.tile_grid().1 {
+                let mut tile = m.pin_tile_new(ti, tj)?;
                 tile.fill(0.0);
                 let (r0, c0) = (ti as usize * m.tile_r, tj as usize * m.tile_c);
                 for r in 0..m.tile_r.min(rows - r0) {
@@ -107,7 +112,6 @@ impl DenseMatrix {
                         tile[r * m.tile_c + c] = data[(r0 + r) * cols + (c0 + c)];
                     }
                 }
-                m.write_tile(ti, tj, &tile)?;
             }
         }
         Ok(m)
@@ -115,7 +119,7 @@ impl DenseMatrix {
 
     /// Create filling each element from `f(row, col)` tile by tile.
     pub fn from_fn(
-        ctx: &Rc<StorageCtx>,
+        ctx: &Arc<StorageCtx>,
         rows: usize,
         cols: usize,
         layout: MatrixLayout,
@@ -124,10 +128,10 @@ impl DenseMatrix {
         mut f: impl FnMut(usize, usize) -> f64,
     ) -> Result<Self> {
         let m = Self::create(ctx, rows, cols, layout, order, name)?;
-        let mut tile = vec![0.0; m.tile_r * m.tile_c];
         let (tg_r, tg_c) = m.tile_grid();
         for ti in 0..tg_r {
             for tj in 0..tg_c {
+                let mut tile = m.pin_tile_new(ti, tj)?;
                 tile.fill(0.0);
                 let (r0, c0) = (ti as usize * m.tile_r, tj as usize * m.tile_c);
                 for r in 0..m.tile_r.min(rows - r0) {
@@ -135,7 +139,6 @@ impl DenseMatrix {
                         tile[r * m.tile_c + c] = f(r0 + r, c0 + c);
                     }
                 }
-                m.write_tile(ti, tj, &tile)?;
             }
         }
         Ok(m)
@@ -177,7 +180,7 @@ impl DenseMatrix {
     }
 
     /// Storage context.
-    pub fn ctx(&self) -> &Rc<StorageCtx> {
+    pub fn ctx(&self) -> &Arc<StorageCtx> {
         &self.ctx
     }
 
@@ -197,78 +200,81 @@ impl DenseMatrix {
         BlockId(self.start_block + self.lin.pos(ti, tj))
     }
 
+    /// Pin tile `(ti, tj)` for reading: the guard's `&[f64]` is the tile's
+    /// row-major contents, zero-copy. Boundary padding reads as 0.
+    pub fn pin_tile(&self, ti: u64, tj: u64) -> Result<PinnedFrame<'_>> {
+        self.ctx.pool().pin(self.tile_block(ti, tj))
+    }
+
+    /// Pin tile `(ti, tj)` for exclusive read-modify-write access.
+    pub fn pin_tile_mut(&self, ti: u64, tj: u64) -> Result<PinnedFrameMut<'_>> {
+        self.ctx.pool().pin_mut(self.tile_block(ti, tj))
+    }
+
+    /// Pin tile `(ti, tj)` for a full overwrite, skipping the device read.
+    /// The caller must fill every element it cares about (contents start
+    /// unspecified: zeroed on first use, stale on re-pin).
+    pub fn pin_tile_new(&self, ti: u64, tj: u64) -> Result<PinnedFrameMut<'_>> {
+        self.ctx.pool().pin_new(self.tile_block(ti, tj))
+    }
+
     /// Read one element (random access).
     pub fn get(&self, row: usize, col: usize) -> Result<f64> {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         let (ti, tj) = (row / self.tile_r, col / self.tile_c);
         let off = (row % self.tile_r) * self.tile_c + (col % self.tile_c);
-        self.ctx
-            .pool()
-            .read(self.tile_block(ti as u64, tj as u64), |d| get_f64(d, off * 8))
+        let tile = self.pin_tile(ti as u64, tj as u64)?;
+        Ok(tile[off])
     }
 
     /// Write one element.
     pub fn set(&self, row: usize, col: usize, value: f64) -> Result<()> {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         let (ti, tj) = (row / self.tile_r, col / self.tile_c);
         let off = (row % self.tile_r) * self.tile_c + (col % self.tile_c);
-        self.ctx
-            .pool()
-            .write(self.tile_block(ti as u64, tj as u64), |d| {
-                put_f64(d, off * 8, value)
-            })
+        let mut tile = self.pin_tile_mut(ti as u64, tj as u64)?;
+        tile[off] = value;
+        Ok(())
     }
 
     /// Read tile `(ti, tj)` into `buf` (`tile_r * tile_c` elements,
     /// row-major; boundary padding reads as 0).
     pub fn read_tile(&self, ti: u64, tj: u64, buf: &mut [f64]) -> Result<()> {
         assert_eq!(buf.len(), self.tile_r * self.tile_c, "tile buffer size");
-        self.ctx.pool().read(self.tile_block(ti, tj), |d| {
-            for (k, slot) in buf.iter_mut().enumerate() {
-                *slot = get_f64(d, k * 8);
-            }
-        })
+        let tile = self.pin_tile(ti, tj)?;
+        buf.copy_from_slice(&tile);
+        Ok(())
     }
 
     /// Overwrite tile `(ti, tj)` from `buf` without reading it first.
     pub fn write_tile(&self, ti: u64, tj: u64, buf: &[f64]) -> Result<()> {
         assert_eq!(buf.len(), self.tile_r * self.tile_c, "tile buffer size");
-        self.ctx.pool().write_new(self.tile_block(ti, tj), |d| {
-            for (k, v) in buf.iter().enumerate() {
-                put_f64(d, k * 8, *v);
-            }
-        })
+        let mut tile = self.pin_tile_new(ti, tj)?;
+        tile.copy_from_slice(buf);
+        Ok(())
     }
 
     /// Read-modify-write a tile in place through a closure over the
-    /// row-major tile buffer.
-    pub fn update_tile(
-        &self,
-        ti: u64,
-        tj: u64,
-        f: impl FnOnce(&mut [f64]),
-    ) -> Result<()> {
-        let n = self.tile_r * self.tile_c;
-        self.ctx.pool().write(self.tile_block(ti, tj), |d| {
-            let mut buf = vec![0.0; n];
-            for (k, slot) in buf.iter_mut().enumerate() {
-                *slot = get_f64(d, k * 8);
-            }
-            f(&mut buf);
-            for (k, v) in buf.iter().enumerate() {
-                put_f64(d, k * 8, *v);
-            }
-        })
+    /// row-major tile contents (zero-copy: the slice is the pinned frame).
+    pub fn update_tile(&self, ti: u64, tj: u64, f: impl FnOnce(&mut [f64])) -> Result<()> {
+        let mut tile = self.pin_tile_mut(ti, tj)?;
+        f(&mut tile);
+        Ok(())
     }
 
     /// Materialize the matrix as a row-major `Vec` (tests / small results).
     pub fn to_rows(&self) -> Result<Vec<f64>> {
         let mut out = vec![0.0; self.rows * self.cols];
-        let mut tile = vec![0.0; self.tile_r * self.tile_c];
         let (tg_r, tg_c) = self.tile_grid();
         for ti in 0..tg_r {
             for tj in 0..tg_c {
-                self.read_tile(ti, tj, &mut tile)?;
+                let tile = self.pin_tile(ti, tj)?;
                 let (r0, c0) = (ti as usize * self.tile_r, tj as usize * self.tile_c);
                 for r in 0..self.tile_r.min(self.rows - r0) {
                     for c in 0..self.tile_c.min(self.cols - c0) {
@@ -292,10 +298,10 @@ impl DenseMatrix {
         // Walk destination tiles; gather each from the source. Out-of-core
         // safe: touches one destination tile plus the source tiles covering
         // it at a time.
-        let mut buf = vec![0.0; dst.tile_r * dst.tile_c];
         let (tg_r, tg_c) = dst.tile_grid();
         for ti in 0..tg_r {
             for tj in 0..tg_c {
+                let mut buf = dst.pin_tile_new(ti, tj)?;
                 buf.fill(0.0);
                 let (r0, c0) = (ti as usize * dst.tile_r, tj as usize * dst.tile_c);
                 for r in 0..dst.tile_r.min(self.rows - r0) {
@@ -303,7 +309,6 @@ impl DenseMatrix {
                         buf[r * dst.tile_c + c] = self.get(r0 + r, c0 + c)?;
                     }
                 }
-                dst.write_tile(ti, tj, &buf)?;
             }
         }
         Ok(dst)
@@ -317,10 +322,10 @@ impl DenseMatrix {
         name: Option<&str>,
     ) -> Result<DenseMatrix> {
         let dst = DenseMatrix::create(&self.ctx, self.cols, self.rows, layout, order, name)?;
-        let mut buf = vec![0.0; dst.tile_r * dst.tile_c];
         let (tg_r, tg_c) = dst.tile_grid();
         for ti in 0..tg_r {
             for tj in 0..tg_c {
+                let mut buf = dst.pin_tile_new(ti, tj)?;
                 buf.fill(0.0);
                 let (r0, c0) = (ti as usize * dst.tile_r, tj as usize * dst.tile_c);
                 for r in 0..dst.tile_r.min(dst.rows - r0) {
@@ -328,7 +333,6 @@ impl DenseMatrix {
                         buf[r * dst.tile_c + c] = self.get(c0 + c, r0 + r)?;
                     }
                 }
-                dst.write_tile(ti, tj, &buf)?;
             }
         }
         Ok(dst)
@@ -345,7 +349,7 @@ mod tests {
     use super::*;
 
     /// 512-byte blocks = 64 elements = 8x8 square tiles.
-    fn ctx(frames: usize) -> Rc<StorageCtx> {
+    fn ctx(frames: usize) -> Arc<StorageCtx> {
         StorageCtx::new_mem(512, frames)
     }
 
@@ -375,8 +379,7 @@ mod tests {
                 TileOrder::ZOrder,
                 TileOrder::Hilbert,
             ] {
-                let m =
-                    DenseMatrix::from_rows(&c, 20, 13, &data, layout, order, None).unwrap();
+                let m = DenseMatrix::from_rows(&c, 20, 13, &data, layout, order, None).unwrap();
                 assert_eq!(m.to_rows().unwrap(), data, "{layout:?}/{order:?}");
                 m.free().unwrap();
             }
@@ -396,6 +399,17 @@ mod tests {
     }
 
     #[test]
+    fn pinned_tile_is_zero_copy_view() {
+        let c = ctx(16);
+        let m =
+            DenseMatrix::create(&c, 8, 8, MatrixLayout::Square, TileOrder::RowMajor, None).unwrap();
+        m.set(3, 5, 7.5).unwrap();
+        let tile = m.pin_tile(0, 0).unwrap();
+        assert_eq!(tile.len(), 64);
+        assert_eq!(tile[3 * 8 + 5], 7.5);
+    }
+
+    #[test]
     fn block_count_matches_tiling() {
         let c = ctx(16);
         // 20x13 with 8x8 tiles: 3x2 grid = 6 blocks.
@@ -403,9 +417,15 @@ mod tests {
             .unwrap();
         assert_eq!(m.blocks(), 6);
         // Column layout: 64x1 tiles -> 1x13 grid = 13 blocks.
-        let m2 =
-            DenseMatrix::create(&c, 20, 13, MatrixLayout::ColMajor, TileOrder::ColMajor, None)
-                .unwrap();
+        let m2 = DenseMatrix::create(
+            &c,
+            20,
+            13,
+            MatrixLayout::ColMajor,
+            TileOrder::ColMajor,
+            None,
+        )
+        .unwrap();
         assert_eq!(m2.blocks(), 13);
     }
 
@@ -414,11 +434,22 @@ mod tests {
         let c = ctx(32);
         let data = fill_seq(9, 17);
         let a = DenseMatrix::from_rows(
-            &c, 9, 17, &data, MatrixLayout::Square, TileOrder::ZOrder, None,
+            &c,
+            9,
+            17,
+            &data,
+            MatrixLayout::Square,
+            TileOrder::ZOrder,
+            None,
         )
         .unwrap();
         let b = DenseMatrix::from_fn(
-            &c, 9, 17, MatrixLayout::Square, TileOrder::ZOrder, None,
+            &c,
+            9,
+            17,
+            MatrixLayout::Square,
+            TileOrder::ZOrder,
+            None,
             |r, cidx| (r * 17 + cidx) as f64,
         )
         .unwrap();
@@ -428,8 +459,8 @@ mod tests {
     #[test]
     fn update_tile_accumulates() {
         let c = ctx(16);
-        let m = DenseMatrix::create(&c, 8, 8, MatrixLayout::Square, TileOrder::RowMajor, None)
-            .unwrap();
+        let m =
+            DenseMatrix::create(&c, 8, 8, MatrixLayout::Square, TileOrder::RowMajor, None).unwrap();
         m.update_tile(0, 0, |t| t.iter_mut().for_each(|x| *x += 1.0))
             .unwrap();
         m.update_tile(0, 0, |t| t.iter_mut().for_each(|x| *x += 2.0))
@@ -442,7 +473,13 @@ mod tests {
         let c = ctx(64);
         let data = fill_seq(11, 7);
         let m = DenseMatrix::from_rows(
-            &c, 11, 7, &data, MatrixLayout::Square, TileOrder::RowMajor, None,
+            &c,
+            11,
+            7,
+            &data,
+            MatrixLayout::Square,
+            TileOrder::RowMajor,
+            None,
         )
         .unwrap();
         let t = m
@@ -461,7 +498,13 @@ mod tests {
         let c = ctx(64);
         let data = fill_seq(10, 10);
         let m = DenseMatrix::from_rows(
-            &c, 10, 10, &data, MatrixLayout::ColMajor, TileOrder::ColMajor, None,
+            &c,
+            10,
+            10,
+            &data,
+            MatrixLayout::ColMajor,
+            TileOrder::ColMajor,
+            None,
         )
         .unwrap();
         let m2 = m
@@ -478,7 +521,12 @@ mod tests {
         let rows = 16;
         let cols = 128; // 2 tiles per row at 64 elems/tile
         let m = DenseMatrix::from_fn(
-            &c, rows, cols, MatrixLayout::RowMajor, TileOrder::RowMajor, None,
+            &c,
+            rows,
+            cols,
+            MatrixLayout::RowMajor,
+            TileOrder::RowMajor,
+            None,
             |r, cidx| (r + cidx) as f64,
         )
         .unwrap();
@@ -498,11 +546,37 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_tile_writers_on_disjoint_tiles() {
+        let c = StorageCtx::new_mem_sharded(512, 32, 4);
+        let m = DenseMatrix::create(&c, 32, 32, MatrixLayout::Square, TileOrder::RowMajor, None)
+            .unwrap();
+        std::thread::scope(|s| {
+            for ti in 0..4u64 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for tj in 0..4u64 {
+                        let mut tile = m.pin_tile_new(ti, tj).unwrap();
+                        tile.fill((ti * 4 + tj) as f64);
+                    }
+                });
+            }
+        });
+        for ti in 0..4 {
+            for tj in 0..4 {
+                assert_eq!(
+                    m.get(ti as usize * 8, tj as usize * 8).unwrap(),
+                    (ti * 4 + tj) as f64
+                );
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn get_out_of_bounds_panics() {
         let c = ctx(8);
-        let m = DenseMatrix::create(&c, 4, 4, MatrixLayout::Square, TileOrder::RowMajor, None)
-            .unwrap();
+        let m =
+            DenseMatrix::create(&c, 4, 4, MatrixLayout::Square, TileOrder::RowMajor, None).unwrap();
         let _ = m.get(4, 0);
     }
 }

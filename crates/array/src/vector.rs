@@ -2,65 +2,69 @@
 //!
 //! A [`DenseVector`] stores `len` `f64` elements in consecutive element
 //! *slots* across a contiguous block extent. The slot width is normally
-//! 8 bytes (just the value — "no explicit storage of array indices"), but
-//! can be widened to model the strawman's relational `(I, V)` representation
-//! whose index column doubles storage and therefore I/O, the overhead the
-//! paper blames for RIOT-DB/Strawman losing to thrashing R at small n.
+//! one element (just the value — "no explicit storage of array indices"),
+//! but can be widened to model the strawman's relational `(I, V)`
+//! representation whose index column doubles storage and therefore I/O,
+//! the overhead the paper blames for RIOT-DB/Strawman losing to thrashing
+//! R at small n.
+//!
+//! Ranged reads and writes are zero-copy against the buffer pool: a pin
+//! guard exposes the block's `&[f64]` directly and a single `memcpy` moves
+//! each block-run, with no per-access allocation.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use riot_storage::{ObjectId, Result};
 
 use crate::context::StorageCtx;
-use crate::{get_f64, put_f64};
 
 /// A dense `f64` vector stored on a buffer pool.
 #[derive(Clone)]
 pub struct DenseVector {
-    ctx: Rc<StorageCtx>,
+    ctx: Arc<StorageCtx>,
     object: ObjectId,
     start_block: u64,
     len: usize,
-    /// Bytes per element slot (8 = packed values; 16 = strawman `(I, V)`).
-    slot_bytes: usize,
+    /// `f64` slots per element (1 = packed values; 2 = strawman `(I, V)`).
+    slot_elems: usize,
 }
 
 impl DenseVector {
-    /// Create a zeroed vector of `len` elements with packed 8-byte slots.
-    pub fn create(ctx: &Rc<StorageCtx>, len: usize, name: Option<&str>) -> Result<Self> {
-        Self::create_with_slot(ctx, len, 8, name)
+    /// Create a zeroed vector of `len` elements with packed 1-slot elements.
+    pub fn create(ctx: &Arc<StorageCtx>, len: usize, name: Option<&str>) -> Result<Self> {
+        Self::create_with_slot(ctx, len, 1, name)
     }
 
-    /// Create a vector whose element slots are `slot_bytes` wide.
+    /// Create a vector whose elements occupy two `f64` slots each.
     ///
-    /// `slot_bytes = 16` models a relational `(I, V)` table: each element
-    /// drags an 8-byte index along, doubling the blocks every scan touches.
-    pub fn create_wide(ctx: &Rc<StorageCtx>, len: usize, name: Option<&str>) -> Result<Self> {
-        Self::create_with_slot(ctx, len, 16, name)
+    /// This models a relational `(I, V)` table: each element drags an
+    /// 8-byte index along, doubling the blocks every scan touches.
+    pub fn create_wide(ctx: &Arc<StorageCtx>, len: usize, name: Option<&str>) -> Result<Self> {
+        Self::create_with_slot(ctx, len, 2, name)
     }
 
     fn create_with_slot(
-        ctx: &Rc<StorageCtx>,
+        ctx: &Arc<StorageCtx>,
         len: usize,
-        slot_bytes: usize,
+        slot_elems: usize,
         name: Option<&str>,
     ) -> Result<Self> {
-        let bs = ctx.block_size();
-        assert!(slot_bytes >= 8 && bs % slot_bytes == 0, "bad slot width");
-        let per_block = bs / slot_bytes;
+        let epb = ctx.elems_per_block();
+        assert!(slot_elems >= 1 && epb % slot_elems == 0, "bad slot width");
+        let per_block = epb / slot_elems;
         let blocks = len.div_ceil(per_block).max(1) as u64;
         let (object, extent) = ctx.create_object(blocks, name)?;
         Ok(DenseVector {
-            ctx: Rc::clone(ctx),
+            ctx: Arc::clone(ctx),
             object,
             start_block: extent.start.0,
             len,
-            slot_bytes,
+            slot_elems,
         })
     }
 
     /// Create and fill from a slice (costs the vector's write I/O).
-    pub fn from_slice(ctx: &Rc<StorageCtx>, data: &[f64], name: Option<&str>) -> Result<Self> {
+    pub fn from_slice(ctx: &Arc<StorageCtx>, data: &[f64], name: Option<&str>) -> Result<Self> {
         let v = Self::create(ctx, data.len(), name)?;
         v.write_range(0, data)?;
         Ok(v)
@@ -78,7 +82,7 @@ impl DenseVector {
 
     /// Element slots per block.
     pub fn elems_per_block(&self) -> usize {
-        self.ctx.block_size() / self.slot_bytes
+        self.ctx.elems_per_block() / self.slot_elems
     }
 
     /// Blocks occupied by this vector.
@@ -87,7 +91,7 @@ impl DenseVector {
     }
 
     /// The storage context this vector lives in.
-    pub fn ctx(&self) -> &Rc<StorageCtx> {
+    pub fn ctx(&self) -> &Arc<StorageCtx> {
         &self.ctx
     }
 
@@ -101,7 +105,7 @@ impl DenseVector {
         let per_block = self.elems_per_block();
         (
             self.start_block + (index / per_block) as u64,
-            (index % per_block) * self.slot_bytes,
+            (index % per_block) * self.slot_elems,
         )
     }
 
@@ -109,36 +113,37 @@ impl DenseVector {
     pub fn get(&self, index: usize) -> Result<f64> {
         assert!(index < self.len, "vector index {index} out of {}", self.len);
         let (block, off) = self.locate(index);
-        self.ctx
-            .pool()
-            .read(riot_storage::BlockId(block), |d| get_f64(d, off))
+        let page = self.ctx.pool().pin(riot_storage::BlockId(block))?;
+        Ok(page[off])
     }
 
     /// Write one element.
     pub fn set(&self, index: usize, value: f64) -> Result<()> {
         assert!(index < self.len, "vector index {index} out of {}", self.len);
         let (block, off) = self.locate(index);
-        self.ctx
-            .pool()
-            .write(riot_storage::BlockId(block), |d| put_f64(d, off, value))
+        let mut page = self.ctx.pool().pin_mut(riot_storage::BlockId(block))?;
+        page[off] = value;
+        Ok(())
     }
 
     /// Read `out.len()` elements starting at `start`, block at a time.
     pub fn read_range(&self, start: usize, out: &mut [f64]) -> Result<()> {
         assert!(start + out.len() <= self.len, "range out of bounds");
         let per_block = self.elems_per_block();
-        let sb = self.slot_bytes;
         let mut i = 0;
         while i < out.len() {
             let idx = start + i;
             let block = self.start_block + (idx / per_block) as u64;
             let off = idx % per_block;
             let take = (per_block - off).min(out.len() - i);
-            self.ctx.pool().read(riot_storage::BlockId(block), |d| {
+            let page = self.ctx.pool().pin(riot_storage::BlockId(block))?;
+            if self.slot_elems == 1 {
+                out[i..i + take].copy_from_slice(&page[off..off + take]);
+            } else {
                 for k in 0..take {
-                    out[i + k] = get_f64(d, (off + k) * sb);
+                    out[i + k] = page[(off + k) * self.slot_elems];
                 }
-            })?;
+            }
             i += take;
         }
         Ok(())
@@ -147,11 +152,10 @@ impl DenseVector {
     /// Write `data` into the vector starting at element `start`.
     ///
     /// Blocks that are covered end-to-end are written without being read
-    /// first (`write_new`), so bulk loads cost pure write I/O.
+    /// first (`pin_new`), so bulk loads cost pure write I/O.
     pub fn write_range(&self, start: usize, data: &[f64]) -> Result<()> {
         assert!(start + data.len() <= self.len, "range out of bounds");
         let per_block = self.elems_per_block();
-        let sb = self.slot_bytes;
         let mut i = 0;
         while i < data.len() {
             let idx = start + i;
@@ -161,15 +165,19 @@ impl DenseVector {
             // A block is "fully covered" if this write spans all its slots
             // that belong to the vector.
             let covers_whole_block = off == 0 && (take == per_block || idx + take == self.len);
-            let write = |d: &mut [u8]| {
-                for k in 0..take {
-                    put_f64(d, (off + k) * sb, data[i + k]);
-                }
-            };
-            if covers_whole_block {
-                self.ctx.pool().write_new(block, write)?;
+            let mut page = if covers_whole_block {
+                let mut p = self.ctx.pool().pin_new(block)?;
+                p.fill(0.0);
+                p
             } else {
-                self.ctx.pool().write(block, write)?;
+                self.ctx.pool().pin_mut(block)?
+            };
+            if self.slot_elems == 1 {
+                page[off..off + take].copy_from_slice(&data[i..i + take]);
+            } else {
+                for k in 0..take {
+                    page[(off + k) * self.slot_elems] = data[i + k];
+                }
             }
             i += take;
         }
@@ -215,7 +223,7 @@ pub struct VectorWriter {
 
 impl VectorWriter {
     /// Start writing a fresh vector of exactly `len` elements.
-    pub fn new(ctx: &Rc<StorageCtx>, len: usize, name: Option<&str>) -> Result<Self> {
+    pub fn new(ctx: &Arc<StorageCtx>, len: usize, name: Option<&str>) -> Result<Self> {
         let vec = DenseVector::create(ctx, len, name)?;
         let cap = vec.elems_per_block();
         Ok(VectorWriter {
@@ -275,7 +283,7 @@ mod tests {
     use super::*;
     use riot_storage::ReplacerKind;
 
-    fn ctx(frames: usize) -> Rc<StorageCtx> {
+    fn ctx(frames: usize) -> Arc<StorageCtx> {
         StorageCtx::new_mem_with(64, frames, ReplacerKind::Lru)
     }
 
@@ -347,7 +355,10 @@ mod tests {
         assert_eq!(got, data);
         let delta = c.io_snapshot() - before;
         assert_eq!(delta.reads, v.blocks());
-        assert!(delta.seq_reads >= delta.reads - 1, "scan must be sequential");
+        assert!(
+            delta.seq_reads >= delta.reads - 1,
+            "scan must be sequential"
+        );
     }
 
     #[test]
@@ -368,7 +379,10 @@ mod tests {
         }
         assert_eq!(w.written(), 25);
         let v = w.finish().unwrap();
-        assert_eq!(v.to_vec().unwrap(), (0..25).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(
+            v.to_vec().unwrap(),
+            (0..25).map(|i| i as f64).collect::<Vec<_>>()
+        );
     }
 
     #[test]

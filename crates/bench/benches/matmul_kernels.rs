@@ -1,13 +1,21 @@
-//! The three out-of-core multiplication kernels, wall-clock and I/O.
+//! The three out-of-core multiplication kernels, wall-clock and I/O, plus
+//! the sequential-vs-parallel tiled comparison that seeds the perf
+//! trajectory (`BENCH_pr1.json` at the repo root).
 //!
 //! Wall time here reflects CPU-side work plus simulated-pool overhead;
 //! the figure that matters for the paper is the *I/O count* printed at
 //! the end, which should rank naive >> BNLJ > square-tiled (Figure 3's
-//! measured counterpart at laptop scale).
+//! measured counterpart at laptop scale). The parallel section verifies
+//! the scalability contract: identical result matrices and identical
+//! shard-summed I/O at any thread count, with wall-clock improving with
+//! physical cores (speedup is recorded, not asserted, because CI boxes
+//! may expose a single core).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use riot_core::exec::{multiply, MatMulKernel};
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use riot_array::{DenseMatrix, MatrixLayout, StorageCtx, TileOrder};
+use riot_core::exec::{matmul_tiled_parallel, multiply, MatMulKernel};
 
 const N: usize = 64;
 const MEM_ELEMS: usize = 3 * 1024; // p = 32 with 8 KiB blocks
@@ -26,14 +34,18 @@ fn operands(kernel: MatMulKernel) -> (DenseMatrix, DenseMatrix) {
         MatrixLayout::Square => TileOrder::RowMajor,
     };
     let a = DenseMatrix::from_fn(&ctx, N, N, la, order(la), None, |i, j| (i + j) as f64).unwrap();
-    let b = DenseMatrix::from_fn(&ctx, N, N, lb, order(lb), None, |i, j| (i * j % 7) as f64)
-        .unwrap();
+    let b =
+        DenseMatrix::from_fn(&ctx, N, N, lb, order(lb), None, |i, j| (i * j % 7) as f64).unwrap();
     (a, b)
 }
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul/64x64");
-    for kernel in [MatMulKernel::Naive, MatMulKernel::Bnlj, MatMulKernel::SquareTiled] {
+    for kernel in [
+        MatMulKernel::Naive,
+        MatMulKernel::Bnlj,
+        MatMulKernel::SquareTiled,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{kernel:?}")),
             &kernel,
@@ -51,7 +63,11 @@ fn bench_kernels(c: &mut Criterion) {
 
     // One-shot I/O comparison for EXPERIMENTS.md.
     println!("\nmatmul 64x64 measured I/O (blocks, cold cache):");
-    for kernel in [MatMulKernel::Naive, MatMulKernel::Bnlj, MatMulKernel::SquareTiled] {
+    for kernel in [
+        MatMulKernel::Naive,
+        MatMulKernel::Bnlj,
+        MatMulKernel::SquareTiled,
+    ] {
         let (a, b) = operands(kernel);
         let ctx = a.ctx().clone();
         ctx.pool().flush_all().unwrap();
@@ -65,9 +81,84 @@ fn bench_kernels(c: &mut Criterion) {
     }
 }
 
+/// One sequential-vs-parallel tiled run at `n x n`; returns
+/// `(seconds, reads, writes, result)`.
+fn timed_tiled(n: usize, mem_elems: usize, threads: usize) -> (f64, u64, u64, Vec<f64>) {
+    // In-memory-backed: a sharded pool big enough to hold a, b, and t, the
+    // regime where parallel and sequential I/O totals must coincide.
+    let blocks_per_matrix = (n * n).div_ceil(1024);
+    let ctx = StorageCtx::new_mem_sharded(8192, 3 * blocks_per_matrix + 64, 16);
+    let a = DenseMatrix::from_fn(
+        &ctx,
+        n,
+        n,
+        MatrixLayout::Square,
+        TileOrder::RowMajor,
+        None,
+        |i, j| ((i * 31 + j * 17) % 97) as f64 - 48.0,
+    )
+    .unwrap();
+    let b = DenseMatrix::from_fn(
+        &ctx,
+        n,
+        n,
+        MatrixLayout::Square,
+        TileOrder::RowMajor,
+        None,
+        |i, j| ((i * 13 + j * 7) % 89) as f64 - 44.0,
+    )
+    .unwrap();
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    let start = Instant::now();
+    let (t, _) = matmul_tiled_parallel(&a, &b, mem_elems, threads, None).unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    ctx.pool().flush_all().unwrap();
+    let delta = ctx.io_snapshot() - before;
+    let result = t.to_rows().unwrap();
+    (secs, delta.reads, delta.writes, result)
+}
+
+/// The PR-1 perf artifact: sequential vs rayon-style parallel tiled matmul
+/// at 1024 x 1024, written to `BENCH_pr1.json` at the repository root.
+fn parallel_report() {
+    let n = 1024;
+    let mem_elems = 3 * 256 * 256; // sequential p = 256 (8x8 tiles of 32x32)
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let threads = cores.clamp(4, 8); // exercise >= 4 workers even on small boxes
+
+    println!("\nparallel tiled matmul {n}x{n} (cores available: {cores})");
+    let (seq_secs, seq_reads, seq_writes, seq_result) = timed_tiled(n, mem_elems, 1);
+    println!("  1 thread : {seq_secs:.3} s, {seq_reads} reads / {seq_writes} writes");
+    let (par_secs, par_reads, par_writes, par_result) = timed_tiled(n, mem_elems, threads);
+    println!("  {threads} threads: {par_secs:.3} s, {par_reads} reads / {par_writes} writes");
+
+    let identical_results = seq_result == par_result;
+    let identical_io = (seq_reads, seq_writes) == (par_reads, par_writes);
+    let speedup = seq_secs / par_secs;
+    println!("  speedup {speedup:.2}x, identical results: {identical_results}, identical I/O: {identical_io}");
+    assert!(
+        identical_results,
+        "parallel result diverged from sequential"
+    );
+    assert!(identical_io, "parallel I/O diverged from sequential");
+
+    let json = format!(
+        "{{\n  \"bench\": \"matmul_tiled_parallel\",\n  \"n\": {n},\n  \"block_size\": 8192,\n  \"mem_elems\": {mem_elems},\n  \"cores_available\": {cores},\n  \"threads\": {threads},\n  \"seq_secs\": {seq_secs:.6},\n  \"par_secs\": {par_secs:.6},\n  \"speedup\": {speedup:.4},\n  \"seq_io\": {{ \"reads\": {seq_reads}, \"writes\": {seq_writes} }},\n  \"par_io\": {{ \"reads\": {par_reads}, \"writes\": {par_writes} }},\n  \"identical_results\": {identical_results},\n  \"identical_io\": {identical_io}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr1.json");
+    std::fs::write(path, &json).expect("write BENCH_pr1.json");
+    println!("  wrote {path}");
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_kernels
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    parallel_report();
+}

@@ -19,10 +19,26 @@ struct Strategy {
 }
 
 const STRATEGIES: [Strategy; 4] = [
-    Strategy { label: "RIOT-DB", cost: MatMulStrategy::RiotDb, optimal_order: false },
-    Strategy { label: "BNLJ-Inspired", cost: MatMulStrategy::BnljInspired, optimal_order: false },
-    Strategy { label: "Square/In-Order", cost: MatMulStrategy::SquareTiled, optimal_order: false },
-    Strategy { label: "Square/Opt-Order", cost: MatMulStrategy::SquareTiled, optimal_order: true },
+    Strategy {
+        label: "RIOT-DB",
+        cost: MatMulStrategy::RiotDb,
+        optimal_order: false,
+    },
+    Strategy {
+        label: "BNLJ-Inspired",
+        cost: MatMulStrategy::BnljInspired,
+        optimal_order: false,
+    },
+    Strategy {
+        label: "Square/In-Order",
+        cost: MatMulStrategy::SquareTiled,
+        optimal_order: false,
+    },
+    Strategy {
+        label: "Square/Opt-Order",
+        cost: MatMulStrategy::SquareTiled,
+        optimal_order: true,
+    },
 ];
 
 fn chain_io(n: usize, s: usize, mem_gb: f64, strat: &Strategy) -> f64 {

@@ -136,11 +136,17 @@ impl MemSources {
 
 impl SourceData for MemSources {
     fn vector(&self, s: SourceRef) -> Vec<f64> {
-        self.vectors.get(&s.0).expect("unknown vector source").clone()
+        self.vectors
+            .get(&s.0)
+            .expect("unknown vector source")
+            .clone()
     }
 
     fn matrix(&self, s: SourceRef) -> (usize, usize, Vec<f64>) {
-        self.matrices.get(&s.0).expect("unknown matrix source").clone()
+        self.matrices
+            .get(&s.0)
+            .expect("unknown matrix source")
+            .clone()
     }
 }
 
@@ -181,11 +187,9 @@ fn eval_node(
             match x {
                 Value::Scalar(v) => Value::Scalar(op.apply(*v)),
                 Value::Vector(v) => Value::vector(v.iter().map(|&e| op.apply(e)).collect()),
-                Value::Matrix { rows, cols, data } => Value::matrix(
-                    *rows,
-                    *cols,
-                    data.iter().map(|&e| op.apply(e)).collect(),
-                ),
+                Value::Matrix { rows, cols, data } => {
+                    Value::matrix(*rows, *cols, data.iter().map(|&e| op.apply(e)).collect())
+                }
             }
         }
         Node::Zip { op, lhs, rhs } => {
@@ -225,7 +229,10 @@ fn eval_node(
             for k in 0..idx.len() {
                 let i = idx.at(k) as i64;
                 if i < 1 || i as usize > out.len() {
-                    return Err(ExprError::IndexOutOfBounds { index: i, len: out.len() });
+                    return Err(ExprError::IndexOutOfBounds {
+                        index: i,
+                        len: out.len(),
+                    });
                 }
                 out[i as usize - 1] = val.at(k);
             }
@@ -244,8 +251,18 @@ fn eval_node(
         }
         Node::MatMul { lhs, rhs } => {
             let (a, b) = (get(lhs), get(rhs));
-            let (Value::Matrix { rows: n1, cols: n2, data: da },
-                 Value::Matrix { rows: r2, cols: n3, data: db }) = (a, b)
+            let (
+                Value::Matrix {
+                    rows: n1,
+                    cols: n2,
+                    data: da,
+                },
+                Value::Matrix {
+                    rows: r2,
+                    cols: n3,
+                    data: db,
+                },
+            ) = (a, b)
             else {
                 return Err(ExprError::Expected {
                     what: "matrix",
@@ -268,7 +285,10 @@ fn eval_node(
         Node::Transpose { input } => {
             let x = get(input);
             let Value::Matrix { rows, cols, data } = x else {
-                return Err(ExprError::Expected { what: "matrix", got: x.shape() });
+                return Err(ExprError::Expected {
+                    what: "matrix",
+                    got: x.shape(),
+                });
             };
             let (r, c) = (*rows, *cols);
             let mut out = vec![0.0; r * c];

@@ -16,10 +16,31 @@
 //! All kernels take an explicit memory budget `mem_elems` (the paper's
 //! `M`) and return the number of scalar multiplications performed, so
 //! measured I/O and flops can be checked against the cost model.
+//!
+//! ## Parallel execution
+//!
+//! [`matmul_tiled_parallel`] distributes the independent `(bi, bj)` output
+//! submatrices over worker threads, and [`matmul_bnlj_parallel`] does the
+//! same with the row chunks; each worker owns its scratch buffers and pins
+//! tiles zero-copy from the shared (ideally sharded) buffer pool. Workers
+//! write disjoint output tiles, so results are identical to the sequential
+//! kernels, and — when the pool is large enough to hold the operands, the
+//! in-memory regime the speedup matters in — total counted I/O is
+//! identical too: every operand block is loaded exactly once and every
+//! output block written exactly once, in whatever order the workers reach
+//! them. The single-threaded entry points run inline (no spawn), keeping
+//! the sequential kernels' I/O order bit-for-bit deterministic.
+//!
+//! Rectangle I/O ([`read_rect`] / [`write_rect`]) performs zero per-access
+//! heap allocation: a pin guard exposes each tile as `&[f64]` and rows are
+//! copied straight between the frame and the caller's scratch.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use riot_array::{DenseMatrix, MatrixLayout, TileOrder};
 
-use super::ExecResult;
+use super::{ExecError, ExecResult};
 use crate::cost::ChainTree;
 
 /// Which kernel to use for a multiplication.
@@ -31,6 +52,11 @@ pub enum MatMulKernel {
     Bnlj,
     /// Square-submatrix optimal schedule (Appendix A).
     SquareTiled,
+}
+
+/// Worker threads to use when a caller asks for "all cores".
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Multiply with the chosen kernel; returns `(product, flops)`.
@@ -60,6 +86,59 @@ fn check_dims(a: &DenseMatrix, b: &DenseMatrix) {
     );
 }
 
+/// Distribute `items` over `threads` scoped workers pulling from an atomic
+/// work queue, each with its own scratch from `make_scratch`; `work`
+/// returns a flop count and the total is summed. With `threads <= 1` the
+/// items run inline in order (no spawn), keeping sequential kernels'
+/// I/O order deterministic. After the first failure remaining items are
+/// abandoned and that error is returned.
+fn run_parallel<I: Sync, S: Send>(
+    threads: usize,
+    items: &[I],
+    make_scratch: impl Fn() -> S + Sync,
+    work: impl Fn(&I, &mut S) -> ExecResult<u64> + Sync,
+) -> ExecResult<u64> {
+    if threads <= 1 {
+        let mut scratch = make_scratch();
+        let mut total = 0u64;
+        for item in items {
+            total += work(item, &mut scratch)?;
+        }
+        return Ok(total);
+    }
+    let next = AtomicUsize::new(0);
+    let flops = AtomicU64::new(0);
+    let failure: Mutex<Option<ExecError>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                // Per-worker scratch, allocated once.
+                let mut scratch = make_scratch();
+                loop {
+                    if failure.lock().unwrap().is_some() {
+                        break; // a sibling failed; abandon remaining work
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    match work(item, &mut scratch) {
+                        Ok(f) => {
+                            flops.fetch_add(f, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            failure.lock().unwrap().get_or_insert(e);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = failure.into_inner().unwrap() {
+        return Err(e);
+    }
+    Ok(flops.into_inner())
+}
+
 /// Example 2's algorithm: for each output column, walk the rows of `A`.
 /// The result uses the same layout family R would produce (column-major).
 pub fn matmul_naive(
@@ -70,7 +149,14 @@ pub fn matmul_naive(
     check_dims(a, b);
     let (n1, n2, n3) = (a.rows(), a.cols(), b.cols());
     let ctx = a.ctx();
-    let t = DenseMatrix::create(ctx, n1, n3, MatrixLayout::ColMajor, TileOrder::ColMajor, name)?;
+    let t = DenseMatrix::create(
+        ctx,
+        n1,
+        n3,
+        MatrixLayout::ColMajor,
+        TileOrder::ColMajor,
+        name,
+    )?;
     for j in 0..n3 {
         for i in 0..n1 {
             let mut acc = 0.0;
@@ -92,49 +178,84 @@ pub fn matmul_bnlj(
     mem_elems: usize,
     name: Option<&str>,
 ) -> ExecResult<(DenseMatrix, u64)> {
+    matmul_bnlj_parallel(a, b, mem_elems, 1, name)
+}
+
+/// [`matmul_bnlj`] with the chunk loop distributed over `threads` workers,
+/// each owning its chunk/column scratch. The per-worker memory budget is
+/// `mem_elems / threads`, so the total stays within the paper's `M`.
+pub fn matmul_bnlj_parallel(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mem_elems: usize,
+    threads: usize,
+    name: Option<&str>,
+) -> ExecResult<(DenseMatrix, u64)> {
     check_dims(a, b);
     let (n1, n2, n3) = (a.rows(), a.cols(), b.cols());
     let ctx = a.ctx();
     // T inherits a row layout so chunk writes are sequential.
-    let t = DenseMatrix::create(ctx, n1, n3, MatrixLayout::RowMajor, TileOrder::RowMajor, name)?;
-    let chunk_rows = (mem_elems / (n2 + n3)).clamp(1, n1);
-    let mut a_chunk = vec![0.0; chunk_rows * n2];
-    let mut t_chunk = vec![0.0; chunk_rows * n3];
-    let mut col = vec![0.0; n2];
-    let mut flops = 0u64;
-    let mut r0 = 0;
-    while r0 < n1 {
-        let m = chunk_rows.min(n1 - r0);
-        // Load m rows of A into memory.
-        for r in 0..m {
-            for k in 0..n2 {
-                a_chunk[r * n2 + k] = a.get(r0 + r, k)?;
-            }
+    let t = DenseMatrix::create(
+        ctx,
+        n1,
+        n3,
+        MatrixLayout::RowMajor,
+        TileOrder::RowMajor,
+        name,
+    )?;
+    // Fixed point between worker count and chunk size: fewer chunks than
+    // requested workers means each remaining worker can take a bigger
+    // slice of the memory budget (shrinking threads only grows chunks, so
+    // this converges).
+    let mut threads = threads.max(1);
+    let mut chunk_rows;
+    loop {
+        chunk_rows = (mem_elems / threads / (n2 + n3)).clamp(1, n1);
+        let nchunks = n1.div_ceil(chunk_rows);
+        if nchunks >= threads {
+            break;
         }
-        t_chunk[..m * n3].fill(0.0);
-        // Stream B one column at a time.
-        for j in 0..n3 {
-            for (k, slot) in col.iter_mut().enumerate() {
-                *slot = b.get(k, j)?;
-            }
-            for r in 0..m {
-                let row = &a_chunk[r * n2..(r + 1) * n2];
-                let mut acc = 0.0;
-                for k in 0..n2 {
-                    acc += row[k] * col[k];
-                }
-                t_chunk[r * n3 + j] = acc;
-            }
-            flops += (m * n2) as u64;
-        }
-        // Write the finished T rows.
-        for r in 0..m {
-            for j in 0..n3 {
-                t.set(r0 + r, j, t_chunk[r * n3 + j])?;
-            }
-        }
-        r0 += m;
+        threads = nchunks;
     }
+    let chunk_rows = chunk_rows;
+    let chunks: Vec<usize> = (0..n1).step_by(chunk_rows).collect();
+    let threads = threads.min(chunks.len());
+
+    // One chunk of A rows, streamed against all of B, into one chunk of T.
+    let run_chunk =
+        |r0: usize, a_chunk: &mut [f64], t_chunk: &mut [f64], col: &mut [f64]| -> ExecResult<u64> {
+            let m = chunk_rows.min(n1 - r0);
+            read_rect(a, r0, 0, m, n2, a_chunk)?;
+            t_chunk[..m * n3].fill(0.0);
+            let mut flops = 0u64;
+            for j in 0..n3 {
+                read_rect(b, 0, j, n2, 1, col)?;
+                for r in 0..m {
+                    let row = &a_chunk[r * n2..(r + 1) * n2];
+                    let mut acc = 0.0;
+                    for k in 0..n2 {
+                        acc += row[k] * col[k];
+                    }
+                    t_chunk[r * n3 + j] = acc;
+                }
+                flops += (m * n2) as u64;
+            }
+            write_rect(&t, r0, 0, m, n3, t_chunk)?;
+            Ok(flops)
+        };
+
+    let flops = run_parallel(
+        threads,
+        &chunks,
+        || {
+            (
+                vec![0.0; chunk_rows * n2],
+                vec![0.0; chunk_rows * n3],
+                vec![0.0; n2],
+            )
+        },
+        |&r0, (a_chunk, t_chunk, col)| run_chunk(r0, a_chunk, t_chunk, col),
+    )?;
     Ok((t, flops))
 }
 
@@ -148,57 +269,103 @@ pub fn matmul_tiled(
     mem_elems: usize,
     name: Option<&str>,
 ) -> ExecResult<(DenseMatrix, u64)> {
+    matmul_tiled_parallel(a, b, mem_elems, 1, name)
+}
+
+/// [`matmul_tiled`] with the outer `(bi, bj)` submatrix loop distributed
+/// over `threads` workers. Each worker owns three `p × p` scratch buffers
+/// with `p = √(M / 3·threads)` (tile-aligned), so the combined footprint
+/// stays within `mem_elems`; output submatrices are disjoint, making the
+/// result identical to the sequential schedule.
+pub fn matmul_tiled_parallel(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mem_elems: usize,
+    threads: usize,
+    name: Option<&str>,
+) -> ExecResult<(DenseMatrix, u64)> {
     check_dims(a, b);
     let (n1, n2, n3) = (a.rows(), a.cols(), b.cols());
     let ctx = a.ctx();
     let t = DenseMatrix::create(ctx, n1, n3, MatrixLayout::Square, TileOrder::RowMajor, name)?;
-    // Submatrix side: p = sqrt(M/3), at least one tile.
+    // Submatrix side: p = sqrt(M / 3·threads) rounded down to a whole
+    // number of tiles, at least one tile. Fixed point between worker count
+    // and p: fewer output cells than requested workers means each
+    // remaining worker can take a bigger share of the budget (shrinking
+    // threads only grows p, which only shrinks the cell count, so this
+    // converges).
     let (tile_r, tile_c) = t.tile_dims();
     let tile_side = tile_r.max(tile_c);
-    let p = (((mem_elems as f64 / 3.0).sqrt() as usize) / tile_side * tile_side)
-        .max(tile_side);
-    let mut asub = vec![0.0; p * p];
-    let mut bsub = vec![0.0; p * p];
-    let mut tsub = vec![0.0; p * p];
-    let mut flops = 0u64;
+    let mut threads = threads.max(1);
+    let mut p;
+    loop {
+        p = (((mem_elems as f64 / (3.0 * threads as f64)).sqrt() as usize) / tile_side * tile_side)
+            .max(tile_side);
+        let cells = n1.div_ceil(p) * n3.div_ceil(p);
+        if cells >= threads {
+            break;
+        }
+        threads = cells;
+    }
+    let (p, threads) = (p, threads);
 
     let blocks = |n: usize| n.div_ceil(p);
-    for bi in 0..blocks(n1) {
-        for bj in 0..blocks(n3) {
-            let (i0, j0) = (bi * p, bj * p);
-            let (pi, pj) = (p.min(n1 - i0), p.min(n3 - j0));
-            tsub[..pi * pj].fill(0.0);
-            for bk in 0..blocks(n2) {
-                let k0 = bk * p;
-                let pk = p.min(n2 - k0);
-                read_rect(a, i0, k0, pi, pk, &mut asub)?;
-                read_rect(b, k0, j0, pk, pj, &mut bsub)?;
-                // Dense in-memory submatrix multiply-accumulate.
-                for i in 0..pi {
-                    for k in 0..pk {
-                        let aik = asub[i * pk + k];
-                        if aik == 0.0 {
-                            flops += pj as u64;
-                            continue;
-                        }
-                        let brow = &bsub[k * pj..k * pj + pj];
-                        let trow = &mut tsub[i * pj..i * pj + pj];
-                        for (tv, bv) in trow.iter_mut().zip(brow) {
-                            *tv += aik * bv;
-                        }
+    // One (bi, bj) output submatrix: accumulate over the bk dimension.
+    let run_cell = |bi: usize,
+                    bj: usize,
+                    asub: &mut [f64],
+                    bsub: &mut [f64],
+                    tsub: &mut [f64]|
+     -> ExecResult<u64> {
+        let (i0, j0) = (bi * p, bj * p);
+        let (pi, pj) = (p.min(n1 - i0), p.min(n3 - j0));
+        tsub[..pi * pj].fill(0.0);
+        let mut flops = 0u64;
+        for bk in 0..blocks(n2) {
+            let k0 = bk * p;
+            let pk = p.min(n2 - k0);
+            read_rect(a, i0, k0, pi, pk, asub)?;
+            read_rect(b, k0, j0, pk, pj, bsub)?;
+            // Dense in-memory submatrix multiply-accumulate.
+            for i in 0..pi {
+                for k in 0..pk {
+                    let aik = asub[i * pk + k];
+                    if aik == 0.0 {
                         flops += pj as u64;
+                        continue;
                     }
+                    let brow = &bsub[k * pj..k * pj + pj];
+                    let trow = &mut tsub[i * pj..i * pj + pj];
+                    for (tv, bv) in trow.iter_mut().zip(brow) {
+                        *tv += aik * bv;
+                    }
+                    flops += pj as u64;
                 }
             }
-            write_rect(&t, i0, j0, pi, pj, &tsub)?;
         }
-    }
+        write_rect(&t, i0, j0, pi, pj, tsub)?;
+        Ok(flops)
+    };
+
+    let cells: Vec<(usize, usize)> = (0..blocks(n1))
+        .flat_map(|bi| (0..blocks(n3)).map(move |bj| (bi, bj)))
+        .collect();
+    let threads = threads.min(cells.len());
+
+    let flops = run_parallel(
+        threads,
+        &cells,
+        || (vec![0.0; p * p], vec![0.0; p * p], vec![0.0; p * p]),
+        |&(bi, bj), (asub, bsub, tsub)| run_cell(bi, bj, asub, bsub, tsub),
+    )?;
     Ok((t, flops))
 }
 
 /// Read the `rows x cols` rectangle at `(r0, c0)` of `m` into `buf`
-/// (row-major, `buf[i*cols + j]`), tile by tile.
-fn read_rect(
+/// (row-major, `buf[i*cols + j]`), tile by tile. Zero-copy on the pool
+/// side: each tile is pinned and rows are copied straight out of the
+/// frame; no per-call allocation.
+pub fn read_rect(
     m: &DenseMatrix,
     r0: usize,
     c0: usize,
@@ -206,22 +373,22 @@ fn read_rect(
     cols: usize,
     buf: &mut [f64],
 ) -> ExecResult<()> {
+    debug_assert!(buf.len() >= rows * cols, "rect buffer too small");
     let (tr, tc) = m.tile_dims();
-    let mut tile = vec![0.0; tr * tc];
     let (t_row0, t_row1) = (r0 / tr, (r0 + rows - 1) / tr);
     let (t_col0, t_col1) = (c0 / tc, (c0 + cols - 1) / tc);
     for ti in t_row0..=t_row1 {
         for tj in t_col0..=t_col1 {
-            m.read_tile(ti as u64, tj as u64, &mut tile)?;
+            let tile = m.pin_tile(ti as u64, tj as u64)?;
             let (base_r, base_c) = (ti * tr, tj * tc);
             let rs = r0.max(base_r);
             let re = (r0 + rows).min(base_r + tr).min(m.rows());
             let cs = c0.max(base_c);
             let ce = (c0 + cols).min(base_c + tc).min(m.cols());
             for r in rs..re {
-                for c in cs..ce {
-                    buf[(r - r0) * cols + (c - c0)] = tile[(r - base_r) * tc + (c - base_c)];
-                }
+                let src = &tile[(r - base_r) * tc + (cs - base_c)..][..ce - cs];
+                let dst = &mut buf[(r - r0) * cols + (cs - c0)..][..ce - cs];
+                dst.copy_from_slice(src);
             }
         }
     }
@@ -230,8 +397,9 @@ fn read_rect(
 
 /// Write the `rows x cols` rectangle at `(r0, c0)` of `m` from `buf`,
 /// tile by tile. Tiles fully covered by the rectangle are written without
-/// a prior read.
-fn write_rect(
+/// a prior read; partially covered tiles are pinned read-modify-write.
+/// Zero-copy on the pool side, no per-call allocation.
+pub fn write_rect(
     m: &DenseMatrix,
     r0: usize,
     c0: usize,
@@ -239,8 +407,8 @@ fn write_rect(
     cols: usize,
     buf: &[f64],
 ) -> ExecResult<()> {
+    debug_assert!(buf.len() >= rows * cols, "rect buffer too small");
     let (tr, tc) = m.tile_dims();
-    let mut tile = vec![0.0; tr * tc];
     let (t_row0, t_row1) = (r0 / tr, (r0 + rows - 1) / tr);
     let (t_col0, t_col1) = (c0 / tc, (c0 + cols - 1) / tc);
     for ti in t_row0..=t_row1 {
@@ -254,17 +422,18 @@ fn write_rect(
                 && cs == base_c
                 && re == (base_r + tr).min(m.rows())
                 && ce == (base_c + tc).min(m.cols());
-            if !covers {
-                m.read_tile(ti as u64, tj as u64, &mut tile)?;
+            let mut tile = if covers {
+                let mut t = m.pin_tile_new(ti as u64, tj as u64)?;
+                t.fill(0.0);
+                t
             } else {
-                tile.fill(0.0);
-            }
+                m.pin_tile_mut(ti as u64, tj as u64)?
+            };
             for r in rs..re {
-                for c in cs..ce {
-                    tile[(r - base_r) * tc + (c - base_c)] = buf[(r - r0) * cols + (c - c0)];
-                }
+                let dst = &mut tile[(r - base_r) * tc + (cs - base_c)..][..ce - cs];
+                let src = &buf[(r - r0) * cols + (cs - c0)..][..ce - cs];
+                dst.copy_from_slice(src);
             }
-            m.write_tile(ti as u64, tj as u64, &tile)?;
         }
     }
     Ok(())
@@ -301,15 +470,15 @@ pub fn multiply_chain(
 mod tests {
     use super::*;
     use riot_array::StorageCtx;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     /// 512-byte blocks: 64 elements, 8x8 square tiles.
-    fn ctx(frames: usize) -> Rc<StorageCtx> {
+    fn ctx(frames: usize) -> Arc<StorageCtx> {
         StorageCtx::new_mem(512, frames)
     }
 
     fn mk(
-        ctx: &Rc<StorageCtx>,
+        ctx: &Arc<StorageCtx>,
         rows: usize,
         cols: usize,
         layout: MatrixLayout,
@@ -348,7 +517,11 @@ mod tests {
         let av: Vec<f64> = (0..n1 * n2).map(|i| (i as f64).sin()).collect();
         let bv: Vec<f64> = (0..n2 * n3).map(|i| (i as f64).cos()).collect();
         let want = reference(&av, &bv, n1, n2, n3);
-        for kernel in [MatMulKernel::Naive, MatMulKernel::Bnlj, MatMulKernel::SquareTiled] {
+        for kernel in [
+            MatMulKernel::Naive,
+            MatMulKernel::Bnlj,
+            MatMulKernel::SquareTiled,
+        ] {
             let c = ctx(64);
             let a = mk(&c, n1, n2, MatrixLayout::Square, |i, j| av[i * n2 + j]);
             let b = mk(&c, n2, n3, MatrixLayout::Square, |i, j| bv[i * n3 + j]);
@@ -367,10 +540,68 @@ mod tests {
         let c = ctx(64);
         let a = mk(&c, n1, n2, MatrixLayout::RowMajor, |i, j| av[i * n2 + j]);
         let b = mk(&c, n2, n3, MatrixLayout::ColMajor, |i, j| bv[i * n3 + j]);
-        for kernel in [MatMulKernel::Naive, MatMulKernel::Bnlj, MatMulKernel::SquareTiled] {
+        for kernel in [
+            MatMulKernel::Naive,
+            MatMulKernel::Bnlj,
+            MatMulKernel::SquareTiled,
+        ] {
             let (t, _) = multiply(kernel, &a, &b, 3 * 64, None).unwrap();
             assert_close(&t.to_rows().unwrap(), &want);
         }
+    }
+
+    #[test]
+    fn parallel_kernels_match_sequential_results_and_io() {
+        let (n1, n2, n3) = (40, 33, 25); // ragged shapes
+        let av: Vec<f64> = (0..n1 * n2)
+            .map(|i| ((i * 13) % 31) as f64 - 15.0)
+            .collect();
+        let bv: Vec<f64> = (0..n2 * n3).map(|i| ((i * 7) % 23) as f64 - 11.0).collect();
+        let want = reference(&av, &bv, n1, n2, n3);
+
+        // Pool large enough to hold everything: the in-memory regime where
+        // parallel totals must equal sequential totals exactly.
+        let run = |threads: usize| {
+            let c = StorageCtx::new_mem_sharded(512, 256, 8);
+            let a = mk(&c, n1, n2, MatrixLayout::Square, |i, j| av[i * n2 + j]);
+            let b = mk(&c, n2, n3, MatrixLayout::Square, |i, j| bv[i * n3 + j]);
+            c.pool().flush_all().unwrap();
+            c.clear_cache().unwrap();
+            let before = c.io_snapshot();
+            let (t, flops) = matmul_tiled_parallel(&a, &b, 3 * 4 * 64 * 4, threads, None).unwrap();
+            c.pool().flush_all().unwrap();
+            let delta = c.io_snapshot() - before;
+            (t.to_rows().unwrap(), flops, delta.reads, delta.writes)
+        };
+
+        let (seq, seq_flops, seq_reads, seq_writes) = run(1);
+        assert_close(&seq, &want);
+        for threads in [2, 4] {
+            let (par, par_flops, par_reads, par_writes) = run(threads);
+            assert_eq!(par, seq, "{threads}-thread result diverged");
+            assert_eq!(par_flops, seq_flops);
+            assert_eq!(par_reads, seq_reads, "{threads}-thread reads diverged");
+            assert_eq!(par_writes, seq_writes, "{threads}-thread writes diverged");
+        }
+
+        // BNLJ likewise.
+        let run_bnlj = |threads: usize| {
+            let c = StorageCtx::new_mem_sharded(512, 256, 8);
+            let a = mk(&c, n1, n2, MatrixLayout::RowMajor, |i, j| av[i * n2 + j]);
+            let b = mk(&c, n2, n3, MatrixLayout::ColMajor, |i, j| bv[i * n3 + j]);
+            c.pool().flush_all().unwrap();
+            c.clear_cache().unwrap();
+            let before = c.io_snapshot();
+            let (t, _) = matmul_bnlj_parallel(&a, &b, 8 * (n2 + n3) * 4, threads, None).unwrap();
+            c.pool().flush_all().unwrap();
+            let delta = c.io_snapshot() - before;
+            (t.to_rows().unwrap(), delta.reads, delta.writes)
+        };
+        let (seq, seq_reads, seq_writes) = run_bnlj(1);
+        assert_close(&seq, &want);
+        let (par, par_reads, par_writes) = run_bnlj(4);
+        assert_eq!(par, seq);
+        assert_eq!((par_reads, par_writes), (seq_reads, seq_writes));
     }
 
     #[test]
@@ -450,7 +681,12 @@ mod tests {
             assert_eq!(flops as f64, tree.flops(&dims), "{}", tree.render());
             assert_close(&out.to_rows().unwrap(), &abc);
             out.free().unwrap();
-            assert_eq!(c.live_objects(), live_before, "temps freed: {}", tree.render());
+            assert_eq!(
+                c.live_objects(),
+                live_before,
+                "temps freed: {}",
+                tree.render()
+            );
         }
     }
 
@@ -460,8 +696,8 @@ mod tests {
         // of the analytic schedule cost.
         let n = 48; // 6x6 tiles of 8x8
         let mem_elems = 3 * 4 * 64; // p = 16 -> 2x2-tile submatrices
-        // Tiny pass-through pool: the kernel's explicit submatrix buffers
-        // are the memory budget, so device I/O equals the schedule.
+                                    // Tiny pass-through pool: the kernel's explicit submatrix buffers
+                                    // are the memory budget, so device I/O equals the schedule.
         let c = ctx(4);
         let a = mk(&c, n, n, MatrixLayout::Square, |i, j| (i + j) as f64);
         let b = mk(&c, n, n, MatrixLayout::Square, |i, j| (i * j % 3) as f64);

@@ -12,7 +12,10 @@
 pub mod matmul;
 pub mod pipeline;
 
-pub use matmul::{matmul_bnlj, matmul_naive, matmul_tiled, multiply, multiply_chain, MatMulKernel};
+pub use matmul::{
+    default_threads, matmul_bnlj, matmul_bnlj_parallel, matmul_naive, matmul_tiled,
+    matmul_tiled_parallel, multiply, multiply_chain, read_rect, write_rect, MatMulKernel,
+};
 pub use pipeline::{
     drain_agg, drain_to_vec, materialize, ConstScan, CycleScan, GatherPipe, IfElsePipe,
     LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan, ZipPipe,

@@ -12,8 +12,9 @@
 //! optimizer's pushdown is how `z <- d[s]; print(z)` touches only ~100
 //! elements of `x` and `y` instead of computing all of `d`.
 
-use std::cell::Cell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use riot_array::{DenseVector, StorageCtx, VectorWriter};
 
@@ -76,7 +77,11 @@ pub struct LiteralScan {
 impl LiteralScan {
     /// Stream `data` in chunks.
     pub fn new(data: Rc<Vec<f64>>, chunk: usize) -> Self {
-        LiteralScan { data, pos: 0, chunk }
+        LiteralScan {
+            data,
+            pos: 0,
+            chunk,
+        }
     }
 }
 
@@ -105,7 +110,12 @@ pub struct RangeScan {
 impl RangeScan {
     /// Stream the sequence `start .. start+len-1`.
     pub fn new(start: i64, len: usize, chunk: usize) -> Self {
-        RangeScan { start, len, pos: 0, chunk }
+        RangeScan {
+            start,
+            len,
+            pos: 0,
+            chunk,
+        }
     }
 }
 
@@ -136,7 +146,12 @@ pub struct ConstScan {
 impl ConstScan {
     /// Stream `value` repeated `len` times.
     pub fn new(value: f64, len: usize, chunk: usize) -> Self {
-        ConstScan { value, len, pos: 0, chunk }
+        ConstScan {
+            value,
+            len,
+            pos: 0,
+            chunk,
+        }
     }
 }
 
@@ -167,7 +182,12 @@ impl CycleScan {
     /// Stream `data` cyclically until `out_len` elements were produced.
     pub fn new(data: Vec<f64>, out_len: usize, chunk: usize) -> Self {
         assert!(!data.is_empty(), "cannot recycle an empty vector");
-        CycleScan { data, out_len, pos: 0, chunk }
+        CycleScan {
+            data,
+            out_len,
+            pos: 0,
+            chunk,
+        }
     }
 }
 
@@ -191,12 +211,12 @@ impl Pipe for CycleScan {
 pub struct MapPipe {
     op: UnOp,
     input: Box<dyn Pipe>,
-    ops: Rc<Cell<u64>>,
+    ops: Arc<AtomicU64>,
 }
 
 impl MapPipe {
     /// Apply `op` to each element of `input`; `ops` counts scalar work.
-    pub fn new(op: UnOp, input: Box<dyn Pipe>, ops: Rc<Cell<u64>>) -> Self {
+    pub fn new(op: UnOp, input: Box<dyn Pipe>, ops: Arc<AtomicU64>) -> Self {
         MapPipe { op, input, ops }
     }
 }
@@ -207,7 +227,7 @@ impl Pipe for MapPipe {
         for v in out.iter_mut() {
             *v = self.op.apply(*v);
         }
-        self.ops.set(self.ops.get() + n as u64);
+        self.ops.fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
     }
 
@@ -224,14 +244,20 @@ pub struct ZipPipe {
     lhs: Box<dyn Pipe>,
     rhs: Box<dyn Pipe>,
     rbuf: Vec<f64>,
-    ops: Rc<Cell<u64>>,
+    ops: Arc<AtomicU64>,
 }
 
 impl ZipPipe {
     /// Combine two equal-length pipes elementwise with `op`.
-    pub fn new(op: BinOp, lhs: Box<dyn Pipe>, rhs: Box<dyn Pipe>, ops: Rc<Cell<u64>>) -> Self {
+    pub fn new(op: BinOp, lhs: Box<dyn Pipe>, rhs: Box<dyn Pipe>, ops: Arc<AtomicU64>) -> Self {
         debug_assert_eq!(lhs.total_len(), rhs.total_len(), "zip operand lengths");
-        ZipPipe { op, lhs, rhs, rbuf: Vec::new(), ops }
+        ZipPipe {
+            op,
+            lhs,
+            rhs,
+            rbuf: Vec::new(),
+            ops,
+        }
     }
 }
 
@@ -243,7 +269,7 @@ impl Pipe for ZipPipe {
         for (a, b) in out.iter_mut().zip(self.rbuf.iter()) {
             *a = self.op.apply(*a, *b);
         }
-        self.ops.set(self.ops.get() + n as u64);
+        self.ops.fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
     }
 
@@ -259,7 +285,7 @@ pub struct IfElsePipe {
     no: Box<dyn Pipe>,
     ybuf: Vec<f64>,
     nbuf: Vec<f64>,
-    ops: Rc<Cell<u64>>,
+    ops: Arc<AtomicU64>,
 }
 
 impl IfElsePipe {
@@ -268,9 +294,16 @@ impl IfElsePipe {
         cond: Box<dyn Pipe>,
         yes: Box<dyn Pipe>,
         no: Box<dyn Pipe>,
-        ops: Rc<Cell<u64>>,
+        ops: Arc<AtomicU64>,
     ) -> Self {
-        IfElsePipe { cond, yes, no, ybuf: Vec::new(), nbuf: Vec::new(), ops }
+        IfElsePipe {
+            cond,
+            yes,
+            no,
+            ybuf: Vec::new(),
+            nbuf: Vec::new(),
+            ops,
+        }
     }
 }
 
@@ -281,9 +314,13 @@ impl Pipe for IfElsePipe {
         let nn = self.no.next_into(&mut self.nbuf)?;
         debug_assert!(n == ny && n == nn, "ifelse chunk lengths diverged");
         for i in 0..n {
-            out[i] = if out[i] != 0.0 { self.ybuf[i] } else { self.nbuf[i] };
+            out[i] = if out[i] != 0.0 {
+                self.ybuf[i]
+            } else {
+                self.nbuf[i]
+            };
         }
-        self.ops.set(self.ops.get() + n as u64);
+        self.ops.fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
     }
 
@@ -338,12 +375,12 @@ impl Probe {
 pub struct GatherPipe {
     index: Box<dyn Pipe>,
     data: Probe,
-    ops: Rc<Cell<u64>>,
+    ops: Arc<AtomicU64>,
 }
 
 impl GatherPipe {
     /// `data[index]` with 1-based indices.
-    pub fn new(index: Box<dyn Pipe>, data: Probe, ops: Rc<Cell<u64>>) -> Self {
+    pub fn new(index: Box<dyn Pipe>, data: Probe, ops: Arc<AtomicU64>) -> Self {
         GatherPipe { index, data, ops }
     }
 }
@@ -361,7 +398,7 @@ impl Pipe for GatherPipe {
             }
             *v = self.data.get(raw as usize - 1)?;
         }
-        self.ops.set(self.ops.get() + n as u64);
+        self.ops.fetch_add(n as u64, Ordering::Relaxed);
         Ok(n)
     }
 
@@ -373,7 +410,7 @@ impl Pipe for GatherPipe {
 /// Drain a pipe into a freshly stored vector (sequential writes).
 pub fn materialize(
     mut pipe: Box<dyn Pipe>,
-    ctx: &Rc<StorageCtx>,
+    ctx: &Arc<StorageCtx>,
     name: Option<&str>,
 ) -> ExecResult<DenseVector> {
     let len = pipe.total_len();
@@ -428,11 +465,11 @@ pub fn drain_agg(mut pipe: Box<dyn Pipe>, op: AggOp) -> ExecResult<f64> {
 mod tests {
     use super::*;
 
-    fn ops() -> Rc<Cell<u64>> {
-        Rc::new(Cell::new(0))
+    fn ops() -> Arc<AtomicU64> {
+        Arc::new(AtomicU64::new(0))
     }
 
-    fn ctx() -> Rc<StorageCtx> {
+    fn ctx() -> Arc<StorageCtx> {
         StorageCtx::new_mem(64, 4)
     }
 
@@ -465,7 +502,7 @@ mod tests {
         let got = drain_to_vec(sqrt).unwrap();
         let want: Vec<f64> = (0..20).map(|i| (i as f64 - 1.0).abs()).collect();
         assert_eq!(got, want);
-        assert_eq!(counter.get(), 60, "3 ops x 20 elements");
+        assert_eq!(counter.load(Ordering::Relaxed), 60, "3 ops x 20 elements");
     }
 
     #[test]
@@ -504,7 +541,10 @@ mod tests {
         let mut buf = Vec::new();
         assert!(matches!(
             p.next_into(&mut buf),
-            Err(ExecError::Expr(ExprError::IndexOutOfBounds { index: 4, len: 2 }))
+            Err(ExecError::Expr(ExprError::IndexOutOfBounds {
+                index: 4,
+                len: 2
+            }))
         ));
     }
 
@@ -514,7 +554,10 @@ mod tests {
         let idx = Box::new(LiteralScan::new(Rc::new(vec![3.0, 1.0]), 4));
         let p = Box::new(GatherPipe::new(
             idx,
-            Probe::Range { start: 100, len: 10 },
+            Probe::Range {
+                start: 100,
+                len: 10,
+            },
             counter,
         ));
         assert_eq!(drain_to_vec(p).unwrap(), vec![102.0, 100.0]);

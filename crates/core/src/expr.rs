@@ -535,11 +535,7 @@ mod tests {
     #[test]
     fn agg_fold() {
         let xs = [3.0, -1.0, 7.0];
-        for (op, want) in [
-            (AggOp::Sum, 9.0),
-            (AggOp::Min, -1.0),
-            (AggOp::Max, 7.0),
-        ] {
+        for (op, want) in [(AggOp::Sum, 9.0), (AggOp::Min, -1.0), (AggOp::Max, 7.0)] {
             let got = xs.iter().fold(op.init(), |a, &x| op.fold(a, x));
             assert_eq!(got, want, "{op:?}");
         }
@@ -568,7 +564,11 @@ mod tests {
         assert_eq!(Node::Scalar(f64::NAN).key(), Node::Scalar(f64::NAN).key());
         // Different node kinds with the same payload differ.
         assert_ne!(
-            Node::Map { op: UnOp::Neg, input: NodeId(0) }.key(),
+            Node::Map {
+                op: UnOp::Neg,
+                input: NodeId(0)
+            }
+            .key(),
             Node::Transpose { input: NodeId(0) }.key()
         );
     }

@@ -67,7 +67,10 @@ impl ExprGraph {
 
     /// A stored `rows x cols` matrix.
     pub fn mat_source(&mut self, source: SourceRef, rows: usize, cols: usize) -> NodeId {
-        self.intern(Node::MatSource { source, rows, cols }, Shape::Matrix(rows, cols))
+        self.intern(
+            Node::MatSource { source, rows, cols },
+            Shape::Matrix(rows, cols),
+        )
     }
 
     /// A small in-memory literal vector.
@@ -109,12 +112,7 @@ impl ExprGraph {
     }
 
     /// Elementwise conditional select.
-    pub fn if_else(
-        &mut self,
-        cond: NodeId,
-        yes: NodeId,
-        no: NodeId,
-    ) -> Result<NodeId, ExprError> {
+    pub fn if_else(&mut self, cond: NodeId, yes: NodeId, no: NodeId) -> Result<NodeId, ExprError> {
         let (cs, ys, ns) = (self.shape(cond), self.shape(yes), self.shape(no));
         if !cs.broadcasts_with(&ys) || !cs.broadcasts_with(&ns) || !ys.broadcasts_with(&ns) {
             return Err(ExprError::ShapeMismatch {
@@ -132,12 +130,20 @@ impl ExprGraph {
         let ds = self.shape(data);
         let is = self.shape(index);
         if !matches!(ds, Shape::Vector(_)) {
-            return Err(ExprError::Expected { what: "vector", got: ds });
+            return Err(ExprError::Expected {
+                what: "vector",
+                got: ds,
+            });
         }
         let out_len = match is {
             Shape::Vector(n) => n,
             Shape::Scalar => 1,
-            other => return Err(ExprError::Expected { what: "index vector", got: other }),
+            other => {
+                return Err(ExprError::Expected {
+                    what: "index vector",
+                    got: other,
+                })
+            }
         };
         Ok(self.intern(Node::Gather { data, index }, Shape::Vector(out_len)))
     }
@@ -151,12 +157,19 @@ impl ExprGraph {
     ) -> Result<NodeId, ExprError> {
         let ds = self.shape(data);
         if !matches!(ds, Shape::Vector(_)) {
-            return Err(ExprError::Expected { what: "vector", got: ds });
+            return Err(ExprError::Expected {
+                what: "vector",
+                got: ds,
+            });
         }
         let is = self.shape(index);
         let vs = self.shape(value);
         if !is.broadcasts_with(&vs) {
-            return Err(ExprError::ShapeMismatch { lhs: is, rhs: vs, op: "[<-" });
+            return Err(ExprError::ShapeMismatch {
+                lhs: is,
+                rhs: vs,
+                op: "[<-",
+            });
         }
         Ok(self.intern(Node::SubAssign { data, index, value }, ds))
     }
@@ -171,14 +184,25 @@ impl ExprGraph {
         let ds = self.shape(data);
         let ms = self.shape(mask);
         if !matches!(ds, Shape::Vector(_)) {
-            return Err(ExprError::Expected { what: "vector", got: ds });
+            return Err(ExprError::Expected {
+                what: "vector",
+                got: ds,
+            });
         }
         if ds != ms && ms != Shape::Scalar {
-            return Err(ExprError::ShapeMismatch { lhs: ds, rhs: ms, op: "[mask<-" });
+            return Err(ExprError::ShapeMismatch {
+                lhs: ds,
+                rhs: ms,
+                op: "[mask<-",
+            });
         }
         let vs = self.shape(value);
         if !ds.broadcasts_with(&vs) {
-            return Err(ExprError::ShapeMismatch { lhs: ds, rhs: vs, op: "[mask<-" });
+            return Err(ExprError::ShapeMismatch {
+                lhs: ds,
+                rhs: vs,
+                op: "[mask<-",
+            });
         }
         Ok(self.intern(Node::MaskAssign { data, mask, value }, ds))
     }
@@ -198,7 +222,10 @@ impl ExprGraph {
     pub fn transpose(&mut self, input: NodeId) -> Result<NodeId, ExprError> {
         match self.shape(input) {
             Shape::Matrix(r, c) => Ok(self.intern(Node::Transpose { input }, Shape::Matrix(c, r))),
-            got => Err(ExprError::Expected { what: "matrix", got }),
+            got => Err(ExprError::Expected {
+                what: "matrix",
+                got,
+            }),
         }
     }
 
@@ -277,9 +304,19 @@ impl ExprGraph {
             },
             Node::Zip { op, lhs, rhs } => match op {
                 BinOp::Min | BinOp::Max => {
-                    format!("{}({}, {})", op.name(), self.render(*lhs), self.render(*rhs))
+                    format!(
+                        "{}({}, {})",
+                        op.name(),
+                        self.render(*lhs),
+                        self.render(*rhs)
+                    )
                 }
-                _ => format!("({} {} {})", self.render(*lhs), op.name(), self.render(*rhs)),
+                _ => format!(
+                    "({} {} {})",
+                    self.render(*lhs),
+                    op.name(),
+                    self.render(*rhs)
+                ),
             },
             Node::IfElse { cond, yes, no } => format!(
                 "ifelse({}, {}, {})",
@@ -394,8 +431,7 @@ mod tests {
         let s = g.zip(BinOp::Add, x, y).unwrap();
         let q = g.map(UnOp::Sqrt, s);
         let order = g.reachable(&[q]);
-        let pos =
-            |id: NodeId| order.iter().position(|&n| n == id).expect("node in order");
+        let pos = |id: NodeId| order.iter().position(|&n| n == id).expect("node in order");
         assert!(pos(x) < pos(s));
         assert!(pos(y) < pos(s));
         assert!(pos(s) < pos(q));

@@ -62,7 +62,10 @@ fn build(split: &[Vec<usize>], i: usize, j: usize) -> ChainTree {
         return ChainTree::Leaf(i);
     }
     let s = split[i][j];
-    ChainTree::Mul(Box::new(build(split, i, s)), Box::new(build(split, s + 1, j)))
+    ChainTree::Mul(
+        Box::new(build(split, i, s)),
+        Box::new(build(split, s + 1, j)),
+    )
 }
 
 /// Enumerate every parenthesization of `k` matrices (Catalan many) —

@@ -110,9 +110,10 @@ fn rebuild_with_children(
     stats: &mut RewriteStats,
     memo: &mut HashMap<NodeId, NodeId>,
 ) -> NodeId {
-    let go = |g: &mut ExprGraph, id: NodeId, stats: &mut RewriteStats, memo: &mut HashMap<NodeId, NodeId>| {
-        reorder(g, id, stats, memo)
-    };
+    let go = |g: &mut ExprGraph,
+              id: NodeId,
+              stats: &mut RewriteStats,
+              memo: &mut HashMap<NodeId, NodeId>| { reorder(g, id, stats, memo) };
     match node.clone() {
         n @ (Node::VecSource { .. }
         | Node::MatSource { .. }
@@ -220,8 +221,13 @@ mod tests {
         };
         let (opt, stats) = optimize(&mut g, abc, &cfg);
         assert_eq!(stats.chains_reordered, 0);
-        let Node::MatMul { lhs, .. } = *g.node(opt) else { panic!() };
-        assert!(matches!(g.node(lhs), Node::MatMul { .. }), "stays left-deep");
+        let Node::MatMul { lhs, .. } = *g.node(opt) else {
+            panic!()
+        };
+        assert!(
+            matches!(g.node(lhs), Node::MatMul { .. }),
+            "stays left-deep"
+        );
     }
 
     #[test]

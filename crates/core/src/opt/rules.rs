@@ -177,7 +177,11 @@ fn build_map(
         }
         // Double negation.
         if op == UnOp::Neg {
-            if let Node::Map { op: UnOp::Neg, input: inner } = *g.node(input) {
+            if let Node::Map {
+                op: UnOp::Neg,
+                input: inner,
+            } = *g.node(input)
+            {
                 stats.folds += 1;
                 return inner;
             }
@@ -328,7 +332,10 @@ fn build_gather(
             let offset = g.scalar(start as f64 - 1.0);
             build_zip(g, BinOp::Add, index, offset, cfg, stats)
         }
-        Node::Gather { data: inner, index: j } => {
+        Node::Gather {
+            data: inner,
+            index: j,
+        } => {
             // x[j][i] = x[j[i]].
             stats.gathers_pushed += 1;
             let ji = build_gather(g, j, index, cfg, stats);
@@ -403,12 +410,7 @@ mod tests {
                 Node::VecSource { .. } => {}
                 _ => {
                     let len = g.shape(id).len();
-                    assert!(
-                        len <= 10,
-                        "node {} still {}-sized",
-                        g.render(id),
-                        len
-                    );
+                    assert!(len <= 10, "node {} still {}-sized", g.render(id), len);
                 }
             }
         }
@@ -538,7 +540,13 @@ mod tests {
         let p = g.zip(BinOp::Pow, x, two).unwrap();
         let mut stats = no_stats();
         let opt = rewrite(&mut g, p, &OptConfig::default(), &mut stats);
-        assert!(matches!(*g.node(opt), Node::Map { op: UnOp::Square, .. }));
+        assert!(matches!(
+            *g.node(opt),
+            Node::Map {
+                op: UnOp::Square,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -12,9 +12,10 @@
 //! transparency claim — and every engine reports I/O through the same
 //! counters, which is what the Figure 1 harness tabulates.
 
-use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -168,7 +169,7 @@ impl Drop for StrawMat {
 pub struct Runtime {
     pub(crate) cfg: EngineConfig,
     pub(crate) graph: ExprGraph,
-    pub(crate) ctx: Rc<StorageCtx>,
+    pub(crate) ctx: Arc<StorageCtx>,
     pub(crate) heap: PagedHeap,
     pub(crate) vec_sources: HashMap<u32, DenseVector>,
     pub(crate) mat_sources: HashMap<u32, DenseMatrix>,
@@ -177,7 +178,7 @@ pub struct Runtime {
     /// objects; Riot's spills and shared-subexpression caches).
     pub(crate) materialized: HashMap<NodeId, DenseVector>,
     pub(crate) mat_materialized: HashMap<NodeId, DenseMatrix>,
-    pub(crate) cpu_ops: Rc<Cell<u64>>,
+    pub(crate) cpu_ops: Arc<AtomicU64>,
     pub(crate) last_opt_stats: RewriteStats,
     rng: StdRng,
 }
@@ -200,7 +201,7 @@ impl Runtime {
             next_source: 0,
             materialized: HashMap::new(),
             mat_materialized: HashMap::new(),
-            cpu_ops: Rc::new(Cell::new(0)),
+            cpu_ops: Arc::new(AtomicU64::new(0)),
             last_opt_stats: RewriteStats::default(),
             rng: StdRng::seed_from_u64(cfg.seed),
         }
@@ -237,7 +238,7 @@ impl Runtime {
 
     /// Scalar operations performed so far.
     pub fn cpu_ops(&self) -> u64 {
-        self.cpu_ops.get()
+        self.cpu_ops.load(Ordering::Relaxed)
     }
 
     /// Modeled execution time per Figure 1(b)'s I/O-dominated accounting.
@@ -246,7 +247,7 @@ impl Runtime {
     }
 
     fn count_ops(&self, n: usize) {
-        self.cpu_ops.set(self.cpu_ops.get() + n as u64);
+        self.cpu_ops.fetch_add(n as u64, Ordering::Relaxed);
     }
 
     fn chunk(&self) -> usize {
@@ -260,7 +261,11 @@ impl Runtime {
     // ================= loading =================
 
     /// Load a vector produced by `f(i)` for `i in 0..len`.
-    pub(crate) fn load_vector(&mut self, len: usize, mut f: impl FnMut(usize) -> f64) -> ExecResult<VecRepr> {
+    pub(crate) fn load_vector(
+        &mut self,
+        len: usize,
+        mut f: impl FnMut(usize) -> f64,
+    ) -> ExecResult<VecRepr> {
         match self.cfg.kind {
             EngineKind::PlainR => {
                 let id = self.heap.alloc(len);
@@ -405,7 +410,9 @@ impl Runtime {
     ) -> ExecResult<VecRepr> {
         match self.cfg.kind {
             EngineKind::MatNamed | EngineKind::Riot => {
-                let VecRepr::Node(l) = lhs else { unreachable!() };
+                let VecRepr::Node(l) = lhs else {
+                    unreachable!()
+                };
                 let s = self.graph.scalar(scalar);
                 let node = if scalar_on_left {
                     self.graph.zip(op, s, *l)?
@@ -444,8 +451,8 @@ impl Runtime {
                 VecRepr::Vm(id)
             }
             EngineKind::Strawman => {
-                let vec = DenseVector::create_wide(&self.ctx, 1, None)
-                    .expect("scalar table allocation");
+                let vec =
+                    DenseVector::create_wide(&self.ctx, 1, None).expect("scalar table allocation");
                 vec.write_range(0, &[scalar]).expect("scalar table write");
                 VecRepr::Table(Rc::new(StrawTable { vec }))
             }
@@ -457,12 +464,16 @@ impl Runtime {
     pub(crate) fn unop(&mut self, op: UnOp, input: &VecRepr) -> ExecResult<VecRepr> {
         match self.cfg.kind {
             EngineKind::MatNamed | EngineKind::Riot => {
-                let VecRepr::Node(i) = input else { unreachable!() };
+                let VecRepr::Node(i) = input else {
+                    unreachable!()
+                };
                 Ok(VecRepr::Node(self.graph.map(op, *i)))
             }
             EngineKind::PlainR => {
                 let n = self.vec_len(input);
-                let VecRepr::Vm(src) = input else { unreachable!() };
+                let VecRepr::Vm(src) = input else {
+                    unreachable!()
+                };
                 let src = *src;
                 let dst = self.heap.alloc(n);
                 let chunk = self.chunk();
@@ -482,7 +493,9 @@ impl Runtime {
             }
             EngineKind::Strawman => {
                 let n = self.vec_len(input);
-                let VecRepr::Table(t) = input else { unreachable!() };
+                let VecRepr::Table(t) = input else {
+                    unreachable!()
+                };
                 let out = DenseVector::create_wide(&self.ctx, n, None)?;
                 let chunk = self.chunk();
                 let mut buf = vec![0.0; chunk];
@@ -685,12 +698,7 @@ impl Runtime {
     }
 
     /// Eager elementwise conditional used by the eager engines' updates.
-    fn ifelse_eager(
-        &mut self,
-        cond: &VecRepr,
-        yes: &VecRepr,
-        no: &VecRepr,
-    ) -> ExecResult<VecRepr> {
+    fn ifelse_eager(&mut self, cond: &VecRepr, yes: &VecRepr, no: &VecRepr) -> ExecResult<VecRepr> {
         let n = self.vec_len(no).max(self.vec_len(cond));
         match self.cfg.kind {
             EngineKind::PlainR => {
@@ -786,8 +794,7 @@ impl Runtime {
                 Ok(VecRepr::Node(self.graph.sub_assign(*d, *i, *v)?))
             }
             EngineKind::PlainR => {
-                let (VecRepr::Vm(d), VecRepr::Vm(i), VecRepr::Vm(v)) = (data, index, value)
-                else {
+                let (VecRepr::Vm(d), VecRepr::Vm(i), VecRepr::Vm(v)) = (data, index, value) else {
                     unreachable!()
                 };
                 let (d, i, v) = (*d, *i, *v);
@@ -870,9 +877,7 @@ impl Runtime {
             out.push((vj + 1) as f64);
         }
         match self.cfg.kind {
-            EngineKind::MatNamed | EngineKind::Riot => {
-                Ok(VecRepr::Node(self.graph.literal(out)))
-            }
+            EngineKind::MatNamed | EngineKind::Riot => Ok(VecRepr::Node(self.graph.literal(out))),
             EngineKind::PlainR => {
                 let id = self.heap.alloc(k);
                 self.heap.write_chunk(id, 0, &out);
@@ -891,7 +896,9 @@ impl Runtime {
         assert!(end >= start, "descending ranges not supported");
         let len = (end - start + 1) as usize;
         match self.cfg.kind {
-            EngineKind::MatNamed | EngineKind::Riot => Ok(VecRepr::Node(self.graph.range(start, len))),
+            EngineKind::MatNamed | EngineKind::Riot => {
+                Ok(VecRepr::Node(self.graph.range(start, len)))
+            }
             EngineKind::PlainR => {
                 let id = self.heap.alloc(len);
                 let data: Vec<f64> = (0..len).map(|i| (start + i as i64) as f64).collect();
@@ -1002,7 +1009,7 @@ impl Runtime {
         }
         let len = self.graph.shape(id).len();
         let pipe = self.compile(id, len)?;
-        let ctx = Rc::clone(&self.ctx);
+        let ctx = Arc::clone(&self.ctx);
         let vec = materialize(pipe, &ctx, None)?;
         vec.flush()?;
         self.materialized.insert(id, vec.clone());
@@ -1056,10 +1063,7 @@ impl Runtime {
         // reachable() is children-first, so inner shared nodes spill
         // before any parent that consumes them is materialized.
         for id in self.graph.reachable(&[root]) {
-            if id == root
-                || self.graph.node(id).is_leaf()
-                || self.materialized.contains_key(&id)
-            {
+            if id == root || self.graph.node(id).is_leaf() || self.materialized.contains_key(&id) {
                 continue;
             }
             let shared = counts.get(&id).copied().unwrap_or(0) >= 2;
@@ -1103,24 +1107,24 @@ impl Runtime {
             Node::Scalar(_) => unreachable!("handled above"),
             Node::Map { op, input } => {
                 let input = self.compile(input, out_len)?;
-                Box::new(MapPipe::new(op, input, Rc::clone(&self.cpu_ops)))
+                Box::new(MapPipe::new(op, input, Arc::clone(&self.cpu_ops)))
             }
             Node::Zip { op, lhs, rhs } => {
                 let lhs = self.compile(lhs, out_len)?;
                 let rhs = self.compile(rhs, out_len)?;
-                Box::new(ZipPipe::new(op, lhs, rhs, Rc::clone(&self.cpu_ops)))
+                Box::new(ZipPipe::new(op, lhs, rhs, Arc::clone(&self.cpu_ops)))
             }
             Node::IfElse { cond, yes, no } => {
                 let cond = self.compile(cond, out_len)?;
                 let yes = self.compile(yes, out_len)?;
                 let no = self.compile(no, out_len)?;
-                Box::new(IfElsePipe::new(cond, yes, no, Rc::clone(&self.cpu_ops)))
+                Box::new(IfElsePipe::new(cond, yes, no, Arc::clone(&self.cpu_ops)))
             }
             Node::Gather { data, index } => {
                 let idx_len = self.graph.shape(index).len();
                 let index = self.compile(index, idx_len)?;
                 let probe = self.compile_probe(data)?;
-                Box::new(GatherPipe::new(index, probe, Rc::clone(&self.cpu_ops)))
+                Box::new(GatherPipe::new(index, probe, Arc::clone(&self.cpu_ops)))
             }
             Node::SubAssign { data, index, value } => {
                 let vec = self.force_subassign(id, data, index, value)?;
@@ -1132,7 +1136,7 @@ impl Runtime {
                 let cond = self.compile(mask, out_len)?;
                 let yes = self.compile(value, out_len)?;
                 let no = self.compile(data, out_len)?;
-                Box::new(IfElsePipe::new(cond, yes, no, Rc::clone(&self.cpu_ops)))
+                Box::new(IfElsePipe::new(cond, yes, no, Arc::clone(&self.cpu_ops)))
             }
             Node::MatMul { .. } | Node::Transpose { .. } | Node::MatSource { .. } => {
                 return Err(ExecError::Unsupported(
@@ -1218,7 +1222,7 @@ impl Runtime {
         }
         let len = self.graph.shape(data).len();
         let pipe = self.compile(data, len)?;
-        let ctx = Rc::clone(&self.ctx);
+        let ctx = Arc::clone(&self.ctx);
         let vec = materialize(pipe, &ctx, None)?;
         let idx_len = self.graph.shape(index).len();
         let idx = drain_to_vec(self.compile(index, idx_len)?)?;
@@ -1249,8 +1253,7 @@ impl Runtime {
     ) -> ExecResult<VecRepr> {
         match self.cfg.kind {
             EngineKind::MatNamed | EngineKind::Riot => {
-                let (VecRepr::Node(c), VecRepr::Node(y), VecRepr::Node(n)) = (cond, yes, no)
-                else {
+                let (VecRepr::Node(c), VecRepr::Node(y), VecRepr::Node(n)) = (cond, yes, no) else {
                     unreachable!()
                 };
                 Ok(VecRepr::Node(self.graph.if_else(*c, *y, *n)?))
@@ -1291,11 +1294,19 @@ impl Runtime {
                     }
                 }
                 self.count_ops(rows * cols);
-                Ok(MatRepr::Vm { id: t, rows: cols, cols: rows })
+                Ok(MatRepr::Vm {
+                    id: t,
+                    rows: cols,
+                    cols: rows,
+                })
             }
             EngineKind::Strawman => {
-                let MatRepr::Stored(sm) = m else { unreachable!() };
-                let t = sm.mat.transpose(MatrixLayout::ColMajor, TileOrder::ColMajor, None)?;
+                let MatRepr::Stored(sm) = m else {
+                    unreachable!()
+                };
+                let t = sm
+                    .mat
+                    .transpose(MatrixLayout::ColMajor, TileOrder::ColMajor, None)?;
                 Ok(MatRepr::Stored(Rc::new(StrawMat { mat: t })))
             }
         }
@@ -1312,8 +1323,16 @@ impl Runtime {
             }
             EngineKind::PlainR => {
                 let (
-                    MatRepr::Vm { id: a, rows: n1, cols: n2 },
-                    MatRepr::Vm { id: b, rows: rb, cols: n3 },
+                    MatRepr::Vm {
+                        id: a,
+                        rows: n1,
+                        cols: n2,
+                    },
+                    MatRepr::Vm {
+                        id: b,
+                        rows: rb,
+                        cols: n3,
+                    },
                 ) = (lhs, rhs)
                 else {
                     unreachable!()
@@ -1333,7 +1352,11 @@ impl Runtime {
                     }
                 }
                 self.count_ops(n1 * n2 * n3);
-                Ok(MatRepr::Vm { id: t, rows: n1, cols: n3 })
+                Ok(MatRepr::Vm {
+                    id: t,
+                    rows: n1,
+                    cols: n3,
+                })
             }
             EngineKind::Strawman => {
                 let (MatRepr::Stored(a), MatRepr::Stored(b)) = (lhs, rhs) else {

@@ -56,11 +56,7 @@ impl Session {
     }
 
     /// Create a vector from a generator function.
-    pub fn vector_from_fn(
-        &self,
-        len: usize,
-        f: impl FnMut(usize) -> f64,
-    ) -> ExecResult<RVec> {
+    pub fn vector_from_fn(&self, len: usize, f: impl FnMut(usize) -> f64) -> ExecResult<RVec> {
         let repr = self.rt.borrow_mut().load_vector(len, f)?;
         Ok(self.vec(repr))
     }
@@ -634,7 +630,10 @@ mod tests {
         let riot = run(EngineKind::Riot);
         let plain = run(EngineKind::PlainR);
         assert!(riot < matnamed, "riot {riot} < matnamed {matnamed}");
-        assert!(matnamed < strawman, "matnamed {matnamed} < strawman {strawman}");
+        assert!(
+            matnamed < strawman,
+            "matnamed {matnamed} < strawman {strawman}"
+        );
         assert!(riot * 10 < plain, "riot {riot} << plain {plain}");
     }
 
@@ -658,7 +657,10 @@ mod tests {
         for s in sessions() {
             let x = s.vector_from_fn(1000, |i| i as f64).unwrap();
             let y = (&x * 2.0) + 1.0;
-            assert_eq!(y.sum().unwrap(), (0..1000).map(|i| 2.0 * i as f64 + 1.0).sum());
+            assert_eq!(
+                y.sum().unwrap(),
+                (0..1000).map(|i| 2.0 * i as f64 + 1.0).sum()
+            );
             assert_eq!(y.min().unwrap(), 1.0);
             assert_eq!(y.max().unwrap(), 1999.0);
             assert!((y.mean().unwrap() - 1000.0).abs() < 1e-9);
@@ -680,13 +682,18 @@ mod tests {
                 .matrix_from_fn(4, 12, MatrixLayout::Square, |i, j| (i * j) as f64 * 0.25)
                 .unwrap();
             let c = s
-                .matrix_from_fn(12, 12, MatrixLayout::Square, |i, j| {
-                    if i == j {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                })
+                .matrix_from_fn(
+                    12,
+                    12,
+                    MatrixLayout::Square,
+                    |i, j| {
+                        if i == j {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    },
+                )
                 .unwrap();
             let abc = a.matmul(&b).matmul(&c);
             let (r, ccols, data) = abc.collect().unwrap();
@@ -694,10 +701,7 @@ mod tests {
             results.push(data);
         }
         for w in results.windows(2) {
-            let close = w[0]
-                .iter()
-                .zip(&w[1])
-                .all(|(a, b)| (a - b).abs() < 1e-9);
+            let close = w[0].iter().zip(&w[1]).all(|(a, b)| (a - b).abs() < 1e-9);
             assert!(close, "engines disagree on matmul chain");
         }
     }

@@ -123,11 +123,14 @@ fn select_with_bindings(
             let (td, ts) = (namer.fresh("TMP"), namer.fresh("TMP"));
             let d = select_with_bindings(g, *data, namer, bound);
             let s = select_with_bindings(g, *index, namer, bound);
-            format!(
-                "SELECT {ts}.I, {td}.V\nFROM ({d}) {td}, ({s}) {ts}\nWHERE {td}.I={ts}.V"
-            )
+            format!("SELECT {ts}.I, {td}.V\nFROM ({d}) {td}, ({s}) {ts}\nWHERE {td}.I={ts}.V")
         }
-        Node::SubAssign { data, index, value } | Node::MaskAssign { data, mask: index, value } => {
+        Node::SubAssign { data, index, value }
+        | Node::MaskAssign {
+            data,
+            mask: index,
+            value,
+        } => {
             let is_mask = matches!(g.node(id), Node::MaskAssign { .. });
             let (td, ti, tv) = (namer.fresh("TMP"), namer.fresh("TMP"), namer.fresh("TMP"));
             let d = select_with_bindings(g, *data, namer, bound);
@@ -293,15 +296,15 @@ mod tests {
         let d = g.zip(BinOp::Add, x, y).unwrap();
         let s = g.literal(vec![3.0]);
         let z = g.gather(d, s).unwrap();
-        let sql = render_program(
-            &g,
-            &[("D".to_string(), d), ("Z".to_string(), z)],
-        );
+        let sql = render_program(&g, &[("D".to_string(), d), ("Z".to_string(), z)]);
         assert!(sql.contains("CREATE VIEW D(I,V)"));
         assert!(sql.contains("CREATE VIEW Z(I,V)"));
         // The Z view selects from D by name.
         let z_part = sql.split("CREATE VIEW Z").nth(1).unwrap();
-        assert!(z_part.contains("FROM D"), "Z references the D view:\n{z_part}");
+        assert!(
+            z_part.contains("FROM D"),
+            "Z references the D view:\n{z_part}"
+        );
     }
 
     #[test]

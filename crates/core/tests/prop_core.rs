@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use riot_core::{
-    evaluate, optimize, BinOp, EngineConfig, EngineKind, ExprGraph, MemSources, NodeId,
-    OptConfig, Session, UnOp, Value,
+    evaluate, optimize, BinOp, EngineConfig, EngineKind, ExprGraph, MemSources, NodeId, OptConfig,
+    Session, UnOp, Value,
 };
 
 /// A small random-program AST we can replay against every backend.
@@ -55,8 +55,11 @@ fn prog_strategy() -> impl Strategy<Value = Prog> {
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
             (unops(), inner.clone()).prop_map(|(op, p)| Prog::Map(op, Box::new(p))),
-            (binops(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Prog::Zip(op, Box::new(a), Box::new(b))),
+            (binops(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Prog::Zip(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
             (inner.clone(), 1i8..40).prop_map(|(p, c)| Prog::Clamp(Box::new(p), c)),
             (inner, prop::collection::vec(any::<u8>(), 1..6))
                 .prop_map(|(p, idx)| Prog::Pick(Box::new(p), idx)),
@@ -67,13 +70,7 @@ fn prog_strategy() -> impl Strategy<Value = Prog> {
 /// Build the program in an [`ExprGraph`]. Every subexpression is coerced
 /// to vector length `n` (scalars broadcast, Pick re-expanded via gather of
 /// a cycled index) so shapes always compose.
-fn build(
-    g: &mut ExprGraph,
-    p: &Prog,
-    x: NodeId,
-    y: NodeId,
-    n: usize,
-) -> NodeId {
+fn build(g: &mut ExprGraph, p: &Prog, x: NodeId, y: NodeId, n: usize) -> NodeId {
     match p {
         Prog::Input(false) => x,
         Prog::Input(true) => y,

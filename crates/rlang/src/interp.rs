@@ -113,10 +113,8 @@ impl Interpreter {
         f: impl FnMut(usize) -> f64,
     ) -> RResult<()> {
         let v = self.session.vector_from_fn(len, f)?;
-        self.env.insert(
-            name.to_string(),
-            RValue::Vector { v, logical: false },
-        );
+        self.env
+            .insert(name.to_string(), RValue::Vector { v, logical: false });
         Ok(())
     }
 
@@ -181,17 +179,21 @@ impl Interpreter {
                 let val = self.eval(value)?;
                 let updated = match idx {
                     // b[b > 100] <- 100: logical mask.
-                    RValue::Vector { v: mask, logical: true } => match val {
+                    RValue::Vector {
+                        v: mask,
+                        logical: true,
+                    } => match val {
                         RValue::Scalar(c) => data.mask_assign(&mask, c),
                         RValue::Vector { v, .. } => data.mask_assign_vec(&mask, &v),
                         _ => {
-                            return Err(RError::Runtime(
-                                "replacement must be numeric".to_string(),
-                            ))
+                            return Err(RError::Runtime("replacement must be numeric".to_string()))
                         }
                     },
                     // x[c(1,2)] <- v: positional update.
-                    RValue::Vector { v: pos, logical: false } => {
+                    RValue::Vector {
+                        v: pos,
+                        logical: false,
+                    } => {
                         let values = self.to_vector(val)?;
                         data.sub_assign(&pos, &values)
                     }
@@ -205,11 +207,18 @@ impl Interpreter {
                 let updated = self.session.assign(name, &updated)?;
                 self.env.insert(
                     name.clone(),
-                    RValue::Vector { v: updated, logical: false },
+                    RValue::Vector {
+                        v: updated,
+                        logical: false,
+                    },
                 );
                 Ok(())
             }
-            Stmt::If { cond, then_block, else_block } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 let c = self.eval(cond)?;
                 if self.as_scalar(&c)? != 0.0 {
                     self.exec_block(then_block)
@@ -251,7 +260,9 @@ impl Interpreter {
                     v: -&v,
                     logical: false,
                 }),
-                _ => Err(RError::Runtime("invalid argument to unary minus".to_string())),
+                _ => Err(RError::Runtime(
+                    "invalid argument to unary minus".to_string(),
+                )),
             },
             Expr::Not(inner) => match self.eval(inner)? {
                 RValue::Scalar(v) => Ok(RValue::Scalar(if v == 0.0 { 1.0 } else { 0.0 })),
@@ -312,7 +323,9 @@ impl Interpreter {
 
     fn subscript(&mut self, target: RValue, index: RValue) -> RResult<RValue> {
         let RValue::Vector { v: data, .. } = target else {
-            return Err(RError::Runtime("subscript target is not a vector".to_string()));
+            return Err(RError::Runtime(
+                "subscript target is not a vector".to_string(),
+            ));
         };
         match index {
             RValue::Scalar(p) => {
@@ -322,11 +335,17 @@ impl Interpreter {
                     logical: false,
                 })
             }
-            RValue::Vector { v: idx, logical: false } => Ok(RValue::Vector {
+            RValue::Vector {
+                v: idx,
+                logical: false,
+            } => Ok(RValue::Vector {
                 v: data.index(&idx),
                 logical: false,
             }),
-            RValue::Vector { v: mask, logical: true } => {
+            RValue::Vector {
+                v: mask,
+                logical: true,
+            } => {
                 // Logical subscript read: R keeps elements where the mask
                 // is TRUE. The mask length is data length, so this is a
                 // forcing point (the result length is data-dependent).
@@ -419,25 +438,32 @@ impl Interpreter {
                 if positional.len() != 2 {
                     return Err(RError::Runtime(format!("{name}() needs two arguments")));
                 }
-                let op = if name == "pmin" { BinOp::Min } else { BinOp::Max };
+                let op = if name == "pmin" {
+                    BinOp::Min
+                } else {
+                    BinOp::Max
+                };
                 match (positional[0], positional[1]) {
                     (RValue::Vector { v: a, .. }, RValue::Vector { v: b, .. }) => {
-                        Ok(RValue::Vector { v: a.binary(op, b), logical: false })
+                        Ok(RValue::Vector {
+                            v: a.binary(op, b),
+                            logical: false,
+                        })
                     }
                     (RValue::Vector { v, .. }, RValue::Scalar(c))
                     | (RValue::Scalar(c), RValue::Vector { v, .. }) => Ok(RValue::Vector {
                         v: v.binary_scalar(op, *c, false),
                         logical: false,
                     }),
-                    (RValue::Scalar(a), RValue::Scalar(b)) => {
-                        Ok(RValue::Scalar(op.apply(*a, *b)))
-                    }
+                    (RValue::Scalar(a), RValue::Scalar(b)) => Ok(RValue::Scalar(op.apply(*a, *b))),
                     _ => Err(RError::Runtime(format!("{name}() of non-numeric"))),
                 }
             }
             "sample" => {
                 if positional.len() != 2 {
-                    return Err(RError::Runtime("sample(n, k) needs two arguments".to_string()));
+                    return Err(RError::Runtime(
+                        "sample(n, k) needs two arguments".to_string(),
+                    ));
                 }
                 let n = self.as_scalar(positional[0])? as usize;
                 let k = self.as_scalar(positional[1])? as usize;
@@ -456,10 +482,17 @@ impl Interpreter {
             }
             "runif" => {
                 let n = self.as_scalar(self.arg1(&positional, name)?)? as usize;
-                let lo = positional.get(1).map(|v| self.as_scalar(v)).transpose()?.unwrap_or(0.0);
-                let hi = positional.get(2).map(|v| self.as_scalar(v)).transpose()?.unwrap_or(1.0);
-                let values: Vec<f64> =
-                    (0..n).map(|_| self.rng.gen_range(lo..hi)).collect();
+                let lo = positional
+                    .get(1)
+                    .map(|v| self.as_scalar(v))
+                    .transpose()?
+                    .unwrap_or(0.0);
+                let hi = positional
+                    .get(2)
+                    .map(|v| self.as_scalar(v))
+                    .transpose()?
+                    .unwrap_or(1.0);
+                let values: Vec<f64> = (0..n).map(|_| self.rng.gen_range(lo..hi)).collect();
                 let v = self.session.vector_from_slice(&values)?;
                 Ok(RValue::Vector { v, logical: false })
             }
@@ -535,7 +568,9 @@ impl Interpreter {
                 self.output.push('\n');
                 Ok(RValue::Null)
             }
-            other => Err(RError::Runtime(format!("could not find function \"{other}\""))),
+            other => Err(RError::Runtime(format!(
+                "could not find function \"{other}\""
+            ))),
         }
     }
 
@@ -724,11 +759,7 @@ print(b[1:10])";
             i.bind_vector("a", 50, |k| k as f64).unwrap();
             let out = i.run(src).unwrap();
             // a = 0..49; squares clamped at 100: 0 1 4 9 16 25 36 49 64 81.
-            assert_eq!(
-                out.trim(),
-                "[1] 0 1 4 9 16 25 36 49\n[9] 64 81",
-                "{kind:?}"
-            );
+            assert_eq!(out.trim(), "[1] 0 1 4 9 16 25 36 49\n[9] 64 81", "{kind:?}");
         }
     }
 

@@ -162,7 +162,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             ' ' | '\t' | '\r' => i += 1,
             '\n' => {
                 if !continues(&out) {
-                    out.push(Token { kind: TokenKind::Newline, line });
+                    out.push(Token {
+                        kind: TokenKind::Newline,
+                        line,
+                    });
                 }
                 line += 1;
                 i += 1;
@@ -174,7 +177,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
             ';' => {
                 if !continues(&out) {
-                    out.push(Token { kind: TokenKind::Newline, line });
+                    out.push(Token {
+                        kind: TokenKind::Newline,
+                        line,
+                    });
                 }
                 i += 1;
             }
@@ -201,7 +207,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     message: format!("bad number '{text}'"),
                     line,
                 })?;
-                out.push(Token { kind: TokenKind::Num(value), line });
+                out.push(Token {
+                    kind: TokenKind::Num(value),
+                    line,
+                });
             }
             '"' | '\'' => {
                 let quote = c;
@@ -221,14 +230,15 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let text: String = bytes[start..i].iter().collect();
                 i += 1;
-                out.push(Token { kind: TokenKind::Str(text), line });
+                out.push(Token {
+                    kind: TokenKind::Str(text),
+                    line,
+                });
             }
             'a'..='z' | 'A'..='Z' | '.' | '_' => {
                 let start = i;
                 while i < n
-                    && (bytes[i].is_ascii_alphanumeric()
-                        || bytes[i] == '.'
-                        || bytes[i] == '_')
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '.' || bytes[i] == '_')
                 {
                     i += 1;
                 }
@@ -246,10 +256,16 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
             '%' => {
                 if i + 1 < n && bytes[i + 1] == '%' {
-                    out.push(Token { kind: TokenKind::Percent2, line });
+                    out.push(Token {
+                        kind: TokenKind::Percent2,
+                        line,
+                    });
                     i += 2;
                 } else if i + 2 < n && bytes[i + 1] == '*' && bytes[i + 2] == '%' {
-                    out.push(Token { kind: TokenKind::MatMul, line });
+                    out.push(Token {
+                        kind: TokenKind::MatMul,
+                        line,
+                    });
                     i += 3;
                 } else {
                     return Err(LexError {
@@ -260,106 +276,181 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
             '<' => {
                 if i + 1 < n && bytes[i + 1] == '-' {
-                    out.push(Token { kind: TokenKind::ArrowLeft, line });
+                    out.push(Token {
+                        kind: TokenKind::ArrowLeft,
+                        line,
+                    });
                     i += 2;
                 } else if i + 1 < n && bytes[i + 1] == '=' {
-                    out.push(Token { kind: TokenKind::Le, line });
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Lt, line });
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    out.push(Token { kind: TokenKind::Ge, line });
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Gt, line });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    out.push(Token { kind: TokenKind::Eq, line });
+                    out.push(Token {
+                        kind: TokenKind::Eq,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Equals, line });
+                    out.push(Token {
+                        kind: TokenKind::Equals,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if i + 1 < n && bytes[i + 1] == '=' {
-                    out.push(Token { kind: TokenKind::Ne, line });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Bang, line });
+                    out.push(Token {
+                        kind: TokenKind::Bang,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '-' => {
                 if i + 1 < n && bytes[i + 1] == '>' {
-                    out.push(Token { kind: TokenKind::ArrowRight, line });
+                    out.push(Token {
+                        kind: TokenKind::ArrowRight,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Minus, line });
+                    out.push(Token {
+                        kind: TokenKind::Minus,
+                        line,
+                    });
                     i += 1;
                 }
             }
             '+' => {
-                out.push(Token { kind: TokenKind::Plus, line });
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    line,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Token { kind: TokenKind::Star, line });
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    line,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { kind: TokenKind::Slash, line });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    line,
+                });
                 i += 1;
             }
             '^' => {
-                out.push(Token { kind: TokenKind::Caret, line });
+                out.push(Token {
+                    kind: TokenKind::Caret,
+                    line,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Token { kind: TokenKind::Colon, line });
+                out.push(Token {
+                    kind: TokenKind::Colon,
+                    line,
+                });
                 i += 1;
             }
             '&' => {
-                out.push(Token { kind: TokenKind::Amp, line });
+                out.push(Token {
+                    kind: TokenKind::Amp,
+                    line,
+                });
                 i += 1;
             }
             '|' => {
-                out.push(Token { kind: TokenKind::Pipe, line });
+                out.push(Token {
+                    kind: TokenKind::Pipe,
+                    line,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, line });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, line });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Token { kind: TokenKind::LBracket, line });
+                out.push(Token {
+                    kind: TokenKind::LBracket,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Token { kind: TokenKind::RBracket, line });
+                out.push(Token {
+                    kind: TokenKind::RBracket,
+                    line,
+                });
                 i += 1;
             }
             '{' => {
-                out.push(Token { kind: TokenKind::LBrace, line });
+                out.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Token { kind: TokenKind::RBrace, line });
+                out.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, line });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 i += 1;
             }
             other => {
@@ -374,7 +465,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
     while matches!(out.last().map(|t| &t.kind), Some(TokenKind::Newline)) {
         out.pop();
     }
-    out.push(Token { kind: TokenKind::Eof, line });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(out)
 }
 

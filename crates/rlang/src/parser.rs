@@ -70,9 +70,7 @@ impl Parser {
         }
         match t {
             TokenKind::LParen | TokenKind::LBracket => self.depth += 1,
-            TokenKind::RParen | TokenKind::RBracket => {
-                self.depth = self.depth.saturating_sub(1)
-            }
+            TokenKind::RParen | TokenKind::RBracket => self.depth = self.depth.saturating_sub(1),
             _ => {}
         }
         t
@@ -451,54 +449,129 @@ mod tests {
     #[test]
     fn precedence_add_mul_pow() {
         // 1 + 2 * 3 ^ 2  ==  1 + (2 * (3^2))
-        let Stmt::Expr(e) = one("1 + 2 * 3 ^ 2") else { panic!() };
-        let Expr::Binary { op: BinaryOp::Add, rhs, .. } = e else {
+        let Stmt::Expr(e) = one("1 + 2 * 3 ^ 2") else {
+            panic!()
+        };
+        let Expr::Binary {
+            op: BinaryOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
             panic!("top is +")
         };
-        let Expr::Binary { op: BinaryOp::Mul, rhs: pow, .. } = *rhs else {
+        let Expr::Binary {
+            op: BinaryOp::Mul,
+            rhs: pow,
+            ..
+        } = *rhs
+        else {
             panic!("then *")
         };
-        assert!(matches!(*pow, Expr::Binary { op: BinaryOp::Pow, .. }));
+        assert!(matches!(
+            *pow,
+            Expr::Binary {
+                op: BinaryOp::Pow,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn pow_is_right_associative() {
         // 2 ^ 3 ^ 2 == 2 ^ (3 ^ 2) = 512, structurally.
-        let Stmt::Expr(e) = one("2 ^ 3 ^ 2") else { panic!() };
-        let Expr::Binary { op: BinaryOp::Pow, lhs, rhs } = e else { panic!() };
+        let Stmt::Expr(e) = one("2 ^ 3 ^ 2") else {
+            panic!()
+        };
+        let Expr::Binary {
+            op: BinaryOp::Pow,
+            lhs,
+            rhs,
+        } = e
+        else {
+            panic!()
+        };
         assert!(matches!(*lhs, Expr::Num(_)));
-        assert!(matches!(*rhs, Expr::Binary { op: BinaryOp::Pow, .. }));
+        assert!(matches!(
+            *rhs,
+            Expr::Binary {
+                op: BinaryOp::Pow,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn matmul_binds_tighter_than_mul() {
         // a %*% b * 2 == (a %*% b) * 2
-        let Stmt::Expr(e) = one("a %*% b * 2") else { panic!() };
-        let Expr::Binary { op: BinaryOp::Mul, lhs, .. } = e else { panic!() };
-        assert!(matches!(*lhs, Expr::Binary { op: BinaryOp::MatMul, .. }));
+        let Stmt::Expr(e) = one("a %*% b * 2") else {
+            panic!()
+        };
+        let Expr::Binary {
+            op: BinaryOp::Mul,
+            lhs,
+            ..
+        } = e
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            *lhs,
+            Expr::Binary {
+                op: BinaryOp::MatMul,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn range_binds_tighter_than_arith() {
         // 1:n + 1 == (1:n) + 1 in R!
-        let Stmt::Expr(e) = one("1:n + 1") else { panic!() };
-        let Expr::Binary { op: BinaryOp::Add, lhs, .. } = e else { panic!() };
-        assert!(matches!(*lhs, Expr::Binary { op: BinaryOp::Range, .. }));
+        let Stmt::Expr(e) = one("1:n + 1") else {
+            panic!()
+        };
+        let Expr::Binary {
+            op: BinaryOp::Add,
+            lhs,
+            ..
+        } = e
+        else {
+            panic!()
+        };
+        assert!(matches!(
+            *lhs,
+            Expr::Binary {
+                op: BinaryOp::Range,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn comparison_and_mask_assign() {
         let s = one("b[b > 100] <- 100");
-        let Stmt::IndexAssign { name, index, value } = s else { panic!() };
+        let Stmt::IndexAssign { name, index, value } = s else {
+            panic!()
+        };
         assert_eq!(name, "b");
-        assert!(matches!(index, Expr::Binary { op: BinaryOp::Gt, .. }));
+        assert!(matches!(
+            index,
+            Expr::Binary {
+                op: BinaryOp::Gt,
+                ..
+            }
+        ));
         assert!(matches!(value, Expr::Num(_)));
     }
 
     #[test]
     fn nested_calls_with_named_args() {
         let s = one("m <- matrix(runif(n), nrow = 2, ncol = n/2)");
-        let Stmt::Assign { value: Expr::Call { name, args }, .. } = s else {
+        let Stmt::Assign {
+            value: Expr::Call { name, args },
+            ..
+        } = s
+        else {
             panic!()
         };
         assert_eq!(name, "matrix");
@@ -548,7 +621,14 @@ for (i in 1:10) {
         assert!(matches!(e, Expr::Neg(_)));
         // 2^-1 parses.
         let Stmt::Expr(e) = one("2^-1") else { panic!() };
-        let Expr::Binary { op: BinaryOp::Pow, rhs, .. } = e else { panic!() };
+        let Expr::Binary {
+            op: BinaryOp::Pow,
+            rhs,
+            ..
+        } = e
+        else {
+            panic!()
+        };
         assert!(matches!(*rhs, Expr::Neg(_)));
     }
 
@@ -560,8 +640,12 @@ for (i in 1:10) {
 
     #[test]
     fn chained_indexing() {
-        let Stmt::Expr(e) = one("x[i][j]") else { panic!() };
-        let Expr::Index { target, .. } = e else { panic!() };
+        let Stmt::Expr(e) = one("x[i][j]") else {
+            panic!()
+        };
+        let Expr::Index { target, .. } = e else {
+            panic!()
+        };
         assert!(matches!(*target, Expr::Index { .. }));
     }
 }

@@ -1,0 +1,134 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this crate vendors the
+//! tiny slice of `rand`'s API the workspace uses: `StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over integer and
+//! float ranges. The generator is SplitMix64 — statistically fine for
+//! `sample()`/`runif()` workloads and fully deterministic per seed, which
+//! is all the reproduction requires.
+
+use std::ops::Range;
+
+/// Core source of random `u64`s.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface; only `seed_from_u64` is provided.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, mirroring `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_one(self, rng: &mut dyn RngCore) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_one(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_one(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "empty gen_range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// High-level sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: the standard seeding generator, deterministic per seed.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let f = r.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i = r.gen_range(-9i8..10);
+            assert!((-9..10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn floats_cover_the_interval() {
+        let mut r = StdRng::seed_from_u64(42);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..1000 {
+            let f = r.gen_range(0.0f64..1.0);
+            lo |= f < 0.25;
+            hi |= f > 0.75;
+        }
+        assert!(lo && hi, "draws should spread across the interval");
+    }
+}

@@ -1,7 +1,7 @@
 //! The block-device abstraction all I/O flows through.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::error::Result;
 use crate::stats::IoStats;
@@ -33,7 +33,11 @@ impl fmt::Display for BlockId {
 /// * validate buffer lengths against [`BlockDevice::block_size`],
 /// * record each successful read/write on the shared [`IoStats`],
 /// * zero-fill blocks that were allocated but never written.
-pub trait BlockDevice {
+///
+/// Devices are `Send` so the sharded buffer pool can serve them from any
+/// thread; the pool serializes access through its own device lock, so
+/// implementations need no internal synchronization.
+pub trait BlockDevice: Send {
     /// Size of one block in bytes.
     fn block_size(&self) -> usize;
 
@@ -60,7 +64,7 @@ pub trait BlockDevice {
     fn free(&mut self, start: BlockId, n: u64) -> Result<()>;
 
     /// The shared traffic counters for this device.
-    fn stats(&self) -> Rc<IoStats>;
+    fn stats(&self) -> Arc<IoStats>;
 }
 
 #[cfg(test)]

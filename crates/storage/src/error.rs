@@ -42,10 +42,9 @@ impl fmt::Display for StorageError {
                 "block {} out of bounds (device has {} blocks)",
                 block.0, num_blocks
             ),
-            StorageError::PoolExhausted { frames } => write!(
-                f,
-                "buffer pool exhausted: all {frames} frames are pinned"
-            ),
+            StorageError::PoolExhausted { frames } => {
+                write!(f, "buffer pool exhausted: all {frames} frames are pinned")
+            }
             StorageError::BadBufferLength { expected, got } => write!(
                 f,
                 "buffer length {got} does not match block size {expected}"
@@ -93,7 +92,7 @@ mod tests {
     #[test]
     fn io_error_source_is_preserved() {
         use std::error::Error;
-        let e = StorageError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = StorageError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
         assert!(e.to_string().contains("boom"));
     }

@@ -9,7 +9,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::device::{BlockDevice, BlockId};
 use crate::error::{Result, StorageError};
@@ -23,7 +23,7 @@ pub struct FileBlockDevice {
     block_size: usize,
     num_blocks: u64,
     remove_on_drop: bool,
-    stats: Rc<IoStats>,
+    stats: Arc<IoStats>,
 }
 
 impl FileBlockDevice {
@@ -52,11 +52,7 @@ impl FileBlockDevice {
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "riot-dev-{}-{}.blk",
-            std::process::id(),
-            n
-        ));
+        let path = std::env::temp_dir().join(format!("riot-dev-{}-{}.blk", std::process::id(), n));
         let mut dev = Self::create(&path, block_size)?;
         dev.remove_on_drop = true;
         Ok(dev)
@@ -137,8 +133,8 @@ impl BlockDevice for FileBlockDevice {
         Ok(())
     }
 
-    fn stats(&self) -> Rc<IoStats> {
-        Rc::clone(&self.stats)
+    fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
     }
 }
 

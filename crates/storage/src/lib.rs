@@ -12,11 +12,13 @@
 //!   used by the experiment harness so runs are deterministic and fast) and
 //!   [`FileBlockDevice`] (a real file, proving the engine genuinely works
 //!   out of core).
-//! * [`BufferPool`] — a pin/unpin buffer manager with pluggable page
-//!   replacement ([`LruReplacer`], [`ClockReplacer`], [`MruReplacer`]).
-//!   The pool capacity is the reproduction's analogue of the paper's
-//!   `shmat(SHM_SHARE_MMU)` physical-memory cap.
-//! * [`IoStats`] — shared counters recording block reads/writes and
+//! * [`BufferPool`] — a **sharded, thread-safe** pin/unpin buffer manager
+//!   with pluggable page replacement ([`LruReplacer`], [`ClockReplacer`],
+//!   [`MruReplacer`]). The pool capacity is the reproduction's analogue of
+//!   the paper's `shmat(SHM_SHARE_MMU)` physical-memory cap. Pins hand out
+//!   zero-copy RAII guards ([`PinnedFrame`] / [`PinnedFrameMut`]) exposing
+//!   the page directly as `&[f64]` / `&mut [f64]`.
+//! * [`IoStats`] — shared atomic counters recording block reads/writes and
 //!   distinguishing sequential from random accesses, standing in for the
 //!   paper's DTrace measurements. [`DiskModel`] converts the counters into
 //!   a modeled elapsed time the way Figure 1(b) distinguishes "bulky and
@@ -24,9 +26,17 @@
 //! * [`Catalog`] — a tiny extent allocator giving each stored object
 //!   (vector, matrix, spill file) a contiguous block range.
 //!
-//! The crate is deliberately single-threaded (`RefCell`/`Rc`): the paper's
-//! cost model is single-stream I/O and determinism makes the experiment
-//! tables reproducible bit-for-bit.
+//! ## Concurrency
+//!
+//! Everything in this crate is `Send + Sync`. The buffer pool is
+//! lock-striped: blocks map to shards by id, each shard owns its frames and
+//! replacement state behind one mutex, and per-shard hit/miss/write-back
+//! counters sum to the totals a sequential pool would report. A pool built
+//! with [`BufferPool::new`] has exactly one shard and reproduces the
+//! classic sequential pool's eviction order and counted I/O bit-for-bit —
+//! that determinism is what keeps the paper's experiment tables
+//! reproducible — while [`BufferPool::new_sharded`] enables parallel
+//! kernels to pin tiles from many threads without contending on one lock.
 //!
 //! ## Quick start
 //!
@@ -39,9 +49,12 @@
 //!     replacer: ReplacerKind::Lru,
 //! });
 //! let block = pool.allocate_blocks(1).unwrap();
-//! pool.write_new(block, |data| data[0] = 42).unwrap();
-//! let v = pool.read(block, |data| data[0]).unwrap();
-//! assert_eq!(v, 42);
+//! {
+//!     let mut page = pool.pin_new(block).unwrap(); // &mut [f64], zeroed
+//!     page[0] = 42.0;
+//! }
+//! let page = pool.pin(block).unwrap(); // &[f64], zero-copy
+//! assert_eq!(page[0], 42.0);
 //! ```
 
 pub mod catalog;
@@ -58,7 +71,7 @@ pub use device::{BlockDevice, BlockId};
 pub use error::{Result, StorageError};
 pub use file_device::FileBlockDevice;
 pub use mem_device::MemBlockDevice;
-pub use pool::{BufferPool, PageHandle, PoolConfig, PoolStats};
+pub use pool::{BufferPool, PinnedFrame, PinnedFrameMut, PoolConfig, PoolStats};
 pub use replacer::{ClockReplacer, LruReplacer, MruReplacer, Replacer, ReplacerKind};
 pub use stats::{DiskModel, IoSnapshot, IoStats};
 
@@ -84,5 +97,13 @@ mod lib_tests {
     #[test]
     fn elems_per_block_small() {
         assert_eq!(elems_per_block(64), 8);
+    }
+
+    #[test]
+    fn pool_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BufferPool>();
+        assert_send_sync::<IoStats>();
+        assert_send_sync::<Catalog>();
     }
 }

@@ -6,7 +6,7 @@
 //! an allocated-but-never-written block occupies no memory and reads back
 //! as zeros (at normal read cost, like a sparse file).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::device::{BlockDevice, BlockId};
 use crate::error::{Result, StorageError};
@@ -18,7 +18,7 @@ pub struct MemBlockDevice {
     /// `None` entries are allocated-but-unwritten (logical zeros) or freed.
     blocks: Vec<Option<Box<[u8]>>>,
     freed: Vec<bool>,
-    stats: Rc<IoStats>,
+    stats: Arc<IoStats>,
 }
 
 impl MemBlockDevice {
@@ -35,7 +35,7 @@ impl MemBlockDevice {
 
     /// Create a device sharing an existing stats instance, so several
     /// devices (e.g. data + spill) can be measured together.
-    pub fn with_stats(block_size: usize, stats: Rc<IoStats>) -> Self {
+    pub fn with_stats(block_size: usize, stats: Arc<IoStats>) -> Self {
         assert!(block_size > 0, "block size must be positive");
         MemBlockDevice {
             block_size,
@@ -120,8 +120,8 @@ impl BlockDevice for MemBlockDevice {
         Ok(())
     }
 
-    fn stats(&self) -> Rc<IoStats> {
-        Rc::clone(&self.stats)
+    fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
     }
 }
 
@@ -184,7 +184,10 @@ mod tests {
         let mut short = vec![0u8; 32];
         assert!(matches!(
             d.read_block(b, &mut short),
-            Err(StorageError::BadBufferLength { expected: 64, got: 32 })
+            Err(StorageError::BadBufferLength {
+                expected: 64,
+                got: 32
+            })
         ));
     }
 

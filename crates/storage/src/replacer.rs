@@ -42,8 +42,9 @@ pub enum ReplacerKind {
     Mru,
 }
 
-/// Construct a boxed replacer for `capacity` frames.
-pub fn make_replacer(kind: ReplacerKind, capacity: usize) -> Box<dyn Replacer> {
+/// Construct a boxed replacer for `capacity` frames. The box is `Send` so
+/// a pool shard can migrate across threads.
+pub fn make_replacer(kind: ReplacerKind, capacity: usize) -> Box<dyn Replacer + Send> {
     match kind {
         ReplacerKind::Lru => Box::new(LruReplacer::new(capacity)),
         ReplacerKind::Clock => Box::new(ClockReplacer::new(capacity)),
@@ -114,7 +115,10 @@ impl Replacer for LruReplacer {
     }
 
     fn evictable_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.present && s.evictable).count()
+        self.slots
+            .iter()
+            .filter(|s| s.present && s.evictable)
+            .count()
     }
 }
 
@@ -173,7 +177,10 @@ impl Replacer for MruReplacer {
     }
 
     fn evictable_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.present && s.evictable).count()
+        self.slots
+            .iter()
+            .filter(|s| s.present && s.evictable)
+            .count()
     }
 }
 

@@ -7,81 +7,105 @@
 //! ones, because Figure 1(b) of the paper hinges on that distinction:
 //! MySQL's "bulky and sequential" I/O costs far less wall time per block
 //! than R's scattered virtual-memory paging.
+//!
+//! Counters are lock-free atomics so devices shared by the sharded buffer
+//! pool can record traffic from any thread. Totals are always exact; the
+//! sequential/random split is exact for single-stream I/O and a best-effort
+//! classification when several threads interleave accesses (physical disks
+//! would not see such interleavings as sequential either).
 
-use std::cell::Cell;
 use std::fmt;
 use std::ops::Sub;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::device::BlockId;
 
-/// Shared, interior-mutable I/O counters.
+/// Sentinel for "no previous access recorded".
+const NONE: u64 = u64::MAX;
+
+/// Shared, thread-safe I/O counters.
 ///
-/// An `Rc<IoStats>` is handed to a device at construction and can be cloned
-/// by anything that wants to observe traffic (the buffer pool, experiment
-/// harnesses, tests). Use [`IoStats::snapshot`] before a region of interest
-/// and subtract snapshots to get a delta.
-#[derive(Debug, Default)]
+/// An `Arc<IoStats>` is handed to a device at construction and can be
+/// cloned by anything that wants to observe traffic (the buffer pool,
+/// experiment harnesses, tests). Use [`IoStats::snapshot`] before a region
+/// of interest and subtract snapshots to get a delta.
+#[derive(Debug)]
 pub struct IoStats {
-    reads: Cell<u64>,
-    writes: Cell<u64>,
-    seq_reads: Cell<u64>,
-    seq_writes: Cell<u64>,
-    bytes_read: Cell<u64>,
-    bytes_written: Cell<u64>,
-    last_read: Cell<Option<u64>>,
-    last_write: Cell<Option<u64>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    seq_reads: AtomicU64,
+    seq_writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    last_read: AtomicU64,
+    last_write: AtomicU64,
+}
+
+impl Default for IoStats {
+    fn default() -> Self {
+        IoStats {
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            seq_reads: AtomicU64::new(0),
+            seq_writes: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            last_read: AtomicU64::new(NONE),
+            last_write: AtomicU64::new(NONE),
+        }
+    }
 }
 
 impl IoStats {
-    /// Create a fresh, zeroed counter set behind an `Rc`.
-    pub fn new_shared() -> Rc<Self> {
-        Rc::new(Self::default())
+    /// Create a fresh, zeroed counter set behind an `Arc`.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::default())
     }
 
     /// Record one block read of `bytes` bytes at `block`.
     pub fn record_read(&self, block: BlockId, bytes: usize) {
-        self.reads.set(self.reads.get() + 1);
-        self.bytes_read.set(self.bytes_read.get() + bytes as u64);
-        if self.last_read.get() == Some(block.0.wrapping_sub(1)) {
-            self.seq_reads.set(self.seq_reads.get() + 1);
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+        let prev = self.last_read.swap(block.0, Ordering::Relaxed);
+        if prev != NONE && prev == block.0.wrapping_sub(1) {
+            self.seq_reads.fetch_add(1, Ordering::Relaxed);
         }
-        self.last_read.set(Some(block.0));
     }
 
     /// Record one block write of `bytes` bytes at `block`.
     pub fn record_write(&self, block: BlockId, bytes: usize) {
-        self.writes.set(self.writes.get() + 1);
+        self.writes.fetch_add(1, Ordering::Relaxed);
         self.bytes_written
-            .set(self.bytes_written.get() + bytes as u64);
-        if self.last_write.get() == Some(block.0.wrapping_sub(1)) {
-            self.seq_writes.set(self.seq_writes.get() + 1);
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        let prev = self.last_write.swap(block.0, Ordering::Relaxed);
+        if prev != NONE && prev == block.0.wrapping_sub(1) {
+            self.seq_writes.fetch_add(1, Ordering::Relaxed);
         }
-        self.last_write.set(Some(block.0));
     }
 
     /// Capture the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
-            reads: self.reads.get(),
-            writes: self.writes.get(),
-            seq_reads: self.seq_reads.get(),
-            seq_writes: self.seq_writes.get(),
-            bytes_read: self.bytes_read.get(),
-            bytes_written: self.bytes_written.get(),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            seq_reads: self.seq_reads.load(Ordering::Relaxed),
+            seq_writes: self.seq_writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
         }
     }
 
     /// Reset every counter to zero (sequentiality tracking included).
     pub fn reset(&self) {
-        self.reads.set(0);
-        self.writes.set(0);
-        self.seq_reads.set(0);
-        self.seq_writes.set(0);
-        self.bytes_read.set(0);
-        self.bytes_written.set(0);
-        self.last_read.set(None);
-        self.last_write.set(None);
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.seq_reads.store(0, Ordering::Relaxed);
+        self.seq_writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.last_read.store(NONE, Ordering::Relaxed);
+        self.last_write.store(NONE, Ordering::Relaxed);
     }
 }
 
@@ -224,6 +248,15 @@ mod tests {
     }
 
     #[test]
+    fn block_zero_is_never_sequential_after_reset() {
+        // Regression guard for the sentinel encoding: the first access to
+        // block 0 must not match the "no previous access" marker.
+        let s = IoStats::default();
+        s.record_read(BlockId(0), 1);
+        assert_eq!(s.snapshot().seq_reads, 0);
+    }
+
+    #[test]
     fn snapshot_subtraction_gives_delta() {
         let s = IoStats::default();
         s.record_read(BlockId(0), 100);
@@ -272,5 +305,25 @@ mod tests {
             ..Default::default()
         };
         assert!(m.modeled_seconds(&rand, 0) > 10.0 * m.modeled_seconds(&seq, 0));
+    }
+
+    #[test]
+    fn concurrent_totals_are_exact() {
+        let s = IoStats::new_shared();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        s.record_read(BlockId(t * 1000 + i), 64);
+                        s.record_write(BlockId(t * 1000 + i), 64);
+                    }
+                });
+            }
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 4000);
+        assert_eq!(snap.writes, 4000);
+        assert_eq!(snap.bytes_read, 4000 * 64);
     }
 }

@@ -117,12 +117,12 @@ proptest! {
             PoolConfig { frames, replacer: ReplacerKind::Lru },
         );
         let start = pool.allocate_blocks(pressure + 2).unwrap();
-        let sentinel = pool.pin_new(start).unwrap();
-        sentinel.with_mut(|d| d[0] = 0xEE);
+        let mut sentinel = pool.pin_new(start).unwrap();
+        sentinel.as_bytes_mut()[0] = 0xEE;
         for i in 0..pressure {
             pool.write_new(start.offset(1 + i), |d| d[0] = i as u8).unwrap();
         }
-        prop_assert_eq!(sentinel.with(|d| d[0]), 0xEE);
+        prop_assert_eq!(sentinel.as_bytes_mut()[0], 0xEE);
     }
 
     /// After flush_all, the device alone (bypassing the pool) holds exactly

@@ -1,7 +1,7 @@
 //! The paged heap: reference-counted `f64` vectors under demand paging.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use riot_storage::{BlockId, IoStats};
 
@@ -78,7 +78,7 @@ pub struct PagedHeap {
     swap: HashMap<u64, Box<[f64]>>,
     /// Recycled swap slots (LIFO, like an OS swap free list).
     free_slots: Vec<u64>,
-    io: Rc<IoStats>,
+    io: Arc<IoStats>,
     stats: VmStats,
     next_id: u64,
     next_swap: u64,
@@ -109,7 +109,7 @@ impl PagedHeap {
             next_id: 0,
             next_swap: 0,
             clock: 0,
-        live_bytes: 0,
+            live_bytes: 0,
         }
     }
 
@@ -127,8 +127,8 @@ impl PagedHeap {
     }
 
     /// Swap-traffic counters (block = one page).
-    pub fn io_stats(&self) -> Rc<IoStats> {
-        Rc::clone(&self.io)
+    pub fn io_stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.io)
     }
 
     /// Paging statistics.
@@ -334,8 +334,7 @@ impl PagedHeap {
         self.frames[frame].owner = Some((id, page));
         self.frames[frame].dirty = false;
         self.frames[frame].stamp = clock;
-        self.objects.get_mut(&id.0).unwrap().pages[page] =
-            PageState::Resident(frame, kept_slot);
+        self.objects.get_mut(&id.0).unwrap().pages[page] = PageState::Resident(frame, kept_slot);
         self.stats.peak_resident = self.stats.peak_resident.max(self.resident_pages());
         frame
     }
@@ -355,8 +354,11 @@ impl PagedHeap {
             .map(|(i, _)| i)
             .expect("no evictable frame");
         let (owner, page) = self.frames[victim].owner.take().unwrap();
-        let PageState::Resident(_, cached_slot) =
-            self.objects.get(&owner.0).expect("owner died resident").pages[page]
+        let PageState::Resident(_, cached_slot) = self
+            .objects
+            .get(&owner.0)
+            .expect("owner died resident")
+            .pages[page]
         else {
             unreachable!("victim page must be resident")
         };
@@ -520,7 +522,10 @@ mod tests {
         // 3 streams x 10 pages each, at most 2 resident: every page touch
         // in the loop faults (30 page-visits), and x/y pages fault on each
         // of the `page` element touches only once per page per rotation.
-        assert!(faults >= 30, "expected heavy thrashing, got {faults} faults");
+        assert!(
+            faults >= 30,
+            "expected heavy thrashing, got {faults} faults"
+        );
         for i in 0..n {
             assert_eq!(h.get(z, i), 3.0 * i as f64);
         }

@@ -49,9 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!(
-        "\nThe ordering matches Figure 1: RIOT-DB barely registers, MatNamed"
-    );
+    println!("\nThe ordering matches Figure 1: RIOT-DB barely registers, MatNamed");
     println!("pays one materialization of d, the strawman writes every");
     println!("intermediate as a table, and Plain R thrashes.");
     Ok(())

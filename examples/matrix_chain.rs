@@ -18,15 +18,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dims = [n, n / s, n, n];
     let p = CostParams::with_mem_gb(2.0);
 
-    println!("A({}x{}) %*% B({}x{}) %*% C({}x{}), M = 2 GB, B = 1024\n",
-        dims[0], dims[1], dims[1], dims[2], dims[2], dims[3]);
+    println!(
+        "A({}x{}) %*% B({}x{}) %*% C({}x{}), M = 2 GB, B = 1024\n",
+        dims[0], dims[1], dims[1], dims[2], dims[2], dims[3]
+    );
 
     let in_order = ChainTree::in_order(3);
     let plan = optimal_order(&dims);
-    println!("program order : {}  ({:.3e} multiplications)",
-        in_order.render(), in_order.flops(&dims));
-    println!("optimal order : {}  ({:.3e} multiplications)\n",
-        plan.tree.render(), plan.flops);
+    println!(
+        "program order : {}  ({:.3e} multiplications)",
+        in_order.render(),
+        in_order.flops(&dims)
+    );
+    println!(
+        "optimal order : {}  ({:.3e} multiplications)\n",
+        plan.tree.render(),
+        plan.flops
+    );
 
     for (label, strategy, tree) in [
         ("RIOT-DB", MatMulStrategy::RiotDb, &in_order),

@@ -11,14 +11,16 @@ use riot::core::exec::{multiply, MatMulKernel};
 const BLOCK: usize = 8192; // 1024 elems, 32x32 tiles
 const EPB: f64 = 1024.0;
 
-fn mk(ctx: &std::rc::Rc<StorageCtx>, n: usize, layout: MatrixLayout) -> DenseMatrix {
+fn mk(ctx: &std::sync::Arc<StorageCtx>, n: usize, layout: MatrixLayout) -> DenseMatrix {
     let order = match layout {
         MatrixLayout::RowMajor => TileOrder::RowMajor,
         MatrixLayout::ColMajor => TileOrder::ColMajor,
         MatrixLayout::Square => TileOrder::RowMajor,
     };
-    DenseMatrix::from_fn(ctx, n, n, layout, order, None, |i, j| ((i * 7 + j) % 13) as f64)
-        .unwrap()
+    DenseMatrix::from_fn(ctx, n, n, layout, order, None, |i, j| {
+        ((i * 7 + j) % 13) as f64
+    })
+    .unwrap()
 }
 
 /// Measure the kernel's total block I/O with a pass-through pool.
@@ -45,7 +47,10 @@ fn square_tiled_matches_model_within_2x() {
         n as f64,
         n as f64,
         n as f64,
-        CostParams { mem_elems: mem as f64, block_elems: EPB },
+        CostParams {
+            mem_elems: mem as f64,
+            block_elems: EPB,
+        },
     );
     assert!(
         got <= 2.0 * want && got >= want / 2.0,
@@ -58,11 +63,25 @@ fn square_tiled_matches_model_within_2x() {
 /// whole blocks — the model assumes perfect packing.
 fn measured_bnlj_small_blocks(n: usize, mem_elems: usize) -> f64 {
     let ctx = StorageCtx::new_mem(512, 4);
-    let a = DenseMatrix::from_fn(&ctx, n, n, MatrixLayout::RowMajor, TileOrder::RowMajor, None,
-        |i, j| ((i * 7 + j) % 13) as f64)
+    let a = DenseMatrix::from_fn(
+        &ctx,
+        n,
+        n,
+        MatrixLayout::RowMajor,
+        TileOrder::RowMajor,
+        None,
+        |i, j| ((i * 7 + j) % 13) as f64,
+    )
     .unwrap();
-    let b = DenseMatrix::from_fn(&ctx, n, n, MatrixLayout::ColMajor, TileOrder::ColMajor, None,
-        |i, j| ((i * 3 + j) % 11) as f64)
+    let b = DenseMatrix::from_fn(
+        &ctx,
+        n,
+        n,
+        MatrixLayout::ColMajor,
+        TileOrder::ColMajor,
+        None,
+        |i, j| ((i * 3 + j) % 11) as f64,
+    )
     .unwrap();
     ctx.pool().flush_all().unwrap();
     ctx.clear_cache().unwrap();
@@ -83,7 +102,10 @@ fn bnlj_matches_model_within_2x() {
         n as f64,
         n as f64,
         n as f64,
-        CostParams { mem_elems: mem as f64, block_elems: 64.0 },
+        CostParams {
+            mem_elems: mem as f64,
+            block_elems: 64.0,
+        },
     );
     assert!(
         got <= 2.5 * want && got >= want / 2.5,
@@ -109,7 +131,10 @@ fn naive_colmajor_is_catastrophic_as_predicted() {
         n as f64,
         n as f64,
         n as f64,
-        CostParams { mem_elems: mem as f64, block_elems: EPB },
+        CostParams {
+            mem_elems: mem as f64,
+            block_elems: EPB,
+        },
     );
     // The tiny pool still catches within-column reuse of B and T, so the
     // measured count sits below the worst-case model; same magnitude side.
@@ -122,11 +147,25 @@ fn naive_colmajor_is_catastrophic_as_predicted() {
 /// Square-tiled over 512-byte blocks (8x8 tiles) for the ratio test.
 fn measured_tiled_small_blocks(n: usize, mem_elems: usize) -> f64 {
     let ctx = StorageCtx::new_mem(512, 4);
-    let a = DenseMatrix::from_fn(&ctx, n, n, MatrixLayout::Square, TileOrder::RowMajor, None,
-        |i, j| ((i * 7 + j) % 13) as f64)
+    let a = DenseMatrix::from_fn(
+        &ctx,
+        n,
+        n,
+        MatrixLayout::Square,
+        TileOrder::RowMajor,
+        None,
+        |i, j| ((i * 7 + j) % 13) as f64,
+    )
     .unwrap();
-    let b = DenseMatrix::from_fn(&ctx, n, n, MatrixLayout::Square, TileOrder::RowMajor, None,
-        |i, j| ((i * 3 + j) % 11) as f64)
+    let b = DenseMatrix::from_fn(
+        &ctx,
+        n,
+        n,
+        MatrixLayout::Square,
+        TileOrder::RowMajor,
+        None,
+        |i, j| ((i * 3 + j) % 11) as f64,
+    )
     .unwrap();
     ctx.pool().flush_all().unwrap();
     ctx.clear_cache().unwrap();
@@ -144,11 +183,13 @@ fn model_ratio_matches_measured_ratio() {
     // predict measured(bnlj)/measured(tiled) within 3x.
     let n = 128;
     let mem = 3 * 16 * 64; // p = 32 = 4 tiles of 8
-    let p = CostParams { mem_elems: mem as f64, block_elems: 64.0 };
-    let model_ratio = bnlj_io(n as f64, n as f64, n as f64, p)
-        / square_tiled_io(n as f64, n as f64, n as f64, p);
-    let meas_ratio =
-        measured_bnlj_small_blocks(n, mem) / measured_tiled_small_blocks(n, mem);
+    let p = CostParams {
+        mem_elems: mem as f64,
+        block_elems: 64.0,
+    };
+    let model_ratio =
+        bnlj_io(n as f64, n as f64, n as f64, p) / square_tiled_io(n as f64, n as f64, n as f64, p);
+    let meas_ratio = measured_bnlj_small_blocks(n, mem) / measured_tiled_small_blocks(n, mem);
     assert!(
         meas_ratio / model_ratio < 3.0 && model_ratio / meas_ratio < 3.0,
         "model ratio {model_ratio:.2} vs measured ratio {meas_ratio:.2}"

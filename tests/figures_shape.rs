@@ -14,8 +14,12 @@ fn example1_blocks(kind: EngineKind, n: usize, mem_blocks: usize) -> (u64, u64, 
     cfg.chunk_elems = 64;
     cfg.mem_blocks = mem_blocks;
     let s = Session::new(cfg);
-    let x = s.vector_from_fn(n, |i| (i as f64 * 0.01).sin() * 50.0).unwrap();
-    let y = s.vector_from_fn(n, |i| (i as f64 * 0.01).cos() * 50.0).unwrap();
+    let x = s
+        .vector_from_fn(n, |i| (i as f64 * 0.01).sin() * 50.0)
+        .unwrap();
+    let y = s
+        .vector_from_fn(n, |i| (i as f64 * 0.01).cos() * 50.0)
+        .unwrap();
     s.drop_caches().unwrap();
     let before = s.io_snapshot();
     let d = ((&x - 1.0).square() + (&y - 2.0).square()).sqrt()

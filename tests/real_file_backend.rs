@@ -6,7 +6,7 @@ use riot::array::{DenseMatrix, DenseVector, MatrixLayout, StorageCtx, TileOrder}
 use riot::core::exec::{multiply, MatMulKernel};
 use riot::storage::{BufferPool, FileBlockDevice, PoolConfig, ReplacerKind};
 
-fn file_ctx(frames: usize) -> std::rc::Rc<StorageCtx> {
+fn file_ctx(frames: usize) -> std::sync::Arc<StorageCtx> {
     let device = FileBlockDevice::temp(512).expect("temp device");
     StorageCtx::from_pool(BufferPool::new(
         Box::new(device),
@@ -36,18 +36,34 @@ fn vectors_round_trip_through_a_real_file() {
 fn matmul_runs_against_a_real_file() {
     let ctx = file_ctx(6);
     let n = 24; // 3x3 grid of 8x8 tiles at 512-byte blocks
-    let a = DenseMatrix::from_fn(&ctx, n, n, MatrixLayout::Square, TileOrder::RowMajor, None,
-        |i, j| (i + 2 * j) as f64)
+    let a = DenseMatrix::from_fn(
+        &ctx,
+        n,
+        n,
+        MatrixLayout::Square,
+        TileOrder::RowMajor,
+        None,
+        |i, j| (i + 2 * j) as f64,
+    )
     .unwrap();
-    let b = DenseMatrix::from_fn(&ctx, n, n, MatrixLayout::Square, TileOrder::RowMajor, None,
-        |i, j| f64::from(i == j) * 2.0)
+    let b = DenseMatrix::from_fn(
+        &ctx,
+        n,
+        n,
+        MatrixLayout::Square,
+        TileOrder::RowMajor,
+        None,
+        |i, j| f64::from(i == j) * 2.0,
+    )
     .unwrap();
     let (t, _) = multiply(MatMulKernel::SquareTiled, &a, &b, 3 * 64, None).unwrap();
     // B = 2I, so T must equal 2A — read back through the file.
     ctx.pool().flush_all().unwrap();
     ctx.clear_cache().unwrap();
     let got = t.to_rows().unwrap();
-    let want: Vec<f64> = (0..n * n).map(|k| 2.0 * ((k / n) + 2 * (k % n)) as f64).collect();
+    let want: Vec<f64> = (0..n * n)
+        .map(|k| 2.0 * ((k / n) + 2 * (k % n)) as f64)
+        .collect();
     assert_eq!(got, want);
 }
 
@@ -55,7 +71,7 @@ fn matmul_runs_against_a_real_file() {
 fn file_and_mem_devices_count_identical_io() {
     // The simulator's counts are trustworthy because the same workload
     // over a real file produces the same block traffic.
-    let run = |ctx: std::rc::Rc<StorageCtx>| -> (u64, u64) {
+    let run = |ctx: std::sync::Arc<StorageCtx>| -> (u64, u64) {
         let data: Vec<f64> = (0..4096).map(|i| i as f64).collect();
         let v = DenseVector::from_slice(&ctx, &data, None).unwrap();
         ctx.pool().flush_all().unwrap();

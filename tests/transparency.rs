@@ -69,10 +69,7 @@ fn same_script_io_differs_by_orders_of_magnitude() {
     let riot = blocks[&EngineKind::Riot];
     let plain = blocks[&EngineKind::PlainR];
     let strawman = blocks[&EngineKind::Strawman];
-    assert!(
-        plain > 10 * riot.max(1),
-        "plain {plain} vs riot {riot}"
-    );
+    assert!(plain > 10 * riot.max(1), "plain {plain} vs riot {riot}");
     assert!(
         strawman > plain,
         "strawman {strawman} must exceed plain R {plain}"
