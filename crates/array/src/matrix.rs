@@ -268,6 +268,25 @@ impl DenseMatrix {
         Ok(())
     }
 
+    /// Visit every in-bounds element as `(row, col, value)`, tile by tile
+    /// in row-major tile order (boundary padding is skipped). One pass of
+    /// tile pins; memory stays O(1).
+    pub fn for_each(&self, mut f: impl FnMut(usize, usize, f64)) -> Result<()> {
+        let (tg_r, tg_c) = self.tile_grid();
+        for ti in 0..tg_r {
+            for tj in 0..tg_c {
+                let tile = self.pin_tile(ti, tj)?;
+                let (r0, c0) = (ti as usize * self.tile_r, tj as usize * self.tile_c);
+                for r in 0..self.tile_r.min(self.rows - r0) {
+                    for c in 0..self.tile_c.min(self.cols - c0) {
+                        f(r0 + r, c0 + c, tile[r * self.tile_c + c]);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Materialize the matrix as a row-major `Vec` (tests / small results).
     pub fn to_rows(&self) -> Result<Vec<f64>> {
         let mut out = vec![0.0; self.rows * self.cols];

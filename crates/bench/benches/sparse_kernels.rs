@@ -1,0 +1,260 @@
+//! Sparse kernels across densities {0.001, 0.01, 0.1}, plus the
+//! 1/2/4/8-thread tiled-matmul scaling point from the ROADMAP; results
+//! land in `BENCH_pr2.json` at the repository root.
+//!
+//! The headline figure is the I/O ratio: SpMV reads only occupied pages,
+//! so its block reads track `1 - (1-d)^B` of the dense footprint. Wall
+//! times on a 1-core CI box are recorded but not asserted (re-run on real
+//! hardware for meaningful parallel speedups).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use riot_array::{DenseMatrix, DenseVector, MatrixLayout, StorageCtx, TileOrder};
+use riot_core::exec::{dmv, matmul_tiled_parallel, spmm, spmv};
+use riot_sparse::SparseMatrix;
+
+fn random_triplets(n: usize, density: f64, seed: u64) -> Vec<(usize, usize, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target = ((n * n) as f64 * density).round() as usize;
+    (0..target)
+        .map(|_| {
+            (
+                rng.gen_range(0..n),
+                rng.gen_range(0..n),
+                rng.gen_range(-2.0..2.0),
+            )
+        })
+        .collect()
+}
+
+struct SpmvRow {
+    density: f64,
+    occupied: u64,
+    dense_blocks: u64,
+    sparse_reads: u64,
+    dense_reads: u64,
+    sparse_secs: f64,
+    dense_secs: f64,
+}
+
+fn bench_spmv(n: usize, density: f64) -> SpmvRow {
+    let ctx = StorageCtx::new_mem(8192, 8192);
+    let trips = random_triplets(n, density, 0x5eed + (density * 1e6) as u64);
+    let a = SparseMatrix::from_triplets(&ctx, n, n, MatrixLayout::Square, &trips, None).unwrap();
+    let dense = a.to_dense(TileOrder::RowMajor, None).unwrap();
+    let x = DenseVector::from_slice(&ctx, &vec![1.0; n], None).unwrap();
+
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    let t0 = Instant::now();
+    let (ys, _) = spmv(&a, &x, None).unwrap();
+    let sparse_secs = t0.elapsed().as_secs_f64();
+    let sparse_reads = (ctx.io_snapshot() - before).reads;
+
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    let t0 = Instant::now();
+    let (yd, _) = dmv(&dense, &x, None).unwrap();
+    let dense_secs = t0.elapsed().as_secs_f64();
+    let dense_reads = (ctx.io_snapshot() - before).reads;
+
+    // Sanity: same product (up to summation-order rounding).
+    let (s, d) = (ys.to_vec().unwrap(), yd.to_vec().unwrap());
+    assert!(s.iter().zip(&d).all(|(a, b)| (a - b).abs() < 1e-6));
+
+    SpmvRow {
+        density,
+        occupied: a.occupied_pages(),
+        dense_blocks: a.dense_blocks(),
+        sparse_reads,
+        dense_reads,
+        sparse_secs,
+        dense_secs,
+    }
+}
+
+struct SpmmRow {
+    density: f64,
+    out_nnz: u64,
+    out_pages: u64,
+    secs: f64,
+    reads: u64,
+    writes: u64,
+}
+
+fn bench_spmm(n: usize, density: f64) -> SpmmRow {
+    let ctx = StorageCtx::new_mem(8192, 8192);
+    let a = SparseMatrix::from_triplets(
+        &ctx,
+        n,
+        n,
+        MatrixLayout::Square,
+        &random_triplets(n, density, 11),
+        None,
+    )
+    .unwrap();
+    let b = SparseMatrix::from_triplets(
+        &ctx,
+        n,
+        n,
+        MatrixLayout::Square,
+        &random_triplets(n, density, 13),
+        None,
+    )
+    .unwrap();
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    let t0 = Instant::now();
+    let (t, _) = spmm(&a, &b, None).unwrap();
+    let secs = t0.elapsed().as_secs_f64();
+    ctx.pool().flush_all().unwrap();
+    let delta = ctx.io_snapshot() - before;
+    SpmmRow {
+        density,
+        out_nnz: t.nnz(),
+        out_pages: t.occupied_pages(),
+        secs,
+        reads: delta.reads,
+        writes: delta.writes,
+    }
+}
+
+/// One tiled matmul at `threads` workers; `(secs, reads, writes)`.
+fn timed_tiled(n: usize, threads: usize) -> (f64, u64, u64) {
+    let blocks_per_matrix = (n * n).div_ceil(1024);
+    let ctx = StorageCtx::new_mem_sharded(8192, 3 * blocks_per_matrix + 64, 16);
+    let mk = |seed: usize| {
+        DenseMatrix::from_fn(
+            &ctx,
+            n,
+            n,
+            MatrixLayout::Square,
+            TileOrder::RowMajor,
+            None,
+            move |i, j| ((i * 31 + j * 17 + seed) % 97) as f64 - 48.0,
+        )
+        .unwrap()
+    };
+    let a = mk(0);
+    let b = mk(7);
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    let t0 = Instant::now();
+    let (_, _) = matmul_tiled_parallel(&a, &b, 3 * 128 * 128, threads, None).unwrap();
+    let secs = t0.elapsed().as_secs_f64();
+    ctx.pool().flush_all().unwrap();
+    let delta = ctx.io_snapshot() - before;
+    (secs, delta.reads, delta.writes)
+}
+
+fn main() {
+    let n = 1024;
+    println!("SpMV {n}x{n}, sparse vs dense (cold cache):");
+    let mut spmv_rows = Vec::new();
+    for density in [0.001, 0.01, 0.1] {
+        let row = bench_spmv(n, density);
+        println!(
+            "  d={density}: sparse {} reads ({}/{} pages, {:.4}s) vs dense {} reads ({:.4}s)",
+            row.sparse_reads,
+            row.occupied,
+            row.dense_blocks,
+            row.sparse_secs,
+            row.dense_reads,
+            row.dense_secs
+        );
+        spmv_rows.push(row);
+    }
+
+    let nm = 512;
+    println!("\nSpMM {nm}x{nm} (two-pass, cold cache):");
+    let mut spmm_rows = Vec::new();
+    for density in [0.001, 0.01, 0.1] {
+        let row = bench_spmm(nm, density);
+        println!(
+            "  d={density}: {} nnz out in {} pages, {} reads / {} writes, {:.4}s",
+            row.out_nnz, row.out_pages, row.reads, row.writes, row.secs
+        );
+        spmm_rows.push(row);
+    }
+
+    // Thread-scaling curve for the tiled matmul (ROADMAP open item).
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let nt = 512;
+    println!("\ntiled matmul {nt}x{nt} thread scaling (cores available: {cores}):");
+    let mut scaling = Vec::new();
+    let (seq_secs, seq_reads, seq_writes) = timed_tiled(nt, 1);
+    scaling.push((1usize, seq_secs));
+    println!("  1 thread: {seq_secs:.4}s, {seq_reads} reads / {seq_writes} writes");
+    for threads in [2, 4, 8] {
+        let (secs, reads, writes) = timed_tiled(nt, threads);
+        assert_eq!((reads, writes), (seq_reads, seq_writes), "I/O diverged");
+        println!(
+            "  {threads} threads: {secs:.4}s ({:.2}x), identical I/O",
+            seq_secs / secs
+        );
+        scaling.push((threads, secs));
+    }
+
+    // Emit the PR-2 artifact.
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"sparse_kernels\",\n");
+    let _ = writeln!(
+        json,
+        "  \"n_spmv\": {n}, \"n_spmm\": {nm}, \"n_matmul\": {nt},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"block_size\": 8192, \"cores_available\": {cores},"
+    );
+    json.push_str("  \"spmv\": [\n");
+    for (i, r) in spmv_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"density\": {}, \"occupied_pages\": {}, \"dense_blocks\": {}, \
+             \"sparse_reads\": {}, \"dense_reads\": {}, \"sparse_secs\": {:.6}, \
+             \"dense_secs\": {:.6} }}{}",
+            r.density,
+            r.occupied,
+            r.dense_blocks,
+            r.sparse_reads,
+            r.dense_reads,
+            r.sparse_secs,
+            r.dense_secs,
+            if i + 1 < spmv_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"spmm\": [\n");
+    for (i, r) in spmm_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"density\": {}, \"out_nnz\": {}, \"out_pages\": {}, \"reads\": {}, \
+             \"writes\": {}, \"secs\": {:.6} }}{}",
+            r.density,
+            r.out_nnz,
+            r.out_pages,
+            r.reads,
+            r.writes,
+            r.secs,
+            if i + 1 < spmm_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"matmul_thread_scaling\": [\n");
+    for (i, (threads, secs)) in scaling.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"threads\": {threads}, \"secs\": {secs:.6} }}{}",
+            if i + 1 < scaling.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
+    std::fs::write(path, &json).expect("write BENCH_pr2.json");
+    println!("\nwrote {path}");
+}

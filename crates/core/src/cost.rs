@@ -114,6 +114,54 @@ pub fn riotdb_matmul_io(n1: f64, n2: f64, n3: f64, p: CostParams) -> f64 {
     join_io + sort_io + n1 * n3 / b
 }
 
+// ---- sparse-format costs (riot-sparse subsystem) -----------------------
+
+/// Expected fraction of tiles holding at least one non-zero when elements
+/// are non-zero independently with probability `density` and a tile holds
+/// `tile_elems` elements. This is the statistic that converts the
+/// catalog's nnz into an I/O estimate: a sparse scan reads only occupied
+/// pages.
+pub fn occupied_fraction(density: f64, tile_elems: f64) -> f64 {
+    (1.0 - (1.0 - density.clamp(0.0, 1.0)).powf(tile_elems)).clamp(0.0, 1.0)
+}
+
+/// I/O (blocks) of out-of-core sparse matrix-vector multiply `y = A x`
+/// for an `n1 x n2` matrix at `density`: directory + occupied data pages
+/// + one streaming read of `x` per tile-row + one write of `y`.
+pub fn spmv_io(n1: f64, n2: f64, density: f64, p: CostParams) -> f64 {
+    let b = p.block_elems;
+    let tiles = (n1 * n2 / b).ceil();
+    let dir = (2.0 * tiles / b).ceil().max(1.0);
+    let tile_rows = (n1 / b.sqrt()).ceil().max(1.0);
+    dir + tiles * occupied_fraction(density, b) + tile_rows * (n2 / b).ceil() + n1 / b
+}
+
+/// I/O (blocks) of the dense matrix-vector multiply the sparse kernel is
+/// compared against: every tile, plus `x` per tile-row, plus `y`.
+pub fn dmv_io(n1: f64, n2: f64, p: CostParams) -> f64 {
+    let b = p.block_elems;
+    let tile_rows = (n1 / b.sqrt()).ceil().max(1.0);
+    (n1 * n2 / b).ceil() + tile_rows * (n2 / b).ceil() + n1 / b
+}
+
+/// I/O (blocks) of sparse `A (n1 x n2, density)` times dense
+/// `B (n2 x n3)` with dense accumulator tiles: occupied pages of `A`,
+/// plus — for each occupied `A` tile — the matching block-row of `B`,
+/// plus the dense output.
+pub fn spmdm_io(n1: f64, n2: f64, n3: f64, density: f64, p: CostParams) -> f64 {
+    let b = p.block_elems;
+    let side = b.sqrt();
+    let occ = (n1 * n2 / b).ceil() * occupied_fraction(density, b);
+    occ + occ * (side * n3 / b).ceil() + n1 * n3 / b
+}
+
+/// Default density threshold for the optimizer's sparse-vs-dense kernel
+/// choice. Below it the sparse kernels win on both skipped pages and
+/// skipped multiplications; above it page occupancy saturates (see
+/// [`occupied_fraction`]) and the dense kernels' sequential scans and
+/// tighter inner loops win.
+pub const SPARSE_DENSITY_THRESHOLD: f64 = 0.25;
+
 /// I/O (blocks) for multiplying an `n1 x n2` by an `n2 x n3` matrix under
 /// `strategy`.
 pub fn matmul_io(strategy: MatMulStrategy, n1: f64, n2: f64, n3: f64, p: CostParams) -> f64 {
@@ -275,6 +323,55 @@ mod tests {
         let row = naive_rowlayout_io(n1, n2, n3, p);
         // Row layout wins by ~B.
         assert!(col / row > 500.0);
+    }
+
+    #[test]
+    fn occupied_fraction_properties() {
+        // Monotone in density, 0 at 0, saturating toward 1.
+        assert_eq!(occupied_fraction(0.0, 1024.0), 0.0);
+        assert!(occupied_fraction(0.001, 1024.0) < occupied_fraction(0.01, 1024.0));
+        // At B = 1024 occupancy saturates well below the kernel threshold:
+        // the analytic justification for SPARSE_DENSITY_THRESHOLD.
+        assert!(occupied_fraction(0.01, 1024.0) > 0.99);
+        // Smaller tiles keep sparsity visible much longer.
+        assert!(occupied_fraction(0.01, 64.0) < 0.5);
+        assert!(occupied_fraction(1.0, 64.0) <= 1.0);
+    }
+
+    #[test]
+    fn spmv_cheaper_than_dense_below_saturation() {
+        let p = CostParams {
+            mem_elems: 1e6,
+            block_elems: 64.0,
+        };
+        let (n1, n2) = (4096.0, 4096.0);
+        for d in [0.0001, 0.001, 0.01] {
+            assert!(
+                spmv_io(n1, n2, d, p) < dmv_io(n1, n2, p),
+                "sparse must win at density {d}"
+            );
+        }
+        // Saturated: sparse approaches (and never beats by much) dense +
+        // the directory overhead.
+        let sat = spmv_io(n1, n2, 0.5, p);
+        let dense = dmv_io(n1, n2, p);
+        assert!(sat >= dense && sat < 1.1 * dense);
+    }
+
+    #[test]
+    fn spmdm_io_tracks_occupancy() {
+        let p = CostParams {
+            mem_elems: 1e6,
+            block_elems: 1024.0,
+        };
+        let (n1, n2, n3) = (10_000.0, 10_000.0, 10_000.0);
+        let lo = spmdm_io(n1, n2, n3, 0.0001, p);
+        let hi = spmdm_io(n1, n2, n3, 0.5, p);
+        assert!(lo < hi);
+        // Fully occupied, the sparse plan degenerates to reading every
+        // page of A plus a block-row of B per page plus the output.
+        let occ_all = n1 * n2 / p.block_elems;
+        assert!(hi >= occ_all);
     }
 
     #[test]

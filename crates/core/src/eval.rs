@@ -7,7 +7,7 @@
 //! changes a result relative to this evaluator, the optimization is wrong.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::expr::{AggOp, ExprError, Node, NodeId, SourceRef};
 use crate::graph::ExprGraph;
@@ -19,7 +19,7 @@ pub enum Value {
     /// A scalar.
     Scalar(f64),
     /// A vector.
-    Vector(Rc<Vec<f64>>),
+    Vector(Arc<Vec<f64>>),
     /// A row-major matrix.
     Matrix {
         /// Row count.
@@ -27,14 +27,14 @@ pub enum Value {
         /// Column count.
         cols: usize,
         /// Row-major data.
-        data: Rc<Vec<f64>>,
+        data: Arc<Vec<f64>>,
     },
 }
 
 impl Value {
     /// Build a vector value.
     pub fn vector(v: Vec<f64>) -> Value {
-        Value::Vector(Rc::new(v))
+        Value::Vector(Arc::new(v))
     }
 
     /// Build a matrix value from row-major data.
@@ -43,7 +43,7 @@ impl Value {
         Value::Matrix {
             rows,
             cols,
-            data: Rc::new(data),
+            data: Arc::new(data),
         }
     }
 
@@ -103,6 +103,13 @@ pub trait SourceData {
     fn vector(&self, s: SourceRef) -> Vec<f64>;
     /// `(rows, cols, row-major data)` of matrix source `s`.
     fn matrix(&self, s: SourceRef) -> (usize, usize, Vec<f64>);
+    /// `(rows, cols, row-major data)` of sparse matrix source `s`. The
+    /// evaluator is the dense semantic oracle, so sparse sources
+    /// materialize densely here; implementations without sparse data can
+    /// keep the default.
+    fn sparse(&self, s: SourceRef) -> (usize, usize, Vec<f64>) {
+        panic!("no sparse source {} registered", s.0)
+    }
 }
 
 /// A map-backed [`SourceData`] for tests and small programs.
@@ -110,6 +117,7 @@ pub trait SourceData {
 pub struct MemSources {
     vectors: HashMap<u32, Vec<f64>>,
     matrices: HashMap<u32, (usize, usize, Vec<f64>)>,
+    sparse: HashMap<u32, (usize, usize, Vec<f64>)>,
 }
 
 impl MemSources {
@@ -120,7 +128,7 @@ impl MemSources {
 
     /// Register a vector, returning its reference.
     pub fn add_vector(&mut self, data: Vec<f64>) -> SourceRef {
-        let id = (self.vectors.len() + self.matrices.len()) as u32;
+        let id = self.next_id();
         self.vectors.insert(id, data);
         SourceRef(id)
     }
@@ -128,9 +136,31 @@ impl MemSources {
     /// Register a row-major matrix, returning its reference.
     pub fn add_matrix(&mut self, rows: usize, cols: usize, data: Vec<f64>) -> SourceRef {
         assert_eq!(rows * cols, data.len());
-        let id = (self.vectors.len() + self.matrices.len()) as u32;
+        let id = self.next_id();
         self.matrices.insert(id, (rows, cols, data));
         SourceRef(id)
+    }
+
+    /// Register a sparse matrix from COO triplets, returning its
+    /// reference (and the resulting non-zero count, for `SpMatSource`).
+    pub fn add_sparse(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> (SourceRef, u64) {
+        let mut data = vec![0.0; rows * cols];
+        for &(r, c, v) in triplets {
+            data[r * cols + c] += v;
+        }
+        let nnz = data.iter().filter(|v| **v != 0.0).count() as u64;
+        let id = self.next_id();
+        self.sparse.insert(id, (rows, cols, data));
+        (SourceRef(id), nnz)
+    }
+
+    fn next_id(&self) -> u32 {
+        (self.vectors.len() + self.matrices.len() + self.sparse.len()) as u32
     }
 }
 
@@ -146,6 +176,13 @@ impl SourceData for MemSources {
         self.matrices
             .get(&s.0)
             .expect("unknown matrix source")
+            .clone()
+    }
+
+    fn sparse(&self, s: SourceRef) -> (usize, usize, Vec<f64>) {
+        self.sparse
+            .get(&s.0)
+            .expect("unknown sparse source")
             .clone()
     }
 }
@@ -177,7 +214,13 @@ fn eval_node(
             let (rows, cols, data) = sources.matrix(*source);
             Value::matrix(rows, cols, data)
         }
-        Node::Literal(v) => Value::Vector(Rc::clone(v)),
+        Node::SpMatSource { source, .. } => {
+            let (rows, cols, data) = sources.sparse(*source);
+            Value::matrix(rows, cols, data)
+        }
+        // Representation conversions are identities to the dense oracle.
+        Node::Densify { input } | Node::Sparsify { input } => get(input).clone(),
+        Node::Literal(v) => Value::Vector(Arc::clone(v)),
         Node::Scalar(x) => Value::Scalar(*x),
         Node::Range { start, len } => {
             Value::vector((0..*len).map(|i| (*start + i as i64) as f64).collect())

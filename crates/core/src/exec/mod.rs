@@ -11,15 +11,17 @@
 
 pub mod matmul;
 pub mod pipeline;
+pub mod sparse;
 
 pub use matmul::{
     default_threads, matmul_bnlj, matmul_bnlj_parallel, matmul_naive, matmul_tiled,
     matmul_tiled_parallel, multiply, multiply_chain, read_rect, write_rect, MatMulKernel,
 };
 pub use pipeline::{
-    drain_agg, drain_to_vec, materialize, ConstScan, CycleScan, GatherPipe, IfElsePipe,
-    LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan, ZipPipe,
+    drain_agg, drain_partitioned, drain_to_vec, materialize, ConstScan, CycleScan, GatherPipe,
+    IfElsePipe, LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan, ZipPipe,
 };
+pub use sparse::{dmv, spmdm, spmm, spmv};
 
 use crate::expr::ExprError;
 use riot_storage::StorageError;

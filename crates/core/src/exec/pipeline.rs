@@ -11,10 +11,19 @@
 //! chunks and probes the data side element by element, which after the
 //! optimizer's pushdown is how `z <- d[s]; print(z)` touches only ~100
 //! elements of `x` and `y` instead of computing all of `d`.
+//!
+//! ## Parallel draining
+//!
+//! Pipes are `Send`, and every built-in pipe supports
+//! [`Pipe::restrict`]: narrowing the stream to a contiguous span of its
+//! output. [`drain_partitioned`] runs one restricted pipe per span on a
+//! scoped worker pool (the same atomic work-queue schedule the parallel
+//! matmul kernels use), writing each span straight into its slice of the
+//! output — elementwise results are bit-identical to a sequential drain
+//! because every element is computed by exactly one worker, in one pass.
 
-use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use riot_array::{DenseVector, StorageCtx, VectorWriter};
 
@@ -24,35 +33,52 @@ use crate::expr::{AggOp, BinOp, ExprError, UnOp};
 /// Default chunk size in elements: one block's worth of `f64`s.
 pub const DEFAULT_CHUNK: usize = 1024;
 
-/// A pull-based chunk producer.
-pub trait Pipe {
+/// A pull-based chunk producer. Pipes are `Send` so restricted partitions
+/// can drain on worker threads.
+pub trait Pipe: Send {
     /// Fill `out` (cleared first) with the next chunk; returns the number
     /// of elements produced, 0 at end of stream.
     fn next_into(&mut self, out: &mut Vec<f64>) -> ExecResult<usize>;
 
     /// Total number of elements this pipe will produce.
     fn total_len(&self) -> usize;
+
+    /// Narrow the pipe to produce only elements `[start, start + len)` of
+    /// its stream. Must be called before the first `next_into`; afterwards
+    /// `total_len` reports `len`. Returns `false` when the pipe (or a
+    /// child) cannot be restricted — the caller must then discard it and
+    /// fall back to a sequential drain (a partially restricted tree is
+    /// unusable).
+    fn restrict(&mut self, _start: usize, _len: usize) -> bool {
+        false
+    }
 }
 
 /// Scan of a stored vector, block-aligned.
 pub struct VecScan {
     vec: DenseVector,
     pos: usize,
+    end: usize,
     chunk: usize,
 }
 
 impl VecScan {
     /// Scan `vec` in chunks of `chunk` elements.
     pub fn new(vec: DenseVector, chunk: usize) -> Self {
-        VecScan { vec, pos: 0, chunk }
+        let end = vec.len();
+        VecScan {
+            vec,
+            pos: 0,
+            end,
+            chunk,
+        }
     }
 }
 
 impl Pipe for VecScan {
     fn next_into(&mut self, out: &mut Vec<f64>) -> ExecResult<usize> {
         out.clear();
-        let remaining = self.vec.len() - self.pos;
-        let take = remaining.min(self.chunk);
+        let take = (self.end - self.pos).min(self.chunk);
         if take == 0 {
             return Ok(0);
         }
@@ -63,23 +89,33 @@ impl Pipe for VecScan {
     }
 
     fn total_len(&self) -> usize {
-        self.vec.len()
+        self.end - self.pos
+    }
+
+    fn restrict(&mut self, start: usize, len: usize) -> bool {
+        debug_assert!(start + len <= self.vec.len(), "restrict out of range");
+        self.pos = start;
+        self.end = start + len;
+        true
     }
 }
 
 /// Scan of an in-memory literal.
 pub struct LiteralScan {
-    data: Rc<Vec<f64>>,
+    data: Arc<Vec<f64>>,
     pos: usize,
+    end: usize,
     chunk: usize,
 }
 
 impl LiteralScan {
     /// Stream `data` in chunks.
-    pub fn new(data: Rc<Vec<f64>>, chunk: usize) -> Self {
+    pub fn new(data: Arc<Vec<f64>>, chunk: usize) -> Self {
+        let end = data.len();
         LiteralScan {
             data,
             pos: 0,
+            end,
             chunk,
         }
     }
@@ -88,22 +124,29 @@ impl LiteralScan {
 impl Pipe for LiteralScan {
     fn next_into(&mut self, out: &mut Vec<f64>) -> ExecResult<usize> {
         out.clear();
-        let take = (self.data.len() - self.pos).min(self.chunk);
+        let take = (self.end - self.pos).min(self.chunk);
         out.extend_from_slice(&self.data[self.pos..self.pos + take]);
         self.pos += take;
         Ok(take)
     }
 
     fn total_len(&self) -> usize {
-        self.data.len()
+        self.end - self.pos
+    }
+
+    fn restrict(&mut self, start: usize, len: usize) -> bool {
+        debug_assert!(start + len <= self.data.len(), "restrict out of range");
+        self.pos = start;
+        self.end = start + len;
+        true
     }
 }
 
 /// Generator for `start, start+1, ...` (R's `a:b`), computed on the fly.
 pub struct RangeScan {
     start: i64,
-    len: usize,
     pos: usize,
+    end: usize,
     chunk: usize,
 }
 
@@ -112,8 +155,8 @@ impl RangeScan {
     pub fn new(start: i64, len: usize, chunk: usize) -> Self {
         RangeScan {
             start,
-            len,
             pos: 0,
+            end: len,
             chunk,
         }
     }
@@ -122,7 +165,7 @@ impl RangeScan {
 impl Pipe for RangeScan {
     fn next_into(&mut self, out: &mut Vec<f64>) -> ExecResult<usize> {
         out.clear();
-        let take = (self.len - self.pos).min(self.chunk);
+        let take = (self.end - self.pos).min(self.chunk);
         for i in 0..take {
             out.push((self.start + (self.pos + i) as i64) as f64);
         }
@@ -131,15 +174,22 @@ impl Pipe for RangeScan {
     }
 
     fn total_len(&self) -> usize {
-        self.len
+        self.end - self.pos
+    }
+
+    fn restrict(&mut self, start: usize, len: usize) -> bool {
+        debug_assert!(start + len <= self.end, "restrict out of range");
+        self.pos = start;
+        self.end = start + len;
+        true
     }
 }
 
 /// A scalar broadcast to `len` elements.
 pub struct ConstScan {
     value: f64,
-    len: usize,
     pos: usize,
+    end: usize,
     chunk: usize,
 }
 
@@ -148,8 +198,8 @@ impl ConstScan {
     pub fn new(value: f64, len: usize, chunk: usize) -> Self {
         ConstScan {
             value,
-            len,
             pos: 0,
+            end: len,
             chunk,
         }
     }
@@ -158,14 +208,21 @@ impl ConstScan {
 impl Pipe for ConstScan {
     fn next_into(&mut self, out: &mut Vec<f64>) -> ExecResult<usize> {
         out.clear();
-        let take = (self.len - self.pos).min(self.chunk);
+        let take = (self.end - self.pos).min(self.chunk);
         out.resize(take, self.value);
         self.pos += take;
         Ok(take)
     }
 
     fn total_len(&self) -> usize {
-        self.len
+        self.end - self.pos
+    }
+
+    fn restrict(&mut self, start: usize, len: usize) -> bool {
+        debug_assert!(start + len <= self.end, "restrict out of range");
+        self.pos = start;
+        self.end = start + len;
+        true
     }
 }
 
@@ -173,8 +230,8 @@ impl Pipe for ConstScan {
 /// R's recycling rule for mismatched operand lengths.
 pub struct CycleScan {
     data: Vec<f64>,
-    out_len: usize,
     pos: usize,
+    end: usize,
     chunk: usize,
 }
 
@@ -184,8 +241,8 @@ impl CycleScan {
         assert!(!data.is_empty(), "cannot recycle an empty vector");
         CycleScan {
             data,
-            out_len,
             pos: 0,
+            end: out_len,
             chunk,
         }
     }
@@ -194,7 +251,7 @@ impl CycleScan {
 impl Pipe for CycleScan {
     fn next_into(&mut self, out: &mut Vec<f64>) -> ExecResult<usize> {
         out.clear();
-        let take = (self.out_len - self.pos).min(self.chunk);
+        let take = (self.end - self.pos).min(self.chunk);
         for i in 0..take {
             out.push(self.data[(self.pos + i) % self.data.len()]);
         }
@@ -203,7 +260,14 @@ impl Pipe for CycleScan {
     }
 
     fn total_len(&self) -> usize {
-        self.out_len
+        self.end - self.pos
+    }
+
+    fn restrict(&mut self, start: usize, len: usize) -> bool {
+        debug_assert!(start + len <= self.end, "restrict out of range");
+        self.pos = start;
+        self.end = start + len;
+        true
     }
 }
 
@@ -233,6 +297,10 @@ impl Pipe for MapPipe {
 
     fn total_len(&self) -> usize {
         self.input.total_len()
+    }
+
+    fn restrict(&mut self, start: usize, len: usize) -> bool {
+        self.input.restrict(start, len)
     }
 }
 
@@ -275,6 +343,10 @@ impl Pipe for ZipPipe {
 
     fn total_len(&self) -> usize {
         self.lhs.total_len()
+    }
+
+    fn restrict(&mut self, start: usize, len: usize) -> bool {
+        self.lhs.restrict(start, len) && self.rhs.restrict(start, len)
     }
 }
 
@@ -327,6 +399,12 @@ impl Pipe for IfElsePipe {
     fn total_len(&self) -> usize {
         self.cond.total_len()
     }
+
+    fn restrict(&mut self, start: usize, len: usize) -> bool {
+        self.cond.restrict(start, len)
+            && self.yes.restrict(start, len)
+            && self.no.restrict(start, len)
+    }
 }
 
 /// Random-access side of a gather: anything that can be probed by 1-based
@@ -336,7 +414,7 @@ pub enum Probe {
     /// A stored vector.
     Stored(DenseVector),
     /// An in-memory vector.
-    Mem(Rc<Vec<f64>>),
+    Mem(Arc<Vec<f64>>),
     /// The sequence `start..`.
     Range {
         /// First value of the sequence.
@@ -405,6 +483,12 @@ impl Pipe for GatherPipe {
     fn total_len(&self) -> usize {
         self.index.total_len()
     }
+
+    fn restrict(&mut self, start: usize, len: usize) -> bool {
+        // The probe side is random-access; narrowing the index stream
+        // narrows the gather.
+        self.index.restrict(start, len)
+    }
 }
 
 /// Drain a pipe into a freshly stored vector (sequential writes).
@@ -438,6 +522,68 @@ pub fn drain_to_vec(mut pipe: Box<dyn Pipe>) -> ExecResult<Vec<f64>> {
         out.extend_from_slice(&buf);
     }
     Ok(out)
+}
+
+/// Drain one pipe fully into `out` (which must have the pipe's exact
+/// restricted length).
+fn drain_into(pipe: &mut dyn Pipe, out: &mut [f64]) -> ExecResult<()> {
+    let mut buf = Vec::new();
+    let mut at = 0;
+    loop {
+        let n = pipe.next_into(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        out[at..at + n].copy_from_slice(&buf[..n]);
+        at += n;
+    }
+    debug_assert_eq!(at, out.len(), "partition produced a short stream");
+    Ok(())
+}
+
+/// One partitioned-drain work item: a restricted pipe plus the output
+/// slice its span lands in.
+pub type Partition<'out> = (Box<dyn Pipe>, &'out mut [f64]);
+
+/// Drain restricted pipes covering disjoint spans of one logical stream
+/// into the matching slices of the output, over `threads` scoped workers
+/// pulling from an atomic work queue. With one part (or one thread) the
+/// drain runs inline. The first failure abandons the remaining parts and
+/// is returned.
+pub fn drain_partitioned(parts: Vec<Partition<'_>>, threads: usize) -> ExecResult<()> {
+    let threads = threads.max(1).min(parts.len());
+    if threads <= 1 {
+        for (mut pipe, slice) in parts {
+            drain_into(pipe.as_mut(), slice)?;
+        }
+        return Ok(());
+    }
+    let items: Vec<Mutex<Option<Partition<'_>>>> =
+        parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let next = AtomicUsize::new(0);
+    let failure: Mutex<Option<ExecError>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                if failure.lock().unwrap().is_some() {
+                    break; // a sibling failed; abandon remaining work
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let Some((mut pipe, slice)) = item.lock().unwrap().take() else {
+                    continue;
+                };
+                if let Err(e) = drain_into(pipe.as_mut(), slice) {
+                    failure.lock().unwrap().get_or_insert(e);
+                    break;
+                }
+            });
+        }
+    });
+    match failure.into_inner().unwrap() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Drain a pipe through an aggregate, producing a scalar.
@@ -508,9 +654,9 @@ mod tests {
     #[test]
     fn ifelse_pipe_selects() {
         let counter = ops();
-        let cond = Box::new(LiteralScan::new(Rc::new(vec![1.0, 0.0, 1.0]), 2));
+        let cond = Box::new(LiteralScan::new(Arc::new(vec![1.0, 0.0, 1.0]), 2));
         let yes = Box::new(ConstScan::new(9.0, 3, 2));
-        let no = Box::new(LiteralScan::new(Rc::new(vec![4.0, 5.0, 6.0]), 2));
+        let no = Box::new(LiteralScan::new(Arc::new(vec![4.0, 5.0, 6.0]), 2));
         let p = Box::new(IfElsePipe::new(cond, yes, no, counter));
         assert_eq!(drain_to_vec(p).unwrap(), vec![9.0, 5.0, 9.0]);
     }
@@ -524,7 +670,7 @@ mod tests {
         c.clear_cache().unwrap();
         let before = c.io_snapshot();
         let counter = ops();
-        let idx = Box::new(LiteralScan::new(Rc::new(vec![80.0, 1.0, 41.0]), 2));
+        let idx = Box::new(LiteralScan::new(Arc::new(vec![80.0, 1.0, 41.0]), 2));
         let p = Box::new(GatherPipe::new(idx, Probe::Stored(x), counter));
         assert_eq!(drain_to_vec(p).unwrap(), vec![790.0, 0.0, 400.0]);
         let delta = c.io_snapshot() - before;
@@ -535,8 +681,8 @@ mod tests {
     #[test]
     fn gather_bounds_error() {
         let counter = ops();
-        let idx = Box::new(LiteralScan::new(Rc::new(vec![4.0]), 2));
-        let p = GatherPipe::new(idx, Probe::Mem(Rc::new(vec![1.0, 2.0])), counter);
+        let idx = Box::new(LiteralScan::new(Arc::new(vec![4.0]), 2));
+        let p = GatherPipe::new(idx, Probe::Mem(Arc::new(vec![1.0, 2.0])), counter);
         let mut p: Box<dyn Pipe> = Box::new(p);
         let mut buf = Vec::new();
         assert!(matches!(
@@ -551,7 +697,7 @@ mod tests {
     #[test]
     fn gather_probe_range() {
         let counter = ops();
-        let idx = Box::new(LiteralScan::new(Rc::new(vec![3.0, 1.0]), 4));
+        let idx = Box::new(LiteralScan::new(Arc::new(vec![3.0, 1.0]), 4));
         let p = Box::new(GatherPipe::new(
             idx,
             Probe::Range {
@@ -583,6 +729,86 @@ mod tests {
         assert_eq!(drain_agg(mk(), AggOp::Mean).unwrap(), 5.5);
         assert_eq!(drain_agg(mk(), AggOp::Min).unwrap(), 1.0);
         assert_eq!(drain_agg(mk(), AggOp::Max).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn restrict_narrows_every_scan() {
+        let c = ctx();
+        let data: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let stored = DenseVector::from_slice(&c, &data, None).unwrap();
+        let mk: Vec<(Box<dyn Pipe>, Vec<f64>)> = vec![
+            (Box::new(VecScan::new(stored.clone(), 7)), data.clone()),
+            (
+                Box::new(LiteralScan::new(Arc::new(data.clone()), 7)),
+                data.clone(),
+            ),
+            (Box::new(RangeScan::new(0, 40, 7)), data.clone()),
+            (Box::new(ConstScan::new(3.0, 40, 7)), vec![3.0; 40]),
+            (
+                Box::new(CycleScan::new(vec![1.0, 2.0, 3.0], 40, 7)),
+                (0..40).map(|i| [1.0, 2.0, 3.0][i % 3]).collect(),
+            ),
+        ];
+        for (mut pipe, full) in mk {
+            assert!(pipe.restrict(11, 13));
+            assert_eq!(pipe.total_len(), 13);
+            let got = drain_to_vec(pipe).unwrap();
+            assert_eq!(got, full[11..24].to_vec());
+        }
+    }
+
+    #[test]
+    fn restrict_composes_through_operators() {
+        let c = ctx();
+        let data: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let x = DenseVector::from_slice(&c, &data, None).unwrap();
+        let counter = ops();
+        let build = || -> Box<dyn Pipe> {
+            let scan = Box::new(VecScan::new(x.clone(), 8));
+            let two = Box::new(ConstScan::new(2.0, 30, 8));
+            let mul = Box::new(ZipPipe::new(BinOp::Mul, scan, two, counter.clone()));
+            Box::new(MapPipe::new(UnOp::Neg, mul, counter.clone()))
+        };
+        let full = drain_to_vec(build()).unwrap();
+        let mut restricted = build();
+        assert!(restricted.restrict(5, 12));
+        assert_eq!(drain_to_vec(restricted).unwrap(), full[5..17].to_vec());
+    }
+
+    #[test]
+    fn drain_partitioned_equals_sequential() {
+        let c = ctx();
+        let n = 100;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = DenseVector::from_slice(&c, &data, None).unwrap();
+        let counter = ops();
+        let build = || -> Box<dyn Pipe> {
+            let scan = Box::new(VecScan::new(x.clone(), 8));
+            Box::new(MapPipe::new(UnOp::Square, scan, counter.clone()))
+        };
+        let want = drain_to_vec(build()).unwrap();
+
+        let spans = [(0usize, 32usize), (32, 32), (64, 32), (96, 4)];
+        let mut out = vec![0.0; n];
+        {
+            let mut slices: Vec<&mut [f64]> = Vec::new();
+            let mut rest: &mut [f64] = &mut out;
+            for &(_, take) in &spans {
+                let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+                slices.push(head);
+                rest = tail;
+            }
+            let mut parts = Vec::new();
+            for (&(s, take), slice) in spans.iter().zip(slices) {
+                let mut pipe = build();
+                assert!(pipe.restrict(s, take));
+                parts.push((pipe, slice));
+            }
+            drain_partitioned(parts, 3).unwrap();
+        }
+        assert_eq!(out, want);
+        // Every element computed exactly once across both drains.
+        assert_eq!(counter.load(Ordering::Relaxed), 2 * n as u64);
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! Out-of-core sparse kernels over the block-compressed format.
+//!
+//! Three kernels cover the sparse workloads the subsystem opens up:
+//!
+//! * [`spmv`] — sparse matrix x dense vector. Walks tile-rows, touching
+//!   **only occupied pages**: the I/O is proportional to the number of
+//!   occupied tiles, not the dense footprint (the counted-I/O tests pin
+//!   this down against [`dmv`], the dense reference).
+//! * [`spmdm`] — sparse x dense matrix with **dense accumulator tiles**:
+//!   one tile-row of accumulators lives in memory; each occupied sparse
+//!   tile pulls the matching block-row of the dense operand, so skipped
+//!   sparse tiles skip their dense reads too.
+//! * [`spmm`] — sparse x sparse producing a sparse result. The output
+//!   extent must be sized before any page can land (the catalog hands out
+//!   contiguous extents), so the kernel runs **two passes**: pass one
+//!   counts per-output-tile non-zeros into a plan, pass two recomputes and
+//!   writes each page. Memory stays one dense accumulator tile; the flop
+//!   count reports both passes because both are actually executed.
+//!
+//! All kernels return `(result, flops)` where flops counts scalar
+//! multiplications, so measured I/O and arithmetic can be checked against
+//! the cost model like the dense kernels ([`super::matmul`]).
+
+use riot_array::{DenseMatrix, DenseVector, MatrixLayout, TileOrder, VectorWriter};
+use riot_sparse::SparseMatrix;
+
+use super::matmul::{read_rect, write_rect};
+use super::ExecResult;
+
+/// Out-of-core sparse matrix-vector multiply `y = A x`.
+///
+/// Reads the occupied pages of `A` once each and streams `x` per
+/// tile-row; `y` streams out through a [`VectorWriter`], so its blocks
+/// cost pure write I/O (no read-modify-write of fresh output pages).
+pub fn spmv(
+    a: &SparseMatrix,
+    x: &DenseVector,
+    name: Option<&str>,
+) -> ExecResult<(DenseVector, u64)> {
+    let (rows, cols) = a.shape();
+    assert_eq!(x.len(), cols, "spmv operand lengths");
+    let (tile_r, tile_c) = a.tile_dims();
+    let (tr, tc) = a.tile_grid();
+    let mut writer = VectorWriter::new(a.ctx(), rows, name)?;
+    let mut acc = vec![0.0; tile_r];
+    let mut xbuf = vec![0.0; tile_c];
+    let mut flops = 0u64;
+    for ti in 0..tr {
+        let r0 = ti as usize * tile_r;
+        let m = tile_r.min(rows - r0);
+        acc[..m].fill(0.0);
+        for tj in 0..tc {
+            let Some(tile) = a.tile(ti, tj)? else {
+                continue;
+            };
+            let c0 = tj as usize * tile_c;
+            let take = tile_c.min(cols - c0);
+            x.read_range(c0, &mut xbuf[..take])?;
+            tile.for_each(|r, c, v| acc[r] += v * xbuf[c]);
+            flops += tile.nnz() as u64;
+        }
+        writer.push_chunk(&acc[..m])?;
+    }
+    Ok((writer.finish()?, flops))
+}
+
+/// Dense reference matrix-vector multiply `y = A x`, tile by tile: the
+/// kernel the sparse path is measured against (it must read every tile of
+/// `A` regardless of content).
+pub fn dmv(a: &DenseMatrix, x: &DenseVector, name: Option<&str>) -> ExecResult<(DenseVector, u64)> {
+    let (rows, cols) = a.shape();
+    assert_eq!(x.len(), cols, "dmv operand lengths");
+    let (tile_r, tile_c) = a.tile_dims();
+    let (tr, tc) = a.tile_grid();
+    let mut writer = VectorWriter::new(a.ctx(), rows, name)?;
+    let mut acc = vec![0.0; tile_r];
+    let mut xbuf = vec![0.0; tile_c];
+    let mut flops = 0u64;
+    for ti in 0..tr {
+        let r0 = ti as usize * tile_r;
+        let m = tile_r.min(rows - r0);
+        acc[..m].fill(0.0);
+        for tj in 0..tc {
+            let tile = a.pin_tile(ti, tj)?;
+            let c0 = tj as usize * tile_c;
+            let take = tile_c.min(cols - c0);
+            x.read_range(c0, &mut xbuf[..take])?;
+            for r in 0..m {
+                let row = &tile[r * tile_c..r * tile_c + take];
+                let mut s = 0.0;
+                for (rv, xv) in row.iter().zip(&xbuf[..take]) {
+                    s += rv * xv;
+                }
+                acc[r] += s;
+            }
+            flops += (m * take) as u64;
+        }
+        writer.push_chunk(&acc[..m])?;
+    }
+    Ok((writer.finish()?, flops))
+}
+
+/// Sparse `A` times dense `B`, producing a dense matrix with square
+/// tiling. Processes one tile-row of `A` at a time with a dense
+/// accumulator strip of `tile_r x n3`; only occupied `A` tiles pull the
+/// matching `tile_c x n3` block-row of `B`.
+pub fn spmdm(
+    a: &SparseMatrix,
+    b: &DenseMatrix,
+    name: Option<&str>,
+) -> ExecResult<(DenseMatrix, u64)> {
+    let (n1, n2) = a.shape();
+    assert_eq!(n2, b.rows(), "spmdm inner dimensions");
+    let n3 = b.cols();
+    let (tile_r, tile_c) = a.tile_dims();
+    let (tr, tc) = a.tile_grid();
+    let t = DenseMatrix::create(
+        a.ctx(),
+        n1,
+        n3,
+        MatrixLayout::Square,
+        TileOrder::RowMajor,
+        name,
+    )?;
+    let mut acc = vec![0.0; tile_r * n3];
+    let mut brow = vec![0.0; tile_c * n3];
+    let mut flops = 0u64;
+    for ti in 0..tr {
+        let r0 = ti as usize * tile_r;
+        let m = tile_r.min(n1 - r0);
+        acc[..m * n3].fill(0.0);
+        for tj in 0..tc {
+            let Some(tile) = a.tile(ti, tj)? else {
+                continue;
+            };
+            let k0 = tj as usize * tile_c;
+            let kk = tile_c.min(n2 - k0);
+            read_rect(b, k0, 0, kk, n3, &mut brow)?;
+            tile.for_each(|r, k, v| {
+                let bslice = &brow[k * n3..k * n3 + n3];
+                let aslice = &mut acc[r * n3..r * n3 + n3];
+                for (av, bv) in aslice.iter_mut().zip(bslice) {
+                    *av += v * bv;
+                }
+            });
+            flops += tile.nnz() as u64 * n3 as u64;
+        }
+        write_rect(&t, r0, 0, m, n3, &acc)?;
+    }
+    Ok((t, flops))
+}
+
+/// Sparse x sparse multiply producing a sparse result with `A`'s tiling.
+///
+/// Two passes (see the module docs): both count toward the returned flop
+/// total because both actually run. Memory is one dense accumulator tile.
+pub fn spmm(
+    a: &SparseMatrix,
+    b: &SparseMatrix,
+    name: Option<&str>,
+) -> ExecResult<(SparseMatrix, u64)> {
+    let (n1, n2) = a.shape();
+    assert_eq!(n2, b.rows(), "spmm inner dimensions");
+    let n3 = b.cols();
+    let (atr, atc) = a.tile_dims();
+    let (btr, btc) = b.tile_dims();
+    assert_eq!(
+        atc, btr,
+        "spmm tile grids must align on the inner dimension"
+    );
+    assert_eq!(
+        atc, btc,
+        "spmm output tiling follows A's layout; B's tile width must match"
+    );
+    let (gtr, _) = a.tile_grid();
+    let (_, gtc) = b.tile_grid();
+    let inner = a.tile_grid().1;
+    let mut scratch = vec![0.0; atr * btc];
+    let mut flops = 0u64;
+
+    // One output tile: accumulate A(bi, *) x B(*, bj) densely in scratch.
+    let compute_tile = |bi: u64, bj: u64, scratch: &mut [f64]| -> ExecResult<(u32, u64)> {
+        scratch.fill(0.0);
+        let mut fl = 0u64;
+        for bk in 0..inner {
+            let Some(at) = a.tile(bi, bk)? else { continue };
+            let Some(bt) = b.tile(bk, bj)? else { continue };
+            at.for_each(|r, k, va| {
+                bt.for_each_in_row(k, |c, vb| {
+                    scratch[r * btc + c] += va * vb;
+                    fl += 1;
+                });
+            });
+        }
+        let nnz = scratch.iter().filter(|v| **v != 0.0).count() as u32;
+        Ok((nnz, fl))
+    };
+
+    // Pass 1: plan per-output-tile nnz.
+    let mut plan = Vec::with_capacity((gtr * gtc) as usize);
+    for bi in 0..gtr {
+        for bj in 0..gtc {
+            let (nnz, fl) = compute_tile(bi, bj, &mut scratch)?;
+            plan.push(nnz);
+            flops += fl;
+        }
+    }
+    let out = SparseMatrix::create_with_plan(a.ctx(), n1, n3, a.layout(), &plan, name)?;
+    // Pass 2: recompute and write each occupied page.
+    for bi in 0..gtr {
+        for bj in 0..gtc {
+            if plan[(bi * gtc + bj) as usize] == 0 {
+                continue;
+            }
+            let (_, fl) = compute_tile(bi, bj, &mut scratch)?;
+            flops += fl;
+            out.write_tile(bi, bj, &scratch)?;
+        }
+    }
+    Ok((out, flops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_array::StorageCtx;
+    use std::sync::Arc;
+
+    /// 512-byte blocks: 64 elements, 8x8 square tiles.
+    fn ctx(frames: usize) -> Arc<StorageCtx> {
+        StorageCtx::new_mem(512, frames)
+    }
+
+    fn band_triplets(rows: usize, cols: usize) -> Vec<(usize, usize, f64)> {
+        // A banded pattern: occupied only near the (wrapped) diagonal.
+        (0..rows)
+            .flat_map(|r| {
+                [(r, r % cols), (r, (r + 3) % cols)]
+                    .into_iter()
+                    .map(move |(i, j)| (i, j, (i * cols + j) as f64 * 0.25 + 1.0))
+            })
+            .collect()
+    }
+
+    fn dense_ref_mv(rows: usize, cols: usize, m: &[f64], x: &[f64]) -> Vec<f64> {
+        (0..rows)
+            .map(|r| (0..cols).map(|c| m[r * cols + c] * x[c]).sum())
+            .collect()
+    }
+
+    fn assert_close(got: &[f64], want: &[f64]) {
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < 1e-9, "got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn spmv_matches_dense_reference() {
+        let c = ctx(64);
+        let (rows, cols) = (37, 29); // ragged vs 8x8 tiles
+        let trips = band_triplets(rows, cols);
+        let a = SparseMatrix::from_triplets(&c, rows, cols, MatrixLayout::Square, &trips, None)
+            .unwrap();
+        let xdata: Vec<f64> = (0..cols).map(|i| (i as f64 * 0.3).sin()).collect();
+        let x = DenseVector::from_slice(&c, &xdata, None).unwrap();
+        let (y, flops) = spmv(&a, &x, None).unwrap();
+        assert_eq!(flops, a.nnz());
+        let want = dense_ref_mv(rows, cols, &a.to_rows().unwrap(), &xdata);
+        assert_close(&y.to_vec().unwrap(), &want);
+    }
+
+    #[test]
+    fn spmv_reads_only_occupied_pages() {
+        let c = ctx(64);
+        let (rows, cols) = (64, 64); // 8x8 grid of 8x8 tiles
+        let trips = vec![(0, 0, 1.0), (20, 40, 2.0), (63, 7, 3.0)];
+        let a = SparseMatrix::from_triplets(&c, rows, cols, MatrixLayout::Square, &trips, None)
+            .unwrap();
+        let x = DenseVector::from_slice(&c, &vec![1.0; cols], None).unwrap();
+        c.pool().flush_all().unwrap();
+        c.clear_cache().unwrap();
+        let before = c.io_snapshot();
+        let (y, _) = spmv(&a, &x, None).unwrap();
+        let delta = c.io_snapshot() - before;
+        // 3 occupied pages + at most one x block per occupied tile.
+        assert!(
+            delta.reads <= a.occupied_pages() + 3,
+            "reads {} vs occupied {}",
+            delta.reads,
+            a.occupied_pages()
+        );
+        assert!(delta.reads < a.dense_blocks());
+        assert_eq!(y.get(0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn spmdm_matches_dense_multiply() {
+        let c = ctx(128);
+        let (n1, n2, n3) = (20, 24, 13);
+        let trips = band_triplets(n1, n2);
+        let a =
+            SparseMatrix::from_triplets(&c, n1, n2, MatrixLayout::Square, &trips, None).unwrap();
+        let b = DenseMatrix::from_fn(
+            &c,
+            n2,
+            n3,
+            MatrixLayout::Square,
+            TileOrder::RowMajor,
+            None,
+            |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0,
+        )
+        .unwrap();
+        let (t, flops) = spmdm(&a, &b, None).unwrap();
+        assert_eq!(flops, a.nnz() * n3 as u64);
+        let ad = a.to_rows().unwrap();
+        let bd = b.to_rows().unwrap();
+        let mut want = vec![0.0; n1 * n3];
+        for i in 0..n1 {
+            for k in 0..n2 {
+                for j in 0..n3 {
+                    want[i * n3 + j] += ad[i * n2 + k] * bd[k * n3 + j];
+                }
+            }
+        }
+        assert_close(&t.to_rows().unwrap(), &want);
+    }
+
+    #[test]
+    fn spmm_matches_dense_multiply_and_stays_sparse() {
+        let c = ctx(128);
+        let (n1, n2, n3) = (24, 16, 24);
+        let a = SparseMatrix::from_triplets(
+            &c,
+            n1,
+            n2,
+            MatrixLayout::Square,
+            &[(0, 0, 2.0), (9, 9, 3.0), (23, 15, -1.0)],
+            None,
+        )
+        .unwrap();
+        let b = SparseMatrix::from_triplets(
+            &c,
+            n2,
+            n3,
+            MatrixLayout::Square,
+            &[(0, 5, 4.0), (9, 9, 5.0), (15, 23, 6.0), (1, 1, 7.0)],
+            None,
+        )
+        .unwrap();
+        let (t, _) = spmm(&a, &b, None).unwrap();
+        assert_eq!(t.shape(), (n1, n3));
+        // Expected: (0,5)=8, (9,9)=15, (23,23)=-6.
+        let got = t.to_rows().unwrap();
+        let mut want = vec![0.0; n1 * n3];
+        want[5] = 8.0;
+        want[9 * n3 + 9] = 15.0;
+        want[23 * n3 + 23] = -6.0;
+        assert_close(&got, &want);
+        assert_eq!(t.nnz(), 3);
+        // Product of sparse inputs occupies few pages.
+        assert!(t.occupied_pages() < t.dense_blocks());
+    }
+
+    #[test]
+    fn dmv_matches_spmv_semantics() {
+        let c = ctx(64);
+        let (rows, cols) = (19, 23);
+        let trips = band_triplets(rows, cols);
+        let sp = SparseMatrix::from_triplets(&c, rows, cols, MatrixLayout::Square, &trips, None)
+            .unwrap();
+        let dense = sp.to_dense(TileOrder::RowMajor, None).unwrap();
+        let xdata: Vec<f64> = (0..cols).map(|i| i as f64 - 11.0).collect();
+        let x = DenseVector::from_slice(&c, &xdata, None).unwrap();
+        let (ys, _) = spmv(&sp, &x, None).unwrap();
+        let (yd, flops) = dmv(&dense, &x, None).unwrap();
+        assert_eq!(flops, (rows * cols) as u64);
+        assert_close(&ys.to_vec().unwrap(), &yd.to_vec().unwrap());
+    }
+}

@@ -9,7 +9,7 @@
 //! old state and returning the new, which is what lets RIOT keep deferring
 //! across assignments (Figure 2).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::shape::Shape;
 
@@ -258,9 +258,35 @@ pub enum Node {
         /// Column count.
         cols: usize,
     },
+    /// A stored block-compressed sparse matrix owned by the engine. The
+    /// non-zero count rides in the node so the optimizer can estimate
+    /// density without touching storage (the catalog-carried statistic of
+    /// the sparse subsystem).
+    SpMatSource {
+        /// Engine-side storage handle.
+        source: SourceRef,
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+        /// Stored non-zeros.
+        nnz: u64,
+    },
+    /// Sparse-to-dense conversion. Inserted by the optimizer when a sparse
+    /// operand is too dense for the sparse kernels to pay off, and by the
+    /// frontend's `as.dense`.
+    Densify {
+        /// Input matrix (sparse-valued).
+        input: NodeId,
+    },
+    /// Dense-to-sparse compression (`as.sparse`).
+    Sparsify {
+        /// Input matrix (dense-valued).
+        input: NodeId,
+    },
     /// A small in-memory vector (e.g. the 100 sampled indices of Example 1
     /// — the optimizer exploits that these are known and small).
-    Literal(Rc<Vec<f64>>),
+    Literal(Arc<Vec<f64>>),
     /// A scalar constant.
     Scalar(f64),
     /// The sequence `start, start+1, ..., start+len-1` (R's `a:b`).
@@ -350,10 +376,15 @@ impl Node {
         match *self {
             Node::VecSource { .. }
             | Node::MatSource { .. }
+            | Node::SpMatSource { .. }
             | Node::Literal(_)
             | Node::Scalar(_)
             | Node::Range { .. } => vec![],
-            Node::Map { input, .. } | Node::Transpose { input } | Node::Agg { input, .. } => {
+            Node::Map { input, .. }
+            | Node::Transpose { input }
+            | Node::Agg { input, .. }
+            | Node::Densify { input }
+            | Node::Sparsify { input } => {
                 vec![input]
             }
             Node::Zip { lhs, rhs, .. } | Node::MatMul { lhs, rhs } => vec![lhs, rhs],
@@ -447,6 +478,26 @@ impl Node {
             Node::Agg { op, input } => {
                 k.push(13);
                 k.push(*op as u8);
+                push_id(&mut k, *input);
+            }
+            Node::SpMatSource {
+                source,
+                rows,
+                cols,
+                nnz,
+            } => {
+                k.push(14);
+                k.extend_from_slice(&source.0.to_le_bytes());
+                k.extend_from_slice(&(*rows as u64).to_le_bytes());
+                k.extend_from_slice(&(*cols as u64).to_le_bytes());
+                k.extend_from_slice(&nnz.to_le_bytes());
+            }
+            Node::Densify { input } => {
+                k.push(15);
+                push_id(&mut k, *input);
+            }
+            Node::Sparsify { input } => {
+                k.push(16);
                 push_id(&mut k, *input);
             }
         }

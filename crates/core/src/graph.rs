@@ -6,7 +6,7 @@
 //! shared work once — the DAG sharing the paper gets from SQL view reuse.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::expr::{AggOp, BinOp, ExprError, Node, NodeId, SourceRef, UnOp};
 use crate::shape::Shape;
@@ -73,10 +73,30 @@ impl ExprGraph {
         )
     }
 
+    /// A stored `rows x cols` block-compressed sparse matrix with `nnz`
+    /// stored non-zeros.
+    pub fn sp_mat_source(
+        &mut self,
+        source: SourceRef,
+        rows: usize,
+        cols: usize,
+        nnz: u64,
+    ) -> NodeId {
+        self.intern(
+            Node::SpMatSource {
+                source,
+                rows,
+                cols,
+                nnz,
+            },
+            Shape::Matrix(rows, cols),
+        )
+    }
+
     /// A small in-memory literal vector.
     pub fn literal(&mut self, values: Vec<f64>) -> NodeId {
         let shape = Shape::Vector(values.len());
-        self.intern(Node::Literal(Rc::new(values)), shape)
+        self.intern(Node::Literal(Arc::new(values)), shape)
     }
 
     /// A scalar constant.
@@ -229,6 +249,28 @@ impl ExprGraph {
         }
     }
 
+    /// Sparse-to-dense conversion of a matrix-valued node.
+    pub fn densify(&mut self, input: NodeId) -> Result<NodeId, ExprError> {
+        match self.shape(input) {
+            s @ Shape::Matrix(..) => Ok(self.intern(Node::Densify { input }, s)),
+            got => Err(ExprError::Expected {
+                what: "matrix",
+                got,
+            }),
+        }
+    }
+
+    /// Dense-to-sparse compression of a matrix-valued node.
+    pub fn sparsify(&mut self, input: NodeId) -> Result<NodeId, ExprError> {
+        match self.shape(input) {
+            s @ Shape::Matrix(..) => Ok(self.intern(Node::Sparsify { input }, s)),
+            got => Err(ExprError::Expected {
+                what: "matrix",
+                got,
+            }),
+        }
+    }
+
     /// Scalar reduction.
     pub fn agg(&mut self, op: AggOp, input: NodeId) -> NodeId {
         self.intern(Node::Agg { op, input }, Shape::Scalar)
@@ -282,6 +324,9 @@ impl ExprGraph {
         match self.node(id) {
             Node::VecSource { source, .. } => format!("v{}", source.0),
             Node::MatSource { source, .. } => format!("m{}", source.0),
+            Node::SpMatSource { source, .. } => format!("sp{}", source.0),
+            Node::Densify { input } => format!("as.dense({})", self.render(*input)),
+            Node::Sparsify { input } => format!("as.sparse({})", self.render(*input)),
             Node::Literal(v) => {
                 if v.len() <= 4 {
                     format!(

@@ -117,6 +117,7 @@ fn rebuild_with_children(
     match node.clone() {
         n @ (Node::VecSource { .. }
         | Node::MatSource { .. }
+        | Node::SpMatSource { .. }
         | Node::Literal(_)
         | Node::Scalar(_)
         | Node::Range { .. }) => {
@@ -125,11 +126,25 @@ fn rebuild_with_children(
             match n {
                 Node::VecSource { source, len } => g.vec_source(source, len),
                 Node::MatSource { source, rows, cols } => g.mat_source(source, rows, cols),
+                Node::SpMatSource {
+                    source,
+                    rows,
+                    cols,
+                    nnz,
+                } => g.sp_mat_source(source, rows, cols, nnz),
                 Node::Literal(v) => g.literal(v.as_ref().clone()),
                 Node::Scalar(x) => g.scalar(x),
                 Node::Range { start, len } => g.range(start, len),
                 _ => unreachable!(),
             }
+        }
+        Node::Densify { input } => {
+            let input = go(g, input, stats, memo);
+            g.densify(input).expect("shapes preserved")
+        }
+        Node::Sparsify { input } => {
+            let input = go(g, input, stats, memo);
+            g.sparsify(input).expect("shapes preserved")
         }
         Node::Map { op, input } => {
             let input = go(g, input, stats, memo);

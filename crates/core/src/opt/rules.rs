@@ -40,6 +40,11 @@ pub struct OptConfig {
     pub fold: bool,
     /// Enable matrix-chain reordering (applied by [`super::optimize`]).
     pub reorder_chains: bool,
+    /// Density at or above which a sparse `MatMul` operand is densified so
+    /// the dense kernels run instead (the sparse-vs-dense physical plan
+    /// choice, estimated from the catalog's nnz). `0.0` always densifies;
+    /// anything above `1.0` always keeps the sparse kernels.
+    pub sparse_threshold: f64,
 }
 
 impl Default for OptConfig {
@@ -48,6 +53,7 @@ impl Default for OptConfig {
             pushdown: true,
             fold: true,
             reorder_chains: true,
+            sparse_threshold: crate::cost::SPARSE_DENSITY_THRESHOLD,
         }
     }
 }
@@ -64,6 +70,10 @@ pub struct RewriteStats {
     pub folds: u64,
     /// Matrix chains reordered.
     pub chains_reordered: u64,
+    /// `MatMul` operands kept sparse (density below the threshold).
+    pub sparse_kernels: u64,
+    /// `MatMul` operands densified (density at or above the threshold).
+    pub sparse_densified: u64,
 }
 
 /// Rewrite the DAG rooted at `root`, returning the new root.
@@ -92,9 +102,37 @@ fn rw(
         // Leaves rewrite to themselves.
         Node::VecSource { .. }
         | Node::MatSource { .. }
+        | Node::SpMatSource { .. }
         | Node::Literal(_)
         | Node::Scalar(_)
         | Node::Range { .. } => id,
+
+        Node::Densify { input } => {
+            let input = rw(g, input, cfg, stats, memo);
+            // as.dense(as.sparse(x)) is x: the input of a Sparsify is
+            // dense-valued by construction.
+            if cfg.fold {
+                if let Node::Sparsify { input: inner } = *g.node(input) {
+                    stats.folds += 1;
+                    memo.insert(id, inner);
+                    return inner;
+                }
+            }
+            g.densify(input).expect("shapes preserved")
+        }
+        Node::Sparsify { input } => {
+            let input = rw(g, input, cfg, stats, memo);
+            // as.sparse(as.dense(x)) is x: the input of a Densify is
+            // sparse-valued by construction.
+            if cfg.fold {
+                if let Node::Densify { input: inner } = *g.node(input) {
+                    stats.folds += 1;
+                    memo.insert(id, inner);
+                    return inner;
+                }
+            }
+            g.sparsify(input).expect("shapes preserved")
+        }
 
         Node::Map { op, input } => {
             let input = rw(g, input, cfg, stats, memo);
@@ -139,6 +177,11 @@ fn rw(
         Node::MatMul { lhs, rhs } => {
             let lhs = rw(g, lhs, cfg, stats, memo);
             let rhs = rw(g, rhs, cfg, stats, memo);
+            // Physical-plan choice for sparse operands: keep the sparse
+            // kernel only below the density threshold, estimated from the
+            // nnz statistic the catalog carries in the source node.
+            let lhs = choose_repr(g, lhs, cfg, stats);
+            let rhs = choose_repr(g, rhs, cfg, stats);
             g.matmul(lhs, rhs).expect("shapes preserved")
         }
         Node::Transpose { input } => {
@@ -159,6 +202,26 @@ fn rw(
     };
     memo.insert(id, out);
     out
+}
+
+/// Decide a `MatMul` operand's physical representation: a sparse source
+/// whose density meets `cfg.sparse_threshold` is densified (the dense
+/// kernels' sequential scans win once page occupancy saturates); below the
+/// threshold it stays sparse and the executor dispatches the sparse
+/// kernels.
+fn choose_repr(g: &mut ExprGraph, id: NodeId, cfg: &OptConfig, stats: &mut RewriteStats) -> NodeId {
+    if let Node::SpMatSource {
+        rows, cols, nnz, ..
+    } = *g.node(id)
+    {
+        let density = nnz as f64 / (rows * cols) as f64;
+        if density >= cfg.sparse_threshold {
+            stats.sparse_densified += 1;
+            return g.densify(id).expect("sparse sources are matrices");
+        }
+        stats.sparse_kernels += 1;
+    }
+    id
 }
 
 /// Build `Map(op, input)` applying local simplifications.

@@ -21,14 +21,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use riot_array::{DenseMatrix, DenseVector, MatrixLayout, StorageCtx, TileOrder, VectorWriter};
+use riot_sparse::SparseMatrix;
 use riot_storage::{DiskModel, IoSnapshot, ReplacerKind};
 use riot_vm::{PagedHeap, VmConfig, VmId};
 
 use crate::exec::pipeline::{
-    drain_agg, drain_to_vec, materialize, ConstScan, CycleScan, GatherPipe, IfElsePipe,
-    LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan, ZipPipe,
+    drain_agg, drain_partitioned, drain_to_vec, materialize, ConstScan, CycleScan, GatherPipe,
+    IfElsePipe, LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan, ZipPipe,
 };
-use crate::exec::{matmul, ExecError, ExecResult, MatMulKernel};
+use crate::exec::{matmul, sparse as spkernel, ExecError, ExecResult, MatMulKernel};
 use crate::expr::{AggOp, BinOp, Node, NodeId, SourceRef, UnOp};
 use crate::graph::ExprGraph;
 use crate::opt::{optimize, OptConfig, RewriteStats};
@@ -86,6 +87,12 @@ pub struct EngineConfig {
     pub opt: OptConfig,
     /// Kernel for deferred matrix multiplication.
     pub matmul_kernel: MatMulKernel,
+    /// Worker threads for the elementwise pipeline at forcing points.
+    /// `1` (the default) runs the classic sequential executor, whose I/O
+    /// order the cost-model validation pins down bit-for-bit; higher
+    /// values drain restricted pipeline partitions on a scoped worker
+    /// pool with identical elementwise results.
+    pub threads: usize,
     /// RNG seed for `sample()`.
     pub seed: u64,
 }
@@ -102,6 +109,7 @@ impl EngineConfig {
             replacer: ReplacerKind::Lru,
             opt: OptConfig::default(),
             matmul_kernel: MatMulKernel::SquareTiled,
+            threads: 1,
             seed: R_SEED,
         }
     }
@@ -136,6 +144,17 @@ pub(crate) enum MatRepr {
     },
     /// Strawman: a stored matrix.
     Stored(Rc<StrawMat>),
+}
+
+/// A fully materialized matrix in either physical representation. The
+/// executor's matrix forcing returns this so sparse results can stay
+/// sparse through a chain of multiplications.
+#[derive(Clone)]
+pub(crate) enum MatValue {
+    /// Dense, tiled storage.
+    Dense(DenseMatrix),
+    /// Block-compressed sparse storage.
+    Sparse(SparseMatrix),
 }
 
 /// RAII wrapper freeing a strawman table when the last reference dies —
@@ -173,11 +192,13 @@ pub struct Runtime {
     pub(crate) heap: PagedHeap,
     pub(crate) vec_sources: HashMap<u32, DenseVector>,
     pub(crate) mat_sources: HashMap<u32, DenseMatrix>,
+    pub(crate) sparse_sources: HashMap<u32, SparseMatrix>,
     next_source: u32,
     /// Materialized vector results, keyed by DAG node (MatNamed's named
     /// objects; Riot's spills and shared-subexpression caches).
     pub(crate) materialized: HashMap<NodeId, DenseVector>,
     pub(crate) mat_materialized: HashMap<NodeId, DenseMatrix>,
+    pub(crate) sparse_materialized: HashMap<NodeId, SparseMatrix>,
     pub(crate) cpu_ops: Arc<AtomicU64>,
     pub(crate) last_opt_stats: RewriteStats,
     rng: StdRng,
@@ -198,9 +219,11 @@ impl Runtime {
             heap,
             vec_sources: HashMap::new(),
             mat_sources: HashMap::new(),
+            sparse_sources: HashMap::new(),
             next_source: 0,
             materialized: HashMap::new(),
             mat_materialized: HashMap::new(),
+            sparse_materialized: HashMap::new(),
             cpu_ops: Arc::new(AtomicU64::new(0)),
             last_opt_stats: RewriteStats::default(),
             rng: StdRng::seed_from_u64(cfg.seed),
@@ -371,6 +394,73 @@ impl Runtime {
                 self.mat_sources.insert(src.0, mat);
                 let node = self.graph.mat_source(src, rows, cols);
                 Ok(MatRepr::Node(node))
+            }
+        }
+    }
+
+    /// Load a sparse matrix from COO triplets `(row, col, value)`
+    /// (0-based; duplicates sum, zeros drop).
+    ///
+    /// Deferred engines store the block-compressed format and record the
+    /// nnz statistic in the source node for the optimizer's density
+    /// estimate. The eager engines have no sparse backend — exactly like
+    /// base R, where sparsity is a library concept — so they densify at
+    /// load and the same program still runs.
+    pub(crate) fn load_sparse(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> ExecResult<MatRepr> {
+        match self.cfg.kind {
+            EngineKind::PlainR => {
+                let id = self.heap.alloc(rows * cols);
+                let chunk = self.chunk();
+                let zeros = vec![0.0; chunk];
+                let mut at = 0;
+                while at < rows * cols {
+                    let take = chunk.min(rows * cols - at);
+                    self.heap.write_chunk(id, at, &zeros[..take]);
+                    at += take;
+                }
+                for &(r, c, v) in triplets {
+                    let idx = r * cols + c;
+                    let cur = self.heap.get(id, idx);
+                    self.heap.set(id, idx, cur + v);
+                }
+                Ok(MatRepr::Vm { id, rows, cols })
+            }
+            EngineKind::Strawman => {
+                let mut cells: HashMap<(usize, usize), f64> = HashMap::new();
+                for &(r, c, v) in triplets {
+                    *cells.entry((r, c)).or_insert(0.0) += v;
+                }
+                let mat = DenseMatrix::from_fn(
+                    &self.ctx,
+                    rows,
+                    cols,
+                    MatrixLayout::ColMajor,
+                    TileOrder::ColMajor,
+                    None,
+                    |i, j| cells.get(&(i, j)).copied().unwrap_or(0.0),
+                )?;
+                Ok(MatRepr::Stored(Rc::new(StrawMat { mat })))
+            }
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let src = self.fresh_source();
+                let sp = SparseMatrix::from_triplets(
+                    &self.ctx,
+                    rows,
+                    cols,
+                    MatrixLayout::Square,
+                    triplets,
+                    None,
+                )?;
+                let nnz = sp.nnz();
+                self.sparse_sources.insert(src.0, sp);
+                Ok(MatRepr::Node(
+                    self.graph.sp_mat_source(src, rows, cols, nnz),
+                ))
             }
         }
     }
@@ -1032,8 +1122,11 @@ impl Runtime {
                     return Ok(vec.to_vec()?);
                 }
                 let len = self.graph.shape(id).len();
-                let pipe = self.compile(id, len)?;
                 self.count_ops(len);
+                if let Some(out) = self.try_parallel_collect(id, len)? {
+                    return Ok(out);
+                }
+                let pipe = self.compile(id, len)?;
                 Ok(drain_to_vec(pipe)?)
             }
             (EngineKind::Riot, VecRepr::Node(id)) => {
@@ -1042,8 +1135,11 @@ impl Runtime {
                 self.last_opt_stats = stats;
                 self.spill_shared(root)?;
                 let len = self.graph.shape(root).len();
-                let pipe = self.compile(root, len)?;
                 self.count_ops(len);
+                if let Some(out) = self.try_parallel_collect(root, len)? {
+                    return Ok(out);
+                }
+                let pipe = self.compile(root, len)?;
                 Ok(drain_to_vec(pipe)?)
             }
             _ => unreachable!("representation matches engine"),
@@ -1073,6 +1169,102 @@ impl Runtime {
             }
         }
         Ok(())
+    }
+
+    // ================= parallel pipeline =================
+
+    /// True when `id` can be compiled into independently restrictable
+    /// partitions whose combined execution is observably identical to the
+    /// sequential drain (same elements, same counted I/O, same op count).
+    ///
+    /// Conservative by design: anything that would run side effects once
+    /// per partition-compile (aggregates, scalar folding of non-literal
+    /// scalars, recycled operands that drain their short side) falls back
+    /// to the sequential path, and so do gathers — their probes touch
+    /// blocks shared across partitions, so under out-of-core pressure the
+    /// interleaved miss/eviction sequence would diverge from the
+    /// sequential one. `SubAssign` is safe because its forced
+    /// materialization is memoized (the first compile does the work,
+    /// identical to sequential) and then scans like a stored vector.
+    fn parallel_safe(&self, id: NodeId, out_len: usize) -> bool {
+        match self.graph.shape(id) {
+            Shape::Scalar => return matches!(self.graph.node(id), Node::Scalar(_)),
+            Shape::Vector(l) if l == out_len => {}
+            _ => return false, // recycled operand or matrix value
+        }
+        if self.materialized.contains_key(&id) {
+            return true; // compiles to a restrictable VecScan
+        }
+        match self.graph.node(id) {
+            Node::VecSource { .. } | Node::Literal(_) | Node::Range { .. } => true,
+            Node::Map { input, .. } => self.parallel_safe(*input, out_len),
+            Node::Zip { lhs, rhs, .. } => {
+                self.parallel_safe(*lhs, out_len) && self.parallel_safe(*rhs, out_len)
+            }
+            Node::IfElse { cond, yes, no } => {
+                self.parallel_safe(*cond, out_len)
+                    && self.parallel_safe(*yes, out_len)
+                    && self.parallel_safe(*no, out_len)
+            }
+            Node::MaskAssign { data, mask, value } => {
+                self.parallel_safe(*data, out_len)
+                    && self.parallel_safe(*mask, out_len)
+                    && self.parallel_safe(*value, out_len)
+            }
+            Node::SubAssign { .. } => true, // forced once, then a VecScan
+            _ => false,
+        }
+    }
+
+    /// Attempt a partitioned parallel drain of node `id` (`len` elements):
+    /// compile one pipe per chunk-aligned span, restrict each to its span,
+    /// and drain them on `cfg.threads` scoped workers into one output
+    /// buffer. Returns `None` (and performs no partial work the sequential
+    /// path would not) when the plan is not parallel-safe.
+    fn try_parallel_collect(&mut self, id: NodeId, len: usize) -> ExecResult<Option<Vec<f64>>> {
+        let threads = self.cfg.threads;
+        // Partition boundaries must be **block-aligned** (in elements):
+        // two partitions sharing a boundary block would each pin it, and
+        // under eviction pressure the shared block could be device-read
+        // twice, breaking I/O parity with the sequential drain. Chunk
+        // alignment additionally keeps per-partition streams starting on
+        // chunk boundaries when the chunk is block-sized or larger.
+        let epb = self.ctx.elems_per_block();
+        let align = self.chunk().max(epb).div_ceil(epb) * epb;
+        if threads <= 1 || len < 2 * align || !self.parallel_safe(id, len) {
+            return Ok(None);
+        }
+        let per = len.div_ceil(threads).div_ceil(align) * align;
+        let mut spans = Vec::new();
+        let mut start = 0;
+        while start < len {
+            let take = per.min(len - start);
+            spans.push((start, take));
+            start += take;
+        }
+        if spans.len() <= 1 {
+            return Ok(None);
+        }
+        let mut out = vec![0.0; len];
+        {
+            let mut slices: Vec<&mut [f64]> = Vec::new();
+            let mut rest: &mut [f64] = &mut out;
+            for &(_, take) in &spans {
+                let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+                slices.push(head);
+                rest = tail;
+            }
+            let mut parts: Vec<(Box<dyn Pipe>, &mut [f64])> = Vec::with_capacity(spans.len());
+            for (&(s, take), slice) in spans.iter().zip(slices) {
+                let mut pipe = self.compile(id, len)?;
+                if !pipe.restrict(s, take) {
+                    return Ok(None);
+                }
+                parts.push((pipe, slice));
+            }
+            drain_partitioned(parts, threads)?;
+        }
+        Ok(Some(out))
     }
 
     // ================= pipeline compilation =================
@@ -1138,7 +1330,12 @@ impl Runtime {
                 let no = self.compile(data, out_len)?;
                 Box::new(IfElsePipe::new(cond, yes, no, Arc::clone(&self.cpu_ops)))
             }
-            Node::MatMul { .. } | Node::Transpose { .. } | Node::MatSource { .. } => {
+            Node::MatMul { .. }
+            | Node::Transpose { .. }
+            | Node::MatSource { .. }
+            | Node::SpMatSource { .. }
+            | Node::Densify { .. }
+            | Node::Sparsify { .. } => {
                 return Err(ExecError::Unsupported(
                     "matrix values cannot stream through vector pipelines; use collect_matrix"
                         .to_string(),
@@ -1388,33 +1585,60 @@ impl Runtime {
                     self.last_opt_stats = stats;
                     root = r;
                 }
-                let mat = self.force_matrix(root)?;
-                let (r, c) = mat.shape();
-                Ok((r, c, mat.to_rows()?))
+                match self.force_matrix_value(root)? {
+                    MatValue::Dense(mat) => {
+                        let (r, c) = mat.shape();
+                        Ok((r, c, mat.to_rows()?))
+                    }
+                    MatValue::Sparse(sp) => {
+                        let (r, c) = sp.shape();
+                        Ok((r, c, sp.to_rows()?))
+                    }
+                }
             }
             _ => unreachable!("representation matches engine"),
         }
     }
 
-    /// Materialize a matrix node (recursively executing `MatMul` with the
-    /// configured kernel).
-    pub(crate) fn force_matrix(&mut self, id: NodeId) -> ExecResult<DenseMatrix> {
+    /// Materialize a matrix node in whichever physical representation the
+    /// plan produces, dispatching `MatMul` to the sparse kernels when an
+    /// operand is sparse (the optimizer already densified operands above
+    /// the density threshold):
+    ///
+    /// * sparse x sparse (aligned tiles) -> [`spkernel::spmm`], sparse
+    /// * sparse x dense -> [`spkernel::spmdm`], dense accumulator tiles
+    /// * dense x sparse -> the sparse side densifies, dense kernel
+    /// * dense x dense -> the configured [`MatMulKernel`]
+    pub(crate) fn force_matrix_value(&mut self, id: NodeId) -> ExecResult<MatValue> {
         if let Some(m) = self.mat_materialized.get(&id) {
-            return Ok(m.clone());
+            return Ok(MatValue::Dense(m.clone()));
+        }
+        if let Some(s) = self.sparse_materialized.get(&id) {
+            return Ok(MatValue::Sparse(s.clone()));
         }
         let out = match self.graph.node(id).clone() {
-            Node::MatSource { source, .. } => self.mat_sources[&source.0].clone(),
+            Node::MatSource { source, .. } => MatValue::Dense(self.mat_sources[&source.0].clone()),
+            Node::SpMatSource { source, .. } => {
+                MatValue::Sparse(self.sparse_sources[&source.0].clone())
+            }
+            Node::Densify { input } => match self.force_matrix_value(input)? {
+                MatValue::Sparse(s) => MatValue::Dense(s.to_dense(TileOrder::RowMajor, None)?),
+                dense => dense,
+            },
+            Node::Sparsify { input } => match self.force_matrix_value(input)? {
+                MatValue::Dense(d) => MatValue::Sparse(SparseMatrix::from_dense(&d, None)?),
+                sparse => sparse,
+            },
             Node::MatMul { lhs, rhs } => {
-                let a = self.force_matrix(lhs)?;
-                let b = self.force_matrix(rhs)?;
-                let (t, flops) =
-                    matmul::multiply(self.cfg.matmul_kernel, &a, &b, self.mem_elems(), None)?;
-                self.count_ops(flops as usize);
-                t
+                let a = self.force_matrix_value(lhs)?;
+                let b = self.force_matrix_value(rhs)?;
+                self.multiply_values(a, b)?
             }
             Node::Transpose { input } => {
+                // Sparse transpose densifies first; a native sparse
+                // transpose is future work.
                 let a = self.force_matrix(input)?;
-                a.transpose(MatrixLayout::Square, TileOrder::RowMajor, None)?
+                MatValue::Dense(a.transpose(MatrixLayout::Square, TileOrder::RowMajor, None)?)
             }
             other => {
                 return Err(ExecError::Unsupported(format!(
@@ -1422,8 +1646,142 @@ impl Runtime {
                 )))
             }
         };
-        self.mat_materialized.insert(id, out.clone());
+        match &out {
+            MatValue::Dense(d) => {
+                self.mat_materialized.insert(id, d.clone());
+            }
+            MatValue::Sparse(s) => {
+                self.sparse_materialized.insert(id, s.clone());
+            }
+        }
         Ok(out)
+    }
+
+    /// One multiplication over materialized operands, choosing a kernel by
+    /// representation.
+    fn multiply_values(&mut self, a: MatValue, b: MatValue) -> ExecResult<MatValue> {
+        Ok(match (a, b) {
+            (MatValue::Sparse(a), MatValue::Sparse(b)) => {
+                let (atr, atc) = a.tile_dims();
+                if (atr, atc) == b.tile_dims() && atr == atc {
+                    let (t, flops) = spkernel::spmm(&a, &b, None)?;
+                    self.count_ops(flops as usize);
+                    MatValue::Sparse(t)
+                } else {
+                    // Mismatched tilings: fall back to the sparse x dense
+                    // kernel on a densified right side.
+                    let bd = b.to_dense(TileOrder::RowMajor, None)?;
+                    let (t, flops) = spkernel::spmdm(&a, &bd, None)?;
+                    self.count_ops(flops as usize);
+                    MatValue::Dense(t)
+                }
+            }
+            (MatValue::Sparse(a), MatValue::Dense(b)) => {
+                let (t, flops) = spkernel::spmdm(&a, &b, None)?;
+                self.count_ops(flops as usize);
+                MatValue::Dense(t)
+            }
+            (MatValue::Dense(a), MatValue::Sparse(b)) => {
+                // Only sparse-lhs kernels exist today; densify the rhs.
+                let bd = b.to_dense(TileOrder::RowMajor, None)?;
+                let (t, flops) =
+                    matmul::multiply(self.cfg.matmul_kernel, &a, &bd, self.mem_elems(), None)?;
+                self.count_ops(flops as usize);
+                MatValue::Dense(t)
+            }
+            (MatValue::Dense(a), MatValue::Dense(b)) => {
+                let (t, flops) =
+                    matmul::multiply(self.cfg.matmul_kernel, &a, &b, self.mem_elems(), None)?;
+                self.count_ops(flops as usize);
+                MatValue::Dense(t)
+            }
+        })
+    }
+
+    /// Materialize a matrix node densely (sparse values decompress).
+    pub(crate) fn force_matrix(&mut self, id: NodeId) -> ExecResult<DenseMatrix> {
+        match self.force_matrix_value(id)? {
+            MatValue::Dense(d) => Ok(d),
+            // The densified copy is NOT cached under `id`: the node's
+            // planned representation is sparse, and a later forcing point
+            // (e.g. a MatMul the optimizer kept on the sparse kernel)
+            // must still see MatValue::Sparse, or the executed plan and
+            // RewriteStats would disagree.
+            MatValue::Sparse(s) => Ok(s.to_dense(TileOrder::RowMajor, None)?),
+        }
+    }
+
+    /// Non-zero count of a matrix value. For a deferred sparse source this
+    /// is the catalog statistic (no I/O); anything else is forced and
+    /// counted by streaming its tiles.
+    pub(crate) fn mat_nnz(&mut self, m: &MatRepr) -> ExecResult<u64> {
+        match m {
+            MatRepr::Node(id) => {
+                if let Node::SpMatSource { nnz, .. } = self.graph.node(*id) {
+                    return Ok(*nnz);
+                }
+                // Forcing point: optimize first under Riot, exactly like
+                // collect_matrix, so nnz() executes the same physical
+                // plan (and records the same stats) as a collect would.
+                let mut root = *id;
+                if self.cfg.kind == EngineKind::Riot {
+                    let cfg = self.cfg.opt;
+                    let (r, stats) = optimize(&mut self.graph, root, &cfg);
+                    self.last_opt_stats = stats;
+                    root = r;
+                }
+                match self.force_matrix_value(root)? {
+                    MatValue::Sparse(s) => Ok(s.nnz()),
+                    MatValue::Dense(d) => {
+                        let n = count_dense_nnz(&d)?;
+                        self.count_ops(d.rows() * d.cols());
+                        Ok(n)
+                    }
+                }
+            }
+            MatRepr::Vm { id, rows, cols } => {
+                let n = rows * cols;
+                let mut count = 0u64;
+                for i in 0..n {
+                    if self.heap.get(*id, i) != 0.0 {
+                        count += 1;
+                    }
+                }
+                self.count_ops(n);
+                Ok(count)
+            }
+            MatRepr::Stored(sm) => {
+                let n = count_dense_nnz(&sm.mat)?;
+                self.count_ops(sm.mat.rows() * sm.mat.cols());
+                Ok(n)
+            }
+        }
+    }
+
+    /// Convert a matrix value to the sparse representation. Deferred
+    /// engines defer the conversion as a `Sparsify` node; eager engines
+    /// keep their dense representation (like base R, where sparsity lives
+    /// in a library the eager engines do not have).
+    pub(crate) fn mat_to_sparse(&mut self, m: &MatRepr) -> ExecResult<MatRepr> {
+        match m {
+            MatRepr::Node(id) => Ok(MatRepr::Node(self.graph.sparsify(*id)?)),
+            other => {
+                self.retain_mat(other);
+                Ok(other.clone())
+            }
+        }
+    }
+
+    /// Convert a matrix value to the dense representation (`Densify` node
+    /// under deferred engines; identity on the eager engines).
+    pub(crate) fn mat_to_dense(&mut self, m: &MatRepr) -> ExecResult<MatRepr> {
+        match m {
+            MatRepr::Node(id) => Ok(MatRepr::Node(self.graph.densify(*id)?)),
+            other => {
+                self.retain_mat(other);
+                Ok(other.clone())
+            }
+        }
     }
 
     // ================= reference counting (Plain R) =================
@@ -1455,4 +1813,16 @@ impl Runtime {
             self.heap.release(*id);
         }
     }
+}
+
+/// Count the non-zeros of a stored dense matrix by streaming its tiles
+/// (in-bounds cells only; boundary padding is ignored).
+fn count_dense_nnz(m: &DenseMatrix) -> ExecResult<u64> {
+    let mut count = 0u64;
+    m.for_each(|_, _, v| {
+        if v != 0.0 {
+            count += 1;
+        }
+    })?;
+    Ok(count)
 }

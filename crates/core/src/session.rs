@@ -78,6 +78,22 @@ impl Session {
         Ok(self.mat(repr))
     }
 
+    /// Create a sparse matrix from COO triplets `(row, col, value)`
+    /// (0-based; duplicates sum, explicit zeros drop) — the engine-side
+    /// counterpart of R's `Matrix::sparseMatrix`. Deferred engines store
+    /// the block-compressed format and let the optimizer pick sparse or
+    /// dense kernels from the density; eager engines densify at load, so
+    /// the same program runs everywhere.
+    pub fn sparse_matrix(
+        &self,
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> ExecResult<RMat> {
+        let repr = self.rt.borrow_mut().load_sparse(rows, cols, triplets)?;
+        Ok(self.mat(repr))
+    }
+
     /// R's `sample(n, k)`: k distinct indices in `1..=n`.
     pub fn sample(&self, n: usize, k: usize) -> ExecResult<RVec> {
         let repr = self.rt.borrow_mut().sample(n, k)?;
@@ -463,6 +479,28 @@ impl RMat {
             .matmul(&self.repr, &rhs.repr)
             .unwrap_or_else(|e| panic!("matrix multiplication failed: {e}"));
         self.sess.mat(repr)
+    }
+
+    /// Number of stored non-zeros — `nnz(m)`. For a deferred sparse
+    /// source this reads the catalog statistic without touching storage;
+    /// anything else is a forcing point that streams the value's tiles.
+    pub fn nnz(&self) -> ExecResult<u64> {
+        self.sess.rt.borrow_mut().mat_nnz(&self.repr)
+    }
+
+    /// Convert to the block-compressed sparse representation —
+    /// `as.sparse(m)`. Deferred under MatNamed/Riot; the eager engines
+    /// keep their dense storage (sparsity is a library concept there,
+    /// exactly as in base R).
+    pub fn to_sparse(&self) -> ExecResult<RMat> {
+        let repr = self.sess.rt.borrow_mut().mat_to_sparse(&self.repr)?;
+        Ok(self.sess.mat(repr))
+    }
+
+    /// Convert to the dense representation — `as.dense(m)`.
+    pub fn to_dense(&self) -> ExecResult<RMat> {
+        let repr = self.sess.rt.borrow_mut().mat_to_dense(&self.repr)?;
+        Ok(self.sess.mat(repr))
     }
 
     /// Force evaluation: `(rows, cols, row-major data)`.

@@ -79,6 +79,16 @@ fn select_with_bindings(
             // vector-oriented view API.
             format!("SELECT I, J, V FROM M{}", source.0)
         }
+        Node::SpMatSource { source, .. } => {
+            // Sparse matrices ARE the relational (I, J, V) encoding — the
+            // strawman stores only present cells; the native format keeps
+            // that sparsity without paying the per-cell index columns.
+            format!("SELECT I, J, V FROM S{}", source.0)
+        }
+        // Representation changes are invisible at the relational level.
+        Node::Densify { input } | Node::Sparsify { input } => {
+            select_with_bindings(g, *input, namer, bound)
+        }
         Node::Literal(values) => {
             let rows: Vec<String> = values
                 .iter()

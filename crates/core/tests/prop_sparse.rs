@@ -1,0 +1,119 @@
+//! Property tests for the sparse kernels and the optimizer's sparse
+//! rules: SpMV agrees with the dense reference kernel across random
+//! shapes/densities, and the density-threshold rewrite preserves
+//! semantics against the dense evaluation oracle.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use riot_array::{DenseVector, MatrixLayout, StorageCtx, TileOrder};
+use riot_core::exec::{dmv, spmdm, spmv};
+use riot_core::{evaluate, optimize, ExprGraph, MemSources, OptConfig, Value};
+use riot_sparse::SparseMatrix;
+
+fn ctx() -> Arc<StorageCtx> {
+    StorageCtx::new_mem(512, 256)
+}
+
+/// `(rows, cols, triplets)` with shapes in 1..48 and density up to ~0.4.
+fn sparse_case() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1usize..48, 1usize..48, 0usize..700, any::<u64>()).prop_map(|(rows, cols, raw, seed)| {
+        let target = raw.min(rows * cols * 2 / 5);
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let trips: Vec<(usize, usize, f64)> = (0..target)
+            .map(|_| {
+                let r = (next() % rows as u64) as usize;
+                let c = (next() % cols as u64) as usize;
+                let v = (next() % 900) as f64 / 100.0 - 4.5;
+                (r, c, v)
+            })
+            .collect();
+        (rows, cols, trips)
+    })
+}
+
+fn scatter(rows: usize, cols: usize, trips: &[(usize, usize, f64)]) -> Vec<f64> {
+    let mut out = vec![0.0; rows * cols];
+    for &(r, c, v) in trips {
+        out[r * cols + c] += v;
+    }
+    out
+}
+
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-9)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn spmv_agrees_with_dense_kernel(case in sparse_case()) {
+        let (rows, cols, trips) = case;
+        let c = ctx();
+        let sp = SparseMatrix::from_triplets(&c, rows, cols, MatrixLayout::Square, &trips, None)
+            .unwrap();
+        let dense = sp.to_dense(TileOrder::RowMajor, None).unwrap();
+        let xdata: Vec<f64> = (0..cols).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let x = DenseVector::from_slice(&c, &xdata, None).unwrap();
+        let (ys, sflops) = spmv(&sp, &x, None).unwrap();
+        let (yd, _) = dmv(&dense, &x, None).unwrap();
+        prop_assert!(close(&ys.to_vec().unwrap(), &yd.to_vec().unwrap()));
+        prop_assert_eq!(sflops, sp.nnz());
+    }
+
+    #[test]
+    fn spmdm_agrees_with_reference(case in sparse_case()) {
+        let (n1, n2, trips) = case;
+        let n3 = 5;
+        let c = ctx();
+        let sp = SparseMatrix::from_triplets(&c, n1, n2, MatrixLayout::Square, &trips, None)
+            .unwrap();
+        let bdata: Vec<f64> = (0..n2 * n3).map(|k| ((k * 3) % 7) as f64 - 3.0).collect();
+        let b = riot_array::DenseMatrix::from_rows(
+            &c, n2, n3, &bdata, MatrixLayout::Square, TileOrder::RowMajor, None,
+        ).unwrap();
+        let (t, _) = spmdm(&sp, &b, None).unwrap();
+        let ad = scatter(n1, n2, &trips);
+        let mut want = vec![0.0; n1 * n3];
+        for i in 0..n1 {
+            for k in 0..n2 {
+                for j in 0..n3 {
+                    want[i * n3 + j] += ad[i * n2 + k] * bdata[k * n3 + j];
+                }
+            }
+        }
+        prop_assert!(close(&t.to_rows().unwrap(), &want));
+    }
+
+    #[test]
+    fn sparse_rewrites_preserve_semantics(case in sparse_case(), threshold in 0.0f64..1.2) {
+        // Whatever kernel the density threshold picks, the optimized DAG
+        // must evaluate to the same value as the unoptimized one under
+        // the dense oracle.
+        let (rows, cols, trips) = case;
+        let mut g = ExprGraph::new();
+        let mut src = MemSources::new();
+        let (a_ref, nnz) = src.add_sparse(rows, cols, &trips);
+        let bdata: Vec<f64> = (0..cols * 3).map(|k| (k % 5) as f64 - 2.0).collect();
+        let b_ref = src.add_matrix(cols, 3, bdata);
+        let a = g.sp_mat_source(a_ref, rows, cols, nnz);
+        let b = g.mat_source(b_ref, cols, 3);
+        let prod = g.matmul(a, b).unwrap();
+        let want = evaluate(&g, prod, &src).unwrap();
+        let cfg = OptConfig { sparse_threshold: threshold, ..OptConfig::default() };
+        let (opt, stats) = optimize(&mut g, prod, &cfg);
+        let got = evaluate(&g, opt, &src).unwrap();
+        let (Value::Matrix { data: dg, .. }, Value::Matrix { data: dw, .. }) = (&got, &want)
+        else { panic!("matrix values expected") };
+        prop_assert!(close(dg, dw));
+        // Exactly one decision was made for the sparse operand.
+        prop_assert_eq!(stats.sparse_kernels + stats.sparse_densified, 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Acceptance tests for the `riot-sparse` subsystem: counted I/O of the
+//! out-of-core sparse kernels, the optimizer's density-threshold kernel
+//! selection, and engine transparency for sparse programs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use riot_array::{DenseVector, MatrixLayout, StorageCtx, TileOrder};
+use riot_core::exec::{dmv, spmv};
+use riot_core::{EngineConfig, EngineKind, OptConfig, Session};
+use riot_sparse::SparseMatrix;
+
+/// Random triplets at roughly `density`, deterministic per seed.
+fn random_triplets(rows: usize, cols: usize, density: f64, seed: u64) -> Vec<(usize, usize, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target = ((rows * cols) as f64 * density).round() as usize;
+    let mut out = Vec::with_capacity(target);
+    for _ in 0..target {
+        let r = rng.gen_range(0..rows);
+        let c = rng.gen_range(0..cols);
+        out.push((r, c, rng.gen_range(-4.0..4.0)));
+    }
+    out
+}
+
+/// The acceptance criterion: out-of-core SpMV on a 0.01-density matrix
+/// reads only the occupied sparse pages (plus the streamed vector), which
+/// is strictly fewer block reads than the dense equivalent of the same
+/// matrix, measured through the same `IoStats`.
+#[test]
+fn spmv_io_proportional_to_occupied_pages() {
+    // 512-byte blocks: 8x8 tiles; 128x128 = 16x16 tile grid = 256 pages
+    // dense. At density 0.01 roughly half the tiles are occupied.
+    let ctx = StorageCtx::new_mem(512, 512);
+    let (rows, cols) = (128, 128);
+    let trips = random_triplets(rows, cols, 0.01, 42);
+    let a =
+        SparseMatrix::from_triplets(&ctx, rows, cols, MatrixLayout::Square, &trips, None).unwrap();
+    assert!(a.occupied_pages() > 0);
+    assert!(
+        a.occupied_pages() < a.dense_blocks(),
+        "test needs genuinely sparse occupancy"
+    );
+    let dense = a.to_dense(TileOrder::RowMajor, None).unwrap();
+    let xdata: Vec<f64> = (0..cols).map(|i| (i as f64 * 0.11).cos()).collect();
+    let x = DenseVector::from_slice(&ctx, &xdata, None).unwrap();
+
+    // Sparse pass, cold cache.
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    let (ys, _) = spmv(&a, &x, None).unwrap();
+    let sparse_reads = (ctx.io_snapshot() - before).reads;
+
+    // Dense pass, cold cache.
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    let (yd, _) = dmv(&dense, &x, None).unwrap();
+    let dense_reads = (ctx.io_snapshot() - before).reads;
+
+    // Same answer (up to summation-order rounding)...
+    assert_close(&ys.to_vec().unwrap(), &yd.to_vec().unwrap());
+    // ...but the sparse kernel read only occupied pages + the x blocks,
+    // while the dense kernel had to read every tile.
+    assert_eq!(sparse_reads, a.occupied_pages() + x.blocks());
+    assert_eq!(dense_reads, a.dense_blocks() + x.blocks());
+    assert!(
+        sparse_reads < dense_reads,
+        "sparse {sparse_reads} must beat dense {dense_reads}"
+    );
+
+    // The analytic cost model predicts the measured reads within 2x (the
+    // same validation discipline the dense matmul cost model gets).
+    let p = riot_core::CostParams {
+        mem_elems: 512.0 * 64.0,
+        block_elems: 64.0,
+    };
+    let predicted = riot_core::cost::spmv_io(rows as f64, cols as f64, 0.01, p);
+    let measured = sparse_reads as f64;
+    assert!(
+        measured <= 2.0 * predicted && measured >= predicted / 2.0,
+        "measured {measured} vs predicted {predicted:.1}"
+    );
+}
+
+/// At density 0.001 the saving is close to the full dense footprint.
+#[test]
+fn spmv_io_scales_down_with_density() {
+    let ctx = StorageCtx::new_mem(512, 512);
+    let (rows, cols) = (128, 128);
+    let trips = random_triplets(rows, cols, 0.001, 7);
+    let a =
+        SparseMatrix::from_triplets(&ctx, rows, cols, MatrixLayout::Square, &trips, None).unwrap();
+    let x = DenseVector::from_slice(&ctx, &vec![1.0; cols], None).unwrap();
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    spmv(&a, &x, None).unwrap();
+    let reads = (ctx.io_snapshot() - before).reads;
+    assert!(
+        reads * 4 < a.dense_blocks(),
+        "0.001 density should read under a quarter of the dense blocks \
+         ({reads} vs {})",
+        a.dense_blocks()
+    );
+}
+
+fn dense_reference(rows: usize, cols: usize, trips: &[(usize, usize, f64)]) -> Vec<f64> {
+    let mut out = vec![0.0; rows * cols];
+    for &(r, c, v) in trips {
+        out[r * cols + c] += v;
+    }
+    out
+}
+
+fn matmul_reference(a: &[f64], b: &[f64], n1: usize, n2: usize, n3: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n1 * n3];
+    for i in 0..n1 {
+        for k in 0..n2 {
+            for j in 0..n3 {
+                out[i * n3 + j] += a[i * n2 + k] * b[k * n3 + j];
+            }
+        }
+    }
+    out
+}
+
+fn assert_close(got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(want) {
+        assert!((g - w).abs() < 1e-9, "got {g}, want {w}");
+    }
+}
+
+/// The optimizer's physical-plan choice: below the density threshold the
+/// sparse kernel is kept; above it the operand is densified and the dense
+/// kernel runs. Both plans produce the reference result.
+#[test]
+fn optimizer_selects_kernel_by_density() {
+    let n = 32;
+    let run = |density: f64| {
+        let s = Session::with_engine(EngineKind::Riot);
+        let trips = random_triplets(n, n, density, 99);
+        let a = s.sparse_matrix(n, n, &trips).unwrap();
+        let b = s
+            .matrix_from_fn(n, n, MatrixLayout::Square, |i, j| {
+                ((i * 5 + j) % 7) as f64 - 3.0
+            })
+            .unwrap();
+        let prod = a.matmul(&b);
+        let (r, c, got) = prod.collect().unwrap();
+        assert_eq!((r, c), (n, n));
+        let ad = dense_reference(n, n, &trips);
+        let bd: Vec<f64> = (0..n * n)
+            .map(|k| (((k / n) * 5 + k % n) % 7) as f64 - 3.0)
+            .collect();
+        assert_close(&got, &matmul_reference(&ad, &bd, n, n, n));
+        s.last_opt_stats()
+    };
+
+    // 1% density: far below the default threshold -> sparse kernel.
+    let stats = run(0.01);
+    assert!(stats.sparse_kernels >= 1, "sparse kernel chosen: {stats:?}");
+    assert_eq!(stats.sparse_densified, 0, "{stats:?}");
+
+    // ~60% density: above the threshold -> densified, dense kernel.
+    let stats = run(0.6);
+    assert!(stats.sparse_densified >= 1, "densified: {stats:?}");
+    assert_eq!(stats.sparse_kernels, 0, "{stats:?}");
+}
+
+/// The threshold is configurable; an always-sparse setting keeps even a
+/// dense-ish operand on the sparse kernels, and the result is unchanged.
+#[test]
+fn sparse_threshold_is_tunable() {
+    let n = 24;
+    let mut cfg = EngineConfig::new(EngineKind::Riot);
+    cfg.opt = OptConfig {
+        sparse_threshold: 2.0, // never densify
+        ..OptConfig::default()
+    };
+    let s = Session::new(cfg);
+    let trips = random_triplets(n, n, 0.5, 3);
+    let a = s.sparse_matrix(n, n, &trips).unwrap();
+    let b = s
+        .matrix_from_fn(n, n, MatrixLayout::Square, |i, j| (i + 2 * j) as f64)
+        .unwrap();
+    let (_, _, got) = a.matmul(&b).collect().unwrap();
+    let ad = dense_reference(n, n, &trips);
+    let bd: Vec<f64> = (0..n * n).map(|k| (k / n + 2 * (k % n)) as f64).collect();
+    assert_close(&got, &matmul_reference(&ad, &bd, n, n, n));
+    let stats = s.last_opt_stats();
+    assert!(stats.sparse_kernels >= 1);
+    assert_eq!(stats.sparse_densified, 0);
+}
+
+/// Transparency: the same sparse program produces identical results under
+/// all four engines (eager engines densify at load, like base R without a
+/// sparse package).
+#[test]
+fn sparse_programs_are_engine_transparent() {
+    let n = 20;
+    let trips = random_triplets(n, n, 0.05, 11);
+    let mut outputs = Vec::new();
+    for kind in EngineKind::all() {
+        let s = Session::with_engine(kind);
+        let a = s.sparse_matrix(n, n, &trips).unwrap();
+        let b = s
+            .matrix_from_fn(
+                n,
+                n,
+                MatrixLayout::Square,
+                |i, j| {
+                    if i == j {
+                        2.0
+                    } else {
+                        0.0
+                    }
+                },
+            )
+            .unwrap();
+        let (r, c, data) = a.matmul(&b).collect().unwrap();
+        assert_eq!((r, c), (n, n));
+        assert_eq!(a.nnz().unwrap(), {
+            let d = dense_reference(n, n, &trips);
+            d.iter().filter(|v| **v != 0.0).count() as u64
+        });
+        outputs.push(data);
+    }
+    for w in outputs.windows(2) {
+        assert_close(&w[0], &w[1]);
+    }
+}
+
+/// Sparse x sparse stays sparse end to end: the product of two
+/// low-density operands is collected from a sparse result whose footprint
+/// is below the dense one, and conversions round-trip through the
+/// deferred Sparsify/Densify operators.
+#[test]
+fn sparse_chain_and_conversions() {
+    let n = 48;
+    let s = Session::with_engine(EngineKind::Riot);
+    let ta = random_triplets(n, n, 0.01, 21);
+    let tb = random_triplets(n, n, 0.01, 22);
+    let a = s.sparse_matrix(n, n, &ta).unwrap();
+    let b = s.sparse_matrix(n, n, &tb).unwrap();
+    let prod = a.matmul(&b);
+    let (_, _, got) = prod.collect().unwrap();
+    let want = matmul_reference(
+        &dense_reference(n, n, &ta),
+        &dense_reference(n, n, &tb),
+        n,
+        n,
+        n,
+    );
+    assert_close(&got, &want);
+
+    // Round-trip conversions preserve contents.
+    let back = a.to_dense().unwrap().to_sparse().unwrap();
+    let (_, _, a1) = back.collect().unwrap();
+    assert_close(&a1, &dense_reference(n, n, &ta));
+    // nnz of the deferred conversion matches the source statistic.
+    assert_eq!(back.nnz().unwrap(), a.nnz().unwrap());
+}

@@ -550,6 +550,69 @@ impl Interpreter {
                 )?;
                 Ok(RValue::Matrix(m))
             }
+            "sparse" => {
+                // sparse(i, j, v, nrow, ncol): COO construction with
+                // 1-based indices, mirroring Matrix::sparseMatrix.
+                if positional.len() < 3 {
+                    return Err(RError::Runtime(
+                        "sparse(i, j, v, nrow, ncol) needs i, j and v".to_string(),
+                    ));
+                }
+                let iv = self.to_vector(positional[0].clone())?.collect()?;
+                let jv = self.to_vector(positional[1].clone())?.collect()?;
+                let vv = self.to_vector(positional[2].clone())?.collect()?;
+                if iv.len() != jv.len() || iv.len() != vv.len() {
+                    return Err(RError::Runtime(
+                        "sparse(): i, j and v must have equal lengths".to_string(),
+                    ));
+                }
+                let dim = |key: &str, pos: usize, fallback: f64| -> RResult<usize> {
+                    let v = named(key).or_else(|| positional.get(pos).copied());
+                    Ok(v.map(|v| self.as_scalar(v))
+                        .transpose()?
+                        .unwrap_or(fallback) as usize)
+                };
+                let max_i = iv.iter().cloned().fold(0.0f64, f64::max);
+                let max_j = jv.iter().cloned().fold(0.0f64, f64::max);
+                let nrow = dim("nrow", 3, max_i)?;
+                let ncol = dim("ncol", 4, max_j)?;
+                if nrow == 0 || ncol == 0 {
+                    return Err(RError::Runtime(
+                        "sparse(): matrix dimensions must be positive (give nrow/ncol \
+                         when i, j, v are empty)"
+                            .to_string(),
+                    ));
+                }
+                let mut trips = Vec::with_capacity(iv.len());
+                for k in 0..iv.len() {
+                    let (r, c) = (iv[k] as i64, jv[k] as i64);
+                    if r < 1 || r as usize > nrow || c < 1 || c as usize > ncol {
+                        return Err(RError::Runtime(format!(
+                            "sparse(): subscript ({r}, {c}) out of bounds for {nrow}x{ncol}"
+                        )));
+                    }
+                    trips.push((r as usize - 1, c as usize - 1, vv[k]));
+                }
+                let m = self.session.sparse_matrix(nrow, ncol, &trips)?;
+                Ok(RValue::Matrix(m))
+            }
+            "nnz" => match self.arg1(&positional, name)? {
+                RValue::Matrix(m) => Ok(RValue::Scalar(m.nnz()? as f64)),
+                RValue::Vector { v, .. } => {
+                    let n = v.collect()?.iter().filter(|x| **x != 0.0).count();
+                    Ok(RValue::Scalar(n as f64))
+                }
+                RValue::Scalar(x) => Ok(RValue::Scalar(if *x != 0.0 { 1.0 } else { 0.0 })),
+                _ => Err(RError::Runtime("nnz() of non-numeric".to_string())),
+            },
+            "as.sparse" => match self.arg1(&positional, name)? {
+                RValue::Matrix(m) => Ok(RValue::Matrix(m.to_sparse()?)),
+                _ => Err(RError::Runtime("as.sparse() needs a matrix".to_string())),
+            },
+            "as.dense" => match self.arg1(&positional, name)? {
+                RValue::Matrix(m) => Ok(RValue::Matrix(m.to_dense()?)),
+                _ => Err(RError::Runtime("as.dense() needs a matrix".to_string())),
+            },
             "t" => match self.arg1(&positional, name)? {
                 RValue::Matrix(m) => Ok(RValue::Matrix(m.t())),
                 _ => Err(RError::Runtime("t() needs a matrix".to_string())),
@@ -821,6 +884,62 @@ print(ncol(t(m)))");
             run("print(ifelse(c(1,0,1), c(10,20,30), c(-1,-2,-3)))").trim(),
             "[1] 10 -2 30"
         );
+    }
+
+    #[test]
+    fn sparse_builtins() {
+        // sparse(i, j, v, nrow, ncol): a 3-nnz 6x6 matrix times identity.
+        let src = "\
+a <- sparse(c(1, 3, 6), c(2, 3, 1), c(10, 20, 30), 6, 6)
+print(nnz(a))
+print(nrow(a))
+d <- as.dense(a)
+print(nnz(d))
+s2 <- as.sparse(d)
+print(nnz(s2))";
+        for kind in EngineKind::all() {
+            let out = run_with(kind, src);
+            assert_eq!(out.trim(), "[1] 3\n[1] 6\n[1] 3\n[1] 3", "{kind:?}: {out}");
+        }
+    }
+
+    #[test]
+    fn sparse_matmul_through_script() {
+        let src = "\
+a <- sparse(c(1, 2), c(1, 2), c(2, 3), 2, 2)
+b <- matrix(c(1, 0, 0, 1), nrow = 2, ncol = 2)
+print(a %*% b)";
+        let out = run(src);
+        assert!(out.contains('2'), "{out}");
+        assert!(out.contains('3'), "{out}");
+    }
+
+    #[test]
+    fn sparse_named_dims_and_bounds() {
+        assert_eq!(
+            run("print(nnz(sparse(c(2), c(2), c(5), nrow = 4, ncol = 3)))").trim(),
+            "[1] 1"
+        );
+        let mut i = Interpreter::new(EngineConfig::new(EngineKind::Riot));
+        assert!(matches!(
+            i.run("sparse(c(9), c(1), c(1), 2, 2)"),
+            Err(RError::Runtime(m)) if m.contains("out of bounds")
+        ));
+        // Empty triplets with no dimensions: an error, not a panic; with
+        // explicit dimensions: a legal all-zero matrix.
+        assert!(matches!(
+            i.run("sparse(c(), c(), c())"),
+            Err(RError::Runtime(m)) if m.contains("dimensions must be positive")
+        ));
+        assert_eq!(
+            run("print(nnz(sparse(c(), c(), c(), nrow = 3, ncol = 3)))").trim(),
+            "[1] 0"
+        );
+    }
+
+    #[test]
+    fn nnz_of_vector_counts_nonzeros() {
+        assert_eq!(run("print(nnz(c(0, 1, 0, 2, 0)))").trim(), "[1] 2");
     }
 
     #[test]

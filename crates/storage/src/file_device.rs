@@ -7,13 +7,59 @@
 //! through the same code paths.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{ErrorKind, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use crate::device::{BlockDevice, BlockId};
 use crate::error::{Result, StorageError};
 use crate::stats::IoStats;
+
+/// Read exactly `buf.len()` bytes from `src`, looping on short reads.
+///
+/// POSIX `read` may legally transfer fewer bytes than requested (signal
+/// interruption, pipe buffering, network filesystems); assuming full
+/// transfers silently corrupts pages. `Interrupted` errors are retried; a
+/// premature end of stream is reported as `UnexpectedEof`. Semantically
+/// this matches `std::io::Read::read_exact` — it is spelled out here so
+/// the block path's partial-transfer handling is explicit and pinned by
+/// the capped-transfer mock tests below, rather than inherited implicitly.
+pub(crate) fn read_full<R: Read>(src: &mut R, mut buf: &mut [u8]) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        match src.read(buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "device ended mid-block",
+                ))
+            }
+            Ok(n) => buf = &mut buf[n..],
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Write all of `buf` to `dst`, looping on short writes (same contract as
+/// [`read_full`]; a writer that accepts zero bytes is reported as
+/// `WriteZero` instead of spinning).
+pub(crate) fn write_full<W: Write>(dst: &mut W, mut buf: &[u8]) -> std::io::Result<()> {
+    while !buf.is_empty() {
+        match dst.write(buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::WriteZero,
+                    "device refused mid-block",
+                ))
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
 
 /// A block device stored in a single file; block `i` lives at byte offset
 /// `i * block_size`.
@@ -98,7 +144,7 @@ impl BlockDevice for FileBlockDevice {
     fn read_block(&mut self, id: BlockId, buf: &mut [u8]) -> Result<()> {
         self.check(id, buf.len())?;
         self.seek_to(id)?;
-        self.file.read_exact(buf)?;
+        read_full(&mut self.file, buf)?;
         self.stats.record_read(id, self.block_size);
         Ok(())
     }
@@ -106,7 +152,7 @@ impl BlockDevice for FileBlockDevice {
     fn write_block(&mut self, id: BlockId, buf: &[u8]) -> Result<()> {
         self.check(id, buf.len())?;
         self.seek_to(id)?;
-        self.file.write_all(buf)?;
+        write_full(&mut self.file, buf)?;
         self.stats.record_write(id, self.block_size);
         Ok(())
     }
@@ -184,6 +230,100 @@ mod tests {
         assert!(d.read_block(BlockId(1), &mut buf).is_err());
         assert!(d.free(BlockId(0), 2).is_err());
         assert!(d.free(BlockId(0), 1).is_ok());
+    }
+
+    /// A transport that transfers at most `cap` bytes per call and
+    /// injects an `Interrupted` error every third call — the adversarial
+    /// partial-transfer behaviour POSIX permits.
+    struct CappedPipe {
+        data: Vec<u8>,
+        pos: usize,
+        cap: usize,
+        calls: usize,
+    }
+
+    impl CappedPipe {
+        fn new(cap: usize) -> Self {
+            CappedPipe {
+                data: Vec::new(),
+                pos: 0,
+                cap,
+                calls: 0,
+            }
+        }
+
+        fn with_data(data: Vec<u8>, cap: usize) -> Self {
+            CappedPipe {
+                data,
+                pos: 0,
+                cap,
+                calls: 0,
+            }
+        }
+
+        fn interrupt_due(&mut self) -> bool {
+            self.calls += 1;
+            self.calls % 3 == 0
+        }
+    }
+
+    impl Read for CappedPipe {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.interrupt_due() {
+                return Err(std::io::Error::new(ErrorKind::Interrupted, "signal"));
+            }
+            let n = buf.len().min(self.cap).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    impl Write for CappedPipe {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.interrupt_due() {
+                return Err(std::io::Error::new(ErrorKind::Interrupted, "signal"));
+            }
+            let n = buf.len().min(self.cap);
+            self.data.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn read_full_survives_short_reads_and_interrupts() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut pipe = CappedPipe::with_data(data.clone(), 7);
+        let mut buf = vec![0u8; 256];
+        read_full(&mut pipe, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn read_full_reports_premature_eof() {
+        let mut pipe = CappedPipe::with_data(vec![1, 2, 3], 2);
+        let mut buf = vec![0u8; 8];
+        let err = read_full(&mut pipe, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn write_full_survives_short_writes_and_interrupts() {
+        let data: Vec<u8> = (0..100).map(|i| i * 2).collect();
+        let mut pipe = CappedPipe::new(3);
+        write_full(&mut pipe, &data).unwrap();
+        assert_eq!(pipe.data, data);
+    }
+
+    #[test]
+    fn write_full_reports_write_zero() {
+        let mut pipe = CappedPipe::new(0);
+        let err = write_full(&mut pipe, &[9u8; 4]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::WriteZero);
     }
 
     #[test]

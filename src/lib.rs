@@ -7,7 +7,7 @@
 //!   replacement policies, I/O accounting (the DTrace stand-in);
 //! * [`vm`] ([`riot_vm`]) — a demand-paging heap simulating R's
 //!   virtual-memory thrashing;
-//! * [`array`] ([`riot_array`]) — tiled out-of-core vectors and matrices
+//! * [`array`](mod@array) ([`riot_array`]) — tiled out-of-core vectors and matrices
 //!   with row/column/square layouts and row/column/Z-order/Hilbert tile
 //!   linearization;
 //! * [`core`] ([`riot_core`]) — the paper's contribution: a deferred
@@ -16,8 +16,15 @@
 //!   pipelined executor, out-of-core matmul kernels, the analytic I/O
 //!   cost model of Figure 3, and the four evaluation strategies of
 //!   Figure 1 behind one R-like [`Session`] API;
+//! * [`sparse`] ([`riot_sparse`]) — out-of-core block-compressed sparse
+//!   matrices (CSR-within-tile pages over the same buffer pool), with
+//!   SpMV/SpMM/sparse-x-dense kernels in [`riot_core::exec::sparse`] and
+//!   an optimizer that picks sparse or dense kernels from the catalog's
+//!   nnz statistic;
 //! * [`rlang`] ([`riot_rlang`]) — an interpreter for an R subset: the
-//!   same script text runs unmodified under every engine.
+//!   same script text runs unmodified under every engine (including the
+//!   `sparse(i, j, v, nrow, ncol)`, `nnz`, `as.sparse`, `as.dense`
+//!   builtins).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +47,7 @@
 pub use riot_array as array;
 pub use riot_core as core;
 pub use riot_rlang as rlang;
+pub use riot_sparse as sparse;
 pub use riot_storage as storage;
 pub use riot_vm as vm;
 
