@@ -34,10 +34,14 @@ impl fmt::Display for BlockId {
 /// * record each successful read/write on the shared [`IoStats`],
 /// * zero-fill blocks that were allocated but never written.
 ///
-/// Devices are `Send` so the sharded buffer pool can serve them from any
-/// thread; the pool serializes access through its own device lock, so
-/// implementations need no internal synchronization.
-pub trait BlockDevice: Send {
+/// All methods take `&self`: the buffer pool dispatches misses, eviction
+/// write-backs, and flushes from many threads *without* an external device
+/// lock, so devices own their synchronization. A device with a single
+/// internal lock is correct but serializes transfers; devices whose
+/// transfers genuinely proceed in parallel for distinct blocks advertise it
+/// through [`BlockDevice::concurrent_io`] (see [`crate::FileBlockDevice`]'s
+/// positioned-I/O path and [`crate::MemBlockDevice`]'s read-write lock).
+pub trait BlockDevice: Send + Sync {
     /// Size of one block in bytes.
     fn block_size(&self) -> usize;
 
@@ -45,26 +49,37 @@ pub trait BlockDevice: Send {
     fn num_blocks(&self) -> u64;
 
     /// Read the block `id` into `buf` (`buf.len() == block_size`).
-    fn read_block(&mut self, id: BlockId, buf: &mut [u8]) -> Result<()>;
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()>;
 
     /// Write `buf` (`buf.len() == block_size`) to block `id`.
-    fn write_block(&mut self, id: BlockId, buf: &[u8]) -> Result<()>;
+    fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()>;
 
     /// Allocate `n` contiguous zeroed blocks, returning the first id.
     ///
     /// Allocation itself performs no I/O: a fresh block only costs a write
     /// when its contents are eventually flushed, exactly like extending a
     /// file does not read the new pages.
-    fn allocate(&mut self, n: u64) -> Result<BlockId>;
+    fn allocate(&self, n: u64) -> Result<BlockId>;
 
     /// Release `n` blocks starting at `start`.
     ///
     /// Devices may reclaim the backing memory but ids are never reused, so
     /// dangling references fail loudly instead of aliasing new data.
-    fn free(&mut self, start: BlockId, n: u64) -> Result<()>;
+    fn free(&self, start: BlockId, n: u64) -> Result<()>;
 
     /// The shared traffic counters for this device.
     fn stats(&self) -> Arc<IoStats>;
+
+    /// Concurrent-I/O capability flag: `true` when reads of *distinct*
+    /// blocks genuinely overlap in time (positioned I/O or striped state,
+    /// rather than one internal lock held across the whole transfer).
+    ///
+    /// The buffer pool's overlapped miss path is correct either way — this
+    /// flag only tells observers (benchmarks, the interleaving tests)
+    /// whether wall-clock overlap can be expected from the device itself.
+    fn concurrent_io(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -82,5 +97,11 @@ mod tests {
     fn block_id_ordering() {
         assert!(BlockId(1) < BlockId(2));
         assert_eq!(BlockId(7), BlockId(7));
+    }
+
+    #[test]
+    fn devices_are_object_safe_and_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn BlockDevice>();
     }
 }

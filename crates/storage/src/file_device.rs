@@ -5,11 +5,19 @@
 //! buffer pool, tiled arrays, pipelined execution — genuinely runs out of
 //! core against the filesystem. Integration tests exercise both devices
 //! through the same code paths.
+//!
+//! On unix, transfers use positioned I/O (`pread`/`pwrite` via
+//! [`std::os::unix::fs::FileExt`]), so concurrent reads and writes of
+//! distinct blocks overlap without any shared cursor or lock — the device
+//! advertises [`BlockDevice::concurrent_io`]. Elsewhere a single cursor
+//! lock serializes transfers (correct, just not overlapped).
 
 use std::fs::{File, OpenOptions};
-use std::io::{ErrorKind, Read, Seek, SeekFrom, Write};
+use std::io::ErrorKind;
+#[cfg(not(unix))]
+use std::io::{Seek, SeekFrom};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::device::{BlockDevice, BlockId};
 use crate::error::{Result, StorageError};
@@ -24,7 +32,10 @@ use crate::stats::IoStats;
 /// this matches `std::io::Read::read_exact` — it is spelled out here so
 /// the block path's partial-transfer handling is explicit and pinned by
 /// the capped-transfer mock tests below, rather than inherited implicitly.
-pub(crate) fn read_full<R: Read>(src: &mut R, mut buf: &mut [u8]) -> std::io::Result<()> {
+/// (The unix block path uses the positioned twin [`read_full_at`]; this
+/// cursor-based form serves the non-unix fallback and the protocol tests.)
+#[cfg_attr(unix, allow(dead_code))]
+pub(crate) fn read_full<R: std::io::Read>(src: &mut R, mut buf: &mut [u8]) -> std::io::Result<()> {
     while !buf.is_empty() {
         match src.read(buf) {
             Ok(0) => {
@@ -44,7 +55,8 @@ pub(crate) fn read_full<R: Read>(src: &mut R, mut buf: &mut [u8]) -> std::io::Re
 /// Write all of `buf` to `dst`, looping on short writes (same contract as
 /// [`read_full`]; a writer that accepts zero bytes is reported as
 /// `WriteZero` instead of spinning).
-pub(crate) fn write_full<W: Write>(dst: &mut W, mut buf: &[u8]) -> std::io::Result<()> {
+#[cfg_attr(unix, allow(dead_code))]
+pub(crate) fn write_full<W: std::io::Write>(dst: &mut W, mut buf: &[u8]) -> std::io::Result<()> {
     while !buf.is_empty() {
         match dst.write(buf) {
             Ok(0) => {
@@ -61,13 +73,64 @@ pub(crate) fn write_full<W: Write>(dst: &mut W, mut buf: &[u8]) -> std::io::Resu
     Ok(())
 }
 
+/// Positioned twin of [`read_full`]: `pread` loop at `off`, no cursor.
+#[cfg(unix)]
+pub(crate) fn read_full_at(file: &File, mut buf: &mut [u8], mut off: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    while !buf.is_empty() {
+        match file.read_at(buf, off) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "device ended mid-block",
+                ))
+            }
+            Ok(n) => {
+                buf = &mut buf[n..];
+                off += n as u64;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Positioned twin of [`write_full`]: `pwrite` loop at `off`, no cursor.
+#[cfg(unix)]
+pub(crate) fn write_full_at(file: &File, mut buf: &[u8], mut off: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    while !buf.is_empty() {
+        match file.write_at(buf, off) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::WriteZero,
+                    "device refused mid-block",
+                ))
+            }
+            Ok(n) => {
+                buf = &buf[n..];
+                off += n as u64;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// A block device stored in a single file; block `i` lives at byte offset
 /// `i * block_size`.
 pub struct FileBlockDevice {
     file: File,
     path: PathBuf,
     block_size: usize,
-    num_blocks: u64,
+    /// Allocation high-water mark; guarded so `allocate`/`free` can run
+    /// concurrently with transfers.
+    num_blocks: Mutex<u64>,
+    /// Serializes the shared file cursor on targets without positioned I/O.
+    #[cfg(not(unix))]
+    cursor: Mutex<()>,
     remove_on_drop: bool,
     stats: Arc<IoStats>,
 }
@@ -86,7 +149,9 @@ impl FileBlockDevice {
             file,
             path: path.to_path_buf(),
             block_size,
-            num_blocks: 0,
+            num_blocks: Mutex::new(0),
+            #[cfg(not(unix))]
+            cursor: Mutex::new(()),
             remove_on_drop: false,
             stats: IoStats::new_shared(),
         })
@@ -116,19 +181,18 @@ impl FileBlockDevice {
                 got: buf_len,
             });
         }
-        if id.0 >= self.num_blocks {
+        let num_blocks = *self.num_blocks.lock().unwrap();
+        if id.0 >= num_blocks {
             return Err(StorageError::OutOfBounds {
                 block: id,
-                num_blocks: self.num_blocks,
+                num_blocks,
             });
         }
         Ok(())
     }
 
-    fn seek_to(&mut self, id: BlockId) -> Result<()> {
-        self.file
-            .seek(SeekFrom::Start(id.0 * self.block_size as u64))?;
-        Ok(())
+    fn offset_of(&self, id: BlockId) -> u64 {
+        id.0 * self.block_size as u64
     }
 }
 
@@ -138,42 +202,57 @@ impl BlockDevice for FileBlockDevice {
     }
 
     fn num_blocks(&self) -> u64 {
-        self.num_blocks
+        *self.num_blocks.lock().unwrap()
     }
 
-    fn read_block(&mut self, id: BlockId, buf: &mut [u8]) -> Result<()> {
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
         self.check(id, buf.len())?;
-        self.seek_to(id)?;
-        read_full(&mut self.file, buf)?;
+        #[cfg(unix)]
+        read_full_at(&self.file, buf, self.offset_of(id))?;
+        #[cfg(not(unix))]
+        {
+            let _cursor = self.cursor.lock().unwrap();
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(self.offset_of(id)))?;
+            read_full(&mut f, buf)?;
+        }
         self.stats.record_read(id, self.block_size);
         Ok(())
     }
 
-    fn write_block(&mut self, id: BlockId, buf: &[u8]) -> Result<()> {
+    fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
         self.check(id, buf.len())?;
-        self.seek_to(id)?;
-        write_full(&mut self.file, buf)?;
+        #[cfg(unix)]
+        write_full_at(&self.file, buf, self.offset_of(id))?;
+        #[cfg(not(unix))]
+        {
+            let _cursor = self.cursor.lock().unwrap();
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(self.offset_of(id)))?;
+            write_full(&mut f, buf)?;
+        }
         self.stats.record_write(id, self.block_size);
         Ok(())
     }
 
-    fn allocate(&mut self, n: u64) -> Result<BlockId> {
-        let start = BlockId(self.num_blocks);
-        self.num_blocks += n;
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        let mut num_blocks = self.num_blocks.lock().unwrap();
+        let start = BlockId(*num_blocks);
+        *num_blocks += n;
         // Extending with set_len gives zero-filled (sparse where supported)
         // blocks without any data transfer.
-        self.file
-            .set_len(self.num_blocks * self.block_size as u64)?;
+        self.file.set_len(*num_blocks * self.block_size as u64)?;
         Ok(start)
     }
 
-    fn free(&mut self, start: BlockId, n: u64) -> Result<()> {
+    fn free(&self, start: BlockId, n: u64) -> Result<()> {
         // File devices do not reclaim space mid-file; validate the range so
         // misuse is still caught.
-        if start.0 + n > self.num_blocks {
+        let num_blocks = *self.num_blocks.lock().unwrap();
+        if start.0 + n > num_blocks {
             return Err(StorageError::OutOfBounds {
                 block: BlockId(start.0 + n - 1),
-                num_blocks: self.num_blocks,
+                num_blocks,
             });
         }
         Ok(())
@@ -181,6 +260,10 @@ impl BlockDevice for FileBlockDevice {
 
     fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
+    }
+
+    fn concurrent_io(&self) -> bool {
+        cfg!(unix)
     }
 }
 
@@ -195,10 +278,11 @@ impl Drop for FileBlockDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{Read, Write};
 
     #[test]
     fn round_trip_through_real_file() {
-        let mut d = FileBlockDevice::temp(128).unwrap();
+        let d = FileBlockDevice::temp(128).unwrap();
         let b = d.allocate(3).unwrap();
         let mut data = vec![0u8; 128];
         data[5] = 99;
@@ -224,12 +308,36 @@ mod tests {
 
     #[test]
     fn bounds_checked() {
-        let mut d = FileBlockDevice::temp(64).unwrap();
+        let d = FileBlockDevice::temp(64).unwrap();
         d.allocate(1).unwrap();
         let mut buf = vec![0u8; 64];
         assert!(d.read_block(BlockId(1), &mut buf).is_err());
         assert!(d.free(BlockId(0), 2).is_err());
         assert!(d.free(BlockId(0), 1).is_ok());
+    }
+
+    #[test]
+    fn concurrent_reads_of_distinct_blocks() {
+        let d = Arc::new(FileBlockDevice::temp(64).unwrap());
+        let b = d.allocate(8).unwrap();
+        for i in 0..8 {
+            let data = vec![i as u8; 64];
+            d.write_block(b.offset(i), &data).unwrap();
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let d = Arc::clone(&d);
+                s.spawn(move || {
+                    let mut out = vec![0u8; 64];
+                    for round in 0..25u64 {
+                        let i = (t * 2 + round) % 8;
+                        d.read_block(b.offset(i), &mut out).unwrap();
+                        assert_eq!(out[0], i as u8, "torn or misplaced read");
+                    }
+                });
+            }
+        });
+        assert_eq!(d.stats().snapshot().reads, 100);
     }
 
     /// A transport that transfers at most `cap` bytes per call and
@@ -326,9 +434,24 @@ mod tests {
         assert_eq!(err.kind(), ErrorKind::WriteZero);
     }
 
+    #[cfg(unix)]
+    #[test]
+    fn positioned_helpers_round_trip() {
+        let d = FileBlockDevice::temp(32).unwrap();
+        d.allocate(4).unwrap();
+        let data: Vec<u8> = (0..32).collect();
+        write_full_at(&d.file, &data, 64).unwrap();
+        let mut out = vec![0u8; 32];
+        read_full_at(&d.file, &mut out, 64).unwrap();
+        assert_eq!(out, data);
+        // Reading past EOF reports UnexpectedEof, not silence.
+        let err = read_full_at(&d.file, &mut out, 4 * 32).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+    }
+
     #[test]
     fn stats_counted_for_file_io() {
-        let mut d = FileBlockDevice::temp(64).unwrap();
+        let d = FileBlockDevice::temp(64).unwrap();
         let b = d.allocate(2).unwrap();
         let data = vec![7u8; 64];
         d.write_block(b, &data).unwrap();

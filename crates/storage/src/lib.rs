@@ -38,6 +38,17 @@
 //! reproducible — while [`BufferPool::new_sharded`] enables parallel
 //! kernels to pin tiles from many threads without contending on one lock.
 //!
+//! Device I/O is **overlapped**: miss loads, eviction write-backs, and
+//! flushes run with the shard mutex dropped, tracked by an explicit
+//! per-frame state machine (see the `pool` module docs for the lifecycle
+//! diagram). Concurrent misses of one block coalesce into a single device
+//! read; misses of distinct blocks overlap their transfers, because
+//! devices take `&self` and synchronize internally
+//! ([`BlockDevice::concurrent_io`] advertises genuinely parallel
+//! transfers, e.g. `pread`/`pwrite` in [`FileBlockDevice`]). The
+//! [`testing`] module ships the fault-injection harness ([`FailpointDevice`])
+//! and hang detector ([`Watchdog`]) the interleaving tests are built on.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -65,6 +76,7 @@ pub mod mem_device;
 pub mod pool;
 pub mod replacer;
 pub mod stats;
+pub mod testing;
 
 pub use catalog::{Catalog, Extent, ObjectId};
 pub use device::{BlockDevice, BlockId};
@@ -73,7 +85,8 @@ pub use file_device::FileBlockDevice;
 pub use mem_device::MemBlockDevice;
 pub use pool::{BufferPool, PinnedFrame, PinnedFrameMut, PoolConfig, PoolStats};
 pub use replacer::{ClockReplacer, LruReplacer, MruReplacer, Replacer, ReplacerKind};
-pub use stats::{DiskModel, IoSnapshot, IoStats};
+pub use stats::{DiskModel, InFlight, IoSnapshot, IoStats};
+pub use testing::{FailpointDevice, FailpointHandle, Watchdog};
 
 /// Default block size used throughout the reproduction: 8 KiB = 1024 `f64`
 /// elements, matching the paper's Figure 3 setting of `B = 1024` numbers per

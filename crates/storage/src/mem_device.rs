@@ -5,32 +5,48 @@
 //! exactly the I/O a real disk would see. Blocks are allocated lazily:
 //! an allocated-but-never-written block occupies no memory and reads back
 //! as zeros (at normal read cost, like a sparse file).
+//!
+//! Block storage sits behind a [`RwLock`], so concurrent `read_block` calls
+//! of distinct blocks proceed in parallel (the device advertises
+//! [`BlockDevice::concurrent_io`]); writes and allocation take the write
+//! lock and serialize, which is still far shorter than holding a lock
+//! across a simulated transfer would be.
 
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::device::{BlockDevice, BlockId};
 use crate::error::{Result, StorageError};
 use crate::stats::IoStats;
 
-/// A simulated block device backed by `Vec`s of lazily-allocated blocks.
-pub struct MemBlockDevice {
-    block_size: usize,
+struct MemInner {
     /// `None` entries are allocated-but-unwritten (logical zeros) or freed.
     blocks: Vec<Option<Box<[u8]>>>,
     freed: Vec<bool>,
+}
+
+/// A simulated block device backed by `Vec`s of lazily-allocated blocks.
+pub struct MemBlockDevice {
+    block_size: usize,
+    inner: RwLock<MemInner>,
     stats: Arc<IoStats>,
+}
+
+fn read_lock(inner: &RwLock<MemInner>) -> RwLockReadGuard<'_, MemInner> {
+    inner
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn write_lock(inner: &RwLock<MemInner>) -> RwLockWriteGuard<'_, MemInner> {
+    inner
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl MemBlockDevice {
     /// Create an empty device with the given block size in bytes.
     pub fn new(block_size: usize) -> Self {
-        assert!(block_size > 0, "block size must be positive");
-        MemBlockDevice {
-            block_size,
-            blocks: Vec::new(),
-            freed: Vec::new(),
-            stats: IoStats::new_shared(),
-        }
+        Self::with_stats(block_size, IoStats::new_shared())
     }
 
     /// Create a device sharing an existing stats instance, so several
@@ -39,28 +55,30 @@ impl MemBlockDevice {
         assert!(block_size > 0, "block size must be positive");
         MemBlockDevice {
             block_size,
-            blocks: Vec::new(),
-            freed: Vec::new(),
+            inner: RwLock::new(MemInner {
+                blocks: Vec::new(),
+                freed: Vec::new(),
+            }),
             stats,
         }
     }
 
     /// Bytes of simulator memory currently held by written blocks.
     pub fn resident_bytes(&self) -> usize {
-        self.blocks.iter().flatten().count() * self.block_size
+        read_lock(&self.inner).blocks.iter().flatten().count() * self.block_size
     }
 
-    fn check(&self, id: BlockId, buf_len: usize) -> Result<()> {
+    fn check(&self, inner: &MemInner, id: BlockId, buf_len: usize) -> Result<()> {
         if buf_len != self.block_size {
             return Err(StorageError::BadBufferLength {
                 expected: self.block_size,
                 got: buf_len,
             });
         }
-        if id.0 >= self.blocks.len() as u64 || self.freed[id.0 as usize] {
+        if id.0 >= inner.blocks.len() as u64 || inner.freed[id.0 as usize] {
             return Err(StorageError::OutOfBounds {
                 block: id,
-                num_blocks: self.blocks.len() as u64,
+                num_blocks: inner.blocks.len() as u64,
             });
         }
         Ok(())
@@ -73,55 +91,65 @@ impl BlockDevice for MemBlockDevice {
     }
 
     fn num_blocks(&self) -> u64 {
-        self.blocks.len() as u64
+        read_lock(&self.inner).blocks.len() as u64
     }
 
-    fn read_block(&mut self, id: BlockId, buf: &mut [u8]) -> Result<()> {
-        self.check(id, buf.len())?;
-        match &self.blocks[id.0 as usize] {
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
+        let inner = read_lock(&self.inner);
+        self.check(&inner, id, buf.len())?;
+        match &inner.blocks[id.0 as usize] {
             Some(data) => buf.copy_from_slice(data),
             None => buf.fill(0),
         }
+        drop(inner);
         self.stats.record_read(id, self.block_size);
         Ok(())
     }
 
-    fn write_block(&mut self, id: BlockId, buf: &[u8]) -> Result<()> {
-        self.check(id, buf.len())?;
-        match &mut self.blocks[id.0 as usize] {
+    fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
+        let mut inner = write_lock(&self.inner);
+        self.check(&inner, id, buf.len())?;
+        match &mut inner.blocks[id.0 as usize] {
             Some(data) => data.copy_from_slice(buf),
             slot @ None => *slot = Some(buf.to_vec().into_boxed_slice()),
         }
+        drop(inner);
         self.stats.record_write(id, self.block_size);
         Ok(())
     }
 
-    fn allocate(&mut self, n: u64) -> Result<BlockId> {
-        let start = BlockId(self.blocks.len() as u64);
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        let mut inner = write_lock(&self.inner);
+        let start = BlockId(inner.blocks.len() as u64);
         for _ in 0..n {
-            self.blocks.push(None);
-            self.freed.push(false);
+            inner.blocks.push(None);
+            inner.freed.push(false);
         }
         Ok(start)
     }
 
-    fn free(&mut self, start: BlockId, n: u64) -> Result<()> {
+    fn free(&self, start: BlockId, n: u64) -> Result<()> {
+        let mut inner = write_lock(&self.inner);
         for i in 0..n {
             let idx = (start.0 + i) as usize;
-            if idx >= self.blocks.len() {
+            if idx >= inner.blocks.len() {
                 return Err(StorageError::OutOfBounds {
                     block: BlockId(start.0 + i),
-                    num_blocks: self.blocks.len() as u64,
+                    num_blocks: inner.blocks.len() as u64,
                 });
             }
-            self.blocks[idx] = None;
-            self.freed[idx] = true;
+            inner.blocks[idx] = None;
+            inner.freed[idx] = true;
         }
         Ok(())
     }
 
     fn stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.stats)
+    }
+
+    fn concurrent_io(&self) -> bool {
+        true
     }
 }
 
@@ -135,7 +163,7 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let mut d = dev();
+        let d = dev();
         let b = d.allocate(2).unwrap();
         let mut data = vec![0u8; 64];
         data[0] = 0xAB;
@@ -147,7 +175,7 @@ mod tests {
 
     #[test]
     fn unwritten_blocks_read_as_zero() {
-        let mut d = dev();
+        let d = dev();
         let b = d.allocate(1).unwrap();
         let mut out = vec![0xFFu8; 64];
         d.read_block(b, &mut out).unwrap();
@@ -156,7 +184,7 @@ mod tests {
 
     #[test]
     fn allocation_is_contiguous_and_does_no_io() {
-        let mut d = dev();
+        let d = dev();
         let a = d.allocate(3).unwrap();
         let b = d.allocate(2).unwrap();
         assert_eq!(a, BlockId(0));
@@ -168,7 +196,7 @@ mod tests {
 
     #[test]
     fn out_of_bounds_read_fails() {
-        let mut d = dev();
+        let d = dev();
         d.allocate(1).unwrap();
         let mut out = vec![0u8; 64];
         assert!(matches!(
@@ -179,7 +207,7 @@ mod tests {
 
     #[test]
     fn wrong_buffer_length_fails() {
-        let mut d = dev();
+        let d = dev();
         let b = d.allocate(1).unwrap();
         let mut short = vec![0u8; 32];
         assert!(matches!(
@@ -193,7 +221,7 @@ mod tests {
 
     #[test]
     fn freed_blocks_reject_access_and_release_memory() {
-        let mut d = dev();
+        let d = dev();
         let b = d.allocate(2).unwrap();
         let data = vec![1u8; 64];
         d.write_block(b, &data).unwrap();
@@ -208,7 +236,7 @@ mod tests {
 
     #[test]
     fn io_is_counted() {
-        let mut d = dev();
+        let d = dev();
         let b = d.allocate(4).unwrap();
         let data = vec![0u8; 64];
         let mut out = vec![0u8; 64];
@@ -223,5 +251,29 @@ mod tests {
         assert_eq!(snap.reads, 4);
         assert_eq!(snap.seq_reads, 3); // blocks 1,2,3 follow 0,1,2
         assert_eq!(snap.bytes_read, 4 * 64);
+    }
+
+    #[test]
+    fn shared_access_from_many_threads() {
+        let d = Arc::new(dev());
+        assert!(d.concurrent_io());
+        let b = d.allocate(8).unwrap();
+        let data = vec![9u8; 64];
+        for i in 0..8 {
+            d.write_block(b.offset(i), &data).unwrap();
+        }
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let d = Arc::clone(&d);
+                s.spawn(move || {
+                    let mut out = vec![0u8; 64];
+                    for round in 0..50 {
+                        d.read_block(b.offset(round % 8), &mut out).unwrap();
+                        assert_eq!(out[0], 9);
+                    }
+                });
+            }
+        });
+        assert_eq!(d.stats().snapshot().reads, 200);
     }
 }

@@ -10,18 +10,52 @@
 //!
 //! The pool is lock-striped into `shards` partitions (block id modulo shard
 //! count). Each shard owns its frames, page table, and replacement policy
-//! behind one mutex, so pins on different shards never contend; the device
-//! sits behind a separate lock taken only for misses, write-backs, and
-//! flushes. Per-shard [`PoolStats`] counters sum to exactly the totals a
-//! single-shard pool would report for the same access sequence (hits and
-//! misses depend only on residency, which sharding partitions but does not
-//! change when no shard is under eviction pressure).
+//! behind one mutex. Device I/O — miss loads, eviction write-backs, and
+//! flushes — runs with the shard mutex **dropped**: the frame involved is
+//! parked in an explicit in-flight state first, so the shard stays open for
+//! every other block while the transfer is outstanding, and distinct-block
+//! transfers overlap in time (devices take `&self` and synchronize
+//! internally; see [`crate::BlockDevice::concurrent_io`]).
 //!
-//! [`BufferPool::new`] builds a **single-shard** pool whose eviction order,
-//! counters, and counted I/O are bit-for-bit those of the classic
-//! sequential pool — the configuration the paper's cost-model validation
-//! runs use. [`BufferPool::new_sharded`] opts into lock striping for
-//! multi-threaded kernels.
+//! ## Frame lifecycle
+//!
+//! Every frame is in exactly one state, recorded in its metadata and
+//! guarded by the shard mutex (the I/O itself happens between the mutex
+//! regions):
+//!
+//! ```text
+//!              claim (miss)                 publish (load ok)
+//!   (free) ───────────────▶ LoadInFlight ───────────────────▶ Resident
+//!      ▲                         │                            ▲  │  ▲
+//!      └─────────────────────────┘                            │  │  │
+//!              load error: slot released, waiters retry       │  │  │
+//!                                                             │  │  │
+//!              flush dirty snapshot       WriteBackInFlight ──┘  │  │
+//!              (shared pins stay legal) ◀────────────────────────┘  │
+//!                                                                   │
+//!              dirty victim: copy-then-write        Evicting ───────┘
+//!              (other blocks never wait) ◀──────────────────── │
+//!                       │                                      │
+//!                       └── success: frame freed for new block ┘
+//!                           failure: back to Resident, still dirty
+//! ```
+//!
+//! Invariants the test suite pins down:
+//!
+//! * **Single-flight**: concurrent misses of one block perform exactly one
+//!   device read — later arrivals wait on the `LoadInFlight` entry and are
+//!   counted in [`PoolStats::coalesced_loads`].
+//! * **Exact counted I/O**: single-threaded, the sequence of device reads
+//!   and writes, the eviction order, and every counter are bit-for-bit
+//!   those of the classic lock-held pool (the paper's cost-model
+//!   validation depends on this).
+//! * **In-flight frames are invisible to replacement**: a frame in any
+//!   in-flight state is neither free nor evictable, so `Replacer::victim`
+//!   can never hand it out (see `crate::replacer`).
+//! * **Failure containment**: a failed load releases the claimed slot (no
+//!   leaked frame, stats exact, the next pin of the block retries); a
+//!   failed eviction write-back returns the victim to `Resident`+dirty
+//!   under replacement, poisoning nothing.
 //!
 //! ## Zero-copy pin guards
 //!
@@ -30,8 +64,10 @@
 //! [`BufferPool::pin_mut`] / [`BufferPool::pin_new`] return a
 //! [`PinnedFrameMut`] with exclusive `&mut [f64]` access. Guards unpin on
 //! drop. A shared pin blocks while another thread holds an exclusive pin on
-//! the same block (and vice versa); taking conflicting pins on one block
-//! from the *same* thread deadlocks, like any reader/writer lock.
+//! the same block (and vice versa). Taking conflicting pins on one block
+//! from the *same* thread deadlocks, like any reader/writer lock — debug
+//! builds detect that re-entrancy at the wait site and panic with the
+//! block id instead of hanging.
 
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
@@ -41,7 +77,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use crate::device::{BlockDevice, BlockId};
 use crate::error::{Result, StorageError};
 use crate::replacer::{make_replacer, FrameId, Replacer, ReplacerKind};
-use crate::stats::IoStats;
+use crate::stats::{InFlight, IoStats};
 
 /// Pool construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +98,12 @@ impl Default for PoolConfig {
 }
 
 /// Cache-effectiveness counters, separate from device [`IoStats`].
+///
+/// Every *successful* pin is classified as exactly one hit or one miss. A
+/// pin that fails after claiming its load slot still counts that miss
+/// (the claim reached the device, mirroring the counted read attempt); a
+/// pin that fails earlier — pool exhausted, or its victim's write-back
+/// failed — counts nothing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Pin requests satisfied from a resident frame.
@@ -70,6 +112,10 @@ pub struct PoolStats {
     pub misses: u64,
     /// Dirty frames written back during eviction.
     pub evict_writebacks: u64,
+    /// Pins that waited on another thread's in-flight load of the same
+    /// block instead of issuing their own device read (the single-flight
+    /// win; always 0 single-threaded).
+    pub coalesced_loads: u64,
 }
 
 impl PoolStats {
@@ -89,15 +135,17 @@ impl PoolStats {
 /// materialized here (guards derive their slices straight from the raw
 /// pointer, keeping concurrent shared pins free of aliasing UB). Access is
 /// governed by the pin protocol: the shard lock plus a zero pin count for
-/// loads/evictions/flushes, shared pins for `&` access, an exclusive pin
-/// for `&mut`.
+/// zero-fills, shared pins for `&` access, an exclusive pin for `&mut`,
+/// and sole ownership through the claiming thread while the frame is in
+/// [`FrameState::LoadInFlight`] (the device read fills the buffer with the
+/// shard lock dropped).
 struct FrameBuf {
     ptr: *mut f64,
     len: usize,
 }
 
 // SAFETY: all access through `ptr` follows the pin protocol above; the
-// shard mutex orders transitions between the three modes.
+// shard mutex orders transitions between the modes.
 unsafe impl Send for FrameBuf {}
 unsafe impl Sync for FrameBuf {}
 
@@ -128,12 +176,32 @@ impl Drop for FrameBuf {
     }
 }
 
+/// Lifecycle state of a mapped frame (see the module-level diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameState {
+    /// Contents valid; pins follow reader/writer rules.
+    Resident,
+    /// A miss claimed this frame and is reading the block from the device
+    /// with the shard lock dropped. Pins of the block wait; the frame is
+    /// neither free nor evictable; the claiming thread owns the buffer.
+    LoadInFlight,
+    /// A dirty snapshot of this frame is being flushed with the shard lock
+    /// dropped. The frame stays resident: shared pins remain legal (the
+    /// snapshot is already taken), exclusive pins wait out the write.
+    WriteBackInFlight,
+    /// This frame is a dirty eviction victim whose copy is being written
+    /// back with the shard lock dropped. Pins of the (outgoing) block
+    /// wait; pins of every other block in the shard are unaffected.
+    Evicting,
+}
+
 /// Book-keeping for one frame, protected by the shard mutex.
 struct FrameMeta {
     block: Option<BlockId>,
     readers: u32,
     writer: bool,
     dirty: bool,
+    state: FrameState,
 }
 
 struct ShardMeta {
@@ -146,6 +214,11 @@ struct ShardMeta {
     /// yield to these so a stream of overlapping readers cannot starve a
     /// writer indefinitely.
     write_waiters: HashMap<BlockId, u32>,
+    /// Device transfers currently outstanding for this shard's frames.
+    /// While nonzero, an apparently exhausted shard may still yield a
+    /// frame (a failed load or finished eviction), so frame seekers wait
+    /// instead of erroring.
+    in_flight: u32,
 }
 
 struct Shard {
@@ -155,6 +228,7 @@ struct Shard {
     hits: AtomicU64,
     misses: AtomicU64,
     evict_writebacks: AtomicU64,
+    coalesced_loads: AtomicU64,
 }
 
 impl Shard {
@@ -163,6 +237,7 @@ impl Shard {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evict_writebacks: self.evict_writebacks.load(Ordering::Relaxed),
+            coalesced_loads: self.coalesced_loads.load(Ordering::Relaxed),
         }
     }
 }
@@ -176,11 +251,69 @@ fn lock(meta: &Mutex<ShardMeta>) -> MutexGuard<'_, ShardMeta> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Wait on the shard condvar, recovering from poisoning like [`lock`].
+fn wait<'a>(shard: &'a Shard, meta: MutexGuard<'a, ShardMeta>) -> MutexGuard<'a, ShardMeta> {
+    shard
+        .unpinned
+        .wait(meta)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Debug-build registry of held pins, keyed by (pool identity, block id,
+/// owning thread). Pinning a block the current thread already holds a
+/// *conflicting* pin on can only deadlock (the wait is for ourselves), so
+/// the wait site panics with the block id instead of hanging.
+///
+/// The map is process-global rather than thread-local: pin guards are
+/// `Send`, so a guard recorded on thread A may be dropped on thread B —
+/// the release must still clear A's entry (a stale entry would later
+/// panic a perfectly correct wait on A). Each guard therefore remembers
+/// its owning thread and releases under that key.
+#[cfg(debug_assertions)]
+mod reentry {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use std::thread::{self, ThreadId};
+
+    type Held = HashMap<(usize, u64, ThreadId), u32>;
+
+    fn held_map() -> MutexGuard<'static, Held> {
+        static HELD: OnceLock<Mutex<Held>> = OnceLock::new();
+        HELD.get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub(super) fn record(pool: usize, block: u64) {
+        *held_map()
+            .entry((pool, block, thread::current().id()))
+            .or_insert(0) += 1;
+    }
+
+    pub(super) fn release(pool: usize, block: u64, owner: ThreadId) {
+        let mut held = held_map();
+        if let Some(n) = held.get_mut(&(pool, block, owner)) {
+            *n -= 1;
+            if *n == 0 {
+                held.remove(&(pool, block, owner));
+            }
+        }
+    }
+
+    pub(super) fn held_by_current(pool: usize, block: u64) -> bool {
+        held_map().contains_key(&(pool, block, thread::current().id()))
+    }
+}
+
 /// A sharded, thread-safe buffer pool over a [`BlockDevice`].
 pub struct BufferPool {
     shards: Box<[Shard]>,
-    device: Mutex<Box<dyn BlockDevice>>,
+    /// Devices synchronize internally (`&self` methods), so misses and
+    /// write-backs from different shards — or for different blocks of one
+    /// shard — dispatch without any pool-side device lock.
+    device: Box<dyn BlockDevice>,
     io: Arc<IoStats>,
+    in_flight: InFlight,
     block_size: usize,
     elems_per_block: usize,
     capacity: usize,
@@ -220,12 +353,14 @@ impl BufferPool {
                                 readers: 0,
                                 writer: false,
                                 dirty: false,
+                                state: FrameState::Resident,
                             })
                             .collect(),
                         map: HashMap::new(),
                         replacer: make_replacer(config.replacer, frames),
                         free: (0..frames).rev().collect(),
                         write_waiters: HashMap::new(),
+                        in_flight: 0,
                     }),
                     unpinned: Condvar::new(),
                     bufs: (0..frames)
@@ -234,13 +369,15 @@ impl BufferPool {
                     hits: AtomicU64::new(0),
                     misses: AtomicU64::new(0),
                     evict_writebacks: AtomicU64::new(0),
+                    coalesced_loads: AtomicU64::new(0),
                 }
             })
             .collect();
         BufferPool {
             shards,
-            device: Mutex::new(device),
+            device,
             io,
+            in_flight: InFlight::default(),
             block_size,
             elems_per_block,
             capacity: config.frames,
@@ -267,7 +404,7 @@ impl BufferPool {
         self.shards.len()
     }
 
-    /// Number of blocks currently resident.
+    /// Number of blocks currently resident (in-flight loads included).
     pub fn resident(&self) -> usize {
         self.shards.iter().map(|s| lock(&s.meta).map.len()).sum()
     }
@@ -275,6 +412,18 @@ impl BufferPool {
     /// Shared device I/O counters.
     pub fn io_stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.io)
+    }
+
+    /// Gauges of device I/O currently outstanding on the pool's behalf
+    /// (plus all-time concurrency high-water marks).
+    pub fn in_flight(&self) -> &InFlight {
+        &self.in_flight
+    }
+
+    /// Whether the underlying device claims genuinely overlapping I/O for
+    /// distinct blocks (see [`BlockDevice::concurrent_io`]).
+    pub fn device_concurrent_io(&self) -> bool {
+        self.device.concurrent_io()
     }
 
     /// Cache hit/miss counters, summed over shards.
@@ -285,6 +434,7 @@ impl BufferPool {
             total.hits += s.hits;
             total.misses += s.misses;
             total.evict_writebacks += s.evict_writebacks;
+            total.coalesced_loads += s.coalesced_loads;
         }
         total
     }
@@ -298,23 +448,58 @@ impl BufferPool {
         &self.shards[(block.0 % self.shards.len() as u64) as usize]
     }
 
+    /// Identity of this pool for the debug re-entrancy registry.
+    #[cfg(debug_assertions)]
+    fn id(&self) -> usize {
+        self as *const BufferPool as usize
+    }
+
+    fn note_pinned(&self, _block: BlockId) {
+        #[cfg(debug_assertions)]
+        reentry::record(self.id(), _block.0);
+    }
+
+    /// About to sleep until `block`'s pin state changes: in debug builds,
+    /// panic if this thread itself holds a pin on `block` — nobody else
+    /// can release what we are waiting for, so the wait is a deadlock.
+    fn check_not_reentrant(&self, _block: BlockId) {
+        #[cfg(debug_assertions)]
+        if reentry::held_by_current(self.id(), _block.0) {
+            panic!(
+                "re-entrant conflicting pin on block {_block}: this thread already \
+                 holds a pin on it, so waiting for the block to be released would \
+                 deadlock"
+            );
+        }
+    }
+
     /// Allocate `n` fresh contiguous device blocks (no I/O).
     pub fn allocate_blocks(&self, n: u64) -> Result<BlockId> {
-        self.device.lock().unwrap().allocate(n)
+        self.device.allocate(n)
     }
 
     /// Release `n` device blocks starting at `start`, dropping any resident
     /// frames without writing them back.
     ///
-    /// Panics if any of the blocks is still pinned: recycling a pinned
-    /// frame would alias a live guard's `&[f64]`, so this is a hard
-    /// invariant in release builds too (not just a debug assert).
+    /// Blocks with device I/O in flight (another thread's eviction or
+    /// flush picked the frame — a state callers cannot observe) are waited
+    /// out first: an eviction removes the mapping, a flush returns the
+    /// frame to `Resident`. Panics if any of the blocks is still pinned:
+    /// recycling a pinned frame would alias a live guard's `&[f64]`, so
+    /// this is a hard invariant in release builds too (not just a debug
+    /// assert).
     pub fn free_blocks(&self, start: BlockId, n: u64) -> Result<()> {
         for i in 0..n {
             let id = start.offset(i);
             let shard = self.shard_of(id);
             let mut meta = lock(&shard.meta);
-            if let Some(&frame) = meta.map.get(&id) {
+            // Loop ends when the block is absent (never resident, or its
+            // in-flight eviction completed and unmapped it) or dropped.
+            while let Some(&frame) = meta.map.get(&id) {
+                if meta.frames[frame].state != FrameState::Resident {
+                    meta = wait(shard, meta);
+                    continue;
+                }
                 let fm = &meta.frames[frame];
                 // Checked before any mutation so the panic leaves the shard
                 // consistent (the caller's guard still unpins cleanly).
@@ -324,9 +509,13 @@ impl BufferPool {
                 meta.frames[frame].dirty = false;
                 meta.replacer.remove(frame);
                 meta.free.push(frame);
+                break;
             }
+            drop(meta);
+            // A freed frame is claimable; wake frame seekers.
+            shard.unpinned.notify_all();
         }
-        self.device.lock().unwrap().free(start, n)
+        self.device.free(start, n)
     }
 
     /// Pin `block` for reading, loading it from the device if absent.
@@ -343,6 +532,8 @@ impl BufferPool {
             block,
             ptr,
             len: self.elems_per_block,
+            #[cfg(debug_assertions)]
+            owner: std::thread::current().id(),
         })
     }
 
@@ -357,6 +548,8 @@ impl BufferPool {
             block,
             ptr,
             len: self.elems_per_block,
+            #[cfg(debug_assertions)]
+            owner: std::thread::current().id(),
         })
     }
 
@@ -376,6 +569,8 @@ impl BufferPool {
             block,
             ptr,
             len: self.elems_per_block,
+            #[cfg(debug_assertions)]
+            owner: std::thread::current().id(),
         })
     }
 
@@ -387,9 +582,40 @@ impl BufferPool {
     ) -> Result<(usize, FrameId, *mut f64)> {
         let shard_idx = (block.0 % self.shards.len() as u64) as usize;
         let shard = &self.shards[shard_idx];
+        // Count a coalesced wait at most once per pin request.
+        let mut coalesced = false;
         let mut meta = lock(&shard.meta);
         loop {
             if let Some(&frame) = meta.map.get(&block) {
+                match meta.frames[frame].state {
+                    FrameState::LoadInFlight => {
+                        // Single-flight: another thread is already reading
+                        // this block; wait for it to publish instead of
+                        // issuing a second device read.
+                        if !coalesced {
+                            coalesced = true;
+                            shard.coalesced_loads.fetch_add(1, Ordering::Relaxed);
+                        }
+                        meta = wait(shard, meta);
+                        continue;
+                    }
+                    FrameState::Evicting => {
+                        // The block is on its way out; once the write-back
+                        // finishes the mapping is gone and this pin re-runs
+                        // as a miss (or, if the write-back fails, as a hit
+                        // on the restored frame).
+                        meta = wait(shard, meta);
+                        continue;
+                    }
+                    FrameState::WriteBackInFlight if mode == AccessMode::Exclusive => {
+                        // The flush snapshot is consistent, but mutating
+                        // under it would race the dirty-bit bookkeeping:
+                        // writers wait the flush out. (Shared pins proceed.)
+                        meta = wait(shard, meta);
+                        continue;
+                    }
+                    FrameState::WriteBackInFlight | FrameState::Resident => {}
+                }
                 let conflict = match mode {
                     // Shared pins also yield to queued writers (write
                     // preference), or overlapping readers could starve an
@@ -402,13 +628,11 @@ impl BufferPool {
                     }
                 };
                 if conflict {
+                    self.check_not_reentrant(block);
                     if mode == AccessMode::Exclusive {
                         *meta.write_waiters.entry(block).or_insert(0) += 1;
                     }
-                    meta = shard
-                        .unpinned
-                        .wait(meta)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    meta = wait(shard, meta);
                     if mode == AccessMode::Exclusive {
                         let n = meta.write_waiters.get_mut(&block).expect("waiter entry");
                         *n -= 1;
@@ -430,84 +654,191 @@ impl BufferPool {
                 }
                 meta.replacer.record_access(frame);
                 meta.replacer.set_evictable(frame, false);
+                self.note_pinned(block);
                 return Ok((shard_idx, frame, shard.bufs[frame].ptr()));
             }
 
+            // Miss: find a frame to claim. Obtaining one may drop the shard
+            // lock (dirty-victim write-back), so afterwards the block may
+            // have appeared via another thread — hand the frame back and
+            // re-run the resident path in that case.
+            let (meta_back, frame) = self.obtain_frame(shard, meta);
+            meta = meta_back;
+            let frame = frame?;
+            if meta.map.contains_key(&block) {
+                meta.free.push(frame);
+                shard.unpinned.notify_all();
+                continue;
+            }
+
             shard.misses.fetch_add(1, Ordering::Relaxed);
-            let frame = self.obtain_frame(shard, &mut meta)?;
+            if load {
+                // Claim the slot, then read with the shard lock dropped.
+                // Concurrent pins of this block find the LoadInFlight entry
+                // and wait (single-flight); pins of other blocks proceed.
+                meta.frames[frame] = FrameMeta {
+                    block: Some(block),
+                    readers: 0,
+                    writer: false,
+                    dirty: false,
+                    state: FrameState::LoadInFlight,
+                };
+                meta.map.insert(block, frame);
+                meta.in_flight += 1;
+                self.in_flight.begin_load();
+                drop(meta);
+
+                // SAFETY: the frame is claimed by the LoadInFlight state:
+                // it is not free, not evictable, and every pin of its block
+                // waits, so this thread has sole access to the buffer.
+                let bytes = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        shard.bufs[frame].ptr().cast::<u8>(),
+                        self.block_size,
+                    )
+                };
+                let res = self.device.read_block(block, bytes);
+
+                meta = lock(&shard.meta);
+                meta.in_flight -= 1;
+                self.in_flight.end_load();
+                if let Err(e) = res {
+                    // Release the slot: no leaked frame, no stale mapping.
+                    // Waiters wake, see the block absent, and retry the
+                    // load themselves.
+                    meta.map.remove(&block);
+                    meta.frames[frame].block = None;
+                    meta.frames[frame].state = FrameState::Resident;
+                    meta.free.push(frame);
+                    drop(meta);
+                    shard.unpinned.notify_all();
+                    return Err(e);
+                }
+                meta.frames[frame].state = FrameState::Resident;
+                match mode {
+                    AccessMode::Shared => meta.frames[frame].readers = 1,
+                    AccessMode::Exclusive => {
+                        meta.frames[frame].writer = true;
+                        meta.frames[frame].dirty = true;
+                    }
+                }
+                meta.replacer.record_access(frame);
+                meta.replacer.set_evictable(frame, false);
+                drop(meta);
+                shard.unpinned.notify_all();
+                self.note_pinned(block);
+                return Ok((shard_idx, frame, shard.bufs[frame].ptr()));
+            }
+
+            // pin_new: no device read — zero-fill and publish under the
+            // lock, exactly like the classic pool.
             // SAFETY: the frame is unpinned and unmapped; the shard lock is
             // held, so no other thread can observe or touch it.
             let data = unsafe {
                 std::slice::from_raw_parts_mut(shard.bufs[frame].ptr(), self.elems_per_block)
             };
-            if load {
-                let byte_view = unsafe {
-                    std::slice::from_raw_parts_mut(data.as_mut_ptr().cast::<u8>(), self.block_size)
-                };
-                if let Err(e) = self.device.lock().unwrap().read_block(block, byte_view) {
-                    // Return the frame to the free list: a failed load must
-                    // not shrink the pool's effective capacity.
-                    meta.free.push(frame);
-                    return Err(e);
-                }
-                meta.frames[frame].dirty = false;
-            } else {
-                data.fill(0.0);
-                meta.frames[frame].dirty = true;
-            }
-            match mode {
-                AccessMode::Shared => {
-                    meta.frames[frame].readers = 1;
-                    meta.frames[frame].writer = false;
-                }
-                AccessMode::Exclusive => {
-                    meta.frames[frame].readers = 0;
-                    meta.frames[frame].writer = true;
-                    meta.frames[frame].dirty = true;
-                }
-            }
-            meta.frames[frame].block = Some(block);
+            data.fill(0.0);
+            meta.frames[frame] = FrameMeta {
+                block: Some(block),
+                readers: u32::from(mode == AccessMode::Shared),
+                writer: mode == AccessMode::Exclusive,
+                dirty: true,
+                state: FrameState::Resident,
+            };
             meta.map.insert(block, frame);
             meta.replacer.record_access(frame);
             meta.replacer.set_evictable(frame, false);
+            self.note_pinned(block);
             return Ok((shard_idx, frame, shard.bufs[frame].ptr()));
         }
     }
 
     /// Find a frame for a new page in `shard`: reuse a free one or evict a
-    /// victim, writing it back first if dirty.
-    fn obtain_frame(&self, shard: &Shard, meta: &mut MutexGuard<'_, ShardMeta>) -> Result<FrameId> {
-        if let Some(frame) = meta.free.pop() {
-            return Ok(frame);
-        }
-        let victim = meta.replacer.victim().ok_or(StorageError::PoolExhausted {
-            frames: self.capacity,
-        })?;
-        let old_block = meta.frames[victim]
-            .block
-            .expect("victim frame must hold a block");
-        debug_assert!(
-            meta.frames[victim].readers == 0 && !meta.frames[victim].writer,
-            "victim must be unpinned"
-        );
-        if meta.frames[victim].dirty {
-            // SAFETY: victim is unpinned and the shard lock is held.
-            let bytes = unsafe {
-                std::slice::from_raw_parts(shard.bufs[victim].ptr().cast::<u8>(), self.block_size)
-            };
-            if let Err(e) = self.device.lock().unwrap().write_block(old_block, bytes) {
-                // Failed write-back: put the victim back under replacement
-                // so the frame (and its mapped block) are not stranded.
-                meta.replacer.record_access(victim);
-                meta.replacer.set_evictable(victim, true);
-                return Err(e);
+    /// victim. A dirty victim's copy is written back with the shard lock
+    /// dropped (state [`FrameState::Evicting`]), so pins of other blocks
+    /// never stall on the victim's I/O. When everything is pinned but
+    /// transfers are outstanding, waits for them (a failed load or a
+    /// finished eviction frees a frame) instead of erroring.
+    fn obtain_frame<'a>(
+        &self,
+        shard: &'a Shard,
+        mut meta: MutexGuard<'a, ShardMeta>,
+    ) -> (MutexGuard<'a, ShardMeta>, Result<FrameId>) {
+        loop {
+            if let Some(frame) = meta.free.pop() {
+                return (meta, Ok(frame));
             }
-            shard.evict_writebacks.fetch_add(1, Ordering::Relaxed);
-            meta.frames[victim].dirty = false;
+            let Some(victim) = meta.replacer.victim() else {
+                if meta.in_flight > 0 {
+                    meta = wait(shard, meta);
+                    continue;
+                }
+                return (
+                    meta,
+                    Err(StorageError::PoolExhausted {
+                        frames: self.capacity,
+                    }),
+                );
+            };
+            let old_block = meta.frames[victim]
+                .block
+                .expect("victim frame must hold a block");
+            debug_assert!(
+                meta.frames[victim].readers == 0 && !meta.frames[victim].writer,
+                "victim must be unpinned"
+            );
+            debug_assert!(
+                meta.frames[victim].state == FrameState::Resident,
+                "victim must not be mid-I/O (in-flight frames are unevictable)"
+            );
+            if !meta.frames[victim].dirty {
+                meta.map.remove(&old_block);
+                meta.frames[victim].block = None;
+                return (meta, Ok(victim));
+            }
+
+            // Dirty-copy-then-write: snapshot under the lock, write with
+            // the lock dropped. The Evicting state keeps the victim frame
+            // unreachable (not free, not in the replacer, its block's pins
+            // wait), so the snapshot cannot go stale.
+            // SAFETY: victim is unpinned and the shard lock is held.
+            let copy: Box<[u8]> = unsafe {
+                std::slice::from_raw_parts(shard.bufs[victim].ptr().cast::<u8>(), self.block_size)
+            }
+            .into();
+            meta.frames[victim].state = FrameState::Evicting;
+            meta.in_flight += 1;
+            self.in_flight.begin_writeback();
+            drop(meta);
+
+            let res = self.device.write_block(old_block, &copy);
+
+            let mut meta_back = lock(&shard.meta);
+            meta_back.in_flight -= 1;
+            self.in_flight.end_writeback();
+            meta_back.frames[victim].state = FrameState::Resident;
+            match res {
+                Err(e) => {
+                    // Failed write-back: put the victim back under
+                    // replacement so the frame (and its mapped block, still
+                    // dirty) are not stranded.
+                    meta_back.replacer.record_access(victim);
+                    meta_back.replacer.set_evictable(victim, true);
+                    shard.unpinned.notify_all();
+                    return (meta_back, Err(e));
+                }
+                Ok(()) => {
+                    shard.evict_writebacks.fetch_add(1, Ordering::Relaxed);
+                    meta_back.frames[victim].dirty = false;
+                    meta_back.map.remove(&old_block);
+                    meta_back.frames[victim].block = None;
+                    // Wake waiters parked on the outgoing block (they
+                    // re-run as misses) and frame seekers.
+                    shard.unpinned.notify_all();
+                    return (meta_back, Ok(victim));
+                }
+            }
         }
-        meta.map.remove(&old_block);
-        meta.frames[victim].block = None;
-        Ok(victim)
     }
 
     fn unpin(&self, shard_idx: usize, frame: FrameId, mode: AccessMode) {
@@ -524,7 +855,10 @@ impl BufferPool {
                 fm.writer = false;
             }
         }
-        if fm.readers == 0 && !fm.writer {
+        // A frame can be unpinned to zero while a flush of it is in flight
+        // (shared pins are legal then); evictability is restored by the
+        // flush completion in that case, not here.
+        if fm.readers == 0 && !fm.writer && fm.state == FrameState::Resident {
             meta.replacer.set_evictable(frame, true);
             drop(meta);
             shard.unpinned.notify_all();
@@ -559,50 +893,88 @@ impl BufferPool {
         Ok(f(page.as_bytes_mut()))
     }
 
+    /// Write a dirty resident frame's snapshot to the device with the
+    /// shard lock dropped (state [`FrameState::WriteBackInFlight`]).
+    ///
+    /// The caller must have verified, under the passed guard, that the
+    /// frame is `Resident`, dirty, and not exclusively pinned. Shared
+    /// readers of the block stay legal throughout (the snapshot is
+    /// consistent); exclusive pins and eviction wait the write out. On
+    /// success the dirty bit clears; on failure it stays set.
+    fn writeback_resident<'a>(
+        &self,
+        shard: &'a Shard,
+        mut meta: MutexGuard<'a, ShardMeta>,
+        frame: FrameId,
+        block: BlockId,
+    ) -> (MutexGuard<'a, ShardMeta>, Result<()>) {
+        debug_assert!(
+            meta.frames[frame].state == FrameState::Resident
+                && meta.frames[frame].dirty
+                && !meta.frames[frame].writer,
+            "flush of a frame that is not a dirty, writer-free resident"
+        );
+        // SAFETY: no writer is active (checked above, and none can start
+        // while the state is WriteBackInFlight) and the shard lock is held
+        // for the copy, so the snapshot is consistent.
+        let copy: Box<[u8]> = unsafe {
+            std::slice::from_raw_parts(shard.bufs[frame].ptr().cast::<u8>(), self.block_size)
+        }
+        .into();
+        meta.frames[frame].state = FrameState::WriteBackInFlight;
+        // Not evictable while the write is outstanding; restored below.
+        meta.replacer.set_evictable(frame, false);
+        meta.in_flight += 1;
+        self.in_flight.begin_writeback();
+        drop(meta);
+
+        let res = self.device.write_block(block, &copy);
+
+        let mut meta = lock(&shard.meta);
+        meta.in_flight -= 1;
+        self.in_flight.end_writeback();
+        meta.frames[frame].state = FrameState::Resident;
+        if res.is_ok() {
+            meta.frames[frame].dirty = false;
+        }
+        let evictable = meta.frames[frame].readers == 0 && !meta.frames[frame].writer;
+        meta.replacer.set_evictable(frame, evictable);
+        shard.unpinned.notify_all();
+        (meta, res)
+    }
+
     /// Write every dirty frame back to the device (frames stay resident).
     ///
     /// Frames held under an exclusive pin are skipped: their holder will
     /// mark them dirty again anyway, and flushing mid-write would persist a
-    /// torn page.
+    /// torn page. Each write runs with the shard lock dropped, so pins of
+    /// other blocks proceed while the flush streams out.
     pub fn flush_all(&self) -> Result<()> {
         for shard in self.shards.iter() {
             let mut meta = lock(&shard.meta);
             for frame in 0..meta.frames.len() {
-                if meta.frames[frame].dirty && !meta.frames[frame].writer {
-                    let block = meta.frames[frame]
-                        .block
-                        .expect("dirty frame must hold a block");
-                    // SAFETY: no writer is active and the shard lock is held,
-                    // so the contents are stable for the duration.
-                    let bytes = unsafe {
-                        std::slice::from_raw_parts(
-                            shard.bufs[frame].ptr().cast::<u8>(),
-                            self.block_size,
-                        )
-                    };
-                    self.device.lock().unwrap().write_block(block, bytes)?;
-                    meta.frames[frame].dirty = false;
+                let fm = &meta.frames[frame];
+                if fm.dirty && !fm.writer && fm.state == FrameState::Resident {
+                    let block = fm.block.expect("dirty frame must hold a block");
+                    let (meta_back, res) = self.writeback_resident(shard, meta, frame, block);
+                    meta = meta_back;
+                    res?;
                 }
             }
         }
         Ok(())
     }
 
-    /// Flush one block if resident and dirty (and not exclusively pinned).
+    /// Flush one block if resident and dirty (and not exclusively pinned
+    /// or already mid-write).
     pub fn flush_block(&self, block: BlockId) -> Result<()> {
         let shard = self.shard_of(block);
-        let mut meta = lock(&shard.meta);
+        let meta = lock(&shard.meta);
         if let Some(&frame) = meta.map.get(&block) {
-            if meta.frames[frame].dirty && !meta.frames[frame].writer {
-                // SAFETY: as in `flush_all`.
-                let bytes = unsafe {
-                    std::slice::from_raw_parts(
-                        shard.bufs[frame].ptr().cast::<u8>(),
-                        self.block_size,
-                    )
-                };
-                self.device.lock().unwrap().write_block(block, bytes)?;
-                meta.frames[frame].dirty = false;
+            let fm = &meta.frames[frame];
+            if fm.dirty && !fm.writer && fm.state == FrameState::Resident {
+                let (_meta, res) = self.writeback_resident(shard, meta, frame, block);
+                return res;
             }
         }
         Ok(())
@@ -619,29 +991,36 @@ impl BufferPool {
             let resident: Vec<(BlockId, FrameId)> =
                 meta.map.iter().map(|(&b, &f)| (b, f)).collect();
             for (block, frame) in resident {
-                if meta.frames[frame].readers == 0 && !meta.frames[frame].writer {
-                    if meta.frames[frame].dirty {
-                        // A writer released between flush_all and here (or
-                        // flush_all skipped it while exclusively pinned):
-                        // write back under this shard lock so the update is
-                        // not dropped with the frame.
-                        // SAFETY: frame is unpinned and the shard lock is
-                        // held, so the contents are stable.
-                        let bytes = unsafe {
-                            std::slice::from_raw_parts(
-                                shard.bufs[frame].ptr().cast::<u8>(),
-                                self.block_size,
-                            )
-                        };
-                        self.device.lock().unwrap().write_block(block, bytes)?;
-                        meta.frames[frame].dirty = false;
-                    }
-                    meta.map.remove(&block);
-                    meta.frames[frame].block = None;
-                    meta.replacer.remove(frame);
-                    meta.free.push(frame);
+                // Re-validate: writes below drop the lock, so the snapshot
+                // list can go stale (frame recycled, block re-pinned).
+                let still_ours = |m: &ShardMeta| {
+                    m.map.get(&block) == Some(&frame)
+                        && m.frames[frame].readers == 0
+                        && !m.frames[frame].writer
+                        && m.frames[frame].state == FrameState::Resident
+                };
+                if !still_ours(&meta) {
+                    continue;
                 }
+                if meta.frames[frame].dirty {
+                    // A writer released between flush_all and here (or
+                    // flush_all skipped it while exclusively pinned):
+                    // write back so the update is not dropped with the
+                    // frame.
+                    let (meta_back, res) = self.writeback_resident(shard, meta, frame, block);
+                    meta = meta_back;
+                    res?;
+                    if !still_ours(&meta) || meta.frames[frame].dirty {
+                        continue;
+                    }
+                }
+                meta.map.remove(&block);
+                meta.frames[frame].block = None;
+                meta.replacer.remove(frame);
+                meta.free.push(frame);
             }
+            drop(meta);
+            shard.unpinned.notify_all();
         }
         Ok(())
     }
@@ -662,6 +1041,10 @@ pub struct PinnedFrame<'p> {
     block: BlockId,
     ptr: *const f64,
     len: usize,
+    /// Thread that took the pin; guards are `Send`, so the re-entrancy
+    /// registry entry must be released under this key, not the dropper's.
+    #[cfg(debug_assertions)]
+    owner: std::thread::ThreadId,
 }
 
 // SAFETY: the guard only reads through `ptr`, which stays valid while the
@@ -693,6 +1076,15 @@ impl PinnedFrame<'_> {
     }
 }
 
+impl std::fmt::Debug for PinnedFrame<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedFrame")
+            .field("block", &self.block)
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Deref for PinnedFrame<'_> {
     type Target = [f64];
 
@@ -705,6 +1097,8 @@ impl Deref for PinnedFrame<'_> {
 impl Drop for PinnedFrame<'_> {
     fn drop(&mut self) {
         self.pool.unpin(self.shard, self.frame, AccessMode::Shared);
+        #[cfg(debug_assertions)]
+        reentry::release(self.pool.id(), self.block.0, self.owner);
     }
 }
 
@@ -717,6 +1111,9 @@ pub struct PinnedFrameMut<'p> {
     block: BlockId,
     ptr: *mut f64,
     len: usize,
+    /// Thread that took the pin; see [`PinnedFrame`]'s `owner`.
+    #[cfg(debug_assertions)]
+    owner: std::thread::ThreadId,
 }
 
 // SAFETY: exclusive access through `ptr` is guaranteed by the writer flag;
@@ -747,6 +1144,15 @@ impl PinnedFrameMut<'_> {
     }
 }
 
+impl std::fmt::Debug for PinnedFrameMut<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedFrameMut")
+            .field("block", &self.block)
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Deref for PinnedFrameMut<'_> {
     type Target = [f64];
 
@@ -767,6 +1173,8 @@ impl Drop for PinnedFrameMut<'_> {
     fn drop(&mut self) {
         self.pool
             .unpin(self.shard, self.frame, AccessMode::Exclusive);
+        #[cfg(debug_assertions)]
+        reentry::release(self.pool.id(), self.block.0, self.owner);
     }
 }
 
@@ -774,6 +1182,7 @@ impl Drop for PinnedFrameMut<'_> {
 mod tests {
     use super::*;
     use crate::mem_device::MemBlockDevice;
+    use crate::testing::FailpointDevice;
 
     fn pool(frames: usize) -> BufferPool {
         BufferPool::new(
@@ -1000,6 +1409,117 @@ mod tests {
         let b = p.allocate_blocks(1).unwrap();
         let _g = p.pin_new(b).unwrap();
         let _ = p.free_blocks(b, 1);
+    }
+
+    /// The PR-3 bugfix: a shared pin taken while the same thread already
+    /// holds an exclusive pin on the block used to deadlock silently
+    /// (waiting for itself). Debug builds now detect the re-entrancy at
+    /// the wait site and panic with the block id.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "re-entrant conflicting pin on block #0")]
+    fn reentrant_conflicting_pin_panics_in_debug() {
+        let p = pool(2);
+        let b = p.allocate_blocks(1).unwrap();
+        let _w = p.pin_new(b).unwrap();
+        let _r = p.pin(b); // would deadlock; detected instead
+    }
+
+    /// The mirror case: an exclusive pin on top of our own shared pin.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "re-entrant conflicting pin on block #0")]
+    fn reentrant_upgrade_panics_in_debug() {
+        let p = pool(2);
+        let b = p.allocate_blocks(1).unwrap();
+        p.write_new(b, |_| ()).unwrap();
+        let _r = p.pin(b).unwrap();
+        let _w = p.pin_mut(b); // upgrade from ourselves: detected
+    }
+
+    /// Guards are `Send`: a pin taken here and dropped on another thread
+    /// must clear this thread's re-entrancy bookkeeping, or a later
+    /// perfectly legal blocking pin would false-panic.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn cross_thread_guard_drop_clears_reentry_registry() {
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        let p = pool(2);
+        let b = p.allocate_blocks(1).unwrap();
+        p.write_new(b, |d| d[0] = 1).unwrap();
+
+        // Pin on this thread, drop on another.
+        let g = p.pin(b).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(move || drop(g));
+        });
+
+        // Now make this thread genuinely *wait* on a conflicting pin held
+        // by a worker: with a stale registry entry this would panic as a
+        // phantom re-entrant pin; with correct bookkeeping it just blocks
+        // until the worker releases.
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut w = p.pin_mut(b).unwrap();
+                tx.send(()).unwrap();
+                std::thread::sleep(Duration::from_millis(80));
+                w[0] = 2.0;
+            });
+            rx.recv().unwrap();
+            let r = p.pin(b).unwrap(); // waits out the writer, no panic
+            assert_eq!(r[0], 2.0);
+        });
+    }
+
+    #[test]
+    fn failed_eviction_writeback_keeps_victim_usable() {
+        let dev = FailpointDevice::new(Box::new(MemBlockDevice::new(64)));
+        let fp = dev.handle();
+        let p = BufferPool::new(
+            Box::new(dev),
+            PoolConfig {
+                frames: 2,
+                replacer: ReplacerKind::Lru,
+            },
+        );
+        let b = p.allocate_blocks(3).unwrap();
+        p.write_new(b, |d| d[0] = 10).unwrap();
+        p.write_new(b.offset(1), |d| d[0] = 11).unwrap();
+        // The LRU victim for a third page is block 0 — fail its write-back.
+        fp.fail_writes(b, 1);
+        assert!(p.pin_new(b.offset(2)).is_err(), "write-back error surfaces");
+        // Nothing was written or counted, and the victim is still there.
+        assert_eq!(p.io_stats().snapshot().writes, 0);
+        assert_eq!(p.pool_stats().evict_writebacks, 0);
+        assert_eq!(p.read(b, |d| d[0]).unwrap(), 10, "victim data intact");
+        // Retrying succeeds: the failed victim was refreshed by the retry
+        // read above, so block 1 is now the (dirty) victim.
+        p.write_new(b.offset(2), |d| d[0] = 12).unwrap();
+        assert_eq!(p.io_stats().snapshot().writes, 1);
+        assert_eq!(p.pool_stats().evict_writebacks, 1);
+        assert_eq!(p.resident(), 2);
+    }
+
+    #[test]
+    fn in_flight_gauges_idle_at_rest_and_capped_single_threaded() {
+        let p = pool(2);
+        let b = p.allocate_blocks(4).unwrap();
+        for i in 0..4 {
+            p.write_new(b.offset(i), |d| d[0] = i as u8).unwrap();
+        }
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        for i in 0..4 {
+            p.read(b.offset(i), |_| ()).unwrap();
+        }
+        let g = p.in_flight();
+        assert_eq!((g.loads(), g.writebacks()), (0, 0), "gauges drain to zero");
+        assert!(g.peak_loads() <= 1, "single-threaded loads never overlap");
+        assert!(g.peak_writebacks() <= 1);
+        assert_eq!(p.pool_stats().coalesced_loads, 0);
     }
 
     #[test]

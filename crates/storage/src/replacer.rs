@@ -18,6 +18,15 @@ pub type FrameId = usize;
 /// [`Replacer::set_evictable`] as pin counts rise and fall, and
 /// [`Replacer::victim`] when it needs to free a frame. Only frames marked
 /// evictable may be returned as victims.
+///
+/// Frames with device I/O in flight (loading, flushing, or mid-eviction —
+/// see the frame state machine in `crate::pool`) are never evictable: the
+/// pool clears evictability before dropping its shard lock around the
+/// transfer and restores it afterwards, and `victim` removes the chosen
+/// frame from the policy entirely, so a frame in the `Evicting` state
+/// cannot be handed out a second time while its write-back is outstanding.
+/// Policies therefore need no in-flight awareness of their own — skipping
+/// busy frames falls out of the evictable flag.
 pub trait Replacer {
     /// Note that `frame` was just accessed.
     fn record_access(&mut self, frame: FrameId);

@@ -180,6 +180,70 @@ impl fmt::Display for IoSnapshot {
     }
 }
 
+/// Gauges for device I/O that is *currently in flight* on behalf of the
+/// buffer pool — miss loads and (eviction or flush) write-backs running
+/// with the shard lock dropped.
+///
+/// The `peak_*` high-water marks are what the overlap tests assert on: a
+/// peak of `k > 1` proves `k` device transfers were genuinely outstanding
+/// at once, which a pool that holds a lock across I/O can never produce.
+/// Single-threaded, both gauges are always 0 at rest and the peaks never
+/// exceed 1.
+#[derive(Debug, Default)]
+pub struct InFlight {
+    loads: AtomicU64,
+    writebacks: AtomicU64,
+    peak_loads: AtomicU64,
+    peak_writebacks: AtomicU64,
+}
+
+impl InFlight {
+    fn raise(current: &AtomicU64, peak: &AtomicU64) {
+        let now = current.fetch_add(1, Ordering::Relaxed) + 1;
+        peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// A miss load started (device read outstanding).
+    pub fn begin_load(&self) {
+        Self::raise(&self.loads, &self.peak_loads);
+    }
+
+    /// A miss load finished (successfully or not).
+    pub fn end_load(&self) {
+        self.loads.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A write-back started (device write outstanding).
+    pub fn begin_writeback(&self) {
+        Self::raise(&self.writebacks, &self.peak_writebacks);
+    }
+
+    /// A write-back finished (successfully or not).
+    pub fn end_writeback(&self) {
+        self.writebacks.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Device reads currently outstanding.
+    pub fn loads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
+    }
+
+    /// Device writes currently outstanding.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks.load(Ordering::Relaxed)
+    }
+
+    /// Most loads ever outstanding simultaneously.
+    pub fn peak_loads(&self) -> u64 {
+        self.peak_loads.load(Ordering::Relaxed)
+    }
+
+    /// Most write-backs ever outstanding simultaneously.
+    pub fn peak_writebacks(&self) -> u64 {
+        self.peak_writebacks.load(Ordering::Relaxed)
+    }
+}
+
 /// A simple rotating-disk latency model used to convert block counts into
 /// the modeled execution time of Figure 1(b).
 ///
@@ -305,6 +369,22 @@ mod tests {
             ..Default::default()
         };
         assert!(m.modeled_seconds(&rand, 0) > 10.0 * m.modeled_seconds(&seq, 0));
+    }
+
+    #[test]
+    fn in_flight_gauges_track_peaks() {
+        let g = InFlight::default();
+        assert_eq!((g.loads(), g.peak_loads()), (0, 0));
+        g.begin_load();
+        g.begin_load();
+        assert_eq!((g.loads(), g.peak_loads()), (2, 2));
+        g.end_load();
+        g.begin_writeback();
+        g.end_writeback();
+        g.end_load();
+        assert_eq!(g.loads(), 0);
+        assert_eq!(g.peak_loads(), 2, "peak survives the drain");
+        assert_eq!((g.writebacks(), g.peak_writebacks()), (0, 1));
     }
 
     #[test]

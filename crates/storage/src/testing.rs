@@ -1,0 +1,367 @@
+//! Test support: fault injection, latency injection, and hang detection
+//! for the storage stack.
+//!
+//! The concurrency claims of the buffer pool (single-flight misses,
+//! overlapped device I/O, failure containment) are only as good as the
+//! harness that can *schedule* the interesting interleavings. This module
+//! provides:
+//!
+//! * [`FailpointDevice`] — wraps any [`BlockDevice`] with injectable
+//!   per-block read/write errors, configurable transfer latency, and
+//!   short-transfer caps, all controlled through a [`FailpointHandle`]
+//!   that stays usable after the device moves into a pool.
+//! * [`Watchdog`] — a per-test hang detector: if the armed region does not
+//!   disarm (drop) within its budget, the process aborts with a message.
+//!   A lost condvar wake-up in the pool otherwise presents as a test
+//!   runner that sits silent forever — exactly the failure CI can least
+//!   afford to diagnose.
+//!
+//! Injected failures happen *before* the inner device runs, so the shared
+//! [`crate::IoStats`] count only transfers that genuinely reached the
+//! device — the error-path tests pin pool counters exactly.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::device::{BlockDevice, BlockId};
+use crate::error::{Result, StorageError};
+use crate::stats::IoStats;
+
+#[derive(Debug, Default)]
+struct Plan {
+    fail_reads: HashMap<u64, u32>,
+    fail_writes: HashMap<u64, u32>,
+    read_latency: Duration,
+    write_latency: Duration,
+    read_cap: Option<usize>,
+    write_cap: Option<usize>,
+    injected_read_errors: u64,
+    injected_write_errors: u64,
+}
+
+impl Plan {
+    /// Consume one pending failure for `block` in `table`, if any.
+    fn take_failure(table: &mut HashMap<u64, u32>, block: BlockId) -> bool {
+        match table.get_mut(&block.0) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                if *n == 0 {
+                    table.remove(&block.0);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Remote control for a [`FailpointDevice`] that has already been boxed
+/// into a buffer pool. Cloneable; all methods are safe to call while I/O
+/// is in flight (they affect subsequent transfers).
+#[derive(Clone)]
+pub struct FailpointHandle(Arc<Mutex<Plan>>);
+
+impl FailpointHandle {
+    /// Fail the next `times` reads of `block` with an injected I/O error.
+    pub fn fail_reads(&self, block: BlockId, times: u32) {
+        self.0.lock().unwrap().fail_reads.insert(block.0, times);
+    }
+
+    /// Fail the next `times` writes of `block` with an injected I/O error.
+    pub fn fail_writes(&self, block: BlockId, times: u32) {
+        self.0.lock().unwrap().fail_writes.insert(block.0, times);
+    }
+
+    /// Sleep this long inside every subsequent read (outside any lock), to
+    /// simulate device latency and widen interleaving windows.
+    pub fn set_read_latency(&self, latency: Duration) {
+        self.0.lock().unwrap().read_latency = latency;
+    }
+
+    /// Sleep this long inside every subsequent write.
+    pub fn set_write_latency(&self, latency: Duration) {
+        self.0.lock().unwrap().write_latency = latency;
+    }
+
+    /// Cap every subsequent read to a `bytes`-long prefix: the caller's
+    /// buffer receives only the prefix and the read errors out, like a
+    /// transfer torn mid-DMA. `None` removes the cap.
+    pub fn cap_read_transfer(&self, bytes: Option<usize>) {
+        self.0.lock().unwrap().read_cap = bytes;
+    }
+
+    /// Cap every subsequent write to a `bytes`-long prefix (the device
+    /// receives nothing; the write errors out). `None` removes the cap.
+    pub fn cap_write_transfer(&self, bytes: Option<usize>) {
+        self.0.lock().unwrap().write_cap = bytes;
+    }
+
+    /// How many read errors have been injected so far.
+    pub fn injected_read_errors(&self) -> u64 {
+        self.0.lock().unwrap().injected_read_errors
+    }
+
+    /// How many write errors have been injected so far.
+    pub fn injected_write_errors(&self) -> u64 {
+        self.0.lock().unwrap().injected_write_errors
+    }
+}
+
+/// A [`BlockDevice`] wrapper that injects failures, latency, and short
+/// transfers per the plan on its [`FailpointHandle`].
+///
+/// Latency sleeps run outside both the plan lock and the inner device, so
+/// concurrent transfers of distinct blocks overlap their injected latency
+/// exactly as real device transfers would — which is what the
+/// deterministic-interleaving tests measure.
+pub struct FailpointDevice {
+    inner: Box<dyn BlockDevice>,
+    plan: Arc<Mutex<Plan>>,
+}
+
+impl FailpointDevice {
+    /// Wrap `inner` with an empty failure plan.
+    pub fn new(inner: Box<dyn BlockDevice>) -> Self {
+        FailpointDevice {
+            inner,
+            plan: Arc::new(Mutex::new(Plan::default())),
+        }
+    }
+
+    /// The remote control; clone freely, keeps working after the device
+    /// moves into a pool.
+    pub fn handle(&self) -> FailpointHandle {
+        FailpointHandle(Arc::clone(&self.plan))
+    }
+}
+
+fn injected(op: &str, id: BlockId) -> StorageError {
+    StorageError::Io(std::io::Error::other(format!(
+        "injected {op} failure at block {id}"
+    )))
+}
+
+impl BlockDevice for FailpointDevice {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
+        let (fail, latency, cap) = {
+            let mut plan = self.plan.lock().unwrap();
+            let fail = Plan::take_failure(&mut plan.fail_reads, id);
+            if fail {
+                plan.injected_read_errors += 1;
+            }
+            (fail, plan.read_latency, plan.read_cap)
+        };
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        if fail {
+            return Err(injected("read", id));
+        }
+        if let Some(cap) = cap {
+            if cap < buf.len() {
+                // Deliver a torn prefix, then error: the pool must not
+                // publish the partially-filled frame.
+                let mut full = vec![0u8; buf.len()];
+                self.inner.read_block(id, &mut full)?;
+                buf[..cap].copy_from_slice(&full[..cap]);
+                self.plan.lock().unwrap().injected_read_errors += 1;
+                return Err(StorageError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    format!("short read: {cap} of {} bytes at block {id}", full.len()),
+                )));
+            }
+        }
+        self.inner.read_block(id, buf)
+    }
+
+    fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
+        let (fail, latency, cap) = {
+            let mut plan = self.plan.lock().unwrap();
+            let fail = Plan::take_failure(&mut plan.fail_writes, id);
+            if fail {
+                plan.injected_write_errors += 1;
+            }
+            (fail, plan.write_latency, plan.write_cap)
+        };
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+        if fail {
+            return Err(injected("write", id));
+        }
+        if let Some(cap) = cap {
+            if cap < buf.len() {
+                // The device accepts nothing: a short write must never
+                // leave a half-new half-old block behind.
+                self.plan.lock().unwrap().injected_write_errors += 1;
+                return Err(StorageError::Io(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    format!("short write: {cap} of {} bytes at block {id}", buf.len()),
+                )));
+            }
+        }
+        self.inner.write_block(id, buf)
+    }
+
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        self.inner.allocate(n)
+    }
+
+    fn free(&self, start: BlockId, n: u64) -> Result<()> {
+        self.inner.free(start, n)
+    }
+
+    fn stats(&self) -> Arc<IoStats> {
+        self.inner.stats()
+    }
+
+    fn concurrent_io(&self) -> bool {
+        self.inner.concurrent_io()
+    }
+}
+
+/// A hang detector for concurrency tests: aborts the whole process (with a
+/// message naming the armed region) if not dropped within `timeout`.
+///
+/// `cargo test` has no per-test timeout, so a missed condvar notification
+/// turns into a silent forever-hang; the watchdog converts it into a loud,
+/// attributable failure within a bounded time. The CI workflow's
+/// single-thread and release legs rely on this as the "no test may exceed
+/// 60 s" enforcement point.
+pub struct Watchdog {
+    state: Arc<(Mutex<bool>, Condvar)>,
+}
+
+impl Watchdog {
+    /// Arm a watchdog for the current test region.
+    pub fn arm(label: &'static str, timeout: Duration) -> Watchdog {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            let (disarmed, cv) = &*thread_state;
+            let deadline = std::time::Instant::now() + timeout;
+            let mut disarmed = disarmed.lock().unwrap();
+            while !*disarmed {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    eprintln!(
+                        "watchdog '{label}': region still running after {timeout:?} — \
+                         likely a hung condvar wait; aborting the process"
+                    );
+                    std::process::abort();
+                }
+                let (guard, _) = cv.wait_timeout(disarmed, deadline - now).unwrap();
+                disarmed = guard;
+            }
+        });
+        Watchdog { state }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        *self.state.0.lock().unwrap() = true;
+        self.state.1.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem_device::MemBlockDevice;
+
+    fn dev() -> (FailpointDevice, FailpointHandle) {
+        let d = FailpointDevice::new(Box::new(MemBlockDevice::new(64)));
+        let h = d.handle();
+        (d, h)
+    }
+
+    #[test]
+    fn failures_are_consumed_in_order() {
+        let (d, h) = dev();
+        let b = d.allocate(1).unwrap();
+        let data = vec![5u8; 64];
+        d.write_block(b, &data).unwrap();
+        h.fail_reads(b, 2);
+        let mut out = vec![0u8; 64];
+        assert!(d.read_block(b, &mut out).is_err());
+        assert!(d.read_block(b, &mut out).is_err());
+        d.read_block(b, &mut out).unwrap();
+        assert_eq!(out[0], 5);
+        assert_eq!(h.injected_read_errors(), 2);
+        // Only the successful read reached the stats.
+        assert_eq!(d.stats().snapshot().reads, 1);
+    }
+
+    #[test]
+    fn write_failures_leave_device_unchanged() {
+        let (d, h) = dev();
+        let b = d.allocate(1).unwrap();
+        d.write_block(b, &[1u8; 64]).unwrap();
+        h.fail_writes(b, 1);
+        assert!(d.write_block(b, &[2u8; 64]).is_err());
+        let mut out = vec![0u8; 64];
+        d.read_block(b, &mut out).unwrap();
+        assert_eq!(out[0], 1, "failed write must not land");
+        assert_eq!(h.injected_write_errors(), 1);
+        assert_eq!(d.stats().snapshot().writes, 1);
+    }
+
+    #[test]
+    fn short_reads_deliver_torn_prefix_and_error() {
+        let (d, h) = dev();
+        let b = d.allocate(1).unwrap();
+        d.write_block(b, &[9u8; 64]).unwrap();
+        h.cap_read_transfer(Some(8));
+        let mut out = vec![0u8; 64];
+        let err = d.read_block(b, &mut out).unwrap_err();
+        assert!(err.to_string().contains("short read"));
+        assert_eq!(&out[..8], &[9u8; 8], "prefix delivered");
+        assert_eq!(out[8], 0, "suffix untouched");
+        h.cap_read_transfer(None);
+        d.read_block(b, &mut out).unwrap();
+        assert_eq!(out[63], 9);
+    }
+
+    #[test]
+    fn short_writes_error_without_landing() {
+        let (d, h) = dev();
+        let b = d.allocate(1).unwrap();
+        d.write_block(b, &[3u8; 64]).unwrap();
+        h.cap_write_transfer(Some(4));
+        assert!(d.write_block(b, &[4u8; 64]).is_err());
+        h.cap_write_transfer(None);
+        let mut out = vec![0u8; 64];
+        d.read_block(b, &mut out).unwrap();
+        assert_eq!(out[0], 3);
+    }
+
+    #[test]
+    fn latency_is_injected() {
+        let (d, h) = dev();
+        let b = d.allocate(1).unwrap();
+        d.write_block(b, &[1u8; 64]).unwrap();
+        h.set_read_latency(Duration::from_millis(30));
+        let start = std::time::Instant::now();
+        let mut out = vec![0u8; 64];
+        d.read_block(b, &mut out).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn watchdog_disarms_on_drop() {
+        // Just proves arming + dropping is quiet; the abort path is, by
+        // construction, not unit-testable in-process.
+        let w = Watchdog::arm("watchdog_disarms_on_drop", Duration::from_secs(60));
+        drop(w);
+    }
+}
