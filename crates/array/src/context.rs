@@ -89,7 +89,29 @@ impl StorageCtx {
             .create(&self.pool, blocks, name)
     }
 
-    /// Drop an object, releasing its blocks.
+    /// Allocate a **growable** object of `blocks` initial blocks; grow it
+    /// later with [`StorageCtx::extend_object`]. Used for spill runs whose
+    /// final size is only known after a producing pass.
+    pub fn alloc_growable(&self, blocks: u64, name: Option<&str>) -> Result<(ObjectId, Extent)> {
+        self.catalog
+            .lock()
+            .unwrap()
+            .alloc_growable(&self.pool, blocks, name)
+    }
+
+    /// Grow object `id` by a fresh contiguous run of `blocks` blocks,
+    /// returning the new segment (not necessarily adjacent to the old
+    /// ones — the object's address space is its segment concatenation).
+    pub fn extend_object(&self, id: ObjectId, blocks: u64) -> Result<Extent> {
+        self.catalog.lock().unwrap().extend(&self.pool, id, blocks)
+    }
+
+    /// All extents of object `id`, in allocation order.
+    pub fn object_segments(&self, id: ObjectId) -> Result<Vec<Extent>> {
+        self.catalog.lock().unwrap().segments(id)
+    }
+
+    /// Drop an object, releasing all of its blocks.
     pub fn drop_object(&self, id: ObjectId) -> Result<()> {
         self.catalog.lock().unwrap().drop_object(&self.pool, id)
     }
@@ -131,6 +153,17 @@ mod tests {
         assert_eq!(ext.blocks, 3);
         assert_eq!(ctx.total_blocks(), 3);
         assert_eq!(ctx.live_objects(), 1);
+        ctx.drop_object(id).unwrap();
+        assert_eq!(ctx.total_blocks(), 0);
+    }
+
+    #[test]
+    fn growable_objects_extend_and_free() {
+        let ctx = StorageCtx::new_mem(64, 8);
+        let (id, first) = ctx.alloc_growable(1, Some("spill")).unwrap();
+        let second = ctx.extend_object(id, 2).unwrap();
+        assert_eq!(ctx.object_segments(id).unwrap(), vec![first, second]);
+        assert_eq!(ctx.total_blocks(), 3);
         ctx.drop_object(id).unwrap();
         assert_eq!(ctx.total_blocks(), 0);
     }

@@ -33,6 +33,17 @@ pub enum MatrixLayout {
 }
 
 impl MatrixLayout {
+    /// The layout whose tiles are this layout's tiles transposed: a
+    /// transposed matrix stored with it keeps a one-to-one tile mapping
+    /// (`out tile (j, i)` = `in tile (i, j)` transposed).
+    pub fn transposed(self) -> MatrixLayout {
+        match self {
+            MatrixLayout::RowMajor => MatrixLayout::ColMajor,
+            MatrixLayout::ColMajor => MatrixLayout::RowMajor,
+            MatrixLayout::Square => MatrixLayout::Square,
+        }
+    }
+
     /// Tile dimensions `(rows, cols)` in elements for `epb` elements/block.
     pub fn tile_dims(self, epb: usize) -> (usize, usize) {
         match self {

@@ -1,11 +1,12 @@
-//! Sparse kernels across densities {0.001, 0.01, 0.1}, plus the
-//! 1/2/4/8-thread tiled-matmul scaling point from the ROADMAP; results
-//! land in `BENCH_pr2.json` at the repository root.
+//! The full sparse kernel family across densities {0.001, 0.01, 0.1} —
+//! SpMV, two-pass SpMM (spilled plan), native transpose, and dense x
+//! sparse — plus the 1/2/4/8-thread tiled-matmul scaling point from the
+//! ROADMAP; results land in `BENCH_pr4.json` at the repository root.
 //!
-//! The headline figure is the I/O ratio: SpMV reads only occupied pages,
-//! so its block reads track `1 - (1-d)^B` of the dense footprint. Wall
-//! times on a 1-core CI box are recorded but not asserted (re-run on real
-//! hardware for meaningful parallel speedups).
+//! The headline figure is the I/O ratio: every sparse kernel touches only
+//! occupied pages, so its block reads track `1 - (1-d)^B` of the dense
+//! footprint. Wall times on a 1-core CI box are recorded but not asserted
+//! (re-run on real hardware for meaningful parallel speedups).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -13,7 +14,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use riot_array::{DenseMatrix, DenseVector, MatrixLayout, StorageCtx, TileOrder};
-use riot_core::exec::{dmv, matmul_tiled_parallel, spmm, spmv};
+use riot_core::exec::{dmspm, dmv, matmul_tiled_parallel, spmm, spmv, sptranspose};
 use riot_sparse::SparseMatrix;
 
 fn random_triplets(n: usize, density: f64, seed: u64) -> Vec<(usize, usize, f64)> {
@@ -125,6 +126,117 @@ fn bench_spmm(n: usize, density: f64) -> SpmmRow {
     }
 }
 
+struct TransposeRow {
+    density: f64,
+    occupied: u64,
+    dense_blocks: u64,
+    sparse_reads: u64,
+    sparse_writes: u64,
+    dense_io: u64,
+    sparse_secs: f64,
+}
+
+fn bench_transpose(n: usize, density: f64) -> TransposeRow {
+    let ctx = StorageCtx::new_mem(8192, 8192);
+    let trips = random_triplets(n, density, 0xace + (density * 1e6) as u64);
+    let a = SparseMatrix::from_triplets(&ctx, n, n, MatrixLayout::Square, &trips, None).unwrap();
+
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    let t0 = Instant::now();
+    let (t, _) = sptranspose(&a, None).unwrap();
+    let sparse_secs = t0.elapsed().as_secs_f64();
+    ctx.pool().flush_all().unwrap();
+    let delta = ctx.io_snapshot() - before;
+
+    // Sanity: transpose preserved every non-zero.
+    assert_eq!(t.nnz(), a.nnz());
+    assert_eq!(t.shape(), (a.cols(), a.rows()));
+
+    // Reference cost a densifying transpose would pay: read + write the
+    // dense footprint both ways (decompress, transpose, recompress).
+    let dense_io = 4 * a.dense_blocks();
+    TransposeRow {
+        density,
+        occupied: a.occupied_pages(),
+        dense_blocks: a.dense_blocks(),
+        sparse_reads: delta.reads,
+        sparse_writes: delta.writes,
+        dense_io,
+        sparse_secs,
+    }
+}
+
+struct DmspmRow {
+    density: f64,
+    /// Total blocks (reads + flushed writes) the native kernel touched.
+    sparse_io: u64,
+    /// Total blocks of the densify-then-dense-multiply path, including
+    /// the densification pass itself.
+    dense_io: u64,
+    sparse_secs: f64,
+    dense_secs: f64,
+}
+
+/// Dense x sparse: the native `dmspm` kernel vs the old fallback
+/// (densify the rhs, then run the dense kernel) — cold cache. The
+/// fallback's measured window **includes the densification pass**, since
+/// that is I/O the old path really paid and `dmspm` does not.
+fn bench_dmspm(n: usize, density: f64) -> DmspmRow {
+    let ctx = StorageCtx::new_mem(8192, 8192);
+    let trips = random_triplets(n, density, 0xd5 + (density * 1e6) as u64);
+    let b = SparseMatrix::from_triplets(&ctx, n, n, MatrixLayout::Square, &trips, None).unwrap();
+    let a = DenseMatrix::from_fn(
+        &ctx,
+        n,
+        n,
+        MatrixLayout::Square,
+        TileOrder::RowMajor,
+        None,
+        |i, j| ((i * 13 + j * 7) % 23) as f64 - 11.0,
+    )
+    .unwrap();
+
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    let t0 = Instant::now();
+    let (ts, _) = dmspm(&a, &b, None).unwrap();
+    let sparse_secs = t0.elapsed().as_secs_f64();
+    ctx.pool().flush_all().unwrap();
+    let sparse_io = (ctx.io_snapshot() - before).total_blocks();
+
+    ctx.pool().flush_all().unwrap();
+    ctx.clear_cache().unwrap();
+    let before = ctx.io_snapshot();
+    let t0 = Instant::now();
+    let bd = b.to_dense(TileOrder::RowMajor, None).unwrap();
+    let (td, _) = riot_core::exec::multiply(
+        riot_core::exec::MatMulKernel::SquareTiled,
+        &a,
+        &bd,
+        1024 * 1024,
+        None,
+    )
+    .unwrap();
+    let dense_secs = t0.elapsed().as_secs_f64();
+    ctx.pool().flush_all().unwrap();
+    let dense_io = (ctx.io_snapshot() - before).total_blocks();
+
+    // Sanity: same product (up to summation-order rounding).
+    let (s, d) = (ts.to_rows().unwrap(), td.to_rows().unwrap());
+    assert!(s.iter().zip(&d).all(|(a, b)| (a - b).abs() < 1e-6));
+
+    DmspmRow {
+        density,
+        sparse_io,
+        dense_io,
+        sparse_secs,
+        dense_secs,
+    }
+}
+
 /// One tiled matmul at `threads` workers; `(secs, reads, writes)`.
 fn timed_tiled(n: usize, threads: usize) -> (f64, u64, u64) {
     let blocks_per_matrix = (n * n).div_ceil(1024);
@@ -173,7 +285,7 @@ fn main() {
     }
 
     let nm = 512;
-    println!("\nSpMM {nm}x{nm} (two-pass, cold cache):");
+    println!("\nSpMM {nm}x{nm} (two passes, pass two replays the spilled plan; cold cache):");
     let mut spmm_rows = Vec::new();
     for density in [0.001, 0.01, 0.1] {
         let row = bench_spmm(nm, density);
@@ -182,6 +294,34 @@ fn main() {
             row.out_nnz, row.out_pages, row.reads, row.writes, row.secs
         );
         spmm_rows.push(row);
+    }
+
+    println!("\nnative transpose {n}x{n} (cold cache) vs densify-transpose-recompress cost:");
+    let mut transpose_rows = Vec::new();
+    for density in [0.001, 0.01, 0.1] {
+        let row = bench_transpose(n, density);
+        println!(
+            "  d={density}: {} reads + {} writes ({}/{} pages, {:.4}s) vs ~{} dense blocks",
+            row.sparse_reads,
+            row.sparse_writes,
+            row.occupied,
+            row.dense_blocks,
+            row.sparse_secs,
+            row.dense_io
+        );
+        transpose_rows.push(row);
+    }
+
+    let nd = 512;
+    println!("\ndense x sparse {nd}x{nd}: dmspm vs densified fallback (cold cache):");
+    let mut dmspm_rows = Vec::new();
+    for density in [0.001, 0.01, 0.1] {
+        let row = bench_dmspm(nd, density);
+        println!(
+            "  d={density}: dmspm {} blocks ({:.4}s) vs densify+dense {} blocks ({:.4}s)",
+            row.sparse_io, row.sparse_secs, row.dense_io, row.dense_secs
+        );
+        dmspm_rows.push(row);
     }
 
     // Thread-scaling curve for the tiled matmul (ROADMAP open item).
@@ -202,12 +342,14 @@ fn main() {
         scaling.push((threads, secs));
     }
 
-    // Emit the PR-2 artifact.
+    // Emit the PR-4 artifact (supersedes BENCH_pr2.json, which recorded
+    // the same SpMV/SpMM shapes before transpose and dmspm existed).
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"sparse_kernels\",\n");
     let _ = writeln!(
         json,
-        "  \"n_spmv\": {n}, \"n_spmm\": {nm}, \"n_matmul\": {nt},"
+        "  \"n_spmv\": {n}, \"n_spmm\": {nm}, \"n_transpose\": {n}, \
+         \"n_dmspm\": {nd}, \"n_matmul\": {nt},"
     );
     let _ = writeln!(
         json,
@@ -245,6 +387,42 @@ fn main() {
             if i + 1 < spmm_rows.len() { "," } else { "" }
         );
     }
+    json.push_str("  ],\n  \"transpose\": [\n");
+    for (i, r) in transpose_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"density\": {}, \"occupied_pages\": {}, \"dense_blocks\": {}, \
+             \"sparse_reads\": {}, \"sparse_writes\": {}, \"densify_path_blocks\": {}, \
+             \"sparse_secs\": {:.6} }}{}",
+            r.density,
+            r.occupied,
+            r.dense_blocks,
+            r.sparse_reads,
+            r.sparse_writes,
+            r.dense_io,
+            r.sparse_secs,
+            if i + 1 < transpose_rows.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("  ],\n  \"dmspm\": [\n");
+    for (i, r) in dmspm_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"density\": {}, \"dmspm_io_blocks\": {}, \
+             \"densify_fallback_io_blocks\": {}, \
+             \"dmspm_secs\": {:.6}, \"densify_fallback_secs\": {:.6} }}{}",
+            r.density,
+            r.sparse_io,
+            r.dense_io,
+            r.sparse_secs,
+            r.dense_secs,
+            if i + 1 < dmspm_rows.len() { "," } else { "" }
+        );
+    }
     json.push_str("  ],\n  \"matmul_thread_scaling\": [\n");
     for (i, (threads, secs)) in scaling.iter().enumerate() {
         let _ = writeln!(
@@ -254,7 +432,7 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
-    std::fs::write(path, &json).expect("write BENCH_pr2.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
+    std::fs::write(path, &json).expect("write BENCH_pr4.json");
     println!("\nwrote {path}");
 }

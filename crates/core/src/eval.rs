@@ -325,7 +325,9 @@ fn eval_node(
             }
             Value::matrix(n1, n3, out)
         }
-        Node::Transpose { input } => {
+        // The planned-sparse transpose is the same transpose to the dense
+        // oracle — representation is a physical concern.
+        Node::Transpose { input } | Node::SpTranspose { input } => {
             let x = get(input);
             let Value::Matrix { rows, cols, data } = x else {
                 return Err(ExprError::Expected {

@@ -21,7 +21,7 @@ pub use pipeline::{
     drain_agg, drain_partitioned, drain_to_vec, materialize, ConstScan, CycleScan, GatherPipe,
     IfElsePipe, LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan, ZipPipe,
 };
-pub use sparse::{dmv, spmdm, spmm, spmv};
+pub use sparse::{dmspm, dmv, spmdm, spmm, spmm_fill, spmm_plan, spmv, sptranspose, SpmmPlan};
 
 use crate::expr::ExprError;
 use riot_storage::StorageError;

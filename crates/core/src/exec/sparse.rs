@@ -1,28 +1,52 @@
 //! Out-of-core sparse kernels over the block-compressed format.
 //!
-//! Three kernels cover the sparse workloads the subsystem opens up:
+//! Together with the dense kernels of [`super::matmul`], the family below
+//! closes the `{sparse, dense} x {sparse, dense}` product table and the
+//! unary transpose, so no combination is forced through a densifying
+//! conversion (the §5 argument: format-aware operators, not format
+//! conversions, are where the I/O wins live). Per-kernel counted-I/O
+//! contracts (pinned by `tests/sparse_exec.rs` and the unit tests here;
+//! page layout in the [`riot_sparse`] crate docs):
 //!
 //! * [`spmv`] — sparse matrix x dense vector. Walks tile-rows, touching
-//!   **only occupied pages**: the I/O is proportional to the number of
-//!   occupied tiles, not the dense footprint (the counted-I/O tests pin
-//!   this down against [`dmv`], the dense reference).
-//! * [`spmdm`] — sparse x dense matrix with **dense accumulator tiles**:
-//!   one tile-row of accumulators lives in memory; each occupied sparse
-//!   tile pulls the matching block-row of the dense operand, so skipped
-//!   sparse tiles skip their dense reads too.
+//!   **only occupied pages**: reads are `occupied_pages` plus at most one
+//!   block of `x` per occupied tile; `y` streams out through a
+//!   [`VectorWriter`], so its blocks cost pure writes.
+//! * [`dmv`] — the dense reference the sparse path is measured against
+//!   (reads every tile of `A` regardless of content).
+//! * [`spmdm`] — sparse x dense with **dense accumulator strips**: one
+//!   tile-row of accumulators lives in memory; each occupied sparse tile
+//!   pulls the matching block-row of the dense operand, so skipped sparse
+//!   tiles skip their dense reads too.
+//! * [`dmspm`] — dense x sparse, mirroring [`spmdm`] from the right: the
+//!   accumulator strip follows the dense operand's tile-rows, and only
+//!   sparse tile-rows with at least one occupied tile pull the matching
+//!   rectangle of the dense operand. Reads are `occupied_pages(B)` plus
+//!   the `A` rectangles matching occupied `B` tile-rows — a fully empty
+//!   `B` tile-row costs zero `A` I/O.
+//! * [`sptranspose`] — native sparse transpose. Planning derives the
+//!   output directory from the cached input directory (zero I/O); the
+//!   data pass reads each occupied input page exactly once and re-sorts
+//!   its entries per tile. Total: `occupied_pages` reads,
+//!   `occupied_pages + dir_blocks` writes.
 //! * [`spmm`] — sparse x sparse producing a sparse result. The output
-//!   extent must be sized before any page can land (the catalog hands out
-//!   contiguous extents), so the kernel runs **two passes**: pass one
-//!   counts per-output-tile non-zeros into a plan, pass two recomputes and
-//!   writes each page. Memory stays one dense accumulator tile; the flop
-//!   count reports both passes because both are actually executed.
+//!   extent must be sized before any page can land, so the kernel runs
+//!   **two passes** — but pass one now **spills** each computed tile's
+//!   entries to a growable catalog extent ([`SpmmPlan`]), and pass two
+//!   replays the spill instead of recomputing: zero extra flops, zero
+//!   re-reads of `A` or `B`. [`spmm_plan`] / [`spmm_fill`] expose the
+//!   passes individually so tests can pin exactly that.
 //!
 //! All kernels return `(result, flops)` where flops counts scalar
-//! multiplications, so measured I/O and arithmetic can be checked against
-//! the cost model like the dense kernels ([`super::matmul`]).
+//! multiplications (for [`sptranspose`], moved non-zeros), so measured
+//! I/O and arithmetic can be checked against the cost model like the
+//! dense kernels.
 
-use riot_array::{DenseMatrix, DenseVector, MatrixLayout, TileOrder, VectorWriter};
+use std::sync::Arc;
+
+use riot_array::{DenseMatrix, DenseVector, MatrixLayout, StorageCtx, TileOrder, VectorWriter};
 use riot_sparse::SparseMatrix;
+use riot_storage::{BlockId, ObjectId};
 
 use super::matmul::{read_rect, write_rect};
 use super::ExecResult;
@@ -150,18 +174,264 @@ pub fn spmdm(
     Ok((t, flops))
 }
 
-/// Sparse x sparse multiply producing a sparse result with `A`'s tiling.
-///
-/// Two passes (see the module docs): both count toward the returned flop
-/// total because both actually run. Memory is one dense accumulator tile.
-pub fn spmm(
-    a: &SparseMatrix,
+/// Dense `A` times sparse `B`, producing a dense matrix with square
+/// tiling — the mirror image of [`spmdm`]. Processes one tile-row strip
+/// of `A` at a time with a dense accumulator of `strip x n3`; within a
+/// strip, a tile-row of `B` with at least one occupied tile pulls the
+/// matching `strip x tile_k` rectangle of `A` exactly once, and a fully
+/// empty `B` tile-row pulls nothing.
+pub fn dmspm(
+    a: &DenseMatrix,
     b: &SparseMatrix,
     name: Option<&str>,
-) -> ExecResult<(SparseMatrix, u64)> {
+) -> ExecResult<(DenseMatrix, u64)> {
     let (n1, n2) = a.shape();
-    assert_eq!(n2, b.rows(), "spmm inner dimensions");
+    assert_eq!(n2, b.rows(), "dmspm inner dimensions");
     let n3 = b.cols();
+    let (tile_k, tile_c) = b.tile_dims();
+    let (btr, btc) = b.tile_grid();
+    let strip = a.tile_dims().0;
+    let t = DenseMatrix::create(
+        a.ctx(),
+        n1,
+        n3,
+        MatrixLayout::Square,
+        TileOrder::RowMajor,
+        name,
+    )?;
+    let mut acc = vec![0.0; strip * n3];
+    let mut abuf = vec![0.0; strip * tile_k];
+    let mut flops = 0u64;
+    let mut r0 = 0usize;
+    while r0 < n1 {
+        let m = strip.min(n1 - r0);
+        acc[..m * n3].fill(0.0);
+        for tk in 0..btr {
+            let k0 = tk as usize * tile_k;
+            let kk = tile_k.min(n2 - k0);
+            let mut loaded = false;
+            for tj in 0..btc {
+                let Some(tile) = b.tile(tk, tj)? else {
+                    continue;
+                };
+                if !loaded {
+                    read_rect(a, r0, k0, m, kk, &mut abuf)?;
+                    loaded = true;
+                }
+                let c0 = tj as usize * tile_c;
+                tile.for_each(|k, c, v| {
+                    let col = c0 + c;
+                    for r in 0..m {
+                        acc[r * n3 + col] += abuf[r * kk + k] * v;
+                    }
+                });
+                flops += tile.nnz() as u64 * m as u64;
+            }
+        }
+        write_rect(&t, r0, 0, m, n3, &acc)?;
+        r0 += m;
+    }
+    Ok((t, flops))
+}
+
+/// Native sparse transpose: `(t(A), moved non-zeros)`.
+///
+/// A thin counting wrapper over [`SparseMatrix::transpose`] — the result
+/// stays sparse and the planning pass derives the output directory from
+/// the cached input directory without touching storage. Counted I/O:
+/// `occupied_pages` reads + (`occupied_pages` + output directory) writes.
+pub fn sptranspose(a: &SparseMatrix, name: Option<&str>) -> ExecResult<(SparseMatrix, u64)> {
+    let t = a.transpose(name)?;
+    Ok((t, a.nnz()))
+}
+
+// ---- SpMM: planned pass one, spilled, replayed by pass two -------------
+//
+// Spill stream format: for each occupied output tile in row-major tile
+// order, its entries as three consecutive f64s (local row, local col,
+// value), already sorted by (row, col). No per-tile headers: the plan's
+// nnz counts delimit the stream.
+
+/// An append-only `f64` stream over a growable catalog object
+/// ([`StorageCtx::alloc_growable`] / [`StorageCtx::extend_object`]): the
+/// spill target for SpMM's pass-one results. Blocks are written through
+/// the pool, so spill I/O shows up in the same counters as everything
+/// else.
+struct SpillWriter {
+    ctx: Arc<StorageCtx>,
+    /// The spill object; `Some` until ownership moves to the
+    /// [`SpillFile`] in [`SpillWriter::finish`]. Dropping the writer with
+    /// the object still here (an error unwound pass one) releases it, so
+    /// failed plans cannot leak spill storage.
+    object: Option<ObjectId>,
+    /// Every block of the object, segment by segment, in stream order.
+    blocks: Vec<BlockId>,
+    /// Blocks already filled and written.
+    used: usize,
+    /// The current partial block.
+    buf: Vec<f64>,
+    epb: usize,
+    /// Total values pushed.
+    len: u64,
+}
+
+impl SpillWriter {
+    fn new(ctx: &Arc<StorageCtx>, name: &str) -> ExecResult<Self> {
+        let (object, extent) = ctx.alloc_growable(1, Some(name))?;
+        let blocks = (0..extent.blocks).map(|i| extent.block(i)).collect();
+        Ok(SpillWriter {
+            ctx: Arc::clone(ctx),
+            object: Some(object),
+            blocks,
+            used: 0,
+            buf: Vec::with_capacity(ctx.elems_per_block()),
+            epb: ctx.elems_per_block(),
+            len: 0,
+        })
+    }
+
+    fn push(&mut self, v: f64) -> ExecResult<()> {
+        self.buf.push(v);
+        self.len += 1;
+        if self.buf.len() == self.epb {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> ExecResult<()> {
+        let object = self.object.expect("writer not finished");
+        if self.used == self.blocks.len() {
+            // Grow geometrically (capped) so extension stays O(log n)
+            // catalog calls without over-allocating small spills.
+            let grow = (self.blocks.len() as u64).clamp(1, 64);
+            let seg = self.ctx.extend_object(object, grow)?;
+            self.blocks.extend((0..seg.blocks).map(|i| seg.block(i)));
+        }
+        let mut page = self.ctx.pool().pin_new(self.blocks[self.used])?;
+        page[..self.buf.len()].copy_from_slice(&self.buf);
+        page[self.buf.len()..].fill(0.0);
+        drop(page);
+        self.used += 1;
+        self.buf.clear();
+        Ok(())
+    }
+
+    fn finish(mut self) -> ExecResult<SpillFile> {
+        if !self.buf.is_empty() {
+            self.flush_block()?;
+        }
+        Ok(SpillFile {
+            ctx: Arc::clone(&self.ctx),
+            object: self.object.take().expect("writer finished once"),
+            blocks: std::mem::take(&mut self.blocks),
+            len: self.len,
+            epb: self.epb,
+        })
+    }
+}
+
+impl Drop for SpillWriter {
+    fn drop(&mut self) {
+        // Reached only when pass one errored out before `finish`;
+        // best-effort release, a failure here only leaks simulated disk.
+        if let Some(object) = self.object.take() {
+            let _ = self.ctx.drop_object(object);
+        }
+    }
+}
+
+/// A finished spill stream; freed (blocks released) on drop.
+struct SpillFile {
+    ctx: Arc<StorageCtx>,
+    object: ObjectId,
+    blocks: Vec<BlockId>,
+    len: u64,
+    epb: usize,
+}
+
+impl SpillFile {
+    /// Blocks a full sequential read touches (allocated-but-unused tail
+    /// segments are never read).
+    fn data_blocks(&self) -> u64 {
+        (self.len as usize).div_ceil(self.epb) as u64
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        // Best-effort: a failure here only leaks simulated disk.
+        let _ = self.ctx.drop_object(self.object);
+    }
+}
+
+/// Sequential reader over a [`SpillFile`], one pinned block at a time.
+struct SpillReader<'f> {
+    file: &'f SpillFile,
+    at: u64,
+    buf: Vec<f64>,
+}
+
+impl<'f> SpillReader<'f> {
+    fn new(file: &'f SpillFile) -> Self {
+        SpillReader {
+            file,
+            at: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    fn next(&mut self) -> ExecResult<f64> {
+        assert!(self.at < self.file.len, "spill stream over-read");
+        let off = (self.at as usize) % self.file.epb;
+        if off == 0 {
+            let block = self.file.blocks[(self.at as usize) / self.file.epb];
+            let page = self.file.ctx.pool().pin(block)?;
+            self.buf.clear();
+            self.buf.extend_from_slice(&page[..]);
+        }
+        self.at += 1;
+        Ok(self.buf[off])
+    }
+}
+
+/// SpMM's pass-one product: the per-output-tile nnz plan **plus** the
+/// computed non-zeros themselves, spilled to a growable catalog extent so
+/// [`spmm_fill`] replays them instead of recomputing. Holding a plan pins
+/// the input handles; dropping it (with or without filling) releases the
+/// spill storage.
+pub struct SpmmPlan {
+    a: SparseMatrix,
+    b: SparseMatrix,
+    /// Per-output-tile nnz in row-major tile order.
+    tile_nnz: Vec<u32>,
+    spill: SpillFile,
+    flops: u64,
+}
+
+impl SpmmPlan {
+    /// Non-zeros of the product (summed over the plan).
+    pub fn out_nnz(&self) -> u64 {
+        self.tile_nnz.iter().map(|&n| u64::from(n)).sum()
+    }
+
+    /// Blocks [`spmm_fill`]'s replay reads from the spill — the *entire*
+    /// pass-two read footprint beyond the output extent itself.
+    pub fn spill_blocks(&self) -> u64 {
+        self.spill.data_blocks()
+    }
+
+    /// Scalar multiplications pass one performed.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+}
+
+/// SpMM pass one: compute every output tile once (dense accumulator tile
+/// in memory), record its nnz in the plan, and spill its sorted entries.
+pub fn spmm_plan(a: &SparseMatrix, b: &SparseMatrix) -> ExecResult<SpmmPlan> {
+    let (_, n2) = a.shape();
+    assert_eq!(n2, b.rows(), "spmm inner dimensions");
     let (atr, atc) = a.tile_dims();
     let (btr, btc) = b.tile_dims();
     assert_eq!(
@@ -177,47 +447,92 @@ pub fn spmm(
     let inner = a.tile_grid().1;
     let mut scratch = vec![0.0; atr * btc];
     let mut flops = 0u64;
-
-    // One output tile: accumulate A(bi, *) x B(*, bj) densely in scratch.
-    let compute_tile = |bi: u64, bj: u64, scratch: &mut [f64]| -> ExecResult<(u32, u64)> {
-        scratch.fill(0.0);
-        let mut fl = 0u64;
-        for bk in 0..inner {
-            let Some(at) = a.tile(bi, bk)? else { continue };
-            let Some(bt) = b.tile(bk, bj)? else { continue };
-            at.for_each(|r, k, va| {
-                bt.for_each_in_row(k, |c, vb| {
-                    scratch[r * btc + c] += va * vb;
-                    fl += 1;
-                });
-            });
-        }
-        let nnz = scratch.iter().filter(|v| **v != 0.0).count() as u32;
-        Ok((nnz, fl))
-    };
-
-    // Pass 1: plan per-output-tile nnz.
-    let mut plan = Vec::with_capacity((gtr * gtc) as usize);
+    let mut spill = SpillWriter::new(a.ctx(), "spmm-spill")?;
+    let mut tile_nnz = Vec::with_capacity((gtr * gtc) as usize);
     for bi in 0..gtr {
         for bj in 0..gtc {
-            let (nnz, fl) = compute_tile(bi, bj, &mut scratch)?;
-            plan.push(nnz);
+            scratch.fill(0.0);
+            let mut fl = 0u64;
+            for bk in 0..inner {
+                let Some(at) = a.tile(bi, bk)? else { continue };
+                let Some(bt) = b.tile(bk, bj)? else { continue };
+                at.for_each(|r, k, va| {
+                    bt.for_each_in_row(k, |c, vb| {
+                        scratch[r * btc + c] += va * vb;
+                        fl += 1;
+                    });
+                });
+            }
             flops += fl;
+            let mut nnz = 0u32;
+            for (i, &v) in scratch.iter().enumerate() {
+                if v != 0.0 {
+                    spill.push((i / btc) as f64)?;
+                    spill.push((i % btc) as f64)?;
+                    spill.push(v)?;
+                    nnz += 1;
+                }
+            }
+            tile_nnz.push(nnz);
         }
     }
-    let out = SparseMatrix::create_with_plan(a.ctx(), n1, n3, a.layout(), &plan, name)?;
-    // Pass 2: recompute and write each occupied page.
+    Ok(SpmmPlan {
+        a: a.clone(),
+        b: b.clone(),
+        tile_nnz,
+        spill: spill.finish()?,
+        flops,
+    })
+}
+
+/// SpMM pass two: size the output from the plan, then **replay the
+/// spill** — no tile of `A` or `B` is re-read and no multiplication is
+/// re-executed. Reads are exactly [`SpmmPlan::spill_blocks`]; the spill
+/// is released before returning.
+pub fn spmm_fill(plan: SpmmPlan, name: Option<&str>) -> ExecResult<(SparseMatrix, u64)> {
+    let (n1, _) = plan.a.shape();
+    let n3 = plan.b.cols();
+    let (gtr, _) = plan.a.tile_grid();
+    let (_, gtc) = plan.b.tile_grid();
+    let out = SparseMatrix::create_with_plan(
+        plan.a.ctx(),
+        n1,
+        n3,
+        plan.a.layout(),
+        &plan.tile_nnz,
+        name,
+    )?;
+    let mut reader = SpillReader::new(&plan.spill);
+    let mut entries = Vec::new();
     for bi in 0..gtr {
         for bj in 0..gtc {
-            if plan[(bi * gtc + bj) as usize] == 0 {
+            let nnz = plan.tile_nnz[(bi * gtc + bj) as usize] as usize;
+            if nnz == 0 {
                 continue;
             }
-            let (_, fl) = compute_tile(bi, bj, &mut scratch)?;
-            flops += fl;
-            out.write_tile(bi, bj, &scratch)?;
+            entries.clear();
+            for _ in 0..nnz {
+                let r = reader.next()? as usize;
+                let c = reader.next()? as usize;
+                let v = reader.next()?;
+                entries.push((r, c, v));
+            }
+            out.write_tile_entries_at(bi, bj, &entries)?;
         }
     }
-    Ok((out, flops))
+    debug_assert_eq!(reader.at, plan.spill.len, "spill fully consumed");
+    Ok((out, plan.flops))
+}
+
+/// Sparse x sparse multiply producing a sparse result with `A`'s tiling:
+/// [`spmm_plan`] then [`spmm_fill`]. Every multiplication runs exactly
+/// once; memory is one dense accumulator tile plus one spill block.
+pub fn spmm(
+    a: &SparseMatrix,
+    b: &SparseMatrix,
+    name: Option<&str>,
+) -> ExecResult<(SparseMatrix, u64)> {
+    spmm_fill(spmm_plan(a, b)?, name)
 }
 
 #[cfg(test)]
@@ -360,6 +675,268 @@ mod tests {
         assert_eq!(t.nnz(), 3);
         // Product of sparse inputs occupies few pages.
         assert!(t.occupied_pages() < t.dense_blocks());
+    }
+
+    #[test]
+    fn dmspm_matches_dense_multiply() {
+        let c = ctx(128);
+        let (n1, n2, n3) = (20, 24, 13);
+        let a = DenseMatrix::from_fn(
+            &c,
+            n1,
+            n2,
+            MatrixLayout::Square,
+            TileOrder::RowMajor,
+            None,
+            |i, j| ((i * 5 + j * 3) % 13) as f64 - 6.0,
+        )
+        .unwrap();
+        let trips = band_triplets(n2, n3);
+        let b =
+            SparseMatrix::from_triplets(&c, n2, n3, MatrixLayout::Square, &trips, None).unwrap();
+        let (t, flops) = dmspm(&a, &b, None).unwrap();
+        assert_eq!(flops, b.nnz() * n1 as u64);
+        let ad = a.to_rows().unwrap();
+        let bd = b.to_rows().unwrap();
+        let mut want = vec![0.0; n1 * n3];
+        for i in 0..n1 {
+            for k in 0..n2 {
+                for j in 0..n3 {
+                    want[i * n3 + j] += ad[i * n2 + k] * bd[k * n3 + j];
+                }
+            }
+        }
+        assert_close(&t.to_rows().unwrap(), &want);
+    }
+
+    #[test]
+    fn dmspm_skips_dense_reads_for_empty_sparse_tile_rows() {
+        let c = ctx(256);
+        // A: 16x64 dense (2x8 grid of 8x8 tiles). B: 64x16 sparse with a
+        // single occupied tile at tile-row 3: only A's columns 24..32
+        // (one tile per strip) may be read.
+        let (n1, n2, n3) = (16, 64, 16);
+        let a = DenseMatrix::from_fn(
+            &c,
+            n1,
+            n2,
+            MatrixLayout::Square,
+            TileOrder::RowMajor,
+            None,
+            |i, j| (i + j) as f64,
+        )
+        .unwrap();
+        let b = SparseMatrix::from_triplets(
+            &c,
+            n2,
+            n3,
+            MatrixLayout::Square,
+            &[(25, 9, 2.0), (30, 14, -1.0)],
+            None,
+        )
+        .unwrap();
+        assert_eq!(b.occupied_pages(), 1);
+        c.pool().flush_all().unwrap();
+        c.clear_cache().unwrap();
+        let before = c.io_snapshot();
+        let (t, _) = dmspm(&a, &b, None).unwrap();
+        let delta = c.io_snapshot() - before;
+        // Per output strip (2 strips): 1 B page (cached after the first
+        // strip) + 1 A tile. Everything else is skipped.
+        let a_tiles_read = 2; // one per strip, at tile-column 3
+        assert_eq!(delta.reads, b.occupied_pages() + a_tiles_read);
+        // Far below the dense footprint A would cost a dense kernel.
+        assert!(delta.reads < a.blocks());
+        assert_eq!(t.shape(), (n1, n3));
+    }
+
+    #[test]
+    fn sptranspose_stays_sparse_with_pinned_io() {
+        let c = ctx(64);
+        let (rows, cols) = (40, 24);
+        let trips = band_triplets(rows, cols);
+        let a = SparseMatrix::from_triplets(&c, rows, cols, MatrixLayout::Square, &trips, None)
+            .unwrap();
+        c.pool().flush_all().unwrap();
+        c.clear_cache().unwrap();
+        let before = c.io_snapshot();
+        let (t, moved) = sptranspose(&a, None).unwrap();
+        c.pool().flush_all().unwrap();
+        let delta = c.io_snapshot() - before;
+        assert_eq!(moved, a.nnz());
+        assert_eq!(t.shape(), (cols, rows));
+        assert_eq!(t.nnz(), a.nnz());
+        assert_eq!(delta.reads, a.occupied_pages(), "reads = occupied pages");
+        assert_eq!(
+            delta.writes,
+            t.occupied_pages() + t.dir_blocks(),
+            "writes = output pages + directory"
+        );
+        // Semantics: t(A)[j][i] == A[i][j].
+        let ar = a.to_rows().unwrap();
+        let tr = t.to_rows().unwrap();
+        for i in 0..rows {
+            for j in 0..cols {
+                assert_eq!(tr[j * rows + i], ar[i * cols + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_pass_two_replays_the_spill_without_recomputing() {
+        let c = ctx(256);
+        let (n1, n2, n3) = (32, 32, 32);
+        let a = SparseMatrix::from_triplets(
+            &c,
+            n1,
+            n2,
+            MatrixLayout::Square,
+            &band_triplets(n1, n2),
+            None,
+        )
+        .unwrap();
+        let b = SparseMatrix::from_triplets(
+            &c,
+            n2,
+            n3,
+            MatrixLayout::Square,
+            &band_triplets(n2, n3),
+            None,
+        )
+        .unwrap();
+        let plan = spmm_plan(&a, &b).unwrap();
+        let pass_one_flops = plan.flops();
+        let spill_blocks = plan.spill_blocks();
+        assert!(pass_one_flops > 0 && plan.out_nnz() > 0);
+
+        // Pass two from a cold cache: the only reads are the spill replay
+        // — no page of A or B is touched again, and no flops accrue.
+        c.pool().flush_all().unwrap();
+        c.clear_cache().unwrap();
+        let before = c.io_snapshot();
+        let (t, total_flops) = spmm_fill(plan, None).unwrap();
+        let delta = c.io_snapshot() - before;
+        assert_eq!(total_flops, pass_one_flops, "no recomputation in pass two");
+        assert_eq!(delta.reads, spill_blocks, "pass two reads only the spill");
+        assert_eq!(t.shape(), (n1, n3));
+
+        // And the result is still the right product.
+        let ad = a.to_rows().unwrap();
+        let bd = b.to_rows().unwrap();
+        let mut want = vec![0.0; n1 * n3];
+        for i in 0..n1 {
+            for k in 0..n2 {
+                for j in 0..n3 {
+                    want[i * n3 + j] += ad[i * n2 + k] * bd[k * n3 + j];
+                }
+            }
+        }
+        assert_close(&t.to_rows().unwrap(), &want);
+    }
+
+    #[test]
+    fn spmm_flops_count_each_multiplication_once() {
+        let c = ctx(128);
+        let (n1, n2, n3) = (24, 16, 24);
+        let a = SparseMatrix::from_triplets(
+            &c,
+            n1,
+            n2,
+            MatrixLayout::Square,
+            &band_triplets(n1, n2),
+            None,
+        )
+        .unwrap();
+        let b = SparseMatrix::from_triplets(
+            &c,
+            n2,
+            n3,
+            MatrixLayout::Square,
+            &band_triplets(n2, n3),
+            None,
+        )
+        .unwrap();
+        // Reference: one multiplication per (i, k, j) with both operands
+        // non-zero.
+        let ad = a.to_rows().unwrap();
+        let bd = b.to_rows().unwrap();
+        let mut want_flops = 0u64;
+        for i in 0..n1 {
+            for k in 0..n2 {
+                if ad[i * n2 + k] == 0.0 {
+                    continue;
+                }
+                for j in 0..n3 {
+                    if bd[k * n3 + j] != 0.0 {
+                        want_flops += 1;
+                    }
+                }
+            }
+        }
+        let (_, flops) = spmm(&a, &b, None).unwrap();
+        assert_eq!(flops, want_flops, "each multiplication counted once");
+    }
+
+    #[test]
+    fn failed_spmm_plan_releases_the_spill() {
+        use riot_storage::testing::FailpointDevice;
+        use riot_storage::{BufferPool, MemBlockDevice, PoolConfig};
+
+        let device = FailpointDevice::new(Box::new(MemBlockDevice::new(512)));
+        let handle = device.handle();
+        let c = riot_array::StorageCtx::from_pool(BufferPool::new(
+            Box::new(device),
+            PoolConfig::default(),
+        ));
+        let a = SparseMatrix::from_triplets(
+            &c,
+            16,
+            16,
+            MatrixLayout::Square,
+            &band_triplets(16, 16),
+            None,
+        )
+        .unwrap();
+        // Evict everything, then make the first occupied page unreadable:
+        // pass one dies mid-stream.
+        c.pool().flush_all().unwrap();
+        c.clear_cache().unwrap();
+        let first_page = riot_storage::BlockId(a.dir_blocks());
+        handle.fail_reads(first_page, 1);
+        let live_before = c.live_objects();
+        let blocks_before = c.total_blocks();
+        assert!(spmm_plan(&a, &a).is_err(), "injected read error surfaces");
+        // The half-written spill did not leak: object count and block
+        // footprint are exactly what they were before the attempt.
+        assert_eq!(c.live_objects(), live_before);
+        assert_eq!(c.total_blocks(), blocks_before);
+        // And with the failpoint consumed, the same plan now succeeds.
+        let plan = spmm_plan(&a, &a).unwrap();
+        assert!(plan.out_nnz() > 0);
+    }
+
+    #[test]
+    fn spmm_spill_storage_is_released() {
+        let c = ctx(128);
+        let a = SparseMatrix::from_triplets(
+            &c,
+            16,
+            16,
+            MatrixLayout::Square,
+            &band_triplets(16, 16),
+            None,
+        )
+        .unwrap();
+        let live_before = c.live_objects();
+        let (t, _) = spmm(&a, &a, None).unwrap();
+        // Only the product object outlives the call: the spill is gone.
+        assert_eq!(c.live_objects(), live_before + 1);
+        drop(t);
+        // Dropping an unfilled plan releases the spill too.
+        let plan = spmm_plan(&a, &a).unwrap();
+        let live_with_plan = c.live_objects();
+        drop(plan);
+        assert_eq!(c.live_objects(), live_with_plan - 1);
     }
 
     #[test]

@@ -356,9 +356,19 @@ pub enum Node {
         /// Right matrix.
         rhs: NodeId,
     },
-    /// Matrix transpose.
+    /// Matrix transpose (representation-generic: the executor dispatches
+    /// the native sparse kernel when the forced operand is sparse).
     Transpose {
         /// Input matrix.
+        input: NodeId,
+    },
+    /// Transpose **planned on the sparse kernel**: emitted by the
+    /// optimizer for sparse-valued inputs below the density threshold, so
+    /// the plan itself records that the result stays in the sparse
+    /// representation (and downstream rules — e.g. the `MatMul`
+    /// physical-representation choice — can see through it).
+    SpTranspose {
+        /// Input matrix (sparse-valued).
         input: NodeId,
     },
     /// Reduction to a scalar.
@@ -382,6 +392,7 @@ impl Node {
             | Node::Range { .. } => vec![],
             Node::Map { input, .. }
             | Node::Transpose { input }
+            | Node::SpTranspose { input }
             | Node::Agg { input, .. }
             | Node::Densify { input }
             | Node::Sparsify { input } => {
@@ -498,6 +509,10 @@ impl Node {
             }
             Node::Sparsify { input } => {
                 k.push(16);
+                push_id(&mut k, *input);
+            }
+            Node::SpTranspose { input } => {
+                k.push(17);
                 push_id(&mut k, *input);
             }
         }

@@ -249,6 +249,20 @@ impl ExprGraph {
         }
     }
 
+    /// Matrix transpose planned on the sparse kernel (the optimizer's
+    /// below-threshold choice for sparse-valued inputs).
+    pub fn sp_transpose(&mut self, input: NodeId) -> Result<NodeId, ExprError> {
+        match self.shape(input) {
+            Shape::Matrix(r, c) => {
+                Ok(self.intern(Node::SpTranspose { input }, Shape::Matrix(c, r)))
+            }
+            got => Err(ExprError::Expected {
+                what: "matrix",
+                got,
+            }),
+        }
+    }
+
     /// Sparse-to-dense conversion of a matrix-valued node.
     pub fn densify(&mut self, input: NodeId) -> Result<NodeId, ExprError> {
         match self.shape(input) {
@@ -388,6 +402,7 @@ impl ExprGraph {
                 format!("({} %*% {})", self.render(*lhs), self.render(*rhs))
             }
             Node::Transpose { input } => format!("t({})", self.render(*input)),
+            Node::SpTranspose { input } => format!("t({})", self.render(*input)),
             Node::Agg { op, input } => format!("{}({})", op.name(), self.render(*input)),
         }
     }

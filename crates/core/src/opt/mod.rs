@@ -183,6 +183,10 @@ fn rebuild_with_children(
             let input = go(g, input, stats, memo);
             g.transpose(input).expect("shapes preserved")
         }
+        Node::SpTranspose { input } => {
+            let input = go(g, input, stats, memo);
+            g.sp_transpose(input).expect("shapes preserved")
+        }
         Node::Agg { op, input } => {
             let input = go(g, input, stats, memo);
             g.agg(op, input)

@@ -74,6 +74,12 @@ pub struct RewriteStats {
     pub sparse_kernels: u64,
     /// `MatMul` operands densified (density at or above the threshold).
     pub sparse_densified: u64,
+    /// Transposes of sparse-valued inputs planned on the native sparse
+    /// kernel (density below the threshold): `Transpose -> SpTranspose`.
+    pub sparse_transposes: u64,
+    /// Transposes of sparse-valued inputs densified before transposing
+    /// (density at or above the threshold).
+    pub transpose_densified: u64,
 }
 
 /// Rewrite the DAG rooted at `root`, returning the new root.
@@ -187,13 +193,32 @@ fn rw(
         Node::Transpose { input } => {
             let input = rw(g, input, cfg, stats, memo);
             if cfg.fold {
-                if let Node::Transpose { input: inner } = *g.node(input) {
+                // t(t(x)) is x whichever kernel either transpose was
+                // planned on — representation does not change the algebra.
+                if let Node::Transpose { input: inner } | Node::SpTranspose { input: inner } =
+                    *g.node(input)
+                {
                     stats.folds += 1;
                     memo.insert(id, inner);
                     return inner;
                 }
             }
-            g.transpose(input).expect("shapes preserved")
+            build_transpose(g, input, cfg, stats)
+        }
+        Node::SpTranspose { input } => {
+            let input = rw(g, input, cfg, stats, memo);
+            if cfg.fold {
+                if let Node::Transpose { input: inner } | Node::SpTranspose { input: inner } =
+                    *g.node(input)
+                {
+                    stats.folds += 1;
+                    memo.insert(id, inner);
+                    return inner;
+                }
+            }
+            // Re-run the physical choice: the rewritten input may have
+            // changed representation.
+            build_transpose(g, input, cfg, stats)
         }
         Node::Agg { op, input } => {
             let input = rw(g, input, cfg, stats, memo);
@@ -204,24 +229,62 @@ fn rw(
     out
 }
 
-/// Decide a `MatMul` operand's physical representation: a sparse source
-/// whose density meets `cfg.sparse_threshold` is densified (the dense
-/// kernels' sequential scans win once page occupancy saturates); below the
-/// threshold it stays sparse and the executor dispatches the sparse
-/// kernels.
+/// Statistics of a node the optimizer knows to be sparse-valued, from the
+/// catalog-carried nnz: `(rows, cols, nnz)`. Sees through
+/// [`Node::SpTranspose`] (same non-zeros, swapped dimensions), so density
+/// decisions push through planned transposes.
+fn sparse_stats(g: &ExprGraph, id: NodeId) -> Option<(usize, usize, u64)> {
+    match *g.node(id) {
+        Node::SpMatSource {
+            rows, cols, nnz, ..
+        } => Some((rows, cols, nnz)),
+        Node::SpTranspose { input } => sparse_stats(g, input).map(|(r, c, n)| (c, r, n)),
+        _ => None,
+    }
+}
+
+/// Decide a `MatMul` operand's physical representation: a sparse-valued
+/// operand (source or planned transpose) whose density meets
+/// `cfg.sparse_threshold` is densified (the dense kernels' sequential
+/// scans win once page occupancy saturates); below the threshold it stays
+/// sparse and the executor dispatches the sparse kernels — on *either*
+/// side of the product (`spmdm` for sparse x dense, `dmspm` for dense x
+/// sparse, `spmm` for sparse x sparse).
 fn choose_repr(g: &mut ExprGraph, id: NodeId, cfg: &OptConfig, stats: &mut RewriteStats) -> NodeId {
-    if let Node::SpMatSource {
-        rows, cols, nnz, ..
-    } = *g.node(id)
-    {
+    if let Some((rows, cols, nnz)) = sparse_stats(g, id) {
         let density = nnz as f64 / (rows * cols) as f64;
         if density >= cfg.sparse_threshold {
             stats.sparse_densified += 1;
-            return g.densify(id).expect("sparse sources are matrices");
+            return g.densify(id).expect("sparse operands are matrices");
         }
         stats.sparse_kernels += 1;
     }
     id
+}
+
+/// Build a transpose applying the physical-representation choice: a
+/// sparse-valued input below the density threshold transposes on the
+/// native sparse kernel ([`Node::SpTranspose`], result stays sparse); at
+/// or above it, the input densifies first. Anything whose representation
+/// the optimizer cannot see keeps the representation-generic
+/// [`Node::Transpose`].
+fn build_transpose(
+    g: &mut ExprGraph,
+    input: NodeId,
+    cfg: &OptConfig,
+    stats: &mut RewriteStats,
+) -> NodeId {
+    if let Some((rows, cols, nnz)) = sparse_stats(g, input) {
+        let density = nnz as f64 / (rows * cols) as f64;
+        if density < cfg.sparse_threshold {
+            stats.sparse_transposes += 1;
+            return g.sp_transpose(input).expect("shapes preserved");
+        }
+        stats.transpose_densified += 1;
+        let dense = g.densify(input).expect("sparse operands are matrices");
+        return g.transpose(dense).expect("shapes preserved");
+    }
+    g.transpose(input).expect("shapes preserved")
 }
 
 /// Build `Map(op, input)` applying local simplifications.
@@ -610,6 +673,91 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn sparse_transpose_routes_by_density() {
+        // Below the threshold: t(sparse) plans the native sparse kernel.
+        let mut g = ExprGraph::new();
+        let sp = g.sp_mat_source(SourceRef(0), 100, 100, 50); // density 0.005
+        let t = g.transpose(sp).unwrap();
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, t, &OptConfig::default(), &mut stats);
+        assert!(
+            matches!(*g.node(opt), Node::SpTranspose { .. }),
+            "stays sparse"
+        );
+        assert_eq!(stats.sparse_transposes, 1);
+        assert_eq!(stats.transpose_densified, 0);
+
+        // At/above the threshold: densify first, then a dense transpose.
+        let mut g = ExprGraph::new();
+        let sp = g.sp_mat_source(SourceRef(0), 10, 10, 60); // density 0.6
+        let t = g.transpose(sp).unwrap();
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, t, &OptConfig::default(), &mut stats);
+        let Node::Transpose { input } = *g.node(opt) else {
+            panic!("dense transpose expected, got {:?}", g.node(opt));
+        };
+        assert!(matches!(*g.node(input), Node::Densify { .. }));
+        assert_eq!(stats.transpose_densified, 1);
+        assert_eq!(stats.sparse_transposes, 0);
+    }
+
+    #[test]
+    fn double_sparse_transpose_cancels() {
+        let mut g = ExprGraph::new();
+        let sp = g.sp_mat_source(SourceRef(0), 64, 32, 10);
+        let t = g.transpose(sp).unwrap();
+        let tt = g.transpose(t).unwrap();
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, tt, &OptConfig::default(), &mut stats);
+        assert_eq!(opt, sp, "t(t(A)) is A even through the sparse plan");
+    }
+
+    #[test]
+    fn matmul_sees_through_planned_transpose() {
+        // t(sparse) %*% dense: the transposed operand's density statistic
+        // is visible through SpTranspose, so the product stays on the
+        // sparse kernels below the threshold.
+        let mut g = ExprGraph::new();
+        let sp = g.sp_mat_source(SourceRef(0), 40, 80, 30); // density < 1%
+        let t = g.transpose(sp).unwrap(); // 80x40
+        let d = g.mat_source(SourceRef(1), 40, 8);
+        let prod = g.matmul(t, d).unwrap();
+        let mut stats = no_stats();
+        let opt = rewrite(&mut g, prod, &OptConfig::default(), &mut stats);
+        let Node::MatMul { lhs, .. } = *g.node(opt) else {
+            panic!("matmul preserved")
+        };
+        assert!(matches!(*g.node(lhs), Node::SpTranspose { .. }));
+        assert_eq!(stats.sparse_transposes, 1);
+        assert_eq!(stats.sparse_kernels, 1, "operand stayed sparse: {stats:?}");
+        assert_eq!(stats.sparse_densified, 0);
+    }
+
+    #[test]
+    fn dense_sparse_matmul_routes_by_density_on_the_rhs() {
+        let run = |nnz: u64| {
+            let mut g = ExprGraph::new();
+            let d = g.mat_source(SourceRef(0), 16, 40);
+            let sp = g.sp_mat_source(SourceRef(1), 40, 25, nnz);
+            let prod = g.matmul(d, sp).unwrap();
+            let mut stats = no_stats();
+            let opt = rewrite(&mut g, prod, &OptConfig::default(), &mut stats);
+            let Node::MatMul { rhs, .. } = *g.node(opt) else {
+                panic!("matmul preserved")
+            };
+            (matches!(*g.node(rhs), Node::SpMatSource { .. }), stats)
+        };
+        // 1% density: the rhs stays sparse (the executor runs dmspm).
+        let (sparse_rhs, stats) = run(10);
+        assert!(sparse_rhs);
+        assert_eq!((stats.sparse_kernels, stats.sparse_densified), (1, 0));
+        // 60% density: the rhs densifies.
+        let (sparse_rhs, stats) = run(600);
+        assert!(!sparse_rhs);
+        assert_eq!((stats.sparse_kernels, stats.sparse_densified), (0, 1));
     }
 
     #[test]

@@ -1332,6 +1332,7 @@ impl Runtime {
             }
             Node::MatMul { .. }
             | Node::Transpose { .. }
+            | Node::SpTranspose { .. }
             | Node::MatSource { .. }
             | Node::SpMatSource { .. }
             | Node::Densify { .. }
@@ -1607,8 +1608,12 @@ impl Runtime {
     ///
     /// * sparse x sparse (aligned tiles) -> [`spkernel::spmm`], sparse
     /// * sparse x dense -> [`spkernel::spmdm`], dense accumulator tiles
-    /// * dense x sparse -> the sparse side densifies, dense kernel
+    /// * dense x sparse -> [`spkernel::dmspm`], dense accumulator strips
     /// * dense x dense -> the configured [`MatMulKernel`]
+    ///
+    /// and `Transpose`/`SpTranspose` to the native [`spkernel::sptranspose`]
+    /// whenever the forced operand is sparse — no combination in the
+    /// `{sparse, dense}` product/transpose table densifies implicitly.
     pub(crate) fn force_matrix_value(&mut self, id: NodeId) -> ExecResult<MatValue> {
         if let Some(m) = self.mat_materialized.get(&id) {
             return Ok(MatValue::Dense(m.clone()));
@@ -1634,11 +1639,24 @@ impl Runtime {
                 let b = self.force_matrix_value(rhs)?;
                 self.multiply_values(a, b)?
             }
-            Node::Transpose { input } => {
-                // Sparse transpose densifies first; a native sparse
-                // transpose is future work.
-                let a = self.force_matrix(input)?;
-                MatValue::Dense(a.transpose(MatrixLayout::Square, TileOrder::RowMajor, None)?)
+            // Transpose is representation-generic: whatever representation
+            // the input forces to, the result keeps it. `SpTranspose` is
+            // the optimizer's explicit below-threshold plan; a plain
+            // `Transpose` over a sparse value (e.g. under MatNamed, which
+            // never optimizes) reaches the same native kernel.
+            Node::Transpose { input } | Node::SpTranspose { input } => {
+                match self.force_matrix_value(input)? {
+                    MatValue::Sparse(s) => {
+                        let (t, moved) = spkernel::sptranspose(&s, None)?;
+                        self.count_ops(moved as usize);
+                        MatValue::Sparse(t)
+                    }
+                    MatValue::Dense(d) => MatValue::Dense(d.transpose(
+                        MatrixLayout::Square,
+                        TileOrder::RowMajor,
+                        None,
+                    )?),
+                }
             }
             other => {
                 return Err(ExecError::Unsupported(format!(
@@ -1682,10 +1700,7 @@ impl Runtime {
                 MatValue::Dense(t)
             }
             (MatValue::Dense(a), MatValue::Sparse(b)) => {
-                // Only sparse-lhs kernels exist today; densify the rhs.
-                let bd = b.to_dense(TileOrder::RowMajor, None)?;
-                let (t, flops) =
-                    matmul::multiply(self.cfg.matmul_kernel, &a, &bd, self.mem_elems(), None)?;
+                let (t, flops) = spkernel::dmspm(&a, &b, None)?;
                 self.count_ops(flops as usize);
                 MatValue::Dense(t)
             }
@@ -1696,19 +1711,6 @@ impl Runtime {
                 MatValue::Dense(t)
             }
         })
-    }
-
-    /// Materialize a matrix node densely (sparse values decompress).
-    pub(crate) fn force_matrix(&mut self, id: NodeId) -> ExecResult<DenseMatrix> {
-        match self.force_matrix_value(id)? {
-            MatValue::Dense(d) => Ok(d),
-            // The densified copy is NOT cached under `id`: the node's
-            // planned representation is sparse, and a later forcing point
-            // (e.g. a MatMul the optimizer kept on the sparse kernel)
-            // must still see MatValue::Sparse, or the executed plan and
-            // RewriteStats would disagree.
-            MatValue::Sparse(s) => Ok(s.to_dense(TileOrder::RowMajor, None)?),
-        }
     }
 
     /// Non-zero count of a matrix value. For a deferred sparse source this

@@ -172,7 +172,7 @@ fn select_with_bindings(
                  FROM ({a}) {ta}, ({b}) {tb}\nWHERE {ta}.J={tb}.I\nGROUP BY {ta}.I, {tb}.J"
             )
         }
-        Node::Transpose { input } => {
+        Node::Transpose { input } | Node::SpTranspose { input } => {
             let t = namer.fresh("TMP");
             let inner = select_with_bindings(g, *input, namer, bound);
             format!("SELECT {t}.J AS I, {t}.I AS J, {t}.V\nFROM ({inner}) {t}")

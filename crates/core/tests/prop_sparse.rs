@@ -1,13 +1,15 @@
 //! Property tests for the sparse kernels and the optimizer's sparse
-//! rules: SpMV agrees with the dense reference kernel across random
-//! shapes/densities, and the density-threshold rewrite preserves
-//! semantics against the dense evaluation oracle.
+//! rules: every kernel in the `{sparse, dense} x {sparse, dense}` product
+//! table agrees with the dense reference across random shapes/densities,
+//! `t(t(A)) == A` through the native transpose, and the density-threshold
+//! rewrites (multiply *and* transpose) preserve semantics against the
+//! dense evaluation oracle.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
 use riot_array::{DenseVector, MatrixLayout, StorageCtx, TileOrder};
-use riot_core::exec::{dmv, spmdm, spmv};
+use riot_core::exec::{dmspm, dmv, spmdm, spmm, spmv};
 use riot_core::{evaluate, optimize, ExprGraph, MemSources, OptConfig, Value};
 use riot_sparse::SparseMatrix;
 
@@ -90,6 +92,97 @@ proptest! {
             }
         }
         prop_assert!(close(&t.to_rows().unwrap(), &want));
+    }
+
+    #[test]
+    fn transpose_roundtrips(case in sparse_case()) {
+        // t(t(A)) == A through the native kernel, and t(A) itself matches
+        // the scattered reference transposed.
+        let (rows, cols, trips) = case;
+        let c = ctx();
+        let sp = SparseMatrix::from_triplets(&c, rows, cols, MatrixLayout::Square, &trips, None)
+            .unwrap();
+        let t = sp.transpose(None).unwrap();
+        prop_assert_eq!(t.shape(), (cols, rows));
+        prop_assert_eq!(t.nnz(), sp.nnz());
+        let ad = scatter(rows, cols, &trips);
+        let mut want_t = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for cc in 0..cols {
+                want_t[cc * rows + r] = ad[r * cols + cc];
+            }
+        }
+        prop_assert!(close(&t.to_rows().unwrap(), &want_t));
+        let back = t.transpose(None).unwrap();
+        prop_assert_eq!(back.shape(), (rows, cols));
+        prop_assert!(close(&back.to_rows().unwrap(), &ad));
+    }
+
+    #[test]
+    fn product_parity_across_all_format_combinations(
+        a_case in sparse_case(),
+        b_raw in 0usize..700,
+        b_seed in any::<u64>(),
+        n3 in 1usize..24,
+    ) {
+        // A %*% B computed by all four kernels — spmm, spmdm, dmspm, and
+        // the dense reference — agrees whatever the operand formats.
+        let (n1, n2, ta) = a_case;
+        let tb = {
+            let target = b_raw.min(n2 * n3 * 2 / 5);
+            let mut s = b_seed | 1;
+            let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; s };
+            (0..target).map(|_| {
+                let r = (next() % n2 as u64) as usize;
+                let c = (next() % n3 as u64) as usize;
+                (r, c, (next() % 900) as f64 / 100.0 - 4.5)
+            }).collect::<Vec<_>>()
+        };
+        let c = ctx();
+        let sa = SparseMatrix::from_triplets(&c, n1, n2, MatrixLayout::Square, &ta, None).unwrap();
+        let sb = SparseMatrix::from_triplets(&c, n2, n3, MatrixLayout::Square, &tb, None).unwrap();
+        let da = sa.to_dense(TileOrder::RowMajor, None).unwrap();
+        let db = sb.to_dense(TileOrder::RowMajor, None).unwrap();
+
+        let ad = scatter(n1, n2, &ta);
+        let bd = scatter(n2, n3, &tb);
+        let mut want = vec![0.0; n1 * n3];
+        for i in 0..n1 {
+            for k in 0..n2 {
+                for j in 0..n3 {
+                    want[i * n3 + j] += ad[i * n2 + k] * bd[k * n3 + j];
+                }
+            }
+        }
+
+        let (ss, _) = spmm(&sa, &sb, None).unwrap();       // sparse x sparse
+        let (sd, _) = spmdm(&sa, &db, None).unwrap();      // sparse x dense
+        let (ds, _) = dmspm(&da, &sb, None).unwrap();      // dense  x sparse
+        prop_assert!(close(&ss.to_rows().unwrap(), &want));
+        prop_assert!(close(&sd.to_rows().unwrap(), &want));
+        prop_assert!(close(&ds.to_rows().unwrap(), &want));
+    }
+
+    #[test]
+    fn transpose_rewrites_preserve_semantics(case in sparse_case(), threshold in 0.0f64..1.2) {
+        // Whichever side of the threshold t(A) lands on (native sparse
+        // transpose or densify-then-transpose), the optimized DAG must
+        // evaluate to the same value as the unoptimized one.
+        let (rows, cols, trips) = case;
+        let mut g = ExprGraph::new();
+        let mut src = MemSources::new();
+        let (a_ref, nnz) = src.add_sparse(rows, cols, &trips);
+        let a = g.sp_mat_source(a_ref, rows, cols, nnz);
+        let t = g.transpose(a).unwrap();
+        let want = evaluate(&g, t, &src).unwrap();
+        let cfg = OptConfig { sparse_threshold: threshold, ..OptConfig::default() };
+        let (opt, stats) = optimize(&mut g, t, &cfg);
+        let got = evaluate(&g, opt, &src).unwrap();
+        let (Value::Matrix { data: dg, .. }, Value::Matrix { data: dw, .. }) = (&got, &want)
+        else { panic!("matrix values expected") };
+        prop_assert!(close(dg, dw));
+        // Exactly one physical decision was made for the transpose.
+        prop_assert_eq!(stats.sparse_transposes + stats.transpose_densified, 1);
     }
 
     #[test]

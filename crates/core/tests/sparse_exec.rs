@@ -233,6 +233,157 @@ fn sparse_programs_are_engine_transparent() {
     }
 }
 
+/// The complete kernel family through the frontend: `t(x)` on a sparse
+/// matrix below the density threshold stays sparse (the optimizer plans
+/// the native transpose; `RewriteStats` pins the decision), and the
+/// executed transpose touches only the sparse footprint.
+#[test]
+fn transpose_stays_sparse_below_threshold() {
+    let n = 64;
+    let mut cfg = EngineConfig::new(EngineKind::Riot);
+    cfg.block_size = 512; // 8x8 tiles, so occupancy stays genuinely sparse
+    cfg.mem_blocks = 512;
+    let s = Session::new(cfg);
+    let trips = random_triplets(n, n, 0.005, 5);
+    let a = s.sparse_matrix(n, n, &trips).unwrap();
+    let want_nnz = dense_reference(n, n, &trips)
+        .iter()
+        .filter(|v| **v != 0.0)
+        .count() as u64;
+
+    s.drop_caches().unwrap();
+    let before = s.io_snapshot();
+    let t = a.t();
+    // nnz() is a forcing point; a sparse-planned transpose answers it
+    // from the transposed handle without ever densifying.
+    assert_eq!(t.nnz().unwrap(), want_nnz);
+    let delta = s.io_snapshot() - before;
+    let stats = s.last_opt_stats();
+    assert!(
+        stats.sparse_transposes >= 1,
+        "native plan chosen: {stats:?}"
+    );
+    assert_eq!(stats.transpose_densified, 0, "{stats:?}");
+    // Far below the dense footprint: a densifying transpose would read
+    // and write n^2/64 = 64 blocks each way; the sparse one touches the
+    // occupied pages plus directories only.
+    let dense_blocks = (n * n / 64) as u64;
+    assert!(
+        delta.reads + delta.writes < dense_blocks,
+        "sparse transpose I/O {delta:?} must undercut the dense footprint \
+         {dense_blocks}"
+    );
+
+    // And the values are right.
+    let (r, c, got) = t.collect().unwrap();
+    assert_eq!((r, c), (n, n));
+    let ad = dense_reference(n, n, &trips);
+    let mut want = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            want[j * n + i] = ad[i * n + j];
+        }
+    }
+    assert_close(&got, &want);
+}
+
+/// Above the threshold the optimizer densifies before transposing, and
+/// says so in the stats.
+#[test]
+fn transpose_densifies_above_threshold() {
+    let n = 16;
+    let s = Session::with_engine(EngineKind::Riot);
+    let trips = random_triplets(n, n, 0.6, 17);
+    let a = s.sparse_matrix(n, n, &trips).unwrap();
+    let (_, _, got) = a.t().collect().unwrap();
+    let stats = s.last_opt_stats();
+    assert!(stats.transpose_densified >= 1, "{stats:?}");
+    assert_eq!(stats.sparse_transposes, 0, "{stats:?}");
+    let ad = dense_reference(n, n, &trips);
+    let mut want = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            want[j * n + i] = ad[i * n + j];
+        }
+    }
+    assert_close(&got, &want);
+}
+
+/// `%*%` dispatches all four `{sparse, dense} x {sparse, dense}` operand
+/// combinations to the matching kernel, with identical results — under
+/// every engine (the eager ones densify at load, like base R).
+#[test]
+fn matmul_parity_across_all_format_combinations() {
+    let n = 32;
+    let ta = random_triplets(n, n, 0.02, 31);
+    let tb = random_triplets(n, n, 0.02, 32);
+    let want = matmul_reference(
+        &dense_reference(n, n, &ta),
+        &dense_reference(n, n, &tb),
+        n,
+        n,
+        n,
+    );
+    for kind in EngineKind::all() {
+        for (a_sparse, b_sparse) in [(true, true), (true, false), (false, true), (false, false)] {
+            let s = Session::with_engine(kind);
+            let a = s.sparse_matrix(n, n, &ta).unwrap();
+            let b = s.sparse_matrix(n, n, &tb).unwrap();
+            let a = if a_sparse { a } else { a.to_dense().unwrap() };
+            let b = if b_sparse { b } else { b.to_dense().unwrap() };
+            let (r, c, got) = a.matmul(&b).collect().unwrap();
+            assert_eq!((r, c), (n, n));
+            assert_close(&got, &want);
+        }
+    }
+}
+
+/// Dense x sparse under Riot keeps the sparse rhs on the native `dmspm`
+/// kernel below the threshold: same result as an always-densify plan, but
+/// measurably less query I/O — the cost the old fallback silently paid.
+#[test]
+fn dense_sparse_product_avoids_densification_io() {
+    let n = 128;
+    let run = |threshold: f64| {
+        let mut cfg = EngineConfig::new(EngineKind::Riot);
+        cfg.block_size = 512;
+        cfg.mem_blocks = 1024;
+        cfg.opt = OptConfig {
+            sparse_threshold: threshold,
+            ..OptConfig::default()
+        };
+        let s = Session::new(cfg);
+        let a = s
+            .matrix_from_fn(n, n, MatrixLayout::Square, |i, j| ((i + j) % 5) as f64)
+            .unwrap();
+        let b = s
+            .sparse_matrix(n, n, &random_triplets(n, n, 0.005, 77))
+            .unwrap();
+        s.drop_caches().unwrap();
+        let before = s.io_snapshot();
+        let (_, _, got) = a.matmul(&b).collect().unwrap();
+        // Flush so the densifying plan's intermediate writes are counted
+        // (they are real I/O the dmspm plan never issues).
+        s.drop_caches().unwrap();
+        let io = (s.io_snapshot() - before).total_blocks();
+        (got, io, s.last_opt_stats())
+    };
+    let (got_sparse, io_sparse, stats_sparse) = run(cost_threshold_default());
+    let (got_densify, io_densify, stats_densify) = run(0.0); // always densify
+    assert_close(&got_sparse, &got_densify);
+    assert!(stats_sparse.sparse_kernels >= 1, "{stats_sparse:?}");
+    assert!(stats_densify.sparse_densified >= 1, "{stats_densify:?}");
+    assert!(
+        io_sparse < io_densify,
+        "dmspm plan ({io_sparse} blocks) must undercut the densifying plan \
+         ({io_densify} blocks)"
+    );
+}
+
+fn cost_threshold_default() -> f64 {
+    riot_core::cost::SPARSE_DENSITY_THRESHOLD
+}
+
 /// Sparse x sparse stays sparse end to end: the product of two
 /// low-density operands is collected from a sparse result whose footprint
 /// is below the dense one, and conversions round-trip through the

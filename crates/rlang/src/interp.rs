@@ -915,6 +915,35 @@ print(a %*% b)";
     }
 
     #[test]
+    fn sparse_transpose_through_script() {
+        // t() on a sparse matrix stays sparse under the deferred engines
+        // (nnz is answered from the transposed handle) and all four
+        // operand-format combinations of %*% agree across engines.
+        let src = "\
+a <- sparse(c(1, 2, 4), c(3, 1, 2), c(5, 7, 9), 4, 4)
+ta <- t(a)
+print(nnz(ta))
+print(nrow(ta))
+b <- t(t(a))
+print(nnz(b))
+d <- as.dense(a)
+p1 <- a %*% a
+p2 <- a %*% d
+p3 <- d %*% a
+p4 <- d %*% d
+print(sum(nnz(p1) + nnz(p2) + nnz(p3) + nnz(p4)))";
+        let mut outs = Vec::new();
+        for kind in EngineKind::all() {
+            outs.push(run_with(kind, src));
+        }
+        for w in outs.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        // t(a) keeps the 3 non-zeros and swaps dims; t(t(a)) is a again.
+        assert!(outs[0].starts_with("[1] 3\n[1] 4\n[1] 3\n"), "{}", outs[0]);
+    }
+
+    #[test]
     fn sparse_named_dims_and_bounds() {
         assert_eq!(
             run("print(nnz(sparse(c(2), c(2), c(5), nrow = 4, ncol = 3)))").trim(),

@@ -51,6 +51,26 @@
 //! construction and cached in the handle (`Arc`), so tile addressing costs
 //! no further I/O. Tile reads pin the underlying page zero-copy and decode
 //! the CSR views straight from the pinned `&[f64]`.
+//!
+//! ## Builders and their counted-I/O contracts
+//!
+//! | builder | reads | writes (once flushed) |
+//! |---|---|---|
+//! | [`SparseMatrix::from_triplets`] | 0 | `occupied_pages + dir_blocks` |
+//! | [`SparseMatrix::from_dense`] | every dense tile, once | `occupied_pages + dir_blocks` |
+//! | [`SparseMatrix::create_with_plan`] | 0 | `dir_blocks` (pages land via the `write_tile*` calls) |
+//! | [`SparseMatrix::transpose`] | `occupied_pages`, once each | `occupied_pages + dir_blocks` |
+//!
+//! [`SparseMatrix::transpose`] is the **native transpose**: the output
+//! directory is derived from the cached input directory (tile `(j, i)` of
+//! the output is tile `(i, j)` of the input with the same nnz), so
+//! planning costs zero I/O, and the data pass streams the occupied pages
+//! in transposed directory order — the matrix is never densified. Two-pass
+//! producers (SpMM in `riot-core`) size their output with
+//! [`SparseMatrix::create_with_plan`] and fill pages either from a dense
+//! scratch ([`SparseMatrix::write_tile`]) or directly from sorted entries
+//! ([`SparseMatrix::write_tile_entries_at`], the replay path for plans
+//! spilled to a growable catalog extent).
 
 pub mod matrix;
 

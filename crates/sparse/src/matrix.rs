@@ -386,6 +386,89 @@ impl SparseMatrix {
         Ok(())
     }
 
+    /// Fill the planned tile `(ti, tj)` from local `(row, col, value)`
+    /// entries sorted by `(row, col)` with no duplicates. The entry count
+    /// must match the plan given to [`SparseMatrix::create_with_plan`].
+    ///
+    /// This is the streaming counterpart of [`SparseMatrix::write_tile`]:
+    /// producers that already hold the non-zeros (a transposed tile, a
+    /// spilled SpMM plan) write them directly instead of scattering into a
+    /// dense scratch that is immediately re-scanned.
+    pub fn write_tile_entries_at(
+        &self,
+        ti: u64,
+        tj: u64,
+        entries: &[(usize, usize, f64)],
+    ) -> Result<()> {
+        let slot = self.slot(ti, tj);
+        assert_eq!(
+            entries.len(),
+            slot.nnz as usize,
+            "tile ({ti}, {tj}) nnz diverged from the plan"
+        );
+        debug_assert!(
+            entries
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "tile entries must be sorted by (row, col) without duplicates"
+        );
+        debug_assert!(
+            entries
+                .iter()
+                .all(|&(r, c, _)| r < self.tile_r && c < self.tile_c),
+            "tile entries out of tile bounds"
+        );
+        if !entries.is_empty() {
+            self.write_tile_entries(slot.page, entries)?;
+        }
+        Ok(())
+    }
+
+    /// Native transpose: build `self` transposed as a new sparse matrix by
+    /// streaming the tile directory in transposed order, never
+    /// densifying.
+    ///
+    /// The transposed directory is **derived from the cached directory
+    /// alone** — tile `(j, i)` of the output is tile `(i, j)` of the input
+    /// with the same nnz — so planning costs zero I/O. Each occupied input
+    /// page is then read exactly once (in transposed directory order), its
+    /// CSR entries re-sorted per tile, and written to the output page. The
+    /// output uses [`MatrixLayout::transposed`], so tiles stay one block
+    /// and the mapping stays one-to-one.
+    ///
+    /// Counted I/O: `occupied_pages` reads + (`occupied_pages` +
+    /// `dir_blocks`) writes once flushed — pinned by the kernel tests.
+    pub fn transpose(&self, name: Option<&str>) -> Result<SparseMatrix> {
+        let layout = self.layout.transposed();
+        // Plan in output row-major tile order: out (i', j') <- in (j', i').
+        let mut plan = Vec::with_capacity((self.tr * self.tc) as usize);
+        for oi in 0..self.tc {
+            for oj in 0..self.tr {
+                plan.push(self.slot(oj, oi).nnz);
+            }
+        }
+        let out = Self::create_with_plan(&self.ctx, self.cols, self.rows, layout, &plan, name)?;
+        debug_assert_eq!(
+            out.tile_dims(),
+            (self.tile_c, self.tile_r),
+            "transposed layout keeps the tile mapping one-to-one"
+        );
+        let mut entries = Vec::new();
+        for oi in 0..out.tr {
+            for oj in 0..out.tc {
+                let Some(tile) = self.tile(oj, oi)? else {
+                    continue;
+                };
+                entries.clear();
+                tile.for_each(|r, c, v| entries.push((c, r, v)));
+                entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+                drop(tile);
+                out.write_tile_entries_at(oi, oj, &entries)?;
+            }
+        }
+        Ok(out)
+    }
+
     /// Fill the planned tile `(ti, tj)` from a dense row-major scratch of
     /// `tile_r * tile_c` elements. The scratch's non-zero count must match
     /// the plan given to [`SparseMatrix::create_with_plan`].
@@ -790,6 +873,97 @@ mod tests {
         let m = SparseMatrix::create_with_plan(&c, 8, 8, MatrixLayout::Square, &[1], None).unwrap();
         let scratch = vec![0.0; 64]; // zero non-zeros, plan said 1
         m.write_tile(0, 0, &scratch).unwrap();
+    }
+
+    fn transpose_ref(rows: usize, cols: usize, m: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                out[c * rows + r] = m[r * cols + c];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn transpose_matches_dense_reference() {
+        let c = ctx(64);
+        let trips = vec![(0, 0, 1.0), (7, 12, 2.0), (19, 3, -4.5), (5, 12, 0.25)];
+        let m =
+            SparseMatrix::from_triplets(&c, 20, 13, MatrixLayout::Square, &trips, None).unwrap();
+        let t = m.transpose(None).unwrap();
+        assert_eq!(t.shape(), (13, 20));
+        assert_eq!(t.nnz(), m.nnz());
+        assert_eq!(t.occupied_pages(), m.occupied_pages());
+        assert_eq!(
+            t.to_rows().unwrap(),
+            transpose_ref(20, 13, &m.to_rows().unwrap())
+        );
+    }
+
+    #[test]
+    fn transpose_reads_only_occupied_pages() {
+        let c = ctx(64);
+        // 32x32 over 8x8 tiles: 16 tiles, 3 occupied.
+        let trips = vec![(0, 0, 1.0), (9, 9, 2.0), (25, 30, 3.0)];
+        let m =
+            SparseMatrix::from_triplets(&c, 32, 32, MatrixLayout::Square, &trips, None).unwrap();
+        c.pool().flush_all().unwrap();
+        c.clear_cache().unwrap();
+        let before = c.io_snapshot();
+        let t = m.transpose(None).unwrap();
+        c.pool().flush_all().unwrap();
+        let delta = c.io_snapshot() - before;
+        // Planning is directory-cache only; each occupied input page is
+        // read once; writes are the output's pages plus its directory.
+        assert_eq!(delta.reads, m.occupied_pages());
+        assert_eq!(delta.writes, t.occupied_pages() + t.dir_blocks());
+        assert_eq!(
+            t.to_rows().unwrap(),
+            transpose_ref(32, 32, &m.to_rows().unwrap())
+        );
+    }
+
+    #[test]
+    fn transpose_roundtrips_rectangular_layouts() {
+        let c = ctx(64);
+        let trips = vec![(0, 0, 1.0), (63, 2, 2.0), (10, 3, 3.0), (31, 1, -7.0)];
+        let m =
+            SparseMatrix::from_triplets(&c, 64, 4, MatrixLayout::ColMajor, &trips, None).unwrap();
+        let t = m.transpose(None).unwrap();
+        assert_eq!(t.layout(), MatrixLayout::RowMajor);
+        assert_eq!(t.tile_dims(), (1, 64));
+        assert_eq!(
+            t.to_rows().unwrap(),
+            transpose_ref(64, 4, &m.to_rows().unwrap())
+        );
+        let back = t.transpose(None).unwrap();
+        assert_eq!(back.layout(), MatrixLayout::ColMajor);
+        assert_eq!(back.to_rows().unwrap(), m.to_rows().unwrap());
+    }
+
+    #[test]
+    fn transpose_of_dense_format_tiles() {
+        let c = ctx(32);
+        // A fully-occupied 8x8 tile stores dense; its transpose must too.
+        let trips: Vec<(usize, usize, f64)> = (0..8)
+            .flat_map(|r| (0..8).map(move |cc| (r, cc, (r * 8 + cc + 1) as f64)))
+            .collect();
+        let m = SparseMatrix::from_triplets(&c, 8, 8, MatrixLayout::Square, &trips, None).unwrap();
+        let t = m.transpose(None).unwrap();
+        assert!(!t.tile(0, 0).unwrap().unwrap().is_csr());
+        assert_eq!(
+            t.to_rows().unwrap(),
+            transpose_ref(8, 8, &m.to_rows().unwrap())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nnz diverged")]
+    fn write_tile_entries_at_rejects_plan_mismatch() {
+        let c = ctx(16);
+        let m = SparseMatrix::create_with_plan(&c, 8, 8, MatrixLayout::Square, &[2], None).unwrap();
+        m.write_tile_entries_at(0, 0, &[(0, 0, 1.0)]).unwrap();
     }
 
     #[test]

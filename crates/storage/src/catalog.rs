@@ -1,6 +1,9 @@
-//! A minimal catalog mapping stored objects to contiguous block extents.
+//! A minimal catalog mapping stored objects to block extents.
 //!
-//! Arrays, spill files, and strawman "tables" each own one extent. The
+//! Arrays, spill files, and strawman "tables" each own one extent — or,
+//! for **growable** objects whose final size is unknown at creation time
+//! (e.g. the SpMM pass-one spill, whose length is the product's nnz), a
+//! *sequence* of contiguous extents appended by [`Catalog::extend`]. The
 //! catalog exists so engines can account storage per object, free whole
 //! objects at once (the RIOT-DB dependency-tracking hook of §4.1 drops
 //! views/tables when no longer referenced), and report footprints.
@@ -34,7 +37,12 @@ impl Extent {
 
 #[derive(Debug, Clone)]
 struct Entry {
-    extent: Extent,
+    /// The object's extents in allocation order. Fixed-size objects have
+    /// exactly one; growable objects gain one per [`Catalog::extend`].
+    segments: Vec<Extent>,
+    /// Whether [`Catalog::extend`] is allowed (set by
+    /// [`Catalog::alloc_growable`]; fixed-size objects reject growth).
+    growable: bool,
     name: Option<String>,
 }
 
@@ -68,18 +76,82 @@ impl Catalog {
         self.objects.insert(
             id.0,
             Entry {
-                extent,
+                segments: vec![extent],
+                growable: false,
                 name: name.map(str::to_owned),
             },
         );
         Ok((id, extent))
     }
 
-    /// Extent of `id`.
+    /// Allocate a **growable** object: `blocks` blocks now, more later via
+    /// [`Catalog::extend`] (fixed-size objects from [`Catalog::create`]
+    /// reject growth). The returned extent is the first segment; use
+    /// [`Catalog::segments`] to enumerate them all once the object has
+    /// grown. This is the allocation mode for objects whose final size is
+    /// only known after a producing pass (spill runs).
+    pub fn alloc_growable(
+        &mut self,
+        pool: &BufferPool,
+        blocks: u64,
+        name: Option<&str>,
+    ) -> Result<(ObjectId, Extent)> {
+        let (id, extent) = self.create(pool, blocks, name)?;
+        self.objects
+            .get_mut(&id.0)
+            .expect("object just created")
+            .growable = true;
+        Ok((id, extent))
+    }
+
+    /// Grow object `id` by a fresh contiguous run of `blocks` blocks,
+    /// returning the new segment. The new blocks need not be adjacent to
+    /// the object's existing extents — the object's address space is the
+    /// concatenation of its segments in allocation order. Errors with
+    /// [`StorageError::NotGrowable`] unless `id` came from
+    /// [`Catalog::alloc_growable`].
+    pub fn extend(&mut self, pool: &BufferPool, id: ObjectId, blocks: u64) -> Result<Extent> {
+        // Validate before allocating so a rejected call leaves both the
+        // catalog and the device allocator untouched.
+        match self.objects.get(&id.0) {
+            None => return Err(StorageError::UnknownObject(id.0)),
+            Some(e) if !e.growable => return Err(StorageError::NotGrowable(id.0)),
+            Some(_) => {}
+        }
+        let start = pool.allocate_blocks(blocks.max(1))?;
+        let extent = Extent {
+            start,
+            blocks: blocks.max(1),
+        };
+        self.objects
+            .get_mut(&id.0)
+            .expect("presence checked above")
+            .segments
+            .push(extent);
+        Ok(extent)
+    }
+
+    /// First (for fixed-size objects: only) extent of `id`.
     pub fn extent(&self, id: ObjectId) -> Result<Extent> {
         self.objects
             .get(&id.0)
-            .map(|e| e.extent)
+            .map(|e| e.segments[0])
+            .ok_or(StorageError::UnknownObject(id.0))
+    }
+
+    /// All extents of `id`, in allocation order.
+    pub fn segments(&self, id: ObjectId) -> Result<Vec<Extent>> {
+        self.objects
+            .get(&id.0)
+            .map(|e| e.segments.clone())
+            .ok_or(StorageError::UnknownObject(id.0))
+    }
+
+    /// Total blocks across all of `id`'s extents.
+    pub fn object_blocks(&self, id: ObjectId) -> Result<u64> {
+        self.objects
+            .get(&id.0)
+            .map(|e| e.segments.iter().map(|s| s.blocks).sum())
             .ok_or(StorageError::UnknownObject(id.0))
     }
 
@@ -88,13 +160,16 @@ impl Catalog {
         self.objects.get(&id.0).and_then(|e| e.name.as_deref())
     }
 
-    /// Drop `id`, releasing its blocks on `pool`.
+    /// Drop `id`, releasing all of its blocks on `pool`.
     pub fn drop_object(&mut self, pool: &BufferPool, id: ObjectId) -> Result<()> {
         let entry = self
             .objects
             .remove(&id.0)
             .ok_or(StorageError::UnknownObject(id.0))?;
-        pool.free_blocks(entry.extent.start, entry.extent.blocks)
+        for seg in &entry.segments {
+            pool.free_blocks(seg.start, seg.blocks)?;
+        }
+        Ok(())
     }
 
     /// Number of live objects.
@@ -107,9 +182,13 @@ impl Catalog {
         self.objects.is_empty()
     }
 
-    /// Total blocks held by live objects.
+    /// Total blocks held by live objects (all segments counted).
     pub fn total_blocks(&self) -> u64 {
-        self.objects.values().map(|e| e.extent.blocks).sum()
+        self.objects
+            .values()
+            .flat_map(|e| e.segments.iter())
+            .map(|s| s.blocks)
+            .sum()
     }
 }
 
@@ -169,5 +248,86 @@ mod tests {
         let mut cat = Catalog::new();
         assert!(cat.extent(ObjectId(42)).is_err());
         assert!(cat.drop_object(&p, ObjectId(42)).is_err());
+        assert!(cat.extend(&p, ObjectId(42), 1).is_err());
+        assert!(cat.segments(ObjectId(42)).is_err());
+        assert!(cat.object_blocks(ObjectId(42)).is_err());
+    }
+
+    #[test]
+    fn fixed_size_objects_reject_extend() {
+        let p = pool();
+        let mut cat = Catalog::new();
+        let (id, _) = cat.create(&p, 2, None).unwrap();
+        assert!(matches!(
+            cat.extend(&p, id, 1),
+            Err(StorageError::NotGrowable(raw)) if raw == id.0
+        ));
+        // The rejected call allocated nothing.
+        assert_eq!(cat.object_blocks(id).unwrap(), 2);
+        assert_eq!(cat.total_blocks(), 2);
+    }
+
+    #[test]
+    fn growable_object_accumulates_segments() {
+        let p = pool();
+        let mut cat = Catalog::new();
+        let (id, first) = cat.alloc_growable(&p, 2, Some("spill")).unwrap();
+        assert_eq!(first.blocks, 2);
+        assert_eq!(cat.object_blocks(id).unwrap(), 2);
+        let second = cat.extend(&p, id, 3).unwrap();
+        let third = cat.extend(&p, id, 1).unwrap();
+        let segs = cat.segments(id).unwrap();
+        assert_eq!(segs, vec![first, second, third]);
+        assert_eq!(cat.object_blocks(id).unwrap(), 6);
+        assert_eq!(cat.total_blocks(), 6);
+        // extent() still answers with the first segment.
+        assert_eq!(cat.extent(id).unwrap(), first);
+    }
+
+    #[test]
+    fn growable_segments_do_not_overlap_interleaved_objects() {
+        let p = pool();
+        let mut cat = Catalog::new();
+        let (a, _) = cat.alloc_growable(&p, 1, None).unwrap();
+        let (b, _) = cat.create(&p, 2, None).unwrap();
+        cat.extend(&p, a, 2).unwrap();
+        let (c, _) = cat.create(&p, 1, None).unwrap();
+        cat.extend(&p, a, 1).unwrap();
+        let mut runs: Vec<Extent> = cat.segments(a).unwrap();
+        runs.extend(cat.segments(b).unwrap());
+        runs.extend(cat.segments(c).unwrap());
+        runs.sort_by_key(|e| e.start.0);
+        for w in runs.windows(2) {
+            assert!(
+                w[0].start.0 + w[0].blocks <= w[1].start.0,
+                "extents overlap: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_frees_every_segment() {
+        let p = pool();
+        let mut cat = Catalog::new();
+        let (id, first) = cat.alloc_growable(&p, 1, None).unwrap();
+        let second = cat.extend(&p, id, 2).unwrap();
+        p.write_new(first.block(0), |d| d[0] = 1).unwrap();
+        p.write_new(second.block(1), |d| d[0] = 2).unwrap();
+        cat.drop_object(&p, id).unwrap();
+        assert!(cat.segments(id).is_err());
+        assert_eq!(cat.total_blocks(), 0);
+        // Both segments' blocks were released on the pool.
+        assert!(p.read(first.block(0), |_| ()).is_err());
+        assert!(p.read(second.block(1), |_| ()).is_err());
+    }
+
+    #[test]
+    fn zero_block_extend_rounds_up_to_one() {
+        let p = pool();
+        let mut cat = Catalog::new();
+        let (id, _) = cat.alloc_growable(&p, 1, None).unwrap();
+        let seg = cat.extend(&p, id, 0).unwrap();
+        assert_eq!(seg.blocks, 1);
+        assert_eq!(cat.object_blocks(id).unwrap(), 2);
     }
 }

@@ -30,6 +30,9 @@ pub enum StorageError {
     },
     /// An object id unknown to the catalog was referenced.
     UnknownObject(u64),
+    /// A fixed-size object was asked to grow; only objects allocated with
+    /// `Catalog::alloc_growable` accept `extend`.
+    NotGrowable(u64),
     /// The underlying operating-system file operation failed.
     Io(std::io::Error),
 }
@@ -50,6 +53,9 @@ impl fmt::Display for StorageError {
                 "buffer length {got} does not match block size {expected}"
             ),
             StorageError::UnknownObject(id) => write!(f, "unknown object id {id}"),
+            StorageError::NotGrowable(id) => {
+                write!(f, "object {id} is fixed-size; only growable objects extend")
+            }
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

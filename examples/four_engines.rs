@@ -17,6 +17,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "engine", "blocks R", "blocks W", "I/O MB", "modeled time"
     );
 
+    let mut outputs = Vec::new();
+    let mut totals = Vec::new();
     for kind in EngineKind::all() {
         let mut cfg = EngineConfig::new(kind);
         // Memory cap: half of one input vector (forces out-of-core work).
@@ -36,8 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let z = d.index(&idx);
         let out = z.collect()?;
         assert_eq!(out.len(), k);
+        outputs.push(out);
 
         let io = s.io_snapshot() - baseline;
+        totals.push((kind, io.total_blocks()));
         let secs = model.modeled_seconds(&io, s.cpu_ops() - base_ops);
         println!(
             "{:<18} {:>12} {:>12} {:>12.2} {:>12.3} s",
@@ -48,6 +52,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             secs
         );
     }
+
+    // Transparency: all four engines computed the same k path lengths
+    // (the shared seed makes the sampled indices agree).
+    for w in outputs.windows(2) {
+        assert_eq!(w[0], w[1], "engines must agree on the output");
+    }
+    // And the Figure 1 ordering holds: full RIOT beats the thrashing
+    // eager baseline by a wide margin.
+    let blocks = |k: EngineKind| totals.iter().find(|(e, _)| *e == k).unwrap().1;
+    assert!(
+        blocks(EngineKind::Riot) * 4 < blocks(EngineKind::PlainR),
+        "RIOT {} blocks vs Plain R {}",
+        blocks(EngineKind::Riot),
+        blocks(EngineKind::PlainR)
+    );
+    assert!(
+        blocks(EngineKind::Riot) <= blocks(EngineKind::MatNamed),
+        "RIOT {} blocks vs MatNamed {}",
+        blocks(EngineKind::Riot),
+        blocks(EngineKind::MatNamed)
+    );
 
     println!("\nThe ordering matches Figure 1: RIOT-DB barely registers, MatNamed");
     println!("pays one materialization of d, the strawman writes every");

@@ -52,6 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = EngineConfig::new(EngineKind::Riot);
     cfg.block_size = 8192; // 1024 elems, 32x32 tiles
     cfg.mem_blocks = 12;
+    let mut runs = Vec::new();
     for reorder in [false, true] {
         cfg.opt.reorder_chains = reorder;
         let sess = Session::new(cfg);
@@ -67,12 +68,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let before_ops = sess.cpu_ops();
         let abc = a.matmul(&b).matmul(&c);
         let (_, _, data) = abc.collect()?;
+        let mults = sess.cpu_ops() - before_ops;
+        let checksum: f64 = data.iter().sum();
         println!(
-            "  reorder_chains = {reorder:<5}  multiplications = {:>10}  checksum = {:.1}",
-            sess.cpu_ops() - before_ops,
-            data.iter().sum::<f64>()
+            "  reorder_chains = {reorder:<5}  multiplications = {mults:>10}  \
+             checksum = {checksum:.1}"
         );
+        runs.push((mults, checksum));
     }
+    // The claims the output makes, asserted: same product, fewer
+    // multiplications, and a checksum matching the direct computation of
+    // sum(A %*% B) (C is the identity).
+    assert!(
+        (runs[0].1 - runs[1].1).abs() < 1e-6 * runs[0].1.abs(),
+        "reordering changed the result: {} vs {}",
+        runs[0].1,
+        runs[1].1
+    );
+    assert!(
+        runs[1].0 < runs[0].0,
+        "reordering must cut multiplications ({} vs {})",
+        runs[1].0,
+        runs[0].0
+    );
+    let mut want = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n / s4 {
+                want += (i + k) as f64 * ((k * 2 + j) as f64 * 0.5);
+            }
+        }
+    }
+    assert!(
+        (runs[0].1 - want).abs() < 1e-6 * want.abs(),
+        "checksum {} vs reference {}",
+        runs[0].1,
+        want
+    );
     println!("\nFewer multiplications with reordering, identical checksum.");
     Ok(())
 }

@@ -40,14 +40,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // down onto x and y, so only ~100 elements are ever computed.
     let values = z.collect()?;
     let query_io = s.io_snapshot() - after_load;
+    let stats = s.last_opt_stats();
+
+    // Check the answer, not just the plumbing: recompute each sampled
+    // path length directly from the generators. (Collecting idx is its
+    // own forcing point, which is why the stats were captured above.)
+    assert_eq!(values.len(), 100);
+    let sampled = idx.collect()?;
+    for (&raw, &got) in sampled.iter().zip(&values) {
+        let i = raw as usize - 1; // 1-based sample indices
+        let (x, y) = (
+            (i as f64 * 0.001).sin() * 100.0,
+            (i as f64 * 0.001).cos() * 100.0,
+        );
+        let want = ((x - xs).powi(2) + (y - ys).powi(2)).sqrt()
+            + ((x - xe).powi(2) + (y - ye).powi(2)).sqrt();
+        assert!((got - want).abs() < 1e-9, "index {i}: {got} vs {want}");
+    }
+    // And the headline claim: the query read at most ~2 blocks per
+    // sampled element (one of x, one of y), not the 2 * n/1024 = 512 a
+    // full scan would cost.
+    assert!(
+        query_io.reads <= 216,
+        "pushdown should bound query reads by the sample count, got {}",
+        query_io.reads
+    );
+    assert!(stats.gathers_pushed >= 1);
 
     println!("first five path lengths: {:?}", &values[..5]);
     println!("\nI/O to load x and y : {}", after_load);
     println!("I/O to answer query : {}", query_io);
     println!(
         "optimizer: {} subscript pushdowns, {} mask rewrites",
-        s.last_opt_stats().gathers_pushed,
-        s.last_opt_stats().mask_to_ifelse
+        stats.gathers_pushed, stats.mask_to_ifelse
     );
     println!(
         "\nWithout deferral the query would scan 2 x {} blocks; RIOT read {}.",

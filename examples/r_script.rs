@@ -24,6 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 1 << 16;
     println!("Running the paper's R code verbatim under all four engines\n");
 
+    let mut outputs = Vec::new();
     for kind in EngineKind::all() {
         let mut cfg = EngineConfig::new(kind);
         cfg.mem_blocks = (n / 1024) / 2;
@@ -47,7 +48,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{out1}");
         print!("{out2}");
         println!("script I/O: {io}\n");
+        outputs.push((out1, out2));
     }
+    // The transparency claim, asserted: every engine printed exactly the
+    // same script output...
+    for w in outputs.windows(2) {
+        assert_eq!(w[0], w[1], "engines must print identical results");
+    }
+    // ...and the Figure 2 fragment produced the known clamped squares of
+    // a[1:10] = (0..10) * 0.2.
+    assert!(
+        outputs[0].1.contains("0.04") && outputs[0].1.contains("3.24"),
+        "unexpected Figure 2 output: {}",
+        outputs[0].1
+    );
     println!("Same program text, same answers — only the I/O bill changes.");
     Ok(())
 }

@@ -12,6 +12,7 @@ use riot_array::{DenseVector, MatrixLayout, StorageCtx, TileOrder};
 const SCRIPT: &str = r#"
 a <- sparse(i, j, v, n, n)
 print(nnz(a))
+print(nnz(t(a)))
 b <- a %*% as.dense(a)
 print(nnz(b))
 print(nnz(as.sparse(b)))
@@ -19,6 +20,7 @@ print(nnz(as.sparse(b)))
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("R script with sparse builtins, all four engines:\n");
+    let mut outputs = Vec::new();
     for kind in EngineKind::all() {
         let mut interp = Interpreter::new(EngineConfig::new(kind));
         let n = 64usize;
@@ -39,7 +41,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         interp.bind_scalar("n", n as f64);
         let out = interp.run(SCRIPT)?;
         println!("=== {} ===\n{out}", kind.label());
+        outputs.push(out);
     }
+    // Transparency, asserted: all four engines agree, and the two band
+    // diagonals give the known non-zero counts (128 in a and t(a) — the
+    // native transpose preserves every stored value).
+    for w in outputs.windows(2) {
+        assert_eq!(w[0], w[1], "engines must print identical results");
+    }
+    assert!(
+        outputs[0].starts_with("[1] 128\n[1] 128\n"),
+        "unexpected nnz output: {}",
+        outputs[0]
+    );
 
     // Counted I/O: SpMV reads occupied pages only.
     let ctx = StorageCtx::new_mem(8192, 4096);

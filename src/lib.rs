@@ -17,10 +17,11 @@
 //!   cost model of Figure 3, and the four evaluation strategies of
 //!   Figure 1 behind one R-like [`Session`] API;
 //! * [`sparse`] ([`riot_sparse`]) — out-of-core block-compressed sparse
-//!   matrices (CSR-within-tile pages over the same buffer pool), with
-//!   SpMV/SpMM/sparse-x-dense kernels in [`riot_core::exec::sparse`] and
-//!   an optimizer that picks sparse or dense kernels from the catalog's
-//!   nnz statistic;
+//!   matrices (CSR-within-tile pages over the same buffer pool) with a
+//!   native transpose, the closed kernel family
+//!   SpMV/SpMM/sparse-x-dense/dense-x-sparse in
+//!   [`riot_core::exec::sparse`], and an optimizer that picks sparse or
+//!   dense kernels from the catalog's nnz statistic;
 //! * [`rlang`] ([`riot_rlang`]) — an interpreter for an R subset: the
 //!   same script text runs unmodified under every engine (including the
 //!   `sparse(i, j, v, nrow, ncol)`, `nnz`, `as.sparse`, `as.dense`
