@@ -12,8 +12,8 @@
 use std::sync::{Arc, Mutex};
 
 use riot_storage::{
-    BufferPool, Catalog, Extent, IoSnapshot, IoStats, MemBlockDevice, ObjectId, PoolConfig,
-    ReplacerKind, Result,
+    BufferPool, Catalog, Extent, IoSnapshot, IoStats, MemBlockDevice, ObjectHeader, ObjectId,
+    PoolConfig, ReplacerKind, Result,
 };
 
 /// A buffer pool plus an object catalog, shared by every array.
@@ -34,26 +34,40 @@ impl StorageCtx {
 
     /// Like [`StorageCtx::new_mem`] with an explicit replacement policy.
     pub fn new_mem_with(block_size: usize, frames: usize, replacer: ReplacerKind) -> Arc<Self> {
-        let device = MemBlockDevice::new(block_size);
-        Arc::new(StorageCtx {
-            pool: BufferPool::new(Box::new(device), PoolConfig { frames, replacer }),
-            catalog: Mutex::new(Catalog::new()),
-        })
+        Self::new_mem_opts(
+            block_size,
+            PoolConfig {
+                frames,
+                replacer,
+                ..PoolConfig::default()
+            },
+            1,
+        )
     }
 
     /// Context over an in-memory device with a lock-striped pool, for
     /// multi-threaded kernels.
     pub fn new_mem_sharded(block_size: usize, frames: usize, shards: usize) -> Arc<Self> {
+        Self::new_mem_opts(
+            block_size,
+            PoolConfig {
+                frames,
+                replacer: ReplacerKind::Lru,
+                ..PoolConfig::default()
+            },
+            shards,
+        )
+    }
+
+    /// Context over an in-memory device with full [`PoolConfig`] control —
+    /// the constructor for pools with plan-driven prefetching enabled
+    /// (`config.prefetch_depth > 0`, or [`riot_storage::PREFETCH_AUTO`]
+    /// to size the worker pool from the device's concurrent-I/O
+    /// capability).
+    pub fn new_mem_opts(block_size: usize, config: PoolConfig, shards: usize) -> Arc<Self> {
         let device = MemBlockDevice::new(block_size);
         Arc::new(StorageCtx {
-            pool: BufferPool::new_sharded(
-                Box::new(device),
-                PoolConfig {
-                    frames,
-                    replacer: ReplacerKind::Lru,
-                },
-                shards,
-            ),
+            pool: BufferPool::new_sharded(Box::new(device), config, shards),
             catalog: Mutex::new(Catalog::new()),
         })
     }
@@ -109,6 +123,28 @@ impl StorageCtx {
     /// All extents of object `id`, in allocation order.
     pub fn object_segments(&self, id: ObjectId) -> Result<Vec<Extent>> {
         self.catalog.lock().unwrap().segments(id)
+    }
+
+    /// First extent of object `id` (fixed-size objects have exactly one).
+    pub fn object_extent(&self, id: ObjectId) -> Result<Extent> {
+        self.catalog.lock().unwrap().extent(id)
+    }
+
+    /// Register reopen metadata for `id` (kind, dims, layout, nnz): the
+    /// catalog-level object header a later session resolves a name into a
+    /// typed handle through.
+    pub fn set_object_header(&self, id: ObjectId, header: ObjectHeader) -> Result<()> {
+        self.catalog.lock().unwrap().set_header(id, header)
+    }
+
+    /// Reopen metadata of `id`, if its creator registered any.
+    pub fn object_header(&self, id: ObjectId) -> Result<Option<ObjectHeader>> {
+        self.catalog.lock().unwrap().header(id)
+    }
+
+    /// Look a live object up by name (lowest id wins on duplicates).
+    pub fn find_object(&self, name: &str) -> Option<ObjectId> {
+        self.catalog.lock().unwrap().find_by_name(name)
     }
 
     /// Drop an object, releasing all of its blocks.

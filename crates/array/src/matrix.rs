@@ -44,6 +44,25 @@ impl MatrixLayout {
         }
     }
 
+    /// Stable one-byte encoding for catalog object headers.
+    pub fn code(self) -> u8 {
+        match self {
+            MatrixLayout::RowMajor => 0,
+            MatrixLayout::ColMajor => 1,
+            MatrixLayout::Square => 2,
+        }
+    }
+
+    /// Decode a [`MatrixLayout::code`] value.
+    pub fn from_code(code: u8) -> Option<MatrixLayout> {
+        match code {
+            0 => Some(MatrixLayout::RowMajor),
+            1 => Some(MatrixLayout::ColMajor),
+            2 => Some(MatrixLayout::Square),
+            _ => None,
+        }
+    }
+
     /// Tile dimensions `(rows, cols)` in elements for `epb` elements/block.
     pub fn tile_dims(self, epb: usize) -> (usize, usize) {
         match self {

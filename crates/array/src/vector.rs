@@ -126,6 +126,27 @@ impl DenseVector {
         Ok(())
     }
 
+    /// Hint that elements `[start, start + len)` will be read soon: the
+    /// covering blocks go to the buffer pool's background prefetcher, so a
+    /// streaming consumer's next window loads while the current one is
+    /// processed. Free no-op when the pool's prefetcher is disabled; never
+    /// changes counted I/O totals, only when the reads happen.
+    pub fn prefetch_range(&self, start: usize, len: usize) {
+        if self.ctx.pool().prefetch_depth() == 0 || start >= self.len {
+            return;
+        }
+        let len = len.min(self.len - start);
+        if len == 0 {
+            return;
+        }
+        let per_block = self.elems_per_block();
+        let first = self.start_block + (start / per_block) as u64;
+        let last = self.start_block + ((start + len - 1) / per_block) as u64;
+        let blocks: Vec<riot_storage::BlockId> =
+            (first..=last).map(riot_storage::BlockId).collect();
+        self.ctx.pool().prefetch(&blocks);
+    }
+
     /// Read `out.len()` elements starting at `start`, block at a time.
     pub fn read_range(&self, start: usize, out: &mut [f64]) -> Result<()> {
         assert!(start + out.len() <= self.len, "range out of bounds");

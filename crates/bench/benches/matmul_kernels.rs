@@ -11,11 +11,17 @@
 //! physical cores (speedup is recorded, not asserted, because CI boxes
 //! may expose a single core).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use riot_array::{DenseMatrix, MatrixLayout, StorageCtx, TileOrder};
-use riot_core::exec::{matmul_tiled_parallel, multiply, MatMulKernel};
+use riot_core::exec::{matmul_tiled, matmul_tiled_parallel, multiply, MatMulKernel};
+use riot_storage::testing::FailpointDevice;
+use riot_storage::{BufferPool, MemBlockDevice, PoolConfig, ReplacerKind};
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test-mode")
+}
 
 const N: usize = 64;
 const MEM_ELEMS: usize = 3 * 1024; // p = 32 with 8 KiB blocks
@@ -120,6 +126,69 @@ fn timed_tiled(n: usize, mem_elems: usize, threads: usize) -> (f64, u64, u64, Ve
     (secs, delta.reads, delta.writes, result)
 }
 
+/// Plan-driven prefetch on the tiled kernel over a latency-injected
+/// device: counted I/O must be identical with the prefetcher on, and the
+/// wall clock shows the declared windows overlapping the injected device
+/// latency (sleeps overlap even on a 1-core box).
+fn prefetch_report(n: usize, latency: Duration) {
+    let run = |depth: usize| {
+        let dev = FailpointDevice::new(Box::new(MemBlockDevice::new(8192)));
+        dev.handle().set_read_latency(latency);
+        let ctx = StorageCtx::from_pool(BufferPool::new(
+            Box::new(dev),
+            PoolConfig {
+                frames: 8192,
+                replacer: ReplacerKind::Lru,
+                prefetch_depth: depth,
+            },
+        ));
+        let mk = |seed: usize| {
+            DenseMatrix::from_fn(
+                &ctx,
+                n,
+                n,
+                MatrixLayout::Square,
+                TileOrder::RowMajor,
+                None,
+                move |i, j| ((i * 29 + j * 13 + seed) % 83) as f64 - 41.0,
+            )
+            .unwrap()
+        };
+        let a = mk(0);
+        let b = mk(3);
+        ctx.pool().flush_all().unwrap();
+        ctx.clear_cache().unwrap();
+        let before = ctx.io_snapshot();
+        let t0 = Instant::now();
+        let (t, _) = matmul_tiled(&a, &b, 3 * (n / 4) * (n / 4), None).unwrap();
+        let secs = t0.elapsed().as_secs_f64();
+        ctx.pool().wait_prefetch_idle();
+        ctx.pool().flush_all().unwrap();
+        let delta = ctx.io_snapshot() - before;
+        (
+            t.to_rows().unwrap(),
+            delta.reads,
+            delta.writes,
+            secs,
+            ctx.pool().pool_stats().prefetch_issued,
+        )
+    };
+    println!("\nprefetch on/off, tiled matmul {n}x{n} (injected read latency {latency:?}):");
+    let (r_off, reads_off, writes_off, s_off, _) = run(0);
+    let (r_on, reads_on, writes_on, s_on, issued) = run(8);
+    assert_eq!(r_off, r_on, "prefetch changed the result");
+    assert_eq!(
+        (reads_off, writes_off),
+        (reads_on, writes_on),
+        "prefetch changed I/O totals"
+    );
+    println!(
+        "  off {s_off:.4}s, on {s_on:.4}s ({:.2}x), identical {reads_off} reads / \
+         {writes_off} writes, {issued} background loads",
+        s_off / s_on
+    );
+}
+
 /// The PR-1 perf artifact: sequential vs rayon-style parallel tiled matmul
 /// at 1024 x 1024, written to `BENCH_pr1.json` at the repository root.
 fn parallel_report() {
@@ -159,6 +228,20 @@ criterion_group!(
 );
 
 fn main() {
+    if test_mode() {
+        // CI's bench smoke leg: a seconds-scale run through the same code
+        // paths and parity assertions — criterion sampling and the
+        // 1024-size artifact (which would overwrite BENCH_pr1.json with
+        // toy numbers) are skipped.
+        let (secs, reads, writes, seq) = timed_tiled(128, 3 * 32 * 32, 1);
+        let (psecs, preads, pwrites, par) = timed_tiled(128, 3 * 32 * 32, 2);
+        assert_eq!(seq, par, "test-mode parallel result diverged");
+        assert_eq!((reads, writes), (preads, pwrites));
+        println!("test-mode tiled 128x128: 1 thread {secs:.4}s, 2 threads {psecs:.4}s");
+        prefetch_report(96, Duration::from_micros(150));
+        return;
+    }
     benches();
     parallel_report();
+    prefetch_report(512, Duration::from_micros(400));
 }

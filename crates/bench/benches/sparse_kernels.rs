@@ -1,21 +1,36 @@
 //! The full sparse kernel family across densities {0.001, 0.01, 0.1} —
 //! SpMV, two-pass SpMM (spilled plan), native transpose, and dense x
-//! sparse — plus the 1/2/4/8-thread tiled-matmul scaling point from the
-//! ROADMAP; results land in `BENCH_pr4.json` at the repository root.
+//! sparse — plus the tiled-matmul scaling point, the 1/2/4-thread
+//! **parallel sparse kernel** rows, and the **prefetch on/off**
+//! comparison over a latency-injected device; results land in
+//! `BENCH_pr5.json` at the repository root (superseding `BENCH_pr4.json`).
 //!
-//! The headline figure is the I/O ratio: every sparse kernel touches only
+//! The headline figures: the I/O ratio (every sparse kernel touches only
 //! occupied pages, so its block reads track `1 - (1-d)^B` of the dense
-//! footprint. Wall times on a 1-core CI box are recorded but not asserted
-//! (re-run on real hardware for meaningful parallel speedups).
+//! footprint), exact I/O parity across thread counts and prefetch modes,
+//! and the prefetch wall-clock win (latency sleeps overlap even on a
+//! 1-core box; CPU-bound thread scaling needs real cores).
+//!
+//! Pass `--test-mode` for a seconds-scale smoke run (CI's bench leg):
+//! shrunken shapes, single density, same code paths and assertions.
 
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use riot_array::{DenseMatrix, DenseVector, MatrixLayout, StorageCtx, TileOrder};
-use riot_core::exec::{dmspm, dmv, matmul_tiled_parallel, spmm, spmv, sptranspose};
+use riot_core::exec::{
+    dmspm, dmspm_parallel, dmv, matmul_tiled, matmul_tiled_parallel, spmdm_parallel, spmm,
+    spmm_parallel, spmv, spmv_parallel, sptranspose,
+};
 use riot_sparse::SparseMatrix;
+use riot_storage::testing::FailpointDevice;
+use riot_storage::{BufferPool, PoolConfig, ReplacerKind};
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test-mode")
+}
 
 fn random_triplets(n: usize, density: f64, seed: u64) -> Vec<(usize, usize, f64)> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -266,11 +281,283 @@ fn timed_tiled(n: usize, threads: usize) -> (f64, u64, u64) {
     (secs, delta.reads, delta.writes)
 }
 
+struct SparseThreadRow {
+    kernel: &'static str,
+    threads: usize,
+    secs: f64,
+}
+
+/// The parallel sparse kernel family at 1/2/4 threads over a striped
+/// in-memory pool: asserts bit-identical results and identical counted
+/// I/O at every thread count, records wall seconds (meaningful speedups
+/// need real cores; the parity assertions hold everywhere).
+fn bench_sparse_threads(n: usize) -> Vec<SparseThreadRow> {
+    let trips_a = random_triplets(n, 0.05, 21);
+    let trips_b = random_triplets(n, 0.05, 22);
+    type Runner<'a> = Box<dyn Fn(usize) -> (Vec<f64>, u64, u64, f64) + 'a>;
+    let mk_ctx = || StorageCtx::new_mem_sharded(8192, 8192, 16);
+    let runners: Vec<(&'static str, Runner)> = vec![
+        (
+            "spmv",
+            Box::new(|threads| {
+                let ctx = mk_ctx();
+                let a =
+                    SparseMatrix::from_triplets(&ctx, n, n, MatrixLayout::Square, &trips_a, None)
+                        .unwrap();
+                let x = DenseVector::from_slice(&ctx, &vec![1.0; n], None).unwrap();
+                ctx.pool().flush_all().unwrap();
+                ctx.clear_cache().unwrap();
+                let before = ctx.io_snapshot();
+                let t0 = Instant::now();
+                let (y, _) = spmv_parallel(&a, &x, threads, None).unwrap();
+                let secs = t0.elapsed().as_secs_f64();
+                ctx.pool().flush_all().unwrap();
+                let d = ctx.io_snapshot() - before;
+                (y.to_vec().unwrap(), d.reads, d.writes, secs)
+            }),
+        ),
+        (
+            "spmdm",
+            Box::new(|threads| {
+                let ctx = mk_ctx();
+                let a =
+                    SparseMatrix::from_triplets(&ctx, n, n, MatrixLayout::Square, &trips_a, None)
+                        .unwrap();
+                let b = DenseMatrix::from_fn(
+                    &ctx,
+                    n,
+                    n,
+                    MatrixLayout::Square,
+                    TileOrder::RowMajor,
+                    None,
+                    |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0,
+                )
+                .unwrap();
+                ctx.pool().flush_all().unwrap();
+                ctx.clear_cache().unwrap();
+                let before = ctx.io_snapshot();
+                let t0 = Instant::now();
+                let (t, _) = spmdm_parallel(&a, &b, threads, None).unwrap();
+                let secs = t0.elapsed().as_secs_f64();
+                ctx.pool().flush_all().unwrap();
+                let d = ctx.io_snapshot() - before;
+                (t.to_rows().unwrap(), d.reads, d.writes, secs)
+            }),
+        ),
+        (
+            "dmspm",
+            Box::new(|threads| {
+                let ctx = mk_ctx();
+                let a = DenseMatrix::from_fn(
+                    &ctx,
+                    n,
+                    n,
+                    MatrixLayout::Square,
+                    TileOrder::RowMajor,
+                    None,
+                    |i, j| ((i * 13 + j * 7) % 23) as f64 - 11.0,
+                )
+                .unwrap();
+                let b =
+                    SparseMatrix::from_triplets(&ctx, n, n, MatrixLayout::Square, &trips_b, None)
+                        .unwrap();
+                ctx.pool().flush_all().unwrap();
+                ctx.clear_cache().unwrap();
+                let before = ctx.io_snapshot();
+                let t0 = Instant::now();
+                let (t, _) = dmspm_parallel(&a, &b, threads, None).unwrap();
+                let secs = t0.elapsed().as_secs_f64();
+                ctx.pool().flush_all().unwrap();
+                let d = ctx.io_snapshot() - before;
+                (t.to_rows().unwrap(), d.reads, d.writes, secs)
+            }),
+        ),
+        (
+            "spmm",
+            Box::new(|threads| {
+                let ctx = mk_ctx();
+                let a =
+                    SparseMatrix::from_triplets(&ctx, n, n, MatrixLayout::Square, &trips_a, None)
+                        .unwrap();
+                let b =
+                    SparseMatrix::from_triplets(&ctx, n, n, MatrixLayout::Square, &trips_b, None)
+                        .unwrap();
+                ctx.pool().flush_all().unwrap();
+                ctx.clear_cache().unwrap();
+                let before = ctx.io_snapshot();
+                let t0 = Instant::now();
+                let (t, _) = spmm_parallel(&a, &b, threads, None).unwrap();
+                let secs = t0.elapsed().as_secs_f64();
+                ctx.pool().flush_all().unwrap();
+                let d = ctx.io_snapshot() - before;
+                (t.to_rows().unwrap(), d.reads, d.writes, secs)
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, run) in runners {
+        let (seq, r0, w0, s1) = run(1);
+        println!("  {name}: 1 thread {s1:.4}s ({r0} reads / {w0} writes)");
+        rows.push(SparseThreadRow {
+            kernel: name,
+            threads: 1,
+            secs: s1,
+        });
+        for threads in [2, 4] {
+            let (par, r, w, s) = run(threads);
+            assert_eq!(par, seq, "{name}@{threads}: result diverged");
+            assert_eq!((r, w), (r0, w0), "{name}@{threads}: I/O diverged");
+            println!(
+                "  {name}: {threads} threads {s:.4}s ({:.2}x), identical result + I/O",
+                s1 / s
+            );
+            rows.push(SparseThreadRow {
+                kernel: name,
+                threads,
+                secs: s,
+            });
+        }
+    }
+    rows
+}
+
+struct PrefetchRow {
+    kernel: &'static str,
+    prefetch: bool,
+    secs: f64,
+    reads: u64,
+    prefetch_issued: u64,
+}
+
+/// Prefetch on/off over a device with injected per-read latency: counted
+/// I/O must be bit-for-bit identical; wall clock shows the overlap win
+/// (latency sleeps overlap even on a 1-core box, so this figure is
+/// meaningful on CI too).
+fn bench_prefetch(n: usize, latency: Duration) -> Vec<PrefetchRow> {
+    let mk_ctx = |depth: usize| {
+        let dev = FailpointDevice::new(Box::new(riot_storage::MemBlockDevice::new(8192)));
+        dev.handle().set_read_latency(latency);
+        StorageCtx::from_pool(BufferPool::new(
+            Box::new(dev),
+            PoolConfig {
+                frames: 8192,
+                replacer: ReplacerKind::Lru,
+                prefetch_depth: depth,
+            },
+        ))
+    };
+    let mut rows = Vec::new();
+
+    let run_spmv = |depth: usize| {
+        let ctx = mk_ctx(depth);
+        let a = SparseMatrix::from_triplets(
+            &ctx,
+            n,
+            n,
+            MatrixLayout::Square,
+            &random_triplets(n, 0.02, 31),
+            None,
+        )
+        .unwrap();
+        let x = DenseVector::from_slice(&ctx, &vec![1.0; n], None).unwrap();
+        ctx.pool().flush_all().unwrap();
+        ctx.clear_cache().unwrap();
+        let before = ctx.io_snapshot();
+        let t0 = Instant::now();
+        let (y, _) = spmv(&a, &x, None).unwrap();
+        let secs = t0.elapsed().as_secs_f64();
+        ctx.pool().wait_prefetch_idle();
+        let reads = (ctx.io_snapshot() - before).reads;
+        (
+            y.to_vec().unwrap(),
+            reads,
+            secs,
+            ctx.pool().pool_stats().prefetch_issued,
+        )
+    };
+    let (d_off, r_off, s_off, _) = run_spmv(0);
+    let (d_on, r_on, s_on, issued) = run_spmv(8);
+    assert_eq!(d_off, d_on, "prefetch changed the spmv result");
+    assert_eq!(r_off, r_on, "prefetch changed spmv read totals");
+    println!("  spmv: off {s_off:.4}s, on {s_on:.4}s ({:.2}x), identical {r_off} reads, {issued} prefetched", s_off / s_on);
+    rows.push(PrefetchRow {
+        kernel: "spmv",
+        prefetch: false,
+        secs: s_off,
+        reads: r_off,
+        prefetch_issued: 0,
+    });
+    rows.push(PrefetchRow {
+        kernel: "spmv",
+        prefetch: true,
+        secs: s_on,
+        reads: r_on,
+        prefetch_issued: issued,
+    });
+
+    let run_tiled = |depth: usize| {
+        let ctx = mk_ctx(depth);
+        let mk = |seed: usize| {
+            DenseMatrix::from_fn(
+                &ctx,
+                n,
+                n,
+                MatrixLayout::Square,
+                TileOrder::RowMajor,
+                None,
+                move |i, j| ((i * 31 + j * 17 + seed) % 97) as f64 - 48.0,
+            )
+            .unwrap()
+        };
+        let a = mk(0);
+        let b = mk(7);
+        ctx.pool().flush_all().unwrap();
+        ctx.clear_cache().unwrap();
+        let before = ctx.io_snapshot();
+        let t0 = Instant::now();
+        // p = n/4: a 4x4 grid of output submatrices, so every cell walks
+        // four bk windows and has three to declare ahead.
+        let (t, _) = matmul_tiled(&a, &b, 3 * (n / 4) * (n / 4), None).unwrap();
+        let secs = t0.elapsed().as_secs_f64();
+        ctx.pool().wait_prefetch_idle();
+        ctx.pool().flush_all().unwrap();
+        let reads = (ctx.io_snapshot() - before).reads;
+        (
+            t.to_rows().unwrap(),
+            reads,
+            secs,
+            ctx.pool().pool_stats().prefetch_issued,
+        )
+    };
+    let (d_off, r_off, s_off, _) = run_tiled(0);
+    let (d_on, r_on, s_on, issued) = run_tiled(8);
+    assert_eq!(d_off, d_on, "prefetch changed the matmul result");
+    assert_eq!(r_off, r_on, "prefetch changed matmul read totals");
+    println!("  matmul_tiled: off {s_off:.4}s, on {s_on:.4}s ({:.2}x), identical {r_off} reads, {issued} prefetched", s_off / s_on);
+    rows.push(PrefetchRow {
+        kernel: "matmul_tiled",
+        prefetch: false,
+        secs: s_off,
+        reads: r_off,
+        prefetch_issued: 0,
+    });
+    rows.push(PrefetchRow {
+        kernel: "matmul_tiled",
+        prefetch: true,
+        secs: s_on,
+        reads: r_on,
+        prefetch_issued: issued,
+    });
+    rows
+}
+
 fn main() {
-    let n = 1024;
+    let tm = test_mode();
+    let n = if tm { 128 } else { 1024 };
+    let densities: &[f64] = if tm { &[0.01] } else { &[0.001, 0.01, 0.1] };
     println!("SpMV {n}x{n}, sparse vs dense (cold cache):");
     let mut spmv_rows = Vec::new();
-    for density in [0.001, 0.01, 0.1] {
+    for &density in densities {
         let row = bench_spmv(n, density);
         println!(
             "  d={density}: sparse {} reads ({}/{} pages, {:.4}s) vs dense {} reads ({:.4}s)",
@@ -284,10 +571,10 @@ fn main() {
         spmv_rows.push(row);
     }
 
-    let nm = 512;
+    let nm = if tm { 64 } else { 512 };
     println!("\nSpMM {nm}x{nm} (two passes, pass two replays the spilled plan; cold cache):");
     let mut spmm_rows = Vec::new();
-    for density in [0.001, 0.01, 0.1] {
+    for &density in densities {
         let row = bench_spmm(nm, density);
         println!(
             "  d={density}: {} nnz out in {} pages, {} reads / {} writes, {:.4}s",
@@ -298,7 +585,7 @@ fn main() {
 
     println!("\nnative transpose {n}x{n} (cold cache) vs densify-transpose-recompress cost:");
     let mut transpose_rows = Vec::new();
-    for density in [0.001, 0.01, 0.1] {
+    for &density in densities {
         let row = bench_transpose(n, density);
         println!(
             "  d={density}: {} reads + {} writes ({}/{} pages, {:.4}s) vs ~{} dense blocks",
@@ -312,10 +599,10 @@ fn main() {
         transpose_rows.push(row);
     }
 
-    let nd = 512;
+    let nd = if tm { 64 } else { 512 };
     println!("\ndense x sparse {nd}x{nd}: dmspm vs densified fallback (cold cache):");
     let mut dmspm_rows = Vec::new();
-    for density in [0.001, 0.01, 0.1] {
+    for &density in densities {
         let row = bench_dmspm(nd, density);
         println!(
             "  d={density}: dmspm {} blocks ({:.4}s) vs densify+dense {} blocks ({:.4}s)",
@@ -326,13 +613,13 @@ fn main() {
 
     // Thread-scaling curve for the tiled matmul (ROADMAP open item).
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
-    let nt = 512;
+    let nt = if tm { 128 } else { 512 };
     println!("\ntiled matmul {nt}x{nt} thread scaling (cores available: {cores}):");
     let mut scaling = Vec::new();
     let (seq_secs, seq_reads, seq_writes) = timed_tiled(nt, 1);
     scaling.push((1usize, seq_secs));
     println!("  1 thread: {seq_secs:.4}s, {seq_reads} reads / {seq_writes} writes");
-    for threads in [2, 4, 8] {
+    for &threads in if tm { &[2][..] } else { &[2, 4, 8][..] } {
         let (secs, reads, writes) = timed_tiled(nt, threads);
         assert_eq!((reads, writes), (seq_reads, seq_writes), "I/O diverged");
         println!(
@@ -342,8 +629,21 @@ fn main() {
         scaling.push((threads, secs));
     }
 
-    // Emit the PR-4 artifact (supersedes BENCH_pr2.json, which recorded
-    // the same SpMV/SpMM shapes before transpose and dmspm existed).
+    // PR-5: the parallel sparse kernel family at 1/2/4 threads (parity
+    // asserted, seconds recorded).
+    let ns = if tm { 96 } else { 512 };
+    println!("\nparallel sparse kernels {ns}x{ns} at 1/2/4 threads:");
+    let thread_rows = bench_sparse_threads(ns);
+
+    // PR-5: prefetch on/off over a latency-injected device.
+    let np = if tm { 96 } else { 512 };
+    let latency = Duration::from_micros(if tm { 150 } else { 400 });
+    println!("\nplan-driven prefetch {np}x{np} (injected read latency {latency:?}):");
+    let prefetch_rows = bench_prefetch(np, latency);
+
+    // Emit the PR-5 artifact (supersedes BENCH_pr4.json, which recorded
+    // the same kernel shapes before the parallel sparse kernels and the
+    // plan-driven prefetcher existed).
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"sparse_kernels\",\n");
     let _ = writeln!(
@@ -431,8 +731,33 @@ fn main() {
             if i + 1 < scaling.len() { "," } else { "" }
         );
     }
+    json.push_str("  ],\n  \"sparse_thread_scaling\": [\n");
+    for (i, r) in thread_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"kernel\": \"{}\", \"threads\": {}, \"secs\": {:.6} }}{}",
+            r.kernel,
+            r.threads,
+            r.secs,
+            if i + 1 < thread_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"prefetch\": [\n");
+    for (i, r) in prefetch_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{ \"kernel\": \"{}\", \"prefetch\": {}, \"secs\": {:.6}, \"reads\": {}, \
+             \"prefetch_issued\": {} }}{}",
+            r.kernel,
+            r.prefetch,
+            r.secs,
+            r.reads,
+            r.prefetch_issued,
+            if i + 1 < prefetch_rows.len() { "," } else { "" }
+        );
+    }
     json.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
-    std::fs::write(path, &json).expect("write BENCH_pr4.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
+    std::fs::write(path, &json).expect("write BENCH_pr5.json");
     println!("\nwrote {path}");
 }

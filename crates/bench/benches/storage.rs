@@ -11,6 +11,7 @@ fn pool(frames: usize, kind: ReplacerKind) -> BufferPool {
         PoolConfig {
             frames,
             replacer: kind,
+            ..PoolConfig::default()
         },
     )
 }

@@ -92,7 +92,7 @@ fn check_dims(a: &DenseMatrix, b: &DenseMatrix) {
 /// items run inline in order (no spawn), keeping sequential kernels'
 /// I/O order deterministic. After the first failure remaining items are
 /// abandoned and that error is returned.
-fn run_parallel<I: Sync, S: Send>(
+pub(super) fn run_parallel<I: Sync, S: Send>(
     threads: usize,
     items: &[I],
     make_scratch: impl Fn() -> S + Sync,
@@ -229,6 +229,10 @@ pub fn matmul_bnlj_parallel(
             t_chunk[..m * n3].fill(0.0);
             let mut flops = 0u64;
             for j in 0..n3 {
+                // One column ahead of the stream over B.
+                if j + 1 < n3 {
+                    prefetch_rect(b, 0, j + 1, n2, 1);
+                }
                 read_rect(b, 0, j, n2, 1, col)?;
                 for r in 0..m {
                     let row = &a_chunk[r * n2..(r + 1) * n2];
@@ -324,6 +328,14 @@ pub fn matmul_tiled_parallel(
         for bk in 0..blocks(n2) {
             let k0 = bk * p;
             let pk = p.min(n2 - k0);
+            // Declare the next window before blocking on this one: its
+            // tiles load in the background while this window computes.
+            if bk + 1 < blocks(n2) {
+                let k1 = (bk + 1) * p;
+                let pk1 = p.min(n2 - k1);
+                prefetch_rect(a, i0, k1, pi, pk1);
+                prefetch_rect(b, k1, j0, pk1, pj);
+            }
             read_rect(a, i0, k0, pi, pk, asub)?;
             read_rect(b, k0, j0, pk, pj, bsub)?;
             // Dense in-memory submatrix multiply-accumulate.
@@ -359,6 +371,29 @@ pub fn matmul_tiled_parallel(
         |&(bi, bj), (asub, bsub, tsub)| run_cell(bi, bj, asub, bsub, tsub),
     )?;
     Ok((t, flops))
+}
+
+/// Hint that the `rows x cols` rectangle at `(r0, c0)` of `m` will be
+/// read soon: its covering tile blocks go to the buffer pool's background
+/// prefetcher. This is how the tiled kernels *declare* their next window
+/// (the schedule is known ahead of time — Appendix A's central point), so
+/// the window's loads overlap the current window's compute. Free no-op
+/// when the pool's prefetcher is disabled; never changes counted I/O
+/// totals, only when the reads happen.
+pub fn prefetch_rect(m: &DenseMatrix, r0: usize, c0: usize, rows: usize, cols: usize) {
+    if rows == 0 || cols == 0 || m.ctx().pool().prefetch_depth() == 0 {
+        return;
+    }
+    let (tr, tc) = m.tile_dims();
+    let (t_row0, t_row1) = (r0 / tr, (r0 + rows - 1) / tr);
+    let (t_col0, t_col1) = (c0 / tc, (c0 + cols - 1) / tc);
+    let mut blocks = Vec::with_capacity((t_row1 - t_row0 + 1) * (t_col1 - t_col0 + 1));
+    for ti in t_row0..=t_row1 {
+        for tj in t_col0..=t_col1 {
+            blocks.push(m.tile_block(ti as u64, tj as u64));
+        }
+    }
+    m.ctx().pool().prefetch(&blocks);
 }
 
 /// Read the `rows x cols` rectangle at `(r0, c0)` of `m` into `buf`

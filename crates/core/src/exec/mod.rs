@@ -15,13 +15,18 @@ pub mod sparse;
 
 pub use matmul::{
     default_threads, matmul_bnlj, matmul_bnlj_parallel, matmul_naive, matmul_tiled,
-    matmul_tiled_parallel, multiply, multiply_chain, read_rect, write_rect, MatMulKernel,
+    matmul_tiled_parallel, multiply, multiply_chain, prefetch_rect, read_rect, write_rect,
+    MatMulKernel,
 };
 pub use pipeline::{
-    drain_agg, drain_partitioned, drain_to_vec, materialize, ConstScan, CycleScan, GatherPipe,
-    IfElsePipe, LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan, ZipPipe,
+    drain_agg, drain_partitioned, drain_to_vec, fold_partitioned, materialize, ConstScan,
+    CycleScan, GatherPipe, IfElsePipe, LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan,
+    ZipPipe,
 };
-pub use sparse::{dmspm, dmv, spmdm, spmm, spmm_fill, spmm_plan, spmv, sptranspose, SpmmPlan};
+pub use sparse::{
+    dmspm, dmspm_parallel, dmv, spmdm, spmdm_parallel, spmm, spmm_fill, spmm_parallel, spmm_plan,
+    spmm_plan_parallel, spmv, spmv_parallel, sptranspose, SpmmPlan,
+};
 
 use crate::expr::ExprError;
 use riot_storage::StorageError;

@@ -82,6 +82,12 @@ impl Pipe for VecScan {
         if take == 0 {
             return Ok(0);
         }
+        // Declare the next chunk's span before blocking on this one, so
+        // its blocks load while the pipeline processes this chunk.
+        let ahead = (self.end - self.pos - take).min(self.chunk);
+        if ahead > 0 {
+            self.vec.prefetch_range(self.pos + take, ahead);
+        }
         out.resize(take, 0.0);
         self.vec.read_range(self.pos, out)?;
         self.pos += take;
@@ -584,6 +590,80 @@ pub fn drain_partitioned(parts: Vec<Partition<'_>>, threads: usize) -> ExecResul
         Some(e) => Err(e),
         None => Ok(()),
     }
+}
+
+/// Fold one pipe's whole stream with `op` from `op.init()` (no `Mean`
+/// division — callers divide by the count): the per-partition leaf of the
+/// fixed partition-tree aggregation.
+fn fold_pipe(pipe: &mut dyn Pipe, op: AggOp) -> ExecResult<f64> {
+    let mut acc = op.init();
+    let mut buf = Vec::new();
+    loop {
+        let n = pipe.next_into(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        for &v in &buf {
+            acc = op.fold(acc, v);
+        }
+    }
+    Ok(acc)
+}
+
+/// Fold restricted pipes covering disjoint spans of one logical stream,
+/// each sequentially from `op.init()`, over `threads` scoped workers
+/// pulling from an atomic work queue; partials return **in partition
+/// order**. Every partial is one partition's ordered fold, so the result
+/// vector is bitwise independent of the worker schedule — the property
+/// the fixed partition-tree aggregation is built on. With one thread the
+/// partitions fold inline in order. The first failure abandons the
+/// remaining partitions and is returned.
+pub fn fold_partitioned(
+    pipes: Vec<Box<dyn Pipe>>,
+    op: AggOp,
+    threads: usize,
+) -> ExecResult<Vec<f64>> {
+    let threads = threads.max(1).min(pipes.len());
+    if threads <= 1 {
+        let mut out = Vec::with_capacity(pipes.len());
+        for mut pipe in pipes {
+            out.push(fold_pipe(pipe.as_mut(), op)?);
+        }
+        return Ok(out);
+    }
+    let items: Vec<Mutex<Option<Box<dyn Pipe>>>> =
+        pipes.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let partials: Vec<Mutex<f64>> = items.iter().map(|_| Mutex::new(op.init())).collect();
+    let next = AtomicUsize::new(0);
+    let failure: Mutex<Option<ExecError>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                if failure.lock().unwrap().is_some() {
+                    break; // a sibling failed; abandon remaining work
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let Some(mut pipe) = item.lock().unwrap().take() else {
+                    continue;
+                };
+                match fold_pipe(pipe.as_mut(), op) {
+                    Ok(p) => *partials[i].lock().unwrap() = p,
+                    Err(e) => {
+                        failure.lock().unwrap().get_or_insert(e);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = failure.into_inner().unwrap() {
+        return Err(e);
+    }
+    Ok(partials
+        .into_iter()
+        .map(|p| p.into_inner().unwrap())
+        .collect())
 }
 
 /// Drain a pipe through an aggregate, producing a scalar.

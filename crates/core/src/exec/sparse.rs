@@ -10,8 +10,9 @@
 //!
 //! * [`spmv`] — sparse matrix x dense vector. Walks tile-rows, touching
 //!   **only occupied pages**: reads are `occupied_pages` plus at most one
-//!   block of `x` per occupied tile; `y` streams out through a
-//!   [`VectorWriter`], so its blocks cost pure writes.
+//!   block of `x` per occupied tile; `y` streams out whole blocks at a
+//!   time (each written exactly once, never read back), so its blocks
+//!   cost pure writes.
 //! * [`dmv`] — the dense reference the sparse path is measured against
 //!   (reads every tile of `A` regardless of content).
 //! * [`spmdm`] — sparse x dense with **dense accumulator strips**: one
@@ -42,50 +43,91 @@
 //! I/O and arithmetic can be checked against the cost model like the
 //! dense kernels.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use riot_array::{DenseMatrix, DenseVector, MatrixLayout, StorageCtx, TileOrder, VectorWriter};
 use riot_sparse::SparseMatrix;
 use riot_storage::{BlockId, ObjectId};
 
-use super::matmul::{read_rect, write_rect};
-use super::ExecResult;
+use super::matmul::{prefetch_rect, read_rect, run_parallel, write_rect};
+use super::{ExecError, ExecResult};
 
 /// Out-of-core sparse matrix-vector multiply `y = A x`.
 ///
 /// Reads the occupied pages of `A` once each and streams `x` per
-/// tile-row; `y` streams out through a [`VectorWriter`], so its blocks
-/// cost pure write I/O (no read-modify-write of fresh output pages).
+/// tile-row; `y` streams out block by block as pure write I/O (no
+/// read-modify-write of fresh output pages).
 pub fn spmv(
     a: &SparseMatrix,
     x: &DenseVector,
+    name: Option<&str>,
+) -> ExecResult<(DenseVector, u64)> {
+    spmv_parallel(a, x, 1, name)
+}
+
+/// [`spmv`] with the tile-row strips distributed over `threads` scoped
+/// workers, each owning its accumulator/`x` scratch. Work items are
+/// **output-block groups** of tile-rows, so every worker writes whole
+/// disjoint blocks of `y` (pure writes, like the sequential stream) and
+/// every occupied page of `A` is read by exactly one worker. Results are
+/// bit-identical to the sequential schedule (each output element is one
+/// worker's ordinary tile-row fold) and — in the in-memory regime — total
+/// counted I/O is identical too. `threads <= 1` runs the groups inline in
+/// order, reproducing the sequential kernel's device sequence exactly.
+pub fn spmv_parallel(
+    a: &SparseMatrix,
+    x: &DenseVector,
+    threads: usize,
     name: Option<&str>,
 ) -> ExecResult<(DenseVector, u64)> {
     let (rows, cols) = a.shape();
     assert_eq!(x.len(), cols, "spmv operand lengths");
     let (tile_r, tile_c) = a.tile_dims();
     let (tr, tc) = a.tile_grid();
-    let mut writer = VectorWriter::new(a.ctx(), rows, name)?;
-    let mut acc = vec![0.0; tile_r];
-    let mut xbuf = vec![0.0; tile_c];
-    let mut flops = 0u64;
-    for ti in 0..tr {
-        let r0 = ti as usize * tile_r;
-        let m = tile_r.min(rows - r0);
-        acc[..m].fill(0.0);
-        for tj in 0..tc {
-            let Some(tile) = a.tile(ti, tj)? else {
-                continue;
-            };
-            let c0 = tj as usize * tile_c;
-            let take = tile_c.min(cols - c0);
-            x.read_range(c0, &mut xbuf[..take])?;
-            tile.for_each(|r, c, v| acc[r] += v * xbuf[c]);
-            flops += tile.nnz() as u64;
+    let y = DenseVector::create(a.ctx(), rows, name)?;
+    let per_block = y.elems_per_block();
+    // Tile dims come from the block size, so whole tile-rows pack into
+    // whole output blocks: groups never share a block.
+    debug_assert_eq!(per_block % tile_r, 0, "tile-rows pack into y blocks");
+    let rows_per_group = per_block;
+    let groups: Vec<usize> = (0..rows).step_by(rows_per_group).collect();
+
+    let run_group = |g0: usize, acc: &mut [f64], xbuf: &mut [f64]| -> ExecResult<u64> {
+        let g_rows = rows_per_group.min(rows - g0);
+        let mut flops = 0u64;
+        let t0 = (g0 / tile_r) as u64;
+        let t1 = ((g0 + g_rows - 1) / tile_r) as u64;
+        for ti in t0..=t1 {
+            // Next strip's occupied pages load while this one computes.
+            if ti + 1 < tr {
+                a.prefetch_tile_row(ti + 1);
+            }
+            let r0 = ti as usize * tile_r;
+            let m = tile_r.min(rows - r0);
+            let strip = &mut acc[r0 - g0..r0 - g0 + m];
+            strip.fill(0.0);
+            for tj in 0..tc {
+                let Some(tile) = a.tile(ti, tj)? else {
+                    continue;
+                };
+                let c0 = tj as usize * tile_c;
+                let take = tile_c.min(cols - c0);
+                x.read_range(c0, &mut xbuf[..take])?;
+                tile.for_each(|r, c, v| strip[r] += v * xbuf[c]);
+                flops += tile.nnz() as u64;
+            }
         }
-        writer.push_chunk(&acc[..m])?;
-    }
-    Ok((writer.finish()?, flops))
+        y.write_range(g0, &acc[..g_rows])?;
+        Ok(flops)
+    };
+
+    let flops = run_parallel(
+        threads,
+        &groups,
+        || (vec![0.0; rows_per_group], vec![0.0; tile_c]),
+        |&g0, (acc, xbuf)| run_group(g0, acc, xbuf),
+    )?;
+    Ok((y, flops))
 }
 
 /// Dense reference matrix-vector multiply `y = A x`, tile by tile: the
@@ -133,6 +175,21 @@ pub fn spmdm(
     b: &DenseMatrix,
     name: Option<&str>,
 ) -> ExecResult<(DenseMatrix, u64)> {
+    spmdm_parallel(a, b, 1, name)
+}
+
+/// [`spmdm`] with the tile-row strip loop distributed over `threads`
+/// scoped workers, each owning its accumulator-strip and `B` block-row
+/// scratch. Strips are independent (disjoint output rows), so results are
+/// bit-identical to the sequential schedule and — in the in-memory regime
+/// — total counted I/O is identical too. `threads <= 1` runs the strips
+/// inline in order, reproducing the sequential device sequence exactly.
+pub fn spmdm_parallel(
+    a: &SparseMatrix,
+    b: &DenseMatrix,
+    threads: usize,
+    name: Option<&str>,
+) -> ExecResult<(DenseMatrix, u64)> {
     let (n1, n2) = a.shape();
     assert_eq!(n2, b.rows(), "spmdm inner dimensions");
     let n3 = b.cols();
@@ -146,12 +203,23 @@ pub fn spmdm(
         TileOrder::RowMajor,
         name,
     )?;
-    let mut acc = vec![0.0; tile_r * n3];
-    let mut brow = vec![0.0; tile_c * n3];
-    let mut flops = 0u64;
-    for ti in 0..tr {
+    let strips: Vec<u64> = (0..tr).collect();
+    let run_strip = |ti: u64, acc: &mut [f64], brow: &mut [f64]| -> ExecResult<u64> {
+        // Declare the next strip: its occupied `A` pages and the matching
+        // `B` block-rows load while this strip computes (the bounded
+        // prefetch queue caps how much of the window is accepted).
+        if ti + 1 < tr {
+            a.prefetch_tile_row(ti + 1);
+            for tj in 0..tc {
+                if a.tile_page_block(ti + 1, tj).is_some() {
+                    let k0 = tj as usize * tile_c;
+                    prefetch_rect(b, k0, 0, tile_c.min(n2 - k0), n3);
+                }
+            }
+        }
         let r0 = ti as usize * tile_r;
         let m = tile_r.min(n1 - r0);
+        let mut flops = 0u64;
         acc[..m * n3].fill(0.0);
         for tj in 0..tc {
             let Some(tile) = a.tile(ti, tj)? else {
@@ -159,7 +227,7 @@ pub fn spmdm(
             };
             let k0 = tj as usize * tile_c;
             let kk = tile_c.min(n2 - k0);
-            read_rect(b, k0, 0, kk, n3, &mut brow)?;
+            read_rect(b, k0, 0, kk, n3, brow)?;
             tile.for_each(|r, k, v| {
                 let bslice = &brow[k * n3..k * n3 + n3];
                 let aslice = &mut acc[r * n3..r * n3 + n3];
@@ -169,8 +237,15 @@ pub fn spmdm(
             });
             flops += tile.nnz() as u64 * n3 as u64;
         }
-        write_rect(&t, r0, 0, m, n3, &acc)?;
-    }
+        write_rect(&t, r0, 0, m, n3, acc)?;
+        Ok(flops)
+    };
+    let flops = run_parallel(
+        threads,
+        &strips,
+        || (vec![0.0; tile_r * n3], vec![0.0; tile_c * n3]),
+        |&ti, (acc, brow)| run_strip(ti, acc, brow),
+    )?;
     Ok((t, flops))
 }
 
@@ -183,6 +258,22 @@ pub fn spmdm(
 pub fn dmspm(
     a: &DenseMatrix,
     b: &SparseMatrix,
+    name: Option<&str>,
+) -> ExecResult<(DenseMatrix, u64)> {
+    dmspm_parallel(a, b, 1, name)
+}
+
+/// [`dmspm`] with the output-strip loop distributed over `threads` scoped
+/// workers, each owning its accumulator and `A`-rectangle scratch. Strips
+/// are independent (disjoint output rows; `B` is read shared), so results
+/// are bit-identical to the sequential schedule and — in the in-memory
+/// regime — total counted I/O is identical too. `threads <= 1` runs the
+/// strips inline in order, reproducing the sequential device sequence
+/// exactly.
+pub fn dmspm_parallel(
+    a: &DenseMatrix,
+    b: &SparseMatrix,
+    threads: usize,
     name: Option<&str>,
 ) -> ExecResult<(DenseMatrix, u64)> {
     let (n1, n2) = a.shape();
@@ -199,14 +290,21 @@ pub fn dmspm(
         TileOrder::RowMajor,
         name,
     )?;
-    let mut acc = vec![0.0; strip * n3];
-    let mut abuf = vec![0.0; strip * tile_k];
-    let mut flops = 0u64;
-    let mut r0 = 0usize;
-    while r0 < n1 {
+    let strips: Vec<usize> = (0..n1).step_by(strip).collect();
+    let run_strip = |r0: usize, acc: &mut [f64], abuf: &mut [f64]| -> ExecResult<u64> {
         let m = strip.min(n1 - r0);
+        let mut flops = 0u64;
         acc[..m * n3].fill(0.0);
         for tk in 0..btr {
+            // Next `B` tile-row (and the `A` rectangle it will pull, when
+            // occupied) loads while this tile-row computes.
+            if tk + 1 < btr {
+                b.prefetch_tile_row(tk + 1);
+                if (0..btc).any(|tj| b.tile_page_block(tk + 1, tj).is_some()) {
+                    let k1 = (tk + 1) as usize * tile_k;
+                    prefetch_rect(a, r0, k1, m, tile_k.min(n2 - k1));
+                }
+            }
             let k0 = tk as usize * tile_k;
             let kk = tile_k.min(n2 - k0);
             let mut loaded = false;
@@ -215,7 +313,7 @@ pub fn dmspm(
                     continue;
                 };
                 if !loaded {
-                    read_rect(a, r0, k0, m, kk, &mut abuf)?;
+                    read_rect(a, r0, k0, m, kk, abuf)?;
                     loaded = true;
                 }
                 let c0 = tj as usize * tile_c;
@@ -228,9 +326,15 @@ pub fn dmspm(
                 flops += tile.nnz() as u64 * m as u64;
             }
         }
-        write_rect(&t, r0, 0, m, n3, &acc)?;
-        r0 += m;
-    }
+        write_rect(&t, r0, 0, m, n3, acc)?;
+        Ok(flops)
+    };
+    let flops = run_parallel(
+        threads,
+        &strips,
+        || (vec![0.0; strip * n3], vec![0.0; strip * tile_k]),
+        |&r0, (acc, abuf)| run_strip(r0, acc, abuf),
+    )?;
     Ok((t, flops))
 }
 
@@ -385,8 +489,16 @@ impl<'f> SpillReader<'f> {
         assert!(self.at < self.file.len, "spill stream over-read");
         let off = (self.at as usize) % self.file.epb;
         if off == 0 {
-            let block = self.file.blocks[(self.at as usize) / self.file.epb];
-            let page = self.file.ctx.pool().pin(block)?;
+            let idx = (self.at as usize) / self.file.epb;
+            // Sequential read-ahead: the next spill block loads while this
+            // one's entries are consumed.
+            if ((idx + 1) as u64) < self.file.data_blocks() {
+                self.file
+                    .ctx
+                    .pool()
+                    .prefetch(&self.file.blocks[idx + 1..idx + 2]);
+            }
+            let page = self.file.ctx.pool().pin(self.file.blocks[idx])?;
             self.buf.clear();
             self.buf.extend_from_slice(&page[..]);
         }
@@ -430,6 +542,24 @@ impl SpmmPlan {
 /// SpMM pass one: compute every output tile once (dense accumulator tile
 /// in memory), record its nnz in the plan, and spill its sorted entries.
 pub fn spmm_plan(a: &SparseMatrix, b: &SparseMatrix) -> ExecResult<SpmmPlan> {
+    spmm_plan_parallel(a, b, 1)
+}
+
+/// [`spmm_plan`] with the per-output-tile loop distributed over `threads`
+/// scoped workers, each owning its dense accumulator scratch.
+///
+/// Output tiles are computed in parallel **groups**, but their entries are
+/// appended to the spill strictly in row-major tile order by the
+/// coordinating thread — so the spill stream (and therefore the plan, the
+/// filled product, and the spill's block count) is **bit-identical** to
+/// the sequential pass at every thread count. `threads <= 1` computes the
+/// cells inline in order, reproducing the sequential device sequence
+/// exactly.
+pub fn spmm_plan_parallel(
+    a: &SparseMatrix,
+    b: &SparseMatrix,
+    threads: usize,
+) -> ExecResult<SpmmPlan> {
     let (_, n2) = a.shape();
     assert_eq!(n2, b.rows(), "spmm inner dimensions");
     let (atr, atc) = a.tile_dims();
@@ -445,35 +575,177 @@ pub fn spmm_plan(a: &SparseMatrix, b: &SparseMatrix) -> ExecResult<SpmmPlan> {
     let (gtr, _) = a.tile_grid();
     let (_, gtc) = b.tile_grid();
     let inner = a.tile_grid().1;
-    let mut scratch = vec![0.0; atr * btc];
-    let mut flops = 0u64;
+    let threads = threads.max(1);
+    let cells: Vec<(u64, u64)> = (0..gtr)
+        .flat_map(|bi| (0..gtc).map(move |bj| (bi, bj)))
+        .collect();
+
+    // Declare one output cell's input pages (pairs where both the A and B
+    // tile are occupied — exactly the pages the compute will pin).
+    let prefetch_cell = |(bi, bj): (u64, u64)| {
+        if a.ctx().pool().prefetch_depth() == 0 {
+            return;
+        }
+        let mut blocks = Vec::new();
+        for bk in 0..inner {
+            if let (Some(ab), Some(bb)) = (a.tile_page_block(bi, bk), b.tile_page_block(bk, bj)) {
+                blocks.push(ab);
+                blocks.push(bb);
+            }
+        }
+        a.ctx().pool().prefetch(&blocks);
+    };
+
+    // One output tile: accumulate into `scratch`, extract the sorted
+    // non-zero entries; returns the cell's flop count.
+    let run_cell = |(bi, bj): (u64, u64),
+                    scratch: &mut [f64],
+                    entries: &mut Vec<(usize, usize, f64)>|
+     -> ExecResult<u64> {
+        scratch.fill(0.0);
+        let mut fl = 0u64;
+        for bk in 0..inner {
+            let Some(at) = a.tile(bi, bk)? else { continue };
+            let Some(bt) = b.tile(bk, bj)? else { continue };
+            at.for_each(|r, k, va| {
+                bt.for_each_in_row(k, |c, vb| {
+                    scratch[r * btc + c] += va * vb;
+                    fl += 1;
+                });
+            });
+        }
+        entries.clear();
+        for (i, &v) in scratch.iter().enumerate() {
+            if v != 0.0 {
+                entries.push((i / btc, i % btc, v));
+            }
+        }
+        Ok(fl)
+    };
+
     let mut spill = SpillWriter::new(a.ctx(), "spmm-spill")?;
-    let mut tile_nnz = Vec::with_capacity((gtr * gtc) as usize);
-    for bi in 0..gtr {
-        for bj in 0..gtc {
-            scratch.fill(0.0);
-            let mut fl = 0u64;
-            for bk in 0..inner {
-                let Some(at) = a.tile(bi, bk)? else { continue };
-                let Some(bt) = b.tile(bk, bj)? else { continue };
-                at.for_each(|r, k, va| {
-                    bt.for_each_in_row(k, |c, vb| {
-                        scratch[r * btc + c] += va * vb;
-                        fl += 1;
-                    });
+    let mut tile_nnz = Vec::with_capacity(cells.len());
+    let mut flops = 0u64;
+    let append = |spill: &mut SpillWriter, entries: &[(usize, usize, f64)]| -> ExecResult<()> {
+        for &(r, c, v) in entries {
+            spill.push(r as f64)?;
+            spill.push(c as f64)?;
+            spill.push(v)?;
+        }
+        Ok(())
+    };
+
+    if threads <= 1 {
+        let mut scratch = vec![0.0; atr * btc];
+        let mut entries = Vec::new();
+        for (idx, &cell) in cells.iter().enumerate() {
+            // The next cell's pages load while this cell computes.
+            if idx + 1 < cells.len() {
+                prefetch_cell(cells[idx + 1]);
+            }
+            flops += run_cell(cell, &mut scratch, &mut entries)?;
+            append(&mut spill, &entries)?;
+            tile_nnz.push(entries.len() as u32);
+        }
+    } else {
+        // One long-lived worker pool for the whole grid: workers claim
+        // cells (throttled to a small window past the append frontier, so
+        // buffered results stay bounded), and the coordinating thread
+        // consumes them strictly in row-major order — the spill stream is
+        // byte-identical to the sequential pass. Each worker allocates
+        // its scratch exactly once.
+        type CellOut = (Vec<(usize, usize, f64)>, u64);
+        struct Shared {
+            /// Finished-but-unappended cells, indexed by cell number.
+            results: Vec<Option<CellOut>>,
+            /// Next cell a worker may claim.
+            next: usize,
+            /// Cells appended to the spill so far (the window base).
+            appended: usize,
+            failure: Option<ExecError>,
+        }
+        let window = 2 * threads;
+        let shared = Mutex::new(Shared {
+            results: (0..cells.len()).map(|_| None).collect(),
+            next: 0,
+            appended: 0,
+            failure: None,
+        });
+        let ready = Condvar::new();
+        let mut append_err: ExecResult<()> = Ok(());
+        std::thread::scope(|s| {
+            for _ in 0..threads.min(cells.len()) {
+                s.spawn(|| {
+                    let mut scratch = vec![0.0; atr * btc];
+                    loop {
+                        let i = {
+                            let mut st = shared.lock().unwrap();
+                            loop {
+                                if st.failure.is_some() || st.next == cells.len() {
+                                    return; // done or a sibling failed
+                                }
+                                if st.next < st.appended + window {
+                                    break;
+                                }
+                                st = ready.wait(st).unwrap();
+                            }
+                            let i = st.next;
+                            st.next += 1;
+                            i
+                        };
+                        // Own-cell window: the pool loads the cell's pages
+                        // concurrently while the first pin runs.
+                        prefetch_cell(cells[i]);
+                        let mut entries = Vec::new();
+                        match run_cell(cells[i], &mut scratch, &mut entries) {
+                            Ok(fl) => {
+                                let mut st = shared.lock().unwrap();
+                                st.results[i] = Some((entries, fl));
+                                ready.notify_all();
+                            }
+                            Err(e) => {
+                                let mut st = shared.lock().unwrap();
+                                st.failure.get_or_insert(e);
+                                ready.notify_all();
+                                return;
+                            }
+                        }
+                    }
                 });
             }
-            flops += fl;
-            let mut nnz = 0u32;
-            for (i, &v) in scratch.iter().enumerate() {
-                if v != 0.0 {
-                    spill.push((i / btc) as f64)?;
-                    spill.push((i % btc) as f64)?;
-                    spill.push(v)?;
-                    nnz += 1;
+            // Coordinator: append each cell as it becomes ready, in order.
+            for i in 0..cells.len() {
+                let out = {
+                    let mut st = shared.lock().unwrap();
+                    loop {
+                        if st.failure.is_some() {
+                            return; // error surfaces after the scope
+                        }
+                        if let Some(out) = st.results[i].take() {
+                            st.appended = i + 1;
+                            ready.notify_all();
+                            break out;
+                        }
+                        st = ready.wait(st).unwrap();
+                    }
+                };
+                let (entries, fl) = out;
+                flops += fl;
+                if let Err(e) = append(&mut spill, &entries) {
+                    append_err = Err(e);
+                    let mut st = shared.lock().unwrap();
+                    // Stop the workers; the real error returns below.
+                    st.failure
+                        .get_or_insert(ExecError::Unsupported(String::new()));
+                    ready.notify_all();
+                    return;
                 }
+                tile_nnz.push(entries.len() as u32);
             }
-            tile_nnz.push(nnz);
+        });
+        append_err?;
+        if let Some(e) = shared.into_inner().unwrap().failure {
+            return Err(e);
         }
     }
     Ok(SpmmPlan {
@@ -533,6 +805,18 @@ pub fn spmm(
     name: Option<&str>,
 ) -> ExecResult<(SparseMatrix, u64)> {
     spmm_fill(spmm_plan(a, b)?, name)
+}
+
+/// [`spmm`] with pass one's per-output-tile loop on `threads` workers
+/// ([`spmm_plan_parallel`]); the spilled plan — and therefore the filled
+/// product — is bit-identical at every thread count.
+pub fn spmm_parallel(
+    a: &SparseMatrix,
+    b: &SparseMatrix,
+    threads: usize,
+    name: Option<&str>,
+) -> ExecResult<(SparseMatrix, u64)> {
+    spmm_fill(spmm_plan_parallel(a, b, threads)?, name)
 }
 
 #[cfg(test)]

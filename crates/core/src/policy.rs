@@ -26,8 +26,9 @@ use riot_storage::{DiskModel, IoSnapshot, ReplacerKind};
 use riot_vm::{PagedHeap, VmConfig, VmId};
 
 use crate::exec::pipeline::{
-    drain_agg, drain_partitioned, drain_to_vec, materialize, ConstScan, CycleScan, GatherPipe,
-    IfElsePipe, LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan, ZipPipe,
+    drain_agg, drain_partitioned, drain_to_vec, fold_partitioned, materialize, ConstScan,
+    CycleScan, GatherPipe, IfElsePipe, LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan,
+    ZipPipe,
 };
 use crate::exec::{matmul, sparse as spkernel, ExecError, ExecResult, MatMulKernel};
 use crate::expr::{AggOp, BinOp, Node, NodeId, SourceRef, UnOp};
@@ -87,12 +88,19 @@ pub struct EngineConfig {
     pub opt: OptConfig,
     /// Kernel for deferred matrix multiplication.
     pub matmul_kernel: MatMulKernel,
-    /// Worker threads for the elementwise pipeline at forcing points.
+    /// Worker threads for the elementwise pipeline, the parallel
+    /// aggregation drain, and the sparse kernel family at forcing points.
     /// `1` (the default) runs the classic sequential executor, whose I/O
     /// order the cost-model validation pins down bit-for-bit; higher
-    /// values drain restricted pipeline partitions on a scoped worker
-    /// pool with identical elementwise results.
+    /// values fan work out on scoped worker pools with bit-identical
+    /// results (and, in the in-memory regime, identical counted I/O).
     pub threads: usize,
+    /// Background prefetch workers for the buffer pool
+    /// ([`riot_storage::PoolConfig::prefetch_depth`]). `0` (the default)
+    /// keeps the demand-paged I/O order bit-for-bit; positive values let
+    /// the kernels' declared access patterns overlap device loads with
+    /// compute — changing when reads happen, never how many.
+    pub prefetch_depth: usize,
     /// RNG seed for `sample()`.
     pub seed: u64,
 }
@@ -110,6 +118,7 @@ impl EngineConfig {
             opt: OptConfig::default(),
             matmul_kernel: MatMulKernel::SquareTiled,
             threads: 1,
+            prefetch_depth: 0,
             seed: R_SEED,
         }
     }
@@ -207,7 +216,15 @@ pub struct Runtime {
 impl Runtime {
     /// Build a runtime for `cfg`.
     pub fn new(cfg: EngineConfig) -> Self {
-        let ctx = StorageCtx::new_mem_with(cfg.block_size, cfg.mem_blocks, cfg.replacer);
+        let ctx = StorageCtx::new_mem_opts(
+            cfg.block_size,
+            riot_storage::PoolConfig {
+                frames: cfg.mem_blocks,
+                replacer: cfg.replacer,
+                prefetch_depth: cfg.prefetch_depth,
+            },
+            1,
+        );
         let heap = PagedHeap::new(VmConfig {
             page_elems: cfg.block_size / 8,
             frames: cfg.mem_blocks,
@@ -1024,10 +1041,7 @@ impl Runtime {
                     }
                     unreachable!("agg root stays an agg");
                 };
-                let pipe = self.compile(input, self.graph.shape(input).len())?;
-                let n = pipe.total_len();
-                self.count_ops(n);
-                Ok(drain_agg(pipe, op)?)
+                self.aggregate_node(op, input)
             }
             EngineKind::PlainR => {
                 let VecRepr::Vm(id) = v else { unreachable!() };
@@ -1169,6 +1183,106 @@ impl Runtime {
             }
         }
         Ok(())
+    }
+
+    // ================= aggregation =================
+
+    /// Aggregate node `input` with `op` through the **fixed partition
+    /// tree**: the stream is cut at block-aligned boundaries derived only
+    /// from its length (never from the thread count), each partition
+    /// folds sequentially from `op.init()`, and the partials combine in
+    /// partition order — so `sum()` and friends are **bit-identical
+    /// across every `EngineConfig::threads` value**, while still fanning
+    /// the partition folds out over the worker pool.
+    ///
+    /// Inputs at most one partition long take the classic single-fold
+    /// path (bit-for-bit the pre-tree sequential aggregate, which keeps
+    /// small results — and the cross-engine transparency tests built on
+    /// them — exactly stable); inputs the partitioner cannot prove
+    /// parallel-safe fall back to it too (one sequential fold is the same
+    /// value at every thread count).
+    fn aggregate_node(&mut self, op: AggOp, input: NodeId) -> ExecResult<f64> {
+        let len = self.graph.shape(input).len();
+        self.count_ops(len);
+        let epb = self.ctx.elems_per_block();
+        let align = self.chunk().max(epb).div_ceil(epb) * epb;
+        let part = 4 * align;
+        if len <= part || !self.parallel_safe(input, len) {
+            let pipe = self.compile(input, len)?;
+            return drain_agg(pipe, op);
+        }
+        // Probe restrictability once, so the tree-vs-fallback decision is
+        // identical at every thread count (`parallel_safe` is necessary,
+        // but `restrict` is the authority; a partially restricted tree
+        // must be discarded per the `Pipe::restrict` contract).
+        {
+            let mut probe = self.compile(input, len)?;
+            if !probe.restrict(0, len) {
+                let pipe = self.compile(input, len)?;
+                return drain_agg(pipe, op);
+            }
+        }
+        let spans: Vec<(usize, usize)> = (0..len)
+            .step_by(part)
+            .map(|s| (s, part.min(len - s)))
+            .collect();
+        let threads = self.cfg.threads.max(1);
+        let partials = if threads <= 1 {
+            // One pass over a single pipe with the accumulator reset at
+            // partition boundaries: identical partials, and the exact
+            // device-I/O sequence of the old sequential drain.
+            let mut pipe = self.compile(input, len)?;
+            let mut partials = Vec::with_capacity(spans.len());
+            let mut buf = Vec::new();
+            let mut at = 0usize;
+            let mut acc = op.init();
+            loop {
+                let n = pipe.next_into(&mut buf)?;
+                if n == 0 {
+                    break;
+                }
+                let mut off = 0usize;
+                while off < n {
+                    let (s, take) = spans[partials.len()];
+                    let span_end = s + take;
+                    let step = (span_end - at).min(n - off);
+                    for &v in &buf[off..off + step] {
+                        acc = op.fold(acc, v);
+                    }
+                    at += step;
+                    off += step;
+                    if at == span_end {
+                        partials.push(acc);
+                        acc = op.init();
+                    }
+                }
+            }
+            debug_assert_eq!(at, len, "aggregation consumed the whole stream");
+            partials
+        } else {
+            // One restricted pipe per span, folded on scoped workers.
+            let mut pipes = Vec::with_capacity(spans.len());
+            for &(s, take) in &spans {
+                let mut pipe = self.compile(input, len)?;
+                if !pipe.restrict(s, take) {
+                    // Unreachable after the probe for every built-in pipe;
+                    // kept graceful for future pipes with span-dependent
+                    // restriction.
+                    let pipe = self.compile(input, len)?;
+                    return drain_agg(pipe, op);
+                }
+                pipes.push(pipe);
+            }
+            fold_partitioned(pipes, op, threads)?
+        };
+        let mut acc = partials[0];
+        for &p in &partials[1..] {
+            acc = op.fold(acc, p);
+        }
+        if op == AggOp::Mean && len > 0 {
+            acc /= len as f64;
+        }
+        Ok(acc)
     }
 
     // ================= parallel pipeline =================
@@ -1343,10 +1457,7 @@ impl Runtime {
                 ))
             }
             Node::Agg { op, input } => {
-                let in_len = self.graph.shape(input).len();
-                let pipe = self.compile(input, in_len)?;
-                self.count_ops(in_len);
-                let v = drain_agg(pipe, op)?;
+                let v = self.aggregate_node(op, input)?;
                 Box::new(ConstScan::new(v, out_len, self.chunk()))
             }
         })
@@ -1356,12 +1467,7 @@ impl Runtime {
     fn scalar_value(&mut self, id: NodeId) -> ExecResult<f64> {
         match self.graph.node(id).clone() {
             Node::Scalar(c) => Ok(c),
-            Node::Agg { op, input } => {
-                let in_len = self.graph.shape(input).len();
-                let pipe = self.compile(input, in_len)?;
-                self.count_ops(in_len);
-                Ok(drain_agg(pipe, op)?)
-            }
+            Node::Agg { op, input } => self.aggregate_node(op, input),
             Node::Map { op, input } => {
                 let x = self.scalar_value(input)?;
                 self.count_ops(1);
@@ -1676,31 +1782,34 @@ impl Runtime {
     }
 
     /// One multiplication over materialized operands, choosing a kernel by
-    /// representation.
+    /// representation. The sparse kernels fan their independent strips /
+    /// output tiles out over `EngineConfig::threads` workers (`1`, the
+    /// default, is the bit-for-bit sequential schedule).
     fn multiply_values(&mut self, a: MatValue, b: MatValue) -> ExecResult<MatValue> {
+        let threads = self.cfg.threads.max(1);
         Ok(match (a, b) {
             (MatValue::Sparse(a), MatValue::Sparse(b)) => {
                 let (atr, atc) = a.tile_dims();
                 if (atr, atc) == b.tile_dims() && atr == atc {
-                    let (t, flops) = spkernel::spmm(&a, &b, None)?;
+                    let (t, flops) = spkernel::spmm_parallel(&a, &b, threads, None)?;
                     self.count_ops(flops as usize);
                     MatValue::Sparse(t)
                 } else {
                     // Mismatched tilings: fall back to the sparse x dense
                     // kernel on a densified right side.
                     let bd = b.to_dense(TileOrder::RowMajor, None)?;
-                    let (t, flops) = spkernel::spmdm(&a, &bd, None)?;
+                    let (t, flops) = spkernel::spmdm_parallel(&a, &bd, threads, None)?;
                     self.count_ops(flops as usize);
                     MatValue::Dense(t)
                 }
             }
             (MatValue::Sparse(a), MatValue::Dense(b)) => {
-                let (t, flops) = spkernel::spmdm(&a, &b, None)?;
+                let (t, flops) = spkernel::spmdm_parallel(&a, &b, threads, None)?;
                 self.count_ops(flops as usize);
                 MatValue::Dense(t)
             }
             (MatValue::Dense(a), MatValue::Sparse(b)) => {
-                let (t, flops) = spkernel::dmspm(&a, &b, None)?;
+                let (t, flops) = spkernel::dmspm_parallel(&a, &b, threads, None)?;
                 self.count_ops(flops as usize);
                 MatValue::Dense(t)
             }

@@ -38,6 +38,7 @@ fn ctx(frames: usize, with_latency: bool) -> Arc<StorageCtx> {
         PoolConfig {
             frames,
             replacer: ReplacerKind::Lru,
+            ..PoolConfig::default()
         },
     ))
 }

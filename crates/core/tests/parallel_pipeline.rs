@@ -59,7 +59,7 @@ fn unsafe_plans_fall_back_and_agree() {
         let s = Session::new(cfg);
         let n = 2000;
         let x = s.vector_from_fn(n, |i| i as f64).unwrap();
-        let total = (&x * 2.0).sum().unwrap(); // aggregate: sequential
+        let total = (&x * 2.0).sum().unwrap(); // fixed partition tree
         let idx = s.sample(n, 7).unwrap();
         let picked = (&x + 1.0).index(&idx).collect().unwrap(); // short output
         (total, picked)
@@ -68,6 +68,74 @@ fn unsafe_plans_fall_back_and_agree() {
     let (t4, p4) = run(4);
     assert_eq!(t1, t4);
     assert_eq!(p1, p4);
+}
+
+/// The fixed partition-tree aggregation: `sum()`/`mean()`/`min()`/`max()`
+/// over a large float stream are **bit-identical** across
+/// `EngineConfig::threads` values — partition boundaries derive from the
+/// stream length alone, each partition folds sequentially, and partials
+/// combine in partition order. I/O is identical too in the in-memory
+/// regime (every element read exactly once either way).
+#[test]
+fn aggregates_bit_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let mut cfg = EngineConfig::new(EngineKind::Riot);
+        cfg.block_size = 512;
+        cfg.chunk_elems = 64;
+        cfg.mem_blocks = 512;
+        cfg.threads = threads;
+        let s = Session::new(cfg);
+        let n = 64 * 100; // 25 fixed partitions of 4 blocks each
+        let x = s
+            .vector_from_fn(n, |i| (i as f64 * 0.0137).sin() * 3.0 + 0.1)
+            .unwrap();
+        let e = (&x * 1.5) + 0.25;
+        s.drop_caches().unwrap();
+        let io0 = s.io_snapshot();
+        let out = (
+            e.sum().unwrap(),
+            e.mean().unwrap(),
+            e.min().unwrap(),
+            e.max().unwrap(),
+        );
+        (out, s.io_snapshot() - io0)
+    };
+    let (seq, seq_io) = run(1);
+    for threads in [2, 4] {
+        let (par, par_io) = run(threads);
+        // Exact bit equality, not approximate: the whole point of the
+        // fixed tree.
+        assert_eq!(par, seq, "{threads}-thread aggregates diverged");
+        // Totals only: the sequential/random *classification* is
+        // best-effort when worker reads interleave (see riot_storage::stats).
+        assert_eq!(
+            (par_io.reads, par_io.writes),
+            (seq_io.reads, seq_io.writes),
+            "{threads}-thread aggregate I/O diverged"
+        );
+    }
+}
+
+/// Below one partition the classic single sequential fold runs unchanged
+/// (small results — and the cross-engine transparency tests built on
+/// them — stay exactly stable), and MatNamed agrees with Riot.
+#[test]
+fn small_aggregates_keep_the_classic_sequential_fold() {
+    for kind in [EngineKind::Riot, EngineKind::MatNamed] {
+        let mut cfg = EngineConfig::new(kind);
+        cfg.block_size = 512;
+        cfg.chunk_elems = 64;
+        cfg.threads = 4; // even with workers available
+        let s = Session::new(cfg);
+        let n = 200; // < 4 aligned chunks: single-fold path
+        let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos() * 7.0).collect();
+        let x = s.vector_from_fn(n, |i| data[i]).unwrap();
+        let mut want = 0.0f64;
+        for &v in &data {
+            want += v; // the classic left fold, element order
+        }
+        assert_eq!(x.sum().unwrap(), want, "{kind:?}: small sum changed");
+    }
 }
 
 /// Gathers are excluded from the parallel path (probes touch blocks

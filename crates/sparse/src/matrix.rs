@@ -4,7 +4,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use riot_array::{DenseMatrix, MatrixLayout, StorageCtx, TileOrder};
-use riot_storage::{BlockId, ObjectId, PinnedFrame, Result};
+use riot_storage::{
+    BlockId, ObjectHeader, ObjectId, ObjectKind, PinnedFrame, Result, StorageError,
+};
 
 use crate::csr_capacity;
 
@@ -223,6 +225,19 @@ impl SparseMatrix {
         let ntiles = (d.tr * d.tc) as usize;
         let dir_blocks = (2 * ntiles).div_ceil(epb).max(1) as u64;
         let (object, extent) = ctx.create_object(dir_blocks + pages, name)?;
+        // Catalog-level object header: with it, a later session holding
+        // only the name can rebuild this handle from storage alone (see
+        // [`SparseMatrix::open`]).
+        ctx.set_object_header(
+            object,
+            ObjectHeader {
+                kind: ObjectKind::SparseMatrix,
+                rows: d.rows as u64,
+                cols: d.cols as u64,
+                layout: d.layout.code(),
+                nnz,
+            },
+        )?;
         // Write the directory: 2 slots per tile, zero-padded tail.
         for b in 0..dir_blocks {
             let mut page = ctx.pool().pin_new(extent.start.offset(b))?;
@@ -257,6 +272,66 @@ impl SparseMatrix {
             nnz,
             dir: Arc::new(dir),
         })
+    }
+
+    /// Reopen a named sparse matrix **from storage alone**: resolve
+    /// `name` through the catalog, validate its [`ObjectHeader`], derive
+    /// the tiling from the header's layout, and re-read the persisted
+    /// tile directory through the pool (so the reads are counted). The
+    /// rebuilt handle is fully equivalent to the one
+    /// [`SparseMatrix::from_triplets`] returned — no in-memory state from
+    /// the creating call is consulted.
+    pub fn open(ctx: &Arc<StorageCtx>, name: &str) -> Result<Self> {
+        let cannot = |reason: &'static str| StorageError::CannotReopen {
+            name: name.to_owned(),
+            reason,
+        };
+        let object = ctx
+            .find_object(name)
+            .ok_or_else(|| cannot("no such object"))?;
+        let header = ctx
+            .object_header(object)?
+            .ok_or_else(|| cannot("object has no header"))?;
+        if header.kind != ObjectKind::SparseMatrix {
+            return Err(cannot("object is not a sparse matrix"));
+        }
+        let layout =
+            MatrixLayout::from_code(header.layout).ok_or_else(|| cannot("bad layout code"))?;
+        let (rows, cols) = (header.rows as usize, header.cols as usize);
+        let epb = ctx.elems_per_block();
+        let (tile_r, tile_c) = layout.tile_dims(epb);
+        let tr = rows.div_ceil(tile_r) as u64;
+        let tc = cols.div_ceil(tile_c) as u64;
+        let ntiles = (tr * tc) as usize;
+        let dir_blocks = (2 * ntiles).div_ceil(epb).max(1) as u64;
+        let extent = ctx.object_extent(object)?;
+        let mut handle = SparseMatrix {
+            ctx: Arc::clone(ctx),
+            object,
+            start_block: extent.start.0,
+            rows,
+            cols,
+            tile_r,
+            tile_c,
+            layout,
+            tr,
+            tc,
+            dir_blocks,
+            pages: 0,
+            nnz: header.nnz,
+            dir: Arc::new(Vec::new()),
+        };
+        // The on-disk directory is the authority for page slots and
+        // per-tile nnz; the header's total cross-checks it.
+        let dir = handle.read_dir()?;
+        let pages = dir.iter().filter(|s| !s.is_empty()).count() as u64;
+        let nnz: u64 = dir.iter().map(|s| u64::from(s.nnz)).sum();
+        if nnz != header.nnz || extent.blocks < dir_blocks + pages {
+            return Err(cannot("directory disagrees with the header"));
+        }
+        handle.pages = pages;
+        handle.dir = Arc::new(dir);
+        Ok(handle)
     }
 
     /// Matrix dimensions `(rows, cols)`.
@@ -337,6 +412,41 @@ impl SparseMatrix {
 
     fn page_block(&self, slot: u32) -> BlockId {
         BlockId(self.start_block + self.dir_blocks + u64::from(slot))
+    }
+
+    /// Block id of the data page backing tile `(ti, tj)`, or `None` for
+    /// an empty tile — a directory lookup only (no I/O). The prefetch
+    /// windows below are built from this mapping.
+    pub fn tile_page_block(&self, ti: u64, tj: u64) -> Option<BlockId> {
+        let slot = self.slot(ti, tj);
+        (!slot.is_empty()).then(|| self.page_block(slot.page))
+    }
+
+    /// Prefetch every occupied page of tile-row `ti`: the next strip of a
+    /// tile-row-walking kernel (`spmv`, `spmdm`, `dmspm`) loads in the
+    /// background while the current strip computes. Planning is pure
+    /// directory-cache lookup; a free no-op when the pool's prefetcher is
+    /// disabled.
+    pub fn prefetch_tile_row(&self, ti: u64) {
+        if ti >= self.tr || self.ctx.pool().prefetch_depth() == 0 {
+            return;
+        }
+        let blocks: Vec<BlockId> = (0..self.tc)
+            .filter_map(|tj| self.tile_page_block(ti, tj))
+            .collect();
+        self.ctx.pool().prefetch(&blocks);
+    }
+
+    /// Prefetch every occupied page of tile-column `tj` — the input
+    /// window of the transpose's next output tile-row.
+    pub fn prefetch_tile_col(&self, tj: u64) {
+        if tj >= self.tc || self.ctx.pool().prefetch_depth() == 0 {
+            return;
+        }
+        let blocks: Vec<BlockId> = (0..self.tr)
+            .filter_map(|ti| self.tile_page_block(ti, tj))
+            .collect();
+        self.ctx.pool().prefetch(&blocks);
     }
 
     /// Pin tile `(ti, tj)` for reading; `None` when the tile is empty (no
@@ -455,6 +565,12 @@ impl SparseMatrix {
         );
         let mut entries = Vec::new();
         for oi in 0..out.tr {
+            // Declared access pattern: the next output tile-row reads
+            // input tile-column `oi + 1`; let it load in the background
+            // while this row's pages re-sort.
+            if oi + 1 < out.tr {
+                self.prefetch_tile_col(oi + 1);
+            }
             for oj in 0..out.tc {
                 let Some(tile) = self.tile(oj, oi)? else {
                     continue;
@@ -873,6 +989,70 @@ mod tests {
         let m = SparseMatrix::create_with_plan(&c, 8, 8, MatrixLayout::Square, &[1], None).unwrap();
         let scratch = vec![0.0; 64]; // zero non-zeros, plan said 1
         m.write_tile(0, 0, &scratch).unwrap();
+    }
+
+    #[test]
+    fn open_round_trips_from_storage_alone() {
+        let c = ctx(64);
+        let trips = vec![(0, 0, 1.0), (9, 9, 2.0), (25, 30, 3.0), (31, 0, -4.5)];
+        let m = SparseMatrix::from_triplets(&c, 32, 32, MatrixLayout::Square, &trips, Some("m"))
+            .unwrap();
+        c.pool().flush_all().unwrap();
+        c.clear_cache().unwrap();
+        // Drop the creating handle: the reopen may consult nothing but the
+        // catalog header and the on-disk directory.
+        let (want_rows, want_slots) = (m.to_rows().unwrap(), m.read_dir().unwrap());
+        drop(m);
+        c.clear_cache().unwrap();
+
+        let before = c.io_snapshot();
+        let r = SparseMatrix::open(&c, "m").unwrap();
+        // Opening reads exactly the persisted directory.
+        assert_eq!((c.io_snapshot() - before).reads, r.dir_blocks());
+        assert_eq!(r.shape(), (32, 32));
+        assert_eq!(r.layout(), MatrixLayout::Square);
+        assert_eq!(r.nnz(), 4);
+        assert_eq!(r.occupied_pages(), 4);
+        assert_eq!(r.read_dir().unwrap(), want_slots);
+        assert_eq!(r.to_rows().unwrap(), want_rows);
+        assert_eq!(r.get(25, 30).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn open_round_trips_rectangular_layouts_and_planned_matrices() {
+        let c = ctx(64);
+        let trips = vec![(0, 0, 1.0), (63, 2, 2.0), (10, 3, 3.0)];
+        let m = SparseMatrix::from_triplets(&c, 64, 4, MatrixLayout::ColMajor, &trips, Some("cm"))
+            .unwrap();
+        let want = m.to_rows().unwrap();
+        c.pool().flush_all().unwrap();
+        drop(m);
+        let r = SparseMatrix::open(&c, "cm").unwrap();
+        assert_eq!(r.layout(), MatrixLayout::ColMajor);
+        assert_eq!(r.tile_dims(), (64, 1));
+        assert_eq!(r.to_rows().unwrap(), want);
+
+        // A planned-then-filled matrix (the SpMM output path) reopens too.
+        let p = SparseMatrix::create_with_plan(&c, 16, 8, MatrixLayout::Square, &[2, 0], Some("p"))
+            .unwrap();
+        p.write_tile_entries_at(0, 0, &[(0, 3, 7.0), (6, 2, -1.0)])
+            .unwrap();
+        c.pool().flush_all().unwrap();
+        drop(p);
+        let r = SparseMatrix::open(&c, "p").unwrap();
+        assert_eq!(r.nnz(), 2);
+        assert_eq!(r.get(6, 2).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn open_rejects_unknown_names_and_headerless_objects() {
+        let c = ctx(16);
+        let err = SparseMatrix::open(&c, "nope").err().expect("must fail");
+        assert!(err.to_string().contains("no such object"), "{err}");
+        // A plain (headerless) object under the name is not reopenable.
+        c.create_object(2, Some("raw")).unwrap();
+        let err = SparseMatrix::open(&c, "raw").err().expect("must fail");
+        assert!(err.to_string().contains("no header"), "{err}");
     }
 
     fn transpose_ref(rows: usize, cols: usize, m: &[f64]) -> Vec<f64> {

@@ -35,6 +35,40 @@ impl Extent {
     }
 }
 
+/// What kind of array an object stores — the dispatch tag a reopening
+/// session needs before it can interpret the extent's bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// A packed dense vector.
+    DenseVector,
+    /// A tiled dense matrix.
+    DenseMatrix,
+    /// A block-compressed sparse matrix (directory + data pages).
+    SparseMatrix,
+    /// An anonymous spill/scratch stream.
+    Spill,
+}
+
+/// Catalog-level object header: the metadata needed to reopen a stored
+/// array from its name alone — kind, dimensions, layout, and the nnz
+/// statistic the optimizer's density rule feeds on. Everything *below*
+/// the header (the tile directory, the pages) already lives on disk; the
+/// header is the missing hop from "a name in the catalog" to "a typed
+/// handle".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectHeader {
+    /// What the extent's bytes encode.
+    pub kind: ObjectKind,
+    /// Rows (vectors: length).
+    pub rows: u64,
+    /// Columns (vectors: 1).
+    pub cols: u64,
+    /// Caller-defined layout code (the array layer owns the encoding).
+    pub layout: u8,
+    /// Stored non-zeros (dense objects: rows x cols).
+    pub nnz: u64,
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     /// The object's extents in allocation order. Fixed-size objects have
@@ -44,6 +78,8 @@ struct Entry {
     /// [`Catalog::alloc_growable`]; fixed-size objects reject growth).
     growable: bool,
     name: Option<String>,
+    /// Typed reopen metadata, if the creator registered any.
+    header: Option<ObjectHeader>,
 }
 
 /// Tracks live objects and their extents on one pool/device.
@@ -79,6 +115,7 @@ impl Catalog {
                 segments: vec![extent],
                 growable: false,
                 name: name.map(str::to_owned),
+                header: None,
             },
         );
         Ok((id, extent))
@@ -158,6 +195,34 @@ impl Catalog {
     /// Optional debug name of `id`.
     pub fn name(&self, id: ObjectId) -> Option<&str> {
         self.objects.get(&id.0).and_then(|e| e.name.as_deref())
+    }
+
+    /// Register reopen metadata for `id` (overwrites any prior header).
+    pub fn set_header(&mut self, id: ObjectId, header: ObjectHeader) -> Result<()> {
+        self.objects
+            .get_mut(&id.0)
+            .map(|e| e.header = Some(header))
+            .ok_or(StorageError::UnknownObject(id.0))
+    }
+
+    /// Reopen metadata of `id`, if its creator registered any.
+    pub fn header(&self, id: ObjectId) -> Result<Option<ObjectHeader>> {
+        self.objects
+            .get(&id.0)
+            .map(|e| e.header)
+            .ok_or(StorageError::UnknownObject(id.0))
+    }
+
+    /// Look a live object up by its exact name. Names are not enforced
+    /// unique; with duplicates the lowest object id wins (deterministic:
+    /// ids are allocation-ordered).
+    pub fn find_by_name(&self, name: &str) -> Option<ObjectId> {
+        self.objects
+            .iter()
+            .filter(|(_, e)| e.name.as_deref() == Some(name))
+            .map(|(&raw, _)| raw)
+            .min()
+            .map(ObjectId)
     }
 
     /// Drop `id`, releasing all of its blocks on `pool`.
@@ -319,6 +384,33 @@ mod tests {
         // Both segments' blocks were released on the pool.
         assert!(p.read(first.block(0), |_| ()).is_err());
         assert!(p.read(second.block(1), |_| ()).is_err());
+    }
+
+    #[test]
+    fn headers_register_and_objects_resolve_by_name() {
+        let p = pool();
+        let mut cat = Catalog::new();
+        let (id, _) = cat.create(&p, 2, Some("m")).unwrap();
+        assert_eq!(cat.header(id).unwrap(), None, "no header until registered");
+        let h = ObjectHeader {
+            kind: ObjectKind::SparseMatrix,
+            rows: 8,
+            cols: 4,
+            layout: 2,
+            nnz: 5,
+        };
+        cat.set_header(id, h).unwrap();
+        assert_eq!(cat.header(id).unwrap(), Some(h));
+        assert_eq!(cat.find_by_name("m"), Some(id));
+        assert_eq!(cat.find_by_name("x"), None);
+        // Duplicate names: the lowest (earliest) id wins, deterministically.
+        let (id2, _) = cat.create(&p, 1, Some("m")).unwrap();
+        assert_eq!(cat.find_by_name("m"), Some(id));
+        cat.drop_object(&p, id).unwrap();
+        assert_eq!(cat.find_by_name("m"), Some(id2));
+        // Unknown ids error like every other catalog call.
+        assert!(cat.set_header(ObjectId(99), h).is_err());
+        assert!(cat.header(ObjectId(99)).is_err());
     }
 
     #[test]

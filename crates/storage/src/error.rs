@@ -33,6 +33,14 @@ pub enum StorageError {
     /// A fixed-size object was asked to grow; only objects allocated with
     /// `Catalog::alloc_growable` accept `extend`.
     NotGrowable(u64),
+    /// A stored object could not be reopened from its name: no live
+    /// object carries the name, or it lacks a (matching) catalog header.
+    CannotReopen {
+        /// The requested object name.
+        name: String,
+        /// Why the reopen failed.
+        reason: &'static str,
+    },
     /// The underlying operating-system file operation failed.
     Io(std::io::Error),
 }
@@ -55,6 +63,9 @@ impl fmt::Display for StorageError {
             StorageError::UnknownObject(id) => write!(f, "unknown object id {id}"),
             StorageError::NotGrowable(id) => {
                 write!(f, "object {id} is fixed-size; only growable objects extend")
+            }
+            StorageError::CannotReopen { name, reason } => {
+                write!(f, "cannot reopen object '{name}': {reason}")
             }
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
         }

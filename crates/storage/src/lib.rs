@@ -58,6 +58,7 @@
 //! let pool = BufferPool::new(Box::new(device), PoolConfig {
 //!     frames: 64,
 //!     replacer: ReplacerKind::Lru,
+//!     ..PoolConfig::default()
 //! });
 //! let block = pool.allocate_blocks(1).unwrap();
 //! {
@@ -78,12 +79,12 @@ pub mod replacer;
 pub mod stats;
 pub mod testing;
 
-pub use catalog::{Catalog, Extent, ObjectId};
+pub use catalog::{Catalog, Extent, ObjectHeader, ObjectId, ObjectKind};
 pub use device::{BlockDevice, BlockId};
 pub use error::{Result, StorageError};
 pub use file_device::FileBlockDevice;
 pub use mem_device::MemBlockDevice;
-pub use pool::{BufferPool, PinnedFrame, PinnedFrameMut, PoolConfig, PoolStats};
+pub use pool::{BufferPool, PinnedFrame, PinnedFrameMut, PoolConfig, PoolStats, PREFETCH_AUTO};
 pub use replacer::{ClockReplacer, LruReplacer, MruReplacer, Replacer, ReplacerKind};
 pub use stats::{DiskModel, InFlight, IoSnapshot, IoStats};
 pub use testing::{FailpointDevice, FailpointHandle, Watchdog};

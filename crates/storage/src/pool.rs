@@ -57,6 +57,31 @@
 //!   failed eviction write-back returns the victim to `Resident`+dirty
 //!   under replacement, poisoning nothing.
 //!
+//! ## Plan-driven prefetch
+//!
+//! The execution layer knows its block access pattern ahead of time (the
+//! RIOT paper's §4/Appendix A schedules are *declared* tile walks), so the
+//! pool accepts that declaration directly: [`BufferPool::prefetch`] takes
+//! the next window's block list and a small worker pool (capacity
+//! [`PoolConfig::prefetch_depth`]) loads the non-resident blocks in the
+//! background, each through the ordinary `(free) -> LoadInFlight ->
+//! Resident` transitions above with a `prefetched` flag on the frame.
+//! A pin that arrives while the background load is in flight waits on the
+//! existing `LoadInFlight` entry — the PR-3 single-flight path, so there
+//! is never a duplicate device read — and the first pin of a prefetched
+//! frame counts [`PoolStats::prefetch_hits`]. Prefetched frames publish
+//! *evictable*; one recycled without ever being pinned counts
+//! [`PoolStats::prefetch_wasted`]. A failed background load releases its
+//! slot exactly like a failed miss and the next pin retries on the
+//! device.
+//!
+//! Prefetching never changes *how many* device transfers a well-windowed
+//! workload performs — only *when* they happen (reads move off the pin
+//! path onto the workers, where they overlap compute and each other).
+//! With `prefetch_depth = 0` (the default) the whole mechanism is
+//! compiled down to a cheap early return and the pool's I/O sequence is
+//! bit-for-bit the classic demand-paged one.
+//!
 //! ## Zero-copy pin guards
 //!
 //! [`BufferPool::pin`] returns a [`PinnedFrame`] dereferencing straight to
@@ -69,15 +94,22 @@
 //! builds detect that re-entrancy at the wait site and panic with the
 //! block id instead of hanging.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
 
 use crate::device::{BlockDevice, BlockId};
 use crate::error::{Result, StorageError};
 use crate::replacer::{make_replacer, FrameId, Replacer, ReplacerKind};
 use crate::stats::{InFlight, IoStats};
+
+/// `PoolConfig::prefetch_depth` sentinel: size the prefetch worker pool
+/// from the device's [`BlockDevice::concurrent_io`] capability (8 workers
+/// when transfers genuinely overlap, 2 when the device serializes — one
+/// load can still overlap compute either way).
+pub const PREFETCH_AUTO: usize = usize::MAX;
 
 /// Pool construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +118,16 @@ pub struct PoolConfig {
     pub frames: usize,
     /// Replacement policy for unpinned frames.
     pub replacer: ReplacerKind,
+    /// Background prefetch workers (= maximum prefetch loads in flight).
+    ///
+    /// `0` (the default) disables prefetching entirely: [`BufferPool::prefetch`]
+    /// is a free no-op and the pool's device I/O order stays bit-for-bit
+    /// the classic demand-paged sequence the cost-model validation pins
+    /// down. [`PREFETCH_AUTO`] sizes the worker pool from the device's
+    /// [`BlockDevice::concurrent_io`] capability. Prefetching never
+    /// changes *how much* I/O a well-windowed workload performs — only
+    /// *when* it happens (see the module docs).
+    pub prefetch_depth: usize,
 }
 
 impl Default for PoolConfig {
@@ -93,6 +135,7 @@ impl Default for PoolConfig {
         PoolConfig {
             frames: 256,
             replacer: ReplacerKind::Lru,
+            prefetch_depth: 0,
         }
     }
 }
@@ -116,6 +159,22 @@ pub struct PoolStats {
     /// block instead of issuing their own device read (the single-flight
     /// win; always 0 single-threaded).
     pub coalesced_loads: u64,
+    /// Background prefetch loads dispatched to the device. With a
+    /// well-windowed access pattern, `reads == misses + prefetch_issued`:
+    /// prefetching moves reads off the pin path without adding any.
+    pub prefetch_issued: u64,
+    /// Pins served by a prefetched frame — either found resident before
+    /// first use or awaited while its background load was in flight (the
+    /// single-flight path). At most one hit is counted per issued
+    /// prefetch.
+    pub prefetch_hits: u64,
+    /// Prefetched frames recycled (evicted, freed, or cache-cleared)
+    /// without ever being pinned: I/O the prefetcher wasted. Every issued
+    /// prefetch eventually lands in `prefetch_hits`, `prefetch_wasted`,
+    /// a still-resident unused frame — or, when its background load
+    /// failed, nowhere (the slot releases silently; device errors are the
+    /// one issued-but-unaccounted outcome).
+    pub prefetch_wasted: u64,
 }
 
 impl PoolStats {
@@ -202,6 +261,10 @@ struct FrameMeta {
     writer: bool,
     dirty: bool,
     state: FrameState,
+    /// Loaded by a background prefetch and not yet pinned. Cleared by the
+    /// first pin (counted in [`PoolStats::prefetch_hits`]) or by recycling
+    /// the frame unused (counted in [`PoolStats::prefetch_wasted`]).
+    prefetched: bool,
 }
 
 struct ShardMeta {
@@ -229,6 +292,9 @@ struct Shard {
     misses: AtomicU64,
     evict_writebacks: AtomicU64,
     coalesced_loads: AtomicU64,
+    prefetch_issued: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_wasted: AtomicU64,
 }
 
 impl Shard {
@@ -238,6 +304,18 @@ impl Shard {
             misses: self.misses.load(Ordering::Relaxed),
             evict_writebacks: self.evict_writebacks.load(Ordering::Relaxed),
             coalesced_loads: self.coalesced_loads.load(Ordering::Relaxed),
+            prefetch_issued: self.prefetch_issued.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The frame's mapping is being dropped for reuse: if it carried a
+    /// never-pinned prefetch, that background read was wasted.
+    fn note_recycled(&self, fm: &mut FrameMeta) {
+        if fm.prefetched {
+            fm.prefetched = false;
+            self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -305,8 +383,46 @@ mod reentry {
     }
 }
 
+/// Shared state of the background prefetcher: a bounded FIFO of block
+/// hints plus worker coordination. The queue bound (8 x worker count)
+/// caps how far a kernel's declared access pattern can run ahead of its
+/// pins — excess hints are dropped, never queued, so a misbehaving caller
+/// cannot turn the prefetcher into a cache-thrashing scan.
+#[derive(Default)]
+struct PrefetchQueue {
+    pending: VecDeque<BlockId>,
+    /// Blocks currently in `pending` (dedup: prefetching a window twice
+    /// costs one queue slot, and at most one background load).
+    enqueued: HashSet<u64>,
+    /// Workers currently processing a dequeued block.
+    busy: usize,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct PrefetchState {
+    queue: Mutex<PrefetchQueue>,
+    /// Workers sleep here for new hints.
+    work: Condvar,
+    /// [`BufferPool::wait_prefetch_idle`] sleeps here for full drain.
+    idle: Condvar,
+}
+
 /// A sharded, thread-safe buffer pool over a [`BlockDevice`].
+///
+/// The pool proper lives in a private `PoolCore` behind an `Arc` shared
+/// with the background prefetch workers; dropping the `BufferPool` shuts
+/// the workers down and joins them, so no background I/O outlives the
+/// handle.
 pub struct BufferPool {
+    core: Arc<PoolCore>,
+    /// Prefetch worker handles, joined on drop.
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// The pool state shared between the owning [`BufferPool`] handle and the
+/// prefetch workers.
+struct PoolCore {
     shards: Box<[Shard]>,
     /// Devices synchronize internally (`&self` methods), so misses and
     /// write-backs from different shards — or for different blocks of one
@@ -317,6 +433,9 @@ pub struct BufferPool {
     block_size: usize,
     elems_per_block: usize,
     capacity: usize,
+    /// Resolved worker count (0 = prefetching disabled).
+    prefetch_depth: usize,
+    prefetch: PrefetchState,
 }
 
 impl BufferPool {
@@ -341,6 +460,15 @@ impl BufferPool {
         );
         let elems_per_block = block_size / std::mem::size_of::<f64>();
         let io = device.stats();
+        let prefetch_depth = if config.prefetch_depth == PREFETCH_AUTO {
+            if device.concurrent_io() {
+                8
+            } else {
+                2
+            }
+        } else {
+            config.prefetch_depth
+        };
         let nshards = shards.clamp(1, config.frames);
         let shards = (0..nshards)
             .map(|s| {
@@ -354,6 +482,7 @@ impl BufferPool {
                                 writer: false,
                                 dirty: false,
                                 state: FrameState::Resident,
+                                prefetched: false,
                             })
                             .collect(),
                         map: HashMap::new(),
@@ -370,10 +499,13 @@ impl BufferPool {
                     misses: AtomicU64::new(0),
                     evict_writebacks: AtomicU64::new(0),
                     coalesced_loads: AtomicU64::new(0),
+                    prefetch_issued: AtomicU64::new(0),
+                    prefetch_hits: AtomicU64::new(0),
+                    prefetch_wasted: AtomicU64::new(0),
                 }
             })
             .collect();
-        BufferPool {
+        let core = Arc::new(PoolCore {
             shards,
             device,
             io,
@@ -381,69 +513,235 @@ impl BufferPool {
             block_size,
             elems_per_block,
             capacity: config.frames,
-        }
+            prefetch_depth,
+            prefetch: PrefetchState::default(),
+        });
+        let workers = (0..prefetch_depth)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("riot-prefetch-{i}"))
+                    .spawn(move || core.prefetch_worker())
+                    .expect("spawn prefetch worker")
+            })
+            .collect();
+        BufferPool { core, workers }
+    }
+
+    /// Hint that `blocks` will be pinned soon: background workers load the
+    /// non-resident ones into frames, so the eventual pins hit (or wait
+    /// out the in-flight load through the single-flight path) instead of
+    /// stalling on a device read.
+    ///
+    /// This is a pure scheduling hint with first-class counted-I/O
+    /// semantics: a block that is resident, already in flight, or already
+    /// queued is skipped (no duplicate read), so for an access pattern
+    /// whose window is pinned before pool pressure evicts it, device
+    /// read/write totals are **bit-for-bit the no-prefetch totals** —
+    /// prefetching changes when reads happen, never how many. Hints past
+    /// the queue bound are dropped (the pin performs the read instead);
+    /// failed background loads release their slot and leave the next pin
+    /// to retry on the device. No-op when `PoolConfig::prefetch_depth`
+    /// is 0.
+    pub fn prefetch(&self, blocks: &[BlockId]) {
+        self.core.prefetch(blocks);
+    }
+
+    /// Block until the prefetch queue is empty and every worker is idle
+    /// (tests use this to make prefetch counters deterministic). No-op
+    /// when prefetching is disabled.
+    pub fn wait_prefetch_idle(&self) {
+        self.core.wait_prefetch_idle();
+    }
+
+    /// Resolved prefetch worker count (0 = prefetching disabled).
+    pub fn prefetch_depth(&self) -> usize {
+        self.core.prefetch_depth
     }
 
     /// Block size in bytes of the underlying device.
     pub fn block_size(&self) -> usize {
-        self.block_size
+        self.core.block_size
     }
 
     /// `f64` elements per block (and per pinned frame slice).
     pub fn elems_per_block(&self) -> usize {
-        self.elems_per_block
+        self.core.elems_per_block
     }
 
     /// Pool capacity in frames.
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.core.capacity
     }
 
     /// Number of lock-striped partitions.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.core.shards.len()
     }
 
     /// Number of blocks currently resident (in-flight loads included).
     pub fn resident(&self) -> usize {
-        self.shards.iter().map(|s| lock(&s.meta).map.len()).sum()
+        self.core
+            .shards
+            .iter()
+            .map(|s| lock(&s.meta).map.len())
+            .sum()
     }
 
     /// Shared device I/O counters.
     pub fn io_stats(&self) -> Arc<IoStats> {
-        Arc::clone(&self.io)
+        Arc::clone(&self.core.io)
     }
 
     /// Gauges of device I/O currently outstanding on the pool's behalf
     /// (plus all-time concurrency high-water marks).
     pub fn in_flight(&self) -> &InFlight {
-        &self.in_flight
+        &self.core.in_flight
     }
 
     /// Whether the underlying device claims genuinely overlapping I/O for
     /// distinct blocks (see [`BlockDevice::concurrent_io`]).
     pub fn device_concurrent_io(&self) -> bool {
-        self.device.concurrent_io()
+        self.core.device.concurrent_io()
     }
 
     /// Cache hit/miss counters, summed over shards.
     pub fn pool_stats(&self) -> PoolStats {
         let mut total = PoolStats::default();
-        for s in self.shards.iter() {
+        for s in self.core.shards.iter() {
             let s = s.stats();
             total.hits += s.hits;
             total.misses += s.misses;
             total.evict_writebacks += s.evict_writebacks;
             total.coalesced_loads += s.coalesced_loads;
+            total.prefetch_issued += s.prefetch_issued;
+            total.prefetch_hits += s.prefetch_hits;
+            total.prefetch_wasted += s.prefetch_wasted;
         }
         total
     }
 
     /// Per-shard cache counters, in shard order.
     pub fn shard_stats(&self) -> Vec<PoolStats> {
-        self.shards.iter().map(Shard::stats).collect()
+        self.core.shards.iter().map(Shard::stats).collect()
     }
 
+    /// Allocate `n` fresh contiguous device blocks (no I/O).
+    pub fn allocate_blocks(&self, n: u64) -> Result<BlockId> {
+        self.core.device.allocate(n)
+    }
+
+    /// Release `n` device blocks starting at `start`, dropping any resident
+    /// frames without writing them back.
+    ///
+    /// Blocks with device I/O in flight (another thread's eviction,
+    /// flush, or background prefetch picked the frame — states callers
+    /// cannot observe) are waited out first. Panics if any of the blocks
+    /// is still pinned: recycling a pinned frame would alias a live
+    /// guard's `&[f64]`, so this is a hard invariant in release builds
+    /// too.
+    pub fn free_blocks(&self, start: BlockId, n: u64) -> Result<()> {
+        self.core.free_blocks(start, n)
+    }
+
+    /// Pin `block` for reading, loading it from the device if absent.
+    ///
+    /// The returned guard dereferences to the block's `&[f64]` and keeps
+    /// the frame resident until dropped. Blocks while another thread holds
+    /// an exclusive pin on the same block.
+    pub fn pin(&self, block: BlockId) -> Result<PinnedFrame<'_>> {
+        self.core.pin(block)
+    }
+
+    /// Pin `block` for exclusive read-write access, loading it from the
+    /// device if absent. The frame is marked dirty.
+    pub fn pin_mut(&self, block: BlockId) -> Result<PinnedFrameMut<'_>> {
+        self.core.pin_mut(block)
+    }
+
+    /// Pin `block` for exclusive access *without* reading it from the
+    /// device, for blocks that were just allocated and will be fully
+    /// overwritten. The frame is dirty, so the eventual eviction/flush
+    /// writes it out — building a new array therefore costs exactly its
+    /// write I/O. Contents are zeroed when the block was not resident and
+    /// stale when it was: callers that do not overwrite every element must
+    /// `fill` first.
+    pub fn pin_new(&self, block: BlockId) -> Result<PinnedFrameMut<'_>> {
+        self.core.pin_new(block)
+    }
+
+    /// Pin for reading, run `f` over the page bytes, unpin.
+    ///
+    /// Compatibility wrapper over [`BufferPool::pin`] for byte-oriented
+    /// callers (tests, harnesses); kernels should pin and read the `f64`
+    /// slice directly.
+    pub fn read<R>(&self, block: BlockId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let page = self.pin(block)?;
+        Ok(f(page.as_bytes()))
+    }
+
+    /// Pin exclusively, run `f` over the page bytes (marking dirty), unpin.
+    pub fn write<R>(&self, block: BlockId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut page = self.pin_mut(block)?;
+        Ok(f(page.as_bytes_mut()))
+    }
+
+    /// Like [`BufferPool::write`] but for freshly allocated blocks: skips
+    /// the device read entirely.
+    pub fn write_new<R>(&self, block: BlockId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut page = self.pin_new(block)?;
+        Ok(f(page.as_bytes_mut()))
+    }
+
+    /// Write every dirty frame back to the device (frames stay resident).
+    ///
+    /// Frames held under an exclusive pin are skipped: their holder will
+    /// mark them dirty again anyway, and flushing mid-write would persist a
+    /// torn page. Each write runs with the shard lock dropped, so pins of
+    /// other blocks proceed while the flush streams out.
+    pub fn flush_all(&self) -> Result<()> {
+        self.core.flush_all()
+    }
+
+    /// Flush one block if resident and dirty (and not exclusively pinned
+    /// or already mid-write).
+    pub fn flush_block(&self, block: BlockId) -> Result<()> {
+        self.core.flush_block(block)
+    }
+
+    /// Drop every unpinned frame (flushing dirty ones), emptying the cache.
+    ///
+    /// Experiment harnesses call this between strategies so one run's
+    /// residual cache cannot subsidize the next.
+    pub fn clear_cache(&self) -> Result<()> {
+        self.core.clear_cache()
+    }
+}
+
+impl Drop for BufferPool {
+    /// Shut the prefetch workers down and join them: pending hints are
+    /// abandoned, in-progress loads complete, and no background I/O
+    /// outlives the pool handle.
+    fn drop(&mut self) {
+        {
+            let mut q = self
+                .core
+                .prefetch
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            q.shutdown = true;
+            q.pending.clear();
+            q.enqueued.clear();
+        }
+        self.core.prefetch.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl PoolCore {
     fn shard_of(&self, block: BlockId) -> &Shard {
         &self.shards[(block.0 % self.shards.len() as u64) as usize]
     }
@@ -451,7 +749,7 @@ impl BufferPool {
     /// Identity of this pool for the debug re-entrancy registry.
     #[cfg(debug_assertions)]
     fn id(&self) -> usize {
-        self as *const BufferPool as usize
+        self as *const PoolCore as usize
     }
 
     fn note_pinned(&self, _block: BlockId) {
@@ -473,22 +771,18 @@ impl BufferPool {
         }
     }
 
-    /// Allocate `n` fresh contiguous device blocks (no I/O).
-    pub fn allocate_blocks(&self, n: u64) -> Result<BlockId> {
-        self.device.allocate(n)
-    }
-
     /// Release `n` device blocks starting at `start`, dropping any resident
     /// frames without writing them back.
     ///
     /// Blocks with device I/O in flight (another thread's eviction or
     /// flush picked the frame — a state callers cannot observe) are waited
     /// out first: an eviction removes the mapping, a flush returns the
-    /// frame to `Resident`. Panics if any of the blocks is still pinned:
+    /// frame to `Resident`, a background prefetch load publishes (or
+    /// releases) its claim. Panics if any of the blocks is still pinned:
     /// recycling a pinned frame would alias a live guard's `&[f64]`, so
     /// this is a hard invariant in release builds too (not just a debug
     /// assert).
-    pub fn free_blocks(&self, start: BlockId, n: u64) -> Result<()> {
+    fn free_blocks(&self, start: BlockId, n: u64) -> Result<()> {
         for i in 0..n {
             let id = start.offset(i);
             let shard = self.shard_of(id);
@@ -504,6 +798,7 @@ impl BufferPool {
                 // Checked before any mutation so the panic leaves the shard
                 // consistent (the caller's guard still unpins cleanly).
                 assert!(fm.readers == 0 && !fm.writer, "freeing a pinned block");
+                shard.note_recycled(&mut meta.frames[frame]);
                 meta.map.remove(&id);
                 meta.frames[frame].block = None;
                 meta.frames[frame].dirty = false;
@@ -518,12 +813,7 @@ impl BufferPool {
         self.device.free(start, n)
     }
 
-    /// Pin `block` for reading, loading it from the device if absent.
-    ///
-    /// The returned guard dereferences to the block's `&[f64]` and keeps
-    /// the frame resident until dropped. Blocks while another thread holds
-    /// an exclusive pin on the same block.
-    pub fn pin(&self, block: BlockId) -> Result<PinnedFrame<'_>> {
+    fn pin(&self, block: BlockId) -> Result<PinnedFrame<'_>> {
         let (shard, frame, ptr) = self.acquire(block, AccessMode::Shared, true)?;
         Ok(PinnedFrame {
             pool: self,
@@ -537,9 +827,7 @@ impl BufferPool {
         })
     }
 
-    /// Pin `block` for exclusive read-write access, loading it from the
-    /// device if absent. The frame is marked dirty.
-    pub fn pin_mut(&self, block: BlockId) -> Result<PinnedFrameMut<'_>> {
+    fn pin_mut(&self, block: BlockId) -> Result<PinnedFrameMut<'_>> {
         let (shard, frame, ptr) = self.acquire(block, AccessMode::Exclusive, true)?;
         Ok(PinnedFrameMut {
             pool: self,
@@ -553,14 +841,7 @@ impl BufferPool {
         })
     }
 
-    /// Pin `block` for exclusive access *without* reading it from the
-    /// device, for blocks that were just allocated and will be fully
-    /// overwritten. The frame is dirty, so the eventual eviction/flush
-    /// writes it out — building a new array therefore costs exactly its
-    /// write I/O. Contents are zeroed when the block was not resident and
-    /// stale when it was: callers that do not overwrite every element must
-    /// `fill` first.
-    pub fn pin_new(&self, block: BlockId) -> Result<PinnedFrameMut<'_>> {
+    fn pin_new(&self, block: BlockId) -> Result<PinnedFrameMut<'_>> {
         let (shard, frame, ptr) = self.acquire(block, AccessMode::Exclusive, false)?;
         Ok(PinnedFrameMut {
             pool: self,
@@ -589,10 +870,14 @@ impl BufferPool {
             if let Some(&frame) = meta.map.get(&block) {
                 match meta.frames[frame].state {
                     FrameState::LoadInFlight => {
-                        // Single-flight: another thread is already reading
+                        // Single-flight: another thread — a sibling pin or
+                        // a background prefetch worker — is already reading
                         // this block; wait for it to publish instead of
-                        // issuing a second device read.
-                        if !coalesced {
+                        // issuing a second device read. Waits on a sibling
+                        // pin's load count as coalesced; waits on a
+                        // prefetch land as `prefetch_hits` when the
+                        // published frame is pinned below.
+                        if !coalesced && !meta.frames[frame].prefetched {
                             coalesced = true;
                             shard.coalesced_loads.fetch_add(1, Ordering::Relaxed);
                         }
@@ -644,6 +929,12 @@ impl BufferPool {
                     }
                     continue; // re-check: the frame may have moved or gone
                 }
+                if meta.frames[frame].prefetched {
+                    // First pin of a prefetched frame: the background load
+                    // paid this pin's device read.
+                    meta.frames[frame].prefetched = false;
+                    shard.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 shard.hits.fetch_add(1, Ordering::Relaxed);
                 match mode {
                     AccessMode::Shared => meta.frames[frame].readers += 1,
@@ -662,9 +953,9 @@ impl BufferPool {
             // lock (dirty-victim write-back), so afterwards the block may
             // have appeared via another thread — hand the frame back and
             // re-run the resident path in that case.
-            let (meta_back, frame) = self.obtain_frame(shard, meta);
+            let (meta_back, frame) = self.obtain_frame(shard, meta, true);
             meta = meta_back;
-            let frame = frame?;
+            let frame = frame?.expect("waiting obtain_frame yields a frame or errors");
             if meta.map.contains_key(&block) {
                 meta.free.push(frame);
                 shard.unpinned.notify_all();
@@ -682,6 +973,7 @@ impl BufferPool {
                     writer: false,
                     dirty: false,
                     state: FrameState::LoadInFlight,
+                    prefetched: false,
                 };
                 meta.map.insert(block, frame);
                 meta.in_flight += 1;
@@ -744,6 +1036,7 @@ impl BufferPool {
                 writer: mode == AccessMode::Exclusive,
                 dirty: true,
                 state: FrameState::Resident,
+                prefetched: false,
             };
             meta.map.insert(block, frame);
             meta.replacer.record_access(frame);
@@ -756,19 +1049,28 @@ impl BufferPool {
     /// Find a frame for a new page in `shard`: reuse a free one or evict a
     /// victim. A dirty victim's copy is written back with the shard lock
     /// dropped (state [`FrameState::Evicting`]), so pins of other blocks
-    /// never stall on the victim's I/O. When everything is pinned but
-    /// transfers are outstanding, waits for them (a failed load or a
-    /// finished eviction frees a frame) instead of erroring.
+    /// never stall on the victim's I/O.
+    ///
+    /// With `wait` set (the pin path), an apparently exhausted shard with
+    /// transfers outstanding waits for them (a failed load or a finished
+    /// eviction frees a frame) and the result is never `Ok(None)`. With
+    /// `wait` unset (the prefetch path), exhaustion returns `Ok(None)`
+    /// immediately — a prefetch is a hint, and hanging a background worker
+    /// on pool pressure would be worse than dropping the hint.
     fn obtain_frame<'a>(
         &self,
         shard: &'a Shard,
         mut meta: MutexGuard<'a, ShardMeta>,
-    ) -> (MutexGuard<'a, ShardMeta>, Result<FrameId>) {
+        wait_for_frame: bool,
+    ) -> (MutexGuard<'a, ShardMeta>, Result<Option<FrameId>>) {
         loop {
             if let Some(frame) = meta.free.pop() {
-                return (meta, Ok(frame));
+                return (meta, Ok(Some(frame)));
             }
             let Some(victim) = meta.replacer.victim() else {
+                if !wait_for_frame {
+                    return (meta, Ok(None));
+                }
                 if meta.in_flight > 0 {
                     meta = wait(shard, meta);
                     continue;
@@ -792,9 +1094,10 @@ impl BufferPool {
                 "victim must not be mid-I/O (in-flight frames are unevictable)"
             );
             if !meta.frames[victim].dirty {
+                shard.note_recycled(&mut meta.frames[victim]);
                 meta.map.remove(&old_block);
                 meta.frames[victim].block = None;
-                return (meta, Ok(victim));
+                return (meta, Ok(Some(victim)));
             }
 
             // Dirty-copy-then-write: snapshot under the lock, write with
@@ -829,13 +1132,14 @@ impl BufferPool {
                 }
                 Ok(()) => {
                     shard.evict_writebacks.fetch_add(1, Ordering::Relaxed);
+                    shard.note_recycled(&mut meta_back.frames[victim]);
                     meta_back.frames[victim].dirty = false;
                     meta_back.map.remove(&old_block);
                     meta_back.frames[victim].block = None;
                     // Wake waiters parked on the outgoing block (they
                     // re-run as misses) and frame seekers.
                     shard.unpinned.notify_all();
-                    return (meta_back, Ok(victim));
+                    return (meta_back, Ok(Some(victim)));
                 }
             }
         }
@@ -868,29 +1172,6 @@ impl BufferPool {
     fn pin_count(&self, shard_idx: usize, frame: FrameId) -> u32 {
         let meta = lock(&self.shards[shard_idx].meta);
         meta.frames[frame].readers + u32::from(meta.frames[frame].writer)
-    }
-
-    /// Pin for reading, run `f` over the page bytes, unpin.
-    ///
-    /// Compatibility wrapper over [`BufferPool::pin`] for byte-oriented
-    /// callers (tests, harnesses); kernels should pin and read the `f64`
-    /// slice directly.
-    pub fn read<R>(&self, block: BlockId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let page = self.pin(block)?;
-        Ok(f(page.as_bytes()))
-    }
-
-    /// Pin exclusively, run `f` over the page bytes (marking dirty), unpin.
-    pub fn write<R>(&self, block: BlockId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let mut page = self.pin_mut(block)?;
-        Ok(f(page.as_bytes_mut()))
-    }
-
-    /// Like [`BufferPool::write`] but for freshly allocated blocks: skips
-    /// the device read entirely.
-    pub fn write_new<R>(&self, block: BlockId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let mut page = self.pin_new(block)?;
-        Ok(f(page.as_bytes_mut()))
     }
 
     /// Write a dirty resident frame's snapshot to the device with the
@@ -949,7 +1230,7 @@ impl BufferPool {
     /// mark them dirty again anyway, and flushing mid-write would persist a
     /// torn page. Each write runs with the shard lock dropped, so pins of
     /// other blocks proceed while the flush streams out.
-    pub fn flush_all(&self) -> Result<()> {
+    fn flush_all(&self) -> Result<()> {
         for shard in self.shards.iter() {
             let mut meta = lock(&shard.meta);
             for frame in 0..meta.frames.len() {
@@ -967,7 +1248,7 @@ impl BufferPool {
 
     /// Flush one block if resident and dirty (and not exclusively pinned
     /// or already mid-write).
-    pub fn flush_block(&self, block: BlockId) -> Result<()> {
+    fn flush_block(&self, block: BlockId) -> Result<()> {
         let shard = self.shard_of(block);
         let meta = lock(&shard.meta);
         if let Some(&frame) = meta.map.get(&block) {
@@ -984,7 +1265,7 @@ impl BufferPool {
     ///
     /// Experiment harnesses call this between strategies so one run's
     /// residual cache cannot subsidize the next.
-    pub fn clear_cache(&self) -> Result<()> {
+    fn clear_cache(&self) -> Result<()> {
         self.flush_all()?;
         for shard in self.shards.iter() {
             let mut meta = lock(&shard.meta);
@@ -1014,6 +1295,7 @@ impl BufferPool {
                         continue;
                     }
                 }
+                shard.note_recycled(&mut meta.frames[frame]);
                 meta.map.remove(&block);
                 meta.frames[frame].block = None;
                 meta.replacer.remove(frame);
@@ -1024,6 +1306,162 @@ impl BufferPool {
         }
         Ok(())
     }
+
+    // ---- background prefetch ------------------------------------------
+
+    /// Enqueue prefetch hints (see [`BufferPool::prefetch`]). Blocks that
+    /// are resident, in flight, already queued, or past the queue bound
+    /// are skipped — each skip means "the pin will do the read", never a
+    /// duplicate read.
+    fn prefetch(&self, blocks: &[BlockId]) {
+        if self.prefetch_depth == 0 || blocks.is_empty() {
+            return;
+        }
+        let cap = 8 * self.prefetch_depth;
+        let mut queued_any = false;
+        for &block in blocks {
+            // Cheap residency probe outside the queue lock: a mapped block
+            // (resident or in flight) needs no background load.
+            if lock(&self.shard_of(block).meta).map.contains_key(&block) {
+                continue;
+            }
+            let mut q = lock_queue(&self.prefetch.queue);
+            if q.shutdown || q.enqueued.contains(&block.0) || q.pending.len() >= cap {
+                continue;
+            }
+            q.pending.push_back(block);
+            q.enqueued.insert(block.0);
+            queued_any = true;
+        }
+        if queued_any {
+            self.prefetch.work.notify_all();
+        }
+    }
+
+    /// See [`BufferPool::wait_prefetch_idle`].
+    fn wait_prefetch_idle(&self) {
+        if self.prefetch_depth == 0 {
+            return;
+        }
+        let mut q = lock_queue(&self.prefetch.queue);
+        while !q.shutdown && (!q.pending.is_empty() || q.busy > 0) {
+            q = self
+                .prefetch
+                .idle
+                .wait(q)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Body of one background prefetch worker: dequeue hints and load them
+    /// until shutdown.
+    fn prefetch_worker(&self) {
+        loop {
+            let block = {
+                let mut q = lock_queue(&self.prefetch.queue);
+                loop {
+                    if q.shutdown {
+                        self.prefetch.idle.notify_all();
+                        return;
+                    }
+                    if let Some(block) = q.pending.pop_front() {
+                        q.enqueued.remove(&block.0);
+                        q.busy += 1;
+                        break block;
+                    }
+                    q = self
+                        .prefetch
+                        .work
+                        .wait(q)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            self.prefetch_one(block);
+            let mut q = lock_queue(&self.prefetch.queue);
+            q.busy -= 1;
+            if q.pending.is_empty() && q.busy == 0 {
+                self.prefetch.idle.notify_all();
+            }
+        }
+    }
+
+    /// Load one prefetched block into a claimed frame, exactly like a miss
+    /// load but with no pin attached: the frame publishes `Resident`,
+    /// unpinned, evictable, and flagged `prefetched` so the first pin can
+    /// account the hit. Failures release the slot silently — the next pin
+    /// of the block simply retries on the device (the failure-containment
+    /// contract of the miss path, inherited wholesale).
+    fn prefetch_one(&self, block: BlockId) {
+        let shard = self.shard_of(block);
+        let mut meta = lock(&shard.meta);
+        if meta.map.contains_key(&block) {
+            return; // a pin (or sibling worker) got here first
+        }
+        // Never wait for a frame: under pool pressure a hint is worth
+        // less than the frames the compute path is actively using.
+        let (meta_back, frame) = self.obtain_frame(shard, meta, false);
+        meta = meta_back;
+        let Ok(Some(frame)) = frame else { return };
+        if meta.map.contains_key(&block) {
+            meta.free.push(frame);
+            drop(meta);
+            shard.unpinned.notify_all();
+            return;
+        }
+        shard.prefetch_issued.fetch_add(1, Ordering::Relaxed);
+        meta.frames[frame] = FrameMeta {
+            block: Some(block),
+            readers: 0,
+            writer: false,
+            dirty: false,
+            state: FrameState::LoadInFlight,
+            prefetched: true,
+        };
+        meta.map.insert(block, frame);
+        meta.in_flight += 1;
+        self.in_flight.begin_load();
+        drop(meta);
+
+        // SAFETY: the frame is claimed by the LoadInFlight state: it is
+        // not free, not evictable, and every pin of its block waits, so
+        // this worker has sole access to the buffer.
+        let bytes = unsafe {
+            std::slice::from_raw_parts_mut(shard.bufs[frame].ptr().cast::<u8>(), self.block_size)
+        };
+        let res = self.device.read_block(block, bytes);
+
+        let mut meta = lock(&shard.meta);
+        meta.in_flight -= 1;
+        self.in_flight.end_load();
+        match res {
+            Err(_) => {
+                // Release the slot: no leaked frame, no stale mapping, no
+                // poisoning. Pins waiting on this entry wake, see the
+                // block absent, and load it themselves.
+                meta.map.remove(&block);
+                meta.frames[frame].block = None;
+                meta.frames[frame].state = FrameState::Resident;
+                meta.frames[frame].prefetched = false;
+                meta.free.push(frame);
+            }
+            Ok(()) => {
+                meta.frames[frame].state = FrameState::Resident;
+                // Unpinned and evictable from birth: an unused prefetch
+                // must never outrank the compute path's frames.
+                meta.replacer.record_access(frame);
+                meta.replacer.set_evictable(frame, true);
+            }
+        }
+        drop(meta);
+        shard.unpinned.notify_all();
+    }
+}
+
+/// Lock the prefetch queue, recovering from poisoning like [`lock`].
+fn lock_queue(queue: &Mutex<PrefetchQueue>) -> MutexGuard<'_, PrefetchQueue> {
+    queue
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -1035,7 +1473,7 @@ enum AccessMode {
 /// RAII shared pin on a block: dereferences to the page's `&[f64]`.
 /// Dropping the guard unpins.
 pub struct PinnedFrame<'p> {
-    pool: &'p BufferPool,
+    pool: &'p PoolCore,
     shard: usize,
     frame: FrameId,
     block: BlockId,
@@ -1105,7 +1543,7 @@ impl Drop for PinnedFrame<'_> {
 /// RAII exclusive pin on a block: dereferences to the page's `&mut [f64]`.
 /// The frame is dirty for the guard's lifetime; dropping unpins.
 pub struct PinnedFrameMut<'p> {
-    pool: &'p BufferPool,
+    pool: &'p PoolCore,
     shard: usize,
     frame: FrameId,
     block: BlockId,
@@ -1190,6 +1628,7 @@ mod tests {
             PoolConfig {
                 frames,
                 replacer: ReplacerKind::Lru,
+                ..PoolConfig::default()
             },
         )
     }
@@ -1342,6 +1781,7 @@ mod tests {
                 PoolConfig {
                     frames: 4,
                     replacer: kind,
+                    ..PoolConfig::default()
                 },
             );
             let b = p.allocate_blocks(5).unwrap();
@@ -1483,6 +1923,7 @@ mod tests {
             PoolConfig {
                 frames: 2,
                 replacer: ReplacerKind::Lru,
+                ..PoolConfig::default()
             },
         );
         let b = p.allocate_blocks(3).unwrap();
@@ -1529,6 +1970,7 @@ mod tests {
             PoolConfig {
                 frames: 8,
                 replacer: ReplacerKind::Lru,
+                ..PoolConfig::default()
             },
             4,
         );
@@ -1557,6 +1999,7 @@ mod tests {
             PoolConfig {
                 frames: 2,
                 replacer: ReplacerKind::Lru,
+                ..PoolConfig::default()
             },
             16,
         );
@@ -1570,6 +2013,7 @@ mod tests {
             PoolConfig {
                 frames: 8,
                 replacer: ReplacerKind::Lru,
+                ..PoolConfig::default()
             },
             4,
         );
@@ -1591,6 +2035,231 @@ mod tests {
         });
     }
 
+    /// A pool with `depth` prefetch workers over a plain memory device.
+    fn prefetch_pool(frames: usize, depth: usize) -> BufferPool {
+        BufferPool::new(
+            Box::new(MemBlockDevice::new(64)),
+            PoolConfig {
+                frames,
+                replacer: ReplacerKind::Lru,
+                prefetch_depth: depth,
+            },
+        )
+    }
+
+    #[test]
+    fn prefetch_auto_sizes_from_device_capability() {
+        let p = BufferPool::new(
+            Box::new(MemBlockDevice::new(64)),
+            PoolConfig {
+                frames: 4,
+                replacer: ReplacerKind::Lru,
+                prefetch_depth: PREFETCH_AUTO,
+            },
+        );
+        // MemBlockDevice advertises concurrent I/O -> 8 workers.
+        assert_eq!(p.prefetch_depth(), 8);
+        assert_eq!(pool(4).prefetch_depth(), 0, "default stays disabled");
+    }
+
+    #[test]
+    fn prefetched_blocks_load_in_background_and_pins_hit() {
+        let p = prefetch_pool(8, 2);
+        let b = p.allocate_blocks(4).unwrap();
+        for i in 0..4 {
+            p.write_new(b.offset(i), |d| d[0] = 10 + i as u8).unwrap();
+        }
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        let io0 = p.io_stats().snapshot();
+        let s0 = p.pool_stats();
+
+        let blocks: Vec<BlockId> = (0..4).map(|i| b.offset(i)).collect();
+        p.prefetch(&blocks);
+        p.wait_prefetch_idle();
+        // All four loaded by the workers, none by a pin.
+        assert_eq!((p.io_stats().snapshot() - io0).reads, 4);
+        assert_eq!(p.resident(), 4);
+        let s = p.pool_stats();
+        assert_eq!(s.prefetch_issued - s0.prefetch_issued, 4);
+        assert_eq!(s.misses, s0.misses, "no pin missed");
+
+        for i in 0..4 {
+            assert_eq!(p.read(b.offset(i), |d| d[0]).unwrap(), 10 + i as u8);
+        }
+        let s = p.pool_stats();
+        assert_eq!(s.prefetch_hits - s0.prefetch_hits, 4);
+        assert_eq!(s.hits - s0.hits, 4, "every pin was a cache hit");
+        assert_eq!(s.misses, s0.misses);
+        assert_eq!(s.prefetch_wasted, s0.prefetch_wasted);
+        // Re-pinning counts plain hits only: one prefetch, one prefetch_hit.
+        p.read(b, |_| ()).unwrap();
+        assert_eq!(p.pool_stats().prefetch_hits - s0.prefetch_hits, 4);
+        // Exactly the no-prefetch read count: 4 blocks, 4 reads.
+        assert_eq!((p.io_stats().snapshot() - io0).reads, 4);
+    }
+
+    #[test]
+    fn prefetch_skips_resident_and_duplicate_blocks() {
+        let p = prefetch_pool(8, 2);
+        let b = p.allocate_blocks(2).unwrap();
+        p.write_new(b, |d| d[0] = 1).unwrap();
+        p.write_new(b.offset(1), |d| d[0] = 2).unwrap();
+        p.flush_all().unwrap();
+        // Block 0 stays resident; block 1 is dropped.
+        p.free_blocks(b.offset(1), 1).unwrap();
+        let b1 = p.allocate_blocks(1).unwrap();
+        p.write_new(b1, |d| d[0] = 3).unwrap();
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        p.read(b, |_| ()).unwrap(); // block 0 resident again
+        let io0 = p.io_stats().snapshot();
+
+        // Resident block: skipped. Absent block prefetched twice: one read.
+        p.prefetch(&[b, b1, b1]);
+        p.prefetch(&[b1]);
+        p.wait_prefetch_idle();
+        let s = p.pool_stats();
+        assert_eq!((p.io_stats().snapshot() - io0).reads, 1);
+        assert_eq!(s.prefetch_issued, 1);
+    }
+
+    #[test]
+    fn prefetch_disabled_is_a_free_no_op() {
+        let p = pool(4);
+        let b = p.allocate_blocks(2).unwrap();
+        p.write_new(b, |_| ()).unwrap();
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        p.prefetch(&[b, b.offset(1)]);
+        p.wait_prefetch_idle();
+        assert_eq!(p.resident(), 0);
+        assert_eq!(p.io_stats().snapshot().reads, 0);
+        assert_eq!(p.pool_stats().prefetch_issued, 0);
+    }
+
+    #[test]
+    fn unused_prefetches_count_wasted_when_recycled() {
+        let p = prefetch_pool(2, 1);
+        let b = p.allocate_blocks(4).unwrap();
+        for i in 0..4 {
+            p.write_new(b.offset(i), |d| d[0] = i as u8).unwrap();
+        }
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+
+        p.prefetch(&[b, b.offset(1)]);
+        p.wait_prefetch_idle();
+        assert_eq!(p.pool_stats().prefetch_issued, 2);
+        // Pin two other blocks: both prefetched frames are evicted unused.
+        p.read(b.offset(2), |_| ()).unwrap();
+        p.read(b.offset(3), |_| ()).unwrap();
+        let s = p.pool_stats();
+        assert_eq!(s.prefetch_wasted, 2);
+        assert_eq!(s.prefetch_hits, 0);
+        // And clear_cache on a fresh prefetch counts waste too.
+        p.clear_cache().unwrap();
+        p.prefetch(&[b]);
+        p.wait_prefetch_idle();
+        p.clear_cache().unwrap();
+        assert_eq!(p.pool_stats().prefetch_wasted, 3);
+    }
+
+    #[test]
+    fn prefetch_never_waits_on_an_exhausted_shard() {
+        let p = prefetch_pool(2, 1);
+        let b = p.allocate_blocks(3).unwrap();
+        for i in 0..3 {
+            p.write_new(b.offset(i), |d| d[0] = i as u8).unwrap();
+        }
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        // Pin both frames; the hint for a third block must be dropped, not
+        // hang the worker (wait_prefetch_idle would deadlock then).
+        let _g1 = p.pin(b).unwrap();
+        let _g2 = p.pin(b.offset(1)).unwrap();
+        p.prefetch(&[b.offset(2)]);
+        p.wait_prefetch_idle();
+        assert_eq!(p.pool_stats().prefetch_issued, 0);
+        // The dropped hint costs nothing: the pin performs the read.
+        drop(_g1);
+        assert_eq!(p.read(b.offset(2), |d| d[0]).unwrap(), 2);
+    }
+
+    #[test]
+    fn pin_of_in_flight_prefetch_waits_single_flight() {
+        let dev = FailpointDevice::new(Box::new(MemBlockDevice::new(64)));
+        let fp = dev.handle();
+        let p = BufferPool::new(
+            Box::new(dev),
+            PoolConfig {
+                frames: 4,
+                replacer: ReplacerKind::Lru,
+                prefetch_depth: 1,
+            },
+        );
+        let b = p.allocate_blocks(1).unwrap();
+        p.write_new(b, |d| d[0] = 9).unwrap();
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        let io0 = p.io_stats().snapshot();
+
+        // A slow background load; wait until the claim is visible, then
+        // pin mid-flight: the pin must wait on the existing load, not
+        // issue a second read.
+        fp.set_read_latency(std::time::Duration::from_millis(80));
+        p.prefetch(&[b]);
+        while p.resident() == 0 {
+            std::thread::yield_now();
+        }
+        let g = p.pin(b).unwrap();
+        assert_eq!(g.as_bytes()[0], 9);
+        drop(g);
+        let s = p.pool_stats();
+        assert_eq!((p.io_stats().snapshot() - io0).reads, 1, "single-flight");
+        assert_eq!(s.prefetch_issued, 1);
+        assert_eq!(s.prefetch_hits, 1);
+        assert_eq!(
+            s.coalesced_loads, 0,
+            "prefetch waits are not coalesced pins"
+        );
+        assert_eq!(s.misses, 1, "only the setup write_new missed");
+    }
+
+    #[test]
+    fn failed_prefetch_load_releases_slot_and_pin_retries() {
+        let dev = FailpointDevice::new(Box::new(MemBlockDevice::new(64)));
+        let fp = dev.handle();
+        let p = BufferPool::new(
+            Box::new(dev),
+            PoolConfig {
+                frames: 2,
+                replacer: ReplacerKind::Lru,
+                prefetch_depth: 1,
+            },
+        );
+        let b = p.allocate_blocks(1).unwrap();
+        p.write_new(b, |d| d[0] = 7).unwrap();
+        p.flush_all().unwrap();
+        p.clear_cache().unwrap();
+        let io0 = p.io_stats().snapshot();
+
+        fp.fail_reads(b, 1);
+        p.prefetch(&[b]);
+        p.wait_prefetch_idle();
+        // The failed load released its claim: nothing resident, nothing
+        // counted on the device, nothing poisoned.
+        assert_eq!(p.resident(), 0);
+        assert_eq!((p.io_stats().snapshot() - io0).reads, 0);
+        assert_eq!(fp.injected_read_errors(), 1);
+        // The next pin simply retries on the device and succeeds.
+        assert_eq!(p.read(b, |d| d[0]).unwrap(), 7);
+        assert_eq!((p.io_stats().snapshot() - io0).reads, 1);
+        let s = p.pool_stats();
+        assert_eq!(s.prefetch_issued, 1);
+        assert_eq!((s.prefetch_hits, s.prefetch_wasted), (0, 0));
+    }
+
     #[test]
     fn exclusive_pins_serialize_writers() {
         let p = BufferPool::new_sharded(
@@ -1598,6 +2267,7 @@ mod tests {
             PoolConfig {
                 frames: 4,
                 replacer: ReplacerKind::Lru,
+                ..PoolConfig::default()
             },
             2,
         );

@@ -12,6 +12,7 @@ fn sharded(frames: usize, shards: usize) -> BufferPool {
         PoolConfig {
             frames,
             replacer: ReplacerKind::Lru,
+            ..PoolConfig::default()
         },
         shards,
     )

@@ -14,6 +14,7 @@ fn failpoint_pool(frames: usize) -> (BufferPool, FailpointHandle) {
         PoolConfig {
             frames,
             replacer: ReplacerKind::Lru,
+            ..PoolConfig::default()
         },
     );
     (pool, fp)
@@ -192,5 +193,118 @@ fn stats_stay_exact_through_mixed_failures() {
     let io = pool.io_stats().snapshot();
     assert_eq!(io.reads, 2);
     assert_eq!(io.writes, 2);
+    assert_eq!(fp.injected_read_errors(), 1);
+}
+
+/// A pool with background prefetch workers over the failpoint device.
+fn prefetching_failpoint_pool(frames: usize, depth: usize) -> (BufferPool, FailpointHandle) {
+    let dev = FailpointDevice::new(Box::new(MemBlockDevice::new(64)));
+    let fp = dev.handle();
+    let pool = BufferPool::new(
+        Box::new(dev),
+        PoolConfig {
+            frames,
+            replacer: ReplacerKind::Lru,
+            prefetch_depth: depth,
+        },
+    );
+    (pool, fp)
+}
+
+/// Prefetch failure containment: a failed background load releases its
+/// claimed slot (no leaked frame, no stale mapping), poisons nothing, and
+/// the next pin of the block simply retries on the device.
+#[test]
+fn failed_prefetch_releases_slot_and_next_pin_retries() {
+    let (pool, fp) = prefetching_failpoint_pool(2, 1);
+    let b = pool.allocate_blocks(2).unwrap();
+    pool.write_new(b, |d| d[0] = 42).unwrap();
+    pool.write_new(b.offset(1), |d| d[0] = 43).unwrap();
+    pool.flush_all().unwrap();
+    pool.clear_cache().unwrap();
+    let io0 = pool.io_stats().snapshot();
+
+    fp.fail_reads(b, 1);
+    pool.prefetch(&[b]);
+    pool.wait_prefetch_idle();
+
+    // Slot released: nothing resident, nothing counted on the device (the
+    // injection fired before the inner device ran), nothing poisoned —
+    // and critically, no pin anywhere observed an error.
+    assert_eq!(pool.resident(), 0);
+    let io = pool.io_stats().snapshot() - io0;
+    assert_eq!((io.reads, io.writes), (0, 0));
+    assert_eq!(fp.injected_read_errors(), 1);
+    let s = pool.pool_stats();
+    assert_eq!(s.prefetch_issued, 1, "the failed load was still issued");
+    assert_eq!((s.prefetch_hits, s.prefetch_wasted), (0, 0));
+
+    // The next pin retries on the device and succeeds; both frames remain
+    // claimable (the failed claim leaked nothing).
+    assert_eq!(pool.read(b, |d| d[0]).unwrap(), 42);
+    assert_eq!(pool.read(b.offset(1), |d| d[0]).unwrap(), 43);
+    assert_eq!((pool.io_stats().snapshot() - io0).reads, 2);
+    assert_eq!(pool.resident(), 2);
+}
+
+/// A torn background read (short transfer mid-"DMA") must never publish
+/// the partially filled frame: the slot releases and a later pin reloads
+/// the full block.
+#[test]
+fn torn_prefetch_read_is_not_published() {
+    let (pool, fp) = prefetching_failpoint_pool(2, 1);
+    let b = pool.allocate_blocks(1).unwrap();
+    pool.write_new(b, |d| {
+        for (i, x) in d.iter_mut().enumerate() {
+            *x = 100 + i as u8;
+        }
+    })
+    .unwrap();
+    pool.flush_all().unwrap();
+    pool.clear_cache().unwrap();
+
+    fp.cap_read_transfer(Some(8));
+    pool.prefetch(&[b]);
+    pool.wait_prefetch_idle();
+    assert_eq!(pool.resident(), 0, "torn frame not published");
+
+    fp.cap_read_transfer(None);
+    pool.read(b, |d| {
+        for (i, &x) in d.iter().enumerate() {
+            assert_eq!(x, 100 + i as u8, "full block reloaded");
+        }
+    })
+    .unwrap();
+}
+
+/// Mixed batch: one poisoned hint among healthy ones affects only its own
+/// block — the healthy prefetches land and hit, the failed one retries on
+/// demand, and every counter stays exact.
+#[test]
+fn mixed_prefetch_failures_contain_to_their_block() {
+    let (pool, fp) = prefetching_failpoint_pool(4, 2);
+    let b = pool.allocate_blocks(3).unwrap();
+    for i in 0..3 {
+        pool.write_new(b.offset(i), |d| d[0] = 10 + i as u8)
+            .unwrap();
+    }
+    pool.flush_all().unwrap();
+    pool.clear_cache().unwrap();
+    let io0 = pool.io_stats().snapshot();
+
+    fp.fail_reads(b.offset(1), 1);
+    pool.prefetch(&[b, b.offset(1), b.offset(2)]);
+    pool.wait_prefetch_idle();
+    assert_eq!(pool.resident(), 2, "the two healthy prefetches landed");
+
+    for i in 0..3 {
+        assert_eq!(pool.read(b.offset(i), |d| d[0]).unwrap(), 10 + i as u8);
+    }
+    let s = pool.pool_stats();
+    assert_eq!(s.prefetch_issued, 3);
+    assert_eq!(s.prefetch_hits, 2);
+    assert_eq!(s.prefetch_wasted, 0);
+    // 3 blocks, 3 successful reads total: 2 background + 1 demand retry.
+    assert_eq!((pool.io_stats().snapshot() - io0).reads, 3);
     assert_eq!(fp.injected_read_errors(), 1);
 }

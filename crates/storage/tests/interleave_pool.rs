@@ -23,6 +23,7 @@ fn failpoint_pool(frames: usize, shards: usize) -> (Arc<BufferPool>, FailpointHa
         PoolConfig {
             frames,
             replacer: ReplacerKind::Lru,
+            ..PoolConfig::default()
         },
         shards,
     );

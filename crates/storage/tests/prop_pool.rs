@@ -58,6 +58,7 @@ fn run_ops(ops: &[Op], frames: usize, shards: usize) -> (HashMap<u64, f64>, Pool
         PoolConfig {
             frames,
             replacer: ReplacerKind::Lru,
+            ..PoolConfig::default()
         },
         shards,
     );
@@ -200,7 +201,7 @@ proptest! {
         // force steady eviction churn.
         let pool = Arc::new(BufferPool::new_sharded(
             Box::new(MemBlockDevice::new(BS)),
-            PoolConfig { frames: 16, replacer: ReplacerKind::Lru },
+            PoolConfig { frames: 16, replacer: ReplacerKind::Lru, ..PoolConfig::default() },
             shards,
         ));
         let base = pool.allocate_blocks(THREADS * BLOCKS_PER_THREAD).unwrap();

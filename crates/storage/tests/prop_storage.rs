@@ -53,7 +53,7 @@ proptest! {
     ) {
         let pool = BufferPool::new(
             Box::new(MemBlockDevice::new(BS)),
-            PoolConfig { frames, replacer: kind },
+            PoolConfig { frames, replacer: kind, ..PoolConfig::default() },
         );
         let start = pool.allocate_blocks(nblocks).unwrap();
         let mut model: HashMap<u64, u8> = HashMap::new();
@@ -94,7 +94,7 @@ proptest! {
     ) {
         let pool = BufferPool::new(
             Box::new(MemBlockDevice::new(BS)),
-            PoolConfig { frames, replacer: ReplacerKind::Lru },
+            PoolConfig { frames, replacer: ReplacerKind::Lru, ..PoolConfig::default() },
         );
         let start = pool.allocate_blocks(16).unwrap();
         for &a in &accesses {
@@ -114,7 +114,7 @@ proptest! {
     ) {
         let pool = BufferPool::new(
             Box::new(MemBlockDevice::new(BS)),
-            PoolConfig { frames, replacer: ReplacerKind::Lru },
+            PoolConfig { frames, replacer: ReplacerKind::Lru, ..PoolConfig::default() },
         );
         let start = pool.allocate_blocks(pressure + 2).unwrap();
         let mut sentinel = pool.pin_new(start).unwrap();
@@ -135,7 +135,7 @@ proptest! {
         let device = MemBlockDevice::new(BS);
         let nblocks = 12u64;
         let pool = BufferPool::new(Box::new(device), PoolConfig {
-            frames, replacer: ReplacerKind::Clock,
+            frames, replacer: ReplacerKind::Clock, ..PoolConfig::default()
         });
         let start = pool.allocate_blocks(nblocks).unwrap();
         let mut model: HashMap<u64, u8> = HashMap::new();

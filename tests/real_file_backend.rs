@@ -13,6 +13,7 @@ fn file_ctx(frames: usize) -> std::sync::Arc<StorageCtx> {
         PoolConfig {
             frames,
             replacer: ReplacerKind::Lru,
+            ..PoolConfig::default()
         },
     ))
 }
