@@ -8,18 +8,33 @@
 //! The context is `Send + Sync`: the pool is internally sharded and the
 //! catalog sits behind a mutex, so parallel kernels share one
 //! `Arc<StorageCtx>` across worker threads.
+//!
+//! ## Durable mode
+//!
+//! A context built with [`StorageCtx::new_durable`] (or recovered with
+//! [`StorageCtx::open`]) additionally owns a
+//! [`riot_storage::CatalogStore`]: every catalog mutation
+//! is committed to the device via shadow paging before the mutating call
+//! returns, so after a crash at any write boundary
+//! [`StorageCtx::open`] recovers a fully-old or fully-new catalog.
+//! Object *contents* become durable at [`StorageCtx::commit`] (flush +
+//! sync + catalog commit) — metadata consistency is continuous, data
+//! durability is checkpointed. Non-durable contexts skip all of this and
+//! are bit-for-bit I/O-neutral with pre-durability builds.
 
 use std::sync::{Arc, Mutex};
 
 use riot_storage::{
-    BufferPool, Catalog, Extent, IoSnapshot, IoStats, MemBlockDevice, ObjectHeader, ObjectId,
-    PoolConfig, ReplacerKind, Result,
+    BufferPool, Catalog, CatalogStore, Extent, IoSnapshot, IoStats, MemBlockDevice, ObjectHeader,
+    ObjectId, PoolConfig, ReplacerKind, Result,
 };
 
 /// A buffer pool plus an object catalog, shared by every array.
 pub struct StorageCtx {
     pool: BufferPool,
     catalog: Mutex<Catalog>,
+    /// `Some` in durable mode. Lock order: `catalog` before `store`.
+    store: Option<Mutex<CatalogStore>>,
 }
 
 impl StorageCtx {
@@ -69,6 +84,7 @@ impl StorageCtx {
         Arc::new(StorageCtx {
             pool: BufferPool::new_sharded(Box::new(device), config, shards),
             catalog: Mutex::new(Catalog::new()),
+            store: None,
         })
     }
 
@@ -77,7 +93,65 @@ impl StorageCtx {
         Arc::new(StorageCtx {
             pool,
             catalog: Mutex::new(Catalog::new()),
+            store: None,
         })
+    }
+
+    /// **Durable** context over an empty device: formats a
+    /// [`CatalogStore`] (superblocks at blocks 0–1) and commits every
+    /// catalog mutation from here on. Reopen after a crash or clean
+    /// shutdown with [`StorageCtx::open`] over the same device.
+    pub fn new_durable(pool: BufferPool) -> Result<Arc<Self>> {
+        let store = CatalogStore::format(pool.device())?;
+        Ok(Arc::new(StorageCtx {
+            pool,
+            catalog: Mutex::new(Catalog::new()),
+            store: Some(Mutex::new(store)),
+        }))
+    }
+
+    /// Recover a durable context from a formatted device, yielding the
+    /// last successfully committed catalog (fully-old or fully-new across
+    /// any crash boundary — see [`CatalogStore::open`]).
+    pub fn open(pool: BufferPool) -> Result<Arc<Self>> {
+        let (store, catalog) = CatalogStore::open(pool.device())?;
+        Ok(Arc::new(StorageCtx {
+            pool,
+            catalog: Mutex::new(catalog),
+            store: Some(Mutex::new(store)),
+        }))
+    }
+
+    /// Whether catalog mutations are being durably committed.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Committed catalog version (durable contexts only; monotonic).
+    pub fn catalog_version(&self) -> Option<u64> {
+        self.store.as_ref().map(|s| s.lock().unwrap().version())
+    }
+
+    /// Checkpoint everything: flush dirty pages (ends in a device sync
+    /// barrier), then durably commit the catalog. After this returns, a
+    /// crash loses nothing. No-op beyond the flush on non-durable
+    /// contexts.
+    pub fn commit(&self) -> Result<()> {
+        // Data first, then metadata — the snapshot must never be the only
+        // durable reference to contents still sitting dirty in the pool.
+        self.pool.flush_all()?;
+        let cat = self.catalog.lock().unwrap();
+        self.commit_locked(&cat)
+    }
+
+    /// Commit the (caller-locked) catalog if this context is durable.
+    /// On error the device keeps the previous committed catalog; memory
+    /// is ahead of disk until a later commit succeeds.
+    fn commit_locked(&self, cat: &Catalog) -> Result<()> {
+        match &self.store {
+            Some(store) => store.lock().unwrap().commit(self.pool.device(), cat),
+            None => Ok(()),
+        }
     }
 
     /// The underlying buffer pool.
@@ -97,27 +171,30 @@ impl StorageCtx {
 
     /// Allocate a new object of `blocks` blocks.
     pub fn create_object(&self, blocks: u64, name: Option<&str>) -> Result<(ObjectId, Extent)> {
-        self.catalog
-            .lock()
-            .unwrap()
-            .create(&self.pool, blocks, name)
+        let mut cat = self.catalog.lock().unwrap();
+        let r = cat.create(&self.pool, blocks, name)?;
+        self.commit_locked(&cat)?;
+        Ok(r)
     }
 
     /// Allocate a **growable** object of `blocks` initial blocks; grow it
     /// later with [`StorageCtx::extend_object`]. Used for spill runs whose
     /// final size is only known after a producing pass.
     pub fn alloc_growable(&self, blocks: u64, name: Option<&str>) -> Result<(ObjectId, Extent)> {
-        self.catalog
-            .lock()
-            .unwrap()
-            .alloc_growable(&self.pool, blocks, name)
+        let mut cat = self.catalog.lock().unwrap();
+        let r = cat.alloc_growable(&self.pool, blocks, name)?;
+        self.commit_locked(&cat)?;
+        Ok(r)
     }
 
     /// Grow object `id` by a fresh contiguous run of `blocks` blocks,
     /// returning the new segment (not necessarily adjacent to the old
     /// ones — the object's address space is its segment concatenation).
     pub fn extend_object(&self, id: ObjectId, blocks: u64) -> Result<Extent> {
-        self.catalog.lock().unwrap().extend(&self.pool, id, blocks)
+        let mut cat = self.catalog.lock().unwrap();
+        let r = cat.extend(&self.pool, id, blocks)?;
+        self.commit_locked(&cat)?;
+        Ok(r)
     }
 
     /// All extents of object `id`, in allocation order.
@@ -134,7 +211,9 @@ impl StorageCtx {
     /// catalog-level object header a later session resolves a name into a
     /// typed handle through.
     pub fn set_object_header(&self, id: ObjectId, header: ObjectHeader) -> Result<()> {
-        self.catalog.lock().unwrap().set_header(id, header)
+        let mut cat = self.catalog.lock().unwrap();
+        cat.set_header(id, header)?;
+        self.commit_locked(&cat)
     }
 
     /// Reopen metadata of `id`, if its creator registered any.
@@ -147,9 +226,21 @@ impl StorageCtx {
         self.catalog.lock().unwrap().find_by_name(name)
     }
 
-    /// Drop an object, releasing all of its blocks.
+    /// Drop an object, releasing all of its blocks. In durable mode the
+    /// catalog is committed *without* the object before its blocks are
+    /// freed, so a crash mid-drop can only leak blocks — the committed
+    /// catalog never references freed ones.
     pub fn drop_object(&self, id: ObjectId) -> Result<()> {
-        self.catalog.lock().unwrap().drop_object(&self.pool, id)
+        let mut cat = self.catalog.lock().unwrap();
+        if self.store.is_none() {
+            return cat.drop_object(&self.pool, id);
+        }
+        let segs = cat.forget_object(id)?;
+        self.commit_locked(&cat)?;
+        for seg in &segs {
+            self.pool.free_blocks(seg.start, seg.blocks)?;
+        }
+        Ok(())
     }
 
     /// Blocks held by live objects.

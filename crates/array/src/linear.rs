@@ -23,6 +23,31 @@ pub enum TileOrder {
     Hilbert,
 }
 
+impl TileOrder {
+    /// Stable encoding for catalog object headers (packed alongside
+    /// [`MatrixLayout::code`](crate::matrix::MatrixLayout::code) into the
+    /// header's layout byte).
+    pub fn code(self) -> u8 {
+        match self {
+            TileOrder::RowMajor => 0,
+            TileOrder::ColMajor => 1,
+            TileOrder::ZOrder => 2,
+            TileOrder::Hilbert => 3,
+        }
+    }
+
+    /// Decode a [`TileOrder::code`] value.
+    pub fn from_code(code: u8) -> Option<TileOrder> {
+        match code {
+            0 => Some(TileOrder::RowMajor),
+            1 => Some(TileOrder::ColMajor),
+            2 => Some(TileOrder::ZOrder),
+            3 => Some(TileOrder::Hilbert),
+            _ => None,
+        }
+    }
+}
+
 /// Interleave the low 32 bits of `x` and `y` (x in even positions).
 fn morton(x: u64, y: u64) -> u64 {
     fn spread(mut v: u64) -> u64 {

@@ -15,10 +15,18 @@
 
 use std::sync::Arc;
 
-use riot_storage::{BlockId, ObjectId, PinnedFrame, PinnedFrameMut, Result};
+use riot_storage::{
+    BlockId, ObjectHeader, ObjectId, ObjectKind, PinnedFrame, PinnedFrameMut, Result, StorageError,
+};
 
 use crate::context::StorageCtx;
 use crate::linear::{Linearizer, TileOrder};
+
+/// Pack a matrix layout and tile order into an object header's layout
+/// byte (layout in the low nibble, order in the high one).
+pub(crate) fn pack_layout(layout: MatrixLayout, order: TileOrder) -> u8 {
+    layout.code() | (order.code() << 4)
+}
 
 /// Tile aspect ratio for a matrix whose block holds `epb` elements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -107,6 +115,62 @@ impl DenseMatrix {
         let tr = rows.div_ceil(tile_r) as u64;
         let tc = cols.div_ceil(tile_c) as u64;
         let (object, extent) = ctx.create_object(tr * tc, name)?;
+        ctx.set_object_header(
+            object,
+            ObjectHeader {
+                kind: ObjectKind::DenseMatrix,
+                rows: rows as u64,
+                cols: cols as u64,
+                layout: pack_layout(layout, order),
+                nnz: (rows * cols) as u64,
+            },
+        )?;
+        Ok(DenseMatrix {
+            ctx: Arc::clone(ctx),
+            object,
+            start_block: extent.start.0,
+            rows,
+            cols,
+            tile_r,
+            tile_c,
+            layout,
+            lin: Arc::new(Linearizer::new(order, tr, tc)),
+        })
+    }
+
+    /// Reopen a named matrix from its catalog header (the dense analogue
+    /// of `SparseMatrix::open`): resolves the name, checks the kind, and
+    /// rebuilds the tiling from the recorded dimensions and layout byte.
+    pub fn open(ctx: &Arc<StorageCtx>, name: &str) -> Result<Self> {
+        let cannot = |reason: &'static str| StorageError::CannotReopen {
+            name: name.to_owned(),
+            reason,
+        };
+        let object = ctx
+            .find_object(name)
+            .ok_or_else(|| cannot("no such object"))?;
+        let header = ctx
+            .object_header(object)?
+            .ok_or_else(|| cannot("object has no header"))?;
+        if header.kind != ObjectKind::DenseMatrix {
+            return Err(cannot("object is not a dense matrix"));
+        }
+        let layout = MatrixLayout::from_code(header.layout & 0x0F)
+            .ok_or_else(|| cannot("bad layout code"))?;
+        let order = TileOrder::from_code(header.layout >> 4)
+            .ok_or_else(|| cannot("bad tile-order code"))?;
+        let (rows, cols) = (header.rows as usize, header.cols as usize);
+        if rows == 0 || cols == 0 || header.nnz != (rows * cols) as u64 {
+            return Err(cannot("bad dense dimensions"));
+        }
+        let epb = ctx.elems_per_block();
+        let (tile_r, tile_c) = layout.tile_dims(epb);
+        let tr = rows.div_ceil(tile_r) as u64;
+        let tc = cols.div_ceil(tile_c) as u64;
+        let extent = ctx.object_extent(object)?;
+        if extent.blocks != tr * tc {
+            return Err(cannot("extent disagrees with the tiling"));
+        }
         Ok(DenseMatrix {
             ctx: Arc::clone(ctx),
             object,

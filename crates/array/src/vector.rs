@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use riot_storage::{ObjectId, Result};
+use riot_storage::{ObjectHeader, ObjectId, ObjectKind, Result, StorageError};
 
 use crate::context::StorageCtx;
 
@@ -54,6 +54,55 @@ impl DenseVector {
         let per_block = epb / slot_elems;
         let blocks = len.div_ceil(per_block).max(1) as u64;
         let (object, extent) = ctx.create_object(blocks, name)?;
+        // Header: rows = length, cols = 1; the layout byte records the
+        // slot width so a wide (I, V) vector reopens as one.
+        ctx.set_object_header(
+            object,
+            ObjectHeader {
+                kind: ObjectKind::DenseVector,
+                rows: len as u64,
+                cols: 1,
+                layout: slot_elems as u8,
+                nnz: len as u64,
+            },
+        )?;
+        Ok(DenseVector {
+            ctx: Arc::clone(ctx),
+            object,
+            start_block: extent.start.0,
+            len,
+            slot_elems,
+        })
+    }
+
+    /// Reopen a named vector from its catalog header (the vector analogue
+    /// of `SparseMatrix::open`).
+    pub fn open(ctx: &Arc<StorageCtx>, name: &str) -> Result<Self> {
+        let cannot = |reason: &'static str| StorageError::CannotReopen {
+            name: name.to_owned(),
+            reason,
+        };
+        let object = ctx
+            .find_object(name)
+            .ok_or_else(|| cannot("no such object"))?;
+        let header = ctx
+            .object_header(object)?
+            .ok_or_else(|| cannot("object has no header"))?;
+        if header.kind != ObjectKind::DenseVector {
+            return Err(cannot("object is not a dense vector"));
+        }
+        let slot_elems = header.layout as usize;
+        let epb = ctx.elems_per_block();
+        if header.cols != 1 || header.nnz != header.rows || slot_elems == 0 || epb % slot_elems != 0
+        {
+            return Err(cannot("bad vector header"));
+        }
+        let len = header.rows as usize;
+        let per_block = epb / slot_elems;
+        let extent = ctx.object_extent(object)?;
+        if extent.blocks != len.div_ceil(per_block).max(1) as u64 {
+            return Err(cannot("extent disagrees with the length"));
+        }
         Ok(DenseVector {
             ctx: Arc::clone(ctx),
             object,

@@ -273,6 +273,7 @@ impl Runtime {
             seq_writes: pool.seq_writes + vm.seq_writes,
             bytes_read: pool.bytes_read + vm.bytes_read,
             bytes_written: pool.bytes_written + vm.bytes_written,
+            syncs: pool.syncs + vm.syncs,
         }
     }
 

@@ -49,6 +49,29 @@ pub enum ObjectKind {
     Spill,
 }
 
+impl ObjectKind {
+    /// Stable on-disk tag for catalog serialization.
+    pub fn code(self) -> u8 {
+        match self {
+            ObjectKind::DenseVector => 0,
+            ObjectKind::DenseMatrix => 1,
+            ObjectKind::SparseMatrix => 2,
+            ObjectKind::Spill => 3,
+        }
+    }
+
+    /// Inverse of [`ObjectKind::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ObjectKind::DenseVector),
+            1 => Some(ObjectKind::DenseMatrix),
+            2 => Some(ObjectKind::SparseMatrix),
+            3 => Some(ObjectKind::Spill),
+            _ => None,
+        }
+    }
+}
+
 /// Catalog-level object header: the metadata needed to reopen a stored
 /// array from its name alone — kind, dimensions, layout, and the nnz
 /// statistic the optimizer's density rule feeds on. Everything *below*
@@ -225,6 +248,18 @@ impl Catalog {
             .map(ObjectId)
     }
 
+    /// Remove `id` from the catalog **without** freeing its blocks,
+    /// returning its extents. The durable context orders a drop as
+    /// "commit the catalog without the object, then free its blocks", so
+    /// a crash in between can only leak blocks — never leave a committed
+    /// catalog referencing freed ones.
+    pub fn forget_object(&mut self, id: ObjectId) -> Result<Vec<Extent>> {
+        self.objects
+            .remove(&id.0)
+            .map(|e| e.segments)
+            .ok_or(StorageError::UnknownObject(id.0))
+    }
+
     /// Drop `id`, releasing all of its blocks on `pool`.
     pub fn drop_object(&mut self, pool: &BufferPool, id: ObjectId) -> Result<()> {
         let entry = self
@@ -254,6 +289,155 @@ impl Catalog {
             .flat_map(|e| e.segments.iter())
             .map(|s| s.blocks)
             .sum()
+    }
+
+    /// Serialize the full catalog state deterministically (objects sorted
+    /// by id), for the crash-consistent commit path
+    /// ([`crate::CatalogStore`]). Two equal catalogs encode to identical
+    /// bytes, so snapshot checksums are stable.
+    pub fn encode(&self) -> Vec<u8> {
+        fn put_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut out = Vec::new();
+        put_u64(&mut out, self.next);
+        put_u64(&mut out, self.objects.len() as u64);
+        let mut ids: Vec<u64> = self.objects.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let e = &self.objects[&id];
+            put_u64(&mut out, id);
+            out.push(e.growable as u8);
+            match &e.name {
+                Some(n) => {
+                    out.push(1);
+                    put_u64(&mut out, n.len() as u64);
+                    out.extend_from_slice(n.as_bytes());
+                }
+                None => out.push(0),
+            }
+            match &e.header {
+                Some(h) => {
+                    out.push(1);
+                    out.push(h.kind.code());
+                    put_u64(&mut out, h.rows);
+                    put_u64(&mut out, h.cols);
+                    out.push(h.layout);
+                    put_u64(&mut out, h.nnz);
+                }
+                None => out.push(0),
+            }
+            put_u64(&mut out, e.segments.len() as u64);
+            for seg in &e.segments {
+                put_u64(&mut out, seg.start.0);
+                put_u64(&mut out, seg.blocks);
+            }
+        }
+        out
+    }
+
+    /// Reconstruct a catalog from [`Catalog::encode`] bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        struct Reader<'a> {
+            bytes: &'a [u8],
+            pos: usize,
+        }
+        fn bad(msg: &str) -> StorageError {
+            StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("catalog decode: {msg}"),
+            ))
+        }
+        impl Reader<'_> {
+            fn take(&mut self, n: usize) -> Result<&[u8]> {
+                if self.pos + n > self.bytes.len() {
+                    return Err(bad("truncated"));
+                }
+                let s = &self.bytes[self.pos..self.pos + n];
+                self.pos += n;
+                Ok(s)
+            }
+            fn u64(&mut self) -> Result<u64> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+            fn u8(&mut self) -> Result<u8> {
+                Ok(self.take(1)?[0])
+            }
+        }
+        let mut r = Reader { bytes, pos: 0 };
+        let next = r.u64()?;
+        let count = r.u64()?;
+        let mut objects = HashMap::new();
+        for _ in 0..count {
+            let id = r.u64()?;
+            if id >= next {
+                return Err(bad("object id beyond allocation mark"));
+            }
+            let growable = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(bad("bad growable flag")),
+            };
+            let name = match r.u8()? {
+                0 => None,
+                1 => {
+                    let len = r.u64()? as usize;
+                    let raw = r.take(len)?.to_vec();
+                    Some(String::from_utf8(raw).map_err(|_| bad("name not UTF-8"))?)
+                }
+                _ => return Err(bad("bad name flag")),
+            };
+            let header = match r.u8()? {
+                0 => None,
+                1 => {
+                    let kind =
+                        ObjectKind::from_code(r.u8()?).ok_or_else(|| bad("bad object kind"))?;
+                    let rows = r.u64()?;
+                    let cols = r.u64()?;
+                    let layout = r.u8()?;
+                    let nnz = r.u64()?;
+                    Some(ObjectHeader {
+                        kind,
+                        rows,
+                        cols,
+                        layout,
+                        nnz,
+                    })
+                }
+                _ => return Err(bad("bad header flag")),
+            };
+            let nsegs = r.u64()?;
+            if nsegs == 0 {
+                return Err(bad("object with no segments"));
+            }
+            let mut segments = Vec::with_capacity(nsegs.min(1024) as usize);
+            for _ in 0..nsegs {
+                let start = BlockId(r.u64()?);
+                let blocks = r.u64()?;
+                if blocks == 0 {
+                    return Err(bad("zero-length segment"));
+                }
+                segments.push(Extent { start, blocks });
+            }
+            if objects
+                .insert(
+                    id,
+                    Entry {
+                        segments,
+                        growable,
+                        name,
+                        header,
+                    },
+                )
+                .is_some()
+            {
+                return Err(bad("duplicate object id"));
+            }
+        }
+        if r.pos != bytes.len() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(Catalog { next, objects })
     }
 }
 
@@ -411,6 +595,60 @@ mod tests {
         // Unknown ids error like every other catalog call.
         assert!(cat.set_header(ObjectId(99), h).is_err());
         assert!(cat.header(ObjectId(99)).is_err());
+    }
+
+    #[test]
+    fn encode_decode_round_trips_everything() {
+        let p = pool();
+        let mut cat = Catalog::new();
+        let (a, _) = cat.create(&p, 2, Some("m")).unwrap();
+        cat.set_header(
+            a,
+            ObjectHeader {
+                kind: ObjectKind::DenseMatrix,
+                rows: 8,
+                cols: 4,
+                layout: 0x21,
+                nnz: 32,
+            },
+        )
+        .unwrap();
+        let (g, _) = cat.alloc_growable(&p, 1, None).unwrap();
+        cat.extend(&p, g, 3).unwrap();
+        let (dropped, _) = cat.create(&p, 1, Some("gone")).unwrap();
+        cat.drop_object(&p, dropped).unwrap();
+
+        let bytes = cat.encode();
+        assert_eq!(bytes, cat.encode(), "encoding is deterministic");
+        let back = Catalog::decode(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.find_by_name("m"), Some(a));
+        assert_eq!(back.header(a).unwrap(), cat.header(a).unwrap());
+        assert_eq!(back.segments(g).unwrap(), cat.segments(g).unwrap());
+        assert_eq!(back.total_blocks(), cat.total_blocks());
+        // The allocation mark survives: new ids don't collide with dropped.
+        let (fresh, _) = {
+            let mut back = back;
+            back.create(&p, 1, None).unwrap()
+        };
+        assert!(fresh.0 > dropped.0);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_bytes() {
+        let p = pool();
+        let mut cat = Catalog::new();
+        cat.create(&p, 2, Some("x")).unwrap();
+        let bytes = cat.encode();
+        // Truncation at every prefix fails loudly, never panics.
+        for cut in 0..bytes.len() {
+            assert!(Catalog::decode(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(Catalog::decode(&long).is_err());
+        assert!(Catalog::decode(&bytes).is_ok());
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! Crash-consistent catalog persistence via shadow paging.
+//!
+//! The catalog is the root of every stored object; losing it to a crash
+//! mid-update makes all data unreopenable. [`CatalogStore`] therefore
+//! never updates metadata in place. A commit:
+//!
+//! ```text
+//!  1. allocate fresh blocks, write the new catalog snapshot into them
+//!  2. sync                              (snapshot durable, unreferenced)
+//!  3. overwrite the OLDER of two superblock slots with a checksummed,
+//!     versioned superblock pointing at the new snapshot
+//!  4. sync                              (commit point)
+//!  5. free the snapshot that slot previously referenced
+//! ```
+//!
+//! Blocks 0 and 1 of the device are the two superblock slots. Each slot
+//! *owns* its snapshot: step 5 only retires the overwritten slot's old
+//! snapshot, after the new superblock is durable, so the fallback slot's
+//! snapshot is intact at every instant. A crash after any write prefix
+//! therefore recovers either the fully-old or the fully-new catalog:
+//!
+//! * crash in 1–2: superblocks unchanged → old catalog (new blocks leak).
+//! * crash in 3 (torn superblock): the slot's self-checksum fails → the
+//!   other slot, one version behind, wins → old catalog.
+//! * crash in 4–5: highest-version slot is the new one, its snapshot was
+//!   synced in 2 → new catalog (the un-freed old snapshot leaks).
+//!
+//! Leaks are bounded (at most one snapshot per crash) and block ids are
+//! never reused, so a leak can never alias live data. Snapshot churn
+//! grows the device monotonically — the price of a bump allocator, noted
+//! in ARCHITECTURE.md.
+//!
+//! Catalog *data* durability is separate: object contents still flow
+//! through the buffer pool and are only durable after
+//! `BufferPool::flush_all` (which ends in a sync barrier).
+
+use crate::catalog::{Catalog, Extent};
+use crate::device::{BlockDevice, BlockId};
+use crate::error::{Result, StorageError};
+use crate::verify::checksum64;
+
+/// "RIOTSUP0" — identifies a formatted superblock slot.
+const MAGIC: u64 = 0x5249_4F54_5355_5030;
+
+/// Serialized superblock size: 7 little-endian u64s.
+const SUPERBLOCK_LEN: usize = 56;
+
+#[derive(Debug, Clone, Copy)]
+struct Superblock {
+    version: u64,
+    cat_start: u64,
+    cat_blocks: u64,
+    cat_len: u64,
+    cat_checksum: u64,
+}
+
+impl Superblock {
+    fn encode(&self, block_size: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; block_size];
+        let fields = [
+            MAGIC,
+            self.version,
+            self.cat_start,
+            self.cat_blocks,
+            self.cat_len,
+            self.cat_checksum,
+        ];
+        for (i, f) in fields.iter().enumerate() {
+            buf[i * 8..i * 8 + 8].copy_from_slice(&f.to_le_bytes());
+        }
+        let self_ck = checksum64(&buf[..48]);
+        buf[48..56].copy_from_slice(&self_ck.to_le_bytes());
+        buf
+    }
+
+    /// Parse and validate a slot; `None` for anything torn, stale-zeroed,
+    /// or foreign (recovery treats it as an empty slot, not an error).
+    fn decode(buf: &[u8]) -> Option<Superblock> {
+        if buf.len() < SUPERBLOCK_LEN {
+            return None;
+        }
+        let f = |i: usize| u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+        if f(6) != checksum64(&buf[..48]) || f(0) != MAGIC || f(1) == 0 {
+            return None;
+        }
+        Some(Superblock {
+            version: f(1),
+            cat_start: f(2),
+            cat_blocks: f(3),
+            cat_len: f(4),
+            cat_checksum: f(5),
+        })
+    }
+}
+
+/// Per-slot recovery state: the committed version this slot holds and the
+/// snapshot extent that superblock references (and thus owns).
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    /// 0 = slot empty/invalid.
+    version: u64,
+    snapshot: Option<Extent>,
+}
+
+/// Crash-consistent persistence for a [`Catalog`] on a [`BlockDevice`].
+///
+/// The store bypasses the buffer pool on purpose: superblocks and
+/// snapshot blocks are exclusively owned here, never pinned as frames, so
+/// direct device I/O cannot desynchronize the cache — and a commit must
+/// control write ordering (write, sync, flip, sync) in a way pooled
+/// frames cannot.
+pub struct CatalogStore {
+    block_size: usize,
+    slots: [SlotState; 2],
+}
+
+impl CatalogStore {
+    /// Format an **empty** device: claim blocks 0 and 1 as superblock
+    /// slots and commit version 1 (an empty catalog).
+    pub fn format(dev: &dyn BlockDevice) -> Result<CatalogStore> {
+        let block_size = dev.block_size();
+        assert!(
+            block_size >= SUPERBLOCK_LEN,
+            "block size too small for a superblock"
+        );
+        if dev.num_blocks() != 0 {
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::AlreadyExists,
+                "CatalogStore::format requires an empty device",
+            )));
+        }
+        let start = dev.allocate(2)?;
+        debug_assert_eq!(start, BlockId(0));
+        let sb = Superblock {
+            version: 1,
+            cat_start: 0,
+            cat_blocks: 0,
+            cat_len: 0,
+            cat_checksum: checksum64(&[]),
+        };
+        dev.write_block(BlockId(0), &sb.encode(block_size))?;
+        dev.sync()?;
+        Ok(CatalogStore {
+            block_size,
+            slots: [
+                SlotState {
+                    version: 1,
+                    snapshot: None,
+                },
+                SlotState {
+                    version: 0,
+                    snapshot: None,
+                },
+            ],
+        })
+    }
+
+    /// Recover from a formatted device: pick the highest-version slot
+    /// whose superblock *and* referenced snapshot both validate, falling
+    /// back to the other slot otherwise. After a crash at any write
+    /// boundary of [`CatalogStore::commit`], this returns either the
+    /// pre-commit or the post-commit catalog — never an error, never a
+    /// mix.
+    pub fn open(dev: &dyn BlockDevice) -> Result<(CatalogStore, Catalog)> {
+        let block_size = dev.block_size();
+        let mut parsed = [None, None];
+        for (i, p) in parsed.iter_mut().enumerate() {
+            let mut buf = vec![0u8; block_size];
+            // A slot that cannot be read (corruption, short device) is an
+            // invalid slot, not a recovery failure.
+            if dev.read_block(BlockId(i as u64), &mut buf).is_ok() {
+                *p = Superblock::decode(&buf);
+            }
+        }
+        let slot_state = |p: &Option<Superblock>| match p {
+            Some(sb) => SlotState {
+                version: sb.version,
+                snapshot: (sb.cat_blocks > 0).then_some(Extent {
+                    start: BlockId(sb.cat_start),
+                    blocks: sb.cat_blocks,
+                }),
+            },
+            None => SlotState {
+                version: 0,
+                snapshot: None,
+            },
+        };
+        // Try slots in descending version order.
+        let mut order = [0usize, 1];
+        if parsed[1].map_or(0, |s| s.version) > parsed[0].map_or(0, |s| s.version) {
+            order = [1, 0];
+        }
+        for i in order {
+            let Some(sb) = parsed[i] else { continue };
+            let Ok(cat) = Self::read_snapshot(dev, block_size, &sb) else {
+                continue;
+            };
+            let store = CatalogStore {
+                block_size,
+                slots: [slot_state(&parsed[0]), slot_state(&parsed[1])],
+            };
+            return Ok((store, cat));
+        }
+        Err(StorageError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no valid catalog superblock found",
+        )))
+    }
+
+    fn read_snapshot(dev: &dyn BlockDevice, block_size: usize, sb: &Superblock) -> Result<Catalog> {
+        let cap = sb.cat_blocks * block_size as u64;
+        if sb.cat_len > cap || sb.cat_start + sb.cat_blocks > dev.num_blocks() {
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "superblock references an impossible snapshot region",
+            )));
+        }
+        let mut bytes = vec![0u8; cap as usize];
+        for i in 0..sb.cat_blocks {
+            let off = (i * block_size as u64) as usize;
+            dev.read_block(BlockId(sb.cat_start + i), &mut bytes[off..off + block_size])?;
+        }
+        bytes.truncate(sb.cat_len as usize);
+        if checksum64(&bytes) != sb.cat_checksum {
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "catalog snapshot checksum mismatch",
+            )));
+        }
+        if sb.cat_blocks == 0 {
+            // `format` commits version 1 without a snapshot region.
+            return Ok(Catalog::new());
+        }
+        Catalog::decode(&bytes)
+    }
+
+    /// Durably commit `cat` (see the module docs for the write protocol).
+    ///
+    /// On error the device still holds the previous committed catalog and
+    /// this store's state is unchanged; the caller's in-memory catalog is
+    /// ahead of disk until a later commit succeeds.
+    pub fn commit(&mut self, dev: &dyn BlockDevice, cat: &Catalog) -> Result<()> {
+        let bytes = cat.encode();
+        // Overwrite the OLDER slot: the newer one keeps the current
+        // version reachable until the new superblock is durable.
+        let target = usize::from(self.slots[0].version > self.slots[1].version);
+        let new_version = self.slots[0].version.max(self.slots[1].version) + 1;
+
+        let nblocks = bytes.len().div_ceil(self.block_size) as u64;
+        let start = dev.allocate(nblocks)?;
+        let mut buf = vec![0u8; self.block_size];
+        for i in 0..nblocks {
+            let off = (i * self.block_size as u64) as usize;
+            let end = bytes.len().min(off + self.block_size);
+            buf[..end - off].copy_from_slice(&bytes[off..end]);
+            buf[end - off..].fill(0);
+            dev.write_block(start.offset(i), &buf)?;
+        }
+        dev.sync()?;
+
+        let sb = Superblock {
+            version: new_version,
+            cat_start: start.0,
+            cat_blocks: nblocks,
+            cat_len: bytes.len() as u64,
+            cat_checksum: checksum64(&bytes),
+        };
+        dev.write_block(BlockId(target as u64), &sb.encode(self.block_size))?;
+        dev.sync()?;
+
+        // Commit point passed: retire the snapshot the overwritten slot
+        // used to own. The *other* slot's snapshot is untouched, so a
+        // crash anywhere above still recovers cleanly.
+        let retired = self.slots[target].snapshot;
+        self.slots[target] = SlotState {
+            version: new_version,
+            snapshot: Some(Extent {
+                start,
+                blocks: nblocks,
+            }),
+        };
+        if let Some(old) = retired {
+            dev.free(old.start, old.blocks)?;
+        }
+        Ok(())
+    }
+
+    /// The committed catalog version (monotonic; 1 after format).
+    pub fn version(&self) -> u64 {
+        self.slots[0].version.max(self.slots[1].version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem_device::MemBlockDevice;
+    use crate::pool::{BufferPool, PoolConfig};
+    use std::sync::Arc;
+
+    fn pool_over(dev: Arc<MemBlockDevice>) -> BufferPool {
+        BufferPool::new(Box::new(dev), PoolConfig::default())
+    }
+
+    #[test]
+    fn format_then_open_yields_empty_catalog() {
+        let dev = MemBlockDevice::new(64);
+        let store = CatalogStore::format(&dev).unwrap();
+        assert_eq!(store.version(), 1);
+        let (store2, cat) = CatalogStore::open(&dev).unwrap();
+        assert_eq!(store2.version(), 1);
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn format_refuses_non_empty_devices() {
+        let dev = MemBlockDevice::new(64);
+        dev.allocate(1).unwrap();
+        assert!(CatalogStore::format(&dev).is_err());
+    }
+
+    #[test]
+    fn open_refuses_unformatted_devices() {
+        let dev = MemBlockDevice::new(64);
+        assert!(CatalogStore::open(&dev).is_err());
+        dev.allocate(5).unwrap(); // blocks exist but hold zeros
+        assert!(CatalogStore::open(&dev).is_err());
+    }
+
+    #[test]
+    fn commits_round_trip_and_alternate_slots() {
+        let dev = Arc::new(MemBlockDevice::new(64));
+        let mut store = CatalogStore::format(&*dev).unwrap();
+        let pool = pool_over(Arc::clone(&dev));
+        let mut cat = Catalog::new();
+
+        let (a, _) = cat.create(&pool, 2, Some("a")).unwrap();
+        store.commit(&*dev, &cat).unwrap();
+        assert_eq!(store.version(), 2);
+
+        let (_b, _) = cat.create(&pool, 3, Some("b")).unwrap();
+        store.commit(&*dev, &cat).unwrap();
+        assert_eq!(store.version(), 3);
+
+        let (_, back) = CatalogStore::open(&*dev).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.find_by_name("a"), Some(a));
+        assert_eq!(back.segments(a).unwrap(), cat.segments(a).unwrap());
+    }
+
+    #[test]
+    fn superseded_snapshots_are_retired() {
+        let dev = MemBlockDevice::new(64);
+        let mut store = CatalogStore::format(&dev).unwrap();
+        let cat = Catalog::new();
+        for _ in 0..10 {
+            store.commit(&dev, &cat).unwrap();
+        }
+        // Each commit allocates one snapshot block; all but the last two
+        // (one per slot) were freed again.
+        assert!(
+            dev.resident_bytes() <= 4 * 64,
+            "snapshot churn stays bounded: {} bytes live",
+            dev.resident_bytes()
+        );
+    }
+
+    #[test]
+    fn torn_superblock_falls_back_to_previous_version() {
+        let dev = Arc::new(MemBlockDevice::new(64));
+        let mut store = CatalogStore::format(&*dev).unwrap();
+        let pool = pool_over(Arc::clone(&dev));
+        let mut cat = Catalog::new();
+        cat.create(&pool, 1, Some("kept")).unwrap();
+        store.commit(&*dev, &cat).unwrap(); // v2 in slot 1
+        cat.create(&pool, 1, Some("lost")).unwrap();
+        store.commit(&*dev, &cat).unwrap(); // v3 in slot 0
+
+        // Scribble over slot 0's superblock: its checksum now fails.
+        dev.write_block(BlockId(0), &[0xAAu8; 64]).unwrap();
+        let (store2, back) = CatalogStore::open(&*dev).unwrap();
+        assert_eq!(store2.version(), 2, "fell back to the v2 slot");
+        assert!(back.find_by_name("kept").is_some());
+        assert!(back.find_by_name("lost").is_none());
+    }
+}

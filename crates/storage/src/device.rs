@@ -80,6 +80,84 @@ pub trait BlockDevice: Send + Sync {
     fn concurrent_io(&self) -> bool {
         false
     }
+
+    /// Force previously written blocks to stable storage.
+    ///
+    /// A successful `write_block` only guarantees the data reached the
+    /// device's cache; durability claims (pool flush, catalog commit)
+    /// require a sync barrier afterwards. The default is a no-op, correct
+    /// for devices with no volatile cache ([`crate::MemBlockDevice`]);
+    /// [`crate::FileBlockDevice`] issues `fdatasync`. Wrapper devices
+    /// forward to their inner device. Syncs are counted on [`IoStats`].
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Boxed devices forward every call, so `Box<dyn BlockDevice>` (the pool's
+/// own storage) is itself a device and wrappers can stack over it.
+impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn num_blocks(&self) -> u64 {
+        (**self).num_blocks()
+    }
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
+        (**self).read_block(id, buf)
+    }
+    fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
+        (**self).write_block(id, buf)
+    }
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        (**self).allocate(n)
+    }
+    fn free(&self, start: BlockId, n: u64) -> Result<()> {
+        (**self).free(start, n)
+    }
+    fn stats(&self) -> Arc<IoStats> {
+        (**self).stats()
+    }
+    fn concurrent_io(&self) -> bool {
+        (**self).concurrent_io()
+    }
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
+    }
+}
+
+/// Shared devices forward too: a crash-recovery test builds one
+/// `Arc<MemBlockDevice>`, hands a clone to the "pre-crash" pool, drops that
+/// pool (losing its cache, like a crash), and reopens a second pool over
+/// the same Arc to observe exactly the blocks that made it to the device.
+impl<D: BlockDevice + ?Sized> BlockDevice for Arc<D> {
+    fn block_size(&self) -> usize {
+        (**self).block_size()
+    }
+    fn num_blocks(&self) -> u64 {
+        (**self).num_blocks()
+    }
+    fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
+        (**self).read_block(id, buf)
+    }
+    fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
+        (**self).write_block(id, buf)
+    }
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        (**self).allocate(n)
+    }
+    fn free(&self, start: BlockId, n: u64) -> Result<()> {
+        (**self).free(start, n)
+    }
+    fn stats(&self) -> Arc<IoStats> {
+        (**self).stats()
+    }
+    fn concurrent_io(&self) -> bool {
+        (**self).concurrent_io()
+    }
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
+    }
 }
 
 #[cfg(test)]

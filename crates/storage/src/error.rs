@@ -41,8 +41,57 @@ pub enum StorageError {
         /// Why the reopen failed.
         reason: &'static str,
     },
+    /// A block read back with contents that do not match its recorded
+    /// checksum (bit rot, torn write, or misdirected I/O). Raised by
+    /// [`crate::VerifyingDevice`]; the data must not be consumed.
+    Corruption {
+        /// The (logical) block whose contents failed validation.
+        block: BlockId,
+    },
     /// The underlying operating-system file operation failed.
     Io(std::io::Error),
+}
+
+/// Coarse failure classification driving retry decisions.
+///
+/// Transient errors are worth re-issuing after a backoff delay (a remote
+/// backend timed out, a syscall was interrupted); permanent errors reflect
+/// a caller bug or real data loss and must surface immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Retrying the same operation may succeed.
+    Transient,
+    /// Retrying cannot help; surface the error.
+    Permanent,
+}
+
+impl StorageError {
+    /// Classify this error as transient (retryable) or permanent.
+    ///
+    /// Only OS-level I/O errors can be transient, and only for the kinds a
+    /// healthy device or remote backend produces under load: interruption,
+    /// timeout, would-block, and dropped connections. Logical errors
+    /// (bounds, catalog, buffer length) and [`StorageError::Corruption`]
+    /// are permanent — re-reading a bit-flipped block returns the same
+    /// bits.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            StorageError::Io(e) => match e.kind() {
+                std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::TimedOut
+                | std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted => ErrorClass::Transient,
+                _ => ErrorClass::Permanent,
+            },
+            _ => ErrorClass::Permanent,
+        }
+    }
+
+    /// `true` when [`StorageError::class`] is [`ErrorClass::Transient`].
+    pub fn is_transient(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -66,6 +115,13 @@ impl fmt::Display for StorageError {
             }
             StorageError::CannotReopen { name, reason } => {
                 write!(f, "cannot reopen object '{name}': {reason}")
+            }
+            StorageError::Corruption { block } => {
+                write!(
+                    f,
+                    "block {} failed checksum validation (corruption)",
+                    block.0
+                )
             }
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
         }
@@ -112,5 +168,34 @@ mod tests {
         let e = StorageError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
         assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn transient_io_kinds_classify_as_transient() {
+        use std::io::ErrorKind;
+        for kind in [
+            ErrorKind::Interrupted,
+            ErrorKind::TimedOut,
+            ErrorKind::WouldBlock,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+        ] {
+            let e = StorageError::from(std::io::Error::new(kind, "flaky"));
+            assert_eq!(e.class(), ErrorClass::Transient, "{kind:?}");
+            assert!(e.is_transient());
+        }
+    }
+
+    #[test]
+    fn everything_else_classifies_as_permanent() {
+        let io = StorageError::from(std::io::Error::other("dead disk"));
+        assert_eq!(io.class(), ErrorClass::Permanent);
+        let logical = StorageError::UnknownObject(3);
+        assert_eq!(logical.class(), ErrorClass::Permanent);
+        let corrupt = StorageError::Corruption { block: BlockId(4) };
+        assert_eq!(corrupt.class(), ErrorClass::Permanent);
+        assert!(!corrupt.is_transient());
+        assert!(corrupt.to_string().contains("block 4"));
+        assert!(corrupt.to_string().contains("corruption"));
     }
 }

@@ -151,6 +151,13 @@ impl BlockDevice for MemBlockDevice {
     fn concurrent_io(&self) -> bool {
         true
     }
+
+    fn sync(&self) -> Result<()> {
+        // Memory has no volatile cache below it — the barrier is free, but
+        // it is still counted so durability protocols are observable.
+        self.stats.record_sync();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

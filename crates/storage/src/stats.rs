@@ -38,6 +38,7 @@ pub struct IoStats {
     seq_writes: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    syncs: AtomicU64,
     last_read: AtomicU64,
     last_write: AtomicU64,
 }
@@ -51,6 +52,7 @@ impl Default for IoStats {
             seq_writes: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
             last_read: AtomicU64::new(NONE),
             last_write: AtomicU64::new(NONE),
         }
@@ -84,6 +86,11 @@ impl IoStats {
         }
     }
 
+    /// Record one sync barrier ([`crate::BlockDevice::sync`]).
+    pub fn record_sync(&self) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -93,6 +100,7 @@ impl IoStats {
             seq_writes: self.seq_writes.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
         }
     }
 
@@ -104,6 +112,7 @@ impl IoStats {
         self.seq_writes.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
+        self.syncs.store(0, Ordering::Relaxed);
         self.last_read.store(NONE, Ordering::Relaxed);
         self.last_write.store(NONE, Ordering::Relaxed);
     }
@@ -127,6 +136,8 @@ pub struct IoSnapshot {
     pub bytes_read: u64,
     /// Total bytes written.
     pub bytes_written: u64,
+    /// Sync barriers issued ([`crate::BlockDevice::sync`]).
+    pub syncs: u64,
 }
 
 impl IoSnapshot {
@@ -162,6 +173,7 @@ impl Sub for IoSnapshot {
             seq_writes: self.seq_writes - rhs.seq_writes,
             bytes_read: self.bytes_read - rhs.bytes_read,
             bytes_written: self.bytes_written - rhs.bytes_written,
+            syncs: self.syncs - rhs.syncs,
         }
     }
 }
@@ -343,6 +355,19 @@ mod tests {
         s.record_read(BlockId(1), 1);
         assert_eq!(s.snapshot().seq_reads, 0);
         assert_eq!(s.snapshot().reads, 1);
+    }
+
+    #[test]
+    fn syncs_are_counted_and_reset() {
+        let s = IoStats::default();
+        s.record_sync();
+        s.record_sync();
+        assert_eq!(s.snapshot().syncs, 2);
+        let before = s.snapshot();
+        s.record_sync();
+        assert_eq!((s.snapshot() - before).syncs, 1);
+        s.reset();
+        assert_eq!(s.snapshot().syncs, 0);
     }
 
     #[test]

@@ -32,12 +32,23 @@ use crate::stats::IoStats;
 struct Plan {
     fail_reads: HashMap<u64, u32>,
     fail_writes: HashMap<u64, u32>,
+    /// Like `fail_reads`, but the injected error is *transient*
+    /// (`ErrorKind::TimedOut`) — the retry layer's food.
+    transient_reads: HashMap<u64, u32>,
+    transient_writes: HashMap<u64, u32>,
+    /// Deliver the next `n` reads of a block with one bit flipped — the
+    /// read "succeeds" with silently wrong data, like real bit rot.
+    corrupt_reads: HashMap<u64, u32>,
+    /// Crash-stop: writes (and syncs) remaining before the device rejects
+    /// everything. `None` = no crash scheduled.
+    crash_writes_left: Option<u64>,
     read_latency: Duration,
     write_latency: Duration,
     read_cap: Option<usize>,
     write_cap: Option<usize>,
     injected_read_errors: u64,
     injected_write_errors: u64,
+    injected_corruptions: u64,
 }
 
 impl Plan {
@@ -71,6 +82,51 @@ impl FailpointHandle {
     /// Fail the next `times` writes of `block` with an injected I/O error.
     pub fn fail_writes(&self, block: BlockId, times: u32) {
         self.0.lock().unwrap().fail_writes.insert(block.0, times);
+    }
+
+    /// Fail the next `times` reads of `block` with a *transient* error
+    /// (`ErrorKind::TimedOut`, [`StorageError::is_transient`]), then
+    /// succeed — the signature of a flaky remote backend.
+    pub fn fail_reads_transient(&self, block: BlockId, times: u32) {
+        self.0
+            .lock()
+            .unwrap()
+            .transient_reads
+            .insert(block.0, times);
+    }
+
+    /// Fail the next `times` writes of `block` with a transient error.
+    pub fn fail_writes_transient(&self, block: BlockId, times: u32) {
+        self.0
+            .lock()
+            .unwrap()
+            .transient_writes
+            .insert(block.0, times);
+    }
+
+    /// Deliver the next `times` reads of `block` with one bit flipped:
+    /// the read reports success and the inner device counts it, but the
+    /// data is silently wrong — only a checksum layer can tell.
+    pub fn corrupt_reads(&self, block: BlockId, times: u32) {
+        self.0.lock().unwrap().corrupt_reads.insert(block.0, times);
+    }
+
+    /// Crash-stop after `n` more writes: the `n+1`-th and every later
+    /// write (and any sync once the budget is exhausted) is rejected, so
+    /// the device freezes in whatever state the first `n` writes left it —
+    /// the crash-at-every-write-prefix recovery matrix walks `n` upward.
+    pub fn crash_after_writes(&self, n: u64) {
+        self.0.lock().unwrap().crash_writes_left = Some(n);
+    }
+
+    /// Cancel a scheduled crash-stop ("reboot" the device).
+    pub fn clear_crash(&self) {
+        self.0.lock().unwrap().crash_writes_left = None;
+    }
+
+    /// How many bit-flipped reads have been delivered so far.
+    pub fn injected_corruptions(&self) -> u64 {
+        self.0.lock().unwrap().injected_corruptions
     }
 
     /// Sleep this long inside every subsequent read (outside any lock), to
@@ -142,6 +198,19 @@ fn injected(op: &str, id: BlockId) -> StorageError {
     )))
 }
 
+fn injected_transient(op: &str, id: BlockId) -> StorageError {
+    StorageError::Io(std::io::Error::new(
+        std::io::ErrorKind::TimedOut,
+        format!("injected transient {op} failure at block {id}"),
+    ))
+}
+
+fn crashed(op: &str) -> StorageError {
+    StorageError::Io(std::io::Error::other(format!(
+        "device crashed: {op} rejected"
+    )))
+}
+
 impl BlockDevice for FailpointDevice {
     fn block_size(&self) -> usize {
         self.inner.block_size()
@@ -152,19 +221,35 @@ impl BlockDevice for FailpointDevice {
     }
 
     fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
-        let (fail, latency, cap) = {
+        let (fail, transient, corrupt, latency, cap) = {
             let mut plan = self.plan.lock().unwrap();
             let fail = Plan::take_failure(&mut plan.fail_reads, id);
-            if fail {
+            let transient = !fail && Plan::take_failure(&mut plan.transient_reads, id);
+            if fail || transient {
                 plan.injected_read_errors += 1;
             }
-            (fail, plan.read_latency, plan.read_cap)
+            let corrupt = !fail && !transient && Plan::take_failure(&mut plan.corrupt_reads, id);
+            if corrupt {
+                plan.injected_corruptions += 1;
+            }
+            (fail, transient, corrupt, plan.read_latency, plan.read_cap)
         };
         if !latency.is_zero() {
             std::thread::sleep(latency);
         }
         if fail {
             return Err(injected("read", id));
+        }
+        if transient {
+            return Err(injected_transient("read", id));
+        }
+        if corrupt {
+            // The inner read genuinely happens (and is counted); one bit
+            // of the delivered data flips on the way up.
+            self.inner.read_block(id, buf)?;
+            let mid = buf.len() / 2;
+            buf[mid] ^= 0x40;
+            return Ok(());
         }
         if let Some(cap) = cap {
             if cap < buf.len() {
@@ -184,19 +269,35 @@ impl BlockDevice for FailpointDevice {
     }
 
     fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
-        let (fail, latency, cap) = {
+        let (fail, transient, crash, latency, cap) = {
             let mut plan = self.plan.lock().unwrap();
-            let fail = Plan::take_failure(&mut plan.fail_writes, id);
-            if fail {
+            // Crash-stop trumps everything: a dead device fails all writes.
+            let crash = match &mut plan.crash_writes_left {
+                Some(0) => true,
+                Some(n) => {
+                    *n -= 1;
+                    false
+                }
+                None => false,
+            };
+            let fail = !crash && Plan::take_failure(&mut plan.fail_writes, id);
+            let transient = !crash && !fail && Plan::take_failure(&mut plan.transient_writes, id);
+            if crash || fail || transient {
                 plan.injected_write_errors += 1;
             }
-            (fail, plan.write_latency, plan.write_cap)
+            (fail, transient, crash, plan.write_latency, plan.write_cap)
         };
         if !latency.is_zero() {
             std::thread::sleep(latency);
         }
+        if crash {
+            return Err(crashed("write"));
+        }
         if fail {
             return Err(injected("write", id));
+        }
+        if transient {
+            return Err(injected_transient("write", id));
         }
         if let Some(cap) = cap {
             if cap < buf.len() {
@@ -226,6 +327,14 @@ impl BlockDevice for FailpointDevice {
 
     fn concurrent_io(&self) -> bool {
         self.inner.concurrent_io()
+    }
+
+    fn sync(&self) -> Result<()> {
+        // A crash-stopped device cannot make anything durable either.
+        if self.plan.lock().unwrap().crash_writes_left == Some(0) {
+            return Err(crashed("sync"));
+        }
+        self.inner.sync()
     }
 }
 
@@ -343,6 +452,64 @@ mod tests {
         let mut out = vec![0u8; 64];
         d.read_block(b, &mut out).unwrap();
         assert_eq!(out[0], 3);
+    }
+
+    #[test]
+    fn transient_failures_classify_transient_then_clear() {
+        let (d, h) = dev();
+        let b = d.allocate(1).unwrap();
+        d.write_block(b, &[6u8; 64]).unwrap();
+        h.fail_reads_transient(b, 1);
+        let mut out = vec![0u8; 64];
+        let err = d.read_block(b, &mut out).unwrap_err();
+        assert!(err.is_transient(), "timed-out kind classifies transient");
+        d.read_block(b, &mut out).unwrap();
+        assert_eq!(out[0], 6);
+        // Permanent injections stay permanent.
+        h.fail_writes(b, 1);
+        assert!(!d.write_block(b, &[0u8; 64]).unwrap_err().is_transient());
+        h.fail_writes_transient(b, 1);
+        assert!(d.write_block(b, &[0u8; 64]).unwrap_err().is_transient());
+    }
+
+    #[test]
+    fn corrupt_reads_flip_one_bit_and_count() {
+        let (d, h) = dev();
+        let b = d.allocate(1).unwrap();
+        d.write_block(b, &[7u8; 64]).unwrap();
+        h.corrupt_reads(b, 1);
+        let mut out = vec![0u8; 64];
+        d.read_block(b, &mut out).unwrap();
+        assert_ne!(out, vec![7u8; 64], "delivered data silently wrong");
+        assert_eq!(
+            out.iter().filter(|&&x| x != 7).count(),
+            1,
+            "exactly one byte"
+        );
+        assert_eq!(h.injected_corruptions(), 1);
+        // The corrupted read was counted as a genuine device read.
+        assert_eq!(d.stats().snapshot().reads, 1);
+        d.read_block(b, &mut out).unwrap();
+        assert_eq!(out, vec![7u8; 64], "device contents were never damaged");
+    }
+
+    #[test]
+    fn crash_stop_freezes_the_write_prefix() {
+        let (d, h) = dev();
+        let b = d.allocate(3).unwrap();
+        h.crash_after_writes(2);
+        d.write_block(b, &[1u8; 64]).unwrap();
+        d.write_block(b.offset(1), &[2u8; 64]).unwrap();
+        assert!(d.write_block(b.offset(2), &[3u8; 64]).is_err());
+        assert!(d.write_block(b, &[9u8; 64]).is_err(), "stays dead");
+        assert!(d.sync().is_err(), "sync rejected after the crash");
+        // Reads still see exactly the pre-crash prefix.
+        let mut out = vec![0u8; 64];
+        d.read_block(b.offset(1), &mut out).unwrap();
+        assert_eq!(out[0], 2);
+        h.clear_crash();
+        d.write_block(b.offset(2), &[3u8; 64]).unwrap();
+        d.sync().unwrap();
     }
 
     #[test]
