@@ -263,6 +263,17 @@ impl StorageCtx {
         self.pool.io_stats().snapshot()
     }
 
+    /// The pool's execution tracer (disabled by default; enable it to
+    /// collect typed storage/kernel events — see `riot_trace`).
+    pub fn tracer(&self) -> &Arc<riot_trace::Tracer> {
+        self.pool.tracer()
+    }
+
+    /// One-stop storage health snapshot (counted I/O + pool counters).
+    pub fn storage_report(&self) -> riot_storage::StorageReport {
+        self.pool.storage_report()
+    }
+
     /// Flush and empty the cache (used between measured strategies).
     pub fn clear_cache(&self) -> Result<()> {
         self.pool.clear_cache()

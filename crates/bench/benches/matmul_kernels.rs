@@ -221,6 +221,43 @@ fn parallel_report() {
     println!("  wrote {path}");
 }
 
+/// PR-7 artifact row: the same dense-matmul pipeline through `Session`,
+/// untraced vs inside `Session::profile` (spans, ring recording, event
+/// drain all live). In `--test-mode` the <5% wall-clock gate is asserted.
+fn trace_overhead_report(tm: bool) {
+    use riot_core::{EngineConfig, EngineKind, Session};
+    let n = if tm { 96 } else { 192 };
+    let row = riot_bench::measure_trace_overhead(
+        "matmul_kernels",
+        "session dense matmul + transpose (RIOT-DB)",
+        if tm { 7 } else { 5 },
+        || Session::new(EngineConfig::new(EngineKind::Riot)),
+        move |s| {
+            let a = s
+                .matrix_from_fn(n, n, MatrixLayout::Square, |i, j| (i + 2 * j) as f64 * 0.25)
+                .unwrap();
+            let b = s
+                .matrix_from_fn(n, n, MatrixLayout::Square, |i, j| ((i * j) % 11) as f64)
+                .unwrap();
+            let (_, _, data) = a.matmul(&b).t().collect().unwrap();
+            data.iter().map(|v| v.abs() as u64).sum()
+        },
+    );
+    println!(
+        "\ntracing overhead, {}: disabled {:.4}s, enabled {:.4}s ({:.2}x, {} spans / {} events)",
+        row.workload,
+        row.disabled_secs,
+        row.enabled_secs,
+        row.ratio(),
+        row.spans,
+        row.events
+    );
+    if tm {
+        row.assert_within_5pct();
+    }
+    riot_bench::write_trace_overhead_rows(&[row]);
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
@@ -239,9 +276,11 @@ fn main() {
         assert_eq!((reads, writes), (preads, pwrites));
         println!("test-mode tiled 128x128: 1 thread {secs:.4}s, 2 threads {psecs:.4}s");
         prefetch_report(96, Duration::from_micros(150));
+        trace_overhead_report(true);
         return;
     }
     benches();
     parallel_report();
     prefetch_report(512, Duration::from_micros(400));
+    trace_overhead_report(false);
 }

@@ -551,6 +551,52 @@ fn bench_prefetch(n: usize, latency: Duration) -> Vec<PrefetchRow> {
     rows
 }
 
+/// PR-7 artifact row: the sparse kernel family (spmm + sptranspose +
+/// spmdm) through `Session`, untraced vs inside `Session::profile`. In
+/// `--test-mode` the <5% wall-clock gate is asserted.
+fn trace_overhead_report(tm: bool) {
+    use riot_core::{EngineConfig, EngineKind, Session};
+    let n = if tm { 384 } else { 768 };
+    let trips: Vec<(usize, usize, f64)> = (0..n)
+        .flat_map(|i| {
+            [
+                (i, i, 2.0),
+                (i, (i * 7 + 3) % n, 0.5),
+                (i, (i * 13 + 11) % n, -0.25),
+                ((i * 5 + 1) % n, i, 0.75),
+            ]
+        })
+        .collect();
+    let row = riot_bench::measure_trace_overhead(
+        "sparse_kernels",
+        "session spmm + sptranspose + spmdm (RIOT-DB)",
+        if tm { 7 } else { 5 },
+        || Session::new(EngineConfig::new(EngineKind::Riot)),
+        move |s| {
+            let sp = s.sparse_matrix(n, n, &trips).unwrap();
+            let sq = sp.matmul(&sp).t();
+            let d = s
+                .matrix_from_fn(n, 8, MatrixLayout::Square, |i, j| (i + j) as f64)
+                .unwrap();
+            let (_, _, data) = sp.matmul(&d).collect().unwrap();
+            sq.nnz().unwrap() + data.iter().map(|v| v.abs() as u64).sum::<u64>()
+        },
+    );
+    println!(
+        "\ntracing overhead, {}: disabled {:.4}s, enabled {:.4}s ({:.2}x, {} spans / {} events)",
+        row.workload,
+        row.disabled_secs,
+        row.enabled_secs,
+        row.ratio(),
+        row.spans,
+        row.events
+    );
+    if tm {
+        row.assert_within_5pct();
+    }
+    riot_bench::write_trace_overhead_rows(&[row]);
+}
+
 fn main() {
     let tm = test_mode();
     let n = if tm { 128 } else { 1024 };
@@ -760,4 +806,6 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
     std::fs::write(path, &json).expect("write BENCH_pr5.json");
     println!("\nwrote {path}");
+
+    trace_overhead_report(tm);
 }

@@ -43,6 +43,7 @@ pub mod expr;
 pub mod graph;
 pub mod opt;
 pub mod policy;
+pub mod profile;
 pub mod session;
 pub mod shape;
 pub mod sqlview;
@@ -53,4 +54,5 @@ pub use expr::{AggOp, BinOp, ExprError, Node, NodeId, SourceRef, UnOp};
 pub use graph::ExprGraph;
 pub use opt::{optimize, OptConfig, RewriteStats};
 pub use policy::{EngineConfig, EngineKind};
+pub use profile::{render_plan, ProfileNode, QueryProfile};
 pub use session::{RMat, RVec, Session};

@@ -22,7 +22,8 @@ use rand::{Rng, SeedableRng};
 
 use riot_array::{DenseMatrix, DenseVector, MatrixLayout, StorageCtx, TileOrder, VectorWriter};
 use riot_sparse::SparseMatrix;
-use riot_storage::{DiskModel, IoSnapshot, ReplacerKind};
+use riot_storage::{DiskModel, IoSnapshot, PoolStats, ReplacerKind};
+use riot_trace::{EventKind, Metrics, SpanToken};
 use riot_vm::{PagedHeap, VmConfig, VmId};
 
 use crate::exec::pipeline::{
@@ -191,6 +192,15 @@ impl Drop for StrawMat {
     }
 }
 
+/// Baselines captured at span open so `span_end` can attribute counter
+/// deltas to the span (see [`Runtime::span_begin`]).
+struct SpanGuard {
+    token: SpanToken,
+    io: IoSnapshot,
+    ops: u64,
+    pool: PoolStats,
+}
+
 /// The engine runtime: storage, paging heap, expression graph, caches, and
 /// counters. [`crate::session::Session`] wraps this in `Rc<RefCell<..>>`
 /// and layers the R-like handle API on top.
@@ -229,6 +239,12 @@ impl Runtime {
             page_elems: cfg.block_size / 8,
             frames: cfg.mem_blocks,
         });
+        // `RIOT_TRACE=1` turns on event collection for the whole runtime
+        // (the CI trace leg runs the entire suite this way, proving the
+        // enabled path never perturbs counted I/O or results).
+        if std::env::var_os("RIOT_TRACE").is_some_and(|v| v != "0" && !v.is_empty()) {
+            ctx.tracer().enable();
+        }
         Runtime {
             cfg,
             graph: ExprGraph::new(),
@@ -289,6 +305,126 @@ impl Runtime {
 
     fn count_ops(&self, n: usize) {
         self.cpu_ops.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    // ================= tracing =================
+
+    /// The runtime's tracer (shared with the buffer pool; disabled by
+    /// default — one relaxed atomic load per call site when off).
+    pub fn tracer(&self) -> &Arc<riot_trace::Tracer> {
+        self.ctx.tracer()
+    }
+
+    /// Buffer-pool cache-effectiveness counters (hits, misses, evictions,
+    /// prefetch traffic) for the session's pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.ctx.pool().pool_stats()
+    }
+
+    /// One-call folded storage counters: counted I/O plus pool counters
+    /// (retry/corruption counters fold in at the layer that stacked those
+    /// wrappers; the default in-memory device has none).
+    pub fn storage_report(&self) -> riot_storage::StorageReport {
+        self.ctx.storage_report()
+    }
+
+    /// EXPLAIN for a deferred node: under Riot the optimizer runs first —
+    /// exactly what the forcing point would execute — then the chosen
+    /// logical plan renders as a text tree.
+    pub fn explain(&mut self, id: NodeId) -> String {
+        let mut root = id;
+        if self.cfg.kind == EngineKind::Riot {
+            let cfg = self.cfg.opt;
+            let (r, stats) = optimize(&mut self.graph, root, &cfg);
+            self.last_opt_stats = stats;
+            root = r;
+        }
+        crate::profile::render_plan(&self.graph, root)
+    }
+
+    /// Open a measured span: records the span start plus counter
+    /// baselines, so [`Runtime::span_end`] can attribute the deltas.
+    /// Inert (no snapshots taken) while tracing is disabled.
+    fn span_begin(&self, name: &'static str) -> SpanGuard {
+        let token = self.ctx.tracer().begin_span(name);
+        if !token.is_active() {
+            return SpanGuard {
+                token,
+                io: IoSnapshot::default(),
+                ops: 0,
+                pool: PoolStats::default(),
+            };
+        }
+        SpanGuard {
+            token,
+            io: self.io_snapshot(),
+            ops: self.cpu_ops(),
+            pool: self.ctx.pool().pool_stats(),
+        }
+    }
+
+    /// Close a measured span with the counter deltas since its open.
+    fn span_end(&self, guard: SpanGuard, detail: String) {
+        if !guard.token.is_active() {
+            return;
+        }
+        let io = self.io_snapshot() - guard.io;
+        let pool = self.ctx.pool().pool_stats().delta(&guard.pool);
+        let metrics = Metrics {
+            reads: io.reads,
+            writes: io.writes,
+            seq_reads: io.seq_reads,
+            seq_writes: io.seq_writes,
+            bytes_read: io.bytes_read,
+            bytes_written: io.bytes_written,
+            flops: self.cpu_ops() - guard.ops,
+            threads: self.cfg.threads.max(1) as u64,
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+        };
+        self.ctx.tracer().end_span(guard.token, detail, metrics);
+    }
+
+    /// Span detail: the node's rendered expression, truncated. Empty
+    /// (allocation-free) while tracing is disabled.
+    fn detail_of(&self, id: NodeId) -> String {
+        if !self.ctx.tracer().is_enabled() {
+            return String::new();
+        }
+        let mut s = self.graph.render(id);
+        if s.len() > 120 {
+            s.truncate(117);
+            s.push_str("...");
+        }
+        s
+    }
+
+    /// Emit the optimizer's decisions for the forcing point that just
+    /// optimized `root`: the chosen plan (rendered) and one event per
+    /// rewrite rule that fired.
+    fn record_opt_events(&self, root: NodeId) {
+        let tracer = self.ctx.tracer();
+        if !tracer.is_enabled() {
+            return;
+        }
+        tracer.record(EventKind::Plan {
+            detail: self.detail_of(root).into_boxed_str(),
+        });
+        let s = &self.last_opt_stats;
+        for (rule, count) in [
+            ("mask_to_ifelse", s.mask_to_ifelse),
+            ("gathers_pushed", s.gathers_pushed),
+            ("folds", s.folds),
+            ("chains_reordered", s.chains_reordered),
+            ("sparse_kernels", s.sparse_kernels),
+            ("sparse_densified", s.sparse_densified),
+            ("sparse_transposes", s.sparse_transposes),
+            ("transpose_densified", s.transpose_densified),
+        ] {
+            if count > 0 {
+                tracer.record(EventKind::Rewrite { rule, count });
+            }
+        }
     }
 
     fn chunk(&self) -> usize {
@@ -1028,21 +1164,27 @@ impl Runtime {
         match self.cfg.kind {
             EngineKind::MatNamed | EngineKind::Riot => {
                 let VecRepr::Node(id) = v else { unreachable!() };
+                let span = self.span_begin("aggregate");
                 let mut root = self.graph.agg(op, *id);
                 if self.cfg.kind == EngineKind::Riot {
                     let (r, stats) = optimize(&mut self.graph, root, &self.cfg.opt.clone());
                     self.last_opt_stats = stats;
                     root = r;
+                    self.record_opt_events(root);
                     self.spill_shared(root)?;
                 }
+                let detail = self.detail_of(root);
                 let Node::Agg { op, input } = *self.graph.node(root) else {
                     // Optimizer folded the aggregate to a scalar.
                     if let Node::Scalar(c) = *self.graph.node(root) {
+                        self.span_end(span, detail);
                         return Ok(c);
                     }
                     unreachable!("agg root stays an agg");
                 };
-                self.aggregate_node(op, input)
+                let out = self.aggregate_node(op, input);
+                self.span_end(span, detail);
+                out
             }
             EngineKind::PlainR => {
                 let VecRepr::Vm(id) = v else { unreachable!() };
@@ -1112,12 +1254,15 @@ impl Runtime {
         if let Node::VecSource { source, .. } = self.graph.node(id) {
             return Ok(self.vec_sources[&source.0].clone());
         }
+        let span = self.span_begin("materialize");
+        let detail = self.detail_of(id);
         let len = self.graph.shape(id).len();
         let pipe = self.compile(id, len)?;
         let ctx = Arc::clone(&self.ctx);
         let vec = materialize(pipe, &ctx, None)?;
         vec.flush()?;
         self.materialized.insert(id, vec.clone());
+        self.span_end(span, detail);
         Ok(vec)
     }
 
@@ -1136,26 +1281,37 @@ impl Runtime {
                 if let Some(vec) = self.materialized.get(&id) {
                     return Ok(vec.to_vec()?);
                 }
+                let span = self.span_begin("collect");
+                let detail = self.detail_of(id);
                 let len = self.graph.shape(id).len();
                 self.count_ops(len);
                 if let Some(out) = self.try_parallel_collect(id, len)? {
+                    self.span_end(span, detail);
                     return Ok(out);
                 }
                 let pipe = self.compile(id, len)?;
-                Ok(drain_to_vec(pipe)?)
+                let out = drain_to_vec(pipe)?;
+                self.span_end(span, detail);
+                Ok(out)
             }
             (EngineKind::Riot, VecRepr::Node(id)) => {
+                let span = self.span_begin("collect");
                 let cfg = self.cfg.opt;
                 let (root, stats) = optimize(&mut self.graph, *id, &cfg);
                 self.last_opt_stats = stats;
+                self.record_opt_events(root);
                 self.spill_shared(root)?;
+                let detail = self.detail_of(root);
                 let len = self.graph.shape(root).len();
                 self.count_ops(len);
                 if let Some(out) = self.try_parallel_collect(root, len)? {
+                    self.span_end(span, detail);
                     return Ok(out);
                 }
                 let pipe = self.compile(root, len)?;
-                Ok(drain_to_vec(pipe)?)
+                let out = drain_to_vec(pipe)?;
+                self.span_end(span, detail);
+                Ok(out)
             }
             _ => unreachable!("representation matches engine"),
         }
@@ -1686,23 +1842,28 @@ impl Runtime {
                 Ok((r, c, sm.mat.to_rows()?))
             }
             (_, MatRepr::Node(id)) => {
+                let span = self.span_begin("collect_matrix");
                 let mut root = *id;
                 if self.cfg.kind == EngineKind::Riot {
                     let cfg = self.cfg.opt;
                     let (r, stats) = optimize(&mut self.graph, root, &cfg);
                     self.last_opt_stats = stats;
                     root = r;
+                    self.record_opt_events(root);
                 }
-                match self.force_matrix_value(root)? {
+                let detail = self.detail_of(root);
+                let out = match self.force_matrix_value(root)? {
                     MatValue::Dense(mat) => {
                         let (r, c) = mat.shape();
-                        Ok((r, c, mat.to_rows()?))
+                        (r, c, mat.to_rows()?)
                     }
                     MatValue::Sparse(sp) => {
                         let (r, c) = sp.shape();
-                        Ok((r, c, sp.to_rows()?))
+                        (r, c, sp.to_rows()?)
                     }
-                }
+                };
+                self.span_end(span, detail);
+                Ok(out)
             }
             _ => unreachable!("representation matches engine"),
         }
@@ -1754,15 +1915,30 @@ impl Runtime {
             Node::Transpose { input } | Node::SpTranspose { input } => {
                 match self.force_matrix_value(input)? {
                     MatValue::Sparse(s) => {
+                        let span = self.span_begin("sptranspose");
+                        let detail = if span.token.is_active() {
+                            let (r, c) = s.shape();
+                            format!("{r}x{c} nnz={}", s.nnz())
+                        } else {
+                            String::new()
+                        };
                         let (t, moved) = spkernel::sptranspose(&s, None)?;
                         self.count_ops(moved as usize);
+                        self.span_end(span, detail);
                         MatValue::Sparse(t)
                     }
-                    MatValue::Dense(d) => MatValue::Dense(d.transpose(
-                        MatrixLayout::Square,
-                        TileOrder::RowMajor,
-                        None,
-                    )?),
+                    MatValue::Dense(d) => {
+                        let span = self.span_begin("transpose");
+                        let detail = if span.token.is_active() {
+                            let (r, c) = d.shape();
+                            format!("{r}x{c}")
+                        } else {
+                            String::new()
+                        };
+                        let t = d.transpose(MatrixLayout::Square, TileOrder::RowMajor, None)?;
+                        self.span_end(span, detail);
+                        MatValue::Dense(t)
+                    }
                 }
             }
             other => {
@@ -1792,32 +1968,77 @@ impl Runtime {
             (MatValue::Sparse(a), MatValue::Sparse(b)) => {
                 let (atr, atc) = a.tile_dims();
                 if (atr, atc) == b.tile_dims() && atr == atc {
+                    let span = self.span_begin("spmm");
+                    let detail = if span.token.is_active() {
+                        let (ar, ac) = a.shape();
+                        let (_, bc) = b.shape();
+                        format!("{ar}x{ac} * {ac}x{bc}")
+                    } else {
+                        String::new()
+                    };
                     let (t, flops) = spkernel::spmm_parallel(&a, &b, threads, None)?;
                     self.count_ops(flops as usize);
+                    self.span_end(span, detail);
                     MatValue::Sparse(t)
                 } else {
                     // Mismatched tilings: fall back to the sparse x dense
                     // kernel on a densified right side.
+                    let span = self.span_begin("spmdm");
+                    let detail = if span.token.is_active() {
+                        let (ar, ac) = a.shape();
+                        let (_, bc) = b.shape();
+                        format!("{ar}x{ac} * {ac}x{bc}")
+                    } else {
+                        String::new()
+                    };
                     let bd = b.to_dense(TileOrder::RowMajor, None)?;
                     let (t, flops) = spkernel::spmdm_parallel(&a, &bd, threads, None)?;
                     self.count_ops(flops as usize);
+                    self.span_end(span, detail);
                     MatValue::Dense(t)
                 }
             }
             (MatValue::Sparse(a), MatValue::Dense(b)) => {
+                let span = self.span_begin("spmdm");
+                let detail = if span.token.is_active() {
+                    let (ar, ac) = a.shape();
+                    let (_, bc) = b.shape();
+                    format!("{ar}x{ac} * {ac}x{bc}")
+                } else {
+                    String::new()
+                };
                 let (t, flops) = spkernel::spmdm_parallel(&a, &b, threads, None)?;
                 self.count_ops(flops as usize);
+                self.span_end(span, detail);
                 MatValue::Dense(t)
             }
             (MatValue::Dense(a), MatValue::Sparse(b)) => {
+                let span = self.span_begin("dmspm");
+                let detail = if span.token.is_active() {
+                    let (ar, ac) = a.shape();
+                    let (_, bc) = b.shape();
+                    format!("{ar}x{ac} * {ac}x{bc}")
+                } else {
+                    String::new()
+                };
                 let (t, flops) = spkernel::dmspm_parallel(&a, &b, threads, None)?;
                 self.count_ops(flops as usize);
+                self.span_end(span, detail);
                 MatValue::Dense(t)
             }
             (MatValue::Dense(a), MatValue::Dense(b)) => {
+                let span = self.span_begin("matmul");
+                let detail = if span.token.is_active() {
+                    let (ar, ac) = a.shape();
+                    let (_, bc) = b.shape();
+                    format!("{ar}x{ac} * {ac}x{bc}")
+                } else {
+                    String::new()
+                };
                 let (t, flops) =
                     matmul::multiply(self.cfg.matmul_kernel, &a, &b, self.mem_elems(), None)?;
                 self.count_ops(flops as usize);
+                self.span_end(span, detail);
                 MatValue::Dense(t)
             }
         })
@@ -1835,21 +2056,26 @@ impl Runtime {
                 // Forcing point: optimize first under Riot, exactly like
                 // collect_matrix, so nnz() executes the same physical
                 // plan (and records the same stats) as a collect would.
+                let span = self.span_begin("nnz");
                 let mut root = *id;
                 if self.cfg.kind == EngineKind::Riot {
                     let cfg = self.cfg.opt;
                     let (r, stats) = optimize(&mut self.graph, root, &cfg);
                     self.last_opt_stats = stats;
                     root = r;
+                    self.record_opt_events(root);
                 }
-                match self.force_matrix_value(root)? {
-                    MatValue::Sparse(s) => Ok(s.nnz()),
+                let detail = self.detail_of(root);
+                let out = match self.force_matrix_value(root)? {
+                    MatValue::Sparse(s) => s.nnz(),
                     MatValue::Dense(d) => {
                         let n = count_dense_nnz(&d)?;
                         self.count_ops(d.rows() * d.cols());
-                        Ok(n)
+                        n
                     }
-                }
+                };
+                self.span_end(span, detail);
+                Ok(out)
             }
             MatRepr::Vm { id, rows, cols } => {
                 let n = rows * cols;

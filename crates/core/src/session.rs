@@ -22,14 +22,18 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Instant;
 
 use riot_array::MatrixLayout;
-use riot_storage::{DiskModel, IoSnapshot};
+use riot_storage::{DiskModel, IoSnapshot, PoolStats, StorageReport};
+use riot_trace::Metrics;
 
 use crate::exec::{ExecError, ExecResult};
 use crate::expr::{AggOp, BinOp, UnOp};
 use crate::opt::RewriteStats;
 use crate::policy::{EngineConfig, EngineKind, MatRepr, Runtime, VecRepr};
+use crate::profile::QueryProfile;
 
 /// An interactive session bound to one engine.
 #[derive(Clone)]
@@ -158,6 +162,102 @@ impl Session {
     /// Optimizer statistics from the most recent forcing point.
     pub fn last_opt_stats(&self) -> RewriteStats {
         self.rt.borrow().last_opt_stats
+    }
+
+    /// Buffer-pool cache-effectiveness counters so far.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.rt.borrow().pool_stats()
+    }
+
+    /// Folded storage counters so far: counted I/O plus pool counters
+    /// (see [`StorageReport`]).
+    pub fn storage_report(&self) -> StorageReport {
+        self.rt.borrow().storage_report()
+    }
+
+    /// Profile one region of this session: tracing turns on, `f` runs,
+    /// and everything observed — the span tree of forcing points and
+    /// kernels, the counted-I/O / flop / pool-counter deltas, every typed
+    /// storage event — comes back as a structured [`QueryProfile`].
+    ///
+    /// The profile's root totals are the *measured* deltas for the region
+    /// (identical to bracketing `f` with [`Session::io_snapshot`] /
+    /// [`Session::cpu_ops`] yourself), so its accounting always reconciles
+    /// with the engine's own counters. If tracing was off before the call
+    /// it is off again after; counted I/O is unaffected either way.
+    pub fn profile<R>(&self, f: impl FnOnce() -> R) -> (R, QueryProfile) {
+        let (tracer, engine, was_enabled, io0, ops0, pool0) = {
+            let rt = self.rt.borrow();
+            let tracer = Arc::clone(rt.tracer());
+            let was_enabled = tracer.is_enabled();
+            tracer.enable();
+            // Discard anything buffered before the region of interest.
+            let _ = tracer.drain();
+            (
+                tracer,
+                rt.cfg.kind.label().to_string(),
+                was_enabled,
+                rt.io_snapshot(),
+                rt.cpu_ops(),
+                rt.pool_stats(),
+            )
+        };
+        let dropped0 = tracer.dropped();
+        let t0 = Instant::now();
+        let out = f();
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let events = tracer.drain();
+        let (io, flops, pool, threads) = {
+            let rt = self.rt.borrow();
+            (
+                rt.io_snapshot() - io0,
+                rt.cpu_ops() - ops0,
+                rt.pool_stats().delta(&pool0),
+                rt.cfg.threads.max(1) as u64,
+            )
+        };
+        if !was_enabled {
+            tracer.disable();
+        }
+        let total = Metrics {
+            reads: io.reads,
+            writes: io.writes,
+            seq_reads: io.seq_reads,
+            seq_writes: io.seq_writes,
+            bytes_read: io.bytes_read,
+            bytes_written: io.bytes_written,
+            flops,
+            threads,
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+        };
+        let profile = QueryProfile::assemble(
+            engine,
+            events,
+            total,
+            pool,
+            wall_ns,
+            tracer.dropped() - dropped0,
+        );
+        (out, profile)
+    }
+
+    /// EXPLAIN a deferred vector: the logical plan tree the next forcing
+    /// point would execute (under Riot, after running the optimizer).
+    /// Eager engines have no deferred plan and say so.
+    pub fn explain(&self, v: &RVec) -> String {
+        match &v.repr {
+            VecRepr::Node(id) => self.rt.borrow_mut().explain(*id),
+            _ => format!("<materialized> ({} evaluates eagerly)", self.kind().label()),
+        }
+    }
+
+    /// EXPLAIN a deferred matrix (see [`Session::explain`]).
+    pub fn explain_mat(&self, m: &RMat) -> String {
+        match &m.repr {
+            MatRepr::Node(id) => self.rt.borrow_mut().explain(*id),
+            _ => format!("<materialized> ({} evaluates eagerly)", self.kind().label()),
+        }
     }
 
     /// Render a deferred vector's expression as R-like text.
@@ -423,6 +523,12 @@ impl RVec {
         self.sess.rt.borrow_mut().collect(&self.repr)
     }
 
+    /// EXPLAIN this vector's deferred plan — sugar for
+    /// [`Session::explain`].
+    pub fn explain(&self) -> String {
+        self.sess.explain(self)
+    }
+
     /// The session owning this handle.
     pub fn session(&self) -> &Session {
         &self.sess
@@ -506,6 +612,12 @@ impl RMat {
     /// Force evaluation: `(rows, cols, row-major data)`.
     pub fn collect(&self) -> ExecResult<(usize, usize, Vec<f64>)> {
         self.sess.rt.borrow_mut().collect_matrix(&self.repr)
+    }
+
+    /// EXPLAIN this matrix's deferred plan — sugar for
+    /// [`Session::explain_mat`].
+    pub fn explain(&self) -> String {
+        self.sess.explain_mat(self)
     }
 
     /// The session owning this handle.

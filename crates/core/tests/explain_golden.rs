@@ -1,0 +1,62 @@
+//! Golden-file EXPLAIN check: the rendered logical plan and the
+//! deterministic (count-only) profile tree for a fixed program are pinned
+//! to a committed file, so any change to plan shape, rewrite behavior, or
+//! counted I/O shows up as a reviewable text diff.
+//!
+//! Regenerate after an intentional change with:
+//! `RIOT_UPDATE_GOLDEN=1 cargo test -p riot-core --test explain_golden`
+
+use riot_core::{EngineConfig, EngineKind, Session};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/explain.txt");
+
+fn fixed_program() -> String {
+    let mut cfg = EngineConfig::new(EngineKind::Riot);
+    cfg.block_size = 512;
+    cfg.chunk_elems = 64;
+    cfg.mem_blocks = 24;
+    let s = Session::new(cfg);
+
+    let n = 64 * 10;
+    let x = s.vector_from_fn(n, |i| i as f64 * 0.5).unwrap();
+    let y = s.vector_from_fn(n, |i| (n - i) as f64).unwrap();
+    let d = ((&x - 1.0).square() + (&y - 2.0).square()).sqrt();
+    let mask = d.gt(100.0);
+    let clamped = d.mask_assign(&mask, 100.0);
+    let idx = s.range(1, 10).unwrap();
+    let z = clamped.index(&idx);
+
+    let mut out = String::new();
+    out.push_str("== EXPLAIN (logical plan after optimization) ==\n");
+    out.push_str(&z.explain());
+
+    s.drop_caches().unwrap();
+    let (_, profile) = s.profile(|| z.collect().unwrap());
+    out.push_str("\n== PROFILE (deterministic counters) ==\n");
+    out.push_str(&profile.render_counts());
+    out
+}
+
+#[test]
+fn explain_and_profile_match_golden() {
+    let got = fixed_program();
+    if std::env::var_os("RIOT_UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("golden file missing; run with RIOT_UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        got, want,
+        "EXPLAIN/profile drifted from {GOLDEN}; if intentional, regenerate \
+         with RIOT_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn eager_engines_explain_as_materialized() {
+    let s = Session::with_engine(EngineKind::PlainR);
+    let x = s.vector_from_fn(10, |i| i as f64).unwrap();
+    let y = &x + 1.0;
+    assert!(y.explain().contains("<materialized>"), "{}", y.explain());
+}

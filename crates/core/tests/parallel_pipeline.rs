@@ -39,7 +39,28 @@ fn parallel_collect_matches_sequential_exactly() {
         for threads in [2, 4] {
             let (par, par_io, par_ops) = run_elementwise(kind, threads);
             assert_eq!(par, seq, "{kind:?}/{threads}: results diverged");
-            assert_eq!(par_io, seq_io, "{kind:?}/{threads}: I/O diverged");
+            // Totals and bytes are exact; the sequential/random *classification*
+            // is best-effort when worker reads interleave (see
+            // riot_storage::stats) — at partition boundaries, adjacent blocks
+            // belong to different workers, and whether the global last-block
+            // tracker sees them back-to-back is a race.
+            assert_eq!(
+                (
+                    par_io.reads,
+                    par_io.writes,
+                    par_io.bytes_read,
+                    par_io.bytes_written,
+                    par_io.syncs
+                ),
+                (
+                    seq_io.reads,
+                    seq_io.writes,
+                    seq_io.bytes_read,
+                    seq_io.bytes_written,
+                    seq_io.syncs
+                ),
+                "{kind:?}/{threads}: I/O diverged"
+            );
             assert_eq!(par_ops, seq_ops, "{kind:?}/{threads}: op counts diverged");
         }
     }

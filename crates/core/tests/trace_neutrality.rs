@@ -1,0 +1,191 @@
+//! Trace neutrality and profile accounting.
+//!
+//! The tracing invariant this PR pins: with tracing **disabled** every
+//! counted-I/O and result-parity observable is bit-for-bit what it was
+//! before the tracer existed, and with tracing **enabled** the counted
+//! I/O, scalar op counts, pool counters, and results are *still*
+//! identical — the tracer only observes. On top of that,
+//! [`Session::profile`] must reconcile exactly: its root totals are the
+//! same deltas `io_snapshot()`/`cpu_ops()` bracketing reports, and the
+//! span tree's self-metrics sum back to those totals.
+
+use riot_core::{EngineConfig, EngineKind, Session};
+use riot_storage::{IoSnapshot, PoolStats};
+
+/// Everything a run exposes that tracing must not perturb.
+#[derive(Debug, PartialEq)]
+struct Observables {
+    result: Vec<f64>,
+    io: IoSnapshot,
+    ops: u64,
+    pool: PoolStats,
+}
+
+fn tight_cfg(kind: EngineKind) -> EngineConfig {
+    let mut cfg = EngineConfig::new(kind);
+    cfg.block_size = 512; // 64 elements per block
+    cfg.chunk_elems = 64;
+    cfg.mem_blocks = 24; // tight enough to force eviction traffic
+    cfg
+}
+
+/// Run `work` under `kind`, optionally inside a profiled region, and
+/// report every observable.
+fn observe(kind: EngineKind, traced: bool, work: impl Fn(&Session) -> Vec<f64>) -> Observables {
+    let s = Session::new(tight_cfg(kind));
+    let result = if traced {
+        s.profile(|| work(&s)).0
+    } else {
+        work(&s)
+    };
+    Observables {
+        result,
+        io: s.io_snapshot(),
+        ops: s.cpu_ops(),
+        pool: s.pool_stats(),
+    }
+}
+
+fn elementwise_gather(s: &Session) -> Vec<f64> {
+    let n = 64 * 20;
+    let x = s
+        .vector_from_fn(n, |i| (i as f64 * 0.01).sin() * 20.0)
+        .unwrap();
+    let y = s
+        .vector_from_fn(n, |i| (i as f64 * 0.01).cos() * 20.0)
+        .unwrap();
+    let d = ((&x - 1.0).square() + (&y - 2.0).square()).sqrt();
+    let mask = d.gt(25.0);
+    let clamped = d.mask_assign(&mask, 25.0);
+    let idx = s.sample(n, 32).unwrap();
+    let mut out = clamped.index(&idx).collect().unwrap();
+    out.push(clamped.sum().unwrap());
+    out
+}
+
+fn dense_matmul(s: &Session) -> Vec<f64> {
+    use riot_array::MatrixLayout;
+    let a = s
+        .matrix_from_fn(24, 16, MatrixLayout::Square, |i, j| {
+            (i + 2 * j) as f64 * 0.5
+        })
+        .unwrap();
+    let b = s
+        .matrix_from_fn(16, 24, MatrixLayout::Square, |i, j| (i * j % 7) as f64)
+        .unwrap();
+    let c = a.matmul(&b).t();
+    let (_, _, data) = c.collect().unwrap();
+    data
+}
+
+fn sparse_kernels(s: &Session) -> Vec<f64> {
+    use riot_array::MatrixLayout;
+    let n = 48;
+    let triplets: Vec<(usize, usize, f64)> = (0..n)
+        .flat_map(|i| [(i, i, 2.0), (i, (i * 7 + 3) % n, 0.5)])
+        .collect();
+    let sp = s.sparse_matrix(n, n, &triplets).unwrap();
+    // sparse x sparse, a transpose, and sparse x dense: the spmm /
+    // sptranspose / spmdm kernel family.
+    let sq = sp.matmul(&sp).t();
+    let mut out = vec![sq.nnz().unwrap() as f64];
+    let d = s
+        .matrix_from_fn(n, 8, MatrixLayout::Square, |i, j| (i + j) as f64)
+        .unwrap();
+    let (_, _, data) = sp.matmul(&d).collect().unwrap();
+    out.extend(data);
+    out
+}
+
+#[test]
+fn elementwise_observables_identical_traced_or_not() {
+    for kind in EngineKind::all() {
+        let plain = observe(kind, false, elementwise_gather);
+        let traced = observe(kind, true, elementwise_gather);
+        assert_eq!(plain, traced, "{kind:?}: tracing perturbed the engine");
+    }
+}
+
+#[test]
+fn matmul_observables_identical_traced_or_not() {
+    for kind in [EngineKind::Riot, EngineKind::MatNamed] {
+        let plain = observe(kind, false, dense_matmul);
+        let traced = observe(kind, true, dense_matmul);
+        assert_eq!(plain, traced, "{kind:?}: tracing perturbed matmul");
+    }
+}
+
+#[test]
+fn sparse_observables_identical_traced_or_not() {
+    for kind in [EngineKind::Riot, EngineKind::MatNamed] {
+        let plain = observe(kind, false, sparse_kernels);
+        let traced = observe(kind, true, sparse_kernels);
+        assert_eq!(plain, traced, "{kind:?}: tracing perturbed sparse kernels");
+    }
+}
+
+#[test]
+fn profile_totals_reconcile_with_engine_counters() {
+    for kind in EngineKind::all() {
+        let s = Session::new(tight_cfg(kind));
+        let io0 = s.io_snapshot();
+        let ops0 = s.cpu_ops();
+        let (_, profile) = s.profile(|| elementwise_gather(&s));
+        let io = s.io_snapshot() - io0;
+        let ops = s.cpu_ops() - ops0;
+
+        // The acceptance criterion: the profile's summed reads/writes
+        // equal the IoSnapshot delta for the same run, exactly. (The
+        // profile does not track syncs; mask that one field out.)
+        assert_eq!(profile.io(), IoSnapshot { syncs: 0, ..io }, "{kind:?}");
+        assert_eq!(profile.total().flops, ops, "{kind:?}");
+        // And the tree's self-metrics sum back to the measured root.
+        assert_eq!(profile.sum_self(), profile.total(), "{kind:?}");
+        assert_eq!(profile.dropped, 0, "{kind:?}: ring overflowed");
+    }
+}
+
+#[test]
+fn profile_sees_spans_and_storage_events_under_deferred_engines() {
+    let s = Session::new(tight_cfg(EngineKind::Riot));
+    let (_, profile) = s.profile(|| elementwise_gather(&s));
+    assert!(
+        profile.root.count() > 1,
+        "forcing points recorded spans:\n{}",
+        profile.render_tree()
+    );
+    assert!(
+        profile.event_count("pool_miss") > 0,
+        "cold reads appear as pool misses"
+    );
+    assert!(
+        profile.event_count("plan") > 0,
+        "the optimizer recorded its plan"
+    );
+    // The renderers work end to end on a real profile.
+    assert!(profile.render_tree().contains("QUERY PROFILE [RIOT-DB]"));
+    assert!(profile.render_flat().contains("engine         RIOT-DB"));
+    let json = profile.to_chrome_json();
+    assert!(json.starts_with('[') && json.contains("\"ph\":\"X\""));
+}
+
+#[test]
+fn profiling_twice_leaves_tracing_off_between_regions() {
+    let s = Session::new(tight_cfg(EngineKind::Riot));
+    let (_, p1) = s.profile(|| elementwise_gather(&s));
+    // Work *between* profiled regions is not recorded...
+    let x = s.vector_from_fn(640, |i| i as f64).unwrap();
+    let _ = (&x * 2.0).sum().unwrap();
+    // ...so the second profile starts from a clean buffer.
+    let (_, p2) = s.profile(|| {
+        let y = s.vector_from_fn(64, |i| i as f64).unwrap();
+        (&y + 1.0).collect().unwrap()
+    });
+    assert!(p1.root.count() > 1);
+    let spans: Vec<&str> = p2.root.children.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(
+        spans,
+        ["collect"],
+        "only the second region's span: {spans:?}"
+    );
+}

@@ -367,6 +367,11 @@ impl Interpreter {
     }
 
     fn call(&mut self, name: &str, args: &[(Option<String>, Expr)]) -> RResult<RValue> {
+        // riot.profile must see its argument *unevaluated*: the point is to
+        // bracket evaluation (and forcing) with the session profiler.
+        if name == "riot.profile" {
+            return self.profile_builtin(args);
+        }
         // Evaluate arguments once, in order.
         let mut vals: Vec<(Option<String>, RValue)> = Vec::with_capacity(args.len());
         for (n, e) in args {
@@ -631,10 +636,66 @@ impl Interpreter {
                 self.output.push('\n');
                 Ok(RValue::Null)
             }
+            "explain" => {
+                // Engine-transparent: deferred engines print the optimized
+                // logical plan, eager engines report the value as already
+                // materialized (same program text runs everywhere).
+                let text = match self.arg1(&positional, name)? {
+                    RValue::Vector { v, .. } => self.session.explain(v),
+                    RValue::Matrix(m) => self.session.explain_mat(m),
+                    _ => "<value> (nothing to explain)".to_string(),
+                };
+                self.output.push_str(text.trim_end());
+                self.output.push('\n');
+                Ok(RValue::Null)
+            }
             other => Err(RError::Runtime(format!(
                 "could not find function \"{other}\""
             ))),
         }
+    }
+
+    /// `riot.profile(expr)`: evaluate and force `expr` inside a profiled
+    /// region, append the flat I/O profile to the script output, and return
+    /// the value. `riot.profile()` with no argument prints the session's
+    /// cumulative pool and storage counters instead.
+    fn profile_builtin(&mut self, args: &[(Option<String>, Expr)]) -> RResult<RValue> {
+        if args.is_empty() {
+            let text = format!(
+                "{}\n{}",
+                self.session.pool_stats(),
+                self.session.storage_report()
+            );
+            self.output.push_str(text.trim_end());
+            self.output.push('\n');
+            return Ok(RValue::Null);
+        }
+        // A clone is a second handle onto the same runtime, so the closure
+        // can borrow the interpreter mutably while the profiler brackets it.
+        let session = self.session.clone();
+        let (res, profile) = session.profile(|| -> RResult<RValue> {
+            let v = self.eval(&args[0].1)?;
+            self.force(&v)?;
+            Ok(v)
+        });
+        let v = res?;
+        self.output.push_str(&profile.render_flat());
+        Ok(v)
+    }
+
+    /// Drive a deferred value to completion so its work lands inside the
+    /// profiled region rather than at some later forcing point.
+    fn force(&mut self, v: &RValue) -> RResult<()> {
+        match v {
+            RValue::Vector { v, .. } => {
+                v.collect()?;
+            }
+            RValue::Matrix(m) => {
+                m.collect()?;
+            }
+            _ => {}
+        }
+        Ok(())
     }
 
     fn arg1<'v>(&self, positional: &[&'v RValue], name: &str) -> RResult<&'v RValue> {
@@ -1006,5 +1067,56 @@ print(sum(nnz(p1) + nnz(p2) + nnz(p3) + nnz(p4)))";
         let a = run("x <- runif(5)\nprint(sum(x) > 0)");
         let b = run("x <- runif(5)\nprint(sum(x) > 0)");
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explain_prints_a_plan_under_deferred_engines() {
+        let src = "x <- 1:100\ny <- sqrt(x^2 + 1)\nexplain(y[c(3, 7)])";
+        let out = run(src);
+        // The optimizer pushed the 2-element gather through the whole
+        // pipeline: every node in the printed plan is already vec[2].
+        assert!(out.contains("map sqrt"), "optimized plan shown:\n{out}");
+        assert!(out.contains("vec[2]"), "gather pushed down:\n{out}");
+        assert!(out.contains("└─"), "plan renders as a tree:\n{out}");
+    }
+
+    #[test]
+    fn explain_is_engine_transparent() {
+        // The same program runs under every engine; eager engines report
+        // the value as materialized instead of erroring.
+        let src = "x <- 1:20\nexplain(x + 1)";
+        for kind in EngineKind::all() {
+            let out = run_with(kind, src);
+            assert!(!out.is_empty(), "{kind:?} produced no explain output");
+        }
+        let eager = run_with(EngineKind::PlainR, src);
+        assert!(eager.contains("<materialized>"), "{eager}");
+    }
+
+    #[test]
+    fn explain_matrix_and_scalar() {
+        let out = run("m <- matrix(1:12, nrow = 3)\nexplain(t(m) %*% m)");
+        assert!(!out.trim().is_empty(), "{out}");
+        assert!(run("explain(42)").contains("nothing to explain"));
+    }
+
+    #[test]
+    fn riot_profile_brackets_its_argument() {
+        let src = "x <- 1:512\nz <- riot.profile(sum(x * 2))\nprint(z)";
+        for kind in EngineKind::all() {
+            let out = run_with(kind, src);
+            assert!(out.contains("engine"), "{kind:?}:\n{out}");
+            assert!(out.contains("flops"), "{kind:?}:\n{out}");
+            // The profiled value is returned unchanged and still usable.
+            assert!(out.trim_end().ends_with("[1] 262656"), "{kind:?}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn riot_profile_without_args_reports_session_counters() {
+        let out = run("x <- 1:256\nprint(sum(x))\nriot.profile()");
+        assert!(out.contains("[1] 32896"), "{out}");
+        // Cumulative pool + storage report, not a per-query profile.
+        assert!(out.contains("hit"), "pool stats present:\n{out}");
     }
 }

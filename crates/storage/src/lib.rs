@@ -85,6 +85,7 @@ pub mod file_device;
 pub mod mem_device;
 pub mod pool;
 pub mod replacer;
+pub mod report;
 pub mod retry;
 pub mod stats;
 pub mod testing;
@@ -98,7 +99,8 @@ pub use file_device::FileBlockDevice;
 pub use mem_device::MemBlockDevice;
 pub use pool::{BufferPool, PinnedFrame, PinnedFrameMut, PoolConfig, PoolStats, PREFETCH_AUTO};
 pub use replacer::{ClockReplacer, LruReplacer, MruReplacer, Replacer, ReplacerKind};
-pub use retry::{RetryDevice, RetryPolicy, RetryStats};
+pub use report::StorageReport;
+pub use retry::{RetryDevice, RetryPolicy, RetrySnapshot, RetryStats};
 pub use stats::{DiskModel, InFlight, IoSnapshot, IoStats};
 pub use testing::{FailpointDevice, FailpointHandle, Watchdog};
 pub use verify::{checksum64, VerifyingDevice};

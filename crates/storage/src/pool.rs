@@ -100,6 +100,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
+use riot_trace::{EventKind, Tracer};
+
 use crate::device::{BlockDevice, BlockId};
 use crate::error::{Result, StorageError};
 use crate::replacer::{make_replacer, FrameId, Replacer, ReplacerKind};
@@ -191,6 +193,45 @@ impl PoolStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Field-wise difference against an earlier snapshot (saturating, so a
+    /// stale baseline never underflows).
+    pub fn delta(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evict_writebacks: self
+                .evict_writebacks
+                .saturating_sub(earlier.evict_writebacks),
+            writeback_retries: self
+                .writeback_retries
+                .saturating_sub(earlier.writeback_retries),
+            coalesced_loads: self.coalesced_loads.saturating_sub(earlier.coalesced_loads),
+            prefetch_issued: self.prefetch_issued.saturating_sub(earlier.prefetch_issued),
+            prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
+            prefetch_wasted: self.prefetch_wasted.saturating_sub(earlier.prefetch_wasted),
+        }
+    }
+}
+
+impl std::fmt::Display for PoolStats {
+    /// One-line summary: `hits/misses (rate), evict-wb, coalesced, prefetch
+    /// issued/hit/wasted` — the shape tests and benches print.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pool: {} hits / {} misses ({:.1}% hit rate), {} evict write-backs, \
+             {} coalesced, prefetch {}/{}/{} issued/hit/wasted",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.evict_writebacks,
+            self.coalesced_loads,
+            self.prefetch_issued,
+            self.prefetch_hits,
+            self.prefetch_wasted,
+        )
     }
 }
 
@@ -318,11 +359,16 @@ impl Shard {
     }
 
     /// The frame's mapping is being dropped for reuse: if it carried a
-    /// never-pinned prefetch, that background read was wasted.
-    fn note_recycled(&self, fm: &mut FrameMeta) {
+    /// never-pinned prefetch, that background read was wasted. Returns
+    /// whether a wasted prefetch was counted (so the caller can record the
+    /// trace event — the shard itself has no tracer handle).
+    fn note_recycled(&self, fm: &mut FrameMeta) -> bool {
         if fm.prefetched {
             fm.prefetched = false;
             self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
         }
     }
 }
@@ -443,6 +489,9 @@ struct PoolCore {
     /// Resolved worker count (0 = prefetching disabled).
     prefetch_depth: usize,
     prefetch: PrefetchState,
+    /// Trace recorder shared by every layer above this pool (disabled by
+    /// default; recording never changes what the pool reads or writes).
+    tracer: Arc<Tracer>,
 }
 
 impl BufferPool {
@@ -459,6 +508,20 @@ impl BufferPool {
     /// count; frames are divided evenly, with the remainder going to the
     /// lowest-numbered shards.
     pub fn new_sharded(device: Box<dyn BlockDevice>, config: PoolConfig, shards: usize) -> Self {
+        Self::with_tracer(device, config, shards, Arc::new(Tracer::new()))
+    }
+
+    /// Build a sharded pool recording into `tracer` (disabled tracers cost
+    /// one relaxed atomic load per would-be event). Sharing one tracer
+    /// between the pool and the device wrappers stacked beneath it
+    /// ([`crate::RetryDevice`], [`crate::VerifyingDevice`]) merges their
+    /// events into a single timeline.
+    pub fn with_tracer(
+        device: Box<dyn BlockDevice>,
+        config: PoolConfig,
+        shards: usize,
+        tracer: Arc<Tracer>,
+    ) -> Self {
         assert!(config.frames > 0, "pool needs at least one frame");
         let block_size = device.block_size();
         assert!(
@@ -523,6 +586,7 @@ impl BufferPool {
             capacity: config.frames,
             prefetch_depth,
             prefetch: PrefetchState::default(),
+            tracer,
         });
         let workers = (0..prefetch_depth)
             .map(|i| {
@@ -599,6 +663,22 @@ impl BufferPool {
     /// Shared device I/O counters.
     pub fn io_stats(&self) -> Arc<IoStats> {
         Arc::clone(&self.core.io)
+    }
+
+    /// The pool's trace recorder (shared with every layer instrumenting
+    /// against this pool; disabled by default).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.core.tracer
+    }
+
+    /// One-call snapshot of everything this pool can observe: counted I/O
+    /// plus cache-effectiveness counters. Retry/corruption counters live in
+    /// the device wrappers (the pool sees them type-erased), so callers
+    /// that stacked those fold them in via
+    /// [`crate::StorageReport::with_retries`] /
+    /// [`crate::StorageReport::with_corruptions`].
+    pub fn storage_report(&self) -> crate::StorageReport {
+        crate::StorageReport::new(self.io_stats().snapshot(), self.pool_stats())
     }
 
     /// Gauges of device I/O currently outstanding on the pool's behalf
@@ -825,7 +905,10 @@ impl PoolCore {
                 // Checked before any mutation so the panic leaves the shard
                 // consistent (the caller's guard still unpins cleanly).
                 assert!(fm.readers == 0 && !fm.writer, "freeing a pinned block");
-                shard.note_recycled(&mut meta.frames[frame]);
+                if shard.note_recycled(&mut meta.frames[frame]) {
+                    self.tracer
+                        .record(EventKind::PrefetchWasted { block: id.0 });
+                }
                 meta.map.remove(&id);
                 meta.frames[frame].block = None;
                 meta.frames[frame].dirty = false;
@@ -907,6 +990,8 @@ impl PoolCore {
                         if !coalesced && !meta.frames[frame].prefetched {
                             coalesced = true;
                             shard.coalesced_loads.fetch_add(1, Ordering::Relaxed);
+                            self.tracer
+                                .record(EventKind::CoalescedLoad { block: block.0 });
                         }
                         meta = wait(shard, meta);
                         continue;
@@ -961,6 +1046,8 @@ impl PoolCore {
                     // paid this pin's device read.
                     meta.frames[frame].prefetched = false;
                     shard.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                    self.tracer
+                        .record(EventKind::PrefetchHit { block: block.0 });
                 }
                 shard.hits.fetch_add(1, Ordering::Relaxed);
                 match mode {
@@ -990,6 +1077,7 @@ impl PoolCore {
             }
 
             shard.misses.fetch_add(1, Ordering::Relaxed);
+            self.tracer.record(EventKind::PoolMiss { block: block.0 });
             if load {
                 // Claim the slot, then read with the shard lock dropped.
                 // Concurrent pins of this block find the LoadInFlight entry
@@ -1135,7 +1223,14 @@ impl PoolCore {
                 "victim must not be mid-I/O (in-flight frames are unevictable)"
             );
             if !meta.frames[victim].dirty {
-                shard.note_recycled(&mut meta.frames[victim]);
+                if shard.note_recycled(&mut meta.frames[victim]) {
+                    self.tracer
+                        .record(EventKind::PrefetchWasted { block: old_block.0 });
+                }
+                self.tracer.record(EventKind::PoolEvict {
+                    block: old_block.0,
+                    dirty: false,
+                });
                 meta.map.remove(&old_block);
                 meta.frames[victim].block = None;
                 return (meta, Ok(Some(victim)));
@@ -1178,12 +1273,23 @@ impl PoolCore {
                     // (and re-tries this one otherwise — either way a
                     // transient fault recovers without the caller noticing).
                     shard.writeback_retries.fetch_add(1, Ordering::Relaxed);
+                    self.tracer
+                        .record(EventKind::WritebackRetry { block: old_block.0 });
                     meta = meta_back;
                     continue;
                 }
                 Ok(()) => {
                     shard.evict_writebacks.fetch_add(1, Ordering::Relaxed);
-                    shard.note_recycled(&mut meta_back.frames[victim]);
+                    self.tracer
+                        .record(EventKind::PoolWriteBack { block: old_block.0 });
+                    self.tracer.record(EventKind::PoolEvict {
+                        block: old_block.0,
+                        dirty: true,
+                    });
+                    if shard.note_recycled(&mut meta_back.frames[victim]) {
+                        self.tracer
+                            .record(EventKind::PrefetchWasted { block: old_block.0 });
+                    }
                     meta_back.frames[victim].dirty = false;
                     meta_back.map.remove(&old_block);
                     meta_back.frames[victim].block = None;
@@ -1268,6 +1374,8 @@ impl PoolCore {
         meta.frames[frame].state = FrameState::Resident;
         if res.is_ok() {
             meta.frames[frame].dirty = false;
+            self.tracer
+                .record(EventKind::PoolWriteBack { block: block.0 });
         }
         let evictable = meta.frames[frame].readers == 0 && !meta.frames[frame].writer;
         meta.replacer.set_evictable(frame, evictable);
@@ -1348,7 +1456,10 @@ impl PoolCore {
                         continue;
                     }
                 }
-                shard.note_recycled(&mut meta.frames[frame]);
+                if shard.note_recycled(&mut meta.frames[frame]) {
+                    self.tracer
+                        .record(EventKind::PrefetchWasted { block: block.0 });
+                }
                 meta.map.remove(&block);
                 meta.frames[frame].block = None;
                 meta.replacer.remove(frame);
@@ -1462,6 +1573,8 @@ impl PoolCore {
             return;
         }
         shard.prefetch_issued.fetch_add(1, Ordering::Relaxed);
+        self.tracer
+            .record(EventKind::PrefetchIssued { block: block.0 });
         meta.frames[frame] = FrameMeta {
             block: Some(block),
             readers: 0,

@@ -1,0 +1,125 @@
+//! One-stop storage health snapshot: counted I/O, pool behaviour, and
+//! fault-layer activity folded into a single value.
+//!
+//! The PR-6 fault-tolerance wrappers each grew their own counters
+//! ([`crate::RetryStats`], [`crate::VerifyingDevice::corruptions_detected`])
+//! next to the counted-I/O ledger ([`crate::IoStats`]) and the pool's
+//! hit/miss accounting ([`crate::PoolStats`]). [`StorageReport`] is the
+//! aggregate observers actually want: capture one before and one after a
+//! region of interest, or print one at the end of a run, and every layer's
+//! story is in one place.
+
+use std::fmt;
+
+use crate::pool::PoolStats;
+use crate::retry::RetrySnapshot;
+use crate::stats::IoSnapshot;
+
+/// Point-in-time aggregate of every storage-layer counter family.
+///
+/// Build one with [`crate::BufferPool::storage_report`] (which fills the
+/// counted I/O and pool sections) and attach the fault-layer sections with
+/// [`StorageReport::with_retries`] / [`StorageReport::with_corruptions`]
+/// when the device stack includes those wrappers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StorageReport {
+    /// Counted device I/O (the paper's DTrace-equivalent ledger).
+    pub io: IoSnapshot,
+    /// Buffer-pool hit/miss/eviction/prefetch counters.
+    pub pool: PoolStats,
+    /// Retry-layer activity, all zeros unless attached via
+    /// [`StorageReport::with_retries`].
+    pub retries: RetrySnapshot,
+    /// Checksum mismatches detected, 0 unless attached via
+    /// [`StorageReport::with_corruptions`].
+    pub corruptions: u64,
+}
+
+impl StorageReport {
+    /// A report over the counted-I/O and pool sections (the two every pool
+    /// has); fault-layer sections start zeroed.
+    pub fn new(io: IoSnapshot, pool: PoolStats) -> Self {
+        StorageReport {
+            io,
+            pool,
+            retries: RetrySnapshot::default(),
+            corruptions: 0,
+        }
+    }
+
+    /// Attach the retry layer's counters (from
+    /// [`crate::RetryDevice::retry_stats`]).
+    pub fn with_retries(mut self, retries: &crate::retry::RetryStats) -> Self {
+        self.retries = retries.snapshot();
+        self
+    }
+
+    /// Attach the corruption count (from
+    /// [`crate::VerifyingDevice::corruptions_detected`]).
+    pub fn with_corruptions(mut self, corruptions: u64) -> Self {
+        self.corruptions = corruptions;
+        self
+    }
+
+    /// True when the fault layers saw nothing: no retries, no give-ups,
+    /// no corruption. The healthy steady state.
+    pub fn fault_free(&self) -> bool {
+        self.retries == RetrySnapshot::default() && self.corruptions == 0
+    }
+}
+
+impl fmt::Display for StorageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "io:   {}", self.io)?;
+        writeln!(f, "{}", self.pool)?;
+        if self.fault_free() {
+            write!(f, "faults: none")
+        } else {
+            writeln!(f, "{}", self.retries)?;
+            write!(f, "corruptions detected: {}", self.corruptions)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retry::RetryStats;
+
+    #[test]
+    fn fresh_report_is_fault_free() {
+        let r = StorageReport::new(IoSnapshot::default(), PoolStats::default());
+        assert!(r.fault_free());
+        let text = r.to_string();
+        assert!(text.contains("faults: none"), "got: {text}");
+    }
+
+    #[test]
+    fn attached_fault_counters_surface_in_display() {
+        let stats = RetryStats::default();
+        let r = StorageReport::new(IoSnapshot::default(), PoolStats::default())
+            .with_retries(&stats)
+            .with_corruptions(3);
+        assert!(!r.fault_free());
+        let text = r.to_string();
+        assert!(text.contains("corruptions detected: 3"), "got: {text}");
+        assert!(text.contains("retries:"), "got: {text}");
+    }
+
+    #[test]
+    fn display_folds_all_sections() {
+        let io = IoSnapshot {
+            reads: 7,
+            writes: 2,
+            ..Default::default()
+        };
+        let pool = PoolStats {
+            hits: 10,
+            misses: 7,
+            ..Default::default()
+        };
+        let text = StorageReport::new(io, pool).to_string();
+        assert!(text.contains("7 reads"), "got: {text}");
+        assert!(text.contains("pool:"), "got: {text}");
+    }
+}

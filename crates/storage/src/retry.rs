@@ -19,6 +19,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use riot_trace::{EventKind, Tracer, NO_BLOCK};
+
 use crate::device::{BlockDevice, BlockId};
 use crate::error::Result;
 use crate::stats::IoStats;
@@ -99,6 +101,40 @@ impl RetryStats {
     pub fn gave_up(&self) -> u64 {
         self.gave_up.load(Ordering::Relaxed)
     }
+
+    /// A consistent-enough point-in-time copy of all four counters.
+    pub fn snapshot(&self) -> RetrySnapshot {
+        RetrySnapshot {
+            retried_reads: self.retried_reads(),
+            retried_writes: self.retried_writes(),
+            recovered: self.recovered(),
+            gave_up: self.gave_up(),
+        }
+    }
+}
+
+/// Plain-value snapshot of [`RetryStats`] (comparable, copyable — what
+/// [`crate::StorageReport`] embeds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetrySnapshot {
+    /// Read re-issues.
+    pub retried_reads: u64,
+    /// Write (and sync) re-issues.
+    pub retried_writes: u64,
+    /// Operations that failed at least once and then succeeded.
+    pub recovered: u64,
+    /// Operations whose transient retries were exhausted.
+    pub gave_up: u64,
+}
+
+impl std::fmt::Display for RetrySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "retries: {} read / {} write re-issues, {} recovered, {} gave up",
+            self.retried_reads, self.retried_writes, self.recovered, self.gave_up
+        )
+    }
 }
 
 /// A [`BlockDevice`] wrapper that retries transient failures with backoff.
@@ -111,6 +147,7 @@ pub struct RetryDevice<D: BlockDevice> {
     inner: D,
     policy: RetryPolicy,
     stats: Arc<RetryStats>,
+    tracer: Arc<Tracer>,
 }
 
 impl<D: BlockDevice> RetryDevice<D> {
@@ -122,7 +159,18 @@ impl<D: BlockDevice> RetryDevice<D> {
             inner,
             policy,
             stats: Arc::new(RetryStats::default()),
+            tracer: Arc::new(Tracer::new()),
         }
+    }
+
+    /// Record retry activity into `tracer` as typed events
+    /// ([`EventKind::RetryRead`] / [`EventKind::RetryWrite`] /
+    /// [`EventKind::RetryRecovered`] / [`EventKind::RetryGaveUp`]). Pass
+    /// the tracer the buffer pool above will share so retries land on the
+    /// same timeline as the pins that triggered them.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// The retry-layer counters (shareable observer handle).
@@ -136,7 +184,14 @@ impl<D: BlockDevice> RetryDevice<D> {
     }
 
     /// Run `op` under the retry policy, bumping `retried` per re-issue.
-    fn with_retry<T>(&self, retried: &AtomicU64, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+    /// `block` is [`NO_BLOCK`] for non-block operations (sync barriers).
+    fn with_retry<T>(
+        &self,
+        retried: &AtomicU64,
+        is_read: bool,
+        block: u64,
+        mut op: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
         let start = Instant::now();
         let mut attempt = 1u32;
         loop {
@@ -144,6 +199,7 @@ impl<D: BlockDevice> RetryDevice<D> {
                 Ok(v) => {
                     if attempt > 1 {
                         self.stats.recovered.fetch_add(1, Ordering::Relaxed);
+                        self.tracer.record(EventKind::RetryRecovered { block });
                     }
                     return Ok(v);
                 }
@@ -154,10 +210,16 @@ impl<D: BlockDevice> RetryDevice<D> {
                     let out_of_time = start.elapsed() + delay > self.policy.deadline;
                     if out_of_attempts || out_of_time {
                         self.stats.gave_up.fetch_add(1, Ordering::Relaxed);
+                        self.tracer.record(EventKind::RetryGaveUp { block });
                         return Err(e);
                     }
                     std::thread::sleep(delay);
                     retried.fetch_add(1, Ordering::Relaxed);
+                    self.tracer.record(if is_read {
+                        EventKind::RetryRead { block, attempt }
+                    } else {
+                        EventKind::RetryWrite { block, attempt }
+                    });
                     attempt += 1;
                 }
             }
@@ -175,11 +237,13 @@ impl<D: BlockDevice> BlockDevice for RetryDevice<D> {
     }
 
     fn read_block(&self, id: BlockId, buf: &mut [u8]) -> Result<()> {
-        self.with_retry(&self.stats.retried_reads, || self.inner.read_block(id, buf))
+        self.with_retry(&self.stats.retried_reads, true, id.0, || {
+            self.inner.read_block(id, buf)
+        })
     }
 
     fn write_block(&self, id: BlockId, buf: &[u8]) -> Result<()> {
-        self.with_retry(&self.stats.retried_writes, || {
+        self.with_retry(&self.stats.retried_writes, false, id.0, || {
             self.inner.write_block(id, buf)
         })
     }
@@ -205,7 +269,9 @@ impl<D: BlockDevice> BlockDevice for RetryDevice<D> {
     fn sync(&self) -> Result<()> {
         // Sync barriers retry too: fsync on networked filesystems returns
         // transient errors exactly like writes do.
-        self.with_retry(&self.stats.retried_writes, || self.inner.sync())
+        self.with_retry(&self.stats.retried_writes, false, NO_BLOCK, || {
+            self.inner.sync()
+        })
     }
 }
 

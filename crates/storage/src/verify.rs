@@ -37,7 +37,10 @@
 //! tripping validation.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+
+use riot_trace::{EventKind, Tracer};
 
 use crate::device::{BlockDevice, BlockId};
 use crate::error::{Result, StorageError};
@@ -71,6 +74,8 @@ pub struct VerifyingDevice<D: BlockDevice> {
     /// Checksum slots per checksum block (`block_size / 8`).
     slots: u64,
     stats: Arc<IoStats>,
+    corruptions: Arc<AtomicU64>,
+    tracer: Arc<Tracer>,
     state: Mutex<VerifyInner>,
 }
 
@@ -96,6 +101,8 @@ impl<D: BlockDevice> VerifyingDevice<D> {
             inner,
             slots,
             stats: IoStats::new_shared(),
+            corruptions: Arc::new(AtomicU64::new(0)),
+            tracer: Arc::new(Tracer::new()),
             state: Mutex::new(VerifyInner {
                 logical_len,
                 ck_cache: HashMap::new(),
@@ -103,9 +110,28 @@ impl<D: BlockDevice> VerifyingDevice<D> {
         }
     }
 
+    /// Record every checksum mismatch into `tracer` as a typed
+    /// [`EventKind::Corruption`] event, alongside the typed error the read
+    /// already raises. Share the pool's tracer so corruptions land on the
+    /// same timeline as the pins that discovered them.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// The wrapped device.
     pub fn inner(&self) -> &D {
         &self.inner
+    }
+
+    /// Checksum mismatches detected so far (shareable observer handle).
+    pub fn corruption_count(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.corruptions)
+    }
+
+    /// Checksum mismatches detected so far.
+    pub fn corruptions_detected(&self) -> u64 {
+        self.corruptions.load(Ordering::Relaxed)
     }
 
     /// Physical (inner-device) id of logical block `l` — for tests that
@@ -191,6 +217,8 @@ impl<D: BlockDevice> BlockDevice for VerifyingDevice<D> {
         let mut state = self.lock();
         let stored = self.load_slot(&mut state, id)?;
         if stored != 0 && stored != Self::compute(buf) {
+            self.corruptions.fetch_add(1, Ordering::Relaxed);
+            self.tracer.record(EventKind::Corruption { block: id.0 });
             return Err(StorageError::Corruption { block: id });
         }
         drop(state);

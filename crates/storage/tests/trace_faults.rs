@@ -1,0 +1,154 @@
+//! Fault visibility: injected faults surface as typed trace events with
+//! exact counts, on the same timeline the buffer pool records into — and
+//! with the tracer disabled, the fault-tolerance wrappers record nothing.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use riot_storage::{
+    BlockDevice, FailpointDevice, MemBlockDevice, RetryDevice, RetryPolicy, StorageError,
+    VerifyingDevice,
+};
+use riot_trace::{Event, EventKind, Tracer};
+
+fn quick_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        base_delay: Duration::from_micros(50),
+        multiplier: 2.0,
+        deadline: Duration::from_secs(5),
+    }
+}
+
+fn count(events: &[Event], label: &str) -> usize {
+    events.iter().filter(|e| e.kind.label() == label).count()
+}
+
+#[test]
+fn transient_read_faults_become_typed_retry_events() {
+    let tracer = Arc::new(Tracer::new());
+    tracer.enable();
+    let dev = FailpointDevice::new(Box::new(MemBlockDevice::new(64)));
+    let fp = dev.handle();
+    let r = RetryDevice::new(dev, quick_policy()).with_tracer(Arc::clone(&tracer));
+    let b = r.allocate(1).unwrap();
+    r.write_block(b, &[7u8; 64]).unwrap();
+
+    fp.fail_reads_transient(b, 2);
+    let mut buf = [0u8; 64];
+    r.read_block(b, &mut buf).unwrap();
+    assert_eq!(buf[0], 7);
+
+    let events = tracer.drain();
+    // Two failed attempts -> two re-issue events carrying the failed
+    // attempt numbers, then one recovery marker.
+    let retries: Vec<(u64, u32)> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::RetryRead { block, attempt } => Some((block, attempt)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(retries, vec![(b.0, 1), (b.0, 2)]);
+    assert_eq!(count(&events, "retry_recovered"), 1);
+    assert_eq!(count(&events, "retry_gave_up"), 0);
+    assert_eq!(count(&events, "retry_write"), 0);
+    // Event counts agree with the wrapper's own counters.
+    let rs = r.retry_stats();
+    assert_eq!(rs.retried_reads(), 2);
+    assert_eq!(rs.recovered(), 1);
+}
+
+#[test]
+fn exhausted_write_retries_emit_gave_up() {
+    let tracer = Arc::new(Tracer::new());
+    tracer.enable();
+    let dev = FailpointDevice::new(Box::new(MemBlockDevice::new(64)));
+    let fp = dev.handle();
+    let r = RetryDevice::new(dev, quick_policy()).with_tracer(Arc::clone(&tracer));
+    let b = r.allocate(1).unwrap();
+
+    fp.fail_writes_transient(b, 100); // more than max_attempts
+    assert!(r.write_block(b, &[0u8; 64]).is_err());
+
+    let events = tracer.drain();
+    assert_eq!(count(&events, "retry_write"), 3, "4 attempts = 3 retries");
+    assert_eq!(count(&events, "retry_gave_up"), 1);
+    assert_eq!(count(&events, "retry_recovered"), 0);
+    assert!(events.iter().all(|e| matches!(
+        e.kind,
+        EventKind::RetryWrite { block, .. } | EventKind::RetryGaveUp { block } if block == b.0
+    )));
+}
+
+#[test]
+fn permanent_errors_produce_no_retry_events() {
+    let tracer = Arc::new(Tracer::new());
+    tracer.enable();
+    let dev = FailpointDevice::new(Box::new(MemBlockDevice::new(64)));
+    let fp = dev.handle();
+    let r = RetryDevice::new(dev, quick_policy()).with_tracer(Arc::clone(&tracer));
+    let b = r.allocate(1).unwrap();
+
+    fp.fail_reads(b, 1); // permanent
+    let mut buf = [0u8; 64];
+    assert!(r.read_block(b, &mut buf).is_err());
+    assert!(
+        tracer.drain().is_empty(),
+        "permanent errors surface silently"
+    );
+}
+
+#[test]
+fn bit_flip_emits_a_corruption_event() {
+    let tracer = Arc::new(Tracer::new());
+    tracer.enable();
+    let mem = Arc::new(MemBlockDevice::new(64));
+    let d = VerifyingDevice::new(Arc::clone(&mem)).with_tracer(Arc::clone(&tracer));
+    let b = d.allocate(1).unwrap();
+    d.write_block(b, &[42u8; 64]).unwrap();
+
+    // Flip a bit behind the wrapper's back.
+    let phys = d.physical_of(b);
+    let mut raw = [0u8; 64];
+    mem.read_block(phys, &mut raw).unwrap();
+    raw[10] ^= 0x04;
+    mem.write_block(phys, &raw).unwrap();
+
+    let mut out = [0u8; 64];
+    match d.read_block(b, &mut out) {
+        Err(StorageError::Corruption { block }) => assert_eq!(block, b),
+        other => panic!("expected Corruption, got {other:?}"),
+    }
+    assert_eq!(d.corruptions_detected(), 1);
+
+    let events = tracer.drain();
+    assert_eq!(events.len(), 1);
+    assert_eq!(
+        events[0].kind,
+        EventKind::Corruption { block: b.0 },
+        "the event names the *logical* block the caller asked for"
+    );
+}
+
+#[test]
+fn disabled_tracer_stays_silent_through_faults() {
+    let tracer = Arc::new(Tracer::new()); // never enabled
+    let dev = FailpointDevice::new(Box::new(MemBlockDevice::new(64)));
+    let fp = dev.handle();
+    let r = RetryDevice::new(dev, quick_policy()).with_tracer(Arc::clone(&tracer));
+    let b = r.allocate(1).unwrap();
+    r.write_block(b, &[1u8; 64]).unwrap();
+    fp.fail_reads_transient(b, 2);
+    let mut buf = [0u8; 64];
+    r.read_block(b, &mut buf).unwrap();
+
+    assert!(tracer.drain().is_empty());
+    assert_eq!(
+        tracer.dropped(),
+        0,
+        "disabled recording is a no-op, not a drop"
+    );
+    // The wrapper's own counters still saw everything.
+    assert_eq!(r.retry_stats().retried_reads(), 2);
+}

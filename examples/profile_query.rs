@@ -1,0 +1,109 @@
+//! Profile the identical program under all four strategies of Figure 1 —
+//! the `four_engines` comparison, but driven entirely through
+//! [`Session::profile`]: each engine's row comes from its own
+//! `QueryProfile` rather than hand-bracketed counters, and RIOT-DB also
+//! prints its EXPLAIN plan and span tree.
+//!
+//! Run with: `cargo run --release --example profile_query`
+
+use riot::{DiskModel, EngineConfig, EngineKind, QueryProfile, Session};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1 << 16; // 65,536 elements per vector
+    let k = 100;
+    let model = DiskModel::default();
+
+    println!("Example 1 under Session::profile — n = {n}, sampling k = {k}\n");
+    println!(
+        "{:<18} {:>7} {:>12} {:>12} {:>9} {:>14}",
+        "engine", "spans", "blocks R", "blocks W", "hit rate", "modeled time"
+    );
+
+    let mut outputs = Vec::new();
+    let mut profiles: Vec<(EngineKind, QueryProfile)> = Vec::new();
+    for kind in EngineKind::all() {
+        let mut cfg = EngineConfig::new(kind);
+        // Memory cap: half of one input vector (forces out-of-core work).
+        cfg.mem_blocks = (n / 1024) / 2;
+        let s = Session::new(cfg);
+
+        let x = s.vector_from_fn(n, |i| (i as f64 * 0.01).sin() * 50.0)?;
+        let y = s.vector_from_fn(n, |i| (i as f64 * 0.01).cos() * 50.0)?;
+        s.drop_caches()?;
+        let baseline = s.io_snapshot();
+        let base_ops = s.cpu_ops();
+
+        let (out, profile) = s.profile(|| -> Result<Vec<f64>, riot::core::exec::ExecError> {
+            let d = ((&x - 1.0).square() + (&y - 2.0).square()).sqrt()
+                + ((&x - 3.0).square() + (&y - 4.0).square()).sqrt();
+            let d = s.assign("d", &d)?;
+            let idx = s.sample(n, k)?;
+            d.index(&idx).collect()
+        });
+        let out = out?;
+        assert_eq!(out.len(), k);
+        outputs.push(out);
+
+        // The profile asserts on itself: its root totals are exactly the
+        // counted-I/O delta the session reports for the same region, and
+        // the span tree's self-metrics sum back to that root.
+        let io = s.io_snapshot() - baseline;
+        assert_eq!(
+            profile.io().reads,
+            io.reads,
+            "{kind:?}: profile vs snapshot"
+        );
+        assert_eq!(profile.io().writes, io.writes, "{kind:?}");
+        assert_eq!(profile.total().flops, s.cpu_ops() - base_ops, "{kind:?}");
+        assert_eq!(profile.sum_self(), profile.total(), "{kind:?}: tree sums");
+        assert_eq!(profile.dropped, 0, "{kind:?}: ring overflow");
+
+        println!(
+            "{:<18} {:>7} {:>12} {:>12} {:>8.1}% {:>12.3} s",
+            kind.label(),
+            profile.root.count() - 1,
+            profile.total().reads,
+            profile.total().writes,
+            profile.pool.hit_rate() * 100.0,
+            profile.modeled_seconds(&model)
+        );
+        profiles.push((kind, profile));
+    }
+
+    // Transparency: all four engines computed the same k path lengths.
+    for w in outputs.windows(2) {
+        assert_eq!(w[0], w[1], "engines must agree on the output");
+    }
+    // Figure 1 ordering, read off the profiles alone.
+    let reads = |k: EngineKind| {
+        profiles
+            .iter()
+            .find(|(e, _)| *e == k)
+            .unwrap()
+            .1
+            .total()
+            .reads
+    };
+    assert!(
+        reads(EngineKind::Riot) * 4 < reads(EngineKind::PlainR),
+        "RIOT {} block reads vs Plain R {}",
+        reads(EngineKind::Riot),
+        reads(EngineKind::PlainR)
+    );
+
+    // Deferred engines record a span per forcing point; eager engines
+    // still profile (root totals only) rather than erroring.
+    let riot = &profiles
+        .iter()
+        .find(|(e, _)| *e == EngineKind::Riot)
+        .unwrap()
+        .1;
+    assert!(riot.event_count("plan") > 0, "optimizer left a plan event");
+
+    println!("\n== RIOT-DB span tree ==\n{}", riot.render_tree());
+    println!(
+        "Chrome trace: {} bytes of JSON (paste into chrome://tracing)",
+        riot.to_chrome_json().len()
+    );
+    Ok(())
+}

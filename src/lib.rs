@@ -24,8 +24,12 @@
 //!   dense kernels from the catalog's nnz statistic;
 //! * [`rlang`] ([`riot_rlang`]) — an interpreter for an R subset: the
 //!   same script text runs unmodified under every engine (including the
-//!   `sparse(i, j, v, nrow, ncol)`, `nnz`, `as.sparse`, `as.dense`
-//!   builtins).
+//!   `sparse(i, j, v, nrow, ncol)`, `nnz`, `as.sparse`, `as.dense`,
+//!   `explain`, and `riot.profile` builtins);
+//! * [`trace`] ([`riot_trace`]) — zero-dependency structured tracing:
+//!   spans and typed events in a lock-free ring, surfaced per query as
+//!   [`Session::profile`] / `explain` with EXPLAIN-tree, flat-metrics,
+//!   and `chrome://tracing` renderers.
 //!
 //! ## Quickstart
 //!
@@ -50,10 +54,12 @@ pub use riot_core as core;
 pub use riot_rlang as rlang;
 pub use riot_sparse as sparse;
 pub use riot_storage as storage;
+pub use riot_trace as trace;
 pub use riot_vm as vm;
 
 pub use riot_core::{
-    CostParams, EngineConfig, EngineKind, MatMulStrategy, OptConfig, RMat, RVec, Session,
+    CostParams, EngineConfig, EngineKind, MatMulStrategy, OptConfig, QueryProfile, RMat, RVec,
+    Session,
 };
 pub use riot_rlang::Interpreter;
-pub use riot_storage::{DiskModel, IoSnapshot};
+pub use riot_storage::{DiskModel, IoSnapshot, PoolStats, StorageReport};
