@@ -76,9 +76,9 @@ impl StorageCtx {
 
     /// Context over an in-memory device with full [`PoolConfig`] control —
     /// the constructor for pools with plan-driven prefetching enabled
-    /// (`config.prefetch_depth > 0`, or [`riot_storage::PREFETCH_AUTO`]
-    /// to size the worker pool from the device's concurrent-I/O
-    /// capability).
+    /// (`config.prefetch_depth > 0`; the [`riot_storage::PREFETCH_AUTO`]
+    /// default resolves to `0` here because the in-memory device is not
+    /// persistent — pass an explicit depth to prefetch over memory).
     pub fn new_mem_opts(block_size: usize, config: PoolConfig, shards: usize) -> Arc<Self> {
         let device = MemBlockDevice::new(block_size);
         Arc::new(StorageCtx {

@@ -356,7 +356,89 @@ fn eval_node(
             }
             Value::Scalar(acc)
         }
+        Node::Chol { input } => {
+            let x = get(input);
+            let Value::Matrix { rows, data, .. } = x else {
+                return Err(ExprError::Expected {
+                    what: "matrix",
+                    got: x.shape(),
+                });
+            };
+            let n = *rows;
+            Value::matrix(n, n, dense_chol(data, n, x.shape())?)
+        }
+        Node::Solve { lhs, rhs } => {
+            let (a, b) = (get(lhs), get(rhs));
+            let (
+                Value::Matrix { rows, data: da, .. },
+                Value::Matrix {
+                    cols: m, data: db, ..
+                },
+            ) = (a, b)
+            else {
+                return Err(ExprError::Expected {
+                    what: "matrix",
+                    got: a.shape(),
+                });
+            };
+            let (n, m) = (*rows, *m);
+            let l = dense_chol(da, n, a.shape())?;
+            // Forward L·y = b, then backward Lᵀ·x = y, column block at once.
+            let mut x = db.to_vec();
+            for r in 0..n {
+                for k in 0..r {
+                    let lrk = l[r * n + k];
+                    for c in 0..m {
+                        x[r * m + c] -= lrk * x[k * m + c];
+                    }
+                }
+                for c in 0..m {
+                    x[r * m + c] /= l[r * n + r];
+                }
+            }
+            for r in (0..n).rev() {
+                for k in r + 1..n {
+                    let lkr = l[k * n + r];
+                    for c in 0..m {
+                        x[r * m + c] -= lkr * x[k * m + c];
+                    }
+                }
+                for c in 0..m {
+                    x[r * m + c] /= l[r * n + r];
+                }
+            }
+            Value::matrix(n, m, x)
+        }
     })
+}
+
+/// Dense reference Cholesky: lower-triangular factor of the `n x n`
+/// row-major `a` (only the lower triangle is read). Non-positive-definite
+/// inputs error rather than yielding NaNs, matching the kernel contract.
+fn dense_chol(a: &[f64], n: usize, shape: Shape) -> Result<Vec<f64>, ExprError> {
+    let mut l = vec![0.0; n * n];
+    for j in 0..n {
+        let mut d = a[j * n + j];
+        for k in 0..j {
+            d -= l[j * n + k] * l[j * n + k];
+        }
+        if !d.is_finite() || d <= 0.0 {
+            return Err(ExprError::Expected {
+                what: "positive definite matrix",
+                got: shape,
+            });
+        }
+        let d = d.sqrt();
+        l[j * n + j] = d;
+        for i in j + 1..n {
+            let mut s = a[i * n + j];
+            for k in 0..j {
+                s -= l[i * n + k] * l[j * n + k];
+            }
+            l[i * n + j] = s / d;
+        }
+    }
+    Ok(l)
 }
 
 fn shape_value(shape: Shape, data: Vec<f64>) -> Value {

@@ -1,0 +1,788 @@
+//! Out-of-core tiled factorizations: Cholesky and triangular solve.
+//!
+//! RIOT's pitch is I/O-efficient *numerical computing*, and factorization
+//! is the hardest pure I/O-scheduling problem the paper's home turf
+//! offers: unlike a product, every panel step of a right-looking Cholesky
+//! depends on the panels factored before it, so the schedule is a DAG of
+//! POTRF → TRSM → SYRK/GEMM tile steps rather than an embarrassingly
+//! parallel grid. The kernels here extend `matmul_tiled`'s rectangle
+//! discipline to that DAG:
+//!
+//! * work proceeds panel-by-panel with `p = √(M/3)` (tile-aligned), so
+//!   any step holds at most three `p × p` panels in scratch;
+//! * every step *declares its next access window* through
+//!   [`prefetch_rect`] before blocking on the current one (the PR-5
+//!   discipline: prefetch changes *when* reads happen, never *how many*);
+//! * the trailing update fans its disjoint output panels over a work
+//!   queue of threads with bit-identical results at every thread count.
+//!
+//! The panel side is deliberately **independent of the thread count**:
+//! the trailing update accumulates into storage panel-by-panel, so the
+//! panel partition fixes the floating-point grouping. Sizing `p` from
+//! memory alone keeps the schedule — and therefore both the bits of the
+//! result and the counted I/O — identical whether one worker or eight
+//! execute it (each worker owns its own 3-panel scratch; callers that
+//! need a hard transient-memory cap can pass `mem_elems / threads`).
+
+use riot_array::matrix::DenseMatrix;
+use riot_array::{MatrixLayout, TileOrder};
+
+use super::matmul::{prefetch_rect, read_rect, run_parallel, write_rect};
+use super::{ExecError, ExecResult};
+use crate::expr::ExprError;
+use crate::shape::Shape;
+
+/// In-place lower Cholesky of the leading `t x t` panel of `buf`
+/// (row-major, stride `t`). On success the strict upper triangle is
+/// zeroed. `panel` and `row0` locate the panel for error reporting.
+fn potrf(buf: &mut [f64], t: usize, panel: usize, row0: usize) -> ExecResult<u64> {
+    let mut flops = 0u64;
+    for j in 0..t {
+        let mut d = buf[j * t + j];
+        for k in 0..j {
+            d -= buf[j * t + k] * buf[j * t + k];
+        }
+        flops += j as u64 + 1;
+        // A non-finite pivot (NaN already in the input, or overflow) and a
+        // non-positive pivot both mean "not positive definite" — erroring
+        // here is what keeps NaNs from silently flowing downstream.
+        if !d.is_finite() || d <= 0.0 {
+            return Err(ExecError::NotPositiveDefinite {
+                tile: panel,
+                pivot: row0 + j,
+            });
+        }
+        let d = d.sqrt();
+        buf[j * t + j] = d;
+        for i in j + 1..t {
+            let mut s = buf[i * t + j];
+            for k in 0..j {
+                s -= buf[i * t + k] * buf[j * t + k];
+            }
+            buf[i * t + j] = s / d;
+            flops += j as u64 + 1;
+        }
+        for i in j + 1..t {
+            buf[j * t + i] = 0.0;
+        }
+    }
+    Ok(flops)
+}
+
+/// Solve `X · Lᵀ = A` in place: `a` is `rows x t` row-major, `l` is the
+/// already-factored lower-triangular `t x t` diagonal panel.
+fn trsm_right_lt(a: &mut [f64], rows: usize, l: &[f64], t: usize) -> u64 {
+    for r in 0..rows {
+        for j in 0..t {
+            let mut s = a[r * t + j];
+            for k in 0..j {
+                s -= a[r * t + k] * l[j * t + k];
+            }
+            a[r * t + j] = s / l[j * t + j];
+        }
+    }
+    (rows * t * (t + 1) / 2) as u64
+}
+
+/// `C -= Li · Ljᵀ`: `c` is `pi x pj`, `li` is `pi x pk`, `lj` is
+/// `pj x pk`, all row-major.
+fn gemm_nt_sub(c: &mut [f64], li: &[f64], lj: &[f64], pi: usize, pj: usize, pk: usize) -> u64 {
+    for i in 0..pi {
+        let lrow = &li[i * pk..i * pk + pk];
+        for j in 0..pj {
+            let jrow = &lj[j * pk..j * pk + pk];
+            let mut s = 0.0;
+            for (a, b) in lrow.iter().zip(jrow) {
+                s += a * b;
+            }
+            c[i * pj + j] -= s;
+        }
+    }
+    (pi * pj * pk) as u64
+}
+
+/// Solve `L · X = B` in place: `b` is `t x cols` row-major, `l` is the
+/// lower-triangular `t x t` diagonal panel.
+fn trsm_forward(b: &mut [f64], cols: usize, l: &[f64], t: usize) -> u64 {
+    for r in 0..t {
+        for k in 0..r {
+            let lrk = l[r * t + k];
+            for c in 0..cols {
+                b[r * cols + c] -= lrk * b[k * cols + c];
+            }
+        }
+        let d = l[r * t + r];
+        for c in 0..cols {
+            b[r * cols + c] /= d;
+        }
+    }
+    (t * (t + 1) / 2 * cols) as u64
+}
+
+/// Solve `Lᵀ · X = B` in place (backward substitution over the same
+/// lower-triangular panel).
+fn trsm_backward(b: &mut [f64], cols: usize, l: &[f64], t: usize) -> u64 {
+    for r in (0..t).rev() {
+        for k in r + 1..t {
+            let lkr = l[k * t + r];
+            for c in 0..cols {
+                b[r * cols + c] -= lkr * b[k * cols + c];
+            }
+        }
+        let d = l[r * t + r];
+        for c in 0..cols {
+            b[r * cols + c] /= d;
+        }
+    }
+    (t * (t + 1) / 2 * cols) as u64
+}
+
+/// `C -= A · B`: `c` is `pi x pj`, `a` is `pi x pk`, `b` is `pk x pj`.
+fn gemm_nn_sub(c: &mut [f64], a: &[f64], b: &[f64], pi: usize, pj: usize, pk: usize) -> u64 {
+    for i in 0..pi {
+        for k in 0..pk {
+            let aik = a[i * pk + k];
+            let brow = &b[k * pj..k * pj + pj];
+            let crow = &mut c[i * pj..i * pj + pj];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv -= aik * bv;
+            }
+        }
+    }
+    (pi * pj * pk) as u64
+}
+
+/// `C -= Aᵀ · B`: `c` is `pi x pj`, `a` is `pk x pi` (transposed use),
+/// `b` is `pk x pj`.
+fn gemm_tn_sub(c: &mut [f64], a: &[f64], b: &[f64], pi: usize, pj: usize, pk: usize) -> u64 {
+    for k in 0..pk {
+        for i in 0..pi {
+            let aki = a[k * pi + i];
+            let brow = &b[k * pj..k * pj + pj];
+            let crow = &mut c[i * pj..i * pj + pj];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv -= aki * bv;
+            }
+        }
+    }
+    (pi * pj * pk) as u64
+}
+
+fn expect_square(m: &DenseMatrix) -> ExecResult<usize> {
+    if m.rows() != m.cols() || m.rows() == 0 {
+        return Err(ExecError::Expr(ExprError::Expected {
+            what: "non-empty square matrix",
+            got: Shape::Matrix(m.rows(), m.cols()),
+        }));
+    }
+    Ok(m.rows())
+}
+
+/// Panel side for the factorization schedule: `√(M/3)` rounded down to a
+/// whole number of tiles, at least one tile — three panels is the working
+/// set of every step (the TRSM and trailing-update steps each touch two
+/// operand panels plus one output panel).
+fn panel_side(mem_elems: usize, tile_side: usize) -> usize {
+    (((mem_elems as f64 / 3.0).sqrt() as usize) / tile_side * tile_side).max(tile_side)
+}
+
+/// Out-of-core tiled Cholesky factorization: returns the lower-triangular
+/// `L` with `L · Lᵀ = A` (strict upper triangle exactly zero) and the
+/// flop count.
+///
+/// Right-looking panel schedule over `p = √(M/3)` square panels:
+/// for each diagonal step `k` — POTRF the diagonal panel, TRSM the panel
+/// column below it (parallel over rows), then rank-`p` update of the
+/// trailing submatrix (parallel over its disjoint panels). Only the lower
+/// triangle of `a` is ever read, so a symmetric input needs no transpose
+/// pass. Inputs that are not positive definite surface
+/// [`ExecError::NotPositiveDefinite`] with the failing panel and global
+/// pivot index — NaNs never propagate silently.
+pub fn chol_tiled(
+    a: &DenseMatrix,
+    mem_elems: usize,
+    name: Option<&str>,
+) -> ExecResult<(DenseMatrix, u64)> {
+    chol_tiled_parallel(a, mem_elems, 1, name)
+}
+
+/// [`chol_tiled`] with the TRSM and trailing-update steps of each panel
+/// distributed over `threads` workers. The panel partition is fixed by
+/// `mem_elems` alone, so results and counted I/O are bit-identical at
+/// every thread count.
+pub fn chol_tiled_parallel(
+    a: &DenseMatrix,
+    mem_elems: usize,
+    threads: usize,
+    name: Option<&str>,
+) -> ExecResult<(DenseMatrix, u64)> {
+    let n = expect_square(a)?;
+    let ctx = a.ctx();
+    let out = DenseMatrix::create(ctx, n, n, MatrixLayout::Square, TileOrder::RowMajor, name)?;
+    let (tile_r, tile_c) = out.tile_dims();
+    let p = panel_side(mem_elems, tile_r.max(tile_c));
+    let nb = n.div_ceil(p);
+    let pw = |i: usize| p.min(n - i * p);
+    let threads = threads.max(1);
+    let mut flops = 0u64;
+
+    // Working copy: lower triangle of `a` (diagonal panels whole — their
+    // upper entries are scratch until POTRF zeroes them), zeros above.
+    {
+        let mut buf = vec![0.0; p * p];
+        for i in 0..nb {
+            let pi = pw(i);
+            for j in 0..nb {
+                let pj = pw(j);
+                if j <= i {
+                    if j < i {
+                        // Declare the next copy window before blocking.
+                        prefetch_rect(a, i * p, (j + 1) * p, pi, pw(j + 1));
+                    }
+                    read_rect(a, i * p, j * p, pi, pj, &mut buf)?;
+                } else {
+                    buf[..pi * pj].fill(0.0);
+                }
+                write_rect(&out, i * p, j * p, pi, pj, &buf)?;
+            }
+        }
+    }
+
+    let mut diag = vec![0.0; p * p];
+    for k in 0..nb {
+        let (k0, pk) = (k * p, pw(k));
+        read_rect(&out, k0, k0, pk, pk, &mut diag)?;
+        match potrf(&mut diag, pk, k, k0) {
+            Ok(f) => flops += f,
+            Err(e) => {
+                // The half-factored working copy is dead on error.
+                let _ = out.free();
+                return Err(e);
+            }
+        }
+        write_rect(&out, k0, k0, pk, pk, &diag)?;
+        if k + 1 < nb {
+            // The TRSM column is the next window: declare it while the
+            // diagonal write-back settles.
+            prefetch_rect(&out, k0 + pk, k0, n - (k0 + pk), pk);
+        }
+
+        // TRSM: rows below the diagonal panel, disjoint outputs.
+        let rows: Vec<usize> = (k + 1..nb).collect();
+        flops += run_parallel(
+            threads.min(rows.len().max(1)),
+            &rows,
+            || vec![0.0; p * p],
+            |&i, buf| {
+                let pi = pw(i);
+                // Next window for this row panel: its own trailing-update
+                // read of panel (i, k+1) — already valid data.
+                if k < i {
+                    prefetch_rect(&out, i * p, (k + 1) * p, pi, pw(k + 1));
+                }
+                read_rect(&out, i * p, k0, pi, pk, buf)?;
+                let f = trsm_right_lt(buf, pi, &diag, pk);
+                write_rect(&out, i * p, k0, pi, pk, buf)?;
+                Ok(f)
+            },
+        )?;
+
+        // Trailing update: every lower-triangle panel of the trailing
+        // submatrix gets `A(i,j) -= L(i,k) · L(j,k)ᵀ`. Outputs are
+        // disjoint, so the fan-out is bit-identical to the sequential
+        // order at any thread count.
+        let cells: Vec<(usize, usize)> = (k + 1..nb)
+            .flat_map(|i| (k + 1..=i).map(move |j| (i, j)))
+            .collect();
+        flops += run_parallel(
+            threads.min(cells.len().max(1)),
+            &cells,
+            || (vec![0.0; p * p], vec![0.0; p * p], vec![0.0; p * p]),
+            |&(i, j), (li, lj, cij)| {
+                let (pi, pj) = (pw(i), pw(j));
+                // Next window: the output panel this step modifies.
+                prefetch_rect(&out, i * p, j * p, pi, pj);
+                read_rect(&out, i * p, k0, pi, pk, li)?;
+                let mut f = 0u64;
+                if i == j {
+                    lj[..pi * pk].copy_from_slice(&li[..pi * pk]);
+                } else {
+                    read_rect(&out, j * p, k0, pj, pk, lj)?;
+                }
+                read_rect(&out, i * p, j * p, pi, pj, cij)?;
+                f += gemm_nt_sub(cij, li, lj, pi, pj, pk);
+                write_rect(&out, i * p, j * p, pi, pj, cij)?;
+                Ok(f)
+            },
+        )?;
+
+        if k + 1 < nb {
+            // Declare the next diagonal panel before looping back.
+            prefetch_rect(&out, (k + 1) * p, (k + 1) * p, pw(k + 1), pw(k + 1));
+        }
+    }
+    Ok((out, flops))
+}
+
+/// Blocked triangular solve of `L · Lᵀ · X = B` for a lower-triangular
+/// `L` (as produced by [`chol_tiled`]): forward substitution then
+/// backward substitution, panel by panel. Returns `(X, flops)`.
+///
+/// Parallelism fans over `B`'s column strips — each strip's solve is an
+/// independent recurrence over the row panels, so outputs are disjoint
+/// and results identical at every thread count (the strip partition is
+/// fixed by `mem_elems` alone, like the Cholesky panels).
+pub fn tri_solve_parallel(
+    l: &DenseMatrix,
+    b: &DenseMatrix,
+    mem_elems: usize,
+    threads: usize,
+    name: Option<&str>,
+) -> ExecResult<(DenseMatrix, u64)> {
+    let n = expect_square(l)?;
+    if b.rows() != n || b.cols() == 0 {
+        return Err(ExecError::Expr(ExprError::MatMulDims {
+            lhs: Shape::Matrix(n, n),
+            rhs: Shape::Matrix(b.rows(), b.cols()),
+        }));
+    }
+    let m = b.cols();
+    let ctx = l.ctx();
+    let x = DenseMatrix::create(ctx, n, m, MatrixLayout::Square, TileOrder::RowMajor, name)?;
+    let (tile_r, tile_c) = x.tile_dims();
+    let p = panel_side(mem_elems, tile_r.max(tile_c));
+    let nb = n.div_ceil(p);
+    let mb = m.div_ceil(p);
+    let pw = |i: usize| p.min(n - i * p);
+    let qw = |j: usize| p.min(m - j * p);
+
+    // X starts as a copy of B; each strip then solves in place.
+    {
+        let mut buf = vec![0.0; p * p];
+        for i in 0..nb {
+            let pi = pw(i);
+            for j in 0..mb {
+                let qj = qw(j);
+                if j + 1 < mb {
+                    prefetch_rect(b, i * p, (j + 1) * p, pi, qw(j + 1));
+                }
+                read_rect(b, i * p, j * p, pi, qj, &mut buf)?;
+                write_rect(&x, i * p, j * p, pi, qj, &buf)?;
+            }
+        }
+    }
+
+    let strips: Vec<usize> = (0..mb).collect();
+    let flops = run_parallel(
+        threads.max(1).min(mb),
+        &strips,
+        || (vec![0.0; p * p], vec![0.0; p * p], vec![0.0; p * p]),
+        |&s, (lbuf, xb, xk)| {
+            let (s0, qs) = (s * p, qw(s));
+            let mut f = 0u64;
+            // Forward: L · Y = B over row panels top-down.
+            for i in 0..nb {
+                let (i0, pi) = (i * p, pw(i));
+                read_rect(&x, i0, s0, pi, qs, xb)?;
+                for k in 0..i {
+                    let (_k0, pk) = (k * p, pw(k));
+                    // Declare the next L panel of this recurrence row.
+                    prefetch_rect(l, i0, (k + 1) * p, pi, pw(k + 1));
+                    read_rect(l, i0, k * p, pi, pk, lbuf)?;
+                    read_rect(&x, k * p, s0, pk, qs, xk)?;
+                    f += gemm_nn_sub(xb, lbuf, xk, pi, qs, pk);
+                }
+                read_rect(l, i0, i0, pi, pi, lbuf)?;
+                f += trsm_forward(xb, qs, lbuf, pi);
+                write_rect(&x, i0, s0, pi, qs, xb)?;
+            }
+            // Backward: Lᵀ · X = Y over row panels bottom-up.
+            for i in (0..nb).rev() {
+                let (i0, pi) = (i * p, pw(i));
+                read_rect(&x, i0, s0, pi, qs, xb)?;
+                for k in i + 1..nb {
+                    let pk = pw(k);
+                    if k + 1 < nb {
+                        prefetch_rect(l, (k + 1) * p, i0, pw(k + 1), pi);
+                    }
+                    // L(k,i) used transposed: Lᵀ(i,k) = L(k,i)ᵀ.
+                    read_rect(l, k * p, i0, pk, pi, lbuf)?;
+                    read_rect(&x, k * p, s0, pk, qs, xk)?;
+                    f += gemm_tn_sub(xb, lbuf, xk, pi, qs, pk);
+                }
+                read_rect(l, i0, i0, pi, pi, lbuf)?;
+                f += trsm_backward(xb, qs, lbuf, pi);
+                write_rect(&x, i0, s0, pi, qs, xb)?;
+            }
+            Ok(f)
+        },
+    )?;
+    Ok((x, flops))
+}
+
+/// `solve(a, b)` for symmetric positive definite `a`: factor `a = L·Lᵀ`
+/// out of core, then triangular-solve both halves. The factor is a
+/// transient object, freed before returning. Returns `(X, flops)`.
+pub fn cholesky_solve(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    mem_elems: usize,
+    threads: usize,
+    name: Option<&str>,
+) -> ExecResult<(DenseMatrix, u64)> {
+    let (l, f1) = chol_tiled_parallel(a, mem_elems, threads, None)?;
+    let solved = tri_solve_parallel(&l, b, mem_elems, threads, name);
+    l.free()?;
+    let (x, f2) = solved?;
+    Ok((x, f1 + f2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_array::StorageCtx;
+    use std::sync::Arc;
+
+    /// 512-byte blocks: 64 elements, 8x8 square tiles.
+    fn ctx(frames: usize) -> Arc<StorageCtx> {
+        StorageCtx::new_mem(512, frames)
+    }
+
+    fn mk(
+        ctx: &Arc<StorageCtx>,
+        n: usize,
+        m: usize,
+        f: impl FnMut(usize, usize) -> f64,
+    ) -> DenseMatrix {
+        DenseMatrix::from_fn(
+            ctx,
+            n,
+            m,
+            MatrixLayout::Square,
+            TileOrder::RowMajor,
+            None,
+            f,
+        )
+        .unwrap()
+    }
+
+    /// A deterministic symmetric positive definite matrix: diagonally
+    /// dominant with bounded off-diagonal entries.
+    fn spd(i: usize, j: usize, n: usize) -> f64 {
+        if i == j {
+            n as f64 + 2.0 + (i % 5) as f64
+        } else {
+            (((i * 31 + j * 17) % 13) as f64 - 6.0) / 13.0
+        }
+    }
+
+    fn spd_sym(i: usize, j: usize, n: usize) -> f64 {
+        let (a, b) = (i.min(j), i.max(j));
+        spd(a, b, n)
+    }
+
+    /// Plain in-memory reference Cholesky (row-major lower factor).
+    fn reference_chol(a: &[f64], n: usize) -> Vec<f64> {
+        let mut l = vec![0.0; n * n];
+        for j in 0..n {
+            let mut d = a[j * n + j];
+            for k in 0..j {
+                d -= l[j * n + k] * l[j * n + k];
+            }
+            let d = d.sqrt();
+            l[j * n + j] = d;
+            for i in j + 1..n {
+                let mut s = a[i * n + j];
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                l[i * n + j] = s / d;
+            }
+        }
+        l
+    }
+
+    fn assert_close(got: &[f64], want: &[f64], tol: f64) {
+        assert_eq!(got.len(), want.len());
+        for (idx, (g, w)) in got.iter().zip(want).enumerate() {
+            assert!((g - w).abs() < tol, "elem {idx}: got {g}, want {w}");
+        }
+    }
+
+    #[test]
+    fn chol_reconstructs_input() {
+        for n in [1usize, 7, 8, 20, 33] {
+            let c = ctx(64);
+            let a = mk(&c, n, n, |i, j| spd_sym(i, j, n));
+            let (l, _) = chol_tiled(&a, 3 * 64, None).unwrap();
+            let lv = l.to_rows().unwrap();
+            // Strict upper triangle exactly zero.
+            for i in 0..n {
+                for j in i + 1..n {
+                    assert_eq!(lv[i * n + j], 0.0, "upper ({i},{j}) nonzero");
+                }
+            }
+            // L·Lᵀ ≈ A.
+            for i in 0..n {
+                for j in 0..n {
+                    let mut s = 0.0;
+                    for k in 0..n {
+                        s += lv[i * n + k] * lv[j * n + k];
+                    }
+                    assert!(
+                        (s - spd_sym(i, j, n)).abs() < 1e-9,
+                        "n={n} ({i},{j}): {s} vs {}",
+                        spd_sym(i, j, n)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chol_matches_reference_bitwise_on_tile_aligned_input() {
+        // Panels of exactly one tile (p = 8): the tiled schedule performs
+        // the same operations as the reference per element group.
+        let n = 16;
+        let c = ctx(64);
+        let av: Vec<f64> = (0..n * n).map(|k| spd_sym(k / n, k % n, n)).collect();
+        let a = mk(&c, n, n, |i, j| av[i * n + j]);
+        let (l, _) = chol_tiled(&a, 3 * 64, None).unwrap();
+        assert_close(&l.to_rows().unwrap(), &reference_chol(&av, n), 1e-10);
+    }
+
+    #[test]
+    fn chol_reads_only_lower_triangle() {
+        // Garbage in the strict upper triangle must not affect the factor.
+        let n = 20;
+        let c = ctx(64);
+        let clean = mk(&c, n, n, |i, j| spd_sym(i, j, n));
+        let dirty = mk(
+            &c,
+            n,
+            n,
+            |i, j| {
+                if j > i {
+                    f64::NAN
+                } else {
+                    spd_sym(i, j, n)
+                }
+            },
+        );
+        let (l1, f1) = chol_tiled(&clean, 3 * 64, None).unwrap();
+        let (l2, f2) = chol_tiled(&dirty, 3 * 64, None).unwrap();
+        assert_eq!(l1.to_rows().unwrap(), l2.to_rows().unwrap());
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn non_positive_definite_is_a_typed_error() {
+        let n = 12;
+        let c = ctx(64);
+        // Negate one diagonal entry: the factorization must fail at that
+        // pivot, not emit NaNs.
+        let bad = 10usize;
+        let a = mk(&c, n, n, |i, j| {
+            let v = spd_sym(i, j, n);
+            if i == bad && j == bad {
+                -v
+            } else {
+                v
+            }
+        });
+        match chol_tiled(&a, 3 * 64, None) {
+            Err(ExecError::NotPositiveDefinite { tile, pivot }) => {
+                assert_eq!(pivot, bad);
+                assert_eq!(tile, bad / 8, "panel index of the failing pivot");
+            }
+            Err(other) => panic!("expected NotPositiveDefinite, got {other}"),
+            Ok(_) => panic!("factorization of an indefinite matrix succeeded"),
+        }
+        // NaN poisoning is caught the same way, at the first poisoned pivot.
+        let a = mk(&c, n, n, |i, j| {
+            if (i, j) == (3, 3) {
+                f64::NAN
+            } else {
+                spd_sym(i, j, n)
+            }
+        });
+        match chol_tiled(&a, 3 * 64, None) {
+            Err(ExecError::NotPositiveDefinite { pivot, .. }) => assert_eq!(pivot, 3),
+            Err(other) => panic!("expected NotPositiveDefinite, got {other}"),
+            Ok(_) => panic!("factorization of a NaN-poisoned matrix succeeded"),
+        }
+    }
+
+    #[test]
+    fn chol_rejects_degenerate_shapes() {
+        let c = ctx(64);
+        let rect = mk(&c, 4, 6, |i, j| (i + j) as f64);
+        assert!(matches!(
+            chol_tiled(&rect, 3 * 64, None),
+            Err(ExecError::Expr(ExprError::Expected { .. }))
+        ));
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        for (n, m) in [(1usize, 1usize), (8, 3), (20, 5), (33, 9)] {
+            let c = ctx(64);
+            let a = mk(&c, n, n, |i, j| spd_sym(i, j, n));
+            let xs: Vec<f64> = (0..n * m).map(|k| ((k * 7) % 11) as f64 - 5.0).collect();
+            // b = a %*% x, computed densely.
+            let av: Vec<f64> = (0..n * n).map(|k| spd_sym(k / n, k % n, n)).collect();
+            let mut bv = vec![0.0; n * m];
+            for i in 0..n {
+                for k in 0..n {
+                    for j in 0..m {
+                        bv[i * m + j] += av[i * n + k] * xs[k * m + j];
+                    }
+                }
+            }
+            let b = mk(&c, n, m, |i, j| bv[i * m + j]);
+            let (x, _) = cholesky_solve(&a, &b, 3 * 64, 1, None).unwrap();
+            assert_close(&x.to_rows().unwrap(), &xs, 1e-7);
+        }
+    }
+
+    #[test]
+    fn solve_rejects_mismatched_rhs() {
+        let c = ctx(64);
+        let a = mk(&c, 8, 8, |i, j| spd_sym(i, j, 8));
+        let b = mk(&c, 9, 2, |_, _| 1.0);
+        assert!(matches!(
+            cholesky_solve(&a, &b, 3 * 64, 1, None),
+            Err(ExecError::Expr(ExprError::MatMulDims { .. }))
+        ));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_results_and_io() {
+        // In-memory regime: parallel schedules must be bit-identical to
+        // sequential in results, flops, reads, and writes.
+        let n = 40; // 5x5 panels at p = 8
+        let run = |threads: usize| {
+            let c = StorageCtx::new_mem_sharded(512, 256, 8);
+            let a = mk(&c, n, n, |i, j| spd_sym(i, j, n));
+            let xs: Vec<f64> = (0..n * 3).map(|k| ((k * 5) % 9) as f64 - 4.0).collect();
+            let av: Vec<f64> = (0..n * n).map(|k| spd_sym(k / n, k % n, n)).collect();
+            let mut bv = vec![0.0; n * 3];
+            for i in 0..n {
+                for k in 0..n {
+                    for j in 0..3 {
+                        bv[i * 3 + j] += av[i * n + k] * xs[k * 3 + j];
+                    }
+                }
+            }
+            let b = mk(&c, n, 3, |i, j| bv[i * 3 + j]);
+            c.pool().flush_all().unwrap();
+            c.clear_cache().unwrap();
+            let before = c.io_snapshot();
+            let (l, lf) = chol_tiled_parallel(&a, 3 * 64, threads, None).unwrap();
+            let (x, xf) = tri_solve_parallel(&l, &b, 3 * 64, threads, None).unwrap();
+            c.pool().flush_all().unwrap();
+            let delta = c.io_snapshot() - before;
+            (
+                l.to_rows().unwrap(),
+                x.to_rows().unwrap(),
+                lf,
+                xf,
+                delta.reads,
+                delta.writes,
+            )
+        };
+        let seq = run(1);
+        for threads in [2, 4] {
+            let par = run(threads);
+            assert_eq!(par.0, seq.0, "{threads}-thread factor diverged");
+            assert_eq!(par.1, seq.1, "{threads}-thread solution diverged");
+            assert_eq!((par.2, par.3), (seq.2, seq.3), "flops diverged");
+            assert_eq!(par.4, seq.4, "{threads}-thread reads diverged");
+            assert_eq!(par.5, seq.5, "{threads}-thread writes diverged");
+        }
+    }
+
+    #[test]
+    fn chol_per_panel_read_budget_is_pinned() {
+        // Exact counted I/O for the 4x4-panel schedule under a tiny pool:
+        // the budget below is the panel schedule's read set, derived once
+        // and pinned (single shard + LRU makes it deterministic).
+        let n = 32; // 4x4 single-tile panels (p = 8, one block per panel)
+        let c = ctx(4);
+        let a = mk(&c, n, n, |i, j| spd_sym(i, j, n));
+        c.pool().flush_all().unwrap();
+        c.clear_cache().unwrap();
+        let before = c.io_snapshot();
+        let (l, _) = chol_tiled(&a, 3 * 64, None).unwrap();
+        c.pool().flush_all().unwrap();
+        let delta = c.io_snapshot() - before;
+        drop(l);
+        let nb = 4u64;
+        // Copy-in: the lower triangle of `a`, one block per panel.
+        let copy_reads = nb * (nb + 1) / 2;
+        // Per step k (b = nb-1-k trailing panels): POTRF re-reads its
+        // diagonal panel; TRSM reads each column panel; the update reads
+        // its two operand panels and its output panel per trailing cell
+        // (i == j reuses the single operand read).
+        let mut step_reads = 0u64;
+        for k in 0..nb {
+            let b = nb - 1 - k;
+            step_reads += 1; // POTRF
+            step_reads += b; // TRSM column
+            for i in 0..b {
+                for j in 0..=i {
+                    step_reads += if i == j { 2 } else { 3 };
+                }
+            }
+        }
+        // The schedule's demand-read set is an upper bound; the 4-frame
+        // LRU pool serves some re-touches (e.g. the POTRF re-read right
+        // after the copy-in wrote the panel) from cache. The exact count
+        // under this deterministic single-shard schedule is pinned below —
+        // any drift means the tile schedule changed.
+        assert!(delta.reads <= copy_reads + step_reads, "demand set grew");
+        assert_eq!(delta.reads, 30, "pinned per-tile read budget moved");
+        // Writes: all 16 panels of the working copy, then one write-back
+        // per POTRF/TRSM/update step (dirty blocks flush once).
+        let mut step_writes = 0u64;
+        for k in 0..nb {
+            let b = nb - 1 - k;
+            step_writes += 1 + b + b * (b + 1) / 2;
+        }
+        assert!(delta.writes <= nb * nb + step_writes, "write set grew");
+        assert_eq!(delta.writes, 33, "pinned write budget moved");
+    }
+
+    #[test]
+    fn prefetch_declarations_are_read_count_neutral() {
+        // Same factorization, prefetch off vs on: identical read/write
+        // totals (prefetch moves reads in time, never adds any).
+        let n = 33; // ragged: exercises the partial-panel paths too
+        let run = |depth: usize| {
+            let c = StorageCtx::new_mem_opts(
+                512,
+                riot_storage::PoolConfig {
+                    frames: 64,
+                    replacer: riot_storage::ReplacerKind::Lru,
+                    prefetch_depth: depth,
+                },
+                1,
+            );
+            let a = mk(&c, n, n, |i, j| spd_sym(i, j, n));
+            let b = mk(&c, n, 5, |i, j| (i * 5 + j) as f64);
+            c.pool().flush_all().unwrap();
+            c.clear_cache().unwrap();
+            let before = c.io_snapshot();
+            let (x, _) = cholesky_solve(&a, &b, 3 * 64, 1, None).unwrap();
+            c.pool().wait_prefetch_idle();
+            c.pool().flush_all().unwrap();
+            let delta = c.io_snapshot() - before;
+            (x.to_rows().unwrap(), delta.reads, delta.writes)
+        };
+        let (x0, r0, w0) = run(0);
+        let (x8, r8, w8) = run(8);
+        assert_eq!(x0, x8, "prefetch changed the result");
+        assert_eq!(r0, r8, "prefetch changed read counts");
+        assert_eq!(w0, w8, "prefetch changed write counts");
+    }
+}

@@ -9,10 +9,12 @@
 //! intermediates — runs in a single pass over its inputs with O(chunk)
 //! memory.
 
+pub mod factor;
 pub mod matmul;
 pub mod pipeline;
 pub mod sparse;
 
+pub use factor::{chol_tiled, chol_tiled_parallel, cholesky_solve, tri_solve_parallel};
 pub use matmul::{
     default_threads, matmul_bnlj, matmul_bnlj_parallel, matmul_naive, matmul_tiled,
     matmul_tiled_parallel, multiply, multiply_chain, prefetch_rect, read_rect, write_rect,
@@ -38,6 +40,10 @@ pub enum ExecError {
     Storage(StorageError),
     /// Expression-level failure (shape or subscript).
     Expr(ExprError),
+    /// Cholesky pivot failure: the input to `chol`/`solve` was not
+    /// positive definite. `tile` is the panel index of the failing
+    /// diagonal step; `pivot` the global row/column of the bad pivot.
+    NotPositiveDefinite { tile: usize, pivot: usize },
     /// Feature intentionally outside the reproduction's scope.
     Unsupported(String),
 }
@@ -47,6 +53,12 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::Storage(e) => write!(f, "storage: {e}"),
             ExecError::Expr(e) => write!(f, "expression: {e}"),
+            ExecError::NotPositiveDefinite { tile, pivot } => write!(
+                f,
+                "matrix is not positive definite: leading minor of order {} \
+                 (diagonal panel {tile}) has a non-positive pivot",
+                pivot + 1
+            ),
             ExecError::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }
@@ -57,6 +69,7 @@ impl std::error::Error for ExecError {
         match self {
             ExecError::Storage(e) => Some(e),
             ExecError::Expr(e) => Some(e),
+            ExecError::NotPositiveDefinite { .. } => None,
             ExecError::Unsupported(_) => None,
         }
     }

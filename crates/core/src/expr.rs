@@ -378,6 +378,24 @@ pub enum Node {
         /// Input node.
         input: NodeId,
     },
+    /// Cholesky factorization (`chol`): the lower-triangular `L` with
+    /// `L · Lᵀ = input` for a symmetric positive definite input. Executes
+    /// on the out-of-core tiled POTRF/TRSM/SYRK kernel; non-positive-
+    /// definite inputs surface a typed error, never NaNs.
+    Chol {
+        /// Input matrix (symmetric positive definite; only the lower
+        /// triangle is read).
+        input: NodeId,
+    },
+    /// Linear solve (`solve(a, b)`) for symmetric positive definite `a`:
+    /// factors `a = L·Lᵀ` out of core, then blocked forward/backward
+    /// triangular substitution — the inverse is never materialized.
+    Solve {
+        /// Coefficient matrix (symmetric positive definite).
+        lhs: NodeId,
+        /// Right-hand side (matrix, one column strip per solve).
+        rhs: NodeId,
+    },
 }
 
 impl Node {
@@ -395,10 +413,13 @@ impl Node {
             | Node::SpTranspose { input }
             | Node::Agg { input, .. }
             | Node::Densify { input }
-            | Node::Sparsify { input } => {
+            | Node::Sparsify { input }
+            | Node::Chol { input } => {
                 vec![input]
             }
-            Node::Zip { lhs, rhs, .. } | Node::MatMul { lhs, rhs } => vec![lhs, rhs],
+            Node::Zip { lhs, rhs, .. } | Node::MatMul { lhs, rhs } | Node::Solve { lhs, rhs } => {
+                vec![lhs, rhs]
+            }
             Node::IfElse { cond, yes, no } => vec![cond, yes, no],
             Node::Gather { data, index } => vec![data, index],
             Node::SubAssign { data, index, value } => vec![data, index, value],
@@ -514,6 +535,15 @@ impl Node {
             Node::SpTranspose { input } => {
                 k.push(17);
                 push_id(&mut k, *input);
+            }
+            Node::Chol { input } => {
+                k.push(18);
+                push_id(&mut k, *input);
+            }
+            Node::Solve { lhs, rhs } => {
+                k.push(19);
+                push_id(&mut k, *lhs);
+                push_id(&mut k, *rhs);
             }
         }
         k

@@ -290,6 +290,37 @@ impl ExprGraph {
         self.intern(Node::Agg { op, input }, Shape::Scalar)
     }
 
+    /// Cholesky factorization of a square matrix-valued node. The shape
+    /// check is structural (square, non-empty); positive definiteness is
+    /// a value property checked at execution time.
+    pub fn chol(&mut self, input: NodeId) -> Result<NodeId, ExprError> {
+        match self.shape(input) {
+            s @ Shape::Matrix(r, c) if r == c && r > 0 => Ok(self.intern(Node::Chol { input }, s)),
+            got => Err(ExprError::Expected {
+                what: "non-empty square matrix",
+                got,
+            }),
+        }
+    }
+
+    /// Linear solve `solve(a, b)`: `a` square `n x n`, `b` an `n x m`
+    /// right-hand side.
+    pub fn solve(&mut self, lhs: NodeId, rhs: NodeId) -> Result<NodeId, ExprError> {
+        let (ls, rs) = (self.shape(lhs), self.shape(rhs));
+        match (ls, rs) {
+            (Shape::Matrix(n1, n2), Shape::Matrix(r, m))
+                if n1 == n2 && n1 > 0 && r == n1 && m > 0 =>
+            {
+                Ok(self.intern(Node::Solve { lhs, rhs }, Shape::Matrix(n1, m)))
+            }
+            (Shape::Matrix(n1, n2), _) if n1 != n2 || n1 == 0 => Err(ExprError::Expected {
+                what: "non-empty square matrix",
+                got: ls,
+            }),
+            _ => Err(ExprError::MatMulDims { lhs: ls, rhs: rs }),
+        }
+    }
+
     // ---- analysis ------------------------------------------------------
 
     /// All nodes reachable from `roots`, in topological (children-first)
@@ -404,6 +435,10 @@ impl ExprGraph {
             Node::Transpose { input } => format!("t({})", self.render(*input)),
             Node::SpTranspose { input } => format!("t({})", self.render(*input)),
             Node::Agg { op, input } => format!("{}({})", op.name(), self.render(*input)),
+            Node::Chol { input } => format!("chol({})", self.render(*input)),
+            Node::Solve { lhs, rhs } => {
+                format!("solve({}, {})", self.render(*lhs), self.render(*rhs))
+            }
         }
     }
 }

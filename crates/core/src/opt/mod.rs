@@ -191,6 +191,15 @@ fn rebuild_with_children(
             let input = go(g, input, stats, memo);
             g.agg(op, input)
         }
+        Node::Chol { input } => {
+            let input = go(g, input, stats, memo);
+            g.chol(input).expect("shapes preserved")
+        }
+        Node::Solve { lhs, rhs } => {
+            let lhs = go(g, lhs, stats, memo);
+            let rhs = go(g, rhs, stats, memo);
+            g.solve(lhs, rhs).expect("shapes preserved")
+        }
     }
 }
 

@@ -80,6 +80,11 @@ pub struct RewriteStats {
     /// Transposes of sparse-valued inputs densified before transposing
     /// (density at or above the threshold).
     pub transpose_densified: u64,
+    /// `solve(crossprod(x), ...)` patterns recognized as normal-equations
+    /// solves: the Gram-matrix coefficient certifies positive definiteness
+    /// structurally, so the plan commits to the Cholesky kernel (the
+    /// inverse is never materialized).
+    pub normal_eq_solves: u64,
 }
 
 /// Rewrite the DAG rooted at `root`, returning the new root.
@@ -224,9 +229,51 @@ fn rw(
             let input = rw(g, input, cfg, stats, memo);
             g.agg(op, input)
         }
+        Node::Chol { input } => {
+            let input = rw(g, input, cfg, stats, memo);
+            g.chol(input).expect("shapes preserved")
+        }
+        Node::Solve { lhs, rhs } => {
+            let lhs = rw(g, lhs, cfg, stats, memo);
+            let rhs = rw(g, rhs, cfg, stats, memo);
+            // Normal-equations detection: a coefficient of the form
+            // t(x) %*% x is a Gram matrix — positive (semi-)definite by
+            // construction — so the plan is certified for the Cholesky
+            // kernel without materializing an inverse. Hash-consing has
+            // already shared the t(x) between `crossprod(x)` and
+            // `crossprod(x, y)`, so the rewritten plan computes the
+            // transpose once.
+            if gram_operand(g, lhs).is_some() {
+                stats.normal_eq_solves += 1;
+            }
+            g.solve(lhs, rhs).expect("shapes preserved")
+        }
     };
     memo.insert(id, out);
     out
+}
+
+/// If `id` is a Gram matrix `t(x) %*% x` (either transpose kernel, seen
+/// through representation conversions), return `x`.
+fn gram_operand(g: &ExprGraph, id: NodeId) -> Option<NodeId> {
+    // Representation conversions preserve the algebraic value.
+    let strip = |g: &ExprGraph, mut id: NodeId| loop {
+        match *g.node(id) {
+            Node::Densify { input } | Node::Sparsify { input } => id = input,
+            _ => return id,
+        }
+    };
+    let Node::MatMul { lhs, rhs } = *g.node(strip(g, id)) else {
+        return None;
+    };
+    match *g.node(strip(g, lhs)) {
+        Node::Transpose { input } | Node::SpTranspose { input }
+            if strip(g, input) == strip(g, rhs) =>
+        {
+            Some(input)
+        }
+        _ => None,
+    }
 }
 
 /// Statistics of a node the optimizer knows to be sparse-valued, from the

@@ -31,8 +31,8 @@ use crate::exec::pipeline::{
     CycleScan, GatherPipe, IfElsePipe, LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan,
     ZipPipe,
 };
-use crate::exec::{matmul, sparse as spkernel, ExecError, ExecResult, MatMulKernel};
-use crate::expr::{AggOp, BinOp, Node, NodeId, SourceRef, UnOp};
+use crate::exec::{factor, matmul, sparse as spkernel, ExecError, ExecResult, MatMulKernel};
+use crate::expr::{AggOp, BinOp, ExprError, Node, NodeId, SourceRef, UnOp};
 use crate::graph::ExprGraph;
 use crate::opt::{optimize, OptConfig, RewriteStats};
 use crate::shape::Shape;
@@ -420,6 +420,7 @@ impl Runtime {
             ("sparse_densified", s.sparse_densified),
             ("sparse_transposes", s.sparse_transposes),
             ("transpose_densified", s.transpose_densified),
+            ("normal_eq_solves", s.normal_eq_solves),
         ] {
             if count > 0 {
                 tracer.record(EventKind::Rewrite { rule, count });
@@ -1607,7 +1608,9 @@ impl Runtime {
             | Node::MatSource { .. }
             | Node::SpMatSource { .. }
             | Node::Densify { .. }
-            | Node::Sparsify { .. } => {
+            | Node::Sparsify { .. }
+            | Node::Chol { .. }
+            | Node::Solve { .. } => {
                 return Err(ExecError::Unsupported(
                     "matrix values cannot stream through vector pipelines; use collect_matrix"
                         .to_string(),
@@ -1830,6 +1833,108 @@ impl Runtime {
         }
     }
 
+    /// Cholesky factorization `chol(a)`: the lower-triangular `L` with
+    /// `L · Lᵀ = a`. Deferred engines record a [`Node::Chol`]; the eager
+    /// engines factor immediately in their own representation.
+    pub(crate) fn mat_chol(&mut self, m: &MatRepr) -> ExecResult<MatRepr> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let MatRepr::Node(id) = m else { unreachable!() };
+                Ok(MatRepr::Node(self.graph.chol(*id)?))
+            }
+            EngineKind::PlainR => {
+                let MatRepr::Vm { id, rows, cols } = m else {
+                    unreachable!()
+                };
+                let (id, rows, cols) = (*id, *rows, *cols);
+                if rows != cols || rows == 0 {
+                    return Err(ExecError::Expr(ExprError::Expected {
+                        what: "non-empty square matrix",
+                        got: Shape::Matrix(rows, cols),
+                    }));
+                }
+                let mut a = self.heap.to_vec(id);
+                dense_chol_inplace(&mut a, rows)?;
+                self.count_ops(rows * rows * rows / 3 + rows * rows);
+                let t = self.heap.alloc(rows * cols);
+                self.heap.write_chunk(t, 0, &a);
+                Ok(MatRepr::Vm { id: t, rows, cols })
+            }
+            EngineKind::Strawman => {
+                let MatRepr::Stored(sm) = m else {
+                    unreachable!()
+                };
+                let (l, flops) = factor::chol_tiled(&sm.mat, self.mem_elems(), None)?;
+                self.count_ops(flops as usize);
+                Ok(MatRepr::Stored(Rc::new(StrawMat { mat: l })))
+            }
+        }
+    }
+
+    /// Linear solve `solve(a, b)` for symmetric positive definite `a` —
+    /// always Cholesky-backed; no engine materializes an inverse.
+    pub(crate) fn mat_solve(&mut self, a: &MatRepr, b: &MatRepr) -> ExecResult<MatRepr> {
+        match self.cfg.kind {
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let (MatRepr::Node(l), MatRepr::Node(r)) = (a, b) else {
+                    unreachable!()
+                };
+                Ok(MatRepr::Node(self.graph.solve(*l, *r)?))
+            }
+            EngineKind::PlainR => {
+                let (
+                    MatRepr::Vm {
+                        id: ia,
+                        rows: n,
+                        cols: nc,
+                    },
+                    MatRepr::Vm {
+                        id: ib,
+                        rows: br,
+                        cols: m,
+                    },
+                ) = (a, b)
+                else {
+                    unreachable!()
+                };
+                let (ia, ib, n, nc, br, m) = (*ia, *ib, *n, *nc, *br, *m);
+                if n != nc || n == 0 {
+                    return Err(ExecError::Expr(ExprError::Expected {
+                        what: "non-empty square matrix",
+                        got: Shape::Matrix(n, nc),
+                    }));
+                }
+                if br != n || m == 0 {
+                    return Err(ExecError::Expr(ExprError::MatMulDims {
+                        lhs: Shape::Matrix(n, nc),
+                        rhs: Shape::Matrix(br, m),
+                    }));
+                }
+                let mut l = self.heap.to_vec(ia);
+                dense_chol_inplace(&mut l, n)?;
+                let mut x = self.heap.to_vec(ib);
+                dense_cholesky_substitute(&l, &mut x, n, m);
+                self.count_ops(n * n * n / 3 + 2 * n * n * m);
+                let t = self.heap.alloc(n * m);
+                self.heap.write_chunk(t, 0, &x);
+                Ok(MatRepr::Vm {
+                    id: t,
+                    rows: n,
+                    cols: m,
+                })
+            }
+            EngineKind::Strawman => {
+                let (MatRepr::Stored(sa), MatRepr::Stored(sb)) = (a, b) else {
+                    unreachable!()
+                };
+                let (x, flops) =
+                    factor::cholesky_solve(&sa.mat, &sb.mat, self.mem_elems(), 1, None)?;
+                self.count_ops(flops as usize);
+                Ok(MatRepr::Stored(Rc::new(StrawMat { mat: x })))
+            }
+        }
+    }
+
     /// Fully evaluate a matrix value to row-major data.
     pub(crate) fn collect_matrix(&mut self, m: &MatRepr) -> ExecResult<(usize, usize, Vec<f64>)> {
         match (&self.cfg.kind, m) {
@@ -1941,6 +2046,38 @@ impl Runtime {
                     }
                 }
             }
+            Node::Chol { input } => {
+                let a = self.force_dense_value(input)?;
+                let span = self.span_begin("chol");
+                let detail = if span.token.is_active() {
+                    let (r, c) = a.shape();
+                    format!("{r}x{c}")
+                } else {
+                    String::new()
+                };
+                let threads = self.cfg.threads.max(1);
+                let (l, flops) = factor::chol_tiled_parallel(&a, self.mem_elems(), threads, None)?;
+                self.count_ops(flops as usize);
+                self.span_end(span, detail);
+                MatValue::Dense(l)
+            }
+            Node::Solve { lhs, rhs } => {
+                let a = self.force_dense_value(lhs)?;
+                let b = self.force_dense_value(rhs)?;
+                let span = self.span_begin("solve");
+                let detail = if span.token.is_active() {
+                    let (r, c) = a.shape();
+                    let (_, m) = b.shape();
+                    format!("{r}x{c} \\ {r}x{m}")
+                } else {
+                    String::new()
+                };
+                let threads = self.cfg.threads.max(1);
+                let (x, flops) = factor::cholesky_solve(&a, &b, self.mem_elems(), threads, None)?;
+                self.count_ops(flops as usize);
+                self.span_end(span, detail);
+                MatValue::Dense(x)
+            }
             other => {
                 return Err(ExecError::Unsupported(format!(
                     "matrix execution of {other:?}"
@@ -1956,6 +2093,15 @@ impl Runtime {
             }
         }
         Ok(out)
+    }
+
+    /// Force a node and densify the result: the factorization kernels are
+    /// dense-only (a Cholesky factor of a sparse matrix fills in anyway).
+    fn force_dense_value(&mut self, id: NodeId) -> ExecResult<DenseMatrix> {
+        Ok(match self.force_matrix_value(id)? {
+            MatValue::Dense(d) => d,
+            MatValue::Sparse(s) => s.to_dense(TileOrder::RowMajor, None)?,
+        })
     }
 
     /// One multiplication over materialized operands, choosing a kernel by
@@ -2155,6 +2301,62 @@ impl Runtime {
 
 /// Count the non-zeros of a stored dense matrix by streaming its tiles
 /// (in-bounds cells only; boundary padding is ignored).
+/// In-place dense lower Cholesky over a row-major `n x n` buffer: the
+/// in-memory engines' reference factorization (zeroes the strict upper
+/// triangle). The in-memory path has no tile schedule, so a pivot failure
+/// reports panel 0 with the global pivot index.
+fn dense_chol_inplace(a: &mut [f64], n: usize) -> ExecResult<()> {
+    for j in 0..n {
+        let mut d = a[j * n + j];
+        for k in 0..j {
+            d -= a[j * n + k] * a[j * n + k];
+        }
+        if !d.is_finite() || d <= 0.0 {
+            return Err(ExecError::NotPositiveDefinite { tile: 0, pivot: j });
+        }
+        let d = d.sqrt();
+        a[j * n + j] = d;
+        for i in j + 1..n {
+            let mut s = a[i * n + j];
+            for k in 0..j {
+                s -= a[i * n + k] * a[j * n + k];
+            }
+            a[i * n + j] = s / d;
+        }
+        for i in j + 1..n {
+            a[j * n + i] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Forward then backward substitution of `L · Lᵀ · X = B` in place over a
+/// row-major `n x m` right-hand side.
+fn dense_cholesky_substitute(l: &[f64], x: &mut [f64], n: usize, m: usize) {
+    for r in 0..n {
+        for k in 0..r {
+            let lrk = l[r * n + k];
+            for c in 0..m {
+                x[r * m + c] -= lrk * x[k * m + c];
+            }
+        }
+        for c in 0..m {
+            x[r * m + c] /= l[r * n + r];
+        }
+    }
+    for r in (0..n).rev() {
+        for k in r + 1..n {
+            let lkr = l[k * n + r];
+            for c in 0..m {
+                x[r * m + c] -= lkr * x[k * m + c];
+            }
+        }
+        for c in 0..m {
+            x[r * m + c] /= l[r * n + r];
+        }
+    }
+}
+
 fn count_dense_nnz(m: &DenseMatrix) -> ExecResult<u64> {
     let mut count = 0u64;
     m.for_each(|_, _, v| {

@@ -392,6 +392,8 @@ fn plan_label(graph: &ExprGraph, id: NodeId) -> String {
         Node::Transpose { .. } => "transpose".to_string(),
         Node::SpTranspose { .. } => "sptranspose".to_string(),
         Node::Agg { op, .. } => format!("agg {}", op.name()),
+        Node::Chol { .. } => "chol".to_string(),
+        Node::Solve { .. } => "solve".to_string(),
     };
     format!("{what}  -> {shape}")
 }

@@ -594,6 +594,22 @@ impl RMat {
         self.sess.rt.borrow_mut().mat_nnz(&self.repr)
     }
 
+    /// Cholesky factorization — `chol(a)`: the lower-triangular `L` with
+    /// `L %*% t(L) == a` for a symmetric positive definite input. Inputs
+    /// that are not positive definite surface a typed error at the forcing
+    /// point, never silent NaNs.
+    pub fn chol(&self) -> ExecResult<RMat> {
+        let repr = self.sess.rt.borrow_mut().mat_chol(&self.repr)?;
+        Ok(self.sess.mat(repr))
+    }
+
+    /// Linear solve — `solve(a, b)` for symmetric positive definite `a`.
+    /// Always factorization-backed: no engine materializes an inverse.
+    pub fn solve(&self, rhs: &RMat) -> ExecResult<RMat> {
+        let repr = self.sess.rt.borrow_mut().mat_solve(&self.repr, &rhs.repr)?;
+        Ok(self.sess.mat(repr))
+    }
+
     /// Convert to the block-compressed sparse representation —
     /// `as.sparse(m)`. Deferred under MatNamed/Riot; the eager engines
     /// keep their dense storage (sparsity is a library concept there,

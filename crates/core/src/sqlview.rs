@@ -188,6 +188,21 @@ fn select_with_bindings(
             };
             format!("SELECT 1 AS I, {agg}({t}.V) AS V\nFROM ({inner}) {t}")
         }
+        // Factorizations have no single-query relational form — they are
+        // the paper's motivating example of computation SQL cannot express
+        // (an iterative kernel, not a join-aggregate). The view renders a
+        // table function call so the plan stays inspectable.
+        Node::Chol { input } => {
+            let t = namer.fresh("TMP");
+            let inner = select_with_bindings(g, *input, namer, bound);
+            format!("SELECT I, J, V FROM CHOL(TABLE ({inner}) {t})")
+        }
+        Node::Solve { lhs, rhs } => {
+            let (ta, tb) = (namer.fresh("TMP"), namer.fresh("TMP"));
+            let a = select_with_bindings(g, *lhs, namer, bound);
+            let b = select_with_bindings(g, *rhs, namer, bound);
+            format!("SELECT I, J, V FROM SOLVE(TABLE ({a}) {ta}, TABLE ({b}) {tb})")
+        }
     }
 }
 

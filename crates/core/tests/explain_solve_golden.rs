@@ -1,0 +1,74 @@
+//! Golden-file EXPLAIN for the normal-equations solve: the plan for
+//! `solve(crossprod(x), crossprod(x, y))`, the optimizer's certification
+//! that the coefficient is a Gram matrix (so the Cholesky-backed solve is
+//! safe and no inverse is ever materialized), and the deterministic
+//! counted profile are pinned to a committed file.
+//!
+//! Regenerate after an intentional change with:
+//! `RIOT_UPDATE_GOLDEN=1 cargo test -p riot-core --test explain_solve_golden`
+
+use riot_array::MatrixLayout;
+use riot_core::{EngineConfig, EngineKind, Session};
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/explain_solve.txt"
+);
+
+fn fixed_program() -> String {
+    let mut cfg = EngineConfig::new(EngineKind::Riot);
+    cfg.block_size = 512;
+    cfg.chunk_elems = 64;
+    cfg.mem_blocks = 24;
+    let s = Session::new(cfg);
+
+    let rows = 64;
+    let cols = 8;
+    let x = s
+        .matrix_from_fn(rows, cols, MatrixLayout::Square, |i, j| {
+            if j == 0 {
+                1.0
+            } else {
+                // Multipliers 3..=9 are all nonzero mod 11, so no column
+                // is constant and the Gram matrix stays positive definite.
+                ((i * (j + 2)) % 11) as f64 - 5.0
+            }
+        })
+        .unwrap();
+    let y = s
+        .matrix_from_fn(rows, 1, MatrixLayout::Square, |i, _| 2.0 + (i % 5) as f64)
+        .unwrap();
+    // solve(crossprod(x), crossprod(x, y)) — least squares without an inverse.
+    let beta = x.t().matmul(&x).solve(&x.t().matmul(&y)).unwrap();
+
+    let mut out = String::new();
+    out.push_str("== EXPLAIN (logical plan after optimization) ==\n");
+    out.push_str(&beta.explain());
+
+    s.drop_caches().unwrap();
+    let (_, profile) = s.profile(|| beta.collect().unwrap());
+    out.push_str("\n== REWRITES ==\n");
+    out.push_str(&format!(
+        "normal_eq_solves: {}\n",
+        s.last_opt_stats().normal_eq_solves
+    ));
+    out.push_str("== PROFILE (deterministic counters) ==\n");
+    out.push_str(&profile.render_counts());
+    out
+}
+
+#[test]
+fn normal_equations_explain_matches_golden() {
+    let got = fixed_program();
+    if std::env::var_os("RIOT_UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("golden file missing; run with RIOT_UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        got, want,
+        "EXPLAIN/profile drifted from {GOLDEN}; if intentional, regenerate \
+         with RIOT_UPDATE_GOLDEN=1"
+    );
+}

@@ -1,0 +1,220 @@
+//! End-to-end factorization tests: `chol` and `solve` through the
+//! Session API across all four engines, thread-count invariance of both
+//! results and counted I/O, and the typed non-positive-definite error at
+//! every engine's forcing point.
+
+use riot_array::MatrixLayout;
+use riot_core::exec::ExecError;
+use riot_core::{EngineConfig, EngineKind, Session};
+
+const N: usize = 40;
+const M: usize = 3;
+
+/// Deterministic symmetric positive definite test matrix.
+fn spd(i: usize, j: usize) -> f64 {
+    let (a, b) = (i.min(j), i.max(j));
+    if a == b {
+        N as f64 + 2.0 + (a % 5) as f64
+    } else {
+        (((a * 31 + b * 17) % 13) as f64 - 6.0) / 13.0
+    }
+}
+
+/// Known solution for `solve(a, a %*% x) == x`.
+fn xs(i: usize, j: usize) -> f64 {
+    ((i * M + j) * 7 % 11) as f64 - 5.0
+}
+
+fn session(kind: EngineKind, threads: usize) -> Session {
+    let mut cfg = EngineConfig::new(kind);
+    cfg.block_size = 512;
+    cfg.chunk_elems = 64;
+    cfg.mem_blocks = 24; // 3 * 64 elems: panels well below the matrix size
+    cfg.threads = threads;
+    Session::new(cfg)
+}
+
+fn assert_close(got: &[f64], want: &[f64], tol: f64, what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (k, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!((g - w).abs() < tol, "{what} elem {k}: got {g}, want {w}");
+    }
+}
+
+#[test]
+fn chol_reconstruction_holds_on_every_engine() {
+    // L %*% t(L) ≈ a, with L's strict upper triangle exactly zero.
+    for kind in EngineKind::all() {
+        let s = session(kind, 1);
+        let a = s.matrix_from_fn(N, N, MatrixLayout::Square, spd).unwrap();
+        let l = a.chol().unwrap();
+        let (r, c, rec) = l.matmul(&l.t()).collect().unwrap();
+        assert_eq!((r, c), (N, N), "{kind:?}");
+        let want: Vec<f64> = (0..N * N).map(|k| spd(k / N, k % N)).collect();
+        assert_close(&rec, &want, 1e-9, &format!("{kind:?} reconstruction"));
+        let (_, _, lv) = l.collect().unwrap();
+        for i in 0..N {
+            for j in i + 1..N {
+                assert_eq!(lv[i * N + j], 0.0, "{kind:?}: upper ({i},{j})");
+            }
+        }
+    }
+}
+
+#[test]
+fn solve_recovers_known_solution_on_every_engine() {
+    // solve(a, a %*% x) ≈ x.
+    for kind in EngineKind::all() {
+        let s = session(kind, 1);
+        let a = s.matrix_from_fn(N, N, MatrixLayout::Square, spd).unwrap();
+        let x = s.matrix_from_fn(N, M, MatrixLayout::Square, xs).unwrap();
+        let b = a.matmul(&x);
+        let (_, _, got) = a.solve(&b).unwrap().collect().unwrap();
+        let want: Vec<f64> = (0..N * M).map(|k| xs(k / M, k % M)).collect();
+        assert_close(&got, &want, 1e-7, &format!("{kind:?} solve"));
+    }
+}
+
+#[test]
+fn thread_count_changes_nothing_but_wall_clock() {
+    // Riot at threads {1, 2, 4}: bit-identical factor, solution, and
+    // counted I/O — the parallel schedule is the sequential schedule.
+    // b = a %*% x is built host-side so the counted window holds only the
+    // factorization and solve (matmul sizes its panels per-thread).
+    let bval = |i: usize, j: usize| (0..N).map(|k| spd(i, k) * xs(k, j)).sum::<f64>();
+    let run = |threads: usize| {
+        let s = session(EngineKind::Riot, threads);
+        let a = s.matrix_from_fn(N, N, MatrixLayout::Square, spd).unwrap();
+        let b = s.matrix_from_fn(N, M, MatrixLayout::Square, bval).unwrap();
+        s.drop_caches().unwrap();
+        let before = s.io_snapshot();
+        let (_, _, l) = a.chol().unwrap().collect().unwrap();
+        let (_, _, sol) = a.solve(&b).unwrap().collect().unwrap();
+        let io = s.io_snapshot() - before;
+        (l, sol, io.reads, io.writes)
+    };
+    let seq = run(1);
+    for threads in [2, 4] {
+        let par = run(threads);
+        assert_eq!(par.0, seq.0, "{threads}-thread factor diverged");
+        assert_eq!(par.1, seq.1, "{threads}-thread solution diverged");
+        assert_eq!(par.2, seq.2, "{threads}-thread reads diverged");
+        assert_eq!(par.3, seq.3, "{threads}-thread writes diverged");
+    }
+}
+
+#[test]
+fn non_positive_definite_input_errors_on_every_engine() {
+    // An indefinite matrix must surface the typed error at the engine's
+    // forcing point — deferred engines at collect, eager engines at the
+    // call — and never silent NaNs.
+    for kind in EngineKind::all() {
+        let s = session(kind, 1);
+        let a = s
+            .matrix_from_fn(N, N, MatrixLayout::Square, |i, j| {
+                if i == 9 && j == 9 {
+                    -spd(i, j)
+                } else {
+                    spd(i, j)
+                }
+            })
+            .unwrap();
+        let result = a.chol().and_then(|l| l.collect());
+        match result {
+            Err(ExecError::NotPositiveDefinite { pivot, .. }) => {
+                assert_eq!(pivot, 9, "{kind:?}: wrong pivot reported");
+            }
+            Err(other) => panic!("{kind:?}: expected NotPositiveDefinite, got {other}"),
+            Ok(_) => panic!("{kind:?}: chol of an indefinite matrix succeeded"),
+        }
+    }
+}
+
+#[test]
+fn degenerate_shapes_work_or_error_cleanly() {
+    for kind in EngineKind::all() {
+        let s = session(kind, 1);
+        // 1x1: the smallest factorization and solve.
+        let a = s
+            .matrix_from_fn(1, 1, MatrixLayout::Square, |_, _| 9.0)
+            .unwrap();
+        let (_, _, l) = a.chol().unwrap().collect().unwrap();
+        assert_eq!(l, vec![3.0], "{kind:?}: 1x1 chol");
+        let b = s
+            .matrix_from_fn(1, 1, MatrixLayout::Square, |_, _| 18.0)
+            .unwrap();
+        let (_, _, x) = a.solve(&b).unwrap().collect().unwrap();
+        assert_eq!(x, vec![2.0], "{kind:?}: 1x1 solve");
+
+        // Ragged: dims not a multiple of the 8-wide tiles.
+        let n = 13;
+        let a = s.matrix_from_fn(n, n, MatrixLayout::Square, spd).unwrap();
+        let l = a.chol().unwrap();
+        let (_, _, rec) = l.matmul(&l.t()).collect().unwrap();
+        let want: Vec<f64> = (0..n * n).map(|k| spd(k / n, k % n)).collect();
+        assert_close(&rec, &want, 1e-9, &format!("{kind:?} ragged"));
+
+        // Non-square chol and mismatched solve dims: typed shape errors.
+        let rect = s
+            .matrix_from_fn(4, 6, MatrixLayout::Square, |i, j| (i + j) as f64)
+            .unwrap();
+        let rect_chol = rect.chol().and_then(|l| l.collect());
+        assert!(rect_chol.is_err(), "{kind:?}: chol of 4x6 must fail");
+        let bad_rhs = s
+            .matrix_from_fn(5, 2, MatrixLayout::Square, |_, _| 1.0)
+            .unwrap();
+        let bad = a.solve(&bad_rhs).and_then(|x| x.collect());
+        assert!(bad.is_err(), "{kind:?}: solve with 13x13 vs 5x2 must fail");
+    }
+}
+
+#[test]
+fn normal_equations_rewrite_fires_and_solves() {
+    // solve(crossprod(x), crossprod(x, y)) — least squares by normal
+    // equations. The optimizer recognizes the Gram-matrix coefficient and
+    // counts the certification; the answer matches the dense reference.
+    let rows = 30;
+    let cols = 5;
+    let s = session(EngineKind::Riot, 1);
+    let x = s
+        .matrix_from_fn(rows, cols, MatrixLayout::Square, |i, j| {
+            if j == 0 {
+                1.0
+            } else {
+                ((i * (j + 2)) % 7) as f64 - 3.0
+            }
+        })
+        .unwrap();
+    let y = s
+        .matrix_from_fn(rows, 1, MatrixLayout::Square, |i, _| 2.0 + (i % 5) as f64)
+        .unwrap();
+    let beta = x.t().matmul(&x).solve(&x.t().matmul(&y)).unwrap();
+    let (br, bc, bv) = beta.collect().unwrap();
+    assert_eq!((br, bc), (cols, 1));
+    assert_eq!(
+        s.last_opt_stats().normal_eq_solves,
+        1,
+        "Gram-matrix coefficient not recognized"
+    );
+    // Residual must be orthogonal to the columns of x: t(x) %*% (y - x b)
+    // is zero for the least-squares solution.
+    let xv: Vec<f64> = (0..rows * cols)
+        .map(|k| {
+            let (i, j) = (k / cols, k % cols);
+            if j == 0 {
+                1.0
+            } else {
+                ((i * (j + 2)) % 7) as f64 - 3.0
+            }
+        })
+        .collect();
+    let yv: Vec<f64> = (0..rows).map(|i| 2.0 + (i % 5) as f64).collect();
+    for j in 0..cols {
+        let mut dot = 0.0;
+        for i in 0..rows {
+            let fitted: f64 = (0..cols).map(|k| xv[i * cols + k] * bv[k]).sum();
+            dot += xv[i * cols + j] * (yv[i] - fitted);
+        }
+        assert!(dot.abs() < 1e-7, "residual not orthogonal: col {j}: {dot}");
+    }
+}

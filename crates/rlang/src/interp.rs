@@ -118,6 +118,22 @@ impl Interpreter {
         Ok(())
     }
 
+    /// Pre-bind a generated matrix (square tiling), the matrix
+    /// counterpart of [`Interpreter::bind_vector`].
+    pub fn bind_matrix(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        f: impl FnMut(usize, usize) -> f64,
+    ) -> RResult<()> {
+        let m = self
+            .session
+            .matrix_from_fn(rows, cols, riot_array::MatrixLayout::Square, f)?;
+        self.env.insert(name.to_string(), RValue::Matrix(m));
+        Ok(())
+    }
+
     /// Pre-bind a scalar.
     pub fn bind_scalar(&mut self, name: &str, value: f64) {
         self.env.insert(name.to_string(), RValue::Scalar(value));
@@ -622,6 +638,34 @@ impl Interpreter {
                 RValue::Matrix(m) => Ok(RValue::Matrix(m.t())),
                 _ => Err(RError::Runtime("t() needs a matrix".to_string())),
             },
+            "chol" => match self.arg1(&positional, name)? {
+                RValue::Matrix(m) => Ok(RValue::Matrix(m.chol()?)),
+                _ => Err(RError::Runtime("chol() needs a matrix".to_string())),
+            },
+            "solve" => {
+                if positional.len() != 2 {
+                    // Unary solve(a) would materialize an n x n inverse —
+                    // exactly the plan the engine refuses to run; the
+                    // two-argument form never forms it.
+                    return Err(RError::Runtime(
+                        "solve(a) would materialize an inverse; use solve(a, b)".to_string(),
+                    ));
+                }
+                match (positional[0], positional[1]) {
+                    (RValue::Matrix(a), RValue::Matrix(b)) => Ok(RValue::Matrix(a.solve(b)?)),
+                    _ => Err(RError::Runtime("solve() needs two matrices".to_string())),
+                }
+            }
+            "crossprod" => match positional.as_slice() {
+                // crossprod(x) = t(x) %*% x; crossprod(x, y) = t(x) %*% y.
+                // Composed from the transpose and product nodes, so the
+                // optimizer sees the Gram-matrix structure.
+                [RValue::Matrix(x)] => Ok(RValue::Matrix(x.t().matmul(x))),
+                [RValue::Matrix(x), RValue::Matrix(y)] => Ok(RValue::Matrix(x.t().matmul(y))),
+                _ => Err(RError::Runtime(
+                    "crossprod() needs one or two matrices".to_string(),
+                )),
+            },
             "nrow" | "ncol" => match self.arg1(&positional, name)? {
                 RValue::Matrix(m) => {
                     let (r, c) = m.shape();
@@ -1118,5 +1162,64 @@ print(sum(nnz(p1) + nnz(p2) + nnz(p3) + nnz(p4)))";
         assert!(out.contains("[1] 32896"), "{out}");
         // Cumulative pool + storage report, not a per-query profile.
         assert!(out.contains("hit"), "pool stats present:\n{out}");
+    }
+
+    #[test]
+    fn factorization_builtins_agree_across_engines() {
+        // chol/solve/crossprod through the script layer: the factor
+        // reconstructs the input, solve recovers a known solution, and the
+        // normal-equations composition runs end to end — identically on
+        // all four engines.
+        let src = "\
+a <- matrix(c(4, 1, 1, 1, 5, 2, 1, 2, 6), nrow = 3, ncol = 3)
+l <- chol(a)
+print(l %*% t(l))
+b <- matrix(c(9, 17, 23), nrow = 3, ncol = 1)
+print(solve(a, b))
+xx <- matrix(1:12, nrow = 6, ncol = 2)
+yy <- matrix(1:6, nrow = 6, ncol = 1)
+beta <- solve(crossprod(xx), crossprod(xx, yy))
+print(nrow(beta))";
+        let mut outs = Vec::new();
+        for kind in EngineKind::all() {
+            outs.push((kind, run_with(kind, src)));
+        }
+        for w in outs.windows(2) {
+            assert_eq!(w[0].1, w[1].1, "{:?} vs {:?}", w[0].0, w[1].0);
+        }
+        // L %*% t(L) prints a again (4 ... 6) and x = a \ b is [1 2 3].
+        let out = &outs[0].1;
+        assert!(out.contains('4') && out.contains('6'), "{out}");
+        assert!(out.contains("[1] 2"), "beta is 2x1:\n{out}");
+    }
+
+    #[test]
+    fn solve_unary_is_refused_and_non_pd_chol_errors() {
+        let mut i = Interpreter::new(EngineConfig::new(EngineKind::Riot));
+        // R's solve(a) materializes an inverse — exactly what the engine
+        // refuses to do; the error says to use the two-argument form.
+        i.run("a <- matrix(c(4, 1, 1, 3), nrow = 2, ncol = 2)")
+            .unwrap();
+        assert!(matches!(
+            i.run("solve(a)"),
+            Err(RError::Runtime(m)) if m.contains("solve(a, b)")
+        ));
+        // chol of an indefinite matrix is the typed executor error naming
+        // the failing pivot, on eager and deferred engines alike.
+        for kind in EngineKind::all() {
+            let mut i = Interpreter::new(EngineConfig::new(kind));
+            i.run("m <- matrix(c(1, 2, 2, 1), nrow = 2, ncol = 2)")
+                .unwrap();
+            let err = i.run("print(chol(m))");
+            assert!(
+                matches!(
+                    &err,
+                    Err(RError::Exec(
+                        riot_core::exec::ExecError::NotPositiveDefinite { pivot: 1, .. }
+                    ))
+                ),
+                "{kind:?}: {err:?}"
+            );
+        }
     }
 }

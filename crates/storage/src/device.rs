@@ -81,6 +81,17 @@ pub trait BlockDevice: Send + Sync {
         false
     }
 
+    /// Persistence flag: `true` when blocks survive the process (a real
+    /// file or durable backend), `false` for purely in-memory devices.
+    ///
+    /// The buffer pool uses this to resolve [`crate::pool::PREFETCH_AUTO`]:
+    /// prefetch workers only pay off when a miss actually waits on a
+    /// device, so AUTO keeps prefetch disabled over in-memory backends and
+    /// enables it for persistent ones.
+    fn persistent(&self) -> bool {
+        false
+    }
+
     /// Force previously written blocks to stable storage.
     ///
     /// A successful `write_block` only guarantees the data reached the
@@ -121,6 +132,9 @@ impl<D: BlockDevice + ?Sized> BlockDevice for Box<D> {
     fn concurrent_io(&self) -> bool {
         (**self).concurrent_io()
     }
+    fn persistent(&self) -> bool {
+        (**self).persistent()
+    }
     fn sync(&self) -> Result<()> {
         (**self).sync()
     }
@@ -154,6 +168,9 @@ impl<D: BlockDevice + ?Sized> BlockDevice for Arc<D> {
     }
     fn concurrent_io(&self) -> bool {
         (**self).concurrent_io()
+    }
+    fn persistent(&self) -> bool {
+        (**self).persistent()
     }
     fn sync(&self) -> Result<()> {
         (**self).sync()

@@ -285,6 +285,10 @@ impl BlockDevice for FileBlockDevice {
         cfg!(unix)
     }
 
+    fn persistent(&self) -> bool {
+        true
+    }
+
     fn sync(&self) -> Result<()> {
         // fdatasync: block contents and length must be durable; file
         // timestamps need not survive a crash.

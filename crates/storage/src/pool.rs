@@ -108,9 +108,12 @@ use crate::replacer::{make_replacer, FrameId, Replacer, ReplacerKind};
 use crate::stats::{InFlight, IoStats};
 
 /// `PoolConfig::prefetch_depth` sentinel: size the prefetch worker pool
-/// from the device's [`BlockDevice::concurrent_io`] capability (8 workers
-/// when transfers genuinely overlap, 2 when the device serializes — one
-/// load can still overlap compute either way).
+/// from the device's capabilities. Non-[`BlockDevice::persistent`] devices
+/// resolve to `0` (a memory-speed miss has nothing to hide, and the
+/// demand-paged I/O order stays the pinned classic sequence); persistent
+/// devices get 8 workers when transfers genuinely overlap
+/// ([`BlockDevice::concurrent_io`]), 2 when the device serializes — one
+/// load can still overlap compute either way.
 pub const PREFETCH_AUTO: usize = usize::MAX;
 
 /// Pool construction parameters.
@@ -122,13 +125,15 @@ pub struct PoolConfig {
     pub replacer: ReplacerKind,
     /// Background prefetch workers (= maximum prefetch loads in flight).
     ///
-    /// `0` (the default) disables prefetching entirely: [`BufferPool::prefetch`]
-    /// is a free no-op and the pool's device I/O order stays bit-for-bit
-    /// the classic demand-paged sequence the cost-model validation pins
-    /// down. [`PREFETCH_AUTO`] sizes the worker pool from the device's
-    /// [`BlockDevice::concurrent_io`] capability. Prefetching never
-    /// changes *how much* I/O a well-windowed workload performs — only
-    /// *when* it happens (see the module docs).
+    /// `0` disables prefetching entirely: [`BufferPool::prefetch`] is a
+    /// free no-op and the pool's device I/O order stays bit-for-bit the
+    /// classic demand-paged sequence the cost-model validation pins down.
+    /// [`PREFETCH_AUTO`] (the default) sizes the worker pool from the
+    /// device: `0` for non-[`BlockDevice::persistent`] devices (so
+    /// in-memory pools keep the classic order), 8 or 2 for persistent
+    /// ones depending on [`BlockDevice::concurrent_io`]. Prefetching
+    /// never changes *how much* I/O a well-windowed workload performs —
+    /// only *when* it happens (see the module docs).
     pub prefetch_depth: usize,
 }
 
@@ -137,7 +142,7 @@ impl Default for PoolConfig {
         PoolConfig {
             frames: 256,
             replacer: ReplacerKind::Lru,
-            prefetch_depth: 0,
+            prefetch_depth: PREFETCH_AUTO,
         }
     }
 }
@@ -531,7 +536,9 @@ impl BufferPool {
         let elems_per_block = block_size / std::mem::size_of::<f64>();
         let io = device.stats();
         let prefetch_depth = if config.prefetch_depth == PREFETCH_AUTO {
-            if device.concurrent_io() {
+            if !device.persistent() {
+                0
+            } else if device.concurrent_io() {
                 8
             } else {
                 2
@@ -2248,6 +2255,8 @@ mod tests {
 
     #[test]
     fn prefetch_auto_sizes_from_device_capability() {
+        // MemBlockDevice is not persistent: AUTO resolves to 0, so the
+        // default in-memory pool keeps the classic demand-paged order.
         let p = BufferPool::new(
             Box::new(MemBlockDevice::new(64)),
             PoolConfig {
@@ -2256,9 +2265,60 @@ mod tests {
                 prefetch_depth: PREFETCH_AUTO,
             },
         );
-        // MemBlockDevice advertises concurrent I/O -> 8 workers.
-        assert_eq!(p.prefetch_depth(), 8);
+        assert_eq!(p.prefetch_depth(), 0);
         assert_eq!(pool(4).prefetch_depth(), 0, "default stays disabled");
+        // FileBlockDevice is persistent: AUTO turns prefetch on, sized
+        // from the device's concurrent-I/O capability.
+        let f = BufferPool::new(
+            Box::new(crate::FileBlockDevice::temp(64).unwrap()),
+            PoolConfig {
+                frames: 4,
+                replacer: ReplacerKind::Lru,
+                prefetch_depth: PREFETCH_AUTO,
+            },
+        );
+        assert_eq!(f.prefetch_depth(), if cfg!(unix) { 8 } else { 2 });
+        // An explicit depth always wins over AUTO resolution.
+        let e = BufferPool::new(
+            Box::new(crate::FileBlockDevice::temp(64).unwrap()),
+            PoolConfig {
+                frames: 4,
+                replacer: ReplacerKind::Lru,
+                prefetch_depth: 3,
+            },
+        );
+        assert_eq!(e.prefetch_depth(), 3);
+    }
+
+    #[test]
+    fn prefetch_default_flip_is_read_count_neutral_on_files() {
+        // The AUTO default over a file-backed device must not change how
+        // many reads a demand-paged scan performs — only when they happen.
+        let run = |depth: usize| {
+            let p = BufferPool::new(
+                Box::new(crate::FileBlockDevice::temp(64).unwrap()),
+                PoolConfig {
+                    frames: 4,
+                    replacer: ReplacerKind::Lru,
+                    prefetch_depth: depth,
+                },
+            );
+            let b = p.allocate_blocks(16).unwrap();
+            for i in 0..16 {
+                p.write_new(b.offset(i), |d| d[0] = i as u8).unwrap();
+            }
+            p.flush_all().unwrap();
+            p.clear_cache().unwrap();
+            let io0 = p.io_stats().snapshot();
+            for round in 0..2 {
+                for i in 0..16 {
+                    assert_eq!(p.read(b.offset(i), |d| d[0]).unwrap(), i as u8, "{round}");
+                }
+            }
+            let io = p.io_stats().snapshot() - io0;
+            (io.reads, io.writes)
+        };
+        assert_eq!(run(0), run(PREFETCH_AUTO));
     }
 
     #[test]

@@ -266,6 +266,10 @@ impl<D: BlockDevice> BlockDevice for RetryDevice<D> {
         self.inner.concurrent_io()
     }
 
+    fn persistent(&self) -> bool {
+        self.inner.persistent()
+    }
+
     fn sync(&self) -> Result<()> {
         // Sync barriers retry too: fsync on networked filesystems returns
         // transient errors exactly like writes do.

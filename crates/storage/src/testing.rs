@@ -329,6 +329,10 @@ impl BlockDevice for FailpointDevice {
         self.inner.concurrent_io()
     }
 
+    fn persistent(&self) -> bool {
+        self.inner.persistent()
+    }
+
     fn sync(&self) -> Result<()> {
         // A crash-stopped device cannot make anything durable either.
         if self.plan.lock().unwrap().crash_writes_left == Some(0) {

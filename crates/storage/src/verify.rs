@@ -286,6 +286,10 @@ impl<D: BlockDevice> BlockDevice for VerifyingDevice<D> {
         self.inner.concurrent_io()
     }
 
+    fn persistent(&self) -> bool {
+        self.inner.persistent()
+    }
+
     fn sync(&self) -> Result<()> {
         self.inner.sync()?;
         // Counted on the logical ledger too, so a stacked pool observes
