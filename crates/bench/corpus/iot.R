@@ -1,0 +1,19 @@
+# IoT time-series rollup: the series s arrives as an append-style load
+# (streamed in fixed batches by the harness), then k fixed windows of
+# width w are gathered and reduced to per-window sum/mean/min/max.
+# w is a power of two, so the mean division is exact in binary and all
+# four engines print identical rollups.
+rsum <- numeric(k)
+rmin <- numeric(k)
+rmax <- numeric(k)
+for (j in 1:k) {
+  lo <- (j - 1) * w + 1
+  win <- s[lo:(j * w)]
+  rsum[j] <- sum(win)
+  rmin[j] <- min(win)
+  rmax[j] <- max(win)
+}
+print(rsum)
+print(rsum / w)
+print(rmin)
+print(rmax)

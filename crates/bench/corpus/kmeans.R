@@ -1,0 +1,30 @@
+# k-means with k = 3 over 2-d points (px, py): distances are elementwise
+# vector arithmetic, cluster assignment is a mask, and the centroid
+# update is a fixed-partition aggregate. Integer input data keeps every
+# aggregate exact, so all four engines print identical centroids.
+c1x <- 0
+c1y <- 0
+c2x <- 12
+c2y <- 2
+c3x <- 2
+c3y <- 12
+for (it in 1:iters) {
+  d1 <- (px - c1x)^2 + (py - c1y)^2
+  d2 <- (px - c2x)^2 + (py - c2y)^2
+  d3 <- (px - c3x)^2 + (py - c3y)^2
+  m <- pmin(pmin(d1, d2), d3)
+  a1 <- d1 <= m
+  a2 <- (d2 <= m) & (d1 > m)
+  a3 <- (d3 <= m) & (d1 > m) & (d2 > m)
+  n1 <- sum(a1)
+  n2 <- sum(a2)
+  n3 <- sum(a3)
+  c1x <- sum(px * a1) / n1
+  c1y <- sum(py * a1) / n1
+  c2x <- sum(px * a2) / n2
+  c2y <- sum(py * a2) / n2
+  c3x <- sum(px * a3) / n3
+  c3y <- sum(py * a3) / n3
+}
+print(c(n1, n2, n3))
+print(c(c1x, c1y, c2x, c2y, c3x, c3y))

@@ -1,0 +1,14 @@
+# Mixed dense<->sparse conversion chain: sparsify a mostly-zero dense
+# matrix, multiply against dense data, sparsify the product, transpose it
+# sparsely, multiply sparse-by-sparse, and densify for the final
+# reduction. All values are non-negative integers, so no cancellation
+# can perturb nnz counts or the final sum across engines.
+sp <- as.sparse(d)
+print(nnz(sp))
+p1 <- sp %*% d2
+sq <- as.sparse(p1)
+tq <- t(sq)
+r <- tq %*% sp
+print(nnz(r))
+z <- as.dense(r)
+print(sum(z))

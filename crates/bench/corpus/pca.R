@@ -1,0 +1,10 @@
+# Covariance/PCA-style pipeline: form the Gram matrix of x, factor it
+# with the out-of-core tiled Cholesky, and reconstruct it from the
+# factor. Entries of x are strictly positive integers, so every entry of
+# the Gram matrix is a large positive integer and the reconstruction
+# prints as clean integers under all engines (no signed-zero noise).
+s <- crossprod(x)
+l <- chol(s)
+r <- l %*% t(l)
+print(r)
+print(sum(r))

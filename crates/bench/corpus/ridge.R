@@ -1,0 +1,9 @@
+# Ridge regression through the normal equations. The optimizer certifies
+# crossprod(x) as a Gram matrix, so solve() runs the Cholesky-backed path
+# and no inverse is ever materialized (pinned by the explain golden test).
+# The trailing p rows of x carry the sqrt(lambda) ridge augmentation with
+# zeros in y, so the Gram matrix is positive definite by construction.
+beta <- solve(crossprod(x), crossprod(x, y))
+print(beta)
+fit <- x %*% beta
+print(sum(fit))

@@ -1,0 +1,9 @@
+# Sparse matrix-vector power iteration: a is a block-compressed sparse
+# matrix under the deferred engines (the optimizer routes %*% through the
+# SpMV kernel) and a densified copy under the eager ones — same program,
+# same printed mass per round. Integer entries keep every sum exact.
+print(nnz(a))
+for (it in 1:iters) {
+  v <- a %*% v
+  print(sum(v))
+}

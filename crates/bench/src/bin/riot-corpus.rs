@@ -1,0 +1,219 @@
+//! The workload-corpus runner: executes every corpus R script across
+//! all four engines at thread counts {1, 4} and prefetch {0, AUTO},
+//! asserts byte-identical output in every cell and the manifests' exact
+//! counted-I/O budgets, and (in full mode) emits `BENCH_pr9.json` with
+//! per-cell wall clock, I/O, and one `QueryProfile` tree per workload.
+//!
+//! ```text
+//! cargo run --release -p riot-bench --bin riot-corpus              # full profile + BENCH_pr9.json
+//! cargo run --release -p riot-bench --bin riot-corpus -- --test-mode   # CI gate, small sizes
+//! cargo run --release -p riot-bench --bin riot-corpus -- --update     # regenerate budgets/checksums
+//! ```
+
+use std::fmt::Write as _;
+
+use riot_bench::corpus::{
+    self, cores_available, engine_slug, measure_profile, verify_workload, CellResult,
+    WorkloadReport, THREADS,
+};
+use riot_core::EngineKind;
+use riot_storage::PREFETCH_AUTO;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_mode = args.iter().any(|a| a == "--test-mode");
+    let update = args.iter().any(|a| a == "--update");
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--test-mode" | "--update"))
+    {
+        eprintln!("unknown flag: {unknown} (expected --test-mode and/or --update)");
+        std::process::exit(2);
+    }
+
+    if update {
+        update_manifests();
+        return;
+    }
+
+    let profile_name = if test_mode { "test" } else { "full" };
+    let cores = cores_available();
+    println!("RIOT workload corpus — profile '{profile_name}', {cores} core(s) available");
+    if cores == 1 {
+        println!("note: 1-core container; >1-thread wall-clock comparisons are skipped");
+        println!("      (I/O parity across thread counts is still asserted in every cell)\n");
+    } else {
+        println!();
+    }
+
+    let mut reports = Vec::new();
+    for w in corpus::workloads() {
+        println!("== {} — {}", w.name, w.manifest.description);
+        let report = verify_workload(&w, profile_name);
+        print_workload_table(&report, cores);
+        reports.push(report);
+    }
+    println!(
+        "all {} workloads green: cross-engine outputs identical, budgets exact in every cell",
+        reports.len()
+    );
+
+    if !test_mode {
+        write_bench_json(&reports, profile_name, cores);
+    }
+}
+
+/// Per-workload result table. Wall-clock *comparisons* across thread
+/// counts (the speedup column) are skipped on 1-core machines, where
+/// they would only measure scheduler noise; I/O parity is asserted by
+/// `verify_workload` regardless.
+fn print_workload_table(report: &WorkloadReport, cores: usize) {
+    println!(
+        "   {:<22} {:>9} {:>9} {:>11} {:>9}",
+        "engine", "reads", "writes", "wall", "speedup"
+    );
+    for &engine in &[
+        EngineKind::PlainR,
+        EngineKind::Strawman,
+        EngineKind::MatNamed,
+        EngineKind::Riot,
+    ] {
+        let base = cell(report, engine, 1, 0);
+        let Some(base) = base else { continue };
+        let speedup = if cores == 1 {
+            "-".to_string()
+        } else {
+            match cell(report, engine, THREADS[1], 0) {
+                Some(t4) if t4.wall_secs > 0.0 => {
+                    format!("{:.2}x", base.wall_secs / t4.wall_secs)
+                }
+                _ => "-".to_string(),
+            }
+        };
+        println!(
+            "   {:<22} {:>9} {:>9} {:>9.4}s {:>9}",
+            engine.label(),
+            base.reads,
+            base.writes,
+            base.wall_secs,
+            speedup
+        );
+    }
+    println!("   checksum {:#018x}\n", report.checksum);
+}
+
+fn cell(
+    report: &WorkloadReport,
+    engine: EngineKind,
+    threads: usize,
+    prefetch: usize,
+) -> Option<&CellResult> {
+    report.cells.iter().find(|c| {
+        c.cell.engine == engine && c.cell.threads == threads && c.cell.prefetch == prefetch
+    })
+}
+
+/// Re-measure every profile of every workload and rewrite the manifest
+/// files with fresh checksums and budgets.
+fn update_manifests() {
+    for w in corpus::workloads() {
+        let mut manifest = w.manifest.clone();
+        for profile in &mut manifest.profiles {
+            let (checksum, budgets) = measure_profile(&w, profile);
+            profile.checksum = checksum;
+            for (engine, budget) in budgets {
+                profile.set_budget(engine, budget);
+            }
+            println!(
+                "{:<8} [{}] checksum {:#018x}  {}",
+                w.name,
+                profile.name,
+                checksum,
+                profile
+                    .budgets
+                    .iter()
+                    .map(|(slug, b)| format!("{slug}={}r/{}w", b.reads, b.writes))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            );
+        }
+        std::fs::write(w.manifest_path, manifest.render())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", w.manifest_path));
+    }
+    println!("manifests rewritten; verify with --test-mode and a full run");
+}
+
+/// Emit `BENCH_pr9.json` at the repository root: run metadata, then one
+/// entry per workload with every grid cell's counters and the captured
+/// Riot profile tree (the deterministic counts-only EXPLAIN rendering).
+fn write_bench_json(reports: &[WorkloadReport], profile_name: &str, cores: usize) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json");
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"workload_corpus\",\n");
+    let _ = writeln!(out, "  \"profile\": \"{profile_name}\",");
+    let _ = writeln!(out, "  \"cores_available\": {cores},");
+    let _ = writeln!(
+        out,
+        "  \"one_core_note\": \"thread cells measure I/O parity, not speedup, when cores_available is 1\","
+    );
+    out.push_str("  \"workloads\": [\n");
+    for (wi, r) in reports.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"checksum\": \"{:#018x}\",", r.checksum);
+        out.push_str("      \"cells\": [\n");
+        for (ci, c) in r.cells.iter().enumerate() {
+            let pf = if c.cell.prefetch == PREFETCH_AUTO {
+                "\"auto\"".to_string()
+            } else {
+                c.cell.prefetch.to_string()
+            };
+            let _ = write!(
+                out,
+                "        {{ \"engine\": \"{}\", \"threads\": {}, \"prefetch\": {}, \
+                 \"reads\": {}, \"writes\": {}, \"wall_secs\": {:.6}, \"flops\": {} }}",
+                engine_slug(c.cell.engine),
+                c.cell.threads,
+                pf,
+                c.reads,
+                c.writes,
+                c.wall_secs,
+                c.flops
+            );
+            out.push_str(if ci + 1 < r.cells.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ],\n");
+        let (spans, tree) = r
+            .cells
+            .iter()
+            .find_map(|c| c.profile_tree.as_ref().map(|t| (c.spans, t.as_str())))
+            .unwrap_or((0, ""));
+        let _ = writeln!(out, "      \"profile_spans\": {spans},");
+        let _ = writeln!(
+            out,
+            "      \"riot_profile_tree\": \"{}\"",
+            json_escape(tree)
+        );
+        out.push_str("    }");
+        out.push_str(if wi + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write BENCH_pr9.json");
+    println!("wrote {path}");
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

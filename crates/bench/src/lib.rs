@@ -1,5 +1,7 @@
 //! Shared harness code for the figure-regeneration binaries and benches.
 
+pub mod corpus;
+
 use riot_core::{EngineConfig, EngineKind, Session};
 use riot_storage::IoSnapshot;
 
@@ -186,7 +188,8 @@ pub fn write_trace_overhead_rows(rows: &[TraceOverhead]) {
     }
     kept.sort();
     let json = format!(
-        "{{\n  \"bench\": \"tracing_overhead\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"tracing_overhead\",\n  \"cores_available\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        corpus::cores_available(),
         kept.join(",\n")
     );
     std::fs::write(path, json).expect("write BENCH_pr7.json");

@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 
 use riot_array::{DenseMatrix, DenseVector, MatrixLayout, StorageCtx, TileOrder, VectorWriter};
 use riot_sparse::SparseMatrix;
-use riot_storage::{DiskModel, IoSnapshot, PoolStats, ReplacerKind};
+use riot_storage::{DiskModel, IoSnapshot, ObjectKind, PoolStats, ReplacerKind};
 use riot_trace::{EventKind, Metrics, SpanToken};
 use riot_vm::{PagedHeap, VmConfig, VmId};
 
@@ -171,24 +171,34 @@ pub(crate) enum MatValue {
 /// the dependency-tracking hook of §4.1 ("to be able to safely drop
 /// views, RIOT-DB must track such dependencies").
 pub(crate) struct StrawTable {
+    /// Anonymous intermediates are owned (freed on drop); named objects
+    /// bound through the corpus harness or reopened from a durable catalog
+    /// are borrowed — dropping the handle must not delete durable state.
+    pub(crate) owned: bool,
     pub(crate) vec: DenseVector,
 }
 
 impl Drop for StrawTable {
     fn drop(&mut self) {
         // Freeing is best-effort: a failure here only leaks simulated disk.
-        let _ = self.vec.clone().free();
+        if self.owned {
+            let _ = self.vec.clone().free();
+        }
     }
 }
 
 /// RAII wrapper for strawman matrices.
 pub(crate) struct StrawMat {
+    /// See [`StrawTable::owned`].
+    pub(crate) owned: bool,
     pub(crate) mat: DenseMatrix,
 }
 
 impl Drop for StrawMat {
     fn drop(&mut self) {
-        let _ = self.mat.clone().free();
+        if self.owned {
+            let _ = self.mat.clone().free();
+        }
     }
 }
 
@@ -235,6 +245,15 @@ impl Runtime {
             },
             1,
         );
+        Self::with_ctx(cfg, ctx)
+    }
+
+    /// Build a runtime over an existing storage context — the reopen path:
+    /// a durable catalog created in one session can be [`StorageCtx::open`]ed
+    /// and driven by a fresh runtime, with named objects picked back up via
+    /// `Runtime::open_vector`/`Runtime::open_matrix`. The context's block
+    /// size must match `cfg.block_size` (object extents are block-addressed).
+    pub fn with_ctx(cfg: EngineConfig, ctx: Arc<StorageCtx>) -> Self {
         let heap = PagedHeap::new(VmConfig {
             page_elems: cfg.block_size / 8,
             frames: cfg.mem_blocks,
@@ -438,10 +457,14 @@ impl Runtime {
 
     // ================= loading =================
 
-    /// Load a vector produced by `f(i)` for `i in 0..len`.
+    /// Load a vector produced by `f(i)` for `i in 0..len`. A `name`
+    /// registers the stored object in the catalog so a later session can
+    /// reopen it ([`Runtime::open_vector`]); Plain R has no catalog-backed
+    /// storage, so the name is ignored there.
     pub(crate) fn load_vector(
         &mut self,
         len: usize,
+        name: Option<&str>,
         mut f: impl FnMut(usize) -> f64,
     ) -> ExecResult<VecRepr> {
         match self.cfg.kind {
@@ -462,7 +485,7 @@ impl Runtime {
                 Ok(VecRepr::Vm(id))
             }
             EngineKind::Strawman => {
-                let vec = DenseVector::create_wide(&self.ctx, len, None)?;
+                let vec = DenseVector::create_wide(&self.ctx, len, name)?;
                 let chunk = self.chunk();
                 let mut buf = Vec::with_capacity(chunk);
                 let mut at = 0;
@@ -476,11 +499,14 @@ impl Runtime {
                     at += take;
                 }
                 vec.flush()?;
-                Ok(VecRepr::Table(Rc::new(StrawTable { vec })))
+                // Named tables are durable catalog residents the session
+                // merely references; anonymous intermediates are owned.
+                let owned = name.is_none();
+                Ok(VecRepr::Table(Rc::new(StrawTable { owned, vec })))
             }
             EngineKind::MatNamed | EngineKind::Riot => {
                 let src = self.fresh_source();
-                let mut writer = VectorWriter::new(&self.ctx, len, None)?;
+                let mut writer = VectorWriter::new(&self.ctx, len, name)?;
                 let chunk = self.chunk();
                 let mut buf = Vec::with_capacity(chunk);
                 let mut at = 0;
@@ -500,12 +526,14 @@ impl Runtime {
         }
     }
 
-    /// Load a matrix produced by `f(row, col)`.
+    /// Load a matrix produced by `f(row, col)`. A `name` registers the
+    /// stored object for reopening; Plain R ignores it (paging heap only).
     pub(crate) fn load_matrix(
         &mut self,
         rows: usize,
         cols: usize,
         layout: MatrixLayout,
+        name: Option<&str>,
         mut f: impl FnMut(usize, usize) -> f64,
     ) -> ExecResult<MatRepr> {
         match self.cfg.kind {
@@ -533,10 +561,11 @@ impl Runtime {
                     cols,
                     MatrixLayout::ColMajor,
                     TileOrder::ColMajor,
-                    None,
+                    name,
                     f,
                 )?;
-                Ok(MatRepr::Stored(Rc::new(StrawMat { mat })))
+                let owned = name.is_none();
+                Ok(MatRepr::Stored(Rc::new(StrawMat { owned, mat })))
             }
             EngineKind::MatNamed | EngineKind::Riot => {
                 let src = self.fresh_source();
@@ -545,7 +574,7 @@ impl Runtime {
                     MatrixLayout::ColMajor => TileOrder::ColMajor,
                     MatrixLayout::Square => TileOrder::RowMajor,
                 };
-                let mat = DenseMatrix::from_fn(&self.ctx, rows, cols, layout, order, None, f)?;
+                let mat = DenseMatrix::from_fn(&self.ctx, rows, cols, layout, order, name, f)?;
                 self.mat_sources.insert(src.0, mat);
                 let node = self.graph.mat_source(src, rows, cols);
                 Ok(MatRepr::Node(node))
@@ -565,6 +594,7 @@ impl Runtime {
         &mut self,
         rows: usize,
         cols: usize,
+        name: Option<&str>,
         triplets: &[(usize, usize, f64)],
     ) -> ExecResult<MatRepr> {
         match self.cfg.kind {
@@ -596,10 +626,11 @@ impl Runtime {
                     cols,
                     MatrixLayout::ColMajor,
                     TileOrder::ColMajor,
-                    None,
+                    name,
                     |i, j| cells.get(&(i, j)).copied().unwrap_or(0.0),
                 )?;
-                Ok(MatRepr::Stored(Rc::new(StrawMat { mat })))
+                let owned = name.is_none();
+                Ok(MatRepr::Stored(Rc::new(StrawMat { owned, mat })))
             }
             EngineKind::MatNamed | EngineKind::Riot => {
                 let src = self.fresh_source();
@@ -609,13 +640,114 @@ impl Runtime {
                     cols,
                     MatrixLayout::Square,
                     triplets,
-                    None,
+                    name,
                 )?;
                 let nnz = sp.nnz();
                 self.sparse_sources.insert(src.0, sp);
                 Ok(MatRepr::Node(
                     self.graph.sp_mat_source(src, rows, cols, nnz),
                 ))
+            }
+        }
+    }
+
+    /// Reopen a named stored vector (written by a `load_vector` with a
+    /// name, possibly in a previous session over the same durable
+    /// storage). Plain R copies it onto the paging heap — eager semantics,
+    /// same as loading fresh; Strawman wraps a borrowed (non-owning)
+    /// table; the deferred engines register a source node.
+    pub(crate) fn open_vector(&mut self, name: &str) -> ExecResult<VecRepr> {
+        let vec = DenseVector::open(&self.ctx, name)?;
+        match self.cfg.kind {
+            EngineKind::PlainR => {
+                let len = vec.len();
+                let id = self.heap.alloc(len);
+                let chunk = self.chunk();
+                let mut buf = vec![0.0; chunk];
+                let mut at = 0;
+                while at < len {
+                    let take = chunk.min(len - at);
+                    vec.read_range(at, &mut buf[..take])?;
+                    self.heap.write_chunk(id, at, &buf[..take]);
+                    at += take;
+                }
+                Ok(VecRepr::Vm(id))
+            }
+            EngineKind::Strawman => Ok(VecRepr::Table(Rc::new(StrawTable { owned: false, vec }))),
+            EngineKind::MatNamed | EngineKind::Riot => {
+                let src = self.fresh_source();
+                let len = vec.len();
+                self.vec_sources.insert(src.0, vec);
+                Ok(VecRepr::Node(self.graph.vec_source(src, len)))
+            }
+        }
+    }
+
+    /// Reopen a named stored matrix, dense or sparse (the catalog header's
+    /// object kind disambiguates). Eager engines densify sparse objects on
+    /// the way in, mirroring `load_sparse`.
+    pub(crate) fn open_matrix(&mut self, name: &str) -> ExecResult<MatRepr> {
+        let is_sparse = self
+            .ctx
+            .find_object(name)
+            .and_then(|id| self.ctx.object_header(id).ok().flatten())
+            .is_some_and(|h| h.kind == ObjectKind::SparseMatrix);
+        if is_sparse {
+            let sp = SparseMatrix::open(&self.ctx, name)?;
+            let (rows, cols) = sp.shape();
+            match self.cfg.kind {
+                EngineKind::PlainR => {
+                    let data = sp.to_rows()?;
+                    let id = self.heap.alloc(rows * cols);
+                    let chunk = self.chunk();
+                    let mut at = 0;
+                    while at < rows * cols {
+                        let take = chunk.min(rows * cols - at);
+                        self.heap.write_chunk(id, at, &data[at..at + take]);
+                        at += take;
+                    }
+                    Ok(MatRepr::Vm { id, rows, cols })
+                }
+                EngineKind::Strawman => {
+                    let dense = sp.to_dense(TileOrder::ColMajor, None)?;
+                    Ok(MatRepr::Stored(Rc::new(StrawMat {
+                        owned: true,
+                        mat: dense,
+                    })))
+                }
+                EngineKind::MatNamed | EngineKind::Riot => {
+                    let src = self.fresh_source();
+                    let nnz = sp.nnz();
+                    self.sparse_sources.insert(src.0, sp);
+                    Ok(MatRepr::Node(
+                        self.graph.sp_mat_source(src, rows, cols, nnz),
+                    ))
+                }
+            }
+        } else {
+            let mat = DenseMatrix::open(&self.ctx, name)?;
+            let (rows, cols) = mat.shape();
+            match self.cfg.kind {
+                EngineKind::PlainR => {
+                    let data = mat.to_rows()?;
+                    let id = self.heap.alloc(rows * cols);
+                    let chunk = self.chunk();
+                    let mut at = 0;
+                    while at < rows * cols {
+                        let take = chunk.min(rows * cols - at);
+                        self.heap.write_chunk(id, at, &data[at..at + take]);
+                        at += take;
+                    }
+                    Ok(MatRepr::Vm { id, rows, cols })
+                }
+                EngineKind::Strawman => {
+                    Ok(MatRepr::Stored(Rc::new(StrawMat { owned: false, mat })))
+                }
+                EngineKind::MatNamed | EngineKind::Riot => {
+                    let src = self.fresh_source();
+                    self.mat_sources.insert(src.0, mat);
+                    Ok(MatRepr::Node(self.graph.mat_source(src, rows, cols)))
+                }
             }
         }
     }
@@ -699,7 +831,7 @@ impl Runtime {
                 let vec =
                     DenseVector::create_wide(&self.ctx, 1, None).expect("scalar table allocation");
                 vec.write_range(0, &[scalar]).expect("scalar table write");
-                VecRepr::Table(Rc::new(StrawTable { vec }))
+                VecRepr::Table(Rc::new(StrawTable { owned: true, vec }))
             }
             _ => unreachable!("deferred engines use Scalar nodes"),
         }
@@ -756,7 +888,10 @@ impl Runtime {
                 }
                 out.flush()?;
                 self.count_ops(n);
-                Ok(VecRepr::Table(Rc::new(StrawTable { vec: out })))
+                Ok(VecRepr::Table(Rc::new(StrawTable {
+                    owned: true,
+                    vec: out,
+                })))
             }
         }
     }
@@ -837,7 +972,10 @@ impl Runtime {
         }
         out.flush()?;
         self.count_ops(n);
-        Ok(VecRepr::Table(Rc::new(StrawTable { vec: out })))
+        Ok(VecRepr::Table(Rc::new(StrawTable {
+            owned: true,
+            vec: out,
+        })))
     }
 
     /// Subscript read `data[index]`.
@@ -887,7 +1025,10 @@ impl Runtime {
                     out.set(t, dt.vec.get(raw as usize - 1)?)?;
                 }
                 self.count_ops(k);
-                Ok(VecRepr::Table(Rc::new(StrawTable { vec: out })))
+                Ok(VecRepr::Table(Rc::new(StrawTable {
+                    owned: true,
+                    vec: out,
+                })))
             }
         }
     }
@@ -991,7 +1132,10 @@ impl Runtime {
                 }
                 out.flush()?;
                 self.count_ops(n);
-                Ok(VecRepr::Table(Rc::new(StrawTable { vec: out })))
+                Ok(VecRepr::Table(Rc::new(StrawTable {
+                    owned: true,
+                    vec: out,
+                })))
             }
             _ => unreachable!(),
         }
@@ -1017,7 +1161,7 @@ impl Runtime {
                 if !values.is_empty() {
                     vec.write_range(0, &values)?;
                 }
-                Ok(VecRepr::Table(Rc::new(StrawTable { vec })))
+                Ok(VecRepr::Table(Rc::new(StrawTable { owned: true, vec })))
             }
         }
     }
@@ -1102,7 +1246,10 @@ impl Runtime {
                 }
                 out.flush()?;
                 self.count_ops(n + k);
-                Ok(VecRepr::Table(Rc::new(StrawTable { vec: out })))
+                Ok(VecRepr::Table(Rc::new(StrawTable {
+                    owned: true,
+                    vec: out,
+                })))
             }
         }
     }
@@ -1131,7 +1278,7 @@ impl Runtime {
             EngineKind::Strawman => {
                 let vec = DenseVector::create_wide(&self.ctx, k, None)?;
                 vec.write_range(0, &out)?;
-                Ok(VecRepr::Table(Rc::new(StrawTable { vec })))
+                Ok(VecRepr::Table(Rc::new(StrawTable { owned: true, vec })))
             }
         }
     }
@@ -1154,7 +1301,7 @@ impl Runtime {
                 let vec = DenseVector::create_wide(&self.ctx, len, None)?;
                 let data: Vec<f64> = (0..len).map(|i| (start + i as i64) as f64).collect();
                 vec.write_range(0, &data)?;
-                Ok(VecRepr::Table(Rc::new(StrawTable { vec })))
+                Ok(VecRepr::Table(Rc::new(StrawTable { owned: true, vec })))
             }
         }
     }
@@ -1771,7 +1918,10 @@ impl Runtime {
                 let t = sm
                     .mat
                     .transpose(MatrixLayout::ColMajor, TileOrder::ColMajor, None)?;
-                Ok(MatRepr::Stored(Rc::new(StrawMat { mat: t })))
+                Ok(MatRepr::Stored(Rc::new(StrawMat {
+                    owned: true,
+                    mat: t,
+                })))
             }
         }
     }
@@ -1828,7 +1978,10 @@ impl Runtime {
                 };
                 let (t, flops) = matmul::matmul_naive(&a.mat, &b.mat, None)?;
                 self.count_ops(flops as usize);
-                Ok(MatRepr::Stored(Rc::new(StrawMat { mat: t })))
+                Ok(MatRepr::Stored(Rc::new(StrawMat {
+                    owned: true,
+                    mat: t,
+                })))
             }
         }
     }
@@ -1866,7 +2019,10 @@ impl Runtime {
                 };
                 let (l, flops) = factor::chol_tiled(&sm.mat, self.mem_elems(), None)?;
                 self.count_ops(flops as usize);
-                Ok(MatRepr::Stored(Rc::new(StrawMat { mat: l })))
+                Ok(MatRepr::Stored(Rc::new(StrawMat {
+                    owned: true,
+                    mat: l,
+                })))
             }
         }
     }
@@ -1930,7 +2086,10 @@ impl Runtime {
                 let (x, flops) =
                     factor::cholesky_solve(&sa.mat, &sb.mat, self.mem_elems(), 1, None)?;
                 self.count_ops(flops as usize);
-                Ok(MatRepr::Stored(Rc::new(StrawMat { mat: x })))
+                Ok(MatRepr::Stored(Rc::new(StrawMat {
+                    owned: true,
+                    mat: x,
+                })))
             }
         }
     }

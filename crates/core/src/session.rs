@@ -54,6 +54,17 @@ impl Session {
         Session::new(EngineConfig::new(kind))
     }
 
+    /// Start a session over an existing storage context — typically a
+    /// durable one from [`riot_array::StorageCtx::open`], so named objects
+    /// written by an earlier session can be [`Session::open_vector`]ed or
+    /// [`Session::open_matrix`]ed back. `cfg.block_size` must match the
+    /// context's block size.
+    pub fn with_ctx(cfg: EngineConfig, ctx: Arc<riot_array::StorageCtx>) -> Self {
+        Session {
+            rt: Rc::new(RefCell::new(Runtime::with_ctx(cfg, ctx))),
+        }
+    }
+
     /// The engine this session runs.
     pub fn kind(&self) -> EngineKind {
         self.rt.borrow().cfg.kind
@@ -61,7 +72,27 @@ impl Session {
 
     /// Create a vector from a generator function.
     pub fn vector_from_fn(&self, len: usize, f: impl FnMut(usize) -> f64) -> ExecResult<RVec> {
-        let repr = self.rt.borrow_mut().load_vector(len, f)?;
+        let repr = self.rt.borrow_mut().load_vector(len, None, f)?;
+        Ok(self.vec(repr))
+    }
+
+    /// Create a vector from a generator function, registered in the
+    /// catalog under `name` so a later session over the same (durable)
+    /// storage can [`Session::open_vector`] it. Plain R has no
+    /// catalog-backed storage and ignores the name.
+    pub fn vector_from_fn_named(
+        &self,
+        name: &str,
+        len: usize,
+        f: impl FnMut(usize) -> f64,
+    ) -> ExecResult<RVec> {
+        let repr = self.rt.borrow_mut().load_vector(len, Some(name), f)?;
+        Ok(self.vec(repr))
+    }
+
+    /// Reopen a named stored vector (see [`Session::vector_from_fn_named`]).
+    pub fn open_vector(&self, name: &str) -> ExecResult<RVec> {
+        let repr = self.rt.borrow_mut().open_vector(name)?;
         Ok(self.vec(repr))
     }
 
@@ -78,7 +109,34 @@ impl Session {
         layout: MatrixLayout,
         f: impl FnMut(usize, usize) -> f64,
     ) -> ExecResult<RMat> {
-        let repr = self.rt.borrow_mut().load_matrix(rows, cols, layout, f)?;
+        let repr = self
+            .rt
+            .borrow_mut()
+            .load_matrix(rows, cols, layout, None, f)?;
+        Ok(self.mat(repr))
+    }
+
+    /// Create a matrix from a generator function, registered in the
+    /// catalog under `name` for later reopening ([`Session::open_matrix`]).
+    pub fn matrix_from_fn_named(
+        &self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        layout: MatrixLayout,
+        f: impl FnMut(usize, usize) -> f64,
+    ) -> ExecResult<RMat> {
+        let repr = self
+            .rt
+            .borrow_mut()
+            .load_matrix(rows, cols, layout, Some(name), f)?;
+        Ok(self.mat(repr))
+    }
+
+    /// Reopen a named stored matrix, dense or sparse — the catalog
+    /// header's object kind decides which physical reader runs.
+    pub fn open_matrix(&self, name: &str) -> ExecResult<RMat> {
+        let repr = self.rt.borrow_mut().open_matrix(name)?;
         Ok(self.mat(repr))
     }
 
@@ -94,7 +152,27 @@ impl Session {
         cols: usize,
         triplets: &[(usize, usize, f64)],
     ) -> ExecResult<RMat> {
-        let repr = self.rt.borrow_mut().load_sparse(rows, cols, triplets)?;
+        let repr = self
+            .rt
+            .borrow_mut()
+            .load_sparse(rows, cols, None, triplets)?;
+        Ok(self.mat(repr))
+    }
+
+    /// [`Session::sparse_matrix`], registered in the catalog under `name`
+    /// for later reopening. Eager engines store the densified form; the
+    /// reopen path densifies on read instead, so results agree.
+    pub fn sparse_matrix_named(
+        &self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> ExecResult<RMat> {
+        let repr = self
+            .rt
+            .borrow_mut()
+            .load_sparse(rows, cols, Some(name), triplets)?;
         Ok(self.mat(repr))
     }
 

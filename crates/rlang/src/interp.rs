@@ -134,6 +134,90 @@ impl Interpreter {
         Ok(())
     }
 
+    /// Pre-bind a generated sparse matrix from COO triplets, the sparse
+    /// counterpart of [`Interpreter::bind_matrix`] (eager engines densify,
+    /// exactly like the `sparse(...)` builtin).
+    pub fn bind_sparse(
+        &mut self,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> RResult<()> {
+        let m = self.session.sparse_matrix(rows, cols, triplets)?;
+        self.env.insert(name.to_string(), RValue::Matrix(m));
+        Ok(())
+    }
+
+    /// [`Interpreter::bind_vector`], but also registering the stored
+    /// object in the catalog under `stored` so a later session over the
+    /// same durable storage can reopen it by name.
+    pub fn bind_vector_stored(
+        &mut self,
+        name: &str,
+        stored: &str,
+        len: usize,
+        f: impl FnMut(usize) -> f64,
+    ) -> RResult<()> {
+        let v = self.session.vector_from_fn_named(stored, len, f)?;
+        self.env
+            .insert(name.to_string(), RValue::Vector { v, logical: false });
+        Ok(())
+    }
+
+    /// [`Interpreter::bind_matrix`] with a catalog name (see
+    /// [`Interpreter::bind_vector_stored`]).
+    pub fn bind_matrix_stored(
+        &mut self,
+        name: &str,
+        stored: &str,
+        rows: usize,
+        cols: usize,
+        f: impl FnMut(usize, usize) -> f64,
+    ) -> RResult<()> {
+        let m = self.session.matrix_from_fn_named(
+            stored,
+            rows,
+            cols,
+            riot_array::MatrixLayout::Square,
+            f,
+        )?;
+        self.env.insert(name.to_string(), RValue::Matrix(m));
+        Ok(())
+    }
+
+    /// [`Interpreter::bind_sparse`] with a catalog name.
+    pub fn bind_sparse_stored(
+        &mut self,
+        name: &str,
+        stored: &str,
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> RResult<()> {
+        let m = self
+            .session
+            .sparse_matrix_named(stored, rows, cols, triplets)?;
+        self.env.insert(name.to_string(), RValue::Matrix(m));
+        Ok(())
+    }
+
+    /// Bind `name` to the stored vector named `stored` in the session's
+    /// catalog (the reopen side of [`Interpreter::bind_vector_stored`]).
+    pub fn bind_open_vector(&mut self, name: &str, stored: &str) -> RResult<()> {
+        let v = self.session.open_vector(stored)?;
+        self.env
+            .insert(name.to_string(), RValue::Vector { v, logical: false });
+        Ok(())
+    }
+
+    /// Bind `name` to the stored (dense or sparse) matrix named `stored`.
+    pub fn bind_open_matrix(&mut self, name: &str, stored: &str) -> RResult<()> {
+        let m = self.session.open_matrix(stored)?;
+        self.env.insert(name.to_string(), RValue::Matrix(m));
+        Ok(())
+    }
+
     /// Pre-bind a scalar.
     pub fn bind_scalar(&mut self, name: &str, value: f64) {
         self.env.insert(name.to_string(), RValue::Scalar(value));
@@ -450,6 +534,23 @@ impl Interpreter {
                         "mean" => v.mean()?,
                         "min" => v.min()?,
                         _ => v.max()?,
+                    };
+                    Ok(RValue::Scalar(x))
+                }
+                RValue::Matrix(m) => {
+                    // R reduces a matrix like the flattened vector of its
+                    // elements. Fold the collected rows sequentially on the
+                    // host so the result is identical under every engine
+                    // and thread count (no kernel-order dependence).
+                    let (_, _, data) = m.collect()?;
+                    if data.is_empty() {
+                        return Err(RError::Runtime(format!("{name}() of empty matrix")));
+                    }
+                    let x = match name {
+                        "sum" => data.iter().sum(),
+                        "mean" => data.iter().sum::<f64>() / data.len() as f64,
+                        "min" => data.iter().copied().fold(f64::INFINITY, f64::min),
+                        _ => data.iter().copied().fold(f64::NEG_INFINITY, f64::max),
                     };
                     Ok(RValue::Scalar(x))
                 }
