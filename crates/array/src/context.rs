@@ -26,7 +26,7 @@ use std::sync::{Arc, Mutex};
 
 use riot_storage::{
     BufferPool, Catalog, CatalogStore, Extent, IoSnapshot, IoStats, MemBlockDevice, ObjectHeader,
-    ObjectId, PoolConfig, ReplacerKind, Result,
+    ObjectId, PoolConfig, QueryGovernor, ReplacerKind, Result,
 };
 
 /// A buffer pool plus an object catalog, shared by every array.
@@ -35,6 +35,18 @@ pub struct StorageCtx {
     catalog: Mutex<Catalog>,
     /// `Some` in durable mode. Lock order: `catalog` before `store`.
     store: Option<Mutex<CatalogStore>>,
+    /// The context's query governor (disengaged — one relaxed atomic
+    /// load per checkpoint — until limits or a cancel token attach).
+    /// Shared with the pool, which consults it on the pin path.
+    governor: Arc<QueryGovernor>,
+}
+
+/// Build the context's governor and attach it to `pool` so pin waits
+/// observe cancellation and pin admission sees `max_pinned_frames`.
+fn governed(pool: BufferPool) -> (BufferPool, Arc<QueryGovernor>) {
+    let governor = Arc::new(QueryGovernor::new(pool.io_stats()));
+    pool.attach_governor(Arc::clone(&governor));
+    (pool, governor)
 }
 
 impl StorageCtx {
@@ -81,19 +93,23 @@ impl StorageCtx {
     /// persistent — pass an explicit depth to prefetch over memory).
     pub fn new_mem_opts(block_size: usize, config: PoolConfig, shards: usize) -> Arc<Self> {
         let device = MemBlockDevice::new(block_size);
+        let (pool, governor) = governed(BufferPool::new_sharded(Box::new(device), config, shards));
         Arc::new(StorageCtx {
-            pool: BufferPool::new_sharded(Box::new(device), config, shards),
+            pool,
             catalog: Mutex::new(Catalog::new()),
             store: None,
+            governor,
         })
     }
 
     /// Context over an arbitrary pool (e.g. one backed by a real file).
     pub fn from_pool(pool: BufferPool) -> Arc<Self> {
+        let (pool, governor) = governed(pool);
         Arc::new(StorageCtx {
             pool,
             catalog: Mutex::new(Catalog::new()),
             store: None,
+            governor,
         })
     }
 
@@ -103,10 +119,12 @@ impl StorageCtx {
     /// shutdown with [`StorageCtx::open`] over the same device.
     pub fn new_durable(pool: BufferPool) -> Result<Arc<Self>> {
         let store = CatalogStore::format(pool.device())?;
+        let (pool, governor) = governed(pool);
         Ok(Arc::new(StorageCtx {
             pool,
             catalog: Mutex::new(Catalog::new()),
             store: Some(Mutex::new(store)),
+            governor,
         }))
     }
 
@@ -115,10 +133,12 @@ impl StorageCtx {
     /// any crash boundary — see [`CatalogStore::open`]).
     pub fn open(pool: BufferPool) -> Result<Arc<Self>> {
         let (store, catalog) = CatalogStore::open(pool.device())?;
+        let (pool, governor) = governed(pool);
         Ok(Arc::new(StorageCtx {
             pool,
             catalog: Mutex::new(catalog),
             store: Some(Mutex::new(store)),
+            governor,
         }))
     }
 
@@ -171,6 +191,7 @@ impl StorageCtx {
 
     /// Allocate a new object of `blocks` blocks.
     pub fn create_object(&self, blocks: u64, name: Option<&str>) -> Result<(ObjectId, Extent)> {
+        self.governor.charge_temp_blocks(blocks.max(1))?;
         let mut cat = self.catalog.lock().unwrap();
         let r = cat.create(&self.pool, blocks, name)?;
         self.commit_locked(&cat)?;
@@ -181,6 +202,7 @@ impl StorageCtx {
     /// later with [`StorageCtx::extend_object`]. Used for spill runs whose
     /// final size is only known after a producing pass.
     pub fn alloc_growable(&self, blocks: u64, name: Option<&str>) -> Result<(ObjectId, Extent)> {
+        self.governor.charge_temp_blocks(blocks.max(1))?;
         let mut cat = self.catalog.lock().unwrap();
         let r = cat.alloc_growable(&self.pool, blocks, name)?;
         self.commit_locked(&cat)?;
@@ -191,6 +213,7 @@ impl StorageCtx {
     /// returning the new segment (not necessarily adjacent to the old
     /// ones — the object's address space is its segment concatenation).
     pub fn extend_object(&self, id: ObjectId, blocks: u64) -> Result<Extent> {
+        self.governor.charge_temp_blocks(blocks.max(1))?;
         let mut cat = self.catalog.lock().unwrap();
         let r = cat.extend(&self.pool, id, blocks)?;
         self.commit_locked(&cat)?;
@@ -251,6 +274,25 @@ impl StorageCtx {
     /// Number of live objects.
     pub fn live_objects(&self) -> usize {
         self.catalog.lock().unwrap().len()
+    }
+
+    /// Ids of every live object, ascending (the abort path diffs this
+    /// against a query-start snapshot to find half-built outputs).
+    pub fn live_object_ids(&self) -> Vec<ObjectId> {
+        self.catalog.lock().unwrap().live_ids()
+    }
+
+    /// Canonical rendering of the catalog's allocation state (see
+    /// [`riot_storage::Catalog::fingerprint`]); byte-equal fingerprints
+    /// mean byte-equal free lists.
+    pub fn catalog_fingerprint(&self) -> String {
+        self.catalog.lock().unwrap().fingerprint()
+    }
+
+    /// This context's query governor: attach limits / cancel tokens and
+    /// place checkpoints through it. Disengaged (inert) by default.
+    pub fn governor(&self) -> &Arc<QueryGovernor> {
+        &self.governor
     }
 
     /// Shared I/O counters of the device.

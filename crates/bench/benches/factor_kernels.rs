@@ -134,6 +134,7 @@ fn prefetch_report(n: usize, latency: Duration) {
                 frames: 8192,
                 replacer: ReplacerKind::Lru,
                 prefetch_depth: depth,
+                ..PoolConfig::default()
             },
         ));
         let a = spd_matrix(&ctx, n);

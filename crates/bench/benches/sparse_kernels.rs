@@ -443,6 +443,7 @@ fn bench_prefetch(n: usize, latency: Duration) -> Vec<PrefetchRow> {
                 frames: 8192,
                 replacer: ReplacerKind::Lru,
                 prefetch_depth: depth,
+                ..PoolConfig::default()
             },
         ))
     };

@@ -1,11 +1,14 @@
 //! The workload-corpus runner: executes every corpus R script across
 //! all four engines at thread counts {1, 4} and prefetch {0, AUTO},
 //! asserts byte-identical output in every cell and the manifests' exact
-//! counted-I/O budgets, and (in full mode) emits `BENCH_pr9.json` with
-//! per-cell wall clock, I/O, and one `QueryProfile` tree per workload.
+//! counted-I/O budgets, measures governance checkpoint overhead
+//! (ungoverned vs. governed with empty limits; `--test-mode` asserts it
+//! stays under 5%), and (in full mode) emits `BENCH_pr10.json` with
+//! per-cell wall clock, I/O, one `QueryProfile` tree per workload, and
+//! the governance-overhead rows.
 //!
 //! ```text
-//! cargo run --release -p riot-bench --bin riot-corpus              # full profile + BENCH_pr9.json
+//! cargo run --release -p riot-bench --bin riot-corpus              # full profile + BENCH_pr10.json
 //! cargo run --release -p riot-bench --bin riot-corpus -- --test-mode   # CI gate, small sizes
 //! cargo run --release -p riot-bench --bin riot-corpus -- --update     # regenerate budgets/checksums
 //! ```
@@ -13,10 +16,11 @@
 use std::fmt::Write as _;
 
 use riot_bench::corpus::{
-    self, cores_available, engine_slug, measure_profile, verify_workload, CellResult,
+    self, cores_available, engine_slug, measure_profile, verify_workload, Cell, CellResult,
     WorkloadReport, THREADS,
 };
-use riot_core::EngineKind;
+use riot_core::{EngineKind, ResourceLimits, Session};
+use riot_rlang::Interpreter;
 use riot_storage::PREFETCH_AUTO;
 
 fn main() {
@@ -58,8 +62,98 @@ fn main() {
         reports.len()
     );
 
+    let overhead = measure_governance_overhead(profile_name);
+    print_overhead_table(&overhead, test_mode);
+
     if !test_mode {
-        write_bench_json(&reports, profile_name, cores);
+        write_bench_json(&reports, &overhead, profile_name, cores);
+    }
+}
+
+/// One workload's governance checkpoint-overhead measurement: the same
+/// script on the same cell (Riot, one thread, no prefetch), ungoverned
+/// vs. governed with empty limits, min-of-N wall clock each.
+struct OverheadRow {
+    name: &'static str,
+    ungoverned_secs: f64,
+    governed_secs: f64,
+}
+
+/// Measure governance checkpoint overhead per workload. The variants
+/// are interleaved within each repetition so clock drift and cache
+/// warmth hit both equally; min-of-N discards scheduler noise.
+fn measure_governance_overhead(profile_name: &str) -> Vec<OverheadRow> {
+    const REPS: usize = 5;
+    let cell = Cell {
+        engine: EngineKind::Riot,
+        threads: 1,
+        prefetch: 0,
+    };
+    let mut rows = Vec::new();
+    for w in corpus::workloads() {
+        let profile = w
+            .manifest
+            .profile(profile_name)
+            .unwrap_or_else(|| panic!("{}: no {profile_name} profile", w.name));
+        let (mut plain, mut governed) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..REPS {
+            let mut interp = Interpreter::new(corpus::session_config(profile, cell));
+            corpus::bind_inputs(&mut interp, &corpus::inputs(w.name, profile), false);
+            let (_, m) = corpus::run_script_measured(&mut interp, w.script, false);
+            plain = plain.min(m.wall_secs);
+
+            let s = Session::with_limits(
+                corpus::session_config(profile, cell),
+                ResourceLimits::none(),
+            );
+            let mut interp = Interpreter::with_session(s);
+            corpus::bind_inputs(&mut interp, &corpus::inputs(w.name, profile), false);
+            let (_, m) = corpus::run_script_measured(&mut interp, w.script, false);
+            governed = governed.min(m.wall_secs);
+        }
+        rows.push(OverheadRow {
+            name: w.name,
+            ungoverned_secs: plain,
+            governed_secs: governed,
+        });
+    }
+    rows
+}
+
+/// Print the overhead rows; in test mode assert the aggregate stays
+/// under 5% (aggregated across workloads so millisecond-scale test
+/// profiles don't gate on per-row timer noise, with a 10 ms grace for
+/// the same reason).
+fn print_overhead_table(rows: &[OverheadRow], test_mode: bool) {
+    println!("governance checkpoint overhead (riot engine, 1 thread, min of 5):");
+    println!(
+        "   {:<10} {:>13} {:>13} {:>9}",
+        "workload", "ungoverned", "governed", "overhead"
+    );
+    let (mut total_plain, mut total_gov) = (0.0f64, 0.0f64);
+    for r in rows {
+        total_plain += r.ungoverned_secs;
+        total_gov += r.governed_secs;
+        println!(
+            "   {:<10} {:>12.4}s {:>12.4}s {:>+8.2}%",
+            r.name,
+            r.ungoverned_secs,
+            r.governed_secs,
+            (r.governed_secs / r.ungoverned_secs - 1.0) * 100.0
+        );
+    }
+    let pct = (total_gov / total_plain - 1.0) * 100.0;
+    println!(
+        "   {:<10} {total_plain:>12.4}s {total_gov:>12.4}s {pct:>+8.2}%\n",
+        "total"
+    );
+    if test_mode {
+        assert!(
+            total_gov <= total_plain * 1.05 + 0.010,
+            "governance checkpoint overhead {pct:.2}% exceeds the 5% budget \
+             ({total_plain:.4}s ungoverned vs {total_gov:.4}s governed)"
+        );
+        println!("governance overhead within the 5% budget\n");
     }
 }
 
@@ -143,11 +237,17 @@ fn update_manifests() {
     println!("manifests rewritten; verify with --test-mode and a full run");
 }
 
-/// Emit `BENCH_pr9.json` at the repository root: run metadata, then one
+/// Emit `BENCH_pr10.json` at the repository root: run metadata, one
 /// entry per workload with every grid cell's counters and the captured
-/// Riot profile tree (the deterministic counts-only EXPLAIN rendering).
-fn write_bench_json(reports: &[WorkloadReport], profile_name: &str, cores: usize) {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json");
+/// Riot profile tree (the deterministic counts-only EXPLAIN rendering),
+/// and the governance checkpoint-overhead rows.
+fn write_bench_json(
+    reports: &[WorkloadReport],
+    overhead: &[OverheadRow],
+    profile_name: &str,
+    cores: usize,
+) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr10.json");
     let mut out = String::new();
     out.push_str("{\n  \"bench\": \"workload_corpus\",\n");
     let _ = writeln!(out, "  \"profile\": \"{profile_name}\",");
@@ -197,8 +297,25 @@ fn write_bench_json(reports: &[WorkloadReport], profile_name: &str, cores: usize
         out.push_str("    }");
         out.push_str(if wi + 1 < reports.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out).expect("write BENCH_pr9.json");
+    out.push_str("  ],\n");
+    out.push_str("  \"governance_overhead\": {\n");
+    out.push_str("    \"cell\": { \"engine\": \"riot\", \"threads\": 1, \"prefetch\": 0 },\n");
+    out.push_str("    \"reps\": 5,\n");
+    out.push_str("    \"rows\": [\n");
+    for (i, r) in overhead.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{ \"workload\": \"{}\", \"ungoverned_secs\": {:.6}, \
+             \"governed_secs\": {:.6}, \"overhead_pct\": {:.3} }}",
+            r.name,
+            r.ungoverned_secs,
+            r.governed_secs,
+            (r.governed_secs / r.ungoverned_secs - 1.0) * 100.0
+        );
+        out.push_str(if i + 1 < overhead.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ]\n  }\n}\n");
+    std::fs::write(path, out).expect("write BENCH_pr10.json");
     println!("wrote {path}");
 }
 

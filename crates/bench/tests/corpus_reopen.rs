@@ -35,6 +35,7 @@ fn pool_over(dev: Arc<MemBlockDevice>, frames: usize, prefetch: usize) -> Buffer
             frames,
             replacer: ReplacerKind::Lru,
             prefetch_depth: prefetch,
+            ..PoolConfig::default()
         },
     )
 }

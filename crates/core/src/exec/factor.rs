@@ -226,102 +226,123 @@ pub fn chol_tiled_parallel(
     let threads = threads.max(1);
     let mut flops = 0u64;
 
-    // Working copy: lower triangle of `a` (diagonal panels whole — their
-    // upper entries are scratch until POTRF zeroes them), zeros above.
-    {
-        let mut buf = vec![0.0; p * p];
-        for i in 0..nb {
-            let pi = pw(i);
-            for j in 0..nb {
-                let pj = pw(j);
-                if j <= i {
-                    if j < i {
-                        // Declare the next copy window before blocking.
-                        prefetch_rect(a, i * p, (j + 1) * p, pi, pw(j + 1));
-                    }
-                    read_rect(a, i * p, j * p, pi, pj, &mut buf)?;
-                } else {
-                    buf[..pi * pj].fill(0.0);
-                }
-                write_rect(&out, i * p, j * p, pi, pj, &buf)?;
-            }
-        }
-    }
-
-    let mut diag = vec![0.0; p * p];
-    for k in 0..nb {
-        let (k0, pk) = (k * p, pw(k));
-        read_rect(&out, k0, k0, pk, pk, &mut diag)?;
-        match potrf(&mut diag, pk, k, k0) {
-            Ok(f) => flops += f,
-            Err(e) => {
-                // The half-factored working copy is dead on error.
-                let _ = out.free();
-                return Err(e);
-            }
-        }
-        write_rect(&out, k0, k0, pk, pk, &diag)?;
-        if k + 1 < nb {
-            // The TRSM column is the next window: declare it while the
-            // diagonal write-back settles.
-            prefetch_rect(&out, k0 + pk, k0, n - (k0 + pk), pk);
-        }
-
-        // TRSM: rows below the diagonal panel, disjoint outputs.
-        let rows: Vec<usize> = (k + 1..nb).collect();
-        flops += run_parallel(
-            threads.min(rows.len().max(1)),
-            &rows,
-            || vec![0.0; p * p],
-            |&i, buf| {
+    // The factor loops run inside one closure so that *any* error — a
+    // POTRF pivot failure, a device fault, or a governance abort at any
+    // checkpoint — frees the half-factored working copy before the error
+    // propagates (the leak-free-abort invariant).
+    let factor = || -> ExecResult<u64> {
+        let mut flops = 0u64;
+        // Working copy: lower triangle of `a` (diagonal panels whole —
+        // their upper entries are scratch until POTRF zeroes them), zeros
+        // above.
+        {
+            let mut buf = vec![0.0; p * p];
+            for i in 0..nb {
+                ctx.governor().checkpoint("factor.chol.copy")?;
                 let pi = pw(i);
-                // Next window for this row panel: its own trailing-update
-                // read of panel (i, k+1) — already valid data.
-                if k < i {
-                    prefetch_rect(&out, i * p, (k + 1) * p, pi, pw(k + 1));
+                for j in 0..nb {
+                    let pj = pw(j);
+                    if j <= i {
+                        if j < i {
+                            // Declare the next copy window before blocking.
+                            prefetch_rect(a, i * p, (j + 1) * p, pi, pw(j + 1));
+                        }
+                        read_rect(a, i * p, j * p, pi, pj, &mut buf)?;
+                    } else {
+                        buf[..pi * pj].fill(0.0);
+                    }
+                    write_rect(&out, i * p, j * p, pi, pj, &buf)?;
                 }
-                read_rect(&out, i * p, k0, pi, pk, buf)?;
-                let f = trsm_right_lt(buf, pi, &diag, pk);
-                write_rect(&out, i * p, k0, pi, pk, buf)?;
-                Ok(f)
-            },
-        )?;
+            }
+        }
 
-        // Trailing update: every lower-triangle panel of the trailing
-        // submatrix gets `A(i,j) -= L(i,k) · L(j,k)ᵀ`. Outputs are
-        // disjoint, so the fan-out is bit-identical to the sequential
-        // order at any thread count.
-        let cells: Vec<(usize, usize)> = (k + 1..nb)
-            .flat_map(|i| (k + 1..=i).map(move |j| (i, j)))
-            .collect();
-        flops += run_parallel(
-            threads.min(cells.len().max(1)),
-            &cells,
-            || (vec![0.0; p * p], vec![0.0; p * p], vec![0.0; p * p]),
-            |&(i, j), (li, lj, cij)| {
-                let (pi, pj) = (pw(i), pw(j));
-                // Next window: the output panel this step modifies.
-                prefetch_rect(&out, i * p, j * p, pi, pj);
-                read_rect(&out, i * p, k0, pi, pk, li)?;
-                let mut f = 0u64;
-                if i == j {
-                    lj[..pi * pk].copy_from_slice(&li[..pi * pk]);
-                } else {
-                    read_rect(&out, j * p, k0, pj, pk, lj)?;
-                }
-                read_rect(&out, i * p, j * p, pi, pj, cij)?;
-                f += gemm_nt_sub(cij, li, lj, pi, pj, pk);
-                write_rect(&out, i * p, j * p, pi, pj, cij)?;
-                Ok(f)
-            },
-        )?;
+        let mut diag = vec![0.0; p * p];
+        for k in 0..nb {
+            ctx.governor().checkpoint("factor.chol.panel")?;
+            let (k0, pk) = (k * p, pw(k));
+            read_rect(&out, k0, k0, pk, pk, &mut diag)?;
+            let f = potrf(&mut diag, pk, k, k0)?;
+            flops += f;
+            ctx.governor().add_flops(f);
+            write_rect(&out, k0, k0, pk, pk, &diag)?;
+            if k + 1 < nb {
+                // The TRSM column is the next window: declare it while the
+                // diagonal write-back settles.
+                prefetch_rect(&out, k0 + pk, k0, n - (k0 + pk), pk);
+            }
 
-        if k + 1 < nb {
-            // Declare the next diagonal panel before looping back.
-            prefetch_rect(&out, (k + 1) * p, (k + 1) * p, pw(k + 1), pw(k + 1));
+            // TRSM: rows below the diagonal panel, disjoint outputs.
+            let rows: Vec<usize> = (k + 1..nb).collect();
+            flops += run_parallel(
+                threads.min(rows.len().max(1)),
+                &rows,
+                || vec![0.0; p * p],
+                |&i, buf| {
+                    ctx.governor().checkpoint("factor.chol.trsm")?;
+                    let pi = pw(i);
+                    // Next window for this row panel: its own
+                    // trailing-update read of panel (i, k+1) — already
+                    // valid data.
+                    if k < i {
+                        prefetch_rect(&out, i * p, (k + 1) * p, pi, pw(k + 1));
+                    }
+                    read_rect(&out, i * p, k0, pi, pk, buf)?;
+                    let f = trsm_right_lt(buf, pi, &diag, pk);
+                    write_rect(&out, i * p, k0, pi, pk, buf)?;
+                    ctx.governor().add_flops(f);
+                    Ok(f)
+                },
+            )?;
+
+            // Trailing update: every lower-triangle panel of the trailing
+            // submatrix gets `A(i,j) -= L(i,k) · L(j,k)ᵀ`. Outputs are
+            // disjoint, so the fan-out is bit-identical to the sequential
+            // order at any thread count.
+            let cells: Vec<(usize, usize)> = (k + 1..nb)
+                .flat_map(|i| (k + 1..=i).map(move |j| (i, j)))
+                .collect();
+            flops += run_parallel(
+                threads.min(cells.len().max(1)),
+                &cells,
+                || (vec![0.0; p * p], vec![0.0; p * p], vec![0.0; p * p]),
+                |&(i, j), (li, lj, cij)| {
+                    ctx.governor().checkpoint("factor.chol.update")?;
+                    let (pi, pj) = (pw(i), pw(j));
+                    // Next window: the output panel this step modifies.
+                    prefetch_rect(&out, i * p, j * p, pi, pj);
+                    read_rect(&out, i * p, k0, pi, pk, li)?;
+                    let mut f = 0u64;
+                    if i == j {
+                        lj[..pi * pk].copy_from_slice(&li[..pi * pk]);
+                    } else {
+                        read_rect(&out, j * p, k0, pj, pk, lj)?;
+                    }
+                    read_rect(&out, i * p, j * p, pi, pj, cij)?;
+                    f += gemm_nt_sub(cij, li, lj, pi, pj, pk);
+                    write_rect(&out, i * p, j * p, pi, pj, cij)?;
+                    ctx.governor().add_flops(f);
+                    Ok(f)
+                },
+            )?;
+
+            if k + 1 < nb {
+                // Declare the next diagonal panel before looping back.
+                prefetch_rect(&out, (k + 1) * p, (k + 1) * p, pw(k + 1), pw(k + 1));
+            }
+        }
+        Ok(flops)
+    };
+    match factor() {
+        Ok(f) => {
+            flops += f;
+            Ok((out, flops))
+        }
+        Err(e) => {
+            // The half-factored working copy is dead on error.
+            let _ = out.free();
+            Err(e)
         }
     }
-    Ok((out, flops))
 }
 
 /// Blocked triangular solve of `L · Lᵀ · X = B` for a lower-triangular
@@ -356,68 +377,83 @@ pub fn tri_solve_parallel(
     let pw = |i: usize| p.min(n - i * p);
     let qw = |j: usize| p.min(m - j * p);
 
-    // X starts as a copy of B; each strip then solves in place.
-    {
-        let mut buf = vec![0.0; p * p];
-        for i in 0..nb {
-            let pi = pw(i);
-            for j in 0..mb {
-                let qj = qw(j);
-                if j + 1 < mb {
-                    prefetch_rect(b, i * p, (j + 1) * p, pi, qw(j + 1));
+    // As in the factorization, the solve loops run inside one closure so
+    // any error — device fault or governance abort — frees the working
+    // copy `x` before propagating.
+    let solve = || -> ExecResult<u64> {
+        // X starts as a copy of B; each strip then solves in place.
+        {
+            let mut buf = vec![0.0; p * p];
+            for i in 0..nb {
+                ctx.governor().checkpoint("factor.solve.copy")?;
+                let pi = pw(i);
+                for j in 0..mb {
+                    let qj = qw(j);
+                    if j + 1 < mb {
+                        prefetch_rect(b, i * p, (j + 1) * p, pi, qw(j + 1));
+                    }
+                    read_rect(b, i * p, j * p, pi, qj, &mut buf)?;
+                    write_rect(&x, i * p, j * p, pi, qj, &buf)?;
                 }
-                read_rect(b, i * p, j * p, pi, qj, &mut buf)?;
-                write_rect(&x, i * p, j * p, pi, qj, &buf)?;
             }
         }
-    }
 
-    let strips: Vec<usize> = (0..mb).collect();
-    let flops = run_parallel(
-        threads.max(1).min(mb),
-        &strips,
-        || (vec![0.0; p * p], vec![0.0; p * p], vec![0.0; p * p]),
-        |&s, (lbuf, xb, xk)| {
-            let (s0, qs) = (s * p, qw(s));
-            let mut f = 0u64;
-            // Forward: L · Y = B over row panels top-down.
-            for i in 0..nb {
-                let (i0, pi) = (i * p, pw(i));
-                read_rect(&x, i0, s0, pi, qs, xb)?;
-                for k in 0..i {
-                    let (_k0, pk) = (k * p, pw(k));
-                    // Declare the next L panel of this recurrence row.
-                    prefetch_rect(l, i0, (k + 1) * p, pi, pw(k + 1));
-                    read_rect(l, i0, k * p, pi, pk, lbuf)?;
-                    read_rect(&x, k * p, s0, pk, qs, xk)?;
-                    f += gemm_nn_sub(xb, lbuf, xk, pi, qs, pk);
-                }
-                read_rect(l, i0, i0, pi, pi, lbuf)?;
-                f += trsm_forward(xb, qs, lbuf, pi);
-                write_rect(&x, i0, s0, pi, qs, xb)?;
-            }
-            // Backward: Lᵀ · X = Y over row panels bottom-up.
-            for i in (0..nb).rev() {
-                let (i0, pi) = (i * p, pw(i));
-                read_rect(&x, i0, s0, pi, qs, xb)?;
-                for k in i + 1..nb {
-                    let pk = pw(k);
-                    if k + 1 < nb {
-                        prefetch_rect(l, (k + 1) * p, i0, pw(k + 1), pi);
+        let strips: Vec<usize> = (0..mb).collect();
+        run_parallel(
+            threads.max(1).min(mb),
+            &strips,
+            || (vec![0.0; p * p], vec![0.0; p * p], vec![0.0; p * p]),
+            |&s, (lbuf, xb, xk)| {
+                let (s0, qs) = (s * p, qw(s));
+                let mut f = 0u64;
+                // Forward: L · Y = B over row panels top-down.
+                for i in 0..nb {
+                    ctx.governor().checkpoint("factor.solve.panel")?;
+                    let (i0, pi) = (i * p, pw(i));
+                    read_rect(&x, i0, s0, pi, qs, xb)?;
+                    for k in 0..i {
+                        let (_k0, pk) = (k * p, pw(k));
+                        // Declare the next L panel of this recurrence row.
+                        prefetch_rect(l, i0, (k + 1) * p, pi, pw(k + 1));
+                        read_rect(l, i0, k * p, pi, pk, lbuf)?;
+                        read_rect(&x, k * p, s0, pk, qs, xk)?;
+                        f += gemm_nn_sub(xb, lbuf, xk, pi, qs, pk);
                     }
-                    // L(k,i) used transposed: Lᵀ(i,k) = L(k,i)ᵀ.
-                    read_rect(l, k * p, i0, pk, pi, lbuf)?;
-                    read_rect(&x, k * p, s0, pk, qs, xk)?;
-                    f += gemm_tn_sub(xb, lbuf, xk, pi, qs, pk);
+                    read_rect(l, i0, i0, pi, pi, lbuf)?;
+                    f += trsm_forward(xb, qs, lbuf, pi);
+                    write_rect(&x, i0, s0, pi, qs, xb)?;
                 }
-                read_rect(l, i0, i0, pi, pi, lbuf)?;
-                f += trsm_backward(xb, qs, lbuf, pi);
-                write_rect(&x, i0, s0, pi, qs, xb)?;
-            }
-            Ok(f)
-        },
-    )?;
-    Ok((x, flops))
+                // Backward: Lᵀ · X = Y over row panels bottom-up.
+                for i in (0..nb).rev() {
+                    ctx.governor().checkpoint("factor.solve.panel")?;
+                    let (i0, pi) = (i * p, pw(i));
+                    read_rect(&x, i0, s0, pi, qs, xb)?;
+                    for k in i + 1..nb {
+                        let pk = pw(k);
+                        if k + 1 < nb {
+                            prefetch_rect(l, (k + 1) * p, i0, pw(k + 1), pi);
+                        }
+                        // L(k,i) used transposed: Lᵀ(i,k) = L(k,i)ᵀ.
+                        read_rect(l, k * p, i0, pk, pi, lbuf)?;
+                        read_rect(&x, k * p, s0, pk, qs, xk)?;
+                        f += gemm_tn_sub(xb, lbuf, xk, pi, qs, pk);
+                    }
+                    read_rect(l, i0, i0, pi, pi, lbuf)?;
+                    f += trsm_backward(xb, qs, lbuf, pi);
+                    write_rect(&x, i0, s0, pi, qs, xb)?;
+                }
+                ctx.governor().add_flops(f);
+                Ok(f)
+            },
+        )
+    };
+    match solve() {
+        Ok(flops) => Ok((x, flops)),
+        Err(e) => {
+            let _ = x.free();
+            Err(e)
+        }
+    }
 }
 
 /// `solve(a, b)` for symmetric positive definite `a`: factor `a = L·Lᵀ`
@@ -765,6 +801,7 @@ mod tests {
                     frames: 64,
                     replacer: riot_storage::ReplacerKind::Lru,
                     prefetch_depth: depth,
+                    ..riot_storage::PoolConfig::default()
                 },
                 1,
             );

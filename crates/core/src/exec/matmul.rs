@@ -158,6 +158,7 @@ pub fn matmul_naive(
         name,
     )?;
     for j in 0..n3 {
+        ctx.governor().checkpoint("matmul.naive.col")?;
         for i in 0..n1 {
             let mut acc = 0.0;
             for k in 0..n2 {
@@ -165,6 +166,7 @@ pub fn matmul_naive(
             }
             t.set(i, j, acc)?;
         }
+        ctx.governor().add_flops((n1 * n2) as u64);
     }
     Ok((t, (n1 * n2 * n3) as u64))
 }
@@ -224,6 +226,7 @@ pub fn matmul_bnlj_parallel(
     // One chunk of A rows, streamed against all of B, into one chunk of T.
     let run_chunk =
         |r0: usize, a_chunk: &mut [f64], t_chunk: &mut [f64], col: &mut [f64]| -> ExecResult<u64> {
+            a.ctx().governor().checkpoint("matmul.bnlj.chunk")?;
             let m = chunk_rows.min(n1 - r0);
             read_rect(a, r0, 0, m, n2, a_chunk)?;
             t_chunk[..m * n3].fill(0.0);
@@ -245,6 +248,7 @@ pub fn matmul_bnlj_parallel(
                 flops += (m * n2) as u64;
             }
             write_rect(&t, r0, 0, m, n3, t_chunk)?;
+            a.ctx().governor().add_flops(flops);
             Ok(flops)
         };
 
@@ -321,6 +325,7 @@ pub fn matmul_tiled_parallel(
                     bsub: &mut [f64],
                     tsub: &mut [f64]|
      -> ExecResult<u64> {
+        a.ctx().governor().checkpoint("matmul.tiled.cell")?;
         let (i0, j0) = (bi * p, bj * p);
         let (pi, pj) = (p.min(n1 - i0), p.min(n3 - j0));
         tsub[..pi * pj].fill(0.0);
@@ -356,6 +361,7 @@ pub fn matmul_tiled_parallel(
             }
         }
         write_rect(&t, i0, j0, pi, pj, tsub)?;
+        a.ctx().governor().add_flops(flops);
         Ok(flops)
     };
 

@@ -21,9 +21,9 @@ pub use matmul::{
     MatMulKernel,
 };
 pub use pipeline::{
-    drain_agg, drain_partitioned, drain_to_vec, fold_partitioned, materialize, ConstScan,
-    CycleScan, GatherPipe, IfElsePipe, LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan,
-    ZipPipe,
+    drain_agg, drain_partitioned, drain_to_vec, fold_partitioned, governed, materialize, ConstScan,
+    CycleScan, GatherPipe, GovernedPipe, IfElsePipe, LiteralScan, MapPipe, Pipe, Probe, RangeScan,
+    VecScan, ZipPipe,
 };
 pub use sparse::{
     dmspm, dmspm_parallel, dmv, spmdm, spmdm_parallel, spmm, spmm_fill, spmm_parallel, spmm_plan,
@@ -46,6 +46,36 @@ pub enum ExecError {
     NotPositiveDefinite { tile: usize, pivot: usize },
     /// Feature intentionally outside the reproduction's scope.
     Unsupported(String),
+    /// The query's cancel token fired; `at` names the governance
+    /// checkpoint that observed it (see `riot_storage::QueryGovernor`).
+    Cancelled {
+        /// Checkpoint label where cancellation was observed.
+        at: &'static str,
+    },
+    /// A `riot_storage::ResourceLimits` budget was exceeded.
+    BudgetExceeded {
+        /// Which budget tripped (`"reads"`, `"writes"`, `"flops"`,
+        /// `"deadline"`, `"pinned_frames"`, `"temp_blocks"`).
+        resource: &'static str,
+        /// Usage observed when the budget tripped.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl ExecError {
+    /// `true` for governance aborts — cancellation, budget exhaustion,
+    /// or a pin-wait timeout. The runtime reacts to these by releasing
+    /// everything the query allocated (the leak-free-abort invariant);
+    /// other errors report a fault in the query or the device.
+    pub fn is_governance_abort(&self) -> bool {
+        match self {
+            ExecError::Cancelled { .. } | ExecError::BudgetExceeded { .. } => true,
+            ExecError::Storage(e) => e.is_governance(),
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -60,6 +90,15 @@ impl std::fmt::Display for ExecError {
                 pivot + 1
             ),
             ExecError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            ExecError::Cancelled { at } => write!(f, "query cancelled at checkpoint '{at}'"),
+            ExecError::BudgetExceeded {
+                resource,
+                used,
+                limit,
+            } => write!(
+                f,
+                "resource budget exceeded: {resource} used {used} > limit {limit}"
+            ),
         }
     }
 }
@@ -71,13 +110,31 @@ impl std::error::Error for ExecError {
             ExecError::Expr(e) => Some(e),
             ExecError::NotPositiveDefinite { .. } => None,
             ExecError::Unsupported(_) => None,
+            ExecError::Cancelled { .. } => None,
+            ExecError::BudgetExceeded { .. } => None,
         }
     }
 }
 
 impl From<StorageError> for ExecError {
     fn from(e: StorageError) -> Self {
-        ExecError::Storage(e)
+        // Surface the governance family as first-class exec errors, so
+        // `?` through any kernel produces the typed abort the session
+        // reports (`PinTimeout` stays a storage error: it is a property
+        // of the pool, not of this query's limits).
+        match e {
+            StorageError::Cancelled { at } => ExecError::Cancelled { at },
+            StorageError::BudgetExceeded {
+                resource,
+                used,
+                limit,
+            } => ExecError::BudgetExceeded {
+                resource,
+                used,
+                limit,
+            },
+            e => ExecError::Storage(e),
+        }
     }
 }
 

@@ -54,6 +54,53 @@ pub trait Pipe: Send {
     }
 }
 
+/// A pipe adapter that places a governance checkpoint before every chunk
+/// it pulls, so cancellation, deadlines, and I/O budgets are observed at
+/// chunk granularity on any drain path (sequential, partitioned, or
+/// aggregating) without threading the governor through every drain
+/// signature.
+pub struct GovernedPipe {
+    inner: Box<dyn Pipe>,
+    gov: Arc<riot_storage::QueryGovernor>,
+    at: &'static str,
+}
+
+impl Pipe for GovernedPipe {
+    fn next_into(&mut self, out: &mut Vec<f64>) -> ExecResult<usize> {
+        self.gov.checkpoint(self.at)?;
+        let n = self.inner.next_into(out)?;
+        // One flop per element produced is a floor, not an exact count:
+        // the wrapped tree may apply several operators per element. The
+        // floor is enough for flop budgets to bind on drain-only queries.
+        self.gov.add_flops(n as u64);
+        Ok(n)
+    }
+
+    fn total_len(&self) -> usize {
+        self.inner.total_len()
+    }
+
+    fn restrict(&mut self, start: usize, len: usize) -> bool {
+        self.inner.restrict(start, len)
+    }
+}
+
+/// Wrap `pipe` with a per-chunk governance checkpoint labelled `at`.
+/// When the context's governor is disengaged the pipe is returned
+/// unchanged, so ungoverned queries pay nothing — not even the extra
+/// virtual dispatch.
+pub fn governed(pipe: Box<dyn Pipe>, ctx: &Arc<StorageCtx>, at: &'static str) -> Box<dyn Pipe> {
+    let gov = ctx.governor();
+    if !gov.engaged() {
+        return pipe;
+    }
+    Box::new(GovernedPipe {
+        inner: pipe,
+        gov: Arc::clone(gov),
+        at,
+    })
+}
+
 /// Scan of a stored vector, block-aligned.
 pub struct VecScan {
     vec: DenseVector,
@@ -507,6 +554,7 @@ pub fn materialize(
     let mut writer = VectorWriter::new(ctx, len, name)?;
     let mut buf = Vec::new();
     loop {
+        ctx.governor().checkpoint("pipeline.materialize.chunk")?;
         let n = pipe.next_into(&mut buf)?;
         if n == 0 {
             break;

@@ -93,6 +93,7 @@ pub fn spmv_parallel(
     let groups: Vec<usize> = (0..rows).step_by(rows_per_group).collect();
 
     let run_group = |g0: usize, acc: &mut [f64], xbuf: &mut [f64]| -> ExecResult<u64> {
+        a.ctx().governor().checkpoint("sparse.spmv.group")?;
         let g_rows = rows_per_group.min(rows - g0);
         let mut flops = 0u64;
         let t0 = (g0 / tile_r) as u64;
@@ -118,6 +119,7 @@ pub fn spmv_parallel(
             }
         }
         y.write_range(g0, &acc[..g_rows])?;
+        a.ctx().governor().add_flops(flops);
         Ok(flops)
     };
 
@@ -143,6 +145,8 @@ pub fn dmv(a: &DenseMatrix, x: &DenseVector, name: Option<&str>) -> ExecResult<(
     let mut xbuf = vec![0.0; tile_c];
     let mut flops = 0u64;
     for ti in 0..tr {
+        a.ctx().governor().checkpoint("sparse.dmv.strip")?;
+        let strip_f0 = flops;
         let r0 = ti as usize * tile_r;
         let m = tile_r.min(rows - r0);
         acc[..m].fill(0.0);
@@ -162,6 +166,7 @@ pub fn dmv(a: &DenseMatrix, x: &DenseVector, name: Option<&str>) -> ExecResult<(
             flops += (m * take) as u64;
         }
         writer.push_chunk(&acc[..m])?;
+        a.ctx().governor().add_flops(flops - strip_f0);
     }
     Ok((writer.finish()?, flops))
 }
@@ -205,6 +210,7 @@ pub fn spmdm_parallel(
     )?;
     let strips: Vec<u64> = (0..tr).collect();
     let run_strip = |ti: u64, acc: &mut [f64], brow: &mut [f64]| -> ExecResult<u64> {
+        a.ctx().governor().checkpoint("sparse.spmdm.strip")?;
         // Declare the next strip: its occupied `A` pages and the matching
         // `B` block-rows load while this strip computes (the bounded
         // prefetch queue caps how much of the window is accepted).
@@ -238,6 +244,7 @@ pub fn spmdm_parallel(
             flops += tile.nnz() as u64 * n3 as u64;
         }
         write_rect(&t, r0, 0, m, n3, acc)?;
+        a.ctx().governor().add_flops(flops);
         Ok(flops)
     };
     let flops = run_parallel(
@@ -292,6 +299,7 @@ pub fn dmspm_parallel(
     )?;
     let strips: Vec<usize> = (0..n1).step_by(strip).collect();
     let run_strip = |r0: usize, acc: &mut [f64], abuf: &mut [f64]| -> ExecResult<u64> {
+        a.ctx().governor().checkpoint("sparse.dmspm.strip")?;
         let m = strip.min(n1 - r0);
         let mut flops = 0u64;
         acc[..m * n3].fill(0.0);
@@ -327,6 +335,7 @@ pub fn dmspm_parallel(
             }
         }
         write_rect(&t, r0, 0, m, n3, acc)?;
+        a.ctx().governor().add_flops(flops);
         Ok(flops)
     };
     let flops = run_parallel(
@@ -345,7 +354,9 @@ pub fn dmspm_parallel(
 /// the cached input directory without touching storage. Counted I/O:
 /// `occupied_pages` reads + (`occupied_pages` + output directory) writes.
 pub fn sptranspose(a: &SparseMatrix, name: Option<&str>) -> ExecResult<(SparseMatrix, u64)> {
+    a.ctx().governor().checkpoint("sparse.transpose")?;
     let t = a.transpose(name)?;
+    a.ctx().governor().add_flops(a.nnz());
     Ok((t, a.nnz()))
 }
 
@@ -602,6 +613,7 @@ pub fn spmm_plan_parallel(
                     scratch: &mut [f64],
                     entries: &mut Vec<(usize, usize, f64)>|
      -> ExecResult<u64> {
+        a.ctx().governor().checkpoint("sparse.spmm.cell")?;
         scratch.fill(0.0);
         let mut fl = 0u64;
         for bk in 0..inner {
@@ -620,6 +632,7 @@ pub fn spmm_plan_parallel(
                 entries.push((i / btc, i % btc, v));
             }
         }
+        a.ctx().governor().add_flops(fl);
         Ok(fl)
     };
 
@@ -777,6 +790,7 @@ pub fn spmm_fill(plan: SpmmPlan, name: Option<&str>) -> ExecResult<(SparseMatrix
     let mut reader = SpillReader::new(&plan.spill);
     let mut entries = Vec::new();
     for bi in 0..gtr {
+        plan.a.ctx().governor().checkpoint("sparse.spmm.fill")?;
         for bj in 0..gtc {
             let nnz = plan.tile_nnz[(bi * gtc + bj) as usize] as usize;
             if nnz == 0 {

@@ -40,6 +40,7 @@ pub mod cost;
 pub mod eval;
 pub mod exec;
 pub mod expr;
+pub mod governance;
 pub mod graph;
 pub mod opt;
 pub mod policy;
@@ -51,8 +52,10 @@ pub mod sqlview;
 pub use cost::{CostParams, MatMulStrategy};
 pub use eval::{evaluate, MemSources, SourceData, Value};
 pub use expr::{AggOp, BinOp, ExprError, Node, NodeId, SourceRef, UnOp};
+pub use governance::{assert_no_leaks, leak_snapshot, LeakSnapshot};
 pub use graph::ExprGraph;
 pub use opt::{optimize, OptConfig, RewriteStats};
 pub use policy::{EngineConfig, EngineKind};
 pub use profile::{render_plan, ProfileNode, QueryProfile};
+pub use riot_storage::{CancelToken, ResourceLimits};
 pub use session::{RMat, RVec, Session};

@@ -27,7 +27,7 @@ use riot_trace::{EventKind, Metrics, SpanToken};
 use riot_vm::{PagedHeap, VmConfig, VmId};
 
 use crate::exec::pipeline::{
-    drain_agg, drain_partitioned, drain_to_vec, fold_partitioned, materialize, ConstScan,
+    drain_agg, drain_partitioned, drain_to_vec, fold_partitioned, governed, materialize, ConstScan,
     CycleScan, GatherPipe, IfElsePipe, LiteralScan, MapPipe, Pipe, Probe, RangeScan, VecScan,
     ZipPipe,
 };
@@ -242,6 +242,7 @@ impl Runtime {
                 frames: cfg.mem_blocks,
                 replacer: cfg.replacer,
                 prefetch_depth: cfg.prefetch_depth,
+                ..riot_storage::PoolConfig::default()
             },
             1,
         );
@@ -263,6 +264,13 @@ impl Runtime {
         // enabled path never perturbs counted I/O or results).
         if std::env::var_os("RIOT_TRACE").is_some_and(|v| v != "0" && !v.is_empty()) {
             ctx.tracer().enable();
+        }
+        // `RIOT_GOVERN=1` engages the governor with empty limits — full
+        // checkpoint accounting, nothing to trip — for the whole runtime
+        // (the CI governance leg runs the entire suite this way, proving
+        // the engaged path never perturbs counted I/O or results).
+        if std::env::var_os("RIOT_GOVERN").is_some_and(|v| v != "0" && !v.is_empty()) {
+            ctx.governor().engage(riot_storage::ResourceLimits::none());
         }
         Runtime {
             cfg,
@@ -359,6 +367,69 @@ impl Runtime {
             root = r;
         }
         crate::profile::render_plan(&self.graph, root)
+    }
+
+    /// Run `f` as one governed query. With the governor disengaged (or
+    /// when already inside a governed bracket — forcing points nest) this
+    /// is a direct call. Engaged, it opens the governor's budget bracket,
+    /// snapshots the set of live catalog objects, and — if `f` unwinds
+    /// with a governance abort (cancel, budget, pin timeout) — releases
+    /// everything the query allocated: queued prefetch windows are
+    /// dropped, cache entries backed by query-created objects are purged,
+    /// and the objects themselves are freed, restoring the catalog to its
+    /// pre-query state (the *leak-free abort* pinned invariant).
+    pub(crate) fn governed<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> ExecResult<T>,
+    ) -> ExecResult<T> {
+        let outer = {
+            let gov = self.ctx.governor();
+            gov.engaged() && !gov.in_query()
+        };
+        if !outer {
+            return f(self);
+        }
+        let baseline = self.ctx.live_object_ids();
+        self.ctx.governor().begin();
+        let result = f(self);
+        self.ctx.governor().end();
+        if let Err(e) = &result {
+            if e.is_governance_abort() {
+                self.abort_cleanup(&baseline);
+            }
+        }
+        result
+    }
+
+    /// Release everything a governance-aborted query allocated (see
+    /// [`Runtime::governed`]). `baseline` is the set of live catalog
+    /// objects at query start; anything newer is the aborted query's.
+    fn abort_cleanup(&mut self, baseline: &[riot_storage::ObjectId]) {
+        // Stop queued prefetch windows first: nothing new should load on
+        // behalf of a dead query.
+        self.ctx.pool().discard_prefetch_queue();
+        let base: std::collections::HashSet<riot_storage::ObjectId> =
+            baseline.iter().copied().collect();
+        // Purge cache entries whose backing object the aborted query
+        // created, so no handle survives to a freed object. Entries over
+        // pre-query objects (earlier statements' results) stay valid.
+        self.materialized.retain(|_, v| base.contains(&v.object()));
+        self.mat_materialized
+            .retain(|_, m| base.contains(&m.object()));
+        self.sparse_materialized
+            .retain(|_, s| base.contains(&s.object()));
+        // Free the objects themselves: half-built outputs and spills
+        // whose handles were consumed by the unwinding error path.
+        for id in self.ctx.live_object_ids() {
+            if !base.contains(&id) {
+                let _ = self.ctx.drop_object(id);
+            }
+        }
+    }
+
+    /// The runtime's storage context (pool, catalog, and governor).
+    pub fn storage_ctx(&self) -> Arc<StorageCtx> {
+        Arc::clone(&self.ctx)
     }
 
     /// Open a measured span: records the span start plus counter
@@ -765,6 +836,10 @@ impl Runtime {
 
     /// Elementwise binary op between two vector values (R recycling).
     pub(crate) fn binop(&mut self, op: BinOp, lhs: &VecRepr, rhs: &VecRepr) -> ExecResult<VecRepr> {
+        self.governed(|rt| rt.binop_ungoverned(op, lhs, rhs))
+    }
+
+    fn binop_ungoverned(&mut self, op: BinOp, lhs: &VecRepr, rhs: &VecRepr) -> ExecResult<VecRepr> {
         match self.cfg.kind {
             EngineKind::MatNamed | EngineKind::Riot => {
                 let (VecRepr::Node(l), VecRepr::Node(r)) = (lhs, rhs) else {
@@ -779,6 +854,16 @@ impl Runtime {
 
     /// Elementwise binary op against a scalar.
     pub(crate) fn binop_scalar(
+        &mut self,
+        op: BinOp,
+        lhs: &VecRepr,
+        scalar: f64,
+        scalar_on_left: bool,
+    ) -> ExecResult<VecRepr> {
+        self.governed(|rt| rt.binop_scalar_ungoverned(op, lhs, scalar, scalar_on_left))
+    }
+
+    fn binop_scalar_ungoverned(
         &mut self,
         op: BinOp,
         lhs: &VecRepr,
@@ -839,6 +924,10 @@ impl Runtime {
 
     /// Elementwise unary map.
     pub(crate) fn unop(&mut self, op: UnOp, input: &VecRepr) -> ExecResult<VecRepr> {
+        self.governed(|rt| rt.unop_ungoverned(op, input))
+    }
+
+    fn unop_ungoverned(&mut self, op: UnOp, input: &VecRepr) -> ExecResult<VecRepr> {
         match self.cfg.kind {
             EngineKind::MatNamed | EngineKind::Riot => {
                 let VecRepr::Node(i) = input else {
@@ -857,7 +946,9 @@ impl Runtime {
                 let mut buf = vec![0.0; chunk];
                 let mut at = 0;
                 while at < n {
+                    self.ctx.governor().checkpoint("plainr.unop.chunk")?;
                     let take = chunk.min(n - at);
+                    self.ctx.governor().add_flops(take as u64);
                     self.heap.read_chunk(src, at, &mut buf[..take]);
                     for v in &mut buf[..take] {
                         *v = op.apply(*v);
@@ -878,7 +969,9 @@ impl Runtime {
                 let mut buf = vec![0.0; chunk];
                 let mut at = 0;
                 while at < n {
+                    self.ctx.governor().checkpoint("strawman.unop.chunk")?;
                     let take = chunk.min(n - at);
+                    self.ctx.governor().add_flops(take as u64);
                     t.vec.read_range(at, &mut buf[..take])?;
                     for v in &mut buf[..take] {
                         *v = op.apply(*v);
@@ -910,7 +1003,9 @@ impl Runtime {
         let mut ob = vec![0.0; chunk];
         let mut at = 0;
         while at < n {
+            self.ctx.governor().checkpoint("plainr.binop.chunk")?;
             let take = chunk.min(n - at);
+            self.ctx.governor().add_flops(take as u64);
             // Aligned fast path; recycled operands fall back to element
             // reads (R's recycling is rare for large operands).
             if ll == n {
@@ -949,7 +1044,9 @@ impl Runtime {
         let mut rb = vec![0.0; chunk];
         let mut at = 0;
         while at < n {
+            self.ctx.governor().checkpoint("strawman.binop.chunk")?;
             let take = chunk.min(n - at);
+            self.ctx.governor().add_flops(take as u64);
             if ll == n {
                 lt.vec.read_range(at, &mut lb[..take])?;
             } else {
@@ -980,6 +1077,10 @@ impl Runtime {
 
     /// Subscript read `data[index]`.
     pub(crate) fn gather(&mut self, data: &VecRepr, index: &VecRepr) -> ExecResult<VecRepr> {
+        self.governed(|rt| rt.gather_ungoverned(data, index))
+    }
+
+    fn gather_ungoverned(&mut self, data: &VecRepr, index: &VecRepr) -> ExecResult<VecRepr> {
         match self.cfg.kind {
             EngineKind::MatNamed | EngineKind::Riot => {
                 let (VecRepr::Node(d), VecRepr::Node(i)) = (data, index) else {
@@ -1040,6 +1141,15 @@ impl Runtime {
         mask: &VecRepr,
         value: &VecRepr,
     ) -> ExecResult<VecRepr> {
+        self.governed(|rt| rt.mask_assign_ungoverned(data, mask, value))
+    }
+
+    fn mask_assign_ungoverned(
+        &mut self,
+        data: &VecRepr,
+        mask: &VecRepr,
+        value: &VecRepr,
+    ) -> ExecResult<VecRepr> {
         match self.cfg.kind {
             EngineKind::MatNamed | EngineKind::Riot => {
                 let (VecRepr::Node(d), VecRepr::Node(m), VecRepr::Node(v)) = (data, mask, value)
@@ -1059,6 +1169,15 @@ impl Runtime {
 
     /// Masked update against a scalar replacement value.
     pub(crate) fn mask_assign_scalar(
+        &mut self,
+        data: &VecRepr,
+        mask: &VecRepr,
+        value: f64,
+    ) -> ExecResult<VecRepr> {
+        self.governed(|rt| rt.mask_assign_scalar_ungoverned(data, mask, value))
+    }
+
+    fn mask_assign_scalar_ungoverned(
         &mut self,
         data: &VecRepr,
         mask: &VecRepr,
@@ -1169,6 +1288,15 @@ impl Runtime {
     /// Functional indexed update `data[index] <- value` (value recycled to
     /// the index length).
     pub(crate) fn sub_assign(
+        &mut self,
+        data: &VecRepr,
+        index: &VecRepr,
+        value: &VecRepr,
+    ) -> ExecResult<VecRepr> {
+        self.governed(|rt| rt.sub_assign_ungoverned(data, index, value))
+    }
+
+    fn sub_assign_ungoverned(
         &mut self,
         data: &VecRepr,
         index: &VecRepr,
@@ -1309,6 +1437,10 @@ impl Runtime {
     /// Reduce a vector to a scalar (forces evaluation on all engines, but
     /// deferred engines stream without materializing).
     pub(crate) fn aggregate(&mut self, op: AggOp, v: &VecRepr) -> ExecResult<f64> {
+        self.governed(|rt| rt.aggregate_ungoverned(op, v))
+    }
+
+    fn aggregate_ungoverned(&mut self, op: AggOp, v: &VecRepr) -> ExecResult<f64> {
         match self.cfg.kind {
             EngineKind::MatNamed | EngineKind::Riot => {
                 let VecRepr::Node(id) = v else { unreachable!() };
@@ -1364,7 +1496,9 @@ impl Runtime {
                 let mut acc = op.init();
                 let mut at = 0;
                 while at < n {
+                    self.ctx.governor().checkpoint("strawman.unop.chunk")?;
                     let take = chunk.min(n - at);
+                    self.ctx.governor().add_flops(take as u64);
                     t.vec.read_range(at, &mut buf[..take])?;
                     for &x in &buf[..take] {
                         acc = op.fold(acc, x);
@@ -1395,6 +1529,10 @@ impl Runtime {
 
     /// Materialize node `id` to a stored vector (idempotent).
     pub(crate) fn force_vector_to_disk(&mut self, id: NodeId) -> ExecResult<DenseVector> {
+        self.governed(|rt| rt.force_vector_to_disk_ungoverned(id))
+    }
+
+    fn force_vector_to_disk_ungoverned(&mut self, id: NodeId) -> ExecResult<DenseVector> {
         if let Some(v) = self.materialized.get(&id) {
             return Ok(v.clone());
         }
@@ -1417,6 +1555,10 @@ impl Runtime {
     /// Fully evaluate a vector value into memory (the `print` forcing
     /// point). Riot optimizes the whole reachable DAG here.
     pub(crate) fn collect(&mut self, v: &VecRepr) -> ExecResult<Vec<f64>> {
+        self.governed(|rt| rt.collect_ungoverned(v))
+    }
+
+    fn collect_ungoverned(&mut self, v: &VecRepr) -> ExecResult<Vec<f64>> {
         match (&self.cfg.kind, v) {
             (EngineKind::PlainR, VecRepr::Vm(id)) => {
                 let id = *id;
@@ -1437,7 +1579,7 @@ impl Runtime {
                     self.span_end(span, detail);
                     return Ok(out);
                 }
-                let pipe = self.compile(id, len)?;
+                let pipe = governed(self.compile(id, len)?, &self.ctx, "pipeline.collect.chunk");
                 let out = drain_to_vec(pipe)?;
                 self.span_end(span, detail);
                 Ok(out)
@@ -1456,7 +1598,11 @@ impl Runtime {
                     self.span_end(span, detail);
                     return Ok(out);
                 }
-                let pipe = self.compile(root, len)?;
+                let pipe = governed(
+                    self.compile(root, len)?,
+                    &self.ctx,
+                    "pipeline.collect.chunk",
+                );
                 let out = drain_to_vec(pipe)?;
                 self.span_end(span, detail);
                 Ok(out)
@@ -1513,7 +1659,7 @@ impl Runtime {
         let align = self.chunk().max(epb).div_ceil(epb) * epb;
         let part = 4 * align;
         if len <= part || !self.parallel_safe(input, len) {
-            let pipe = self.compile(input, len)?;
+            let pipe = governed(self.compile(input, len)?, &self.ctx, "pipeline.agg.chunk");
             return drain_agg(pipe, op);
         }
         // Probe restrictability once, so the tree-vs-fallback decision is
@@ -1523,7 +1669,7 @@ impl Runtime {
         {
             let mut probe = self.compile(input, len)?;
             if !probe.restrict(0, len) {
-                let pipe = self.compile(input, len)?;
+                let pipe = governed(self.compile(input, len)?, &self.ctx, "pipeline.agg.chunk");
                 return drain_agg(pipe, op);
             }
         }
@@ -1536,7 +1682,7 @@ impl Runtime {
             // One pass over a single pipe with the accumulator reset at
             // partition boundaries: identical partials, and the exact
             // device-I/O sequence of the old sequential drain.
-            let mut pipe = self.compile(input, len)?;
+            let mut pipe = governed(self.compile(input, len)?, &self.ctx, "pipeline.agg.chunk");
             let mut partials = Vec::with_capacity(spans.len());
             let mut buf = Vec::new();
             let mut at = 0usize;
@@ -1573,10 +1719,10 @@ impl Runtime {
                     // Unreachable after the probe for every built-in pipe;
                     // kept graceful for future pipes with span-dependent
                     // restriction.
-                    let pipe = self.compile(input, len)?;
+                    let pipe = governed(self.compile(input, len)?, &self.ctx, "pipeline.agg.chunk");
                     return drain_agg(pipe, op);
                 }
-                pipes.push(pipe);
+                pipes.push(governed(pipe, &self.ctx, "pipeline.agg.part"));
             }
             fold_partitioned(pipes, op, threads)?
         };
@@ -1679,7 +1825,7 @@ impl Runtime {
                 if !pipe.restrict(s, take) {
                     return Ok(None);
                 }
-                parts.push((pipe, slice));
+                parts.push((governed(pipe, &self.ctx, "pipeline.collect.part"), slice));
             }
             drain_partitioned(parts, threads)?;
         }
@@ -1700,7 +1846,11 @@ impl Runtime {
         if own_len != out_len {
             // Recycled operand: materialize the short side in memory.
             debug_assert!(own_len < out_len && out_len % own_len == 0);
-            let inner = self.compile(id, own_len)?;
+            let inner = governed(
+                self.compile(id, own_len)?,
+                &self.ctx,
+                "pipeline.cycle.chunk",
+            );
             let data = drain_to_vec(inner)?;
             return Ok(Box::new(CycleScan::new(data, out_len, self.chunk())));
         }
@@ -1828,6 +1978,16 @@ impl Runtime {
         index: NodeId,
         value: NodeId,
     ) -> ExecResult<DenseVector> {
+        self.governed(|rt| rt.force_subassign_ungoverned(node_id, data, index, value))
+    }
+
+    fn force_subassign_ungoverned(
+        &mut self,
+        node_id: NodeId,
+        data: NodeId,
+        index: NodeId,
+        value: NodeId,
+    ) -> ExecResult<DenseVector> {
         if let Some(v) = self.materialized.get(&node_id) {
             return Ok(v.clone());
         }
@@ -1836,8 +1996,16 @@ impl Runtime {
         let ctx = Arc::clone(&self.ctx);
         let vec = materialize(pipe, &ctx, None)?;
         let idx_len = self.graph.shape(index).len();
-        let idx = drain_to_vec(self.compile(index, idx_len)?)?;
-        let vals = drain_to_vec(self.compile(value, idx_len)?)?;
+        let idx = drain_to_vec(governed(
+            self.compile(index, idx_len)?,
+            &self.ctx,
+            "pipeline.collect.chunk",
+        ))?;
+        let vals = drain_to_vec(governed(
+            self.compile(value, idx_len)?,
+            &self.ctx,
+            "pipeline.collect.chunk",
+        ))?;
         for (k, &raw) in idx.iter().enumerate() {
             let i = raw as i64;
             if i < 1 || i as usize > vec.len() {
@@ -1857,6 +2025,15 @@ impl Runtime {
 
     /// Elementwise conditional `ifelse(cond, yes, no)`.
     pub(crate) fn ifelse(
+        &mut self,
+        cond: &VecRepr,
+        yes: &VecRepr,
+        no: &VecRepr,
+    ) -> ExecResult<VecRepr> {
+        self.governed(|rt| rt.ifelse_ungoverned(cond, yes, no))
+    }
+
+    fn ifelse_ungoverned(
         &mut self,
         cond: &VecRepr,
         yes: &VecRepr,
@@ -1887,6 +2064,10 @@ impl Runtime {
 
     /// Matrix transpose.
     pub(crate) fn transpose(&mut self, m: &MatRepr) -> ExecResult<MatRepr> {
+        self.governed(|rt| rt.transpose_ungoverned(m))
+    }
+
+    fn transpose_ungoverned(&mut self, m: &MatRepr) -> ExecResult<MatRepr> {
         match self.cfg.kind {
             EngineKind::MatNamed | EngineKind::Riot => {
                 let MatRepr::Node(id) = m else { unreachable!() };
@@ -1928,6 +2109,10 @@ impl Runtime {
 
     /// Matrix product.
     pub(crate) fn matmul(&mut self, lhs: &MatRepr, rhs: &MatRepr) -> ExecResult<MatRepr> {
+        self.governed(|rt| rt.matmul_ungoverned(lhs, rhs))
+    }
+
+    fn matmul_ungoverned(&mut self, lhs: &MatRepr, rhs: &MatRepr) -> ExecResult<MatRepr> {
         match self.cfg.kind {
             EngineKind::MatNamed | EngineKind::Riot => {
                 let (MatRepr::Node(l), MatRepr::Node(r)) = (lhs, rhs) else {
@@ -1957,6 +2142,7 @@ impl Runtime {
                 let t = self.heap.alloc(n1 * n3);
                 // R's internal loop (Example 2): j outer, i middle, k inner.
                 for j in 0..n3 {
+                    self.ctx.governor().checkpoint("plainr.matmul.col")?;
                     for i in 0..n1 {
                         let mut acc = 0.0;
                         for k in 0..n2 {
@@ -1964,6 +2150,7 @@ impl Runtime {
                         }
                         self.heap.set(t, i * n3 + j, acc);
                     }
+                    self.ctx.governor().add_flops((n1 * n2) as u64);
                 }
                 self.count_ops(n1 * n2 * n3);
                 Ok(MatRepr::Vm {
@@ -1990,6 +2177,10 @@ impl Runtime {
     /// `L · Lᵀ = a`. Deferred engines record a [`Node::Chol`]; the eager
     /// engines factor immediately in their own representation.
     pub(crate) fn mat_chol(&mut self, m: &MatRepr) -> ExecResult<MatRepr> {
+        self.governed(|rt| rt.mat_chol_ungoverned(m))
+    }
+
+    fn mat_chol_ungoverned(&mut self, m: &MatRepr) -> ExecResult<MatRepr> {
         match self.cfg.kind {
             EngineKind::MatNamed | EngineKind::Riot => {
                 let MatRepr::Node(id) = m else { unreachable!() };
@@ -2006,9 +2197,13 @@ impl Runtime {
                         got: Shape::Matrix(rows, cols),
                     }));
                 }
+                self.ctx.governor().checkpoint("plainr.chol")?;
                 let mut a = self.heap.to_vec(id);
                 dense_chol_inplace(&mut a, rows)?;
                 self.count_ops(rows * rows * rows / 3 + rows * rows);
+                self.ctx
+                    .governor()
+                    .add_flops((rows * rows * rows / 3 + rows * rows) as u64);
                 let t = self.heap.alloc(rows * cols);
                 self.heap.write_chunk(t, 0, &a);
                 Ok(MatRepr::Vm { id: t, rows, cols })
@@ -2030,6 +2225,10 @@ impl Runtime {
     /// Linear solve `solve(a, b)` for symmetric positive definite `a` —
     /// always Cholesky-backed; no engine materializes an inverse.
     pub(crate) fn mat_solve(&mut self, a: &MatRepr, b: &MatRepr) -> ExecResult<MatRepr> {
+        self.governed(|rt| rt.mat_solve_ungoverned(a, b))
+    }
+
+    fn mat_solve_ungoverned(&mut self, a: &MatRepr, b: &MatRepr) -> ExecResult<MatRepr> {
         match self.cfg.kind {
             EngineKind::MatNamed | EngineKind::Riot => {
                 let (MatRepr::Node(l), MatRepr::Node(r)) = (a, b) else {
@@ -2066,11 +2265,15 @@ impl Runtime {
                         rhs: Shape::Matrix(br, m),
                     }));
                 }
+                self.ctx.governor().checkpoint("plainr.solve")?;
                 let mut l = self.heap.to_vec(ia);
                 dense_chol_inplace(&mut l, n)?;
                 let mut x = self.heap.to_vec(ib);
                 dense_cholesky_substitute(&l, &mut x, n, m);
                 self.count_ops(n * n * n / 3 + 2 * n * n * m);
+                self.ctx
+                    .governor()
+                    .add_flops((n * n * n / 3 + 2 * n * n * m) as u64);
                 let t = self.heap.alloc(n * m);
                 self.heap.write_chunk(t, 0, &x);
                 Ok(MatRepr::Vm {
@@ -2096,6 +2299,10 @@ impl Runtime {
 
     /// Fully evaluate a matrix value to row-major data.
     pub(crate) fn collect_matrix(&mut self, m: &MatRepr) -> ExecResult<(usize, usize, Vec<f64>)> {
+        self.governed(|rt| rt.collect_matrix_ungoverned(m))
+    }
+
+    fn collect_matrix_ungoverned(&mut self, m: &MatRepr) -> ExecResult<(usize, usize, Vec<f64>)> {
         match (&self.cfg.kind, m) {
             (EngineKind::PlainR, MatRepr::Vm { id, rows, cols }) => {
                 let data = self.heap.to_vec(*id);
@@ -2147,6 +2354,10 @@ impl Runtime {
     /// whenever the forced operand is sparse — no combination in the
     /// `{sparse, dense}` product/transpose table densifies implicitly.
     pub(crate) fn force_matrix_value(&mut self, id: NodeId) -> ExecResult<MatValue> {
+        self.governed(|rt| rt.force_matrix_value_ungoverned(id))
+    }
+
+    fn force_matrix_value_ungoverned(&mut self, id: NodeId) -> ExecResult<MatValue> {
         if let Some(m) = self.mat_materialized.get(&id) {
             return Ok(MatValue::Dense(m.clone()));
         }
@@ -2353,6 +2564,10 @@ impl Runtime {
     /// is the catalog statistic (no I/O); anything else is forced and
     /// counted by streaming its tiles.
     pub(crate) fn mat_nnz(&mut self, m: &MatRepr) -> ExecResult<u64> {
+        self.governed(|rt| rt.mat_nnz_ungoverned(m))
+    }
+
+    fn mat_nnz_ungoverned(&mut self, m: &MatRepr) -> ExecResult<u64> {
         match m {
             MatRepr::Node(id) => {
                 if let Node::SpMatSource { nnz, .. } = self.graph.node(*id) {
@@ -2406,6 +2621,10 @@ impl Runtime {
     /// keep their dense representation (like base R, where sparsity lives
     /// in a library the eager engines do not have).
     pub(crate) fn mat_to_sparse(&mut self, m: &MatRepr) -> ExecResult<MatRepr> {
+        self.governed(|rt| rt.mat_to_sparse_ungoverned(m))
+    }
+
+    fn mat_to_sparse_ungoverned(&mut self, m: &MatRepr) -> ExecResult<MatRepr> {
         match m {
             MatRepr::Node(id) => Ok(MatRepr::Node(self.graph.sparsify(*id)?)),
             other => {
@@ -2418,6 +2637,10 @@ impl Runtime {
     /// Convert a matrix value to the dense representation (`Densify` node
     /// under deferred engines; identity on the eager engines).
     pub(crate) fn mat_to_dense(&mut self, m: &MatRepr) -> ExecResult<MatRepr> {
+        self.governed(|rt| rt.mat_to_dense_ungoverned(m))
+    }
+
+    fn mat_to_dense_ungoverned(&mut self, m: &MatRepr) -> ExecResult<MatRepr> {
         match m {
             MatRepr::Node(id) => Ok(MatRepr::Node(self.graph.densify(*id)?)),
             other => {

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use riot_array::MatrixLayout;
-use riot_storage::{DiskModel, IoSnapshot, PoolStats, StorageReport};
+use riot_storage::{CancelToken, DiskModel, IoSnapshot, PoolStats, ResourceLimits, StorageReport};
 use riot_trace::Metrics;
 
 use crate::exec::{ExecError, ExecResult};
@@ -68,6 +68,72 @@ impl Session {
     /// The engine this session runs.
     pub fn kind(&self) -> EngineKind {
         self.rt.borrow().cfg.kind
+    }
+
+    // ---- resource governance & cancellation ----
+
+    /// Start a session with `cfg` and `limits` attached: every forcing
+    /// point runs as a governed query (see [`Session::set_limits`]).
+    pub fn with_limits(cfg: EngineConfig, limits: ResourceLimits) -> Self {
+        let s = Session::new(cfg);
+        s.set_limits(limits);
+        s
+    }
+
+    /// Attach per-query resource `limits` and turn governance
+    /// checkpoints on. Each forcing point (collect, aggregate, an eager
+    /// engine's operator, …) then runs as one governed query: budgets
+    /// are measured from the start of that query, and exceeding one —
+    /// or a pending cancel — aborts it with a typed
+    /// [`ExecError::BudgetExceeded`] / [`ExecError::Cancelled`], leaving
+    /// no pinned frames and no leaked storage behind. `ResourceLimits::
+    /// none()` engages checkpoint accounting with nothing to trip.
+    pub fn set_limits(&self, limits: ResourceLimits) {
+        self.rt.borrow().storage_ctx().governor().engage(limits);
+    }
+
+    /// Detach limits: checkpoints return to the ungoverned fast path
+    /// (one relaxed atomic load). A pending cancel stays pending.
+    pub fn clear_limits(&self) {
+        self.rt.borrow().storage_ctx().governor().disengage();
+    }
+
+    /// The currently attached limits (all-`None` when disengaged).
+    pub fn limits(&self) -> ResourceLimits {
+        self.rt.borrow().storage_ctx().governor().limits()
+    }
+
+    /// A cloneable, `Send` handle that cancels this session's running
+    /// query from another thread. With limits attached (even
+    /// [`ResourceLimits::none`]), the query aborts at its next kernel
+    /// checkpoint; otherwise cancellation is observed at the next
+    /// [`Session::interrupt_checkpoint`] (the R interpreter calls that
+    /// between statements).
+    pub fn cancel_handle(&self) -> CancelToken {
+        self.rt.borrow().storage_ctx().governor().cancel_token()
+    }
+
+    /// Clear a pending cancel so the session can run further queries.
+    pub fn reset_cancel(&self) {
+        self.rt.borrow().storage_ctx().governor().reset_cancel();
+    }
+
+    /// Observe a pending cancellation outside any kernel — the
+    /// statement-boundary seam: returns [`ExecError::Cancelled`] if a
+    /// [`CancelToken`] has fired, `Ok(())` otherwise.
+    pub fn interrupt_checkpoint(&self) -> ExecResult<()> {
+        if self.rt.borrow().storage_ctx().governor().is_cancelled() {
+            return Err(ExecError::Cancelled {
+                at: "interp.statement",
+            });
+        }
+        Ok(())
+    }
+
+    /// The session's storage context (pool, catalog, and governor) —
+    /// the leak-audit helpers in [`crate::governance`] snapshot it.
+    pub fn storage_ctx(&self) -> Arc<riot_array::StorageCtx> {
+        self.rt.borrow().storage_ctx()
     }
 
     /// Create a vector from a generator function.
@@ -371,30 +437,36 @@ impl Session {
     }
 
     fn binop(&self, op: BinOp, l: &RVec, r: &RVec) -> RVec {
-        let repr = self
-            .rt
-            .borrow_mut()
-            .binop(op, &l.repr, &r.repr)
-            .unwrap_or_else(|e| panic!("vector operation failed: {e}"));
-        self.vec(repr)
+        self.try_binop(op, l, r)
+            .unwrap_or_else(|e| panic!("vector operation failed: {e}"))
+    }
+
+    fn try_binop(&self, op: BinOp, l: &RVec, r: &RVec) -> ExecResult<RVec> {
+        let repr = self.rt.borrow_mut().binop(op, &l.repr, &r.repr)?;
+        Ok(self.vec(repr))
     }
 
     fn binop_scalar(&self, op: BinOp, l: &RVec, s: f64, scalar_left: bool) -> RVec {
+        self.try_binop_scalar(op, l, s, scalar_left)
+            .unwrap_or_else(|e| panic!("vector operation failed: {e}"))
+    }
+
+    fn try_binop_scalar(&self, op: BinOp, l: &RVec, s: f64, scalar_left: bool) -> ExecResult<RVec> {
         let repr = self
             .rt
             .borrow_mut()
-            .binop_scalar(op, &l.repr, s, scalar_left)
-            .unwrap_or_else(|e| panic!("vector operation failed: {e}"));
-        self.vec(repr)
+            .binop_scalar(op, &l.repr, s, scalar_left)?;
+        Ok(self.vec(repr))
     }
 
     fn unop(&self, op: UnOp, x: &RVec) -> RVec {
-        let repr = self
-            .rt
-            .borrow_mut()
-            .unop(op, &x.repr)
-            .unwrap_or_else(|e| panic!("vector operation failed: {e}"));
-        self.vec(repr)
+        self.try_unop(op, x)
+            .unwrap_or_else(|e| panic!("vector operation failed: {e}"))
+    }
+
+    fn try_unop(&self, op: UnOp, x: &RVec) -> ExecResult<RVec> {
+        let repr = self.rt.borrow_mut().unop(op, &x.repr)?;
+        Ok(self.vec(repr))
     }
 }
 
@@ -445,15 +517,32 @@ impl RVec {
         self.sess.binop(op, self, other)
     }
 
+    /// [`binary`](Self::binary) with the error surfaced instead of a
+    /// panic — what interpreters use so eager-engine governance aborts
+    /// (cancellation, budgets) stay typed errors.
+    pub fn try_binary(&self, op: BinOp, other: &RVec) -> ExecResult<RVec> {
+        self.sess.try_binop(op, self, other)
+    }
+
     /// Generic elementwise binary op against a scalar. `scalar_left`
     /// selects `c ∘ x` rather than `x ∘ c`.
     pub fn binary_scalar(&self, op: BinOp, c: f64, scalar_left: bool) -> RVec {
         self.sess.binop_scalar(op, self, c, scalar_left)
     }
 
+    /// [`binary_scalar`](Self::binary_scalar), error surfaced.
+    pub fn try_binary_scalar(&self, op: BinOp, c: f64, scalar_left: bool) -> ExecResult<RVec> {
+        self.sess.try_binop_scalar(op, self, c, scalar_left)
+    }
+
     /// Generic elementwise unary op.
     pub fn unary(&self, op: UnOp) -> RVec {
         self.sess.unop(op, self)
+    }
+
+    /// [`unary`](Self::unary), error surfaced.
+    pub fn try_unary(&self, op: UnOp) -> ExecResult<RVec> {
+        self.sess.try_unop(op, self)
     }
 
     /// `sqrt(x)`.
@@ -533,47 +622,63 @@ impl RVec {
 
     /// Subscript read: `x[idx]` (1-based indices).
     pub fn index(&self, idx: &RVec) -> RVec {
-        let repr = self
-            .sess
-            .rt
-            .borrow_mut()
-            .gather(&self.repr, &idx.repr)
-            .unwrap_or_else(|e| panic!("subscript failed: {e}"));
-        self.sess.vec(repr)
+        self.try_index(idx)
+            .unwrap_or_else(|e| panic!("subscript failed: {e}"))
+    }
+
+    /// [`index`](Self::index), error surfaced.
+    pub fn try_index(&self, idx: &RVec) -> ExecResult<RVec> {
+        let repr = self.sess.rt.borrow_mut().gather(&self.repr, &idx.repr)?;
+        Ok(self.sess.vec(repr))
     }
 
     /// Masked update returning the new state: `x[mask] <- value`.
     pub fn mask_assign(&self, mask: &RVec, value: f64) -> RVec {
+        self.try_mask_assign(mask, value)
+            .unwrap_or_else(|e| panic!("masked assignment failed: {e}"))
+    }
+
+    /// [`mask_assign`](Self::mask_assign), error surfaced.
+    pub fn try_mask_assign(&self, mask: &RVec, value: f64) -> ExecResult<RVec> {
         let repr = self
             .sess
             .rt
             .borrow_mut()
-            .mask_assign_scalar(&self.repr, &mask.repr, value)
-            .unwrap_or_else(|e| panic!("masked assignment failed: {e}"));
-        self.sess.vec(repr)
+            .mask_assign_scalar(&self.repr, &mask.repr, value)?;
+        Ok(self.sess.vec(repr))
     }
 
     /// Masked update with a vector replacement: `x[mask] <- values`.
     pub fn mask_assign_vec(&self, mask: &RVec, values: &RVec) -> RVec {
+        self.try_mask_assign_vec(mask, values)
+            .unwrap_or_else(|e| panic!("masked assignment failed: {e}"))
+    }
+
+    /// [`mask_assign_vec`](Self::mask_assign_vec), error surfaced.
+    pub fn try_mask_assign_vec(&self, mask: &RVec, values: &RVec) -> ExecResult<RVec> {
         let repr = self
             .sess
             .rt
             .borrow_mut()
-            .mask_assign(&self.repr, &mask.repr, &values.repr)
-            .unwrap_or_else(|e| panic!("masked assignment failed: {e}"));
-        self.sess.vec(repr)
+            .mask_assign(&self.repr, &mask.repr, &values.repr)?;
+        Ok(self.sess.vec(repr))
     }
 
     /// Indexed functional update: `x[idx] <- values` (1-based indices;
     /// `values` recycles to the index length).
     pub fn sub_assign(&self, idx: &RVec, values: &RVec) -> RVec {
+        self.try_sub_assign(idx, values)
+            .unwrap_or_else(|e| panic!("indexed assignment failed: {e}"))
+    }
+
+    /// [`sub_assign`](Self::sub_assign), error surfaced.
+    pub fn try_sub_assign(&self, idx: &RVec, values: &RVec) -> ExecResult<RVec> {
         let repr = self
             .sess
             .rt
             .borrow_mut()
-            .sub_assign(&self.repr, &idx.repr, &values.repr)
-            .unwrap_or_else(|e| panic!("indexed assignment failed: {e}"));
-        self.sess.vec(repr)
+            .sub_assign(&self.repr, &idx.repr, &values.repr)?;
+        Ok(self.sess.vec(repr))
     }
 
     /// `sum(x)` — a forcing point.
@@ -645,24 +750,27 @@ impl RMat {
 
     /// `t(m)`: transpose.
     pub fn t(&self) -> RMat {
-        let repr = self
-            .sess
-            .rt
-            .borrow_mut()
-            .transpose(&self.repr)
-            .unwrap_or_else(|e| panic!("transpose failed: {e}"));
-        self.sess.mat(repr)
+        self.try_t()
+            .unwrap_or_else(|e| panic!("transpose failed: {e}"))
+    }
+
+    /// [`t`](Self::t), error surfaced — what interpreters use so
+    /// eager-engine governance aborts stay typed errors.
+    pub fn try_t(&self) -> ExecResult<RMat> {
+        let repr = self.sess.rt.borrow_mut().transpose(&self.repr)?;
+        Ok(self.sess.mat(repr))
     }
 
     /// `a %*% b`.
     pub fn matmul(&self, rhs: &RMat) -> RMat {
-        let repr = self
-            .sess
-            .rt
-            .borrow_mut()
-            .matmul(&self.repr, &rhs.repr)
-            .unwrap_or_else(|e| panic!("matrix multiplication failed: {e}"));
-        self.sess.mat(repr)
+        self.try_matmul(rhs)
+            .unwrap_or_else(|e| panic!("matrix multiplication failed: {e}"))
+    }
+
+    /// [`matmul`](Self::matmul), error surfaced.
+    pub fn try_matmul(&self, rhs: &RMat) -> ExecResult<RMat> {
+        let repr = self.sess.rt.borrow_mut().matmul(&self.repr, &rhs.repr)?;
+        Ok(self.sess.mat(repr))
     }
 
     /// Number of stored non-zeros — `nnz(m)`. For a deferred sparse

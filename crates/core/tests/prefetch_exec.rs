@@ -38,6 +38,7 @@ fn ctx(frames: usize, prefetch_depth: usize) -> Arc<StorageCtx> {
             frames,
             replacer: ReplacerKind::Lru,
             prefetch_depth,
+            ..PoolConfig::default()
         },
     ))
 }

@@ -243,6 +243,9 @@ impl Interpreter {
 
     fn exec_block(&mut self, stmts: &[Stmt]) -> RResult<()> {
         for s in stmts {
+            // Statement-granularity interrupt point: a pending cancel
+            // aborts the script here even if no kernel runs in between.
+            self.session.interrupt_checkpoint()?;
             self.exec(s)?;
         }
         Ok(())
@@ -283,8 +286,8 @@ impl Interpreter {
                         v: mask,
                         logical: true,
                     } => match val {
-                        RValue::Scalar(c) => data.mask_assign(&mask, c),
-                        RValue::Vector { v, .. } => data.mask_assign_vec(&mask, &v),
+                        RValue::Scalar(c) => data.try_mask_assign(&mask, c)?,
+                        RValue::Vector { v, .. } => data.try_mask_assign_vec(&mask, &v)?,
                         _ => {
                             return Err(RError::Runtime("replacement must be numeric".to_string()))
                         }
@@ -295,12 +298,12 @@ impl Interpreter {
                         logical: false,
                     } => {
                         let values = self.to_vector(val)?;
-                        data.sub_assign(&pos, &values)
+                        data.try_sub_assign(&pos, &values)?
                     }
                     RValue::Scalar(p) => {
                         let pos = self.session.literal(&[p])?;
                         let values = self.to_vector(val)?;
-                        data.sub_assign(&pos, &values)
+                        data.try_sub_assign(&pos, &values)?
                     }
                     _ => return Err(RError::Runtime("invalid subscript".to_string())),
                 };
@@ -357,7 +360,7 @@ impl Interpreter {
             Expr::Neg(inner) => match self.eval(inner)? {
                 RValue::Scalar(v) => Ok(RValue::Scalar(-v)),
                 RValue::Vector { v, .. } => Ok(RValue::Vector {
-                    v: -&v,
+                    v: v.try_unary(UnOp::Neg)?,
                     logical: false,
                 }),
                 _ => Err(RError::Runtime(
@@ -367,7 +370,7 @@ impl Interpreter {
             Expr::Not(inner) => match self.eval(inner)? {
                 RValue::Scalar(v) => Ok(RValue::Scalar(if v == 0.0 { 1.0 } else { 0.0 })),
                 RValue::Vector { v, .. } => Ok(RValue::Vector {
-                    v: v.not(),
+                    v: v.try_unary(UnOp::Not)?,
                     logical: true,
                 }),
                 _ => Err(RError::Runtime("invalid argument to !".to_string())),
@@ -397,22 +400,22 @@ impl Interpreter {
             let (RValue::Matrix(a), RValue::Matrix(b)) = (&l, &r) else {
                 return Err(RError::Runtime("%*% requires matrices".to_string()));
             };
-            return Ok(RValue::Matrix(a.matmul(b)));
+            return Ok(RValue::Matrix(a.try_matmul(b)?));
         }
         let bin = map_binop(op);
         let logical = is_logical_op(op);
         match (l, r) {
             (RValue::Scalar(a), RValue::Scalar(b)) => Ok(RValue::Scalar(bin.apply(a, b))),
             (RValue::Vector { v, .. }, RValue::Scalar(c)) => Ok(RValue::Vector {
-                v: v.binary_scalar(bin, c, false),
+                v: v.try_binary_scalar(bin, c, false)?,
                 logical,
             }),
             (RValue::Scalar(c), RValue::Vector { v, .. }) => Ok(RValue::Vector {
-                v: v.binary_scalar(bin, c, true),
+                v: v.try_binary_scalar(bin, c, true)?,
                 logical,
             }),
             (RValue::Vector { v: a, .. }, RValue::Vector { v: b, .. }) => Ok(RValue::Vector {
-                v: a.binary(bin, &b),
+                v: a.try_binary(bin, &b)?,
                 logical,
             }),
             _ => Err(RError::Runtime(format!(
@@ -431,7 +434,7 @@ impl Interpreter {
             RValue::Scalar(p) => {
                 let idx = self.session.literal(&[p])?;
                 Ok(RValue::Vector {
-                    v: data.index(&idx),
+                    v: data.try_index(&idx)?,
                     logical: false,
                 })
             }
@@ -439,7 +442,7 @@ impl Interpreter {
                 v: idx,
                 logical: false,
             } => Ok(RValue::Vector {
-                v: data.index(&idx),
+                v: data.try_index(&idx)?,
                 logical: false,
             }),
             RValue::Vector {
@@ -458,7 +461,7 @@ impl Interpreter {
                     .collect();
                 let idx = self.session.literal(&picks)?;
                 Ok(RValue::Vector {
-                    v: data.index(&idx),
+                    v: data.try_index(&idx)?,
                     logical: false,
                 })
             }
@@ -511,7 +514,7 @@ impl Interpreter {
                 match self.arg1(&positional, name)? {
                     RValue::Scalar(x) => Ok(RValue::Scalar(op.apply(*x))),
                     RValue::Vector { v, .. } => Ok(RValue::Vector {
-                        v: v.unary(op),
+                        v: v.try_unary(op)?,
                         logical: false,
                     }),
                     _ => Err(RError::Runtime(format!("{name}() of non-numeric"))),
@@ -568,13 +571,13 @@ impl Interpreter {
                 match (positional[0], positional[1]) {
                     (RValue::Vector { v: a, .. }, RValue::Vector { v: b, .. }) => {
                         Ok(RValue::Vector {
-                            v: a.binary(op, b),
+                            v: a.try_binary(op, b)?,
                             logical: false,
                         })
                     }
                     (RValue::Vector { v, .. }, RValue::Scalar(c))
                     | (RValue::Scalar(c), RValue::Vector { v, .. }) => Ok(RValue::Vector {
-                        v: v.binary_scalar(op, *c, false),
+                        v: v.try_binary_scalar(op, *c, false)?,
                         logical: false,
                     }),
                     (RValue::Scalar(a), RValue::Scalar(b)) => Ok(RValue::Scalar(op.apply(*a, *b))),
@@ -628,7 +631,7 @@ impl Interpreter {
                     RValue::Vector { v, logical } => {
                         let idx = self.session.range(1, k.min(v.len() as i64))?;
                         Ok(RValue::Vector {
-                            v: v.index(&idx),
+                            v: v.try_index(&idx)?,
                             logical: *logical,
                         })
                     }
@@ -736,7 +739,7 @@ impl Interpreter {
                 _ => Err(RError::Runtime("as.dense() needs a matrix".to_string())),
             },
             "t" => match self.arg1(&positional, name)? {
-                RValue::Matrix(m) => Ok(RValue::Matrix(m.t())),
+                RValue::Matrix(m) => Ok(RValue::Matrix(m.try_t()?)),
                 _ => Err(RError::Runtime("t() needs a matrix".to_string())),
             },
             "chol" => match self.arg1(&positional, name)? {
@@ -761,8 +764,10 @@ impl Interpreter {
                 // crossprod(x) = t(x) %*% x; crossprod(x, y) = t(x) %*% y.
                 // Composed from the transpose and product nodes, so the
                 // optimizer sees the Gram-matrix structure.
-                [RValue::Matrix(x)] => Ok(RValue::Matrix(x.t().matmul(x))),
-                [RValue::Matrix(x), RValue::Matrix(y)] => Ok(RValue::Matrix(x.t().matmul(y))),
+                [RValue::Matrix(x)] => Ok(RValue::Matrix(x.try_t()?.try_matmul(x)?)),
+                [RValue::Matrix(x), RValue::Matrix(y)] => {
+                    Ok(RValue::Matrix(x.try_t()?.try_matmul(y)?))
+                }
                 _ => Err(RError::Runtime(
                     "crossprod() needs one or two matrices".to_string(),
                 )),
@@ -792,6 +797,62 @@ impl Interpreter {
                 };
                 self.output.push_str(text.trim_end());
                 self.output.push('\n');
+                Ok(RValue::Null)
+            }
+            "riot.limits" => {
+                // riot.limits() prints the session's current resource
+                // budgets; riot.limits(clear=TRUE) lifts them; any other
+                // named argument tightens that one budget for every query
+                // the session runs from here on.
+                if vals.is_empty() {
+                    let l = self.session.limits();
+                    let show = |v: Option<u64>| match v {
+                        Some(x) => x.to_string(),
+                        None => "unlimited".to_string(),
+                    };
+                    let text = format!(
+                        "deadline_ms={} max_reads={} max_writes={} max_flops={} \
+                         max_pinned_frames={} max_temp_blocks={}",
+                        match l.deadline {
+                            Some(d) => d.as_millis().to_string(),
+                            None => "unlimited".to_string(),
+                        },
+                        show(l.max_reads),
+                        show(l.max_writes),
+                        show(l.max_flops),
+                        show(l.max_pinned_frames),
+                        show(l.max_temp_blocks),
+                    );
+                    self.output.push_str(&text);
+                    self.output.push('\n');
+                    return Ok(RValue::Null);
+                }
+                if let Some(v) = named("clear") {
+                    if self.as_scalar(v)? != 0.0 {
+                        self.session.clear_limits();
+                        return Ok(RValue::Null);
+                    }
+                }
+                let mut l = self.session.limits();
+                if let Some(v) = named("deadline_ms") {
+                    l.deadline = Some(std::time::Duration::from_millis(self.as_scalar(v)? as u64));
+                }
+                if let Some(v) = named("max_reads") {
+                    l.max_reads = Some(self.as_scalar(v)? as u64);
+                }
+                if let Some(v) = named("max_writes") {
+                    l.max_writes = Some(self.as_scalar(v)? as u64);
+                }
+                if let Some(v) = named("max_flops") {
+                    l.max_flops = Some(self.as_scalar(v)? as u64);
+                }
+                if let Some(v) = named("max_pinned_frames") {
+                    l.max_pinned_frames = Some(self.as_scalar(v)? as u64);
+                }
+                if let Some(v) = named("max_temp_blocks") {
+                    l.max_temp_blocks = Some(self.as_scalar(v)? as u64);
+                }
+                self.session.set_limits(l);
                 Ok(RValue::Null)
             }
             other => Err(RError::Runtime(format!(
@@ -1200,6 +1261,55 @@ print(sum(nnz(p1) + nnz(p2) + nnz(p3) + nnz(p4)))";
         i.run("x <- 21").unwrap();
         let out = i.run("print(x * 2)").unwrap();
         assert_eq!(out.trim(), "[1] 42");
+    }
+
+    #[test]
+    fn riot_limits_builtin_sets_prints_and_clears() {
+        let mut i = Interpreter::new(EngineConfig::new(EngineKind::Riot));
+        let out = i.run("riot.limits()").unwrap();
+        assert!(out.contains("max_reads=unlimited"), "{out}");
+        i.run("riot.limits(max_reads = 1000, deadline_ms = 60000)")
+            .unwrap();
+        let out = i.run("riot.limits()").unwrap();
+        assert!(out.contains("max_reads=1000"), "{out}");
+        assert!(out.contains("deadline_ms=60000"), "{out}");
+        // Queries still run under generous limits.
+        let out = i.run("x <- 1:64\nprint(sum(x))").unwrap();
+        assert_eq!(out.trim(), "[1] 2080");
+        i.run("riot.limits(clear = TRUE)").unwrap();
+        let out = i.run("riot.limits()").unwrap();
+        assert!(out.contains("max_reads=unlimited"), "{out}");
+    }
+
+    #[test]
+    fn riot_limits_budget_trip_surfaces_as_exec_error() {
+        let mut i = Interpreter::new(EngineConfig::new(EngineKind::Riot));
+        i.run("riot.limits(max_flops = 10)").unwrap();
+        let err = i.run("x <- 1:4096\nprint(sum(x * 2 + 1))").unwrap_err();
+        match err {
+            RError::Exec(e) => assert!(e.is_governance_abort(), "{e}"),
+            other => panic!("expected exec error, got {other}"),
+        }
+        // Clearing limits makes the same program succeed again.
+        i.run("riot.limits(clear = TRUE)").unwrap();
+        let out = i.run("print(sum(x * 2 + 1))").unwrap();
+        assert!(!out.trim().is_empty());
+    }
+
+    #[test]
+    fn pending_cancel_interrupts_between_statements() {
+        let mut i = Interpreter::new(EngineConfig::new(EngineKind::Riot));
+        i.run("x <- 1:32").unwrap();
+        i.session().cancel_handle().cancel();
+        let err = i.run("y <- x + 1\nprint(sum(y))").unwrap_err();
+        match err {
+            RError::Exec(e) => assert!(e.is_governance_abort(), "{e}"),
+            other => panic!("expected cancellation, got {other}"),
+        }
+        // A reset restores the session.
+        i.session().reset_cancel();
+        let out = i.run("print(sum(x))").unwrap();
+        assert_eq!(out.trim(), "[1] 528");
     }
 
     #[test]

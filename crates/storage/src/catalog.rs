@@ -272,6 +272,34 @@ impl Catalog {
         Ok(())
     }
 
+    /// Ids of every live object, ascending.
+    pub fn live_ids(&self) -> Vec<ObjectId> {
+        let mut ids: Vec<u64> = self.objects.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(ObjectId).collect()
+    }
+
+    /// A canonical rendering of the allocation state: every live object
+    /// with its name and extents, ascending by id. Two catalogs whose
+    /// live allocations are identical — the same objects holding the
+    /// same block ranges — render byte-identically, which is how the
+    /// leak-free-abort invariant compares the post-abort free list
+    /// against the pre-query snapshot.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        let mut ids: Vec<u64> = self.objects.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let e = &self.objects[&id];
+            out.push_str(&format!("{id}:{}", e.name.as_deref().unwrap_or("")));
+            for seg in &e.segments {
+                out.push_str(&format!(" {}+{}", seg.start.0, seg.blocks));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
     /// Number of live objects.
     pub fn len(&self) -> usize {
         self.objects.len()

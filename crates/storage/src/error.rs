@@ -50,6 +50,35 @@ pub enum StorageError {
     },
     /// The underlying operating-system file operation failed.
     Io(std::io::Error),
+    /// The query's [`crate::CancelToken`] was triggered; raised by the
+    /// governance checkpoint that first observed it.
+    Cancelled {
+        /// Checkpoint label where the cancellation was observed.
+        at: &'static str,
+    },
+    /// A [`crate::ResourceLimits`] budget was exceeded.
+    BudgetExceeded {
+        /// Which budget tripped (`"reads"`, `"writes"`, `"flops"`,
+        /// `"deadline"`, `"pinned_frames"`, `"temp_blocks"`).
+        resource: &'static str,
+        /// Usage observed at the checkpoint (milliseconds for
+        /// `"deadline"`, counts otherwise).
+        used: u64,
+        /// The configured limit in the same unit.
+        limit: u64,
+    },
+    /// A pin request waited longer than the pool's configured
+    /// `pin_timeout` for a frame to become available. Unlike
+    /// [`StorageError::PoolExhausted`] (no frame can ever free up because
+    /// everything is pinned and nothing is in flight), this bounds the
+    /// *wait* for in-flight frames so a wedged load or write-back cannot
+    /// hang a query forever.
+    PinTimeout {
+        /// Pool capacity in frames.
+        frames: usize,
+        /// How long the request waited before giving up.
+        waited_ms: u64,
+    },
 }
 
 /// Coarse failure classification driving retry decisions.
@@ -92,6 +121,19 @@ impl StorageError {
     pub fn is_transient(&self) -> bool {
         self.class() == ErrorClass::Transient
     }
+
+    /// `true` for the governance family — cancellation, budget
+    /// exhaustion, and bounded pin waits. These are *abort* signals
+    /// (the query must unwind and release its resources), not storage
+    /// faults.
+    pub fn is_governance(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Cancelled { .. }
+                | StorageError::BudgetExceeded { .. }
+                | StorageError::PinTimeout { .. }
+        )
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -124,6 +166,21 @@ impl fmt::Display for StorageError {
                 )
             }
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Cancelled { at } => {
+                write!(f, "query cancelled at checkpoint '{at}'")
+            }
+            StorageError::BudgetExceeded {
+                resource,
+                used,
+                limit,
+            } => write!(
+                f,
+                "resource budget exceeded: {resource} used {used} > limit {limit}"
+            ),
+            StorageError::PinTimeout { frames, waited_ms } => write!(
+                f,
+                "pin wait timed out after {waited_ms} ms ({frames}-frame pool)"
+            ),
         }
     }
 }
@@ -197,5 +254,27 @@ mod tests {
         assert!(!corrupt.is_transient());
         assert!(corrupt.to_string().contains("block 4"));
         assert!(corrupt.to_string().contains("corruption"));
+    }
+
+    #[test]
+    fn governance_family_is_typed_and_permanent() {
+        let cancelled = StorageError::Cancelled { at: "matmul.tile" };
+        let budget = StorageError::BudgetExceeded {
+            resource: "reads",
+            used: 12,
+            limit: 10,
+        };
+        let pin = StorageError::PinTimeout {
+            frames: 4,
+            waited_ms: 250,
+        };
+        for e in [&cancelled, &budget, &pin] {
+            assert!(e.is_governance());
+            assert_eq!(e.class(), ErrorClass::Permanent);
+        }
+        assert!(!StorageError::UnknownObject(1).is_governance());
+        assert!(cancelled.to_string().contains("matmul.tile"));
+        assert!(budget.to_string().contains("reads used 12 > limit 10"));
+        assert!(pin.to_string().contains("250 ms"));
     }
 }

@@ -82,6 +82,7 @@ pub mod commit;
 pub mod device;
 pub mod error;
 pub mod file_device;
+pub mod governor;
 pub mod mem_device;
 pub mod pool;
 pub mod replacer;
@@ -96,6 +97,7 @@ pub use commit::CatalogStore;
 pub use device::{BlockDevice, BlockId};
 pub use error::{ErrorClass, Result, StorageError};
 pub use file_device::FileBlockDevice;
+pub use governor::{CancelToken, QueryGovernor, ResourceLimits};
 pub use mem_device::MemBlockDevice;
 pub use pool::{BufferPool, PinnedFrame, PinnedFrameMut, PoolConfig, PoolStats, PREFETCH_AUTO};
 pub use replacer::{ClockReplacer, LruReplacer, MruReplacer, Replacer, ReplacerKind};

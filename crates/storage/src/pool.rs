@@ -97,13 +97,15 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use riot_trace::{EventKind, Tracer};
 
 use crate::device::{BlockDevice, BlockId};
 use crate::error::{Result, StorageError};
+use crate::governor::QueryGovernor;
 use crate::replacer::{make_replacer, FrameId, Replacer, ReplacerKind};
 use crate::stats::{InFlight, IoStats};
 
@@ -135,6 +137,14 @@ pub struct PoolConfig {
     /// never changes *how much* I/O a well-windowed workload performs —
     /// only *when* it happens (see the module docs).
     pub prefetch_depth: usize,
+    /// Upper bound on how long a pin may wait for an apparently
+    /// exhausted shard's in-flight transfers to free a frame before
+    /// failing with [`StorageError::PinTimeout`]. A healthy pool frees
+    /// frames in device-latency time, so the generous default only
+    /// fires when a transfer has genuinely wedged — previously that pin
+    /// waited forever and only the test-only
+    /// [`crate::testing::Watchdog`] noticed.
+    pub pin_timeout: Duration,
 }
 
 impl Default for PoolConfig {
@@ -143,6 +153,7 @@ impl Default for PoolConfig {
             frames: 256,
             replacer: ReplacerKind::Lru,
             prefetch_depth: PREFETCH_AUTO,
+            pin_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -395,6 +406,21 @@ fn wait<'a>(shard: &'a Shard, meta: MutexGuard<'a, ShardMeta>) -> MutexGuard<'a,
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Bounded [`wait`]: returns after a notification, a spurious wake-up, or
+/// `dur` — whichever comes first. The caller re-checks its predicate and
+/// its own deadline either way.
+fn wait_timeout<'a>(
+    shard: &'a Shard,
+    meta: MutexGuard<'a, ShardMeta>,
+    dur: Duration,
+) -> MutexGuard<'a, ShardMeta> {
+    shard
+        .unpinned
+        .wait_timeout(meta, dur)
+        .map(|(g, _)| g)
+        .unwrap_or_else(|e| e.into_inner().0)
+}
+
 /// Debug-build registry of held pins, keyed by (pool identity, block id,
 /// owning thread). Pinning a block the current thread already holds a
 /// *conflicting* pin on can only deadlock (the wait is for ourselves), so
@@ -497,6 +523,14 @@ struct PoolCore {
     /// Trace recorder shared by every layer above this pool (disabled by
     /// default; recording never changes what the pool reads or writes).
     tracer: Arc<Tracer>,
+    /// Bound on the exhausted-shard pin wait (see
+    /// [`PoolConfig::pin_timeout`]).
+    pin_timeout: Duration,
+    /// The query governor this pool answers to, when a storage context
+    /// attached one: pin waits observe cancellation, and pin acquisition
+    /// enforces `max_pinned_frames`. Empty = ungoverned (one atomic load
+    /// on the pin path).
+    governor: OnceLock<Arc<QueryGovernor>>,
 }
 
 impl BufferPool {
@@ -594,6 +628,8 @@ impl BufferPool {
             prefetch_depth,
             prefetch: PrefetchState::default(),
             tracer,
+            pin_timeout: config.pin_timeout,
+            governor: OnceLock::new(),
         });
         let workers = (0..prefetch_depth)
             .map(|i| {
@@ -665,6 +701,37 @@ impl BufferPool {
             .iter()
             .map(|s| lock(&s.meta).map.len())
             .sum()
+    }
+
+    /// Number of frames currently pinned (shared or exclusive). A
+    /// quiesced pool with no guards outstanding reports 0 — the
+    /// leak-free-abort invariant asserts exactly that after every
+    /// cancelled or budget-aborted query.
+    pub fn pinned_frames(&self) -> usize {
+        self.core.pinned_frames()
+    }
+
+    /// Attach the query governor this pool consults on the pin path:
+    /// exhausted-shard waits observe cancellation, and pin admission
+    /// enforces [`crate::ResourceLimits::max_pinned_frames`]. One
+    /// governor per pool, set once at context construction; without one
+    /// the pin path pays a single `OnceLock` load.
+    pub fn attach_governor(&self, governor: Arc<QueryGovernor>) {
+        let _ = self.core.governor.set(governor);
+    }
+
+    /// The attached governor, if any.
+    pub fn governor(&self) -> Option<&Arc<QueryGovernor>> {
+        self.core.governor.get()
+    }
+
+    /// Drop every queued (not yet claimed) prefetch hint, returning how
+    /// many were discarded. An aborting query calls this so its declared
+    /// future windows stop turning into background reads it will never
+    /// pin; hints a worker already claimed finish normally (their frames
+    /// publish unpinned and evictable — no pin leak either way).
+    pub fn discard_prefetch_queue(&self) -> usize {
+        self.core.discard_prefetch_queue()
     }
 
     /// Shared device I/O counters.
@@ -978,6 +1045,24 @@ impl PoolCore {
         mode: AccessMode,
         load: bool,
     ) -> Result<(usize, FrameId, *mut f64)> {
+        // Governed pin admission: `max_pinned_frames` is enforced here,
+        // where pins are born, rather than at kernel checkpoints — the
+        // budget bounds *concurrent* frame occupancy, not a running
+        // total. Ungoverned cost: one `OnceLock` load.
+        if let Some(gov) = self.governor.get() {
+            if gov.engaged() && gov.in_query() {
+                if let Some(limit) = gov.max_pinned_frames() {
+                    let pinned = self.pinned_frames() as u64;
+                    if pinned >= limit {
+                        return Err(StorageError::BudgetExceeded {
+                            resource: "pinned_frames",
+                            used: pinned + 1,
+                            limit,
+                        });
+                    }
+                }
+            }
+        }
         let shard_idx = (block.0 % self.shards.len() as u64) as usize;
         let shard = &self.shards[shard_idx];
         // Count a coalesced wait at most once per pin request.
@@ -1199,6 +1284,9 @@ impl PoolCore {
         // while a genuinely dead device still errors out promptly.
         let mut writeback_failures = 0u32;
         const WRITEBACK_FAILURE_LIMIT: u32 = 3;
+        // Set when this request first finds the shard exhausted with
+        // transfers in flight; bounds the total wait across re-checks.
+        let mut wait_start: Option<Instant> = None;
         loop {
             if let Some(frame) = meta.free.pop() {
                 return (meta, Ok(Some(frame)));
@@ -1208,7 +1296,34 @@ impl PoolCore {
                     return (meta, Ok(None));
                 }
                 if meta.in_flight > 0 {
-                    meta = wait(shard, meta);
+                    // Bounded wait: in-flight transfers normally free a
+                    // frame within device latency, so only a wedged
+                    // transfer ever reaches the timeout — and a cancelled
+                    // query stops waiting at the next wake-up instead of
+                    // riding out the full bound.
+                    let start = *wait_start.get_or_insert_with(Instant::now);
+                    if let Some(gov) = self.governor.get() {
+                        if gov.engaged() && gov.is_cancelled() {
+                            return (
+                                meta,
+                                Err(StorageError::Cancelled {
+                                    at: "pool.pin_wait",
+                                }),
+                            );
+                        }
+                    }
+                    let waited = start.elapsed();
+                    if waited >= self.pin_timeout {
+                        return (
+                            meta,
+                            Err(StorageError::PinTimeout {
+                                frames: self.capacity,
+                                waited_ms: waited.as_millis() as u64,
+                            }),
+                        );
+                    }
+                    let slice = (self.pin_timeout - waited).min(Duration::from_millis(50));
+                    meta = wait_timeout(shard, meta, slice);
                     continue;
                 }
                 return (
@@ -1507,6 +1622,36 @@ impl PoolCore {
         if queued_any {
             self.prefetch.work.notify_all();
         }
+    }
+
+    /// See [`BufferPool::pinned_frames`].
+    fn pinned_frames(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let meta = lock(&s.meta);
+                meta.frames
+                    .iter()
+                    .filter(|f| f.readers > 0 || f.writer)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// See [`BufferPool::discard_prefetch_queue`].
+    fn discard_prefetch_queue(&self) -> usize {
+        if self.prefetch_depth == 0 {
+            return 0;
+        }
+        let mut q = lock_queue(&self.prefetch.queue);
+        let dropped = q.pending.len();
+        for block in q.pending.drain(..).collect::<Vec<_>>() {
+            q.enqueued.remove(&block.0);
+        }
+        if q.busy == 0 {
+            self.prefetch.idle.notify_all();
+        }
+        dropped
     }
 
     /// See [`BufferPool::wait_prefetch_idle`].
@@ -2249,6 +2394,7 @@ mod tests {
                 frames,
                 replacer: ReplacerKind::Lru,
                 prefetch_depth: depth,
+                ..PoolConfig::default()
             },
         )
     }
@@ -2263,6 +2409,7 @@ mod tests {
                 frames: 4,
                 replacer: ReplacerKind::Lru,
                 prefetch_depth: PREFETCH_AUTO,
+                ..PoolConfig::default()
             },
         );
         assert_eq!(p.prefetch_depth(), 0);
@@ -2275,6 +2422,7 @@ mod tests {
                 frames: 4,
                 replacer: ReplacerKind::Lru,
                 prefetch_depth: PREFETCH_AUTO,
+                ..PoolConfig::default()
             },
         );
         assert_eq!(f.prefetch_depth(), if cfg!(unix) { 8 } else { 2 });
@@ -2285,6 +2433,7 @@ mod tests {
                 frames: 4,
                 replacer: ReplacerKind::Lru,
                 prefetch_depth: 3,
+                ..PoolConfig::default()
             },
         );
         assert_eq!(e.prefetch_depth(), 3);
@@ -2301,6 +2450,7 @@ mod tests {
                     frames: 4,
                     replacer: ReplacerKind::Lru,
                     prefetch_depth: depth,
+                    ..PoolConfig::default()
                 },
             );
             let b = p.allocate_blocks(16).unwrap();
@@ -2455,6 +2605,7 @@ mod tests {
                 frames: 4,
                 replacer: ReplacerKind::Lru,
                 prefetch_depth: 1,
+                ..PoolConfig::default()
             },
         );
         let b = p.allocate_blocks(1).unwrap();
@@ -2495,6 +2646,7 @@ mod tests {
                 frames: 2,
                 replacer: ReplacerKind::Lru,
                 prefetch_depth: 1,
+                ..PoolConfig::default()
             },
         );
         let b = p.allocate_blocks(1).unwrap();
@@ -2545,5 +2697,147 @@ mod tests {
         });
         let g = p.pin(b).unwrap();
         assert_eq!(g[0], 1000.0);
+    }
+
+    /// Two frames over a device with `latency` per read: pin block 0 to
+    /// occupy one frame, cold-read block 1 on another thread to wedge
+    /// the other, and a pin of block 2 must wait. Returns the pool with
+    /// blocks 0..=2 allocated.
+    fn wedged_pool(pin_timeout: Duration, latency: Duration) -> BufferPool {
+        let dev = FailpointDevice::new(Box::new(MemBlockDevice::new(64)));
+        let fp = dev.handle();
+        let p = BufferPool::new(
+            Box::new(dev),
+            PoolConfig {
+                frames: 2,
+                replacer: ReplacerKind::Lru,
+                prefetch_depth: 0,
+                pin_timeout,
+            },
+        );
+        p.allocate_blocks(3).unwrap();
+        fp.set_read_latency(latency);
+        p
+    }
+
+    /// Wait until the pool reports an outstanding load (the wedged
+    /// transfer has left the shard lock), bounded so a broken pool
+    /// fails the test instead of hanging it.
+    fn await_in_flight(p: &BufferPool) {
+        for _ in 0..200 {
+            if p.in_flight().loads() > 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("wedged load never became visible");
+    }
+
+    #[test]
+    fn pin_wait_times_out_on_wedged_transfer() {
+        let p = wedged_pool(Duration::from_millis(100), Duration::from_millis(2000));
+        let (b0, b1, b2) = (BlockId(0), BlockId(1), BlockId(2));
+        let _hold = p.pin_new(b0).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Wedged cold load: occupies the second frame for 2 s.
+                let _ = p.read(b1, |_| ());
+            });
+            await_in_flight(&p);
+            let err = p.read(b2, |_| ()).unwrap_err();
+            match err {
+                StorageError::PinTimeout { frames, waited_ms } => {
+                    assert_eq!(frames, 2);
+                    assert!(waited_ms >= 100, "waited only {waited_ms} ms");
+                }
+                other => panic!("expected PinTimeout, got {other}"),
+            }
+        });
+    }
+
+    #[test]
+    fn cancel_escapes_pin_wait_before_timeout() {
+        let p = wedged_pool(Duration::from_secs(30), Duration::from_millis(2000));
+        let (b0, b1, b2) = (BlockId(0), BlockId(1), BlockId(2));
+        let gov = Arc::new(QueryGovernor::new(p.io_stats()));
+        p.attach_governor(Arc::clone(&gov));
+        gov.engage(crate::ResourceLimits::none());
+        gov.cancel();
+        let _hold = p.pin_new(b0).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _ = p.read(b1, |_| ());
+            });
+            await_in_flight(&p);
+            let t0 = Instant::now();
+            let err = p.read(b2, |_| ()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StorageError::Cancelled {
+                        at: "pool.pin_wait"
+                    }
+                ),
+                "{err}"
+            );
+            // The escape must not ride out the 30 s pin timeout.
+            assert!(t0.elapsed() < Duration::from_secs(5));
+        });
+    }
+
+    #[test]
+    fn governed_pin_admission_enforces_max_pinned_frames() {
+        let p = pool(4);
+        let b0 = p.allocate_blocks(1).unwrap();
+        let b1 = p.allocate_blocks(1).unwrap();
+        let gov = Arc::new(QueryGovernor::new(p.io_stats()));
+        p.attach_governor(Arc::clone(&gov));
+        gov.engage(crate::ResourceLimits::none().with_max_pinned_frames(1));
+        gov.begin();
+        let _g0 = p.pin_new(b0).unwrap();
+        let err = p.pin_new(b1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StorageError::BudgetExceeded {
+                    resource: "pinned_frames",
+                    used: 2,
+                    limit: 1,
+                }
+            ),
+            "{err}"
+        );
+        drop(_g0);
+        gov.end();
+        // Outside the query bracket the cap no longer applies.
+        let _g0 = p.pin_new(b0).unwrap();
+        let _g1 = p.pin_new(b1).unwrap();
+    }
+
+    #[test]
+    fn discard_prefetch_queue_drops_queued_windows() {
+        let dev = FailpointDevice::new(Box::new(MemBlockDevice::new(64)));
+        let fp = dev.handle();
+        let p = BufferPool::new(
+            Box::new(dev),
+            PoolConfig {
+                frames: 8,
+                replacer: ReplacerKind::Lru,
+                prefetch_depth: 1,
+                ..PoolConfig::default()
+            },
+        );
+        let first = p.allocate_blocks(6).unwrap();
+        let blocks: Vec<BlockId> = (0..6).map(|i| BlockId(first.0 + i)).collect();
+        // The single worker wedges on the first block; the rest queue.
+        fp.set_read_latency(Duration::from_millis(300));
+        p.prefetch(&blocks);
+        await_in_flight(&p);
+        let dropped = p.discard_prefetch_queue();
+        assert!(dropped > 0, "queue should still hold undispatched blocks");
+        // The discard leaves the pool healthy: waiting out the wedged
+        // load, everything still pins and reads.
+        p.wait_prefetch_idle();
+        assert_eq!(p.read(blocks[5], |d| d[0]).unwrap(), 0);
     }
 }

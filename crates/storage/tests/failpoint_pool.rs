@@ -228,6 +228,7 @@ fn prefetching_failpoint_pool(frames: usize, depth: usize) -> (BufferPool, Failp
             frames,
             replacer: ReplacerKind::Lru,
             prefetch_depth: depth,
+            ..PoolConfig::default()
         },
     );
     (pool, fp)

@@ -29,6 +29,7 @@ fn failpoint_pool(
             frames,
             replacer: ReplacerKind::Lru,
             prefetch_depth: depth,
+            ..PoolConfig::default()
         },
         shards,
     );

@@ -212,6 +212,7 @@ fn corruption_on_prefetch_releases_the_slot_and_demand_pin_recovers() {
             frames: 8,
             replacer: ReplacerKind::Lru,
             prefetch_depth: 2,
+            ..PoolConfig::default()
         },
         1,
     );

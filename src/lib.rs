@@ -58,8 +58,8 @@ pub use riot_trace as trace;
 pub use riot_vm as vm;
 
 pub use riot_core::{
-    CostParams, EngineConfig, EngineKind, MatMulStrategy, OptConfig, QueryProfile, RMat, RVec,
-    Session,
+    CancelToken, CostParams, EngineConfig, EngineKind, MatMulStrategy, OptConfig, QueryProfile,
+    RMat, RVec, ResourceLimits, Session,
 };
 pub use riot_rlang::Interpreter;
 pub use riot_storage::{DiskModel, IoSnapshot, PoolStats, StorageReport};
